@@ -1,0 +1,99 @@
+// Experiment E10 — deadlock-handling policy ablation.
+//
+// The paper assumes a lock manager that resolves deadlocks but does not
+// prescribe how.  This ablation runs the same cross-order update workload
+// (transactions lock two robots of a hot cell in opposite orders — the
+// canonical cycle generator) under the four classic policies:
+//
+//  * detection + youngest-victim abort (the default),
+//  * wound-wait prevention (older preempts younger),
+//  * wait-die prevention (younger restarts immediately),
+//  * timeout only (cycles dissolve when a deadline expires).
+//
+// Expected shape: all policies complete the workload; timeout-only pays
+// the full deadline on every cycle (mean wait explodes); the prevention
+// schemes abort more often than detection (they kill on *suspicion*), but
+// never sit in a cycle.
+
+#include <iostream>
+
+#include "sim/fixtures.h"
+#include "sim/harness.h"
+
+using namespace codlock;
+
+namespace {
+
+sim::WorkloadReport RunOne(sim::CellsFixture& f,
+                           lock::DeadlockPolicy policy,
+                           const std::string& label) {
+  sim::EngineOptions opts;
+  opts.lock_timeout_ms = 250;  // the price timeout-only pays per cycle
+  opts.lock_manager.deadlock_policy = policy;
+  sim::Engine eng(f.catalog.get(), f.store.get(), opts);
+  eng.authorization().Grant(1, f.cells, authz::Right::kRead);
+  eng.authorization().Grant(1, f.cells, authz::Right::kModify);
+  eng.authorization().Grant(1, f.effectors, authz::Right::kRead);
+
+  sim::WorkloadConfig cfg;
+  cfg.threads = 4;
+  cfg.txns_per_thread = 40;
+  cfg.max_retries = 500;
+  sim::WorkloadReport r =
+      sim::RunWorkload(eng, cfg, [&](int thread, int, Rng&) {
+        sim::TxnScript s;
+        s.user = 1;
+        s.work_us = 100;
+        query::Query first = query::MakeQ2(f.cells);
+        first.path = {nf2::PathStep::At("robots", 0)};
+        query::Query second = query::MakeQ2(f.cells);
+        second.path = {nf2::PathStep::At("robots", 1)};
+        // Opposite orders on alternating threads: cycles galore.
+        s.queries = thread % 2 == 0
+                        ? std::vector<query::Query>{first, second}
+                        : std::vector<query::Query>{second, first};
+        return s;
+      });
+  std::cout << r.Row(label) << "   wounds=" << r.wound_aborts << "\n";
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E10: deadlock policy ablation (cross-order robot updates, "
+               "4 threads, 250ms timeout)\n\n";
+  sim::CellsParams params;
+  params.num_cells = 1;
+  params.robots_per_cell = 4;
+  params.num_effectors = 4;
+  sim::CellsFixture f = sim::BuildCellsEffectors(params);
+
+  std::cout << sim::WorkloadReport::Header() << "\n";
+  sim::WorkloadReport detect =
+      RunOne(f, lock::DeadlockPolicy::kDetect, "detect+youngest-victim");
+  sim::WorkloadReport wound =
+      RunOne(f, lock::DeadlockPolicy::kWoundWait, "wound-wait");
+  sim::WorkloadReport die =
+      RunOne(f, lock::DeadlockPolicy::kWaitDie, "wait-die");
+  sim::WorkloadReport timeout =
+      RunOne(f, lock::DeadlockPolicy::kTimeoutOnly, "timeout-only");
+
+  std::cout << "\nAborts (deadlock+wound+timeout): detect "
+            << detect.deadlock_aborts + detect.wound_aborts +
+                   detect.timeout_aborts
+            << ", wound-wait "
+            << wound.deadlock_aborts + wound.wound_aborts +
+                   wound.timeout_aborts
+            << ", wait-die "
+            << die.deadlock_aborts + die.wound_aborts + die.timeout_aborts
+            << ", timeout-only "
+            << timeout.deadlock_aborts + timeout.wound_aborts +
+                   timeout.timeout_aborts
+            << "\n";
+  std::cout << "Expected shape: every policy commits the full workload; "
+               "timeout-only has the largest mean wait (it sits out the "
+               "deadline); prevention aborts on suspicion (more aborts than "
+               "detection) but never waits in a cycle.\n";
+  return 0;
+}

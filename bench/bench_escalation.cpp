@@ -1,0 +1,113 @@
+// Experiment E5 — anticipated lock escalation (§4.5, [HDKS89]).
+//
+// Queries read a slice of a large collection (selectivity sweep).  Three
+// strategies compete:
+//  * tuple policy (θ = ∞): one lock per touched element — overhead grows
+//    linearly with the touched count;
+//  * whole-object policy: one big lock — blocks the entire object;
+//  * optimal (anticipated escalation, θ sweep): per-element below θ,
+//    coarse granule above — "the requested granules must be neither too
+//    coarse ... nor too small".
+//
+// Reported per configuration: throughput, locks per transaction, waits.
+
+#include <iostream>
+
+#include "sim/fixtures.h"
+#include "sim/harness.h"
+
+using namespace codlock;
+
+namespace {
+
+sim::WorkloadReport RunOne(sim::CellsFixture& f, query::GranulePolicy policy,
+                           double theta, double selectivity,
+                           const std::string& label,
+                           uint32_t runtime_threshold = 0) {
+  sim::EngineOptions opts;
+  opts.policy = policy;
+  opts.escalation_threshold = theta;
+  opts.runtime_escalation_threshold = runtime_threshold;
+  opts.lock_timeout_ms = 4000;
+  sim::Engine eng(f.catalog.get(), f.store.get(), opts);
+  eng.authorization().Grant(1, f.cells, authz::Right::kRead);
+  eng.authorization().Grant(1, f.cells, authz::Right::kModify);
+
+  sim::WorkloadConfig cfg;
+  cfg.threads = 4;
+  cfg.txns_per_thread = 30;
+  cfg.max_retries = 60;
+  sim::WorkloadReport r =
+      sim::RunWorkload(eng, cfg, [&](int, int, Rng& rng) {
+        sim::TxnScript s;
+        s.user = 1;
+        s.work_us = 200;  // processing time while the slice stays locked
+        query::Query q;
+        q.relation = f.cells;
+        q.object_key = "c" + std::to_string(1 + rng.Uniform(2));
+        q.path = {nf2::PathStep::Field("c_objects")};
+        q.selectivity = selectivity;
+        // 1 in 5 queries writes its slice: granularity now matters for
+        // concurrency, not just overhead.
+        q.kind = rng.Bernoulli(0.2) ? query::AccessKind::kUpdate
+                                    : query::AccessKind::kRead;
+        s.queries = {q};
+        return s;
+      });
+  std::cout << r.Row(label) << "\n";
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E5: anticipated escalation — selectivity x threshold sweep\n"
+               "    (collections of 200 c_objects, 2 hot cells, 4 threads,\n"
+               "     80% slice reads / 20% slice writes)\n\n";
+  sim::CellsParams params;
+  params.num_cells = 2;
+  params.c_objects_per_cell = 200;
+  params.robots_per_cell = 2;
+  sim::CellsFixture f = sim::BuildCellsEffectors(params);
+
+  for (double selectivity : {0.01, 0.1, 0.5, 1.0}) {
+    std::cout << "--- selectivity " << selectivity << " (~"
+              << static_cast<int>(selectivity * 200)
+              << " of 200 elements touched) ---\n";
+    std::cout << sim::WorkloadReport::Header() << "\n";
+    RunOne(f, query::GranulePolicy::kTuple, 0, selectivity, "tuple (no escalation)");
+    RunOne(f, query::GranulePolicy::kWholeObject, 0, selectivity,
+           "whole-object");
+    for (double theta : {4.0, 16.0, 64.0}) {
+      RunOne(f, query::GranulePolicy::kOptimal, theta, selectivity,
+             "optimal theta=" + std::to_string(static_cast<int>(theta)));
+    }
+    std::cout << "\n";
+  }
+  std::cout << "Expected shape: at low selectivity optimal ~= tuple "
+               "(few fine locks, high concurrency); at high selectivity "
+               "optimal ~= whole-object overhead (anticipated escalation) "
+               "while tuple pays hundreds of locks per txn.\n\n";
+
+  // E5b: anticipation vs. run-time escalation ([HDKS89]: "lock escalations
+  // cause immense run-time overhead, and increase highly the probability
+  // for deadlocks ... the number of lock escalations during the check-out
+  // phase should be minimized by requesting in advance appropriate
+  // granules").  The same write-heavy slice workload, escalating at run
+  // time after 16 element locks vs. planning the coarse granule up-front.
+  std::cout << "E5b: anticipated vs run-time escalation (write slices, "
+               "selectivity 0.5)\n";
+  std::cout << sim::WorkloadReport::Header() << "\n";
+  sim::WorkloadReport anticipated = RunOne(
+      f, query::GranulePolicy::kOptimal, 16.0, 0.5, "anticipated (theta=16)");
+  sim::WorkloadReport runtime = RunOne(f, query::GranulePolicy::kTuple, 0,
+                                       0.5, "run-time escalation@16", 16);
+  std::cout << "  -> deadlock aborts: anticipated " << anticipated.deadlock_aborts
+            << " vs run-time " << runtime.deadlock_aborts
+            << "; locks/txn " << anticipated.locks_per_txn() << " vs "
+            << runtime.locks_per_txn() << "\n";
+  std::cout << "Expected shape: run-time escalation pays element locks AND "
+               "the coarse lock, and its mid-flight upgrades deadlock "
+               "against each other; anticipation shows neither.\n";
+  return 0;
+}

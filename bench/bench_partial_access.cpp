@@ -1,0 +1,84 @@
+// Experiment E2 — Q1 ∥ Q2 concurrency (§3.2.1, Fig. 3).
+//
+// "Obviously, Q1 and Q2 access different parts of complex object 'c1'.
+// Consequently, there exists no conflict at the logical level, and Q1 and
+// Q2 could run simultaneously.  Nevertheless, locking 'cells' objects as a
+// whole would serialize Q1 and Q2 unnecessarily."
+//
+// The workload is exactly that: readers run Q1 (all c_objects of one hot
+// cell), writers run Q2-style updates of single robots of the same cell.
+// Expected shape: with the proposed granules throughput scales with
+// threads; with whole-object locking the hot object serializes everything.
+
+#include <iostream>
+
+#include "sim/fixtures.h"
+#include "sim/harness.h"
+
+using namespace codlock;
+
+namespace {
+
+sim::WorkloadReport RunOne(sim::CellsFixture& f, query::GranulePolicy policy,
+                           int threads, const std::string& label) {
+  sim::EngineOptions opts;
+  opts.policy = policy;
+  opts.lock_timeout_ms = 5000;
+  sim::Engine eng(f.catalog.get(), f.store.get(), opts);
+  eng.authorization().Grant(1, f.cells, authz::Right::kRead);
+  eng.authorization().Grant(1, f.cells, authz::Right::kModify);
+  eng.authorization().Grant(1, f.effectors, authz::Right::kRead);
+
+  sim::WorkloadConfig cfg;
+  cfg.threads = threads;
+  cfg.txns_per_thread = 160 / threads;
+  cfg.max_retries = 100;
+  sim::WorkloadReport r =
+      sim::RunWorkload(eng, cfg, [&](int thread, int, Rng& rng) {
+        sim::TxnScript s;
+        s.user = 1;
+        s.work_us = 200;  // think time while holding locks
+        query::Query q = query::MakeQ1(f.cells);
+        if (thread % 2 == 1) {
+          // Writers update one robot each (Q2-style), spread over robots.
+          q = query::MakeQ2(f.cells);
+          q.path = {nf2::PathStep::At("robots",
+                                      static_cast<int64_t>(rng.Uniform(6)))};
+        }
+        s.queries = {q};
+        return s;
+      });
+  std::cout << r.Row(label) << "\n";
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E2: Q1 (read c_objects) ∥ Q2 (update one robot) on the same "
+               "complex object 'c1'\n\n";
+  sim::CellsParams params;
+  params.num_cells = 1;
+  params.c_objects_per_cell = 24;
+  params.robots_per_cell = 6;
+  params.num_effectors = 8;
+  sim::CellsFixture f = sim::BuildCellsEffectors(params);
+
+  std::cout << sim::WorkloadReport::Header() << "\n";
+  for (int threads : {2, 4, 8}) {
+    sim::WorkloadReport prop =
+        RunOne(f, query::GranulePolicy::kOptimal,
+               threads, "proposed granules, " + std::to_string(threads) + "t");
+    sim::WorkloadReport whole =
+        RunOne(f, query::GranulePolicy::kWholeObject,
+               threads, "whole-object,     " + std::to_string(threads) + "t");
+    double speedup = whole.throughput_tps() > 0
+                         ? prop.throughput_tps() / whole.throughput_tps()
+                         : 0;
+    std::cout << "  -> proposed/whole-object throughput = " << speedup
+              << "x\n";
+  }
+  std::cout << "\nExpected shape: >= ~2x once readers and writers contend on "
+               "the hot object; equal at 1 thread.\n";
+  return 0;
+}

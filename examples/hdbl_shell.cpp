@@ -1,0 +1,82 @@
+// hdbl_shell: a tiny interactive shell for the paper's query notation.
+//
+// Reads HDBL-style queries (Fig. 3 syntax) from stdin, one per line,
+// analyzes each (printing its query-specific lock graph, §4.5), executes
+// it under the proposed protocol and reports what was locked and read.
+//
+// Try (one line):
+//   echo "SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id = 'c1'
+//   AND r.robot_id = 'r1' FOR UPDATE" | ./build/examples/hdbl_shell
+//
+// or run it interactively.  Empty line or EOF quits.
+
+#include <iostream>
+#include <string>
+
+#include "query/parser.h"
+#include "sim/engine.h"
+#include "sim/fixtures.h"
+
+using namespace codlock;
+
+int main() {
+  sim::CellsParams params;
+  params.num_cells = 4;
+  params.c_objects_per_cell = 6;
+  params.robots_per_cell = 3;
+  params.num_effectors = 6;
+  sim::CellsFixture f = sim::BuildCellsEffectors(params);
+  sim::Engine eng(f.catalog.get(), f.store.get());
+  // The shell user may modify cells but not the shared effector library —
+  // the rule 4' configuration.
+  eng.authorization().Grant(1, f.cells, authz::Right::kRead);
+  eng.authorization().Grant(1, f.cells, authz::Right::kModify);
+  eng.authorization().Grant(1, f.effectors, authz::Right::kRead);
+
+  std::cout << "codlock HDBL shell — schema: cells(cell_id, c_objects{...}, "
+               "robots[robot_id, trajectory, effectors{ref}]), "
+               "effectors(eff_id, tool)\n"
+            << "Objects: cells c1..c" << params.num_cells << ", robots r1..r"
+            << params.num_cells * params.robots_per_cell << ", effectors "
+            << "e1..e" << params.num_effectors << ".\n"
+            << "Enter a query (empty line quits):\n\n";
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) break;
+    Result<query::Query> q = query::ParseQuery(*f.catalog, line);
+    if (!q.ok()) {
+      std::cout << "  parse error: " << q.status() << "\n\n";
+      continue;
+    }
+    Result<query::QueryPlan> plan = eng.planner().Plan(*q);
+    if (!plan.ok()) {
+      std::cout << "  planning error: " << plan.status() << "\n\n";
+      continue;
+    }
+    std::cout << "Query-specific lock graph (granule "
+              << query::GranulePolicyName(plan->policy)
+              << (plan->per_element ? ", per element" : "") << "):\n"
+              << plan->qslg.ToString(eng.graph());
+
+    txn::Transaction* txn = eng.txn_manager().Begin(1);
+    Result<query::QueryResult> r = eng.RunQuery(*txn, *q);
+    if (!r.ok()) {
+      std::cout << "  execution error: " << r.status() << "\n\n";
+      eng.txn_manager().Abort(txn);
+      continue;
+    }
+    std::vector<lock::HeldLock> held = eng.lock_manager().LocksOf(txn->id());
+    std::cout << "Executed: " << r->objects_visited << " object(s), "
+              << r->values_read << " values read, " << held.size()
+              << " locks held:\n";
+    for (const lock::HeldLock& h : held) {
+      std::cout << "  " << eng.graph().NodeName(h.resource.node) << " [iid "
+                << h.resource.instance << "] <- "
+                << lock::LockModeName(h.mode) << "\n";
+    }
+    eng.txn_manager().Commit(txn);
+    std::cout << "(committed)\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Part library: non-disjoint complex objects sharing standard parts.
+//
+// §1/§2: "part libraries with component parts or with standard parts like
+// bolts and nuts or ICs" are the paper's canonical use of non-disjoint
+// complex objects.  Products reference standard parts; redundancy-free
+// sharing makes the standard-parts relation "high traffic" common data.
+//
+// The example shows the protocol-oriented problem (§3.2.2) live:
+//  * exclusively locking a widely shared standard part is cheap under the
+//    proposed entry-point protocol but needs a full referencing-parents
+//    scan under the traditional DAG protocol;
+//  * the cheap "path-only" shortcut misses from-the-side conflicts, which
+//    the validator exposes.
+//
+// Run:  ./build/examples/part_library
+
+#include <iostream>
+
+#include "proto/sysr_protocol.h"
+#include "proto/validator.h"
+#include "sim/engine.h"
+#include "sim/fixtures.h"
+
+using namespace codlock;
+
+namespace {
+
+sim::SyntheticFixture BuildPartsDatabase(int products, int parts_per_leaf) {
+  sim::SyntheticParams p;
+  p.depth = 2;        // product -> assemblies -> components
+  p.fanout = 4;
+  p.refs_per_leaf = parts_per_leaf;  // components reference standard parts
+  p.num_objects = products;
+  p.num_shared = 16;  // bolts, nuts, ICs, ...
+  p.seed = 2026;
+  return sim::BuildSynthetic(p);
+}
+
+}  // namespace
+
+int main() {
+  sim::SyntheticFixture f = BuildPartsDatabase(/*products=*/32,
+                                               /*parts_per_leaf=*/2);
+  std::cout << "Part database: " << f.store->ObjectCount(f.main_relation)
+            << " products sharing " << f.store->ObjectCount(f.shared_relation)
+            << " standard parts.\n\n";
+
+  logra::LockGraph graph = logra::LockGraph::Build(*f.catalog);
+  nf2::ObjectId part = f.store->ObjectsOf(f.shared_relation)[0];
+
+  // --- Exclusive lock on one shared standard part, both protocols. ---
+  auto x_lock_part = [&](proto::LockProtocol& proto, lock::LockManager& lm,
+                         txn::TxnManager& tm, const std::string& label) {
+    txn::Transaction* t = tm.Begin(1);
+    Result<nf2::ResolvedPath> rp = f.store->Navigate(f.shared_relation, part, {});
+    if (!rp.ok()) return;
+    proto::LockTarget target = proto::MakeTarget(graph, *f.catalog, *rp);
+    Status st = proto.Lock(*t, target, lock::LockMode::kX);
+    std::cout << "  " << label << ": " << (st.ok() ? "granted" : st.ToString())
+              << ", locks taken " << lm.LocksOf(t->id()).size()
+              << ", nodes scanned for parents "
+              << lm.stats().parent_searches.value() << "\n";
+    tm.Commit(t);
+  };
+
+  std::cout << "X-locking one standard part referenced by many products:\n";
+  {
+    lock::LockManager lm;
+    txn::TxnManager tm(&lm);
+    authz::AuthorizationManager az;
+    az.Grant(1, f.shared_relation, authz::Right::kModify);
+    proto::ComplexObjectProtocol proposed(&graph, f.store.get(), &lm, &az);
+    x_lock_part(proposed, lm, tm, "proposed entry-point protocol");
+  }
+  {
+    lock::LockManager lm;
+    txn::TxnManager tm(&lm);
+    proto::SystemRDagProtocol naive(&graph, f.store.get(), &lm);
+    x_lock_part(naive, lm, tm, "traditional DAG (all parents) ");
+  }
+
+  // --- The unsound shortcut: path-only locking misses conflicts. ---
+  std::cout << "\nFrom-the-side access with the all-parents rule given up:\n";
+  {
+    lock::LockManager lm;
+    txn::TxnManager tm(&lm);
+    proto::SystemRDagProtocol::Options o;
+    o.variant = proto::SystemRDagProtocol::Variant::kPathOnly;
+    proto::SystemRDagProtocol naive(&graph, f.store.get(), &lm, o);
+
+    // Reader S-locks a product (its standard parts implicitly covered).
+    txn::Transaction* reader = tm.Begin(1);
+    nf2::ObjectId product = f.store->ObjectsOf(f.main_relation)[0];
+    Result<nf2::ResolvedPath> rp = f.store->Navigate(f.main_relation, product, {});
+    if (rp.ok()) {
+      naive.Lock(*reader, proto::MakeTarget(graph, *f.catalog, *rp),
+                 lock::LockMode::kS);
+    }
+    // Writer X-locks a standard part of that product directly.
+    std::vector<nf2::RefValue> refs = nf2::InstanceStore::CollectRefs(
+        (*f.store->Get(f.main_relation, product))->root);
+    txn::Transaction* writer = tm.Begin(2);
+    Result<nf2::ResolvedPath> wp =
+        f.store->Navigate(refs[0].relation, refs[0].object, {});
+    if (wp.ok()) {
+      naive.Lock(*writer, proto::MakeTarget(graph, *f.catalog, *wp),
+                 lock::LockMode::kX);
+    }
+
+    proto::ProtocolValidator validator(&graph, f.store.get());
+    std::vector<proto::Violation> violations = validator.Check(lm);
+    std::cout << "  both grants coexist; validator found " << violations.size()
+              << " undetected conflict(s):\n";
+    for (size_t i = 0; i < violations.size() && i < 3; ++i) {
+      std::cout << "    " << violations[i].ToString() << "\n";
+    }
+    tm.Commit(reader);
+    tm.Commit(writer);
+  }
+
+  // --- Proposed protocol, same scenario: conflict detected. ---
+  {
+    lock::LockManager lm;
+    txn::TxnManager tm(&lm);
+    authz::AuthorizationManager az;
+    az.Grant(2, f.shared_relation, authz::Right::kModify);
+    proto::ComplexObjectProtocol::Options o;
+    o.wait = false;
+    proto::ComplexObjectProtocol proposed(&graph, f.store.get(), &lm, &az, o);
+
+    txn::Transaction* reader = tm.Begin(1);
+    nf2::ObjectId product = f.store->ObjectsOf(f.main_relation)[0];
+    Result<nf2::ResolvedPath> rp = f.store->Navigate(f.main_relation, product, {});
+    proposed.Lock(*reader, proto::MakeTarget(graph, *f.catalog, *rp),
+                  lock::LockMode::kS);
+
+    std::vector<nf2::RefValue> refs = nf2::InstanceStore::CollectRefs(
+        (*f.store->Get(f.main_relation, product))->root);
+    txn::Transaction* writer = tm.Begin(2);
+    Result<nf2::ResolvedPath> wp =
+        f.store->Navigate(refs[0].relation, refs[0].object, {});
+    Status st = proposed.Lock(*writer, proto::MakeTarget(graph, *f.catalog, *wp),
+                              lock::LockMode::kX);
+    std::cout << "\nProposed protocol, same scenario: writer's X request -> "
+              << st.ToString() << " (conflict detected where it belongs)\n";
+    tm.Commit(reader);
+    tm.Commit(writer);
+  }
+  return 0;
+}

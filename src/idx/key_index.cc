@@ -1,0 +1,172 @@
+#include "idx/key_index.h"
+
+namespace codlock::idx {
+
+using lock::LockMode;
+
+uint64_t OrderedKeyIndex::KeyInstance(const std::string& key) {
+  // FNV-1a; the +∞ sentinel id is reserved (a collision would merely make
+  // one key share the end-of-index lock — conservative, never unsound).
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  if (h == kInfinityInstance) h = 0xC0D10C4ULL;
+  return h;
+}
+
+Status OrderedKeyIndex::BuildFromStore(const nf2::InstanceStore& store) {
+  std::unique_lock latch(latch_);
+  entries_.clear();
+  for (nf2::ObjectId id : store.ObjectsOf(relation_)) {
+    Result<const nf2::Object*> obj = store.Get(relation_, id);
+    if (!obj.ok()) continue;
+    if ((*obj)->key.empty()) {
+      return Status::FailedPrecondition(
+          "relation has keyless objects; cannot build a key index");
+    }
+    entries_[(*obj)->key] = id;
+  }
+  return Status::OK();
+}
+
+Status OrderedKeyIndex::LockEntry(txn::Transaction& txn,
+                                  lock::ResourceId res, LockMode mode) {
+  // Key locks live below the index node, which carries the matching
+  // intention (and the segment/database chain above it — rules 1/2).
+  lock::AcquireOptions opts;
+  opts.duration = txn.lock_duration();
+  const LockMode intention = lock::IntentionFor(mode);
+  // Root-to-leaf: database, segment, index node, entry.
+  std::vector<logra::NodeId> chain = graph_->SuperunitChain(index_node_);
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    CODLOCK_RETURN_IF_ERROR(
+        lm_->Acquire(txn.id(), {*it, 0}, intention, opts));
+  }
+  CODLOCK_RETURN_IF_ERROR(
+      lm_->Acquire(txn.id(), {index_node_, 0}, intention, opts));
+  return lm_->Acquire(txn.id(), res, mode, opts);
+}
+
+lock::ResourceId OrderedKeyIndex::NextKeyResource(
+    const std::string& key) const {
+  std::shared_lock latch(latch_);
+  auto it = entries_.upper_bound(key);
+  if (it == entries_.end()) return InfinityResource();
+  return {index_node_, KeyInstance(it->first)};
+}
+
+Result<nf2::ObjectId> OrderedKeyIndex::Lookup(txn::Transaction& txn,
+                                              const std::string& key,
+                                              LockMode mode) {
+  if (mode != LockMode::kS && mode != LockMode::kX) {
+    return Status::InvalidArgument("index lookup needs S or X");
+  }
+  // Lock first, then read the structure: the entry cannot disappear
+  // between lock and read because removal X-locks it too.
+  bool exists;
+  {
+    std::shared_lock latch(latch_);
+    exists = entries_.contains(key);
+  }
+  if (exists) {
+    CODLOCK_RETURN_IF_ERROR(LockEntry(txn, ResourceFor(key), mode));
+  } else {
+    // Negative lookup: protect the gap so the answer stays "not found"
+    // for the rest of the transaction.
+    CODLOCK_RETURN_IF_ERROR(LockEntry(txn, NextKeyResource(key), mode));
+  }
+  std::shared_lock latch(latch_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return Status::NotFound("key '" + key + "' not in index");
+  }
+  return it->second;
+}
+
+Result<std::vector<std::pair<std::string, nf2::ObjectId>>>
+OrderedKeyIndex::RangeScan(txn::Transaction& txn, const std::string& lo,
+                           const std::string& hi, LockMode mode) {
+  if (mode != LockMode::kS && mode != LockMode::kX) {
+    return Status::InvalidArgument("index scan needs S or X");
+  }
+  if (hi < lo) {
+    return Status::InvalidArgument("range scan with hi < lo");
+  }
+  // Snapshot the keys in range + the next key under the latch, then take
+  // the transaction locks (latches are never held across lock waits).
+  std::vector<std::pair<std::string, nf2::ObjectId>> snapshot;
+  lock::ResourceId next = InfinityResource();
+  {
+    std::shared_lock latch(latch_);
+    for (auto it = entries_.lower_bound(lo); it != entries_.end(); ++it) {
+      if (it->first > hi) {
+        next = {index_node_, KeyInstance(it->first)};
+        break;
+      }
+      snapshot.emplace_back(it->first, it->second);
+    }
+  }
+  for (const auto& [key, obj] : snapshot) {
+    CODLOCK_RETURN_IF_ERROR(LockEntry(txn, ResourceFor(key), mode));
+  }
+  // Next-key lock: the gap beyond `hi` (or end of index).  An insert into
+  // the scanned range would need exactly this lock in X.
+  CODLOCK_RETURN_IF_ERROR(LockEntry(txn, next, mode));
+
+  // Re-read under the latch: entries may have been inserted before our
+  // first lock was granted; the locks now freeze the range.
+  std::vector<std::pair<std::string, nf2::ObjectId>> out;
+  {
+    std::shared_lock latch(latch_);
+    for (auto it = entries_.lower_bound(lo); it != entries_.end(); ++it) {
+      if (it->first > hi) break;
+      out.emplace_back(it->first, it->second);
+    }
+  }
+  return out;
+}
+
+Status OrderedKeyIndex::Insert(txn::Transaction& txn, const std::string& key,
+                               nf2::ObjectId object) {
+  {
+    std::shared_lock latch(latch_);
+    if (entries_.contains(key)) {
+      return Status::AlreadyExists("key '" + key + "' already indexed");
+    }
+  }
+  // X on the new key and on the successor: a scanner protecting the gap
+  // holds S on that successor, so the phantom insert blocks.
+  CODLOCK_RETURN_IF_ERROR(LockEntry(txn, ResourceFor(key), LockMode::kX));
+  CODLOCK_RETURN_IF_ERROR(LockEntry(txn, NextKeyResource(key), LockMode::kX));
+  std::unique_lock latch(latch_);
+  auto [it, inserted] = entries_.emplace(key, object);
+  if (!inserted) {
+    return Status::AlreadyExists("key '" + key +
+                                 "' was indexed concurrently");
+  }
+  return Status::OK();
+}
+
+Status OrderedKeyIndex::Remove(txn::Transaction& txn,
+                               const std::string& key) {
+  {
+    std::shared_lock latch(latch_);
+    if (!entries_.contains(key)) {
+      return Status::NotFound("key '" + key + "' not in index");
+    }
+  }
+  CODLOCK_RETURN_IF_ERROR(LockEntry(txn, ResourceFor(key), LockMode::kX));
+  CODLOCK_RETURN_IF_ERROR(LockEntry(txn, NextKeyResource(key), LockMode::kX));
+  std::unique_lock latch(latch_);
+  entries_.erase(key);
+  return Status::OK();
+}
+
+size_t OrderedKeyIndex::size() const {
+  std::shared_lock latch(latch_);
+  return entries_.size();
+}
+
+}  // namespace codlock::idx

@@ -1,0 +1,124 @@
+/// \file key_index.h
+/// \brief Ordered key index with action-oriented latches and next-key
+/// locking — the §5 future-work item "the integration of indexes into the
+/// proposed technique", combined with "a solution of the phantom problem"
+/// at the predicate level.
+///
+/// Two separate mechanisms, exactly as the paper distinguishes them (§1:
+/// "action-oriented locks, e.g. on indexes [BaSc77], are not addressed" by
+/// transaction locking):
+///
+///  * **Latches** — every structure operation (lookup, scan, insert,
+///    remove) takes a short reader/writer latch for the duration of the
+///    operation only.  Latches protect the index's physical integrity and
+///    are never held across user waits.
+///
+///  * **Key / next-key transaction locks** — index entries are instances
+///    of the relation's *index node* in the lock graph (Fig. 2).  A range
+///    scan S-locks every entry in the range **plus the next entry after
+///    it**; an insert X-locks the new key **and the next existing entry**.
+///    The insert's next-key lock collides with any scanner whose range
+///    covers the gap, so phantoms cannot appear inside a scanned range —
+///    classic key-value locking.
+///
+/// The end-of-index gap is protected by a reserved +∞ sentinel entry.
+
+#ifndef CODLOCK_IDX_KEY_INDEX_H_
+#define CODLOCK_IDX_KEY_INDEX_H_
+
+#include <map>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lock/lock_manager.h"
+#include "logra/lock_graph.h"
+#include "nf2/store.h"
+#include "txn/txn_manager.h"
+#include "util/result.h"
+
+namespace codlock::idx {
+
+/// \brief Ordered (key → object) index of one relation.
+class OrderedKeyIndex {
+ public:
+  /// Creates an empty index for \p rel, locking entries as instances of
+  /// the lock graph's index node.
+  OrderedKeyIndex(const logra::LockGraph* graph, lock::LockManager* lm,
+                  nf2::RelationId rel)
+      : graph_(graph),
+        lm_(lm),
+        relation_(rel),
+        index_node_(graph->IndexNode(rel)) {}
+
+  OrderedKeyIndex(const OrderedKeyIndex&) = delete;
+  OrderedKeyIndex& operator=(const OrderedKeyIndex&) = delete;
+
+  /// Bulk-loads the index from the current store contents (no locks; run
+  /// before the workload, like a CREATE INDEX under an exclusive schema
+  /// lock).
+  Status BuildFromStore(const nf2::InstanceStore& store);
+
+  /// Point lookup: S- or X-locks the entry (mode per the access kind),
+  /// then returns the object id.  Missing keys lock the *gap* (next key),
+  /// so a repeated negative lookup stays negative (no phantom insert).
+  Result<nf2::ObjectId> Lookup(txn::Transaction& txn, const std::string& key,
+                               lock::LockMode mode);
+
+  /// Range scan over [lo, hi]: S/X-locks every entry in the range plus the
+  /// next entry beyond \p hi, then returns the entries.
+  Result<std::vector<std::pair<std::string, nf2::ObjectId>>> RangeScan(
+      txn::Transaction& txn, const std::string& lo, const std::string& hi,
+      lock::LockMode mode);
+
+  /// Inserts (key → object): X-locks the new key and the next existing
+  /// entry (the gap a scanner may have protected), then updates the
+  /// structure under the writer latch.
+  Status Insert(txn::Transaction& txn, const std::string& key,
+                nf2::ObjectId object);
+
+  /// Removes a key: X-locks the entry and its successor (the delete
+  /// merges two gaps), then updates the structure.
+  Status Remove(txn::Transaction& txn, const std::string& key);
+
+  /// Number of entries (excluding the +∞ sentinel).
+  size_t size() const;
+
+  /// Lock resource of \p key's index entry (tests, diagnostics).
+  lock::ResourceId ResourceFor(const std::string& key) const {
+    return {index_node_, KeyInstance(key)};
+  }
+  /// Lock resource of the +∞ sentinel (end-of-index gap).
+  lock::ResourceId InfinityResource() const {
+    return {index_node_, kInfinityInstance};
+  }
+
+  nf2::RelationId relation() const { return relation_; }
+
+ private:
+  /// Instance id of a key's lock resource (stable hash; the +∞ sentinel
+  /// id is reserved).
+  static uint64_t KeyInstance(const std::string& key);
+  static constexpr uint64_t kInfinityInstance = ~0ULL;
+
+  /// Lock resource of the first entry strictly greater than \p key, or
+  /// the +∞ sentinel.  Reads the structure under the reader latch.
+  lock::ResourceId NextKeyResource(const std::string& key) const;
+
+  Status LockEntry(txn::Transaction& txn, lock::ResourceId res,
+                   lock::LockMode mode);
+
+  const logra::LockGraph* graph_;
+  lock::LockManager* lm_;
+  nf2::RelationId relation_;
+  logra::NodeId index_node_;
+
+  /// Action-oriented latch [BaSc77]: short, operation-scoped.
+  mutable std::shared_mutex latch_;
+  std::map<std::string, nf2::ObjectId> entries_;
+};
+
+}  // namespace codlock::idx
+
+#endif  // CODLOCK_IDX_KEY_INDEX_H_

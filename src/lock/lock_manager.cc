@@ -1,0 +1,649 @@
+#include "lock/lock_manager.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace codlock::lock {
+
+std::string_view DeadlockPolicyName(DeadlockPolicy policy) {
+  switch (policy) {
+    case DeadlockPolicy::kDetect:
+      return "detect";
+    case DeadlockPolicy::kWoundWait:
+      return "wound-wait";
+    case DeadlockPolicy::kWaitDie:
+      return "wait-die";
+    case DeadlockPolicy::kTimeoutOnly:
+      return "timeout-only";
+  }
+  return "?";
+}
+
+LockManager::LockManager(Options options)
+    : options_(options),
+      policy_(options.detect_deadlocks ? options.deadlock_policy
+                                       : DeadlockPolicy::kTimeoutOnly),
+      shards_(static_cast<size_t>(std::max(1, options.num_shards))) {}
+
+void LockManager::Wound(TxnId txn) {
+  {
+    std::lock_guard lk(wounded_mu_);
+    if (!wounded_.insert(txn).second) return;
+  }
+  wfg_.Kill(txn, KillReason::kWounded);
+}
+
+bool LockManager::IsWounded(TxnId txn) const {
+  std::lock_guard lk(wounded_mu_);
+  return wounded_.contains(txn);
+}
+
+void LockManager::ClearWound(TxnId txn) {
+  std::lock_guard lk(wounded_mu_);
+  wounded_.erase(txn);
+}
+
+LockManager::~LockManager() = default;
+
+bool LockManager::CompatibleWithHolders(const Entry& entry, TxnId txn,
+                                        LockMode target) {
+  bool compatible = true;
+  for (const Holder& h : entry.holders) {
+    if (h.txn == txn) continue;
+    stats_.compat_tests.Add();
+    if (!Compatible(target, h.mode)) {
+      compatible = false;
+      break;
+    }
+  }
+  if (!compatible) stats_.conflicts.Add();
+  return compatible;
+}
+
+std::vector<TxnId> LockManager::BlockersOf(const Entry& entry, TxnId txn,
+                                           LockMode target,
+                                           const WaiterState* self) const {
+  std::vector<TxnId> blockers;
+  auto add = [&blockers, txn](TxnId t) {
+    if (t == txn) return;
+    if (std::find(blockers.begin(), blockers.end(), t) == blockers.end()) {
+      blockers.push_back(t);
+    }
+  };
+  for (const Holder& h : entry.holders) {
+    if (h.txn != txn && !Compatible(target, h.mode)) add(h.txn);
+  }
+  if (self == nullptr || !self->is_conversion) {
+    // FIFO: a regular request is also gated by every earlier queued waiter.
+    for (const auto& w : entry.waiters) {
+      if (w.get() == self) break;
+      if (!w->granted &&
+          w->killed.load(std::memory_order_relaxed) == KillReason::kNone) {
+        add(w->txn);
+      }
+    }
+  }
+  return blockers;
+}
+
+bool LockManager::GrantWaiters(Entry& entry) {
+  bool any = false;
+  for (auto it = entry.waiters.begin(); it != entry.waiters.end();) {
+    const std::shared_ptr<WaiterState>& w = *it;
+    if (w->killed.load(std::memory_order_relaxed) != KillReason::kNone) {
+      // The victim cleans up its own queue entry; skip it here.
+      ++it;
+      continue;
+    }
+    if (!CompatibleWithHolders(entry, w->txn, w->wanted)) {
+      // Strict FIFO: nobody behind a blocked waiter is granted.
+      break;
+    }
+    Holder* mine = nullptr;
+    for (Holder& h : entry.holders) {
+      if (h.txn == w->txn) {
+        mine = &h;
+        break;
+      }
+    }
+    if (mine != nullptr) {
+      mine->mode = Supremum(mine->mode, w->wanted);
+      mine->count++;
+      if (w->duration == LockDuration::kLong) {
+        mine->duration = LockDuration::kLong;
+      }
+    } else {
+      entry.holders.push_back(Holder{w->txn, w->wanted, 1, w->duration});
+      int64_t held =
+          stats_.held_locks.fetch_add(1, std::memory_order_relaxed) + 1;
+      int64_t prev = stats_.max_held_locks.load(std::memory_order_relaxed);
+      while (prev < held && !stats_.max_held_locks.compare_exchange_weak(
+                                prev, held, std::memory_order_relaxed)) {
+      }
+    }
+    w->granted = true;
+    any = true;
+    it = entry.waiters.erase(it);
+  }
+  return any;
+}
+
+void LockManager::EraseWaiter(Entry& entry, const WaiterState* w) {
+  for (auto it = entry.waiters.begin(); it != entry.waiters.end(); ++it) {
+    if (it->get() == w) {
+      entry.waiters.erase(it);
+      return;
+    }
+  }
+}
+
+void LockManager::RecordHeld(TxnId txn, ResourceId resource) {
+  std::lock_guard lk(registry_mu_);
+  auto& v = txn_locks_[txn];
+  if (std::find(v.begin(), v.end(), resource) == v.end()) {
+    v.push_back(resource);
+  }
+}
+
+void LockManager::ForgetHeld(TxnId txn, ResourceId resource) {
+  std::lock_guard lk(registry_mu_);
+  auto it = txn_locks_.find(txn);
+  if (it == txn_locks_.end()) return;
+  auto& v = it->second;
+  v.erase(std::remove(v.begin(), v.end(), resource), v.end());
+  if (v.empty()) txn_locks_.erase(it);
+}
+
+Status LockManager::Acquire(TxnId txn, ResourceId resource, LockMode mode,
+                            const AcquireOptions& options) {
+  if (txn == kInvalidTxn) {
+    return Status::InvalidArgument("invalid transaction id");
+  }
+  if (mode == LockMode::kNL) {
+    return Status::InvalidArgument("cannot acquire mode NL");
+  }
+  stats_.requests.Add();
+
+  if (policy_ == DeadlockPolicy::kWoundWait && IsWounded(txn)) {
+    return Status::Aborted("transaction " + std::to_string(txn) +
+                           " was wounded by an older transaction");
+  }
+
+  Shard& shard = ShardFor(resource);
+  std::unique_lock lk(shard.mu);
+  Entry& entry = shard.entries[resource];
+
+  Holder* mine = nullptr;
+  for (Holder& h : entry.holders) {
+    if (h.txn == txn) {
+      mine = &h;
+      break;
+    }
+  }
+
+  // Re-entrant acquisition of a covered mode: bump the count.
+  if (mine != nullptr && Covers(mine->mode, mode)) {
+    mine->count++;
+    if (options.duration == LockDuration::kLong) {
+      mine->duration = LockDuration::kLong;
+    }
+    stats_.grants.Add();
+    stats_.immediate_grants.Add();
+    return Status::OK();
+  }
+
+  const LockMode target =
+      mine != nullptr ? Supremum(mine->mode, mode) : mode;
+  const bool is_conversion = mine != nullptr;
+
+  const bool queue_clear = [&] {
+    if (is_conversion) return true;  // conversions jump the queue
+    for (const auto& w : entry.waiters) {
+      if (!w->granted &&
+          w->killed.load(std::memory_order_relaxed) == KillReason::kNone) {
+        return false;
+      }
+    }
+    return true;
+  }();
+
+  if (queue_clear && CompatibleWithHolders(entry, txn, target)) {
+    if (mine != nullptr) {
+      mine->mode = target;
+      mine->count++;
+      if (options.duration == LockDuration::kLong) {
+        mine->duration = LockDuration::kLong;
+      }
+    } else {
+      entry.holders.push_back(Holder{txn, target, 1, options.duration});
+      int64_t held =
+          stats_.held_locks.fetch_add(1, std::memory_order_relaxed) + 1;
+      int64_t prev = stats_.max_held_locks.load(std::memory_order_relaxed);
+      while (prev < held && !stats_.max_held_locks.compare_exchange_weak(
+                                prev, held, std::memory_order_relaxed)) {
+      }
+      lk.unlock();
+      RecordHeld(txn, resource);
+      stats_.grants.Add();
+      stats_.immediate_grants.Add();
+      return Status::OK();
+    }
+    stats_.grants.Add();
+    stats_.immediate_grants.Add();
+    return Status::OK();
+  }
+
+  if (!options.wait) {
+    if (entry.holders.empty() && entry.waiters.empty()) {
+      shard.entries.erase(resource);
+    }
+    return Status::Conflict("lock " + std::string(LockModeName(mode)) +
+                            " on " + resource.ToString() +
+                            " conflicts and wait=false");
+  }
+
+  // Enqueue and wait.
+  auto waiter = std::make_shared<WaiterState>();
+  waiter->txn = txn;
+  waiter->wanted = target;
+  waiter->is_conversion = is_conversion;
+  waiter->duration = options.duration;
+  if (is_conversion) {
+    entry.waiters.push_front(waiter);
+  } else {
+    entry.waiters.push_back(waiter);
+  }
+  stats_.waits.Add();
+
+  const uint64_t timeout_ms =
+      options.timeout_ms != 0 ? options.timeout_ms : options_.default_timeout_ms;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  Stopwatch waited;
+
+  auto cleanup_failed = [&](Entry& e) {
+    EraseWaiter(e, waiter.get());
+    wfg_.Remove(txn);
+    if (GrantWaiters(e)) shard.cv.notify_all();
+    if (e.holders.empty() && e.waiters.empty()) shard.entries.erase(resource);
+    stats_.wait_ns.Record(waited.ElapsedNanos());
+  };
+
+  while (true) {
+    switch (policy_) {
+      case DeadlockPolicy::kDetect: {
+        std::vector<TxnId> blockers =
+            BlockersOf(entry, txn, target, waiter.get());
+        TxnId victim = wfg_.UpdateAndCheck(txn, std::move(blockers), waiter,
+                                           &shard.cv);
+        if (victim == txn) {
+          cleanup_failed(entry);
+          stats_.deadlocks.Add();
+          return Status::Deadlock("transaction " + std::to_string(txn) +
+                                  " chosen as deadlock victim on " +
+                                  resource.ToString());
+        }
+        break;
+      }
+      case DeadlockPolicy::kWaitDie: {
+        // A requester may wait only for younger transactions; blocked by
+        // anything older, it dies (restarts) instead.
+        for (TxnId blocker : BlockersOf(entry, txn, target, waiter.get())) {
+          if (blocker < txn) {
+            cleanup_failed(entry);
+            stats_.deadlocks.Add();
+            return Status::Deadlock(
+                "wait-die: transaction " + std::to_string(txn) +
+                " is younger than blocker " + std::to_string(blocker));
+          }
+        }
+        wfg_.Register(txn, waiter, &shard.cv);
+        break;
+      }
+      case DeadlockPolicy::kWoundWait: {
+        // An older requester wounds every younger conflicting transaction
+        // and then waits for them to release at their (forced) EOT.
+        for (TxnId blocker : BlockersOf(entry, txn, target, waiter.get())) {
+          if (blocker > txn) Wound(blocker);
+        }
+        wfg_.Register(txn, waiter, &shard.cv);
+        break;
+      }
+      case DeadlockPolicy::kTimeoutOnly:
+        break;
+    }
+
+    bool in_time = shard.cv.wait_until(lk, deadline, [&] {
+      return waiter->granted || waiter->killed.load(
+                                    std::memory_order_relaxed) !=
+                                    KillReason::kNone;
+    });
+
+    if (waiter->granted) {
+      wfg_.Remove(txn);
+      stats_.grants.Add();
+      stats_.wait_ns.Record(waited.ElapsedNanos());
+      if (!is_conversion) {
+        lk.unlock();
+        RecordHeld(txn, resource);
+      }
+      return Status::OK();
+    }
+    KillReason reason = waiter->killed.load(std::memory_order_relaxed);
+    if (reason != KillReason::kNone) {
+      cleanup_failed(entry);
+      stats_.deadlocks.Add();
+      if (reason == KillReason::kWounded) {
+        return Status::Aborted("transaction " + std::to_string(txn) +
+                               " wounded while waiting on " +
+                               resource.ToString());
+      }
+      return Status::Deadlock("transaction " + std::to_string(txn) +
+                              " killed as deadlock victim on " +
+                              resource.ToString());
+    }
+    if (!in_time) {
+      cleanup_failed(entry);
+      stats_.timeouts.Add();
+      return Status::Timeout("lock wait on " + resource.ToString() +
+                             " exceeded " + std::to_string(timeout_ms) +
+                             "ms");
+    }
+    // Spurious wake-up or waits-for refresh: loop.
+  }
+}
+
+Status LockManager::Release(TxnId txn, ResourceId resource) {
+  Shard& shard = ShardFor(resource);
+  std::unique_lock lk(shard.mu);
+  auto it = shard.entries.find(resource);
+  if (it == shard.entries.end()) {
+    return Status::NotFound("no lock entry for " + resource.ToString());
+  }
+  Entry& entry = it->second;
+  for (size_t i = 0; i < entry.holders.size(); ++i) {
+    if (entry.holders[i].txn != txn) continue;
+    stats_.releases.Add();
+    if (--entry.holders[i].count > 0) {
+      return Status::OK();
+    }
+    entry.holders.erase(entry.holders.begin() + static_cast<long>(i));
+    stats_.held_locks.fetch_sub(1, std::memory_order_relaxed);
+    bool granted_any = GrantWaiters(entry);
+    bool erase_entry = entry.holders.empty() && entry.waiters.empty();
+    if (erase_entry) shard.entries.erase(it);
+    if (granted_any) shard.cv.notify_all();
+    lk.unlock();
+    ForgetHeld(txn, resource);
+    return Status::OK();
+  }
+  return Status::NotFound("transaction " + std::to_string(txn) +
+                          " holds no lock on " + resource.ToString());
+}
+
+size_t LockManager::ReleaseAll(TxnId txn) {
+  std::vector<ResourceId> held;
+  {
+    std::lock_guard lk(registry_mu_);
+    auto it = txn_locks_.find(txn);
+    if (it != txn_locks_.end()) held = it->second;
+  }
+  size_t released = 0;
+  for (const ResourceId& resource : held) {
+    Shard& shard = ShardFor(resource);
+    std::unique_lock lk(shard.mu);
+    auto it = shard.entries.find(resource);
+    if (it == shard.entries.end()) continue;
+    Entry& entry = it->second;
+    for (size_t i = 0; i < entry.holders.size(); ++i) {
+      if (entry.holders[i].txn != txn) continue;
+      entry.holders.erase(entry.holders.begin() + static_cast<long>(i));
+      stats_.held_locks.fetch_sub(1, std::memory_order_relaxed);
+      stats_.releases.Add();
+      ++released;
+      bool granted_any = GrantWaiters(entry);
+      if (entry.holders.empty() && entry.waiters.empty()) {
+        shard.entries.erase(it);
+      }
+      if (granted_any) shard.cv.notify_all();
+      break;
+    }
+  }
+  {
+    std::lock_guard lk(registry_mu_);
+    txn_locks_.erase(txn);
+  }
+  ClearWound(txn);
+  return released;
+}
+
+Status LockManager::Downgrade(TxnId txn, ResourceId resource, LockMode mode) {
+  Shard& shard = ShardFor(resource);
+  std::unique_lock lk(shard.mu);
+  auto it = shard.entries.find(resource);
+  if (it == shard.entries.end()) {
+    return Status::NotFound("no lock entry for " + resource.ToString());
+  }
+  for (Holder& h : it->second.holders) {
+    if (h.txn != txn) continue;
+    if (!Covers(h.mode, mode)) {
+      return Status::InvalidArgument(
+          "cannot downgrade " + std::string(LockModeName(h.mode)) + " to " +
+          std::string(LockModeName(mode)));
+    }
+    h.mode = mode;
+    if (GrantWaiters(it->second)) shard.cv.notify_all();
+    return Status::OK();
+  }
+  return Status::NotFound("transaction " + std::to_string(txn) +
+                          " holds no lock on " + resource.ToString());
+}
+
+LockMode LockManager::HeldMode(TxnId txn, ResourceId resource) const {
+  Shard& shard = ShardFor(resource);
+  std::lock_guard lk(shard.mu);
+  auto it = shard.entries.find(resource);
+  if (it == shard.entries.end()) return LockMode::kNL;
+  for (const Holder& h : it->second.holders) {
+    if (h.txn == txn) return h.mode;
+  }
+  return LockMode::kNL;
+}
+
+LockMode LockManager::GroupMode(ResourceId resource) const {
+  Shard& shard = ShardFor(resource);
+  std::lock_guard lk(shard.mu);
+  auto it = shard.entries.find(resource);
+  if (it == shard.entries.end()) return LockMode::kNL;
+  LockMode m = LockMode::kNL;
+  for (const Holder& h : it->second.holders) m = Supremum(m, h.mode);
+  return m;
+}
+
+std::vector<HeldLock> LockManager::LocksOf(TxnId txn) const {
+  std::vector<ResourceId> held;
+  {
+    std::lock_guard lk(registry_mu_);
+    auto it = txn_locks_.find(txn);
+    if (it != txn_locks_.end()) held = it->second;
+  }
+  std::vector<HeldLock> out;
+  out.reserve(held.size());
+  for (const ResourceId& resource : held) {
+    Shard& shard = ShardFor(resource);
+    std::lock_guard lk(shard.mu);
+    auto it = shard.entries.find(resource);
+    if (it == shard.entries.end()) continue;
+    for (const Holder& h : it->second.holders) {
+      if (h.txn == txn) {
+        out.push_back(HeldLock{resource, h.mode, h.duration});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+size_t LockManager::NumEntries() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lk(shard.mu);
+    n += shard.entries.size();
+  }
+  return n;
+}
+
+std::vector<LongLockRecord> LockManager::SnapshotLongLocks() const {
+  std::vector<LongLockRecord> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lk(shard.mu);
+    for (const auto& [res, entry] : shard.entries) {
+      for (const Holder& h : entry.holders) {
+        if (h.duration == LockDuration::kLong) {
+          out.push_back(LongLockRecord{h.txn, res, h.mode});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<LongLockRecord> LockManager::SnapshotAllLocks() const {
+  std::vector<LongLockRecord> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lk(shard.mu);
+    for (const auto& [res, entry] : shard.entries) {
+      for (const Holder& h : entry.holders) {
+        out.push_back(LongLockRecord{h.txn, res, h.mode});
+      }
+    }
+  }
+  return out;
+}
+
+Status LockManager::RestoreLongLocks(
+    const std::vector<LongLockRecord>& records) {
+  for (const LongLockRecord& rec : records) {
+    Shard& shard = ShardFor(rec.resource);
+    std::unique_lock lk(shard.mu);
+    Entry& entry = shard.entries[rec.resource];
+    if (!CompatibleWithHolders(entry, rec.txn, rec.mode)) {
+      return Status::Internal("long-lock restore conflict on " +
+                              rec.resource.ToString());
+    }
+    Holder* mine = nullptr;
+    for (Holder& h : entry.holders) {
+      if (h.txn == rec.txn) {
+        mine = &h;
+        break;
+      }
+    }
+    if (mine != nullptr) {
+      mine->mode = Supremum(mine->mode, rec.mode);
+      mine->duration = LockDuration::kLong;
+    } else {
+      entry.holders.push_back(Holder{rec.txn, rec.mode, 1,
+                                     LockDuration::kLong});
+      stats_.held_locks.fetch_add(1, std::memory_order_relaxed);
+      lk.unlock();
+      RecordHeld(rec.txn, rec.resource);
+    }
+  }
+  return Status::OK();
+}
+
+TxnId LockManager::WaitsForGraph::UpdateAndCheck(
+    TxnId self, std::vector<TxnId> blockers,
+    std::shared_ptr<WaiterState> waiter, std::condition_variable* cv) {
+  std::lock_guard lk(mu_);
+  WaitRec& rec = waiting_[self];
+  rec.blockers = std::move(blockers);
+  rec.waiter = std::move(waiter);
+  rec.cv = cv;
+
+  std::vector<TxnId> cycle;
+  if (!FindCycle(self, &cycle)) return kInvalidTxn;
+
+  TxnId victim = *std::max_element(cycle.begin(), cycle.end());
+  if (victim != self) {
+    auto it = waiting_.find(victim);
+    if (it == waiting_.end()) {
+      // Should be impossible (all cycle members wait); fall back to self.
+      victim = self;
+    } else {
+      it->second.waiter->killed.store(KillReason::kDeadlockVictim,
+                                      std::memory_order_relaxed);
+      it->second.cv->notify_all();
+    }
+  }
+  return victim;
+}
+
+void LockManager::WaitsForGraph::Register(TxnId self,
+                                          std::shared_ptr<WaiterState> waiter,
+                                          std::condition_variable* cv) {
+  std::lock_guard lk(mu_);
+  WaitRec& rec = waiting_[self];
+  rec.blockers.clear();
+  rec.waiter = std::move(waiter);
+  rec.cv = cv;
+}
+
+void LockManager::WaitsForGraph::Kill(TxnId txn, KillReason reason) {
+  std::lock_guard lk(mu_);
+  auto it = waiting_.find(txn);
+  if (it == waiting_.end()) return;
+  it->second.waiter->killed.store(reason, std::memory_order_relaxed);
+  it->second.cv->notify_all();
+}
+
+void LockManager::WaitsForGraph::Remove(TxnId self) {
+  std::lock_guard lk(mu_);
+  waiting_.erase(self);
+}
+
+bool LockManager::WaitsForGraph::FindCycle(TxnId self,
+                                           std::vector<TxnId>* cycle) const {
+  // Iterative DFS from `self`, looking for a path back to `self`.
+  std::vector<TxnId> path;
+  std::unordered_set<TxnId> visited;
+
+  struct Frame {
+    TxnId txn;
+    size_t next_edge;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({self, 0});
+  path.push_back(self);
+  visited.insert(self);
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    auto it = waiting_.find(frame.txn);
+    const std::vector<TxnId>* edges =
+        it != waiting_.end() ? &it->second.blockers : nullptr;
+    // Skip edges of already-killed victims; their requests are unwinding.
+    if (edges != nullptr && it->second.waiter != nullptr &&
+        it->second.waiter->killed.load(std::memory_order_relaxed) !=
+            KillReason::kNone) {
+      edges = nullptr;
+    }
+    if (edges == nullptr || frame.next_edge >= edges->size()) {
+      stack.pop_back();
+      path.pop_back();
+      continue;
+    }
+    TxnId next = (*edges)[frame.next_edge++];
+    if (next == self) {
+      *cycle = path;
+      return true;
+    }
+    if (visited.insert(next).second) {
+      stack.push_back({next, 0});
+      path.push_back(next);
+    }
+  }
+  return false;
+}
+
+}  // namespace codlock::lock

@@ -1,0 +1,269 @@
+/// \file lock_manager.h
+/// \brief Transaction-oriented lock manager.
+///
+/// This is the "lock manager" of §4.1: protocols determine *which* granules
+/// to lock in *which* mode; the lock manager tests whether a request can be
+/// granted, blocks conflicting requests, detects deadlocks on the waits-for
+/// graph, and administrates held locks per transaction.
+///
+/// Features:
+///  * modes IS/IX/S/SIX/X with the classical compatibility matrix,
+///  * re-entrant acquisition and in-place conversion (upgrade to the
+///    supremum of held and requested mode; conversions jump the queue),
+///  * FIFO-fair waiting (no reader slips past a queued writer),
+///  * deadlock detection: a waits-for graph is maintained while requests
+///    block; cycles are resolved by aborting the *youngest* transaction in
+///    the cycle (its pending request fails with `StatusCode::kDeadlock`),
+///  * per-request deadlines (timeout as a backstop),
+///  * short and *long* lock durations; long locks survive a simulated
+///    system crash via `SnapshotLongLocks`/`RestoreLongLocks` (§3.1:
+///    "long locks must survive system shutdowns and system crashes").
+
+#ifndef CODLOCK_LOCK_LOCK_MANAGER_H_
+#define CODLOCK_LOCK_LOCK_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lock/mode.h"
+#include "lock/resource.h"
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace codlock::lock {
+
+/// Lifetime class of a lock (§3.1).
+enum class LockDuration : uint8_t {
+  kShort,  ///< released at EOT; lost on crash
+  kLong    ///< survives shutdowns/crashes (check-out locks)
+};
+
+/// How the manager deals with (potential) deadlocks.
+enum class DeadlockPolicy : uint8_t {
+  /// Maintain a waits-for graph while requests block; on a cycle, abort
+  /// the youngest member (its pending request fails with kDeadlock).
+  kDetect,
+  /// Wound-wait (preemptive prevention): an older requester *wounds*
+  /// younger conflicting transactions — their pending waits are killed
+  /// and their next acquire fails with kAborted; a younger requester
+  /// waits.  No cycles can form.
+  kWoundWait,
+  /// Wait-die (non-preemptive prevention): an older requester may wait; a
+  /// younger requester dies immediately (kDeadlock) when blocked by an
+  /// older transaction.  No cycles can form.
+  kWaitDie,
+  /// No prevention or detection; the per-request deadline is the only way
+  /// out of a deadlock (kTimeout).
+  kTimeoutOnly,
+};
+
+std::string_view DeadlockPolicyName(DeadlockPolicy policy);
+
+/// Per-request options.
+struct AcquireOptions {
+  LockDuration duration = LockDuration::kShort;
+  /// If false, a conflicting request fails immediately with kConflict.
+  bool wait = true;
+  /// Deadline for a waiting request, in milliseconds (0 = manager default).
+  uint64_t timeout_ms = 0;
+};
+
+/// A lock held by a transaction (inspection, Fig. 7 reproduction).
+struct HeldLock {
+  ResourceId resource;
+  LockMode mode = LockMode::kNL;
+  LockDuration duration = LockDuration::kShort;
+};
+
+/// Snapshot record of a long lock (crash survival).
+struct LongLockRecord {
+  TxnId txn = kInvalidTxn;
+  ResourceId resource;
+  LockMode mode = LockMode::kNL;
+};
+
+/// \brief The lock manager.
+class LockManager {
+ public:
+  struct Options {
+    int num_shards = 16;
+    /// Legacy switch: false maps to DeadlockPolicy::kTimeoutOnly.
+    bool detect_deadlocks = true;
+    DeadlockPolicy deadlock_policy = DeadlockPolicy::kDetect;
+    uint64_t default_timeout_ms = 10'000;
+  };
+
+  explicit LockManager(Options options);
+  LockManager() : LockManager(Options()) {}
+  ~LockManager();
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Requests \p mode on \p resource for \p txn.
+  ///
+  /// Re-entrant: if the transaction already holds the resource, the held
+  /// mode is upgraded to sup(held, requested) — waiting for conflicting
+  /// holders to drain if necessary.  Returns:
+  ///  * OK         — granted,
+  ///  * kConflict  — incompatible and `options.wait == false`,
+  ///  * kDeadlock  — this request was chosen as deadlock victim,
+  ///  * kTimeout   — deadline expired while waiting.
+  Status Acquire(TxnId txn, ResourceId resource, LockMode mode,
+                 const AcquireOptions& options = AcquireOptions());
+
+  /// Releases one acquisition of \p resource (locks are counted; the entry
+  /// disappears when the count reaches zero).  The held *mode* is not
+  /// recomputed on partial release; use `Downgrade` for de-escalation.
+  Status Release(TxnId txn, ResourceId resource);
+
+  /// Releases every lock of \p txn (EOT).  Returns the number released.
+  size_t ReleaseAll(TxnId txn);
+
+  /// Reduces the held mode of \p txn on \p resource to \p mode
+  /// (de-escalation; mode must be weaker than or equal to the held mode).
+  Status Downgrade(TxnId txn, ResourceId resource, LockMode mode);
+
+  /// Mode currently held by \p txn on \p resource (kNL if none).
+  LockMode HeldMode(TxnId txn, ResourceId resource) const;
+
+  /// Effective *granted group* mode of \p resource: supremum over all
+  /// holders (kNL if the resource is unlocked).
+  LockMode GroupMode(ResourceId resource) const;
+
+  /// All locks currently held by \p txn.
+  std::vector<HeldLock> LocksOf(TxnId txn) const;
+
+  /// Number of resources with at least one holder or waiter.
+  size_t NumEntries() const;
+
+  /// All long locks currently held (for the `LongLockStore`).
+  std::vector<LongLockRecord> SnapshotLongLocks() const;
+
+  /// All locks currently held, regardless of duration (used by the
+  /// protocol validator to audit global consistency of the grant set).
+  std::vector<LongLockRecord> SnapshotAllLocks() const;
+
+  /// Re-installs long locks after a crash into an otherwise empty manager.
+  Status RestoreLongLocks(const std::vector<LongLockRecord>& records);
+
+  LockStats& stats() { return stats_; }
+  const LockStats& stats() const { return stats_; }
+
+ private:
+  enum class KillReason : uint8_t { kNone, kDeadlockVictim, kWounded };
+
+  struct WaiterState {
+    TxnId txn = kInvalidTxn;
+    LockMode wanted = LockMode::kNL;
+    bool is_conversion = false;
+    bool granted = false;
+    LockDuration duration = LockDuration::kShort;
+    std::atomic<KillReason> killed{KillReason::kNone};
+  };
+
+  struct Holder {
+    TxnId txn = kInvalidTxn;
+    LockMode mode = LockMode::kNL;
+    uint32_t count = 0;
+    LockDuration duration = LockDuration::kShort;
+  };
+
+  struct Entry {
+    std::vector<Holder> holders;
+    std::deque<std::shared_ptr<WaiterState>> waiters;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<ResourceId, Entry, ResourceIdHash> entries;
+  };
+
+  /// Waits-for graph over currently blocked transactions.
+  class WaitsForGraph {
+   public:
+    struct WaitRec {
+      std::vector<TxnId> blockers;
+      std::shared_ptr<WaiterState> waiter;
+      std::condition_variable* cv = nullptr;
+    };
+
+    /// Registers/updates the blocked set of \p self and searches for a
+    /// cycle through \p self.  If one is found, selects the youngest
+    /// member as victim: if the victim is another waiting transaction its
+    /// waiter is killed and its cv notified; the victim id is returned
+    /// either way (kInvalidTxn if no cycle).
+    TxnId UpdateAndCheck(TxnId self, std::vector<TxnId> blockers,
+                         std::shared_ptr<WaiterState> waiter,
+                         std::condition_variable* cv);
+
+    /// Registers \p self as waiting without cycle detection (prevention
+    /// policies still need the registry so wounds can find the waiter).
+    void Register(TxnId self, std::shared_ptr<WaiterState> waiter,
+                  std::condition_variable* cv);
+
+    /// Kills the pending wait of \p txn (wound-wait preemption); no-op if
+    /// it is not currently waiting.
+    void Kill(TxnId txn, KillReason reason);
+
+    void Remove(TxnId self);
+
+   private:
+    bool FindCycle(TxnId self, std::vector<TxnId>* cycle) const;
+
+    std::mutex mu_;
+    std::unordered_map<TxnId, WaitRec> waiting_;
+  };
+
+  Shard& ShardFor(ResourceId r) const {
+    return shards_[ResourceIdHash{}(r) % shards_.size()];
+  }
+
+  /// Grant test for (txn, target mode) against all *other* holders.
+  /// Counts compatibility tests in stats.
+  bool CompatibleWithHolders(const Entry& entry, TxnId txn, LockMode target);
+
+  /// Blockers of (txn, target mode): other holders with incompatible modes,
+  /// plus (for non-conversion requests) earlier queued waiters.
+  std::vector<TxnId> BlockersOf(const Entry& entry, TxnId txn, LockMode target,
+                                const WaiterState* self) const;
+
+  /// Promotes grantable waiters at the front of the queue. Called with the
+  /// shard mutex held whenever holders change. Returns true if any waiter
+  /// was granted (caller notifies the shard cv).
+  bool GrantWaiters(Entry& entry);
+
+  void EraseWaiter(Entry& entry, const WaiterState* w);
+
+  void RecordHeld(TxnId txn, ResourceId resource);
+  void ForgetHeld(TxnId txn, ResourceId resource);
+
+  /// Marks \p txn wounded; its next acquire (and current waits) fail.
+  void Wound(TxnId txn);
+  bool IsWounded(TxnId txn) const;
+  void ClearWound(TxnId txn);
+
+  Options options_;
+  DeadlockPolicy policy_ = DeadlockPolicy::kDetect;
+  mutable std::vector<Shard> shards_;
+  WaitsForGraph wfg_;
+  LockStats stats_;
+
+  mutable std::mutex wounded_mu_;
+  std::unordered_set<TxnId> wounded_;
+
+  mutable std::mutex registry_mu_;
+  std::unordered_map<TxnId, std::vector<ResourceId>> txn_locks_;
+};
+
+}  // namespace codlock::lock
+
+#endif  // CODLOCK_LOCK_LOCK_MANAGER_H_

@@ -1,0 +1,82 @@
+#include "lock/long_lock_store.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace codlock::lock {
+
+void LongLockStore::Save(const LockManager& manager) {
+  std::vector<LongLockRecord> snapshot = manager.SnapshotLongLocks();
+  std::lock_guard lk(mu_);
+  records_ = std::move(snapshot);
+}
+
+Status LongLockStore::Restore(LockManager* manager) const {
+  std::vector<LongLockRecord> snapshot;
+  {
+    std::lock_guard lk(mu_);
+    snapshot = records_;
+  }
+  return manager->RestoreLongLocks(snapshot);
+}
+
+std::vector<LongLockRecord> LongLockStore::records() const {
+  std::lock_guard lk(mu_);
+  return records_;
+}
+
+size_t LongLockStore::size() const {
+  std::lock_guard lk(mu_);
+  return records_.size();
+}
+
+std::string LongLockStore::Serialize() const {
+  std::lock_guard lk(mu_);
+  std::ostringstream os;
+  for (const LongLockRecord& r : records_) {
+    os << r.txn << ' ' << r.resource.node << ' ' << r.resource.instance << ' '
+       << static_cast<int>(r.mode) << '\n';
+  }
+  return os.str();
+}
+
+Status LongLockStore::Deserialize(const std::string& data) {
+  std::vector<LongLockRecord> parsed;
+  std::istringstream is(data);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    LongLockRecord r;
+    int mode = 0;
+    if (!(ls >> r.txn >> r.resource.node >> r.resource.instance >> mode)) {
+      return Status::InvalidArgument("malformed long-lock record: " + line);
+    }
+    if (mode < 0 || mode >= kNumModes) {
+      return Status::InvalidArgument("invalid lock mode in record: " + line);
+    }
+    r.mode = static_cast<LockMode>(mode);
+    parsed.push_back(r);
+  }
+  std::lock_guard lk(mu_);
+  records_ = std::move(parsed);
+  return Status::OK();
+}
+
+Status LongLockStore::WriteToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot open '" + path + "' for writing");
+  out << Serialize();
+  if (!out.good()) return Status::Internal("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Status LongLockStore::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Deserialize(buf.str());
+}
+
+}  // namespace codlock::lock

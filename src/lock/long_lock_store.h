@@ -1,0 +1,61 @@
+/// \file long_lock_store.h
+/// \brief Stable storage for long locks.
+///
+/// §3.1: "In contrast to traditional short locks, long locks must survive
+/// system shutdowns and system crashes."  The `LongLockStore` models the
+/// stable storage a server would keep its check-out locks in: the server
+/// saves a snapshot on every check-out/check-in, and after a (simulated)
+/// crash a fresh `LockManager` is reloaded from it, while all short locks
+/// are lost.
+///
+/// Snapshots serialize to a simple line format so they can optionally be
+/// written to and re-read from a file.
+
+#ifndef CODLOCK_LOCK_LONG_LOCK_STORE_H_
+#define CODLOCK_LOCK_LONG_LOCK_STORE_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "lock/lock_manager.h"
+#include "util/result.h"
+
+namespace codlock::lock {
+
+/// \brief Durable store of long-lock records.
+class LongLockStore {
+ public:
+  /// Replaces the stored snapshot with the long locks currently held in
+  /// \p manager.
+  void Save(const LockManager& manager);
+
+  /// Re-installs the stored snapshot into \p manager (normally a freshly
+  /// constructed one, after a crash).
+  Status Restore(LockManager* manager) const;
+
+  /// Records currently in stable storage.
+  std::vector<LongLockRecord> records() const;
+
+  size_t size() const;
+
+  /// Serializes the snapshot ("txn node instance mode\n" per record).
+  std::string Serialize() const;
+
+  /// Replaces the snapshot by parsing \p data (format of `Serialize`).
+  Status Deserialize(const std::string& data);
+
+  /// Writes the snapshot to \p path.
+  Status WriteToFile(const std::string& path) const;
+
+  /// Loads the snapshot from \p path.
+  Status LoadFromFile(const std::string& path);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<LongLockRecord> records_;
+};
+
+}  // namespace codlock::lock
+
+#endif  // CODLOCK_LOCK_LONG_LOCK_STORE_H_

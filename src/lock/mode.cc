@@ -1,0 +1,84 @@
+#include "lock/mode.h"
+
+namespace codlock::lock {
+
+namespace {
+
+constexpr int Idx(LockMode m) { return static_cast<int>(m); }
+
+// Compatibility matrix, indexed [requested][held].
+constexpr bool kCompat[kNumModes][kNumModes] = {
+    //            NL     IS     IX     S      SIX    X
+    /* NL  */ {true, true, true, true, true, true},
+    /* IS  */ {true, true, true, true, true, false},
+    /* IX  */ {true, true, true, false, false, false},
+    /* S   */ {true, true, false, true, false, false},
+    /* SIX */ {true, true, false, false, false, false},
+    /* X   */ {true, false, false, false, false, false},
+};
+
+// Supremum (lattice join) matrix.
+constexpr LockMode kSup[kNumModes][kNumModes] = {
+    //            NL            IS            IX            S             SIX           X
+    /* NL  */ {LockMode::kNL, LockMode::kIS, LockMode::kIX, LockMode::kS,
+               LockMode::kSIX, LockMode::kX},
+    /* IS  */ {LockMode::kIS, LockMode::kIS, LockMode::kIX, LockMode::kS,
+               LockMode::kSIX, LockMode::kX},
+    /* IX  */ {LockMode::kIX, LockMode::kIX, LockMode::kIX, LockMode::kSIX,
+               LockMode::kSIX, LockMode::kX},
+    /* S   */ {LockMode::kS, LockMode::kS, LockMode::kSIX, LockMode::kS,
+               LockMode::kSIX, LockMode::kX},
+    /* SIX */ {LockMode::kSIX, LockMode::kSIX, LockMode::kSIX, LockMode::kSIX,
+               LockMode::kSIX, LockMode::kX},
+    /* X   */ {LockMode::kX, LockMode::kX, LockMode::kX, LockMode::kX,
+               LockMode::kX, LockMode::kX},
+};
+
+}  // namespace
+
+std::string_view LockModeName(LockMode m) {
+  switch (m) {
+    case LockMode::kNL:
+      return "NL";
+    case LockMode::kIS:
+      return "IS";
+    case LockMode::kIX:
+      return "IX";
+    case LockMode::kS:
+      return "S";
+    case LockMode::kSIX:
+      return "SIX";
+    case LockMode::kX:
+      return "X";
+  }
+  return "?";
+}
+
+bool Compatible(LockMode a, LockMode b) { return kCompat[Idx(a)][Idx(b)]; }
+
+LockMode Supremum(LockMode a, LockMode b) { return kSup[Idx(a)][Idx(b)]; }
+
+bool Covers(LockMode held, LockMode wanted) {
+  return Supremum(held, wanted) == held;
+}
+
+bool IsIntention(LockMode m) {
+  return m == LockMode::kIS || m == LockMode::kIX;
+}
+
+LockMode IntentionFor(LockMode m) {
+  switch (m) {
+    case LockMode::kNL:
+      return LockMode::kNL;
+    case LockMode::kIS:
+    case LockMode::kS:
+      return LockMode::kIS;
+    case LockMode::kIX:
+    case LockMode::kSIX:
+    case LockMode::kX:
+      return LockMode::kIX;
+  }
+  return LockMode::kNL;
+}
+
+}  // namespace codlock::lock

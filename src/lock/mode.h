@@ -1,0 +1,54 @@
+/// \file mode.h
+/// \brief Lock modes and their compatibility/supremum matrices.
+///
+/// The paper uses the System R mode set [GLP75, GLPT76]: IS and IX grant
+/// the right to lock descendants in S/X; S and X lock a subtree implicitly.
+/// SIX (S + IX) is included for completeness — the classical DAG protocol
+/// defines it, and lock conversions naturally produce it (a holder of S
+/// requesting IX, e.g. a reader of a complex object that starts updating
+/// a single tuple).
+
+#ifndef CODLOCK_LOCK_MODE_H_
+#define CODLOCK_LOCK_MODE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace codlock::lock {
+
+/// Transaction-oriented lock modes, ordered roughly by strength.
+enum class LockMode : uint8_t {
+  kNL = 0,  ///< no lock (identity element)
+  kIS,      ///< intention share
+  kIX,      ///< intention exclusive
+  kS,       ///< share
+  kSIX,     ///< share + intention exclusive
+  kX,       ///< exclusive
+};
+
+inline constexpr int kNumModes = 6;
+
+/// "NL", "IS", "IX", "S", "SIX", "X".
+std::string_view LockModeName(LockMode m);
+
+/// Classical compatibility matrix [GLPT76].
+bool Compatible(LockMode a, LockMode b);
+
+/// Least upper bound in the mode lattice
+/// (NL < IS < {IX, S} < SIX < X); e.g. sup(IX, S) = SIX.
+LockMode Supremum(LockMode a, LockMode b);
+
+/// True if holding \p held satisfies a request for \p wanted
+/// (i.e. sup(held, wanted) == held).
+bool Covers(LockMode held, LockMode wanted);
+
+/// True for IS/IX (pure intention modes that lock nothing implicitly).
+bool IsIntention(LockMode m);
+
+/// The intention mode corresponding to an access mode:
+/// S → IS, X → IX, IS → IS, IX → IX, SIX → IX.
+LockMode IntentionFor(LockMode m);
+
+}  // namespace codlock::lock
+
+#endif  // CODLOCK_LOCK_MODE_H_

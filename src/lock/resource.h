@@ -1,0 +1,51 @@
+/// \file resource.h
+/// \brief Identification of lockable resources.
+///
+/// A lockable resource is an *instance* of a lock-graph node: the pair
+/// (lock-graph node id, instance id).  Coarse singleton granules
+/// (database, segment, relation) use instance id 0; sub-objects of complex
+/// objects use the instance id the `InstanceStore` assigned to their value
+/// node.  A shared complex object (inner unit) is identified by its root
+/// tuple's instance id, which is path-independent — the property that makes
+/// "from-the-side" accesses collide on the same lock-table entry.
+
+#ifndef CODLOCK_LOCK_RESOURCE_H_
+#define CODLOCK_LOCK_RESOURCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace codlock::lock {
+
+/// Transaction identifier.  Ids are assigned in `Begin` order, so a larger
+/// id means a younger transaction (used by deadlock victim selection).
+using TxnId = uint64_t;
+
+inline constexpr TxnId kInvalidTxn = 0;
+
+/// \brief A lockable resource: lock-graph node instance.
+struct ResourceId {
+  /// Lock-graph node (see logra::LockGraph); identifies the granule kind.
+  uint32_t node = 0;
+  /// Instance id of the concrete sub-object (0 for singleton granules).
+  uint64_t instance = 0;
+
+  friend bool operator==(const ResourceId&, const ResourceId&) = default;
+
+  std::string ToString() const {
+    return "n" + std::to_string(node) + "/i" + std::to_string(instance);
+  }
+};
+
+struct ResourceIdHash {
+  size_t operator()(const ResourceId& r) const {
+    uint64_t h = r.instance * 0x9E3779B97F4A7C15ULL;
+    h ^= (static_cast<uint64_t>(r.node) + 0x9E3779B9U) + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace codlock::lock
+
+#endif  // CODLOCK_LOCK_RESOURCE_H_

@@ -1,0 +1,428 @@
+#include "nf2/serialize.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace codlock::nf2 {
+
+namespace {
+
+constexpr const char kMagic[] = "codlockdb 1";
+
+void WriteQuoted(std::ostream* out, const std::string& s) {
+  *out << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') *out << '\\';
+    *out << c;
+  }
+  *out << '"';
+}
+
+/// Writes an attribute subtree as an s-expression.
+void WriteAttrSpec(const Catalog& catalog, AttrId attr, std::ostream* out) {
+  const AttrDef& def = catalog.attr(attr);
+  *out << '(';
+  switch (def.kind) {
+    case AttrKind::kString:
+      *out << (def.is_key ? "key " : "str ");
+      break;
+    case AttrKind::kInt:
+      *out << "int ";
+      break;
+    case AttrKind::kReal:
+      *out << "real ";
+      break;
+    case AttrKind::kBool:
+      *out << "bool ";
+      break;
+    case AttrKind::kSet:
+      *out << "set ";
+      break;
+    case AttrKind::kList:
+      *out << "list ";
+      break;
+    case AttrKind::kTuple:
+      *out << "tuple ";
+      break;
+    case AttrKind::kRef:
+      *out << "ref ";
+      break;
+  }
+  WriteQuoted(out, def.name);
+  if (def.kind == AttrKind::kRef) {
+    *out << ' ';
+    WriteQuoted(out, catalog.relation(def.ref_target).name);
+  }
+  for (AttrId child : def.children) {
+    *out << ' ';
+    WriteAttrSpec(catalog, child, out);
+  }
+  *out << ')';
+}
+
+Status WriteValue(const Catalog& catalog, const InstanceStore& store,
+                  const Value& v, std::ostream* out) {
+  switch (v.kind()) {
+    case AttrKind::kString:
+      WriteQuoted(out, v.as_string());
+      return Status::OK();
+    case AttrKind::kInt:
+      *out << 'i' << v.as_int();
+      return Status::OK();
+    case AttrKind::kReal:
+      *out << 'r' << v.as_real();
+      return Status::OK();
+    case AttrKind::kBool:
+      *out << (v.as_bool() ? "b1" : "b0");
+      return Status::OK();
+    case AttrKind::kRef: {
+      Result<const Object*> target = store.Deref(v.as_ref());
+      if (!target.ok()) {
+        return Status::FailedPrecondition(
+            "dangling reference cannot be serialized");
+      }
+      if ((*target)->key.empty()) {
+        return Status::FailedPrecondition(
+            "reference to a keyless object cannot be serialized");
+      }
+      *out << "(ref ";
+      WriteQuoted(out, catalog.relation(v.as_ref().relation).name);
+      *out << ' ';
+      WriteQuoted(out, (*target)->key);
+      *out << ')';
+      return Status::OK();
+    }
+    case AttrKind::kSet:
+    case AttrKind::kList:
+    case AttrKind::kTuple: {
+      *out << '(' << (v.kind() == AttrKind::kSet
+                          ? "set"
+                          : v.kind() == AttrKind::kList ? "list" : "tuple");
+      for (const Value& child : v.children()) {
+        *out << ' ';
+        CODLOCK_RETURN_IF_ERROR(WriteValue(catalog, store, child, out));
+      }
+      *out << ')';
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+/// Minimal s-expression reader: atoms, quoted strings, parenthesized lists.
+class SexprReader {
+ public:
+  explicit SexprReader(std::string text) : text_(std::move(text)) {}
+
+  struct Node {
+    bool is_list = false;
+    std::string atom;      // unquoted or quoted text
+    bool was_quoted = false;
+    std::vector<Node> children;
+  };
+
+  Result<Node> Read() {
+    Result<Node> n = ReadNode();
+    if (!n.ok()) return n;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing data after s-expression");
+    }
+    return n;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Result<Node> ReadNode() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unexpected end of s-expression");
+    }
+    if (text_[pos_] == '(') {
+      ++pos_;
+      Node list;
+      list.is_list = true;
+      while (true) {
+        SkipWs();
+        if (pos_ >= text_.size()) {
+          return Status::InvalidArgument("unterminated list");
+        }
+        if (text_[pos_] == ')') {
+          ++pos_;
+          return list;
+        }
+        Result<Node> child = ReadNode();
+        if (!child.ok()) return child;
+        list.children.push_back(std::move(*child));
+      }
+    }
+    if (text_[pos_] == '"') {
+      ++pos_;
+      Node atom;
+      atom.was_quoted = true;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+        atom.atom += text_[pos_++];
+      }
+      if (pos_ >= text_.size()) {
+        return Status::InvalidArgument("unterminated string");
+      }
+      ++pos_;  // closing quote
+      return atom;
+    }
+    Node atom;
+    while (pos_ < text_.size() && text_[pos_] != '(' && text_[pos_] != ')' &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      atom.atom += text_[pos_++];
+    }
+    if (atom.atom.empty()) {
+      return Status::InvalidArgument("empty atom in s-expression");
+    }
+    return atom;
+  }
+
+  const std::string text_;
+  size_t pos_ = 0;
+};
+
+Result<AttrSpec> SpecFromNode(const SexprReader::Node& node) {
+  if (!node.is_list || node.children.size() < 2 ||
+      node.children[0].is_list || node.children[1].is_list) {
+    return Status::InvalidArgument("malformed attribute spec");
+  }
+  const std::string& kind = node.children[0].atom;
+  const std::string& name = node.children[1].atom;
+  if (kind == "key") return AttrSpec::Key(name);
+  if (kind == "str") return AttrSpec::Str(name);
+  if (kind == "int") return AttrSpec::Int(name);
+  if (kind == "real") return AttrSpec::Real(name);
+  if (kind == "bool") return AttrSpec::Bool(name);
+  if (kind == "ref") {
+    if (node.children.size() != 3) {
+      return Status::InvalidArgument("ref spec needs a target relation");
+    }
+    return AttrSpec::Ref(name, node.children[2].atom);
+  }
+  if (kind == "set" || kind == "list") {
+    if (node.children.size() != 3) {
+      return Status::InvalidArgument(kind + " spec needs one element spec");
+    }
+    Result<AttrSpec> elem = SpecFromNode(node.children[2]);
+    if (!elem.ok()) return elem;
+    return kind == "set" ? AttrSpec::Set(name, std::move(*elem))
+                         : AttrSpec::List(name, std::move(*elem));
+  }
+  if (kind == "tuple") {
+    std::vector<AttrSpec> fields;
+    for (size_t i = 2; i < node.children.size(); ++i) {
+      Result<AttrSpec> field = SpecFromNode(node.children[i]);
+      if (!field.ok()) return field;
+      fields.push_back(std::move(*field));
+    }
+    return AttrSpec::Tuple(name, std::move(fields));
+  }
+  return Status::InvalidArgument("unknown attribute kind '" + kind + "'");
+}
+
+Result<Value> ValueFromNode(const Catalog& catalog,
+                            const InstanceStore& store,
+                            const SexprReader::Node& node) {
+  if (!node.is_list) {
+    const std::string& a = node.atom;
+    if (node.was_quoted) return Value::OfString(a);
+    if (a.size() >= 2 && a[0] == 'i') {
+      return Value::OfInt(std::stoll(a.substr(1)));
+    }
+    if (a.size() >= 2 && a[0] == 'r') {
+      return Value::OfReal(std::stod(a.substr(1)));
+    }
+    if (a == "b1") return Value::OfBool(true);
+    if (a == "b0") return Value::OfBool(false);
+    return Status::InvalidArgument("unknown value atom '" + a + "'");
+  }
+  if (node.children.empty() || node.children[0].is_list) {
+    return Status::InvalidArgument("malformed value list");
+  }
+  const std::string& kind = node.children[0].atom;
+  if (kind == "ref") {
+    if (node.children.size() != 3) {
+      return Status::InvalidArgument("ref value needs relation and key");
+    }
+    Result<RelationId> rel = catalog.FindRelation(node.children[1].atom);
+    if (!rel.ok()) return rel.status();
+    Result<const Object*> target =
+        store.FindByKey(*rel, node.children[2].atom);
+    if (!target.ok()) {
+      return Status::InvalidArgument("reference target '" +
+                                     node.children[2].atom +
+                                     "' not loaded yet");
+    }
+    return Value::OfRef(*rel, (*target)->id);
+  }
+  std::vector<Value> children;
+  for (size_t i = 1; i < node.children.size(); ++i) {
+    Result<Value> child = ValueFromNode(catalog, store, node.children[i]);
+    if (!child.ok()) return child;
+    children.push_back(std::move(*child));
+  }
+  if (kind == "set") return Value::OfSet(std::move(children));
+  if (kind == "list") return Value::OfList(std::move(children));
+  if (kind == "tuple") return Value::OfTuple(std::move(children));
+  return Status::InvalidArgument("unknown value kind '" + kind + "'");
+}
+
+}  // namespace
+
+Status SaveDatabase(const Catalog& catalog, const InstanceStore& store,
+                    std::ostream* out) {
+  *out << kMagic << '\n';
+  for (DatabaseId db = 0; db < catalog.num_databases(); ++db) {
+    *out << "database ";
+    WriteQuoted(out, catalog.database(db).name);
+    *out << '\n';
+  }
+  for (SegmentId seg = 0; seg < catalog.num_segments(); ++seg) {
+    *out << "segment ";
+    WriteQuoted(out, catalog.database(catalog.segment(seg).database).name);
+    *out << ' ';
+    WriteQuoted(out, catalog.segment(seg).name);
+    *out << '\n';
+  }
+  for (RelationId rel = 0; rel < catalog.num_relations(); ++rel) {
+    const RelationDef& def = catalog.relation(rel);
+    *out << "relation ";
+    WriteQuoted(out, catalog.segment(def.segment).name);
+    *out << ' ';
+    WriteAttrSpec(catalog, def.root, out);
+    *out << '\n';
+  }
+  // Objects relation by relation: the non-recursive reference invariant
+  // guarantees targets are loaded before referees.
+  for (RelationId rel = 0; rel < catalog.num_relations(); ++rel) {
+    for (ObjectId id : store.ObjectsOf(rel)) {
+      Result<const Object*> obj = store.Get(rel, id);
+      if (!obj.ok()) continue;
+      *out << "object ";
+      WriteQuoted(out, catalog.relation(rel).name);
+      *out << ' ';
+      CODLOCK_RETURN_IF_ERROR(WriteValue(catalog, store, (*obj)->root, out));
+      *out << '\n';
+    }
+  }
+  if (!out->good()) return Status::Internal("write failed");
+  return Status::OK();
+}
+
+Result<LoadedDatabase> LoadDatabase(std::istream* in) {
+  std::string line;
+  if (!std::getline(*in, line) || line != kMagic) {
+    return Status::InvalidArgument("not a codlockdb file");
+  }
+  LoadedDatabase db;
+  db.catalog = std::make_unique<Catalog>();
+  db.store = nullptr;  // created after the schema is complete
+
+  auto read_quoted = [](const std::string& text,
+                        size_t* pos) -> Result<std::string> {
+    while (*pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[*pos]))) {
+      ++*pos;
+    }
+    if (*pos >= text.size() || text[*pos] != '"') {
+      return Status::InvalidArgument("expected quoted name in: " + text);
+    }
+    ++*pos;
+    std::string out;
+    while (*pos < text.size() && text[*pos] != '"') {
+      if (text[*pos] == '\\' && *pos + 1 < text.size()) ++*pos;
+      out += text[(*pos)++];
+    }
+    if (*pos >= text.size()) {
+      return Status::InvalidArgument("unterminated name in: " + text);
+    }
+    ++*pos;
+    return out;
+  };
+
+  while (std::getline(*in, line)) {
+    if (line.empty()) continue;
+    std::istringstream probe(line);
+    std::string tag;
+    probe >> tag;
+    size_t pos = tag.size();
+
+    if (tag == "database") {
+      Result<std::string> name = read_quoted(line, &pos);
+      if (!name.ok()) return name.status();
+      Result<DatabaseId> id = db.catalog->CreateDatabase(*name);
+      if (!id.ok()) return id.status();
+    } else if (tag == "segment") {
+      Result<std::string> dbname = read_quoted(line, &pos);
+      if (!dbname.ok()) return dbname.status();
+      Result<std::string> name = read_quoted(line, &pos);
+      if (!name.ok()) return name.status();
+      Result<DatabaseId> parent = db.catalog->FindDatabase(*dbname);
+      if (!parent.ok()) return parent.status();
+      Result<SegmentId> id = db.catalog->CreateSegment(*parent, *name);
+      if (!id.ok()) return id.status();
+    } else if (tag == "relation") {
+      Result<std::string> segname = read_quoted(line, &pos);
+      if (!segname.ok()) return segname.status();
+      SexprReader reader(line.substr(pos));
+      Result<SexprReader::Node> node = reader.Read();
+      if (!node.ok()) return node.status();
+      Result<AttrSpec> spec = SpecFromNode(*node);
+      if (!spec.ok()) return spec.status();
+      Result<SegmentId> seg = db.catalog->FindSegment(*segname);
+      if (!seg.ok()) return seg.status();
+      Result<RelationId> rel =
+          db.catalog->CreateRelation(*seg, spec->name, *spec);
+      if (!rel.ok()) return rel.status();
+    } else if (tag == "object") {
+      if (db.store == nullptr) {
+        db.store = std::make_unique<InstanceStore>(db.catalog.get());
+      }
+      Result<std::string> relname = read_quoted(line, &pos);
+      if (!relname.ok()) return relname.status();
+      Result<RelationId> rel = db.catalog->FindRelation(*relname);
+      if (!rel.ok()) return rel.status();
+      SexprReader reader(line.substr(pos));
+      Result<SexprReader::Node> node = reader.Read();
+      if (!node.ok()) return node.status();
+      Result<Value> value = ValueFromNode(*db.catalog, *db.store, *node);
+      if (!value.ok()) return value.status();
+      Result<ObjectId> id = db.store->Insert(*rel, std::move(*value));
+      if (!id.ok()) return id.status();
+    } else {
+      return Status::InvalidArgument("unknown record tag '" + tag + "'");
+    }
+  }
+  if (db.store == nullptr) {
+    db.store = std::make_unique<InstanceStore>(db.catalog.get());
+  }
+  return db;
+}
+
+Status SaveDatabaseToFile(const Catalog& catalog, const InstanceStore& store,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot open '" + path + "'");
+  return SaveDatabase(catalog, store, &out);
+}
+
+Result<LoadedDatabase> LoadDatabaseFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  return LoadDatabase(&in);
+}
+
+}  // namespace codlock::nf2

@@ -1,0 +1,50 @@
+/// \file serialize.h
+/// \brief Persistence for schema and instances.
+///
+/// Serializes a whole database — catalog (databases, segments, relations,
+/// attribute trees) and instance store (complex objects with their
+/// references) — to a line-oriented text format, and loads it back.  Used
+/// by examples and tests to ship reproducible databases; a production
+/// system would keep pages, but the lock technique is storage-agnostic
+/// (§5 lists "the projection of the proposed lock technique onto different
+/// implementations of storage structures" as orthogonal future work).
+///
+/// Instance ids are *not* preserved across save/load — they are assigned
+/// afresh on insert, exactly like object surrogates.  Object references
+/// are rewritten to the new surrogates by key, so referential structure is
+/// preserved.
+
+#ifndef CODLOCK_NF2_SERIALIZE_H_
+#define CODLOCK_NF2_SERIALIZE_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "nf2/schema.h"
+#include "nf2/store.h"
+#include "util/result.h"
+
+namespace codlock::nf2 {
+
+/// \brief A freshly loaded database.
+struct LoadedDatabase {
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<InstanceStore> store;
+};
+
+/// Serializes \p catalog and \p store to \p out.
+Status SaveDatabase(const Catalog& catalog, const InstanceStore& store,
+                    std::ostream* out);
+
+/// Parses a database from \p in.
+Result<LoadedDatabase> LoadDatabase(std::istream* in);
+
+/// Convenience file wrappers.
+Status SaveDatabaseToFile(const Catalog& catalog, const InstanceStore& store,
+                          const std::string& path);
+Result<LoadedDatabase> LoadDatabaseFromFile(const std::string& path);
+
+}  // namespace codlock::nf2
+
+#endif  // CODLOCK_NF2_SERIALIZE_H_

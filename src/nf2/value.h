@@ -1,0 +1,179 @@
+/// \file value.h
+/// \brief Instance values of the extended NF² model.
+///
+/// A complex object is a tree of `Value`s mirroring its relation's schema
+/// tree: atomic leaves, ref leaves (pointing to a complex object of another
+/// relation — the paper's "common data"), and set/list/tuple inner nodes.
+///
+/// Every value node carries an *instance id* (`Iid`), assigned by the
+/// `InstanceStore` when the object is inserted.  Instance ids identify
+/// lockable sub-objects: the lock resource for a sub-object is the pair
+/// (lock-graph node, instance id).  A referenced (shared) complex object has
+/// one instance id regardless of the path used to reach it — this is what
+/// makes locks on common data visible to "from-the-side" accessors.
+
+#ifndef CODLOCK_NF2_VALUE_H_
+#define CODLOCK_NF2_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "nf2/schema.h"
+#include "util/result.h"
+
+namespace codlock::nf2 {
+
+/// Surrogate of a complex object within its relation.
+using ObjectId = uint64_t;
+/// Instance id of any lockable sub-object (store-global surrogate).
+using Iid = uint64_t;
+
+inline constexpr ObjectId kInvalidObject = 0;
+inline constexpr Iid kInvalidIid = 0;
+
+/// \brief A reference leaf: points to a complex object of another relation.
+struct RefValue {
+  RelationId relation = kInvalidRelation;
+  ObjectId object = kInvalidObject;
+
+  friend bool operator==(const RefValue&, const RefValue&) = default;
+};
+
+/// \brief One node of a complex-object instance tree.
+class Value {
+ public:
+  Value() = default;
+
+  static Value OfString(std::string s) {
+    Value v;
+    v.kind_ = AttrKind::kString;
+    v.data_ = std::move(s);
+    return v;
+  }
+  static Value OfInt(int64_t i) {
+    Value v;
+    v.kind_ = AttrKind::kInt;
+    v.data_ = i;
+    return v;
+  }
+  static Value OfReal(double d) {
+    Value v;
+    v.kind_ = AttrKind::kReal;
+    v.data_ = d;
+    return v;
+  }
+  static Value OfBool(bool b) {
+    Value v;
+    v.kind_ = AttrKind::kBool;
+    v.data_ = b;
+    return v;
+  }
+  static Value OfRef(RelationId rel, ObjectId obj) {
+    Value v;
+    v.kind_ = AttrKind::kRef;
+    v.data_ = RefValue{rel, obj};
+    return v;
+  }
+  static Value OfSet(std::vector<Value> elems) {
+    Value v;
+    v.kind_ = AttrKind::kSet;
+    v.data_ = std::move(elems);
+    return v;
+  }
+  static Value OfList(std::vector<Value> elems) {
+    Value v;
+    v.kind_ = AttrKind::kList;
+    v.data_ = std::move(elems);
+    return v;
+  }
+  static Value OfTuple(std::vector<Value> fields) {
+    Value v;
+    v.kind_ = AttrKind::kTuple;
+    v.data_ = std::move(fields);
+    return v;
+  }
+
+  AttrKind kind() const { return kind_; }
+  bool is_atomic() const { return IsAtomic(kind_); }
+  bool is_collection() const { return IsCollection(kind_); }
+  bool is_tuple() const { return kind_ == AttrKind::kTuple; }
+  bool is_ref() const { return kind_ == AttrKind::kRef; }
+
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+  int64_t as_int() const { return std::get<int64_t>(data_); }
+  double as_real() const { return std::get<double>(data_); }
+  bool as_bool() const { return std::get<bool>(data_); }
+  const RefValue& as_ref() const { return std::get<RefValue>(data_); }
+
+  /// Children: tuple fields (in schema order) or collection elements.
+  const std::vector<Value>& children() const {
+    return std::get<std::vector<Value>>(data_);
+  }
+  std::vector<Value>& children() {
+    return std::get<std::vector<Value>>(data_);
+  }
+
+  void set_string(std::string s) { data_ = std::move(s); }
+  void set_int(int64_t i) { data_ = i; }
+  void set_real(double d) { data_ = d; }
+  void set_bool(bool b) { data_ = b; }
+
+  Iid iid() const { return iid_; }
+  void set_iid(Iid iid) { iid_ = iid; }
+
+  /// \brief Validates this value tree against schema attribute \p attr.
+  ///
+  /// Checks kind agreement at every node, tuple arity, collection element
+  /// kinds, and that ref values target the declared relation.
+  Status Validate(const Catalog& catalog, AttrId attr) const;
+
+  /// Number of nodes in this value tree (diagnostics, generators).
+  size_t TreeSize() const;
+
+  /// Compact single-line rendering ("{cell_id: 'c1', ...}").
+  std::string ToString() const;
+
+ private:
+  AttrKind kind_ = AttrKind::kString;
+  std::variant<std::string, int64_t, double, bool, RefValue,
+               std::vector<Value>>
+      data_ = std::string();
+  Iid iid_ = kInvalidIid;
+};
+
+/// \brief One navigation step within a complex object.
+///
+/// Selects a tuple field by \p attr_name, and — when the field is a
+/// collection — optionally one element, by key value or by position.
+struct PathStep {
+  std::string attr_name;
+  /// Selects the collection element whose key attribute equals this value.
+  std::string elem_key;
+  /// Selects the collection element at this position (used if elem_key
+  /// is empty and index >= 0).
+  int64_t index = -1;
+
+  static PathStep Field(std::string name) {
+    return PathStep{std::move(name), {}, -1};
+  }
+  static PathStep Elem(std::string name, std::string key) {
+    return PathStep{std::move(name), std::move(key), -1};
+  }
+  static PathStep At(std::string name, int64_t idx) {
+    return PathStep{std::move(name), {}, idx};
+  }
+
+  bool selects_element() const { return !elem_key.empty() || index >= 0; }
+};
+
+/// A navigation path: sequence of steps below a complex-object root.
+using Path = std::vector<PathStep>;
+
+/// Renders a path for diagnostics, e.g. "robots['r1'].trajectory".
+std::string PathToString(const Path& path);
+
+}  // namespace codlock::nf2
+
+#endif  // CODLOCK_NF2_VALUE_H_

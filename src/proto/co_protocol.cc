@@ -1,0 +1,225 @@
+#include "proto/co_protocol.h"
+
+namespace codlock::proto {
+
+using lock::LockMode;
+
+Status ComplexObjectProtocol::Lock(txn::Transaction& txn,
+                                   const LockTarget& target, LockMode mode) {
+  if (mode == LockMode::kNL) {
+    return Status::InvalidArgument("cannot request mode NL");
+  }
+  const lock::AcquireOptions opts = AcquireOpts(txn);
+  const LockMode intention = lock::IntentionFor(mode);
+
+  // Rule 5: request root-to-leaf.  Rules 1–4 parent conditions: every
+  // immediate parent along the path gets (at least) the matching intention
+  // mode.  The root of the outer unit (database node) needs no prior locks.
+  for (size_t i = 0; i + 1 < target.path.size(); ++i) {
+    lock::ResourceId res{target.path[i].first, target.path[i].second};
+    CODLOCK_RETURN_IF_ERROR(lm_->Acquire(txn.id(), res, intention, opts));
+  }
+  lock::ResourceId res{target.target_node(), target.target_iid()};
+  CODLOCK_RETURN_IF_ERROR(lm_->Acquire(txn.id(), res, mode, opts));
+
+  // Rules 3/4/4′: implicit downward propagation for S and X.  Skipped when
+  // the query's semantics guarantee the referenced common data is not
+  // accessed (§4.5), and — a schema-level test — when no ref BLU exists
+  // below the target node at all: "In case of disjoint complex objects no
+  // inner units exist.  So, for disjoint complex objects the above lock
+  // protocol is identical to the traditional one" (§4.4.2.1).
+  if ((mode == LockMode::kS || mode == LockMode::kX) &&
+      target.access_implies_refs &&
+      !graph_->RefBlusUnder(target.target_node()).empty()) {
+    Visited visited;
+    if (target.value != nullptr) {
+      // Re-resolve the value by its (stable) instance id: the caller
+      // navigated *before* this lock was granted, and a structural change
+      // by a conflicting transaction we just waited for may have moved —
+      // or removed — the value node.  Now that the lock is held, no
+      // further structural change can touch this subtree.
+      Result<nf2::InstanceStore::IidInfo> fresh =
+          store_->FindIid(target.target_iid());
+      if (!fresh.ok()) {
+        return Status::NotFound(
+            "target vanished while waiting for its lock");
+      }
+      return PropagateDown(txn, *fresh->value, mode, &visited);
+    }
+    return PropagateDownFromSingleton(txn, target.target_node(), mode,
+                                      &visited);
+  }
+  return Status::OK();
+}
+
+Status ComplexObjectProtocol::PropagateDown(txn::Transaction& txn,
+                                            const nf2::Value& v,
+                                            LockMode mode, Visited* visited) {
+  for (const nf2::RefValue& ref : nf2::InstanceStore::CollectRefs(v)) {
+    CODLOCK_RETURN_IF_ERROR(LockEntryPointInternal(txn, ref, mode, visited));
+  }
+  return Status::OK();
+}
+
+Status ComplexObjectProtocol::PropagateDownFromSingleton(
+    txn::Transaction& txn, logra::NodeId node, LockMode mode,
+    Visited* visited) {
+  const logra::Node& n = graph_->node(node);
+  switch (n.level) {
+    case logra::NodeLevel::kRelation: {
+      // S/X on a relation covers every object: their referenced inner
+      // units must become visible too.
+      for (nf2::ObjectId obj : store_->ObjectsOf(n.relation)) {
+        Result<const nf2::Object*> o = store_->Get(n.relation, obj);
+        if (!o.ok()) continue;  // concurrently erased
+        CODLOCK_RETURN_IF_ERROR(
+            PropagateDown(txn, (*o)->root, mode, visited));
+      }
+      return Status::OK();
+    }
+    case logra::NodeLevel::kDatabase:
+    case logra::NodeLevel::kSegment: {
+      // Cover every relation in scope.
+      const nf2::Catalog& catalog = store_->catalog();
+      for (nf2::RelationId rel = 0; rel < catalog.num_relations(); ++rel) {
+        const nf2::RelationDef& rdef = catalog.relation(rel);
+        if (n.level == logra::NodeLevel::kDatabase &&
+            rdef.database != n.database) {
+          continue;
+        }
+        if (n.level == logra::NodeLevel::kSegment &&
+            rdef.segment != n.segment) {
+          continue;
+        }
+        CODLOCK_RETURN_IF_ERROR(PropagateDownFromSingleton(
+            txn, graph_->RelationNode(rel), mode, visited));
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::Internal(
+          "singleton downward propagation from a value-level node");
+  }
+}
+
+Status ComplexObjectProtocol::LockEntryPointInternal(txn::Transaction& txn,
+                                                     const nf2::RefValue& ref,
+                                                     LockMode mode,
+                                                     Visited* visited) {
+  if (!visited->insert(VisitKey(ref.relation, ref.object)).second) {
+    return Status::OK();  // diamond sharing: already covered in this call
+  }
+
+  // Rule 4′: an X being propagated onto a non-modifiable inner unit is
+  // weakened to S ("at least S lock all roots of lower (dependent)
+  // non-modifiable inner units").
+  LockMode ep_mode = mode;
+  if (mode == LockMode::kX && options_.use_rule4_prime &&
+      !authz_->CanModify(txn.user(), ref.relation)) {
+    ep_mode = LockMode::kS;
+  }
+
+  const lock::AcquireOptions opts = AcquireOpts(txn);
+  const LockMode intention = lock::IntentionFor(ep_mode);
+
+  // Implicit upward propagation: the concurrency control manager locks all
+  // immediate parents of the entry point up to the root of the superunit,
+  // root first.  (Never crosses a unit boundary upward.)
+  logra::NodeId ep_node = graph_->ComplexObjectNode(ref.relation);
+  std::vector<logra::NodeId> chain = graph_->SuperunitChain(ep_node);
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    CODLOCK_RETURN_IF_ERROR(lm_->Acquire(
+        txn.id(), lock::ResourceId{*it, 0}, intention, opts));
+    lm_->stats().upward_propagations.Add();
+  }
+
+  Result<nf2::Iid> root_iid = store_->RootIid(ref.relation, ref.object);
+  if (!root_iid.ok()) return root_iid.status();
+  CODLOCK_RETURN_IF_ERROR(lm_->Acquire(
+      txn.id(), lock::ResourceId{ep_node, *root_iid}, ep_mode, opts));
+  lm_->stats().downward_propagations.Add();
+
+  // Common data may again contain common data: recurse.  The scan over the
+  // object's references happens while the data is read anyway (§4.4.2.1).
+  if (ep_mode == LockMode::kS || ep_mode == LockMode::kX) {
+    Result<const nf2::Object*> obj = store_->Get(ref.relation, ref.object);
+    if (!obj.ok()) return obj.status();
+    return PropagateDown(txn, (*obj)->root, ep_mode, visited);
+  }
+  return Status::OK();
+}
+
+Status ComplexObjectProtocol::LockNewValueRefs(txn::Transaction& txn,
+                                               const nf2::Value& v,
+                                               LockMode mode) {
+  if (mode != LockMode::kS && mode != LockMode::kX) {
+    return Status::InvalidArgument("LockNewValueRefs requires S or X");
+  }
+  Visited visited;
+  return PropagateDown(txn, v, mode, &visited);
+}
+
+Status ComplexObjectProtocol::Deescalate(txn::Transaction& txn,
+                                         const LockTarget& coarse,
+                                         const std::vector<size_t>& keep_indices) {
+  if (coarse.value == nullptr || !coarse.value->is_collection()) {
+    return Status::InvalidArgument(
+        "de-escalation target must be a collection HoLU");
+  }
+  lock::ResourceId res{coarse.target_node(), coarse.target_iid()};
+  const LockMode held = lm_->HeldMode(txn.id(), res);
+  if (held != LockMode::kS && held != LockMode::kX) {
+    return Status::FailedPrecondition(
+        "de-escalation requires the collection to be held S or X (holds " +
+        std::string(lock::LockModeName(held)) + ")");
+  }
+  // The element node is the collection node's single solid child.
+  const logra::Node& coll_node = graph_->node(coarse.target_node());
+  if (coll_node.solid_children.size() != 1) {
+    return Status::Internal("collection HoLU must have one element node");
+  }
+  logra::NodeId elem_node = coll_node.solid_children[0];
+
+  // Lock the kept elements individually first (never a window in which
+  // they are unprotected), then downgrade the coarse lock.
+  const lock::AcquireOptions opts = AcquireOpts(txn);
+  const std::vector<nf2::Value>& elems = coarse.value->children();
+  for (size_t idx : keep_indices) {
+    if (idx >= elems.size()) {
+      return Status::InvalidArgument("keep index " + std::to_string(idx) +
+                                     " out of range");
+    }
+    CODLOCK_RETURN_IF_ERROR(lm_->Acquire(
+        txn.id(), lock::ResourceId{elem_node, elems[idx].iid()}, held, opts));
+  }
+  CODLOCK_RETURN_IF_ERROR(
+      lm_->Downgrade(txn.id(), res, lock::IntentionFor(held)));
+  lm_->stats().deescalations.Add();
+  return Status::OK();
+}
+
+Status ComplexObjectProtocol::LockEntryPoint(txn::Transaction& txn,
+                                             const LockTarget& ref_path,
+                                             LockMode mode) {
+  if (ref_path.value == nullptr || !ref_path.value->is_ref()) {
+    return Status::InvalidArgument(
+        "LockEntryPoint requires a ref BLU target");
+  }
+  // Rule precondition: "the node which references that entry point must be
+  // (at least) IS/IX locked by the transaction".
+  const LockMode needed = lock::IntentionFor(mode) == LockMode::kIX
+                              ? LockMode::kIX
+                              : LockMode::kIS;
+  LockMode effective = EffectiveModeOnPath(*lm_, txn.id(), ref_path);
+  if (!lock::Covers(effective, needed)) {
+    return Status::FailedPrecondition(
+        "referencing node holds " +
+        std::string(lock::LockModeName(effective)) + ", needs >= " +
+        std::string(lock::LockModeName(needed)));
+  }
+  Visited visited;
+  return LockEntryPointInternal(txn, ref_path.value->as_ref(), mode,
+                                &visited);
+}
+
+}  // namespace codlock::proto

@@ -1,0 +1,90 @@
+/// \file sysr_protocol.h
+/// \brief Straightforward application of the traditional DAG lock protocol
+/// [GLP75, GLPT76] to (non-disjoint) complex objects — the baseline whose
+/// shortcomings §3.2.2 analyzes.
+///
+/// Two variants:
+///
+///  * **kAllParents** (the letter of the DAG protocol): before X/IX on a
+///    node within common data, *all* parent nodes — i.e. every ref BLU of
+///    every complex object referencing it, plus their ancestor chains —
+///    must be IX-locked.  Finding those parents without backward pointers
+///    requires scanning all potentially-referencing objects; the scan cost
+///    is recorded in `LockStats::parent_searches`.  This variant is sound
+///    but pays the "intolerable overhead" of §3.2.2.
+///
+///  * **kPathOnly** (the DAG requirement "given up"): only the parents on
+///    the access path actually used are locked.  This is cheap but
+///    *unsound* for non-disjoint objects: implicit locks set via one path
+///    are invisible to transactions accessing the shared data from the
+///    side, so conflicting grants can coexist.  The `ProtocolValidator`
+///    counts these undetected conflicts (benchmark E3).
+///
+/// Neither variant performs downward propagation — that is the paper's
+/// contribution, not System R's.
+
+#ifndef CODLOCK_PROTO_SYSR_PROTOCOL_H_
+#define CODLOCK_PROTO_SYSR_PROTOCOL_H_
+
+#include "proto/protocol.h"
+
+namespace codlock::proto {
+
+/// \brief Traditional DAG protocol baseline.
+class SystemRDagProtocol : public LockProtocol {
+ public:
+  enum class Variant {
+    kAllParents,  ///< sound; scans for and locks all referencing parents
+    kPathOnly     ///< unsound on shared data; locks the used path only
+  };
+
+  struct Options {
+    Variant variant = Variant::kAllParents;
+    bool wait = true;
+    uint64_t timeout_ms = 0;
+  };
+
+  SystemRDagProtocol(const logra::LockGraph* graph,
+                     const nf2::InstanceStore* store,
+                     lock::LockManager* lock_manager, Options options)
+      : graph_(graph), store_(store), lm_(lock_manager), options_(options) {}
+
+  SystemRDagProtocol(const logra::LockGraph* graph,
+                     const nf2::InstanceStore* store,
+                     lock::LockManager* lock_manager)
+      : SystemRDagProtocol(graph, store, lock_manager, Options()) {}
+
+  std::string_view name() const override {
+    return options_.variant == Variant::kAllParents ? "sysr-dag(all-parents)"
+                                                    : "sysr-dag(path-only)";
+  }
+
+  Status Lock(txn::Transaction& txn, const LockTarget& target,
+              LockMode mode) override;
+
+  Status LockEntryPoint(txn::Transaction& txn, const LockTarget& ref_path,
+                        LockMode mode) override;
+
+ private:
+  lock::AcquireOptions AcquireOpts(const txn::Transaction& txn) const {
+    lock::AcquireOptions o;
+    o.duration = txn.lock_duration();
+    o.wait = options_.wait;
+    o.timeout_ms = options_.timeout_ms;
+    return o;
+  }
+
+  /// GLPT76 rule 2 for shared nodes: IX-lock *all* parents of the target
+  /// object — every referencing path found by a store scan.
+  Status LockAllParents(txn::Transaction& txn, nf2::RelationId rel,
+                        nf2::ObjectId obj);
+
+  const logra::LockGraph* graph_;
+  const nf2::InstanceStore* store_;
+  lock::LockManager* lm_;
+  Options options_;
+};
+
+}  // namespace codlock::proto
+
+#endif  // CODLOCK_PROTO_SYSR_PROTOCOL_H_

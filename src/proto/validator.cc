@@ -1,0 +1,120 @@
+#include "proto/validator.h"
+
+namespace codlock::proto {
+
+std::string Violation::ToString() const {
+  return "txn " + std::to_string(writer) + " writes iid " +
+         std::to_string(iid) + " while txn " + std::to_string(other) +
+         (write_write ? " also writes it" : " reads it") +
+         " (conflict undetected by the lock protocol)";
+}
+
+void ProtocolValidator::CoverSolid(const nf2::Value& v,
+                                   std::unordered_set<nf2::Iid>* out) const {
+  out->insert(v.iid());
+  if (!v.is_atomic() && !v.is_ref()) {
+    for (const nf2::Value& child : v.children()) CoverSolid(child, out);
+  }
+}
+
+void ProtocolValidator::CoverWithRefs(
+    const nf2::Value& v, std::unordered_set<nf2::Iid>* out,
+    std::unordered_set<uint64_t>* visited) const {
+  out->insert(v.iid());
+  if (v.is_ref()) {
+    const nf2::RefValue& ref = v.as_ref();
+    uint64_t key = (static_cast<uint64_t>(ref.relation) << 48) ^ ref.object;
+    if (!visited->insert(key).second) return;
+    Result<const nf2::Object*> obj = store_->Get(ref.relation, ref.object);
+    if (obj.ok()) CoverWithRefs((*obj)->root, out, visited);
+    return;
+  }
+  if (!v.is_atomic()) {
+    for (const nf2::Value& child : v.children()) {
+      CoverWithRefs(child, out, visited);
+    }
+  }
+}
+
+void ProtocolValidator::Expand(const lock::LongLockRecord& rec,
+                               Coverage* cov) const {
+  using lock::LockMode;
+  if (rec.mode == LockMode::kIS || rec.mode == LockMode::kIX ||
+      rec.mode == LockMode::kNL) {
+    return;  // pure intention locks cover nothing by themselves
+  }
+  const bool is_write = rec.mode == LockMode::kX;
+
+  // Collect the value roots the resource denotes.
+  std::vector<const nf2::Value*> roots;
+  if (rec.resource.instance == 0) {
+    const logra::Node& node = graph_->node(rec.resource.node);
+    const nf2::Catalog& catalog = store_->catalog();
+    for (nf2::RelationId rel = 0; rel < catalog.num_relations(); ++rel) {
+      const nf2::RelationDef& rdef = catalog.relation(rel);
+      bool in_scope = false;
+      switch (node.level) {
+        case logra::NodeLevel::kDatabase:
+          in_scope = rdef.database == node.database;
+          break;
+        case logra::NodeLevel::kSegment:
+          in_scope = rdef.segment == node.segment;
+          break;
+        case logra::NodeLevel::kRelation:
+          in_scope = rel == node.relation;
+          break;
+        default:
+          break;
+      }
+      if (!in_scope) continue;
+      for (nf2::ObjectId obj : store_->ObjectsOf(rel)) {
+        Result<const nf2::Object*> o = store_->Get(rel, obj);
+        if (o.ok()) roots.push_back(&(*o)->root);
+      }
+    }
+  } else {
+    Result<nf2::InstanceStore::IidInfo> info =
+        store_->FindIid(rec.resource.instance);
+    if (info.ok()) roots.push_back(info->value);
+  }
+
+  std::unordered_set<uint64_t> visited;
+  for (const nf2::Value* root : roots) {
+    CoverWithRefs(*root, &cov->reads, &visited);
+    if (is_write) CoverSolid(*root, &cov->writes);
+  }
+}
+
+std::vector<Violation> ProtocolValidator::Check(
+    const lock::LockManager& lm) const {
+  std::unordered_map<lock::TxnId, Coverage> by_txn;
+  for (const lock::LongLockRecord& rec : lm.SnapshotAllLocks()) {
+    Expand(rec, &by_txn[rec.txn]);
+  }
+
+  std::vector<Violation> out;
+  for (auto wi = by_txn.begin(); wi != by_txn.end(); ++wi) {
+    const Coverage& w = wi->second;
+    if (w.writes.empty()) continue;
+    for (auto oi = by_txn.begin(); oi != by_txn.end(); ++oi) {
+      if (oi == wi) continue;
+      const Coverage& o = oi->second;
+      for (nf2::Iid iid : w.writes) {
+        bool ww = o.writes.contains(iid);
+        if (ww || o.reads.contains(iid)) {
+          // Report each write-write pair once (ordered by txn id).
+          if (ww && wi->first > oi->first) continue;
+          Violation v;
+          v.writer = wi->first;
+          v.other = oi->first;
+          v.iid = iid;
+          v.write_write = ww;
+          out.push_back(v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace codlock::proto

@@ -1,0 +1,114 @@
+/// \file executor.h
+/// \brief Query execution: navigate, lock per plan, touch data.
+///
+/// §4.1: "During query execution, the stored granule and mode information
+/// are obtained from the query-specific lock graphs, and locks are
+/// requested from a lock manager ... If a lock is granted, the
+/// corresponding data may be accessed."
+///
+/// The executor drives any `LockProtocol`, so the same workload can run
+/// under the paper's protocol, the System R baselines, and any granule
+/// policy — the comparisons of §3 and §4.6.
+
+#ifndef CODLOCK_QUERY_EXECUTOR_H_
+#define CODLOCK_QUERY_EXECUTOR_H_
+
+#include "proto/protocol.h"
+#include "query/planner.h"
+#include "query/query.h"
+
+namespace codlock::query {
+
+/// \brief What a query execution touched.
+struct QueryResult {
+  size_t objects_visited = 0;
+  /// Target-granule locks taken (excl. intentions and propagation).
+  size_t target_locks = 0;
+  size_t values_read = 0;
+  size_t values_written = 0;
+};
+
+/// \brief Executes queries through a lock protocol against the store.
+class QueryExecutor {
+ public:
+  struct Options {
+    /// Actually increment int leaves under X locks (used by integration
+    /// tests to prove mutual exclusion; benchmarks measure lock behaviour
+    /// and leave data untouched).
+    bool apply_writes = false;
+    /// > 0 enables *run-time* lock escalation (the strategy [HDKS89]'s
+    /// anticipation replaces): per-element plans escalate to the
+    /// collection HoLU after this many element locks — a mid-flight
+    /// upgrade that is the classic deadlock source the planner's
+    /// anticipation avoids.  Escalations are counted in
+    /// `LockStats::escalations`.
+    uint32_t runtime_escalation_threshold = 0;
+    /// Statistics sink for escalation counting (usually the lock
+    /// manager's; may be null).
+    LockStats* stats = nullptr;
+    /// Undo sink: when set (together with apply_writes), every mutation
+    /// logs its before-image so TxnManager::Abort can roll back.
+    txn::UndoLog* undo = nullptr;
+  };
+
+  QueryExecutor(const logra::LockGraph* graph, const nf2::Catalog* catalog,
+                nf2::InstanceStore* store, proto::LockProtocol* protocol,
+                Options options)
+      : graph_(graph),
+        catalog_(catalog),
+        store_(store),
+        protocol_(protocol),
+        options_(options),
+        stats_(options.stats) {}
+
+  QueryExecutor(const logra::LockGraph* graph, const nf2::Catalog* catalog,
+                nf2::InstanceStore* store, proto::LockProtocol* protocol)
+      : QueryExecutor(graph, catalog, store, protocol, Options()) {}
+
+  /// Runs \p query under \p plan on behalf of \p txn.  On a lock failure
+  /// (deadlock/timeout) the error is returned and the caller is expected
+  /// to abort \p txn.
+  Result<QueryResult> Execute(txn::Transaction& txn, const Query& query,
+                              const QueryPlan& plan);
+
+  /// Inserts \p elem into the collection at \p coll_path of the object
+  /// keyed \p object_key.  Phantom protection: the collection HoLU is
+  /// X-locked, which conflicts with the IS/S any scanner of the
+  /// collection holds — no transaction can observe the member set change
+  /// mid-flight.  The new element's references to common data are locked
+  /// *before* the element becomes reachable (rule 3/4 visibility).
+  /// Returns the new element's instance id.
+  Result<nf2::Iid> ExecuteInsert(txn::Transaction& txn,
+                                 nf2::RelationId relation,
+                                 const std::string& object_key,
+                                 const nf2::Path& coll_path, nf2::Value elem);
+
+  /// Deletes the element keyed \p elem_key from the collection at
+  /// \p coll_path.  The collection HoLU is X-locked (phantom protection);
+  /// per §4.5 the deleted element's referenced common data is *not*
+  /// accessed and therefore not locked.
+  Status ExecuteErase(txn::Transaction& txn, nf2::RelationId relation,
+                      const std::string& object_key,
+                      const nf2::Path& coll_path, const std::string& elem_key);
+
+ private:
+  Status ExecuteOnObject(txn::Transaction& txn, const Query& query,
+                         const QueryPlan& plan, nf2::ObjectId obj,
+                         QueryResult* result);
+
+  /// Reads (and for writes optionally mutates) the subtree of \p v,
+  /// following references when the query semantics imply it.
+  void Touch(txn::Transaction& txn, const nf2::Value& v, bool write,
+             bool follow_refs, QueryResult* result);
+
+  const logra::LockGraph* graph_;
+  const nf2::Catalog* catalog_;
+  nf2::InstanceStore* store_;
+  proto::LockProtocol* protocol_;
+  Options options_;
+  LockStats* stats_;
+};
+
+}  // namespace codlock::query
+
+#endif  // CODLOCK_QUERY_EXECUTOR_H_

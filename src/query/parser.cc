@@ -1,0 +1,309 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <vector>
+
+namespace codlock::query {
+
+namespace {
+
+enum class TokKind { kIdent, kString, kComma, kDot, kEquals, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+};
+
+/// Tokenizer for the HDBL fragment: identifiers, 'string' literals and
+/// the punctuation , . =
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<Token> Next() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return Token{TokKind::kEnd, ""};
+    char c = text_[pos_];
+    if (c == ',') {
+      ++pos_;
+      return Token{TokKind::kComma, ","};
+    }
+    if (c == '.') {
+      ++pos_;
+      return Token{TokKind::kDot, "."};
+    }
+    if (c == '=') {
+      ++pos_;
+      return Token{TokKind::kEquals, "="};
+    }
+    if (c == '\'') {
+      size_t end = text_.find('\'', pos_ + 1);
+      if (end == std::string::npos) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      Token t{TokKind::kString, text_.substr(pos_ + 1, end - pos_ - 1)};
+      pos_ = end + 1;
+      return t;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      return Token{TokKind::kIdent, text_.substr(start, pos_ - start)};
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") +
+                                   c + "' in query");
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+std::string Upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(c));
+  return s;
+}
+
+bool IsKeyword(const Token& t, const char* kw) {
+  return t.kind == TokKind::kIdent && Upper(t.text) == kw;
+}
+
+/// One range variable of the FROM clause.
+struct Binding {
+  std::string var;
+  int parent = -1;            ///< index of the source binding (-1: relation)
+  std::string attr_name;      ///< collection attribute (parent bindings)
+  nf2::AttrId elem_attr = nf2::kInvalidAttr;  ///< bound element type
+  std::string elem_key;       ///< set by a WHERE key predicate
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(const nf2::Catalog& catalog,
+                         const std::string& text) {
+  Lexer lexer(text);
+  auto next = [&lexer]() { return lexer.Next(); };
+
+  Result<Token> tok = next();
+  if (!tok.ok()) return tok.status();
+  if (!IsKeyword(*tok, "SELECT")) {
+    return Status::InvalidArgument("query must start with SELECT");
+  }
+  tok = next();
+  if (!tok.ok()) return tok.status();
+  if (tok->kind != TokKind::kIdent) {
+    return Status::InvalidArgument("SELECT needs a range variable");
+  }
+  const std::string select_var = tok->text;
+
+  tok = next();
+  if (!tok.ok()) return tok.status();
+  if (!IsKeyword(*tok, "FROM")) {
+    return Status::InvalidArgument("expected FROM after SELECT <var>");
+  }
+
+  // --- FROM clause: bindings. ---
+  Query q;
+  std::vector<Binding> bindings;
+  while (true) {
+    tok = next();
+    if (!tok.ok()) return tok.status();
+    if (tok->kind != TokKind::kIdent) {
+      return Status::InvalidArgument("expected range variable in FROM");
+    }
+    Binding b;
+    b.var = tok->text;
+    tok = next();
+    if (!tok.ok()) return tok.status();
+    if (!IsKeyword(*tok, "IN")) {
+      return Status::InvalidArgument("expected IN after range variable '" +
+                                     b.var + "'");
+    }
+    tok = next();
+    if (!tok.ok()) return tok.status();
+    if (tok->kind != TokKind::kIdent) {
+      return Status::InvalidArgument("expected relation or path after IN");
+    }
+    std::string first = tok->text;
+
+    tok = next();
+    if (!tok.ok()) return tok.status();
+    if (tok->kind == TokKind::kDot) {
+      // v IN w.attr — range over a collection of an earlier binding.
+      tok = next();
+      if (!tok.ok()) return tok.status();
+      if (tok->kind != TokKind::kIdent) {
+        return Status::InvalidArgument("expected attribute after '" + first +
+                                       ".'");
+      }
+      int parent = -1;
+      for (size_t i = 0; i < bindings.size(); ++i) {
+        if (bindings[i].var == first) parent = static_cast<int>(i);
+      }
+      if (parent < 0) {
+        return Status::InvalidArgument("unknown range variable '" + first +
+                                       "' in FROM");
+      }
+      // Resolve the collection attribute from the parent's tuple type.
+      nf2::AttrId parent_tuple = bindings[static_cast<size_t>(parent)]
+                                     .elem_attr;
+      Result<nf2::AttrId> coll = catalog.FindField(parent_tuple, tok->text);
+      if (!coll.ok()) return coll.status();
+      Result<nf2::AttrId> elem = catalog.ElementAttr(*coll);
+      if (!elem.ok()) {
+        return Status::InvalidArgument("'" + tok->text +
+                                       "' is not a set or list attribute");
+      }
+      b.parent = parent;
+      b.attr_name = tok->text;
+      b.elem_attr = *elem;
+      bindings.push_back(b);
+      tok = next();
+      if (!tok.ok()) return tok.status();
+    } else {
+      // v IN relation — only legal for the first binding.
+      if (!bindings.empty()) {
+        return Status::InvalidArgument(
+            "only the first FROM binding may range over a relation "
+            "(joins are outside the lock-relevant fragment)");
+      }
+      Result<nf2::RelationId> rel = catalog.FindRelation(first);
+      if (!rel.ok()) return rel.status();
+      q.relation = *rel;
+      b.parent = -1;
+      b.elem_attr = catalog.relation(*rel).root;
+      bindings.push_back(b);
+    }
+
+    if (tok->kind == TokKind::kComma) continue;
+    // Past the FROM clause; tok is WHERE, FOR or end.
+    break;
+  }
+
+  // --- WHERE clause: key-equality conjunctions. ---
+  if (IsKeyword(*tok, "WHERE")) {
+    while (true) {
+      tok = next();
+      if (!tok.ok()) return tok.status();
+      if (tok->kind != TokKind::kIdent) {
+        return Status::InvalidArgument("expected <var>.<attr> in WHERE");
+      }
+      std::string var = tok->text;
+      tok = next();
+      if (!tok.ok()) return tok.status();
+      if (tok->kind != TokKind::kDot) {
+        return Status::InvalidArgument("expected '.' after '" + var +
+                                       "' in WHERE");
+      }
+      tok = next();
+      if (!tok.ok()) return tok.status();
+      if (tok->kind != TokKind::kIdent) {
+        return Status::InvalidArgument("expected attribute in WHERE");
+      }
+      std::string attr_name = tok->text;
+      tok = next();
+      if (!tok.ok()) return tok.status();
+      if (tok->kind != TokKind::kEquals) {
+        return Status::InvalidArgument(
+            "only equality predicates are supported");
+      }
+      tok = next();
+      if (!tok.ok()) return tok.status();
+      if (tok->kind != TokKind::kString) {
+        return Status::InvalidArgument("expected 'literal' in WHERE");
+      }
+      std::string literal = tok->text;
+
+      int bi = -1;
+      for (size_t i = 0; i < bindings.size(); ++i) {
+        if (bindings[i].var == var) bi = static_cast<int>(i);
+      }
+      if (bi < 0) {
+        return Status::InvalidArgument("unknown range variable '" + var +
+                                       "' in WHERE");
+      }
+      Binding& b = bindings[static_cast<size_t>(bi)];
+      Result<nf2::AttrId> field = catalog.FindField(b.elem_attr, attr_name);
+      if (!field.ok()) return field.status();
+      if (!catalog.attr(*field).is_key) {
+        return Status::InvalidArgument(
+            "'" + attr_name +
+            "' is not a key attribute; only key-equality predicates are in "
+            "the supported fragment");
+      }
+      if (bi == 0) {
+        q.object_key = literal;
+      } else {
+        b.elem_key = literal;
+      }
+
+      tok = next();
+      if (!tok.ok()) return tok.status();
+      if (IsKeyword(*tok, "AND")) continue;
+      break;
+    }
+  }
+
+  // --- FOR clause. ---
+  if (!IsKeyword(*tok, "FOR")) {
+    return Status::InvalidArgument("expected FOR READ/UPDATE/DELETE");
+  }
+  tok = next();
+  if (!tok.ok()) return tok.status();
+  std::string kind = Upper(tok->text);
+  if (kind == "READ") {
+    q.kind = AccessKind::kRead;
+  } else if (kind == "UPDATE") {
+    q.kind = AccessKind::kUpdate;
+  } else if (kind == "DELETE") {
+    q.kind = AccessKind::kDelete;
+  } else {
+    return Status::InvalidArgument("FOR must be READ, UPDATE or DELETE");
+  }
+  tok = next();
+  if (!tok.ok()) return tok.status();
+  if (tok->kind != TokKind::kEnd) {
+    return Status::InvalidArgument("trailing input after FOR " + kind);
+  }
+
+  // --- Lower the selected variable to a navigation path. ---
+  int target = -1;
+  for (size_t i = 0; i < bindings.size(); ++i) {
+    if (bindings[i].var == select_var) target = static_cast<int>(i);
+  }
+  if (target < 0) {
+    return Status::InvalidArgument("SELECT variable '" + select_var +
+                                   "' is not bound in FROM");
+  }
+  // Chain from the relation binding down to the target.
+  std::vector<int> chain;
+  for (int cur = target; cur > 0;
+       cur = bindings[static_cast<size_t>(cur)].parent) {
+    chain.push_back(cur);
+  }
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    const Binding& b = bindings[static_cast<size_t>(*it)];
+    const bool last = (*it == target);
+    if (!b.elem_key.empty()) {
+      q.path.push_back(nf2::PathStep::Elem(b.attr_name, b.elem_key));
+    } else if (last) {
+      // Unselected final collection: the query ranges over all elements.
+      q.path.push_back(nf2::PathStep::Field(b.attr_name));
+    } else {
+      return Status::InvalidArgument(
+          "intermediate range variable '" + b.var +
+          "' must be selected by a key predicate");
+    }
+  }
+  q.name = text;
+  return q;
+}
+
+}  // namespace codlock::query

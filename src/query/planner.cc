@@ -1,0 +1,168 @@
+#include "query/planner.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace codlock::query {
+
+std::string_view GranulePolicyName(GranulePolicy policy) {
+  switch (policy) {
+    case GranulePolicy::kWholeObject:
+      return "whole-object";
+    case GranulePolicy::kTuple:
+      return "tuple";
+    case GranulePolicy::kOptimal:
+      return "optimal";
+  }
+  return "?";
+}
+
+std::string QuerySpecificLockGraph::ToString(
+    const logra::LockGraph& graph) const {
+  std::ostringstream os;
+  for (const Entry& e : entries) {
+    os << "  " << graph.NodeName(e.node) << " <- "
+       << lock::LockModeName(e.mode);
+    if (e.per_element) os << " (per element)";
+    os << '\n';
+  }
+  return os.str();
+}
+
+Result<QueryPlan> LockPlanner::Plan(const Query& query) const {
+  if (query.relation == nf2::kInvalidRelation ||
+      query.relation >= catalog_->num_relations()) {
+    return Status::InvalidArgument("query names an unknown relation");
+  }
+  // Validate the path against the schema early (query analysis).
+  Result<nf2::AttrId> target_attr =
+      ResolvePathAttr(*catalog_, query.relation, query.path);
+  if (!target_attr.ok()) return target_attr.status();
+
+  QueryPlan plan;
+  plan.policy = options_.policy;
+  plan.target_mode = query.is_write() ? LockMode::kX : LockMode::kS;
+  plan.access_implies_refs = query.access_implies_refs;
+
+  switch (options_.policy) {
+    case GranulePolicy::kWholeObject:
+      // The whole complex object, references included, behind one lock.
+      plan.lock_path = {};
+      plan.per_element = false;
+      plan.expected_target_locks = 1.0;
+      break;
+
+    case GranulePolicy::kTuple: {
+      plan.lock_path = query.path;
+      const nf2::AttrDef& def = catalog_->attr(*target_attr);
+      // "Locking each single tuple individually": a collection target is
+      // locked element by element, regardless of how many there are.
+      plan.per_element = nf2::IsCollection(def.kind);
+      plan.expected_target_locks =
+          plan.per_element
+              ? std::max(1.0, query.selectivity *
+                                  stats_->CardinalityOf(*target_attr))
+              : 1.0;
+      break;
+    }
+
+    case GranulePolicy::kOptimal: {
+      plan.lock_path = query.path;
+      const nf2::AttrDef& def = catalog_->attr(*target_attr);
+      if (nf2::IsCollection(def.kind)) {
+        // Anticipated escalation: estimate the fine-granule lock count;
+        // if it exceeds θ, lock the collection HoLU up-front instead.
+        double expected = std::max(
+            1.0, query.selectivity * stats_->CardinalityOf(*target_attr));
+        if (expected <= options_.escalation_threshold) {
+          plan.per_element = true;
+          plan.expected_target_locks = expected;
+        } else {
+          plan.per_element = false;
+          plan.expected_target_locks = 1.0;
+        }
+      } else {
+        plan.per_element = false;
+        plan.expected_target_locks = 1.0;
+      }
+      // Whole-object accesses collapse to the complex-object granule.
+      if (query.path.empty()) {
+        plan.lock_path = {};
+        plan.per_element = false;
+      }
+      break;
+    }
+  }
+
+  BuildQslg(query, &plan);
+  return plan;
+}
+
+void LockPlanner::BuildQslg(const Query& query, QueryPlan* plan) const {
+  const nf2::RelationDef& rdef = catalog_->relation(query.relation);
+  const LockMode intention = lock::IntentionFor(plan->target_mode);
+  auto add = [plan](logra::NodeId node, LockMode mode, bool per_element) {
+    plan->qslg.entries.push_back(
+        QuerySpecificLockGraph::Entry{node, mode, per_element});
+  };
+
+  // Path from the outer unit's root to the target (rule 5 order).
+  add(graph_->DatabaseNode(rdef.database), intention, false);
+  add(graph_->SegmentNode(rdef.segment), intention, false);
+  add(graph_->RelationNode(query.relation), intention, false);
+
+  nf2::AttrId cur = rdef.root;
+  std::vector<nf2::AttrId> attr_chain{cur};
+  for (const nf2::PathStep& step : query.path) {
+    Result<nf2::AttrId> field = catalog_->FindField(cur, step.attr_name);
+    if (!field.ok()) return;  // Plan() validated already
+    cur = *field;
+    attr_chain.push_back(cur);
+    if (step.selects_element()) {
+      Result<nf2::AttrId> elem = catalog_->ElementAttr(cur);
+      if (!elem.ok()) return;
+      cur = *elem;
+      attr_chain.push_back(cur);
+    }
+  }
+
+  // Intention locks on the chain; the last node gets the target mode —
+  // unless per-element locking is planned, in which case the collection
+  // node keeps its intention mode and the element node is marked.
+  for (size_t i = 0; i < attr_chain.size(); ++i) {
+    logra::NodeId node = graph_->NodeForAttr(attr_chain[i]);
+    const bool last = i + 1 == attr_chain.size();
+    if (!last) {
+      add(node, intention, false);
+      continue;
+    }
+    if (plan->per_element) {
+      add(node, intention, false);
+      Result<nf2::AttrId> elem = catalog_->ElementAttr(attr_chain[i]);
+      if (elem.ok()) {
+        add(graph_->NodeForAttr(*elem), plan->target_mode, true);
+      }
+    } else {
+      add(node, plan->target_mode, false);
+    }
+  }
+
+  // Anticipated downward propagation: entry points of shared relations
+  // reachable from the target node appear in the query-specific lock
+  // graph with the mode rule 4/4′ will request (shown as S here; the
+  // protocol decides S vs X per transaction rights at run time).
+  if (plan->access_implies_refs &&
+      (plan->target_mode == LockMode::kS || plan->target_mode == LockMode::kX)) {
+    logra::NodeId target_node = plan->qslg.entries.back().node;
+    for (nf2::RelationId shared :
+         graph_->ReachableSharedRelations(target_node)) {
+      const nf2::RelationDef& sdef = catalog_->relation(shared);
+      add(graph_->DatabaseNode(sdef.database), LockMode::kIS, false);
+      add(graph_->SegmentNode(sdef.segment), LockMode::kIS, false);
+      add(graph_->RelationNode(shared), LockMode::kIS, false);
+      add(graph_->ComplexObjectNode(shared), LockMode::kS, false);
+    }
+  }
+}
+
+}  // namespace codlock::query

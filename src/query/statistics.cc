@@ -1,0 +1,63 @@
+#include "query/statistics.h"
+
+namespace codlock::query {
+
+namespace {
+
+struct Accum {
+  double sum = 0;
+  uint64_t n = 0;
+  void Add(double v) {
+    sum += v;
+    ++n;
+  }
+  double Avg() const { return n == 0 ? 0.0 : sum / static_cast<double>(n); }
+};
+
+/// Walks one value tree, accumulating per-attribute cardinality and
+/// subtree-size observations.  Returns the subtree size of \p v.
+size_t Walk(const nf2::Catalog& catalog, nf2::AttrId attr,
+            const nf2::Value& v,
+            std::unordered_map<nf2::AttrId, Accum>* card,
+            std::unordered_map<nf2::AttrId, Accum>* size) {
+  size_t subtree = 1;
+  if (!v.is_atomic() && !v.is_ref()) {
+    const nf2::AttrDef& def = catalog.attr(attr);
+    if (nf2::IsCollection(def.kind)) {
+      (*card)[attr].Add(static_cast<double>(v.children().size()));
+      for (const nf2::Value& child : v.children()) {
+        subtree += Walk(catalog, def.children[0], child, card, size);
+      }
+    } else {  // tuple
+      for (size_t i = 0; i < v.children().size(); ++i) {
+        subtree +=
+            Walk(catalog, def.children[i], v.children()[i], card, size);
+      }
+    }
+  }
+  (*size)[attr].Add(static_cast<double>(subtree));
+  return subtree;
+}
+
+}  // namespace
+
+Statistics Statistics::Collect(const nf2::Catalog& catalog,
+                               const nf2::InstanceStore& store) {
+  std::unordered_map<nf2::AttrId, Accum> card;
+  std::unordered_map<nf2::AttrId, Accum> size;
+  Statistics out;
+  for (nf2::RelationId rel = 0; rel < catalog.num_relations(); ++rel) {
+    std::vector<nf2::ObjectId> objects = store.ObjectsOf(rel);
+    out.relation_cardinality[rel] = static_cast<double>(objects.size());
+    for (nf2::ObjectId obj : objects) {
+      Result<const nf2::Object*> o = store.Get(rel, obj);
+      if (!o.ok()) continue;
+      Walk(catalog, catalog.relation(rel).root, (*o)->root, &card, &size);
+    }
+  }
+  for (const auto& [attr, acc] : card) out.avg_cardinality[attr] = acc.Avg();
+  for (const auto& [attr, acc] : size) out.avg_subtree_size[attr] = acc.Avg();
+  return out;
+}
+
+}  // namespace codlock::query

@@ -1,0 +1,47 @@
+/// \file statistics.h
+/// \brief Structural statistics feeding the lock planner.
+///
+/// §4.5 / [HDKS89]: "the lock granules and the corresponding lock modes
+/// are determined automatically from a query and additional structural and
+/// statistical information."  The statistics are per-attribute averages
+/// collected by scanning the instance store (a real system would maintain
+/// them in the catalog).
+
+#ifndef CODLOCK_QUERY_STATISTICS_H_
+#define CODLOCK_QUERY_STATISTICS_H_
+
+#include <unordered_map>
+
+#include "nf2/schema.h"
+#include "nf2/store.h"
+
+namespace codlock::query {
+
+/// \brief Per-attribute structural statistics.
+struct Statistics {
+  /// Average element count of each collection attribute.
+  std::unordered_map<nf2::AttrId, double> avg_cardinality;
+  /// Average number of value nodes in the subtree of each attribute.
+  std::unordered_map<nf2::AttrId, double> avg_subtree_size;
+  /// Objects per relation.
+  std::unordered_map<nf2::RelationId, double> relation_cardinality;
+
+  /// Cardinality estimate for \p attr (fallback if never observed).
+  double CardinalityOf(nf2::AttrId attr, double fallback = 1.0) const {
+    auto it = avg_cardinality.find(attr);
+    return it != avg_cardinality.end() ? it->second : fallback;
+  }
+
+  double SubtreeSizeOf(nf2::AttrId attr, double fallback = 1.0) const {
+    auto it = avg_subtree_size.find(attr);
+    return it != avg_subtree_size.end() ? it->second : fallback;
+  }
+
+  /// Collects statistics by a full scan of \p store.
+  static Statistics Collect(const nf2::Catalog& catalog,
+                            const nf2::InstanceStore& store);
+};
+
+}  // namespace codlock::query
+
+#endif  // CODLOCK_QUERY_STATISTICS_H_

@@ -1,0 +1,100 @@
+#include "sim/engine.h"
+
+namespace codlock::sim {
+
+std::string_view ProtocolChoiceName(ProtocolChoice p) {
+  switch (p) {
+    case ProtocolChoice::kComplexObject:
+      return "complex-object(4')";
+    case ProtocolChoice::kComplexObjectRule4:
+      return "complex-object(4)";
+    case ProtocolChoice::kSysRAllParents:
+      return "sysr-dag(all-parents)";
+    case ProtocolChoice::kSysRPathOnly:
+      return "sysr-dag(path-only)";
+  }
+  return "?";
+}
+
+Engine::Engine(const nf2::Catalog* catalog, nf2::InstanceStore* store,
+               EngineOptions options)
+    : catalog_(catalog),
+      store_(store),
+      options_(options),
+      graph_(logra::LockGraph::Build(*catalog)),
+      stats_(query::Statistics::Collect(*catalog, *store)) {
+  lm_ = std::make_unique<lock::LockManager>(options_.lock_manager);
+  txns_ = std::make_unique<txn::TxnManager>(lm_.get(), &undo_, store_);
+
+  switch (options_.protocol) {
+    case ProtocolChoice::kComplexObject:
+    case ProtocolChoice::kComplexObjectRule4: {
+      proto::ComplexObjectProtocol::Options popts;
+      popts.use_rule4_prime =
+          options_.protocol == ProtocolChoice::kComplexObject;
+      popts.timeout_ms = options_.lock_timeout_ms;
+      protocol_ = std::make_unique<proto::ComplexObjectProtocol>(
+          &graph_, store_, lm_.get(), &authz_, popts);
+      break;
+    }
+    case ProtocolChoice::kSysRAllParents:
+    case ProtocolChoice::kSysRPathOnly: {
+      proto::SystemRDagProtocol::Options popts;
+      popts.variant = options_.protocol == ProtocolChoice::kSysRAllParents
+                          ? proto::SystemRDagProtocol::Variant::kAllParents
+                          : proto::SystemRDagProtocol::Variant::kPathOnly;
+      popts.timeout_ms = options_.lock_timeout_ms;
+      protocol_ = std::make_unique<proto::SystemRDagProtocol>(
+          &graph_, store_, lm_.get(), popts);
+      break;
+    }
+  }
+
+  query::LockPlanner::Options plan_opts;
+  plan_opts.policy = options_.policy;
+  plan_opts.escalation_threshold = options_.escalation_threshold;
+  planner_ = std::make_unique<query::LockPlanner>(&graph_, catalog_, &stats_,
+                                                  plan_opts);
+  query::QueryExecutor::Options exec_opts;
+  exec_opts.apply_writes = options_.apply_writes;
+  exec_opts.runtime_escalation_threshold =
+      options_.runtime_escalation_threshold;
+  exec_opts.stats = &lm_->stats();
+  exec_opts.undo = &undo_;
+  executor_ = std::make_unique<query::QueryExecutor>(
+      &graph_, catalog_, store_, protocol_.get(), exec_opts);
+  validator_ = std::make_unique<proto::ProtocolValidator>(&graph_, store_);
+}
+
+void Engine::RefreshStatistics() {
+  stats_ = query::Statistics::Collect(*catalog_, *store_);
+  query::LockPlanner::Options plan_opts;
+  plan_opts.policy = options_.policy;
+  plan_opts.escalation_threshold = options_.escalation_threshold;
+  planner_ = std::make_unique<query::LockPlanner>(&graph_, catalog_, &stats_,
+                                                  plan_opts);
+}
+
+Result<query::QueryResult> Engine::RunQuery(txn::Transaction& txn,
+                                            const query::Query& query) {
+  Result<query::QueryPlan> plan = planner_->Plan(query);
+  if (!plan.ok()) return plan.status();
+  return executor_->Execute(txn, query, *plan);
+}
+
+Result<query::QueryResult> Engine::RunShortTxn(authz::UserId user,
+                                               const query::Query& query) {
+  txn::Transaction* txn = txns_->Begin(user, txn::TxnKind::kShort);
+  Result<query::QueryResult> result = RunQuery(*txn, query);
+  if (!result.ok()) {
+    txns_->Abort(txn);
+    txns_->Forget(txn->id());
+    return result.status();
+  }
+  Status st = txns_->Commit(txn);
+  txns_->Forget(txn->id());
+  if (!st.ok()) return st;
+  return result;
+}
+
+}  // namespace codlock::sim

@@ -1,0 +1,99 @@
+/// \file engine.h
+/// \brief One-stop wiring of the whole stack for a chosen protocol and
+/// granule policy.
+///
+/// Tests, examples and benchmarks all need the same assembly: lock graph,
+/// lock manager, transaction manager, authorization, statistics, planner,
+/// protocol, executor.  `Engine` builds it from an `EngineOptions`, so a
+/// benchmark can run the identical workload under every
+/// protocol × policy combination (the comparisons of §3 and §4.6).
+
+#ifndef CODLOCK_SIM_ENGINE_H_
+#define CODLOCK_SIM_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "authz/authz.h"
+#include "proto/co_protocol.h"
+#include "proto/sysr_protocol.h"
+#include "proto/validator.h"
+#include "query/executor.h"
+#include "query/planner.h"
+#include "txn/txn_manager.h"
+
+namespace codlock::sim {
+
+/// Which lock protocol the engine runs.
+enum class ProtocolChoice : uint8_t {
+  kComplexObject,       ///< the paper's protocol with rule 4′
+  kComplexObjectRule4,  ///< the paper's protocol with plain rule 4
+  kSysRAllParents,      ///< traditional DAG, sound all-parents variant
+  kSysRPathOnly,        ///< traditional DAG, unsound path-only variant
+};
+
+std::string_view ProtocolChoiceName(ProtocolChoice p);
+
+struct EngineOptions {
+  ProtocolChoice protocol = ProtocolChoice::kComplexObject;
+  query::GranulePolicy policy = query::GranulePolicy::kOptimal;
+  double escalation_threshold = 16.0;
+  uint64_t lock_timeout_ms = 2'000;
+  bool apply_writes = false;
+  /// > 0: disable anticipation and escalate at run time instead (the
+  /// [HDKS89] ablation, benchmark E5b).
+  uint32_t runtime_escalation_threshold = 0;
+  lock::LockManager::Options lock_manager;
+};
+
+/// \brief A fully wired engine over an externally owned catalog + store.
+class Engine {
+ public:
+  Engine(const nf2::Catalog* catalog, nf2::InstanceStore* store,
+         EngineOptions options);
+  Engine(const nf2::Catalog* catalog, nf2::InstanceStore* store)
+      : Engine(catalog, store, EngineOptions()) {}
+
+  /// Plans and executes \p query within \p txn.
+  Result<query::QueryResult> RunQuery(txn::Transaction& txn,
+                                      const query::Query& query);
+
+  /// Begins, executes and commits a short transaction around \p query;
+  /// aborts (and reports the error) on lock failure.
+  Result<query::QueryResult> RunShortTxn(authz::UserId user,
+                                         const query::Query& query);
+
+  lock::LockManager& lock_manager() { return *lm_; }
+  txn::UndoLog& undo_log() { return undo_; }
+  txn::TxnManager& txn_manager() { return *txns_; }
+  authz::AuthorizationManager& authorization() { return authz_; }
+  const logra::LockGraph& graph() const { return graph_; }
+  query::LockPlanner& planner() { return *planner_; }
+  query::QueryExecutor& executor() { return *executor_; }
+  proto::LockProtocol& protocol() { return *protocol_; }
+  proto::ProtocolValidator& validator() { return *validator_; }
+  const query::Statistics& statistics() const { return stats_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Re-collects statistics (after bulk loading more data).
+  void RefreshStatistics();
+
+ private:
+  const nf2::Catalog* catalog_;
+  nf2::InstanceStore* store_;
+  EngineOptions options_;
+  logra::LockGraph graph_;
+  authz::AuthorizationManager authz_;
+  txn::UndoLog undo_;
+  query::Statistics stats_;
+  std::unique_ptr<lock::LockManager> lm_;
+  std::unique_ptr<txn::TxnManager> txns_;
+  std::unique_ptr<proto::LockProtocol> protocol_;
+  std::unique_ptr<query::LockPlanner> planner_;
+  std::unique_ptr<query::QueryExecutor> executor_;
+  std::unique_ptr<proto::ProtocolValidator> validator_;
+};
+
+}  // namespace codlock::sim
+
+#endif  // CODLOCK_SIM_ENGINE_H_

@@ -1,0 +1,90 @@
+/// \file fixtures.h
+/// \brief Shared schema/instance builders for tests, examples and benches.
+///
+/// `BuildCellsEffectors*` reproduces the paper's running example (Fig. 1):
+/// a relation "cells" of manufacturing cells containing a set of
+/// cell-objects and an ordered list of robots, each robot holding a set of
+/// references into a shared relation "effectors" (the tool library) — the
+/// canonical non-disjoint, non-recursive complex objects.
+///
+/// `BuildSynthetic*` generates parameterized schemas/instances for the
+/// depth × sharing sweeps (benchmark E8).
+
+#ifndef CODLOCK_SIM_FIXTURES_H_
+#define CODLOCK_SIM_FIXTURES_H_
+
+#include <memory>
+#include <string>
+
+#include "nf2/schema.h"
+#include "nf2/store.h"
+#include "util/rng.h"
+
+namespace codlock::sim {
+
+/// \brief The Fig. 1 database: ids of everything the examples reference.
+struct CellsFixture {
+  std::unique_ptr<nf2::Catalog> catalog;
+  std::unique_ptr<nf2::InstanceStore> store;
+  nf2::DatabaseId db = 0;
+  nf2::SegmentId seg1 = 0;  ///< holds "cells"
+  nf2::SegmentId seg2 = 0;  ///< holds "effectors"
+  nf2::RelationId cells = 0;
+  nf2::RelationId effectors = 0;
+};
+
+/// Parameters for populating the cells/effectors database.
+struct CellsParams {
+  int num_cells = 4;
+  int c_objects_per_cell = 8;
+  int robots_per_cell = 3;
+  int num_effectors = 8;
+  int effectors_per_robot = 2;
+  uint64_t seed = 42;
+};
+
+/// Builds schema + instances of the paper's Fig. 1 example.
+///
+/// Cells are keyed "c1", "c2", ...; robots "r1", "r2", ... (unique across
+/// cells); effectors "e1", "e2", ....  Each robot references
+/// `effectors_per_robot` effectors chosen round-robin with a random
+/// offset, so effectors are genuinely shared between robots and cells.
+CellsFixture BuildCellsEffectors(const CellsParams& params);
+CellsFixture BuildCellsEffectors();
+
+/// Builds exactly the instance of Figures 6/7: one cell "c1" with
+/// c_objects o1..o3 and robots r1 (→ e1, e2) and r2 (→ e2, e3), plus
+/// effectors e1, e2, e3 — so Q2 (update r1) and Q3 (update r2) share
+/// effector e2.
+CellsFixture BuildFigure7Instance();
+
+/// \brief A synthetic database for depth/sharing sweeps.
+struct SyntheticFixture {
+  std::unique_ptr<nf2::Catalog> catalog;
+  std::unique_ptr<nf2::InstanceStore> store;
+  nf2::RelationId main_relation = 0;    ///< "parts"
+  nf2::RelationId shared_relation = 0;  ///< "library" (kInvalidRelation if sharing=0)
+};
+
+/// Parameters of the synthetic generator.
+struct SyntheticParams {
+  /// Nesting depth of the main relation's objects below the root tuple
+  /// (each level is a set of tuples); >= 1.
+  int depth = 3;
+  /// Elements per collection at every level.
+  int fanout = 4;
+  /// References to shared library objects per innermost tuple
+  /// (0 = fully disjoint complex objects).
+  int refs_per_leaf = 1;
+  /// Number of objects in the main relation.
+  int num_objects = 16;
+  /// Number of shared library objects.
+  int num_shared = 8;
+  uint64_t seed = 7;
+};
+
+SyntheticFixture BuildSynthetic(const SyntheticParams& params);
+
+}  // namespace codlock::sim
+
+#endif  // CODLOCK_SIM_FIXTURES_H_

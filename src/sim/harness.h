@@ -1,0 +1,102 @@
+/// \file harness.h
+/// \brief Multithreaded workload harness and metric reporting.
+///
+/// The paper evaluates only qualitatively and names "simulations with
+/// regard to the efficiency of the proposed technique" as future work
+/// (§5).  This harness is that simulation: it runs a configurable
+/// transaction mix on worker threads through an `Engine` and reports
+/// throughput, blocking, overhead and abort metrics, which the E1–E9
+/// benchmarks print per configuration.
+
+#ifndef CODLOCK_SIM_HARNESS_H_
+#define CODLOCK_SIM_HARNESS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace codlock::sim {
+
+/// \brief One transaction of a workload: the queries it executes and how
+/// long it "thinks" between them (long transactions have big think times).
+struct TxnScript {
+  authz::UserId user = 1;
+  std::vector<query::Query> queries;
+  /// Simulated think/IO time per query, in microseconds, spent *while
+  /// holding the query's locks* (sleeping, so unblocked transactions can
+  /// use the CPU meanwhile — see RunWorkload).
+  uint64_t work_us = 0;
+};
+
+/// Generates the \p index-th transaction for worker \p thread.
+using TxnGenerator =
+    std::function<TxnScript(int thread, int index, Rng& rng)>;
+
+/// \brief Workload configuration.
+struct WorkloadConfig {
+  int threads = 4;
+  int txns_per_thread = 50;
+  uint64_t seed = 1;
+  /// Abort-and-retry budget per transaction (deadlock victims retry).
+  int max_retries = 3;
+};
+
+/// \brief Aggregated outcome of one workload run.
+struct WorkloadReport {
+  uint64_t committed = 0;
+  uint64_t deadlock_aborts = 0;
+  uint64_t wound_aborts = 0;  ///< wound-wait preemptions (retried)
+  uint64_t timeout_aborts = 0;
+  uint64_t other_errors = 0;
+  uint64_t queries_executed = 0;
+  uint64_t values_read = 0;
+  uint64_t values_written = 0;
+  uint64_t elapsed_ns = 0;
+
+  // Lock-manager statistics deltas over the run.
+  uint64_t lock_requests = 0;
+  uint64_t lock_waits = 0;
+  uint64_t conflicts = 0;
+  uint64_t compat_tests = 0;
+  uint64_t upward_propagations = 0;
+  uint64_t downward_propagations = 0;
+  uint64_t parent_searches = 0;
+  int64_t max_held_locks = 0;
+  double mean_wait_us = 0.0;
+
+  double throughput_tps() const {
+    if (elapsed_ns == 0) return 0.0;
+    return static_cast<double>(committed) * 1e9 /
+           static_cast<double>(elapsed_ns);
+  }
+  /// Lock requests per committed transaction (the overhead axis of
+  /// [RiSt77]'s granularity trade-off).
+  double locks_per_txn() const {
+    return committed == 0 ? 0.0
+                          : static_cast<double>(lock_requests) /
+                                static_cast<double>(committed);
+  }
+
+  /// One-line summary for benchmark tables.
+  std::string Row(const std::string& label) const;
+  /// Header matching `Row`.
+  static std::string Header();
+};
+
+/// Runs \p config.threads workers, each executing
+/// \p config.txns_per_thread transactions produced by \p generator,
+/// through \p engine.  Deadlock/timeout victims are retried up to
+/// `max_retries` times; every attempt aborts or commits cleanly.
+WorkloadReport RunWorkload(Engine& engine, const WorkloadConfig& config,
+                           const TxnGenerator& generator);
+
+/// Spins for approximately \p us microseconds (simulated work).
+void SpinFor(uint64_t us);
+
+}  // namespace codlock::sim
+
+#endif  // CODLOCK_SIM_HARNESS_H_

@@ -1,0 +1,81 @@
+#include "txn/txn_manager.h"
+
+namespace codlock::txn {
+
+Transaction* TxnManager::Begin(authz::UserId user, TxnKind kind) {
+  TxnId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  auto txn = std::make_unique<Transaction>(id, user, kind);
+  Transaction* raw = txn.get();
+  std::lock_guard lk(mu_);
+  txns_.emplace(id, std::move(txn));
+  return raw;
+}
+
+Transaction* TxnManager::Adopt(TxnId id, authz::UserId user, TxnKind kind) {
+  auto txn = std::make_unique<Transaction>(id, user, kind);
+  Transaction* raw = txn.get();
+  std::lock_guard lk(mu_);
+  // Keep future ids younger than every adopted id.
+  TxnId next = next_id_.load(std::memory_order_relaxed);
+  while (next <= id && !next_id_.compare_exchange_weak(
+                           next, id + 1, std::memory_order_relaxed)) {
+  }
+  txns_[id] = std::move(txn);
+  return raw;
+}
+
+Status TxnManager::Finish(Transaction* txn, TxnState final_state) {
+  if (txn == nullptr) return Status::InvalidArgument("null transaction");
+  TxnState expected = TxnState::kActive;
+  if (!txn->state_.compare_exchange_strong(expected, final_state,
+                                           std::memory_order_acq_rel)) {
+    return Status::FailedPrecondition(
+        "transaction " + std::to_string(txn->id()) + " is not active");
+  }
+  Status undo_status;
+  if (undo_log_ != nullptr && store_ != nullptr) {
+    if (final_state == TxnState::kAborted) {
+      // Undo before releasing: the exclusive locks still protect the
+      // before-images being written back.
+      undo_status = undo_log_->Rollback(txn->id(), store_);
+    } else {
+      undo_log_->Discard(txn->id());
+    }
+  }
+  lock_manager_->ReleaseAll(txn->id());
+  return undo_status;
+}
+
+Status TxnManager::Commit(Transaction* txn) {
+  return Finish(txn, TxnState::kCommitted);
+}
+
+Status TxnManager::Abort(Transaction* txn) {
+  return Finish(txn, TxnState::kAborted);
+}
+
+Result<Transaction*> TxnManager::Get(TxnId id) const {
+  std::lock_guard lk(mu_);
+  auto it = txns_.find(id);
+  if (it == txns_.end()) {
+    return Status::NotFound("transaction " + std::to_string(id) +
+                            " not found");
+  }
+  return it->second.get();
+}
+
+void TxnManager::Forget(TxnId id) {
+  std::lock_guard lk(mu_);
+  txns_.erase(id);
+}
+
+size_t TxnManager::ActiveCount() const {
+  std::lock_guard lk(mu_);
+  size_t n = 0;
+  for (const auto& [id, txn] : txns_) {
+    if (txn->active()) ++n;
+  }
+  return n;
+}
+
+}  // namespace codlock::txn

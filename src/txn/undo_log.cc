@@ -1,0 +1,84 @@
+#include "txn/undo_log.h"
+
+namespace codlock::txn {
+
+void UndoLog::RecordIntUpdate(lock::TxnId txn, nf2::Iid iid, int64_t before) {
+  std::lock_guard lk(mu_);
+  records_[txn].push_back(IntUpdate{iid, before});
+}
+
+void UndoLog::RecordStringUpdate(lock::TxnId txn, nf2::Iid iid,
+                                 std::string before) {
+  std::lock_guard lk(mu_);
+  records_[txn].push_back(StringUpdate{iid, std::move(before)});
+}
+
+void UndoLog::RecordInsert(lock::TxnId txn, nf2::RelationId rel,
+                           nf2::ObjectId obj, nf2::Path coll_path,
+                           std::string elem_key) {
+  std::lock_guard lk(mu_);
+  records_[txn].push_back(
+      Insert{rel, obj, std::move(coll_path), std::move(elem_key)});
+}
+
+void UndoLog::RecordRemove(lock::TxnId txn, nf2::RelationId rel,
+                           nf2::ObjectId obj, nf2::Path coll_path,
+                           nf2::Value before) {
+  std::lock_guard lk(mu_);
+  records_[txn].push_back(
+      Remove{rel, obj, std::move(coll_path), std::move(before)});
+}
+
+Status UndoLog::Rollback(lock::TxnId txn, nf2::InstanceStore* store) {
+  std::vector<Record> records;
+  {
+    std::lock_guard lk(mu_);
+    auto it = records_.find(txn);
+    if (it == records_.end()) return Status::OK();
+    records = std::move(it->second);
+    records_.erase(it);
+  }
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    Status st = std::visit(
+        [&](auto&& rec) -> Status {
+          using T = std::decay_t<decltype(rec)>;
+          if constexpr (std::is_same_v<T, IntUpdate>) {
+            Result<nf2::InstanceStore::IidInfo> info = store->FindIid(rec.iid);
+            if (!info.ok()) return info.status();
+            const_cast<nf2::Value*>(info->value)->set_int(rec.before);
+            return Status::OK();
+          } else if constexpr (std::is_same_v<T, StringUpdate>) {
+            Result<nf2::InstanceStore::IidInfo> info = store->FindIid(rec.iid);
+            if (!info.ok()) return info.status();
+            const_cast<nf2::Value*>(info->value)->set_string(rec.before);
+            return Status::OK();
+          } else if constexpr (std::is_same_v<T, Insert>) {
+            return store->RemoveElement(rec.rel, rec.obj, rec.coll_path,
+                                        rec.elem_key);
+          } else {  // Remove
+            Result<nf2::Iid> restored = store->AddElement(
+                rec.rel, rec.obj, rec.coll_path, std::move(rec.before));
+            return restored.ok() ? Status::OK() : restored.status();
+          }
+        },
+        *it);
+    if (!st.ok()) {
+      return Status::Internal("undo failed (invariant violation): " +
+                              st.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+void UndoLog::Discard(lock::TxnId txn) {
+  std::lock_guard lk(mu_);
+  records_.erase(txn);
+}
+
+size_t UndoLog::PendingRecords(lock::TxnId txn) const {
+  std::lock_guard lk(mu_);
+  auto it = records_.find(txn);
+  return it == records_.end() ? 0 : it->second.size();
+}
+
+}  // namespace codlock::txn

@@ -1,0 +1,91 @@
+/// \file undo_log.h
+/// \brief Before-image undo log: aborts roll data changes back.
+///
+/// The lock technique guarantees isolation; atomicity of aborted
+/// transactions additionally needs undo.  This log records before-images
+/// for the three kinds of changes the executor makes — atomic-leaf
+/// updates, element inserts, element removals — and applies them in LIFO
+/// order on rollback.
+///
+/// Records address values by *instance id*, not by pointer: structural
+/// changes relocate value nodes, and the store's iid index is refreshed on
+/// every structural operation, so resolving at rollback time is always
+/// safe.  Under strict 2PL the aborting transaction still holds exclusive
+/// locks on everything it changed, so rollback races with nobody.
+
+#ifndef CODLOCK_TXN_UNDO_LOG_H_
+#define CODLOCK_TXN_UNDO_LOG_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "lock/resource.h"
+#include "nf2/store.h"
+#include "util/status.h"
+
+namespace codlock::txn {
+
+/// \brief Per-transaction undo records, applied LIFO on abort.
+class UndoLog {
+ public:
+  /// Records the before-image of an int leaf (identified by \p iid).
+  void RecordIntUpdate(lock::TxnId txn, nf2::Iid iid, int64_t before);
+
+  /// Records the before-image of a string leaf.
+  void RecordStringUpdate(lock::TxnId txn, nf2::Iid iid, std::string before);
+
+  /// Records that \p elem_key was inserted into the collection at
+  /// \p coll_path of (\p rel, \p obj): undo removes it again.
+  void RecordInsert(lock::TxnId txn, nf2::RelationId rel, nf2::ObjectId obj,
+                    nf2::Path coll_path, std::string elem_key);
+
+  /// Records the full before-image of a removed element: undo re-inserts
+  /// it (with fresh instance ids — logical, not physical, restoration).
+  void RecordRemove(lock::TxnId txn, nf2::RelationId rel, nf2::ObjectId obj,
+                    nf2::Path coll_path, nf2::Value before);
+
+  /// Applies all records of \p txn in reverse order against \p store and
+  /// discards them.  Missing targets (e.g. the whole object was erased)
+  /// abort the rollback with an error — an invariant violation under
+  /// strict 2PL.
+  Status Rollback(lock::TxnId txn, nf2::InstanceStore* store);
+
+  /// Drops \p txn's records (commit).
+  void Discard(lock::TxnId txn);
+
+  /// Number of pending records for \p txn (tests).
+  size_t PendingRecords(lock::TxnId txn) const;
+
+ private:
+  struct IntUpdate {
+    nf2::Iid iid;
+    int64_t before;
+  };
+  struct StringUpdate {
+    nf2::Iid iid;
+    std::string before;
+  };
+  struct Insert {
+    nf2::RelationId rel;
+    nf2::ObjectId obj;
+    nf2::Path coll_path;
+    std::string elem_key;
+  };
+  struct Remove {
+    nf2::RelationId rel;
+    nf2::ObjectId obj;
+    nf2::Path coll_path;
+    nf2::Value before;
+  };
+  using Record = std::variant<IntUpdate, StringUpdate, Insert, Remove>;
+
+  mutable std::mutex mu_;
+  std::unordered_map<lock::TxnId, std::vector<Record>> records_;
+};
+
+}  // namespace codlock::txn
+
+#endif  // CODLOCK_TXN_UNDO_LOG_H_

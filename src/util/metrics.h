@@ -1,0 +1,111 @@
+/// \file metrics.h
+/// \brief Counters and latency histograms used by the lock manager,
+/// protocols, and the simulation harness.
+
+#ifndef CODLOCK_UTIL_METRICS_H_
+#define CODLOCK_UTIL_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace codlock {
+
+/// \brief A monotonically increasing, thread-safe counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Fixed-bucket log2 latency histogram (nanoseconds), thread-safe.
+///
+/// Bucket i covers [2^i, 2^(i+1)) ns; 64 buckets cover the full uint64
+/// range.  Percentile reads are approximate (bucket midpoint) which is
+/// sufficient for the relative comparisons the benchmarks report.
+class LatencyHistogram {
+ public:
+  /// Records one sample of \p nanos nanoseconds.
+  void Record(uint64_t nanos);
+
+  /// Total number of recorded samples.
+  uint64_t count() const;
+
+  /// Mean of all samples (exact, from a running sum).
+  double mean() const;
+
+  /// Approximate \p q-quantile (0 < q < 1) in nanoseconds.
+  uint64_t Quantile(double q) const;
+
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+  void Reset();
+
+  /// Merges \p other into this histogram.
+  void Merge(const LatencyHistogram& other);
+
+ private:
+  static constexpr int kBuckets = 64;
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// \brief Statistics kept by the lock manager and protocols.
+///
+/// One instance is shared by all components of a running configuration; the
+/// benchmark harness snapshots and diffs it.
+struct LockStats {
+  Counter requests;           ///< Lock requests received.
+  Counter grants;             ///< Requests granted (immediately or after wait).
+  Counter immediate_grants;   ///< Granted without blocking.
+  Counter waits;              ///< Requests that blocked at least once.
+  Counter conflicts;          ///< Compatibility-test failures.
+  Counter compat_tests;       ///< Compatibility tests executed.
+  Counter deadlocks;          ///< Requests denied by deadlock detection.
+  Counter timeouts;           ///< Requests denied by deadline expiry.
+  Counter releases;           ///< Individual lock releases.
+  Counter escalations;        ///< Run-time lock escalations performed.
+  Counter deescalations;      ///< De-escalations (coarse lock narrowed).
+  Counter upward_propagations;    ///< Implicit upward propagation lock ops.
+  Counter downward_propagations;  ///< Implicit downward propagation lock ops.
+  Counter parent_searches;    ///< Objects scanned to find referencing parents
+                              ///< (naive DAG protocol on shared data).
+  LatencyHistogram wait_ns;   ///< Time spent blocked per waiting request.
+
+  /// Number of distinct lock-table entries currently held (gauge).
+  std::atomic<int64_t> held_locks{0};
+  /// High-water mark of held_locks.
+  std::atomic<int64_t> max_held_locks{0};
+
+  void Reset();
+
+  /// Multi-line human-readable dump.
+  std::string ToString() const;
+};
+
+/// \brief Simple stopwatch returning elapsed nanoseconds.
+class Stopwatch {
+ public:
+  Stopwatch();
+  /// Nanoseconds since construction or the last Restart().
+  uint64_t ElapsedNanos() const;
+  void Restart();
+
+ private:
+  uint64_t start_ns_;
+};
+
+/// Current monotonic time in nanoseconds.
+uint64_t MonotonicNanos();
+
+}  // namespace codlock
+
+#endif  // CODLOCK_UTIL_METRICS_H_

@@ -1,0 +1,79 @@
+/// \file result.h
+/// \brief `Result<T>`: a value or a non-OK `Status`.
+
+#ifndef CODLOCK_UTIL_RESULT_H_
+#define CODLOCK_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace codlock {
+
+/// \brief Holds either a value of type `T` or an error `Status`.
+///
+/// Usage:
+/// \code
+///   Result<RelationId> r = catalog.FindRelation("cells");
+///   if (!r.ok()) return r.status();
+///   RelationId id = r.value();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result; \p status must be non-OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or \p fallback if this is an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates the error of a `Result` expression, otherwise assigns the
+/// value to \p lhs.
+#define CODLOCK_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto CODLOCK_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!CODLOCK_CONCAT_(_res_, __LINE__).ok())        \
+    return CODLOCK_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(CODLOCK_CONCAT_(_res_, __LINE__)).value()
+
+#define CODLOCK_CONCAT_(a, b) CODLOCK_CONCAT_IMPL_(a, b)
+#define CODLOCK_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace codlock
+
+#endif  // CODLOCK_UTIL_RESULT_H_

@@ -1,0 +1,69 @@
+/// \file rng.h
+/// \brief Deterministic, fast pseudo-random number generation.
+///
+/// Benchmarks and property tests must be reproducible, so all randomness in
+/// codlock flows through `Rng`, a splitmix64-seeded xoshiro256** generator.
+
+#ifndef CODLOCK_UTIL_RNG_H_
+#define CODLOCK_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace codlock {
+
+/// \brief Small, fast, seedable PRNG (xoshiro256**).
+class Rng {
+ public:
+  /// Seeds the generator deterministically from \p seed via splitmix64.
+  explicit Rng(uint64_t seed = 0xC0D10C4ULL) {
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      // splitmix64 step.
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). \p bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability \p p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace codlock
+
+#endif  // CODLOCK_UTIL_RNG_H_

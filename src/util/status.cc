@@ -1,0 +1,43 @@
+#include "util/status.h"
+
+namespace codlock {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "Ok";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kDeadlock:
+      return "Deadlock";
+    case StatusCode::kConflict:
+      return "Conflict";
+    case StatusCode::kUnauthorized:
+      return "Unauthorized";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "Ok";
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace codlock

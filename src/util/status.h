@@ -1,0 +1,139 @@
+/// \file status.h
+/// \brief Error handling primitives for codlock (RocksDB-style Status).
+///
+/// All fallible operations in the library return a `Status` (or a
+/// `Result<T>`, see result.h) instead of throwing exceptions.  The set of
+/// codes mirrors the failure classes that occur in a lock manager /
+/// transaction system: lock conflicts, deadlocks, timeouts, authorization
+/// failures, and plain usage errors.
+
+#ifndef CODLOCK_UTIL_STATUS_H_
+#define CODLOCK_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace codlock {
+
+/// Failure classes returned by codlock operations.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  /// A referenced entity (relation, object, node, transaction) is unknown.
+  kNotFound,
+  /// The caller violated an API precondition (bad schema, bad path, ...).
+  kInvalidArgument,
+  /// An entity with the same identifier already exists.
+  kAlreadyExists,
+  /// A lock request could not be granted within its deadline.
+  kTimeout,
+  /// A lock request would close a cycle in the waits-for graph.
+  kDeadlock,
+  /// A lock request conflicts and the caller asked not to wait.
+  kConflict,
+  /// The transaction lacks the access right required for the operation.
+  kUnauthorized,
+  /// The operation is illegal in the current state (e.g. protocol rule
+  /// violation: requesting S on a node whose parent is not IS-locked).
+  kFailedPrecondition,
+  /// The transaction was aborted (by deadlock victim selection or user).
+  kAborted,
+  /// Internal invariant violation; indicates a bug in codlock itself.
+  kInternal,
+};
+
+/// \brief Human-readable name of a status code ("Ok", "Deadlock", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// \brief Result of an operation: a code plus an optional message.
+///
+/// `Status` is cheap to copy in the OK case (no allocation) and carries a
+/// heap-allocated message only on failure.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with \p code and \p message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status Unauthorized(std::string msg) {
+    return Status(StatusCode::kUnauthorized, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
+  bool IsConflict() const { return code_ == StatusCode::kConflict; }
+  bool IsUnauthorized() const { return code_ == StatusCode::kUnauthorized; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller.
+#define CODLOCK_RETURN_IF_ERROR(expr)                 \
+  do {                                                \
+    ::codlock::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+}  // namespace codlock
+
+#endif  // CODLOCK_UTIL_STATUS_H_

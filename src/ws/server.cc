@@ -1,0 +1,195 @@
+#include "ws/server.h"
+
+namespace codlock::ws {
+
+Server::Server(const nf2::Catalog* catalog, nf2::InstanceStore* store,
+               Options options)
+    : catalog_(catalog),
+      store_(store),
+      options_(options),
+      graph_(logra::LockGraph::Build(*catalog)),
+      stats_(query::Statistics::Collect(*catalog, *store)) {
+  RebuildEngine();
+}
+
+void Server::RebuildEngine() {
+  lm_ = std::make_unique<lock::LockManager>(options_.lock_manager);
+  txns_ = std::make_unique<txn::TxnManager>(lm_.get(), &undo_, store_);
+  protocol_ = std::make_unique<proto::ComplexObjectProtocol>(
+      &graph_, store_, lm_.get(), &authz_, options_.protocol);
+  planner_ = std::make_unique<query::LockPlanner>(&graph_, catalog_, &stats_,
+                                                  options_.planner);
+  query::QueryExecutor::Options exec_opts;
+  exec_opts.apply_writes = true;  // check-in applies workstation changes
+  exec_opts.undo = &undo_;
+  executor_ = std::make_unique<query::QueryExecutor>(
+      &graph_, catalog_, store_, protocol_.get(), exec_opts);
+}
+
+std::string_view CheckOutModeName(CheckOutMode mode) {
+  switch (mode) {
+    case CheckOutMode::kExclusive:
+      return "exclusive";
+    case CheckOutMode::kShared:
+      return "shared";
+    case CheckOutMode::kDerive:
+      return "derive";
+  }
+  return "?";
+}
+
+Result<CheckOutTicket> Server::CheckOut(authz::UserId user,
+                                        const query::Query& query,
+                                        CheckOutMode mode) {
+  // Shared and derivation check-outs only ever read the original.
+  query::Query checkout_query = query;
+  if (mode != CheckOutMode::kExclusive) {
+    checkout_query.kind = query::AccessKind::kRead;
+  }
+  Result<query::QueryPlan> plan = planner_->Plan(checkout_query);
+  if (!plan.ok()) return plan.status();
+
+  txn::Transaction* txn = txns_->Begin(user, txn::TxnKind::kLong);
+  Result<query::QueryResult> data =
+      executor_->Execute(*txn, checkout_query, *plan);
+  if (!data.ok()) {
+    txns_->Abort(txn);
+    return data.status();
+  }
+  {
+    std::lock_guard lk(tickets_mu_);
+    long_txn_users_[txn->id()] = user;
+  }
+  long_store_.Save(*lm_);  // long locks reach stable storage
+
+  CheckOutTicket ticket;
+  ticket.txn = txn->id();
+  ticket.user = user;
+  ticket.mode = mode;
+  ticket.query = query;
+  ticket.data = *data;
+  return ticket;
+}
+
+Result<nf2::ObjectId> Server::CheckInDerived(const CheckOutTicket& ticket,
+                                             const std::string& new_key,
+                                             nf2::Value derived) {
+  if (ticket.mode != CheckOutMode::kDerive) {
+    return Status::FailedPrecondition(
+        "CheckInDerived requires a derivation check-out");
+  }
+  Result<txn::Transaction*> txn = txns_->Get(ticket.txn);
+  if (!txn.ok()) return txn.status();
+  if (!(*txn)->active()) {
+    return Status::FailedPrecondition("check-out transaction not active");
+  }
+  // Insert the derived version as a new complex object: lock the relation
+  // in IX and the (future) object's slot via the relation-level insert —
+  // the store validates, assigns fresh instance ids and indexes new_key.
+  lock::AcquireOptions opts;
+  opts.duration = lock::LockDuration::kLong;
+  const logra::LockGraph& g = graph_;
+  const nf2::RelationDef& rdef = catalog_->relation(ticket.query.relation);
+  for (logra::NodeId node :
+       {g.DatabaseNode(rdef.database), g.SegmentNode(rdef.segment),
+        g.RelationNode(ticket.query.relation)}) {
+    CODLOCK_RETURN_IF_ERROR(lm_->Acquire((*txn)->id(), {node, 0},
+                                         lock::LockMode::kIX, opts));
+  }
+  // Make sure the derived object's references to common data are visible
+  // before the object becomes reachable.
+  CODLOCK_RETURN_IF_ERROR(protocol_->LockNewValueRefs(
+      **txn, derived, lock::LockMode::kX));
+
+  // The derived version carries the new key in its key attribute.
+  if (rdef.key_attr != nf2::kInvalidAttr && derived.is_tuple()) {
+    const nf2::AttrDef& root_def = catalog_->attr(rdef.root);
+    for (size_t i = 0; i < root_def.children.size(); ++i) {
+      if (root_def.children[i] == rdef.key_attr) {
+        derived.children()[i].set_string(new_key);
+        break;
+      }
+    }
+  }
+  Result<nf2::ObjectId> inserted =
+      store_->Insert(ticket.query.relation, std::move(derived));
+  if (!inserted.ok()) return inserted.status();
+
+  CODLOCK_RETURN_IF_ERROR(txns_->Commit(*txn));
+  {
+    std::lock_guard lk(tickets_mu_);
+    long_txn_users_.erase(ticket.txn);
+  }
+  long_store_.Save(*lm_);
+  return inserted;
+}
+
+Status Server::CheckIn(const CheckOutTicket& ticket) {
+  Result<txn::Transaction*> txn = txns_->Get(ticket.txn);
+  if (!txn.ok()) return txn.status();
+  if (!(*txn)->active()) {
+    return Status::FailedPrecondition("check-out transaction not active");
+  }
+  // Apply the workstation's changes to the central database.  All needed
+  // locks are already held (they were acquired at check-out and survived
+  // any crash), so this re-execution cannot block.  Shared/derivation
+  // check-outs never write back in place.
+  if (ticket.mode == CheckOutMode::kExclusive && ticket.query.is_write()) {
+    Result<query::QueryPlan> plan = planner_->Plan(ticket.query);
+    if (!plan.ok()) return plan.status();
+    Result<query::QueryResult> applied =
+        executor_->Execute(**txn, ticket.query, *plan);
+    if (!applied.ok()) return applied.status();
+  }
+  CODLOCK_RETURN_IF_ERROR(txns_->Commit(*txn));
+  {
+    std::lock_guard lk(tickets_mu_);
+    long_txn_users_.erase(ticket.txn);
+  }
+  long_store_.Save(*lm_);
+  return Status::OK();
+}
+
+Status Server::CancelCheckOut(const CheckOutTicket& ticket) {
+  Result<txn::Transaction*> txn = txns_->Get(ticket.txn);
+  if (!txn.ok()) return txn.status();
+  CODLOCK_RETURN_IF_ERROR(txns_->Abort(*txn));
+  {
+    std::lock_guard lk(tickets_mu_);
+    long_txn_users_.erase(ticket.txn);
+  }
+  long_store_.Save(*lm_);
+  return Status::OK();
+}
+
+void Server::CrashAndRestart() {
+  // Volatile state (the lock table, transaction registry) is lost; only
+  // the LongLockStore survives.
+  RebuildEngine();
+  long_store_.Restore(lm_.get());
+  std::lock_guard lk(tickets_mu_);
+  for (const auto& [txn_id, user] : long_txn_users_) {
+    txns_->Adopt(txn_id, user, txn::TxnKind::kLong);
+  }
+}
+
+Result<query::QueryResult> Server::RunShortTxn(authz::UserId user,
+                                               const query::Query& query) {
+  Result<query::QueryPlan> plan = planner_->Plan(query);
+  if (!plan.ok()) return plan.status();
+  txn::Transaction* txn = txns_->Begin(user, txn::TxnKind::kShort);
+  Result<query::QueryResult> result = executor_->Execute(*txn, query, *plan);
+  if (!result.ok()) {
+    txns_->Abort(txn);
+    return result.status();
+  }
+  CODLOCK_RETURN_IF_ERROR(txns_->Commit(txn));
+  return result;
+}
+
+size_t Server::ActiveLongTxns() const {
+  std::lock_guard lk(tickets_mu_);
+  return long_txn_users_.size();
+}
+
+}  // namespace codlock::ws

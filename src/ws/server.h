@@ -1,0 +1,148 @@
+/// \file server.h
+/// \brief Workstation–server environment: check-out / check-in with long
+/// locks surviving crashes.
+///
+/// §1/§3.1: "different users or user groups may check-out complex objects
+/// of a central database onto workstations.  Data which are checked out
+/// can be regarded (at least temporarily) as private, local databases.  A
+/// check-in back into the central database may be done for data which have
+/// been changed on a workstation." — and "long locks must survive system
+/// shutdowns and system crashes."
+///
+/// The `Server` wires the whole stack (lock manager, transaction manager,
+/// lock graph, the paper's protocol, planner, executor) over a shared
+/// catalog + instance store, persists long locks to a `LongLockStore` on
+/// every check-out/check-in, and can simulate a crash: the volatile lock
+/// manager is rebuilt, short transactions lose everything, long
+/// (conversational) transactions are recovered with their locks intact.
+
+#ifndef CODLOCK_WS_SERVER_H_
+#define CODLOCK_WS_SERVER_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "authz/authz.h"
+#include "lock/long_lock_store.h"
+#include "proto/co_protocol.h"
+#include "query/executor.h"
+#include "query/planner.h"
+#include "txn/txn_manager.h"
+
+namespace codlock::ws {
+
+/// How a workstation checks data out (§5 cites [LoPl83, KSUW85] for
+/// special workstation–server lock modes; these are the three classic
+/// check-out disciplines of design databases).
+enum class CheckOutMode : uint8_t {
+  /// Update-in-place: long X locks; check-in writes back.
+  kExclusive,
+  /// Read-only copy: long S locks; others may read concurrently.
+  kShared,
+  /// Derivation [KLMP84]: long S locks on the original; check-in creates
+  /// a *new* complex object (a derived version) instead of modifying the
+  /// original — many workstations can derive from the same object
+  /// concurrently.
+  kDerive,
+};
+
+std::string_view CheckOutModeName(CheckOutMode mode);
+
+/// \brief Handle to a checked-out data set (a "private database" on a
+/// workstation).
+struct CheckOutTicket {
+  lock::TxnId txn = lock::kInvalidTxn;
+  authz::UserId user = authz::kInvalidUser;
+  CheckOutMode mode = CheckOutMode::kExclusive;
+  query::Query query;
+  query::QueryResult data;  ///< what was copied to the workstation
+};
+
+/// \brief The central database server.
+class Server {
+ public:
+  struct Options {
+    query::LockPlanner::Options planner;
+    proto::ComplexObjectProtocol::Options protocol;
+    lock::LockManager::Options lock_manager;
+  };
+
+  Server(const nf2::Catalog* catalog, nf2::InstanceStore* store,
+         Options options);
+  Server(const nf2::Catalog* catalog, nf2::InstanceStore* store)
+      : Server(catalog, store, Options()) {}
+
+  /// Checks out \p query's data for \p user under a *long* transaction.
+  /// The acquired long locks are persisted to stable storage.
+  /// `kExclusive` follows the query's declared access kind; `kShared` and
+  /// `kDerive` force read (S) locks.
+  Result<CheckOutTicket> CheckOut(authz::UserId user,
+                                  const query::Query& query,
+                                  CheckOutMode mode);
+  Result<CheckOutTicket> CheckOut(authz::UserId user,
+                                  const query::Query& query) {
+    return CheckOut(user, query, CheckOutMode::kExclusive);
+  }
+
+  /// Checks in a `kDerive` ticket: inserts the workstation's derived
+  /// version as a NEW complex object keyed \p new_key into the ticket's
+  /// relation (the original stays untouched), then commits the long
+  /// transaction.  \p derived must validate against the relation schema.
+  Result<nf2::ObjectId> CheckInDerived(const CheckOutTicket& ticket,
+                                       const std::string& new_key,
+                                       nf2::Value derived);
+
+  /// Checks the ticket's data back in: re-executes the query's writes on
+  /// the central database (the workstation's changes), commits the long
+  /// transaction and releases its locks.
+  Status CheckIn(const CheckOutTicket& ticket);
+
+  /// Abandons a check-out without applying changes.
+  Status CancelCheckOut(const CheckOutTicket& ticket);
+
+  /// Simulates a server crash + restart: the lock manager and transaction
+  /// manager are rebuilt; short transactions are gone; long locks and
+  /// their transactions are recovered from stable storage.
+  void CrashAndRestart();
+
+  /// Runs a regular (short) transaction executing \p query.
+  Result<query::QueryResult> RunShortTxn(authz::UserId user,
+                                         const query::Query& query);
+
+  lock::LockManager& lock_manager() { return *lm_; }
+  txn::TxnManager& txn_manager() { return *txns_; }
+  authz::AuthorizationManager& authorization() { return authz_; }
+  const logra::LockGraph& graph() const { return graph_; }
+  const lock::LongLockStore& stable_storage() const { return long_store_; }
+  query::LockPlanner& planner() { return *planner_; }
+
+  /// Number of live (recovered or active) long transactions.
+  size_t ActiveLongTxns() const;
+
+ private:
+  void RebuildEngine();
+
+  const nf2::Catalog* catalog_;
+  nf2::InstanceStore* store_;
+  Options options_;
+  logra::LockGraph graph_;
+  authz::AuthorizationManager authz_;
+  txn::UndoLog undo_;
+  lock::LongLockStore long_store_;
+  query::Statistics stats_;
+
+  // Volatile components, rebuilt on crash.
+  std::unique_ptr<lock::LockManager> lm_;
+  std::unique_ptr<txn::TxnManager> txns_;
+  std::unique_ptr<proto::ComplexObjectProtocol> protocol_;
+  std::unique_ptr<query::LockPlanner> planner_;
+  std::unique_ptr<query::QueryExecutor> executor_;
+
+  mutable std::mutex tickets_mu_;
+  std::unordered_map<lock::TxnId, authz::UserId> long_txn_users_;
+};
+
+}  // namespace codlock::ws
+
+#endif  // CODLOCK_WS_SERVER_H_

@@ -1,0 +1,53 @@
+/// Tests for the authorization component (input to rule 4′).
+
+#include <gtest/gtest.h>
+
+#include "authz/authz.h"
+#include "sim/fixtures.h"
+
+namespace codlock::authz {
+namespace {
+
+TEST(AuthzTest, DefaultDeniesEverything) {
+  AuthorizationManager am;
+  EXPECT_FALSE(am.CanRead(1, 0));
+  EXPECT_FALSE(am.CanModify(1, 0));
+}
+
+TEST(AuthzTest, GrantAndRevoke) {
+  AuthorizationManager am;
+  ASSERT_TRUE(am.Grant(1, 0, Right::kRead).ok());
+  EXPECT_TRUE(am.CanRead(1, 0));
+  EXPECT_FALSE(am.CanModify(1, 0));
+  ASSERT_TRUE(am.Grant(1, 0, Right::kModify).ok());
+  EXPECT_TRUE(am.CanModify(1, 0));
+  am.Revoke(1, 0, Right::kModify);
+  EXPECT_FALSE(am.CanModify(1, 0));
+  EXPECT_TRUE(am.CanRead(1, 0));
+}
+
+TEST(AuthzTest, RightsArePerUserAndRelation) {
+  AuthorizationManager am;
+  ASSERT_TRUE(am.Grant(1, 0, Right::kModify).ok());
+  EXPECT_FALSE(am.CanModify(2, 0));
+  EXPECT_FALSE(am.CanModify(1, 1));
+}
+
+TEST(AuthzTest, InvalidUserRejected) {
+  AuthorizationManager am;
+  EXPECT_TRUE(am.Grant(kInvalidUser, 0, Right::kRead).IsInvalidArgument());
+}
+
+TEST(AuthzTest, GrantAllCoversCatalog) {
+  sim::CellsFixture f = sim::BuildCellsEffectors();
+  AuthorizationManager am;
+  am.GrantAll(5, *f.catalog);
+  EXPECT_TRUE(am.CanRead(5, f.cells));
+  EXPECT_TRUE(am.CanModify(5, f.cells));
+  EXPECT_TRUE(am.CanRead(5, f.effectors));
+  EXPECT_TRUE(am.CanModify(5, f.effectors));
+  EXPECT_FALSE(am.CanRead(6, f.cells));
+}
+
+}  // namespace
+}  // namespace codlock::authz

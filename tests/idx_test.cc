@@ -1,0 +1,221 @@
+/// Tests for the ordered key index: latched structure ops, key and
+/// next-key transaction locks, predicate-level phantom protection
+/// (§5 future work: index integration + phantom problem).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "idx/key_index.h"
+#include "sim/fixtures.h"
+
+namespace codlock::idx {
+namespace {
+
+using lock::LockMode;
+
+class KeyIndexTest : public ::testing::Test {
+ protected:
+  KeyIndexTest()
+      : f_(sim::BuildCellsEffectors(Params())),
+        graph_(logra::LockGraph::Build(*f_.catalog)),
+        tm_(&lm_),
+        index_(&graph_, &lm_, f_.effectors) {
+    EXPECT_TRUE(index_.BuildFromStore(*f_.store).ok());
+  }
+
+  static sim::CellsParams Params() {
+    sim::CellsParams p;
+    p.num_cells = 1;
+    p.num_effectors = 5;  // e1..e5
+    return p;
+  }
+
+  sim::CellsFixture f_;
+  logra::LockGraph graph_;
+  lock::LockManager lm_;
+  txn::TxnManager tm_;
+  OrderedKeyIndex index_;
+};
+
+TEST_F(KeyIndexTest, BuildLoadsAllKeys) {
+  EXPECT_EQ(index_.size(), 5u);
+  EXPECT_EQ(index_.relation(), f_.effectors);
+}
+
+TEST_F(KeyIndexTest, LookupLocksAndReturnsObject) {
+  txn::Transaction* t = tm_.Begin(1);
+  Result<nf2::ObjectId> id = index_.Lookup(*t, "e3", LockMode::kS);
+  ASSERT_TRUE(id.ok());
+  Result<const nf2::Object*> obj = f_.store->Get(f_.effectors, *id);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ((*obj)->key, "e3");
+  EXPECT_EQ(lm_.HeldMode(t->id(), index_.ResourceFor("e3")), LockMode::kS);
+  // Intention chain on the index node and its ancestors.
+  EXPECT_EQ(lm_.HeldMode(t->id(), {graph_.IndexNode(f_.effectors), 0}),
+            LockMode::kIS);
+  tm_.Commit(t);
+}
+
+TEST_F(KeyIndexTest, NegativeLookupLocksGap) {
+  txn::Transaction* t = tm_.Begin(1);
+  // "e25" sorts between e2 and e3: the gap lock lands on e3.
+  EXPECT_TRUE(index_.Lookup(*t, "e25", LockMode::kS).status().IsNotFound());
+  EXPECT_EQ(lm_.HeldMode(t->id(), index_.ResourceFor("e3")), LockMode::kS);
+  // Beyond the last key: the +infinity sentinel protects the gap.
+  EXPECT_TRUE(index_.Lookup(*t, "e9", LockMode::kS).status().IsNotFound());
+  EXPECT_EQ(lm_.HeldMode(t->id(), index_.InfinityResource()), LockMode::kS);
+  tm_.Commit(t);
+}
+
+TEST_F(KeyIndexTest, RangeScanLocksRangePlusNextKey) {
+  txn::Transaction* t = tm_.Begin(1);
+  auto scan = index_.RangeScan(*t, "e2", "e4", LockMode::kS);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->size(), 3u);
+  EXPECT_EQ((*scan)[0].first, "e2");
+  EXPECT_EQ((*scan)[2].first, "e4");
+  for (const std::string key : {"e2", "e3", "e4", "e5"}) {
+    EXPECT_EQ(lm_.HeldMode(t->id(), index_.ResourceFor(key)), LockMode::kS)
+        << key << " (e5 is the next-key gap protector)";
+  }
+  EXPECT_EQ(lm_.HeldMode(t->id(), index_.ResourceFor("e1")), LockMode::kNL);
+  tm_.Commit(t);
+}
+
+TEST_F(KeyIndexTest, ScanToEndLocksInfinity) {
+  txn::Transaction* t = tm_.Begin(1);
+  ASSERT_TRUE(index_.RangeScan(*t, "e4", "e9", LockMode::kS).ok());
+  EXPECT_EQ(lm_.HeldMode(t->id(), index_.InfinityResource()), LockMode::kS);
+  tm_.Commit(t);
+}
+
+TEST_F(KeyIndexTest, InsertBlocksWhenGapIsScanned) {
+  // Scanner covers [e2, e4] (gap protector: e5).  An insert of "e35"
+  // inside the range needs X on its successor e4 — held S.  Blocked.
+  txn::Transaction* scanner = tm_.Begin(1);
+  ASSERT_TRUE(index_.RangeScan(*scanner, "e2", "e4", LockMode::kS).ok());
+
+  // Issue the insert in a thread and verify it blocks until the scanner
+  // commits.
+  std::atomic<bool> inserted{false};
+  txn::Transaction* writer = tm_.Begin(2);
+  std::thread ins([&] {
+    Status st = index_.Insert(*writer, "e35", 999);
+    EXPECT_TRUE(st.ok()) << st;
+    inserted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(inserted);  // phantom prevented while the scan is live
+  tm_.Commit(scanner);
+  ins.join();
+  EXPECT_TRUE(inserted);
+  tm_.Commit(writer);
+  EXPECT_EQ(index_.size(), 6u);
+}
+
+TEST_F(KeyIndexTest, InsertOutsideScannedRangeProceeds) {
+  txn::Transaction* scanner = tm_.Begin(1);
+  ASSERT_TRUE(index_.RangeScan(*scanner, "e2", "e3", LockMode::kS).ok());
+  // Gap protector is e4; inserting "e45" locks successor e5 — free.
+  txn::Transaction* writer = tm_.Begin(2);
+  EXPECT_TRUE(index_.Insert(*writer, "e45", 999).ok());
+  tm_.Commit(scanner);
+  tm_.Commit(writer);
+}
+
+TEST_F(KeyIndexTest, RepeatableScanCount) {
+  // The phantom test proper: scan, concurrent insert attempt, re-scan
+  // inside the same transaction must return the same entries.
+  txn::Transaction* scanner = tm_.Begin(1);
+  auto first = index_.RangeScan(*scanner, "e1", "e9", LockMode::kS);
+  ASSERT_TRUE(first.ok());
+
+  std::atomic<bool> done{false};
+  txn::Transaction* writer = tm_.Begin(2);
+  std::thread ins([&] {
+    EXPECT_TRUE(index_.Insert(*writer, "e7", 777).ok());
+    done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  auto second = index_.RangeScan(*scanner, "e1", "e9", LockMode::kS);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->size(), second->size());
+  EXPECT_FALSE(done);
+  tm_.Commit(scanner);
+  ins.join();
+  tm_.Commit(writer);
+}
+
+TEST_F(KeyIndexTest, InsertDuplicateRejected) {
+  txn::Transaction* t = tm_.Begin(1);
+  EXPECT_TRUE(index_.Insert(*t, "e1", 1).IsAlreadyExists());
+  tm_.Commit(t);
+}
+
+TEST_F(KeyIndexTest, RemoveLocksEntryAndSuccessor) {
+  txn::Transaction* t = tm_.Begin(1);
+  ASSERT_TRUE(index_.Remove(*t, "e2").ok());
+  EXPECT_EQ(lm_.HeldMode(t->id(), index_.ResourceFor("e2")), LockMode::kX);
+  EXPECT_EQ(lm_.HeldMode(t->id(), index_.ResourceFor("e3")), LockMode::kX);
+  tm_.Commit(t);
+  EXPECT_EQ(index_.size(), 4u);
+  txn::Transaction* t2 = tm_.Begin(2);
+  EXPECT_TRUE(index_.Remove(*t2, "e2").IsNotFound());
+  tm_.Commit(t2);
+}
+
+TEST_F(KeyIndexTest, WriterLookupTakesX) {
+  txn::Transaction* t = tm_.Begin(1);
+  ASSERT_TRUE(index_.Lookup(*t, "e1", LockMode::kX).ok());
+  EXPECT_EQ(lm_.HeldMode(t->id(), index_.ResourceFor("e1")), LockMode::kX);
+  EXPECT_EQ(lm_.HeldMode(t->id(), {graph_.IndexNode(f_.effectors), 0}),
+            LockMode::kIX);
+  tm_.Commit(t);
+}
+
+TEST_F(KeyIndexTest, InvalidModesRejected) {
+  txn::Transaction* t = tm_.Begin(1);
+  EXPECT_TRUE(index_.Lookup(*t, "e1", LockMode::kIS).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(index_.RangeScan(*t, "a", "b", LockMode::kIX).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(index_.RangeScan(*t, "z", "a", LockMode::kS).status()
+                  .IsInvalidArgument());
+  tm_.Commit(t);
+}
+
+TEST_F(KeyIndexTest, ConcurrentReadersShareLatchAndLocks) {
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&, i] {
+      txn::Transaction* t = tm_.Begin(static_cast<authz::UserId>(i + 1));
+      auto scan = index_.RangeScan(*t, "e1", "e9", LockMode::kS);
+      if (scan.ok() && scan->size() == 5) ++ok;
+      tm_.Commit(t);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(KeyIndexBuildTest, KeylessRelationRejected) {
+  nf2::Catalog catalog;
+  auto db = *catalog.CreateDatabase("db");
+  auto seg = *catalog.CreateSegment(db, "seg");
+  auto rel = *catalog.CreateRelation(
+      seg, "keyless",
+      nf2::AttrSpec::Tuple("keyless", {nf2::AttrSpec::Int("v")}));
+  nf2::InstanceStore store(&catalog);
+  ASSERT_TRUE(store.Insert(rel, nf2::Value::OfTuple({nf2::Value::OfInt(1)}))
+                  .ok());
+  logra::LockGraph graph = logra::LockGraph::Build(catalog);
+  lock::LockManager lm;
+  OrderedKeyIndex index(&graph, &lm, rel);
+  EXPECT_TRUE(index.BuildFromStore(store).IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace codlock::idx

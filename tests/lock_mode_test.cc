@@ -1,0 +1,141 @@
+/// Tests for lock modes: the GLPT76 compatibility matrix and the mode
+/// lattice, including parameterized algebraic property sweeps.
+
+#include <gtest/gtest.h>
+
+#include "lock/mode.h"
+
+namespace codlock::lock {
+namespace {
+
+constexpr LockMode kAll[] = {LockMode::kNL, LockMode::kIS, LockMode::kIX,
+                             LockMode::kS, LockMode::kSIX, LockMode::kX};
+
+TEST(LockModeTest, Names) {
+  EXPECT_EQ(LockModeName(LockMode::kNL), "NL");
+  EXPECT_EQ(LockModeName(LockMode::kIS), "IS");
+  EXPECT_EQ(LockModeName(LockMode::kIX), "IX");
+  EXPECT_EQ(LockModeName(LockMode::kS), "S");
+  EXPECT_EQ(LockModeName(LockMode::kSIX), "SIX");
+  EXPECT_EQ(LockModeName(LockMode::kX), "X");
+}
+
+TEST(LockModeTest, ClassicalCompatibilityMatrix) {
+  // Spot checks straight from [GLPT76].
+  EXPECT_TRUE(Compatible(LockMode::kIS, LockMode::kIX));
+  EXPECT_TRUE(Compatible(LockMode::kIS, LockMode::kS));
+  EXPECT_TRUE(Compatible(LockMode::kIS, LockMode::kSIX));
+  EXPECT_FALSE(Compatible(LockMode::kIS, LockMode::kX));
+  EXPECT_TRUE(Compatible(LockMode::kIX, LockMode::kIX));
+  EXPECT_FALSE(Compatible(LockMode::kIX, LockMode::kS));
+  EXPECT_FALSE(Compatible(LockMode::kIX, LockMode::kSIX));
+  EXPECT_TRUE(Compatible(LockMode::kS, LockMode::kS));
+  EXPECT_FALSE(Compatible(LockMode::kS, LockMode::kSIX));
+  EXPECT_FALSE(Compatible(LockMode::kSIX, LockMode::kSIX));
+  EXPECT_FALSE(Compatible(LockMode::kX, LockMode::kX));
+}
+
+TEST(LockModeTest, SupremumLattice) {
+  EXPECT_EQ(Supremum(LockMode::kIS, LockMode::kIX), LockMode::kIX);
+  EXPECT_EQ(Supremum(LockMode::kIX, LockMode::kS), LockMode::kSIX);
+  EXPECT_EQ(Supremum(LockMode::kS, LockMode::kIX), LockMode::kSIX);
+  EXPECT_EQ(Supremum(LockMode::kS, LockMode::kSIX), LockMode::kSIX);
+  EXPECT_EQ(Supremum(LockMode::kNL, LockMode::kX), LockMode::kX);
+  EXPECT_EQ(Supremum(LockMode::kIS, LockMode::kS), LockMode::kS);
+}
+
+TEST(LockModeTest, Covers) {
+  EXPECT_TRUE(Covers(LockMode::kX, LockMode::kS));
+  EXPECT_TRUE(Covers(LockMode::kX, LockMode::kIX));
+  EXPECT_TRUE(Covers(LockMode::kSIX, LockMode::kS));
+  EXPECT_TRUE(Covers(LockMode::kSIX, LockMode::kIX));
+  EXPECT_FALSE(Covers(LockMode::kS, LockMode::kIX));
+  EXPECT_FALSE(Covers(LockMode::kIX, LockMode::kS));
+  EXPECT_TRUE(Covers(LockMode::kS, LockMode::kIS));
+  EXPECT_TRUE(Covers(LockMode::kIX, LockMode::kIS));
+}
+
+TEST(LockModeTest, IntentionFor) {
+  EXPECT_EQ(IntentionFor(LockMode::kS), LockMode::kIS);
+  EXPECT_EQ(IntentionFor(LockMode::kIS), LockMode::kIS);
+  EXPECT_EQ(IntentionFor(LockMode::kX), LockMode::kIX);
+  EXPECT_EQ(IntentionFor(LockMode::kIX), LockMode::kIX);
+  EXPECT_EQ(IntentionFor(LockMode::kSIX), LockMode::kIX);
+  EXPECT_EQ(IntentionFor(LockMode::kNL), LockMode::kNL);
+}
+
+TEST(LockModeTest, IsIntention) {
+  EXPECT_TRUE(IsIntention(LockMode::kIS));
+  EXPECT_TRUE(IsIntention(LockMode::kIX));
+  EXPECT_FALSE(IsIntention(LockMode::kS));
+  EXPECT_FALSE(IsIntention(LockMode::kSIX));
+  EXPECT_FALSE(IsIntention(LockMode::kX));
+  EXPECT_FALSE(IsIntention(LockMode::kNL));
+}
+
+// ---- Parameterized algebraic properties over all mode pairs ----
+
+class ModePairTest
+    : public ::testing::TestWithParam<std::tuple<LockMode, LockMode>> {};
+
+TEST_P(ModePairTest, CompatibilityIsSymmetric) {
+  auto [a, b] = GetParam();
+  EXPECT_EQ(Compatible(a, b), Compatible(b, a));
+}
+
+TEST_P(ModePairTest, SupremumIsCommutative) {
+  auto [a, b] = GetParam();
+  EXPECT_EQ(Supremum(a, b), Supremum(b, a));
+}
+
+TEST_P(ModePairTest, SupremumIsUpperBound) {
+  auto [a, b] = GetParam();
+  LockMode s = Supremum(a, b);
+  EXPECT_TRUE(Covers(s, a));
+  EXPECT_TRUE(Covers(s, b));
+}
+
+TEST_P(ModePairTest, StrongerModeConflictsWithAtLeastAsMuch) {
+  // If sup(a,b) == b (b covers a), then everything incompatible with a is
+  // also incompatible with b.
+  auto [a, b] = GetParam();
+  if (!Covers(b, a)) GTEST_SKIP();
+  for (LockMode other : kAll) {
+    if (!Compatible(a, other)) {
+      EXPECT_FALSE(Compatible(b, other))
+          << LockModeName(b) << " vs " << LockModeName(other);
+    }
+  }
+}
+
+TEST_P(ModePairTest, NLIsIdentity) {
+  auto [a, b] = GetParam();
+  (void)b;
+  EXPECT_EQ(Supremum(a, LockMode::kNL), a);
+  EXPECT_TRUE(Compatible(a, LockMode::kNL));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, ModePairTest,
+    ::testing::Combine(::testing::ValuesIn(kAll), ::testing::ValuesIn(kAll)),
+    [](const ::testing::TestParamInfo<std::tuple<LockMode, LockMode>>& pinfo) {
+      return std::string(LockModeName(std::get<0>(pinfo.param))) + "_" +
+             std::string(LockModeName(std::get<1>(pinfo.param)));
+    });
+
+class ModeTripleTest
+    : public ::testing::TestWithParam<std::tuple<LockMode, LockMode, LockMode>> {
+};
+
+TEST_P(ModeTripleTest, SupremumIsAssociative) {
+  auto [a, b, c] = GetParam();
+  EXPECT_EQ(Supremum(Supremum(a, b), c), Supremum(a, Supremum(b, c)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTriples, ModeTripleTest,
+    ::testing::Combine(::testing::ValuesIn(kAll), ::testing::ValuesIn(kAll),
+                       ::testing::ValuesIn(kAll)));
+
+}  // namespace
+}  // namespace codlock::lock

@@ -1,0 +1,181 @@
+/// Tests for the deadlock-handling policies: detection (default),
+/// wound-wait, wait-die, timeout-only.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "lock/lock_manager.h"
+
+namespace codlock::lock {
+namespace {
+
+constexpr ResourceId kR1{1, 1};
+constexpr ResourceId kR2{2, 2};
+
+LockManager::Options WithPolicy(DeadlockPolicy policy) {
+  LockManager::Options o;
+  o.deadlock_policy = policy;
+  o.default_timeout_ms = 2'000;
+  return o;
+}
+
+TEST(DeadlockPolicyTest, Names) {
+  EXPECT_EQ(DeadlockPolicyName(DeadlockPolicy::kDetect), "detect");
+  EXPECT_EQ(DeadlockPolicyName(DeadlockPolicy::kWoundWait), "wound-wait");
+  EXPECT_EQ(DeadlockPolicyName(DeadlockPolicy::kWaitDie), "wait-die");
+  EXPECT_EQ(DeadlockPolicyName(DeadlockPolicy::kTimeoutOnly),
+            "timeout-only");
+}
+
+TEST(DeadlockPolicyTest, LegacySwitchMapsToTimeoutOnly) {
+  LockManager::Options o;
+  o.detect_deadlocks = false;
+  o.default_timeout_ms = 60;
+  LockManager lm(o);
+  ASSERT_TRUE(lm.Acquire(1, kR1, LockMode::kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, kR2, LockMode::kX).ok());
+  // Cross-blocking would deadlock; only the timeout saves us.
+  std::thread t1([&] {
+    Status st = lm.Acquire(1, kR2, LockMode::kX);
+    EXPECT_TRUE(st.IsTimeout()) << st;
+  });
+  Status st = lm.Acquire(2, kR1, LockMode::kX);
+  EXPECT_TRUE(st.IsTimeout()) << st;
+  t1.join();
+}
+
+TEST(WaitDieTest, YoungerRequesterDiesImmediately) {
+  LockManager lm(WithPolicy(DeadlockPolicy::kWaitDie));
+  ASSERT_TRUE(lm.Acquire(1, kR1, LockMode::kX).ok());  // older holder
+  // Txn 2 (younger) blocked by older txn 1: dies without waiting.
+  Status st = lm.Acquire(2, kR1, LockMode::kS);
+  EXPECT_TRUE(st.IsDeadlock()) << st;
+  EXPECT_GE(lm.stats().deadlocks.value(), 1u);
+}
+
+TEST(WaitDieTest, OlderRequesterWaits) {
+  LockManager lm(WithPolicy(DeadlockPolicy::kWaitDie));
+  ASSERT_TRUE(lm.Acquire(5, kR1, LockMode::kX).ok());  // younger holder
+  std::atomic<bool> granted{false};
+  std::thread older([&] {
+    // Txn 2 (older than 5) may wait.
+    ASSERT_TRUE(lm.Acquire(2, kR1, LockMode::kS).ok());
+    granted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(granted);
+  lm.ReleaseAll(5);
+  older.join();
+  EXPECT_TRUE(granted);
+}
+
+TEST(WoundWaitTest, OlderRequesterWoundsWaitingYounger) {
+  LockManager lm(WithPolicy(DeadlockPolicy::kWoundWait));
+  ASSERT_TRUE(lm.Acquire(1, kR1, LockMode::kX).ok());
+  ASSERT_TRUE(lm.Acquire(3, kR2, LockMode::kX).ok());  // younger txn 3
+
+  // Txn 3 blocks on kR1 (younger waits for older: allowed).
+  Status st3;
+  std::thread younger([&] { st3 = lm.Acquire(3, kR1, LockMode::kX); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  // Txn 2 (older than 3) requests kR2 held by 3: wounds it.  Txn 3's
+  // pending wait is killed with kAborted...
+  Status st2;
+  std::thread older([&] { st2 = lm.Acquire(2, kR2, LockMode::kX); });
+  younger.join();
+  EXPECT_TRUE(st3.IsAborted()) << st3;
+  // ... and once txn 3 aborts (releases kR2), txn 2 proceeds.
+  lm.ReleaseAll(3);
+  older.join();
+  EXPECT_TRUE(st2.ok()) << st2;
+}
+
+TEST(WoundWaitTest, WoundedTxnFailsNextAcquire) {
+  LockManager lm(WithPolicy(DeadlockPolicy::kWoundWait));
+  ASSERT_TRUE(lm.Acquire(9, kR2, LockMode::kX).ok());  // younger, running
+
+  // Older txn 2 blocks on kR2: wounds 9 (which is not waiting anywhere).
+  Status st2;
+  std::thread older([&] { st2 = lm.Acquire(2, kR2, LockMode::kS); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  // Txn 9 discovers the wound at its next lock request.
+  Status st9 = lm.Acquire(9, kR1, LockMode::kS);
+  EXPECT_TRUE(st9.IsAborted()) << st9;
+  lm.ReleaseAll(9);  // the forced abort releases kR2
+  older.join();
+  EXPECT_TRUE(st2.ok()) << st2;
+
+  // After its abort the id is clean again (wound cleared at release).
+  EXPECT_TRUE(lm.Acquire(9, kR1, LockMode::kS).ok());
+}
+
+TEST(WoundWaitTest, YoungerWaitsForOlderWithoutWounding) {
+  LockManager lm(WithPolicy(DeadlockPolicy::kWoundWait));
+  ASSERT_TRUE(lm.Acquire(1, kR1, LockMode::kX).ok());
+  std::atomic<bool> granted{false};
+  std::thread younger([&] {
+    ASSERT_TRUE(lm.Acquire(4, kR1, LockMode::kS).ok());
+    granted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(granted);
+  // Txn 1 is NOT wounded: it can still acquire.
+  EXPECT_TRUE(lm.Acquire(1, kR2, LockMode::kS).ok());
+  lm.ReleaseAll(1);
+  younger.join();
+  EXPECT_TRUE(granted);
+}
+
+class PreventionPolicyTest : public ::testing::TestWithParam<DeadlockPolicy> {
+};
+
+TEST_P(PreventionPolicyTest, CrossOrderLockingAlwaysResolves) {
+  // The classic deadlock pattern must resolve under every policy without
+  // relying on the (long) timeout: detection kills a victim, prevention
+  // never lets the cycle form.
+  LockManager lm(WithPolicy(GetParam()));
+  std::atomic<int> resolved{0};
+  auto worker = [&](TxnId me, ResourceId first, ResourceId second) {
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      Status a = lm.Acquire(me, first, LockMode::kX);
+      if (!a.ok()) {
+        lm.ReleaseAll(me);
+        continue;
+      }
+      Status b = lm.Acquire(me, second, LockMode::kX);
+      if (!b.ok()) {
+        lm.ReleaseAll(me);
+        continue;
+      }
+      lm.ReleaseAll(me);
+      ++resolved;
+      return;
+    }
+  };
+  std::thread t1(worker, 1, kR1, kR2);
+  std::thread t2(worker, 2, kR2, kR1);
+  t1.join();
+  t2.join();
+  EXPECT_EQ(resolved.load(), 2);
+  EXPECT_EQ(lm.NumEntries(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, PreventionPolicyTest,
+                         ::testing::Values(DeadlockPolicy::kDetect,
+                                           DeadlockPolicy::kWoundWait,
+                                           DeadlockPolicy::kWaitDie),
+                         [](const ::testing::TestParamInfo<DeadlockPolicy>& p) {
+                           return std::string(
+                               p.param == DeadlockPolicy::kDetect
+                                   ? "Detect"
+                                   : p.param == DeadlockPolicy::kWoundWait
+                                         ? "WoundWait"
+                                         : "WaitDie");
+                         });
+
+}  // namespace
+}  // namespace codlock::lock

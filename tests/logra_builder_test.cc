@@ -1,0 +1,188 @@
+/// Tests for object-specific lock graph construction (Figures 2, 4, 5):
+/// derivation rules, node kinds, dashed edges, System R as a special case.
+
+#include <gtest/gtest.h>
+
+#include "logra/lock_graph.h"
+#include "sim/fixtures.h"
+
+namespace codlock::logra {
+namespace {
+
+class LockGraphTest : public ::testing::Test {
+ protected:
+  LockGraphTest()
+      : f_(sim::BuildCellsEffectors()),
+        g_(LockGraph::Build(*f_.catalog)) {}
+
+  NodeId AttrNode(nf2::RelationId rel, const std::vector<std::string>& path) {
+    nf2::AttrId cur = f_.catalog->relation(rel).root;
+    for (const std::string& name : path) {
+      const nf2::AttrDef& def = f_.catalog->attr(cur);
+      if (nf2::IsCollection(def.kind)) cur = def.children[0];
+      Result<nf2::AttrId> field = f_.catalog->FindField(cur, name);
+      EXPECT_TRUE(field.ok()) << name;
+      cur = *field;
+    }
+    return g_.NodeForAttr(cur);
+  }
+
+  sim::CellsFixture f_;
+  LockGraph g_;
+};
+
+TEST_F(LockGraphTest, HierarchyNodesHaveSystemRKinds) {
+  // §4.2: "'database' can be regarded as a HeLU, 'segments' as well,
+  // 'relations' is a HoLU".
+  EXPECT_EQ(g_.node(g_.DatabaseNode(f_.db)).kind, NodeKind::kHeLU);
+  EXPECT_EQ(g_.node(g_.SegmentNode(f_.seg1)).kind, NodeKind::kHeLU);
+  EXPECT_EQ(g_.node(g_.SegmentNode(f_.seg2)).kind, NodeKind::kHeLU);
+  EXPECT_EQ(g_.node(g_.RelationNode(f_.cells)).kind, NodeKind::kHoLU);
+  EXPECT_EQ(g_.node(g_.ComplexObjectNode(f_.cells)).kind, NodeKind::kHeLU);
+}
+
+TEST_F(LockGraphTest, DerivationRules) {
+  // Rule 1/2: list and set attributes become HoLUs.
+  EXPECT_EQ(g_.node(AttrNode(f_.cells, {"robots"})).kind, NodeKind::kHoLU);
+  EXPECT_EQ(g_.node(AttrNode(f_.cells, {"c_objects"})).kind, NodeKind::kHoLU);
+  EXPECT_EQ(g_.node(AttrNode(f_.cells, {"robots", "effectors"})).kind,
+            NodeKind::kHoLU);
+  // Rule 3: (complex) tuples become HeLUs.
+  nf2::AttrId robots =
+      *f_.catalog->FindField(f_.catalog->relation(f_.cells).root, "robots");
+  nf2::AttrId robot = *f_.catalog->ElementAttr(robots);
+  EXPECT_EQ(g_.node(g_.NodeForAttr(robot)).kind, NodeKind::kHeLU);
+  // Rule 4: atomic attributes become BLUs.
+  EXPECT_EQ(g_.node(AttrNode(f_.cells, {"cell_id"})).kind, NodeKind::kBLU);
+  EXPECT_EQ(g_.node(AttrNode(f_.cells, {"robots", "trajectory"})).kind,
+            NodeKind::kBLU);
+  // References are BLUs too ("reference to common data", Fig. 4).
+  nf2::AttrId effs = *f_.catalog->FindField(robot, "effectors");
+  nf2::AttrId ref = *f_.catalog->ElementAttr(effs);
+  EXPECT_EQ(g_.node(g_.NodeForAttr(ref)).kind, NodeKind::kBLU);
+  EXPECT_TRUE(g_.node(g_.NodeForAttr(ref)).is_ref_blu());
+}
+
+TEST_F(LockGraphTest, SolidParentChain) {
+  // Fig. 5: database → segment → relation → C.O. → attributes.
+  NodeId db = g_.DatabaseNode(f_.db);
+  NodeId seg1 = g_.SegmentNode(f_.seg1);
+  NodeId rel = g_.RelationNode(f_.cells);
+  NodeId co = g_.ComplexObjectNode(f_.cells);
+  EXPECT_EQ(g_.node(db).solid_parent, kInvalidNode);
+  EXPECT_EQ(g_.node(seg1).solid_parent, db);
+  EXPECT_EQ(g_.node(rel).solid_parent, seg1);
+  EXPECT_EQ(g_.node(co).solid_parent, rel);
+  NodeId robots = AttrNode(f_.cells, {"robots"});
+  EXPECT_EQ(g_.node(robots).solid_parent, co);
+}
+
+TEST_F(LockGraphTest, DashedEdgeCrossesIntoEffectors) {
+  nf2::AttrId robots =
+      *f_.catalog->FindField(f_.catalog->relation(f_.cells).root, "robots");
+  nf2::AttrId robot = *f_.catalog->ElementAttr(robots);
+  nf2::AttrId effs = *f_.catalog->FindField(robot, "effectors");
+  nf2::AttrId ref = *f_.catalog->ElementAttr(effs);
+  NodeId ref_node = g_.NodeForAttr(ref);
+  NodeId ep = g_.ComplexObjectNode(f_.effectors);
+  EXPECT_EQ(g_.node(ref_node).dashed_target, ep);
+  ASSERT_EQ(g_.node(ep).dashed_in.size(), 1u);
+  EXPECT_EQ(g_.node(ep).dashed_in[0], ref_node);
+}
+
+TEST_F(LockGraphTest, EntryPoints) {
+  // "effectors" objects are referenced → their C.O. node is an entry point;
+  // "cells" objects are not.
+  EXPECT_TRUE(g_.IsEntryPoint(g_.ComplexObjectNode(f_.effectors)));
+  EXPECT_FALSE(g_.IsEntryPoint(g_.ComplexObjectNode(f_.cells)));
+}
+
+TEST_F(LockGraphTest, ObjectSpecificGraphOfCellsIncludesSharedPart) {
+  // Fig. 5 shows cells' object-specific lock graph containing seg2,
+  // relation "effectors" and the effectors C.O. subtree.
+  std::vector<NodeId> nodes = g_.ObjectSpecificNodes(f_.cells);
+  auto contains = [&nodes](NodeId id) {
+    return std::find(nodes.begin(), nodes.end(), id) != nodes.end();
+  };
+  EXPECT_TRUE(contains(g_.DatabaseNode(f_.db)));
+  EXPECT_TRUE(contains(g_.SegmentNode(f_.seg1)));
+  EXPECT_TRUE(contains(g_.SegmentNode(f_.seg2)));
+  EXPECT_TRUE(contains(g_.RelationNode(f_.cells)));
+  EXPECT_TRUE(contains(g_.RelationNode(f_.effectors)));
+  EXPECT_TRUE(contains(g_.ComplexObjectNode(f_.cells)));
+  EXPECT_TRUE(contains(g_.ComplexObjectNode(f_.effectors)));
+}
+
+TEST_F(LockGraphTest, ObjectSpecificGraphOfEffectorsIsFlat) {
+  std::vector<NodeId> nodes = g_.ObjectSpecificNodes(f_.effectors);
+  auto contains = [&nodes](NodeId id) {
+    return std::find(nodes.begin(), nodes.end(), id) != nodes.end();
+  };
+  EXPECT_TRUE(contains(g_.ComplexObjectNode(f_.effectors)));
+  // Effectors reference nothing: cells' nodes are absent.
+  EXPECT_FALSE(contains(g_.ComplexObjectNode(f_.cells)));
+  // db, seg2, relation, C.O., eff_id BLU, tool BLU = 6 nodes.
+  EXPECT_EQ(nodes.size(), 6u);
+}
+
+TEST_F(LockGraphTest, RefBlusUnderStaysWithinUnit) {
+  // From the cells C.O. node: exactly one ref BLU (robots' effectors ref).
+  std::vector<NodeId> refs = g_.RefBlusUnder(g_.ComplexObjectNode(f_.cells));
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_TRUE(g_.node(refs[0]).is_ref_blu());
+  // From the effectors C.O. node: none.
+  EXPECT_TRUE(g_.RefBlusUnder(g_.ComplexObjectNode(f_.effectors)).empty());
+}
+
+TEST_F(LockGraphTest, ReachableSharedRelations) {
+  std::vector<nf2::RelationId> shared =
+      g_.ReachableSharedRelations(g_.ComplexObjectNode(f_.cells));
+  ASSERT_EQ(shared.size(), 1u);
+  EXPECT_EQ(shared[0], f_.effectors);
+  EXPECT_TRUE(
+      g_.ReachableSharedRelations(g_.ComplexObjectNode(f_.effectors)).empty());
+}
+
+TEST_F(LockGraphTest, NodeNamesReadable) {
+  EXPECT_EQ(g_.NodeName(g_.DatabaseNode(f_.db)), "HeLU(Database \"db1\")");
+  EXPECT_EQ(g_.NodeName(g_.RelationNode(f_.cells)),
+            "HoLU(Relation \"cells\")");
+  EXPECT_EQ(g_.NodeName(g_.ComplexObjectNode(f_.cells)),
+            "HeLU(\"C.O. cells\")");
+}
+
+TEST_F(LockGraphTest, DotExportContainsEdges) {
+  std::string dot = g_.ToDot(f_.cells, *f_.catalog);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // the ref edge
+  EXPECT_NE(dot.find("C.O. effectors"), std::string::npos);
+}
+
+TEST(LockGraphNestedTest, NestedSharingIsTransitive) {
+  // library <- parts, and a second level: catalog with parts2 -> parts?
+  // Use the synthetic fixture: parts --ref--> library.
+  sim::SyntheticParams p;
+  p.depth = 2;
+  p.refs_per_leaf = 2;
+  sim::SyntheticFixture f = sim::BuildSynthetic(p);
+  LockGraph g = LockGraph::Build(*f.catalog);
+  EXPECT_TRUE(g.IsEntryPoint(g.ComplexObjectNode(f.shared_relation)));
+  std::vector<nf2::RelationId> shared =
+      g.ReachableSharedRelations(g.ComplexObjectNode(f.main_relation));
+  ASSERT_EQ(shared.size(), 1u);
+  EXPECT_EQ(shared[0], f.shared_relation);
+}
+
+TEST(LockGraphDisjointTest, DisjointSchemaHasNoEntryPoints) {
+  sim::SyntheticParams p;
+  p.refs_per_leaf = 0;
+  sim::SyntheticFixture f = sim::BuildSynthetic(p);
+  LockGraph g = LockGraph::Build(*f.catalog);
+  for (const Node& n : g.nodes()) {
+    EXPECT_FALSE(g.IsEntryPoint(n.id));
+    EXPECT_FALSE(n.is_ref_blu());
+  }
+}
+
+}  // namespace
+}  // namespace codlock::logra

@@ -1,0 +1,111 @@
+/// Tests for the unit decomposition of §4.4.1 (Figure 6): outer and inner
+/// units, entry points, immediate parents, superunits.
+
+#include <gtest/gtest.h>
+
+#include "logra/lock_graph.h"
+#include "sim/fixtures.h"
+
+namespace codlock::logra {
+namespace {
+
+class UnitsTest : public ::testing::Test {
+ protected:
+  UnitsTest() : f_(sim::BuildCellsEffectors()), g_(LockGraph::Build(*f_.catalog)) {}
+
+  sim::CellsFixture f_;
+  LockGraph g_;
+};
+
+TEST_F(UnitsTest, ImmediateParentOfEntryPointIsItsRelation) {
+  // Fig. 6: "The immediate parent of node 'effector e1' is the node
+  // 'Relation effectors'."  The referencing node "o" (the ref BLU) is NOT
+  // an immediate parent because the edge is dashed.
+  NodeId ep = g_.ComplexObjectNode(f_.effectors);
+  EXPECT_EQ(g_.node(ep).solid_parent, g_.RelationNode(f_.effectors));
+  ASSERT_FALSE(g_.node(ep).dashed_in.empty());
+  EXPECT_NE(g_.node(ep).solid_parent, g_.node(ep).dashed_in[0]);
+}
+
+TEST_F(UnitsTest, SuperunitChainOfEntryPoint) {
+  // Fig. 6: "Node 'effector e1' and all its immediate parents up to
+  // 'Database db1' form a superunit": relation effectors, segment seg2,
+  // database db1.
+  NodeId ep = g_.ComplexObjectNode(f_.effectors);
+  std::vector<NodeId> chain = g_.SuperunitChain(ep);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0], g_.RelationNode(f_.effectors));
+  EXPECT_EQ(chain[1], g_.SegmentNode(f_.seg2));
+  EXPECT_EQ(chain[2], g_.DatabaseNode(f_.db));
+}
+
+TEST_F(UnitsTest, SuperunitChainOfCellObject) {
+  NodeId co = g_.ComplexObjectNode(f_.cells);
+  std::vector<NodeId> chain = g_.SuperunitChain(co);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0], g_.RelationNode(f_.cells));
+  EXPECT_EQ(chain[1], g_.SegmentNode(f_.seg1));
+  EXPECT_EQ(chain[2], g_.DatabaseNode(f_.db));
+}
+
+TEST_F(UnitsTest, EveryNonRootNodeHasExactlyOneImmediateParent) {
+  // §4.4.1: "each node except the root has exactly one immediate parent -
+  // in other words, outer and inner units as well as superunits have
+  // hierarchical structure."
+  int roots = 0;
+  for (const Node& n : g_.nodes()) {
+    if (n.solid_parent == kInvalidNode) {
+      ++roots;
+      EXPECT_EQ(n.level, NodeLevel::kDatabase);
+    } else {
+      // The parent lists this node among its solid children exactly once.
+      const Node& parent = g_.node(n.solid_parent);
+      int count = 0;
+      for (NodeId c : parent.solid_children) {
+        if (c == n.id) ++count;
+      }
+      EXPECT_EQ(count, 1);
+    }
+  }
+  EXPECT_EQ(roots, 1);  // one database
+}
+
+TEST_F(UnitsTest, UnitBoundaryOnlyAtRefBlus) {
+  // Dashed edges (unit boundaries) exist only at ref BLUs and only point
+  // to complex-object nodes (entry points).
+  for (const Node& n : g_.nodes()) {
+    if (n.is_ref_blu()) {
+      EXPECT_EQ(n.kind, NodeKind::kBLU);
+      const Node& target = g_.node(n.dashed_target);
+      EXPECT_EQ(target.level, NodeLevel::kComplexObject);
+      EXPECT_TRUE(g_.IsEntryPoint(target.id));
+    }
+  }
+}
+
+TEST_F(UnitsTest, InnerUnitNodesBelongToTargetRelation) {
+  // Every node strictly inside the inner unit (below the entry point)
+  // belongs to the shared relation — units are disjoint node sets.
+  NodeId ep = g_.ComplexObjectNode(f_.effectors);
+  std::vector<NodeId> stack{ep};
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    EXPECT_EQ(g_.node(cur).relation, f_.effectors);
+    for (NodeId c : g_.node(cur).solid_children) stack.push_back(c);
+  }
+}
+
+TEST_F(UnitsTest, SuperunitsOverlapButUnitsDoNot) {
+  // Superunits of "cell" and "effector" objects share db1 — the paper:
+  // "Units (outer and inner ones) are always disjoint, whereas superunits
+  // are not."
+  std::vector<NodeId> a = g_.SuperunitChain(g_.ComplexObjectNode(f_.cells));
+  std::vector<NodeId> b =
+      g_.SuperunitChain(g_.ComplexObjectNode(f_.effectors));
+  EXPECT_EQ(a.back(), b.back());  // both end at db1
+  EXPECT_NE(a.front(), b.front());
+}
+
+}  // namespace
+}  // namespace codlock::logra

@@ -1,0 +1,183 @@
+/// Tests for the extended NF² schema catalog, including the Fig. 1 schema.
+
+#include <gtest/gtest.h>
+
+#include "nf2/schema.h"
+#include "sim/fixtures.h"
+
+namespace codlock::nf2 {
+namespace {
+
+TEST(AttrKindTest, Classification) {
+  EXPECT_TRUE(IsAtomic(AttrKind::kString));
+  EXPECT_TRUE(IsAtomic(AttrKind::kInt));
+  EXPECT_TRUE(IsAtomic(AttrKind::kReal));
+  EXPECT_TRUE(IsAtomic(AttrKind::kBool));
+  EXPECT_FALSE(IsAtomic(AttrKind::kSet));
+  EXPECT_FALSE(IsAtomic(AttrKind::kRef));
+  EXPECT_TRUE(IsCollection(AttrKind::kSet));
+  EXPECT_TRUE(IsCollection(AttrKind::kList));
+  EXPECT_FALSE(IsCollection(AttrKind::kTuple));
+}
+
+TEST(CatalogTest, CreateHierarchy) {
+  Catalog c;
+  Result<DatabaseId> db = c.CreateDatabase("db1");
+  ASSERT_TRUE(db.ok());
+  Result<SegmentId> seg = c.CreateSegment(*db, "seg1");
+  ASSERT_TRUE(seg.ok());
+  Result<RelationId> rel = c.CreateRelation(
+      *seg, "simple", AttrSpec::Tuple("simple", {AttrSpec::Key("id")}));
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(c.relation(*rel).name, "simple");
+  EXPECT_EQ(c.relation(*rel).segment, *seg);
+  EXPECT_EQ(c.relation(*rel).database, *db);
+  EXPECT_NE(c.relation(*rel).key_attr, kInvalidAttr);
+}
+
+TEST(CatalogTest, DuplicateNamesRejected) {
+  Catalog c;
+  DatabaseId db = *c.CreateDatabase("db");
+  EXPECT_TRUE(c.CreateDatabase("db").status().IsAlreadyExists());
+  SegmentId seg = *c.CreateSegment(db, "seg");
+  EXPECT_TRUE(c.CreateSegment(db, "seg").status().IsAlreadyExists());
+  ASSERT_TRUE(c.CreateRelation(seg, "r",
+                               AttrSpec::Tuple("r", {AttrSpec::Key("id")}))
+                  .ok());
+  EXPECT_TRUE(
+      c.CreateRelation(seg, "r", AttrSpec::Tuple("r", {AttrSpec::Key("id")}))
+          .status()
+          .IsAlreadyExists());
+}
+
+TEST(CatalogTest, UnknownParentsRejected) {
+  Catalog c;
+  EXPECT_TRUE(c.CreateSegment(99, "seg").status().IsNotFound());
+  EXPECT_TRUE(c.CreateRelation(99, "r",
+                               AttrSpec::Tuple("r", {AttrSpec::Key("id")}))
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(CatalogTest, NonTupleRootRejected) {
+  Catalog c;
+  DatabaseId db = *c.CreateDatabase("db");
+  SegmentId seg = *c.CreateSegment(db, "seg");
+  EXPECT_TRUE(c.CreateRelation(seg, "r", AttrSpec::Str("flat"))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(CatalogTest, RefToUnknownRelationRejected) {
+  Catalog c;
+  DatabaseId db = *c.CreateDatabase("db");
+  SegmentId seg = *c.CreateSegment(db, "seg");
+  Result<RelationId> r = c.CreateRelation(
+      seg, "r",
+      AttrSpec::Tuple("r", {AttrSpec::Key("id"),
+                            AttrSpec::Ref("ref", "missing")}));
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(CatalogTest, RecursiveRefRejected) {
+  Catalog c;
+  DatabaseId db = *c.CreateDatabase("db");
+  SegmentId seg = *c.CreateSegment(db, "seg");
+  // A relation referencing itself is the recursive case the paper defers
+  // to future work; the catalog must reject it.
+  Result<RelationId> r = c.CreateRelation(
+      seg, "self",
+      AttrSpec::Tuple("self",
+                      {AttrSpec::Key("id"), AttrSpec::Ref("ref", "self")}));
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(CatalogTest, CollectionNeedsExactlyOneElementType) {
+  Catalog c;
+  DatabaseId db = *c.CreateDatabase("db");
+  SegmentId seg = *c.CreateSegment(db, "seg");
+  AttrSpec bad_set{"s", AttrKind::kSet, false, {}, {}};  // no element
+  Result<RelationId> r = c.CreateRelation(
+      seg, "r", AttrSpec::Tuple("r", {AttrSpec::Key("id"), bad_set}));
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(CatalogTest, EmptyTupleRejected) {
+  Catalog c;
+  DatabaseId db = *c.CreateDatabase("db");
+  SegmentId seg = *c.CreateSegment(db, "seg");
+  Result<RelationId> r =
+      c.CreateRelation(seg, "r", AttrSpec::Tuple("r", {}));
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+class Figure1SchemaTest : public ::testing::Test {
+ protected:
+  sim::CellsFixture f_ = sim::BuildCellsEffectors();
+};
+
+TEST_F(Figure1SchemaTest, RelationsExist) {
+  EXPECT_TRUE(f_.catalog->FindRelation("cells").ok());
+  EXPECT_TRUE(f_.catalog->FindRelation("effectors").ok());
+  EXPECT_TRUE(f_.catalog->FindDatabase("db1").ok());
+  EXPECT_TRUE(f_.catalog->FindSegment("seg1").ok());
+  EXPECT_TRUE(f_.catalog->FindSegment("seg2").ok());
+}
+
+TEST_F(Figure1SchemaTest, CellsSchemaShape) {
+  const RelationDef& cells = f_.catalog->relation(f_.cells);
+  const AttrDef& root = f_.catalog->attr(cells.root);
+  EXPECT_EQ(root.kind, AttrKind::kTuple);
+  ASSERT_EQ(root.children.size(), 3u);
+
+  const AttrDef& cell_id = f_.catalog->attr(root.children[0]);
+  EXPECT_EQ(cell_id.name, "cell_id");
+  EXPECT_TRUE(cell_id.is_key);
+
+  const AttrDef& c_objects = f_.catalog->attr(root.children[1]);
+  EXPECT_EQ(c_objects.kind, AttrKind::kSet);
+  const AttrDef& c_object = f_.catalog->attr(c_objects.children[0]);
+  EXPECT_EQ(c_object.kind, AttrKind::kTuple);
+  EXPECT_EQ(c_object.children.size(), 2u);
+
+  const AttrDef& robots = f_.catalog->attr(root.children[2]);
+  EXPECT_EQ(robots.kind, AttrKind::kList);
+  const AttrDef& robot = f_.catalog->attr(robots.children[0]);
+  EXPECT_EQ(robot.kind, AttrKind::kTuple);
+  ASSERT_EQ(robot.children.size(), 3u);
+  const AttrDef& effectors_set = f_.catalog->attr(robot.children[2]);
+  EXPECT_EQ(effectors_set.kind, AttrKind::kSet);
+  const AttrDef& ref = f_.catalog->attr(effectors_set.children[0]);
+  EXPECT_EQ(ref.kind, AttrKind::kRef);
+  EXPECT_EQ(ref.ref_target, f_.effectors);
+}
+
+TEST_F(Figure1SchemaTest, ReferencingRelations) {
+  std::vector<RelationId> refs =
+      f_.catalog->ReferencingRelations(f_.effectors);
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0], f_.cells);
+  EXPECT_TRUE(f_.catalog->ReferencingRelations(f_.cells).empty());
+  EXPECT_TRUE(f_.catalog->HasReferences(f_.cells));
+  EXPECT_FALSE(f_.catalog->HasReferences(f_.effectors));
+}
+
+TEST_F(Figure1SchemaTest, FindFieldAndElement) {
+  const RelationDef& cells = f_.catalog->relation(f_.cells);
+  Result<AttrId> robots = f_.catalog->FindField(cells.root, "robots");
+  ASSERT_TRUE(robots.ok());
+  Result<AttrId> robot = f_.catalog->ElementAttr(*robots);
+  ASSERT_TRUE(robot.ok());
+  Result<AttrId> trajectory = f_.catalog->FindField(*robot, "trajectory");
+  ASSERT_TRUE(trajectory.ok());
+  EXPECT_EQ(f_.catalog->AttrPath(*trajectory),
+            "cells.robots.robot.trajectory");
+  EXPECT_TRUE(
+      f_.catalog->FindField(cells.root, "no_such").status().IsNotFound());
+  EXPECT_TRUE(f_.catalog->ElementAttr(cells.root)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace codlock::nf2

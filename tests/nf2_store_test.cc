@@ -1,0 +1,224 @@
+/// Tests for values and the instance store: validation, navigation,
+/// reference collection and the back-reference scan.
+
+#include <gtest/gtest.h>
+
+#include "nf2/store.h"
+#include "sim/fixtures.h"
+
+namespace codlock::nf2 {
+namespace {
+
+class StoreTest : public ::testing::Test {
+ protected:
+  StoreTest() : f_(sim::BuildCellsEffectors(Params())) {}
+
+  static sim::CellsParams Params() {
+    sim::CellsParams p;
+    p.num_cells = 2;
+    p.c_objects_per_cell = 3;
+    p.robots_per_cell = 2;
+    p.num_effectors = 3;
+    p.effectors_per_robot = 2;
+    return p;
+  }
+
+  sim::CellsFixture f_;
+};
+
+TEST_F(StoreTest, InsertAssignsIdsAndKeys) {
+  EXPECT_EQ(f_.store->ObjectCount(f_.cells), 2u);
+  EXPECT_EQ(f_.store->ObjectCount(f_.effectors), 3u);
+  Result<const Object*> c1 = f_.store->FindByKey(f_.cells, "c1");
+  ASSERT_TRUE(c1.ok());
+  EXPECT_EQ((*c1)->key, "c1");
+  EXPECT_NE((*c1)->root.iid(), kInvalidIid);
+  // Every node of the object carries a distinct instance id.
+  EXPECT_GT((*c1)->root.TreeSize(), 10u);
+}
+
+TEST_F(StoreTest, DuplicateKeyRejected) {
+  Value dup = Value::OfTuple({
+      Value::OfString("e1"),  // key already taken
+      Value::OfString("another tool"),
+  });
+  EXPECT_TRUE(
+      f_.store->Insert(f_.effectors, std::move(dup)).status().IsAlreadyExists());
+}
+
+TEST_F(StoreTest, ValidationRejectsWrongShape) {
+  // Missing field.
+  Value bad1 = Value::OfTuple({Value::OfString("e9")});
+  EXPECT_TRUE(
+      f_.store->Insert(f_.effectors, std::move(bad1)).status().IsInvalidArgument());
+  // Wrong kind.
+  Value bad2 = Value::OfTuple({Value::OfInt(9), Value::OfString("t")});
+  EXPECT_TRUE(
+      f_.store->Insert(f_.effectors, std::move(bad2)).status().IsInvalidArgument());
+}
+
+TEST_F(StoreTest, ValidationRejectsWrongRefTarget) {
+  Value cell = Value::OfTuple({
+      Value::OfString("c9"),
+      Value::OfSet({}),
+      Value::OfList({Value::OfTuple({
+          Value::OfString("r9"),
+          Value::OfString("t"),
+          // Reference targets "cells" though schema declares "effectors".
+          Value::OfSet({Value::OfRef(f_.cells, 1)}),
+      })}),
+  });
+  EXPECT_TRUE(
+      f_.store->Insert(f_.cells, std::move(cell)).status().IsInvalidArgument());
+}
+
+TEST_F(StoreTest, NavigateFieldAndElement) {
+  Result<const Object*> c1 = f_.store->FindByKey(f_.cells, "c1");
+  ASSERT_TRUE(c1.ok());
+  Result<ResolvedPath> rp = f_.store->Navigate(
+      f_.cells, (*c1)->id,
+      {PathStep::Elem("robots", "r1"), PathStep::Field("trajectory")});
+  ASSERT_TRUE(rp.ok());
+  // root, robots, robot r1, trajectory.
+  ASSERT_EQ(rp->steps.size(), 4u);
+  EXPECT_EQ(rp->target()->as_string(), "trajectory-1");
+}
+
+TEST_F(StoreTest, NavigateByIndex) {
+  Result<const Object*> c1 = f_.store->FindByKey(f_.cells, "c1");
+  ASSERT_TRUE(c1.ok());
+  Result<ResolvedPath> rp =
+      f_.store->Navigate(f_.cells, (*c1)->id, {PathStep::At("robots", 1)});
+  ASSERT_TRUE(rp.ok());
+  // Second robot of cell 1 is r2.
+  EXPECT_EQ(rp->target()->children()[0].as_string(), "r2");
+}
+
+TEST_F(StoreTest, NavigateErrors) {
+  Result<const Object*> c1 = f_.store->FindByKey(f_.cells, "c1");
+  ASSERT_TRUE(c1.ok());
+  EXPECT_TRUE(f_.store
+                  ->Navigate(f_.cells, (*c1)->id,
+                             {PathStep::Field("nonexistent")})
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(f_.store
+                  ->Navigate(f_.cells, (*c1)->id,
+                             {PathStep::Elem("robots", "r99")})
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(f_.store
+                  ->Navigate(f_.cells, (*c1)->id, {PathStep::At("robots", 99)})
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(
+      f_.store->Navigate(f_.cells, 999999, {}).status().IsNotFound());
+}
+
+TEST_F(StoreTest, CollectRefsFindsAllDistinctRefs) {
+  Result<const Object*> c1 = f_.store->FindByKey(f_.cells, "c1");
+  ASSERT_TRUE(c1.ok());
+  std::vector<RefValue> refs = InstanceStore::CollectRefs((*c1)->root);
+  // 2 robots x 2 effectors each, possibly overlapping: between 2 and 4.
+  EXPECT_GE(refs.size(), 2u);
+  EXPECT_LE(refs.size(), 4u);
+  for (const RefValue& r : refs) EXPECT_EQ(r.relation, f_.effectors);
+}
+
+TEST_F(StoreTest, DerefFollowsReference) {
+  Result<const Object*> c1 = f_.store->FindByKey(f_.cells, "c1");
+  ASSERT_TRUE(c1.ok());
+  std::vector<RefValue> refs = InstanceStore::CollectRefs((*c1)->root);
+  ASSERT_FALSE(refs.empty());
+  Result<const Object*> eff = f_.store->Deref(refs[0]);
+  ASSERT_TRUE(eff.ok());
+  EXPECT_EQ((*eff)->relation, f_.effectors);
+}
+
+TEST_F(StoreTest, FindReferencingScansAndFindsBackRefs) {
+  // Every effector referenced by some robot must be discovered, and the
+  // scan cost must be reported.
+  Result<const Object*> c1 = f_.store->FindByKey(f_.cells, "c1");
+  ASSERT_TRUE(c1.ok());
+  std::vector<RefValue> refs = InstanceStore::CollectRefs((*c1)->root);
+  ASSERT_FALSE(refs.empty());
+
+  uint64_t scanned = 0;
+  std::vector<BackRefPath> parents =
+      f_.store->FindReferencing(f_.effectors, refs[0].object, &scanned);
+  EXPECT_GE(parents.size(), 1u);
+  EXPECT_GT(scanned, 0u);
+  for (const BackRefPath& p : parents) {
+    EXPECT_EQ(p.relation, f_.cells);
+    ASSERT_FALSE(p.chain.empty());
+    // The chain ends at a ref BLU whose iid is registered.
+    EXPECT_NE(p.chain.back().second, kInvalidIid);
+  }
+}
+
+TEST_F(StoreTest, FindReferencingUnreferencedObjectIsEmpty) {
+  uint64_t scanned = 0;
+  // "cells" objects are never referenced.
+  std::vector<ObjectId> ids = f_.store->ObjectsOf(f_.cells);
+  std::vector<BackRefPath> parents =
+      f_.store->FindReferencing(f_.cells, ids[0], &scanned);
+  EXPECT_TRUE(parents.empty());
+  // No relation has refs to "cells", so nothing needed scanning.
+  EXPECT_EQ(scanned, 0u);
+}
+
+TEST_F(StoreTest, EraseRemovesObjectAndIndex) {
+  Result<const Object*> e1 = f_.store->FindByKey(f_.effectors, "e1");
+  ASSERT_TRUE(e1.ok());
+  ObjectId id = (*e1)->id;
+  Iid root_iid = (*e1)->root.iid();
+  ASSERT_TRUE(f_.store->Erase(f_.effectors, id).ok());
+  EXPECT_TRUE(f_.store->Get(f_.effectors, id).status().IsNotFound());
+  EXPECT_TRUE(f_.store->FindByKey(f_.effectors, "e1").status().IsNotFound());
+  EXPECT_TRUE(f_.store->FindIid(root_iid).status().IsNotFound());
+  EXPECT_TRUE(f_.store->Erase(f_.effectors, id).IsNotFound());
+}
+
+TEST_F(StoreTest, RootIidAndFindIidAgree) {
+  Result<const Object*> c2 = f_.store->FindByKey(f_.cells, "c2");
+  ASSERT_TRUE(c2.ok());
+  Result<Iid> iid = f_.store->RootIid(f_.cells, (*c2)->id);
+  ASSERT_TRUE(iid.ok());
+  Result<InstanceStore::IidInfo> info = f_.store->FindIid(*iid);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->relation, f_.cells);
+  EXPECT_EQ(info->object, (*c2)->id);
+  EXPECT_EQ(info->value, &(*c2)->root);
+}
+
+TEST(ValueTest, ToStringRendersStructure) {
+  Value v = Value::OfTuple({
+      Value::OfString("a"),
+      Value::OfSet({Value::OfInt(1), Value::OfInt(2)}),
+      Value::OfList({Value::OfBool(true)}),
+      Value::OfReal(1.5),
+  });
+  std::string s = v.ToString();
+  EXPECT_NE(s.find("'a'"), std::string::npos);
+  EXPECT_NE(s.find("{1, 2}"), std::string::npos);
+  EXPECT_NE(s.find("[true]"), std::string::npos);
+}
+
+TEST(ValueTest, TreeSizeCountsNodes) {
+  Value v = Value::OfTuple({
+      Value::OfString("a"),
+      Value::OfSet({Value::OfInt(1), Value::OfInt(2)}),
+  });
+  // tuple + str + set + 2 ints.
+  EXPECT_EQ(v.TreeSize(), 5u);
+}
+
+TEST(PathTest, ToStringFormats) {
+  Path p = {PathStep::Elem("robots", "r1"), PathStep::Field("trajectory")};
+  EXPECT_EQ(PathToString(p), "robots['r1'].trajectory");
+  Path q = {PathStep::At("robots", 2)};
+  EXPECT_EQ(PathToString(q), "robots[2]");
+}
+
+}  // namespace
+}  // namespace codlock::nf2

@@ -1,0 +1,166 @@
+/// Reproduces Figure 7 of the paper exactly: the complete lock sets held
+/// by queries Q2 and Q3 (Fig. 3) on complex object "c1", including
+/// implicit upward and downward propagation and rule 4′.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "proto/co_protocol.h"
+#include "sim/fixtures.h"
+
+namespace codlock::proto {
+namespace {
+
+using lock::LockMode;
+using lock::ResourceId;
+
+class Figure7Test : public ::testing::Test {
+ protected:
+  Figure7Test()
+      : f_(sim::BuildFigure7Instance()),
+        graph_(logra::LockGraph::Build(*f_.catalog)),
+        tm_(&lm_),
+        proto_(&graph_, f_.store.get(), &lm_, &authz_) {
+    // The paper's assumption for Fig. 7: "neither Q2 nor Q3 have the right
+    // to update relation 'effectors'" — but they may update cells.
+    EXPECT_TRUE(authz_.Grant(kUserQ2, f_.cells, authz::Right::kModify).ok());
+    EXPECT_TRUE(authz_.Grant(kUserQ3, f_.cells, authz::Right::kModify).ok());
+  }
+
+  static constexpr authz::UserId kUserQ2 = 2;
+  static constexpr authz::UserId kUserQ3 = 3;
+
+  nf2::Iid IidAt(const nf2::Path& path) {
+    Result<const nf2::Object*> c1 = f_.store->FindByKey(f_.cells, "c1");
+    EXPECT_TRUE(c1.ok());
+    Result<nf2::ResolvedPath> rp =
+        f_.store->Navigate(f_.cells, (*c1)->id, path);
+    EXPECT_TRUE(rp.ok());
+    return rp->target()->iid();
+  }
+
+  nf2::Iid EffectorIid(const std::string& key) {
+    Result<const nf2::Object*> e = f_.store->FindByKey(f_.effectors, key);
+    EXPECT_TRUE(e.ok());
+    return (*e)->root.iid();
+  }
+
+  LockTarget RobotTarget(const std::string& robot_key) {
+    Result<const nf2::Object*> c1 = f_.store->FindByKey(f_.cells, "c1");
+    EXPECT_TRUE(c1.ok());
+    Result<nf2::ResolvedPath> rp = f_.store->Navigate(
+        f_.cells, (*c1)->id, {nf2::PathStep::Elem("robots", robot_key)});
+    EXPECT_TRUE(rp.ok());
+    return MakeTarget(graph_, *f_.catalog, *rp);
+  }
+
+  std::map<std::pair<uint32_t, uint64_t>, LockMode> HeldMap(lock::TxnId txn) {
+    std::map<std::pair<uint32_t, uint64_t>, LockMode> out;
+    for (const lock::HeldLock& h : lm_.LocksOf(txn)) {
+      out[{h.resource.node, h.resource.instance}] = h.mode;
+    }
+    return out;
+  }
+
+  sim::CellsFixture f_;
+  logra::LockGraph graph_;
+  lock::LockManager lm_;
+  txn::TxnManager tm_;
+  authz::AuthorizationManager authz_;
+  ComplexObjectProtocol proto_;
+};
+
+TEST_F(Figure7Test, Q2LockSetMatchesFigure7Exactly) {
+  txn::Transaction* q2 = tm_.Begin(kUserQ2);
+  ASSERT_TRUE(proto_.Lock(*q2, RobotTarget("r1"), LockMode::kX).ok());
+
+  nf2::AttrId robots_attr =
+      *f_.catalog->FindField(f_.catalog->relation(f_.cells).root, "robots");
+  logra::NodeId robots_node = graph_.NodeForAttr(robots_attr);
+  logra::NodeId robot_node =
+      graph_.NodeForAttr(*f_.catalog->ElementAttr(robots_attr));
+  logra::NodeId eff_co = graph_.ComplexObjectNode(f_.effectors);
+
+  std::map<std::pair<uint32_t, uint64_t>, LockMode> expected{
+      // Fig. 7, left column: "Database db1  Q2: IX".
+      {{graph_.DatabaseNode(f_.db), 0}, LockMode::kIX},
+      // "Segment seg1  Q2: IX".
+      {{graph_.SegmentNode(f_.seg1), 0}, LockMode::kIX},
+      // "Relation cells  Q2: IX".
+      {{graph_.RelationNode(f_.cells), 0}, LockMode::kIX},
+      // "cell c1  Q2: IX".
+      {{graph_.ComplexObjectNode(f_.cells), IidAt({})}, LockMode::kIX},
+      // "robots  Q2: IX" (the list HoLU inside c1).
+      {{robots_node, IidAt({nf2::PathStep::Field("robots")})}, LockMode::kIX},
+      // "robot r1  Q2: X".
+      {{robot_node, IidAt({nf2::PathStep::Elem("robots", "r1")})},
+       LockMode::kX},
+      // "Segment seg2  Q2: IS" (implicit upward propagation).
+      {{graph_.SegmentNode(f_.seg2), 0}, LockMode::kIS},
+      // "Relation effectors  Q2: IS".
+      {{graph_.RelationNode(f_.effectors), 0}, LockMode::kIS},
+      // "effector e1  Q2: S" (implicit downward propagation, rule 4′).
+      {{eff_co, EffectorIid("e1")}, LockMode::kS},
+      // "effector e2  Q2: S".
+      {{eff_co, EffectorIid("e2")}, LockMode::kS},
+  };
+  EXPECT_EQ(HeldMap(q2->id()), expected);
+}
+
+TEST_F(Figure7Test, Q3LockSetMatchesFigure7Exactly) {
+  txn::Transaction* q3 = tm_.Begin(kUserQ3);
+  ASSERT_TRUE(proto_.Lock(*q3, RobotTarget("r2"), LockMode::kX).ok());
+
+  nf2::AttrId robots_attr =
+      *f_.catalog->FindField(f_.catalog->relation(f_.cells).root, "robots");
+  logra::NodeId robots_node = graph_.NodeForAttr(robots_attr);
+  logra::NodeId robot_node =
+      graph_.NodeForAttr(*f_.catalog->ElementAttr(robots_attr));
+  logra::NodeId eff_co = graph_.ComplexObjectNode(f_.effectors);
+
+  std::map<std::pair<uint32_t, uint64_t>, LockMode> expected{
+      {{graph_.DatabaseNode(f_.db), 0}, LockMode::kIX},
+      {{graph_.SegmentNode(f_.seg1), 0}, LockMode::kIX},
+      {{graph_.RelationNode(f_.cells), 0}, LockMode::kIX},
+      {{graph_.ComplexObjectNode(f_.cells), IidAt({})}, LockMode::kIX},
+      {{robots_node, IidAt({nf2::PathStep::Field("robots")})}, LockMode::kIX},
+      // "robot r2  Q3: X".
+      {{robot_node, IidAt({nf2::PathStep::Elem("robots", "r2")})},
+       LockMode::kX},
+      {{graph_.SegmentNode(f_.seg2), 0}, LockMode::kIS},
+      {{graph_.RelationNode(f_.effectors), 0}, LockMode::kIS},
+      // "effector e2  Q3: S" and "effector e3  Q3: S".
+      {{eff_co, EffectorIid("e2")}, LockMode::kS},
+      {{eff_co, EffectorIid("e3")}, LockMode::kS},
+  };
+  EXPECT_EQ(HeldMap(q3->id()), expected);
+}
+
+TEST_F(Figure7Test, Q2AndQ3RunConcurrentlyThoughBothTouchE2) {
+  // "Rule 4' allows Q2 and Q3 to run concurrently, although both queries
+  // touch effector 'e2'."
+  txn::Transaction* q2 = tm_.Begin(kUserQ2);
+  txn::Transaction* q3 = tm_.Begin(kUserQ3);
+  ASSERT_TRUE(proto_.Lock(*q2, RobotTarget("r1"), LockMode::kX).ok());
+  // Q3 is granted immediately — nothing blocks, nothing waits.
+  uint64_t waits_before = lm_.stats().waits.value();
+  ASSERT_TRUE(proto_.Lock(*q3, RobotTarget("r2"), LockMode::kX).ok());
+  EXPECT_EQ(lm_.stats().waits.value(), waits_before);
+  // Both hold S on e2 simultaneously.
+  logra::NodeId eff_co = graph_.ComplexObjectNode(f_.effectors);
+  EXPECT_EQ(lm_.HeldMode(q2->id(), {eff_co, EffectorIid("e2")}), LockMode::kS);
+  EXPECT_EQ(lm_.HeldMode(q3->id(), {eff_co, EffectorIid("e2")}), LockMode::kS);
+}
+
+TEST_F(Figure7Test, LocksReleasedAtEOT) {
+  txn::Transaction* q2 = tm_.Begin(kUserQ2);
+  ASSERT_TRUE(proto_.Lock(*q2, RobotTarget("r1"), LockMode::kX).ok());
+  EXPECT_EQ(lm_.LocksOf(q2->id()).size(), 10u);
+  ASSERT_TRUE(tm_.Commit(q2).ok());
+  EXPECT_TRUE(lm_.LocksOf(q2->id()).empty());
+  EXPECT_EQ(lm_.NumEntries(), 0u);
+}
+
+}  // namespace
+}  // namespace codlock::proto

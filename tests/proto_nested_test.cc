@@ -1,0 +1,187 @@
+/// Tests for nested common data: "Common data may again contain common
+/// data" (§2).  Products reference kits, kits reference bolts —
+/// downward propagation must recurse through both unit boundaries, and
+/// rule 4′ must weaken modes per level according to the rights on each
+/// shared relation.
+
+#include <gtest/gtest.h>
+
+#include "proto/co_protocol.h"
+#include "proto/validator.h"
+#include "sim/engine.h"
+
+namespace codlock::proto {
+namespace {
+
+using lock::LockMode;
+using nf2::AttrSpec;
+using nf2::Value;
+
+/// bolts <- kits <- products, each level referencing the next.
+struct NestedFixture {
+  nf2::Catalog catalog;
+  std::unique_ptr<nf2::InstanceStore> store;
+  nf2::RelationId bolts = 0, kits = 0, products = 0;
+  nf2::ObjectId bolt1 = 0, bolt2 = 0, kit1 = 0, kit2 = 0, product1 = 0;
+
+  NestedFixture() {
+    auto db = *catalog.CreateDatabase("db");
+    auto seg = *catalog.CreateSegment(db, "seg");
+    bolts = *catalog.CreateRelation(
+        seg, "bolts",
+        AttrSpec::Tuple("bolts", {AttrSpec::Key("bolt_id"),
+                                  AttrSpec::Int("diameter")}));
+    kits = *catalog.CreateRelation(
+        seg, "kits",
+        AttrSpec::Tuple("kits",
+                        {AttrSpec::Key("kit_id"),
+                         AttrSpec::Set("parts", AttrSpec::Ref("ref", "bolts"))}));
+    products = *catalog.CreateRelation(
+        seg, "products",
+        AttrSpec::Tuple("products",
+                        {AttrSpec::Key("prod_id"),
+                         AttrSpec::Set("kits", AttrSpec::Ref("ref", "kits"))}));
+    store = std::make_unique<nf2::InstanceStore>(&catalog);
+
+    bolt1 = *store->Insert(
+        bolts, Value::OfTuple({Value::OfString("b1"), Value::OfInt(6)}));
+    bolt2 = *store->Insert(
+        bolts, Value::OfTuple({Value::OfString("b2"), Value::OfInt(8)}));
+    kit1 = *store->Insert(
+        kits, Value::OfTuple({Value::OfString("k1"),
+                              Value::OfSet({Value::OfRef(bolts, bolt1),
+                                            Value::OfRef(bolts, bolt2)})}));
+    kit2 = *store->Insert(
+        kits, Value::OfTuple({Value::OfString("k2"),
+                              Value::OfSet({Value::OfRef(bolts, bolt2)})}));
+    product1 = *store->Insert(
+        products,
+        Value::OfTuple({Value::OfString("p1"),
+                        Value::OfSet({Value::OfRef(kits, kit1),
+                                      Value::OfRef(kits, kit2)})}));
+  }
+};
+
+class NestedSharingTest : public ::testing::Test {
+ protected:
+  NestedSharingTest()
+      : graph_(logra::LockGraph::Build(f_.catalog)),
+        tm_(&lm_),
+        proto_(&graph_, f_.store.get(), &lm_, &authz_) {}
+
+  LockMode ModeOn(lock::TxnId txn, nf2::RelationId rel, nf2::ObjectId obj) {
+    Result<nf2::Iid> iid = f_.store->RootIid(rel, obj);
+    EXPECT_TRUE(iid.ok());
+    return lm_.HeldMode(txn, {graph_.ComplexObjectNode(rel), *iid});
+  }
+
+  NestedFixture f_;
+  logra::LockGraph graph_;
+  lock::LockManager lm_;
+  txn::TxnManager tm_;
+  authz::AuthorizationManager authz_;
+  ComplexObjectProtocol proto_;
+};
+
+TEST_F(NestedSharingTest, GraphHasTwoLevelsOfEntryPoints) {
+  EXPECT_TRUE(graph_.IsEntryPoint(graph_.ComplexObjectNode(f_.kits)));
+  EXPECT_TRUE(graph_.IsEntryPoint(graph_.ComplexObjectNode(f_.bolts)));
+  EXPECT_FALSE(graph_.IsEntryPoint(graph_.ComplexObjectNode(f_.products)));
+  std::vector<nf2::RelationId> shared = graph_.ReachableSharedRelations(
+      graph_.ComplexObjectNode(f_.products));
+  ASSERT_EQ(shared.size(), 2u);
+}
+
+TEST_F(NestedSharingTest, SLockRecursesThroughBothLevels) {
+  txn::Transaction* t = tm_.Begin(1);
+  Result<nf2::ResolvedPath> rp = f_.store->Navigate(f_.products, f_.product1, {});
+  ASSERT_TRUE(rp.ok());
+  ASSERT_TRUE(proto_.Lock(*t, MakeTarget(graph_, f_.catalog, *rp),
+                          LockMode::kS)
+                  .ok());
+  // Both kits, both bolts carry explicit S locks.
+  EXPECT_EQ(ModeOn(t->id(), f_.kits, f_.kit1), LockMode::kS);
+  EXPECT_EQ(ModeOn(t->id(), f_.kits, f_.kit2), LockMode::kS);
+  EXPECT_EQ(ModeOn(t->id(), f_.bolts, f_.bolt1), LockMode::kS);
+  EXPECT_EQ(ModeOn(t->id(), f_.bolts, f_.bolt2), LockMode::kS);
+  // Upward propagation reached both shared relations.
+  EXPECT_EQ(lm_.HeldMode(t->id(), {graph_.RelationNode(f_.kits), 0}),
+            LockMode::kIS);
+  EXPECT_EQ(lm_.HeldMode(t->id(), {graph_.RelationNode(f_.bolts), 0}),
+            LockMode::kIS);
+}
+
+TEST_F(NestedSharingTest, Rule4PrimeWeakensPerLevel) {
+  // User may modify kits but not bolts: X on the product propagates X to
+  // kits and S to bolts.
+  ASSERT_TRUE(authz_.Grant(1, f_.products, authz::Right::kModify).ok());
+  ASSERT_TRUE(authz_.Grant(1, f_.kits, authz::Right::kModify).ok());
+  txn::Transaction* t = tm_.Begin(1);
+  Result<nf2::ResolvedPath> rp = f_.store->Navigate(f_.products, f_.product1, {});
+  ASSERT_TRUE(rp.ok());
+  ASSERT_TRUE(proto_.Lock(*t, MakeTarget(graph_, f_.catalog, *rp),
+                          LockMode::kX)
+                  .ok());
+  EXPECT_EQ(ModeOn(t->id(), f_.kits, f_.kit1), LockMode::kX);
+  EXPECT_EQ(ModeOn(t->id(), f_.kits, f_.kit2), LockMode::kX);
+  EXPECT_EQ(ModeOn(t->id(), f_.bolts, f_.bolt1), LockMode::kS);
+  EXPECT_EQ(ModeOn(t->id(), f_.bolts, f_.bolt2), LockMode::kS);
+  EXPECT_EQ(lm_.HeldMode(t->id(), {graph_.RelationNode(f_.kits), 0}),
+            LockMode::kIX);
+  EXPECT_EQ(lm_.HeldMode(t->id(), {graph_.RelationNode(f_.bolts), 0}),
+            LockMode::kIS);
+}
+
+TEST_F(NestedSharingTest, NonModifiableMiddleLevelStopsXNotS) {
+  // No right on kits: the X weakens to S at the kits level, and the
+  // recursion continues with S into bolts.
+  txn::Transaction* t = tm_.Begin(2);
+  Result<nf2::ResolvedPath> rp = f_.store->Navigate(f_.products, f_.product1, {});
+  ASSERT_TRUE(rp.ok());
+  ASSERT_TRUE(proto_.Lock(*t, MakeTarget(graph_, f_.catalog, *rp),
+                          LockMode::kX)
+                  .ok());
+  EXPECT_EQ(ModeOn(t->id(), f_.kits, f_.kit1), LockMode::kS);
+  EXPECT_EQ(ModeOn(t->id(), f_.bolts, f_.bolt1), LockMode::kS);
+}
+
+TEST_F(NestedSharingTest, DiamondSharingLockedOnce) {
+  // bolt2 is reachable via kit1 AND kit2 — one lock-table entry, one
+  // explicit lock, no double counting.
+  txn::Transaction* t = tm_.Begin(1);
+  Result<nf2::ResolvedPath> rp = f_.store->Navigate(f_.products, f_.product1, {});
+  ASSERT_TRUE(rp.ok());
+  uint64_t before = lm_.stats().downward_propagations.value();
+  ASSERT_TRUE(proto_.Lock(*t, MakeTarget(graph_, f_.catalog, *rp),
+                          LockMode::kS)
+                  .ok());
+  // 2 kits + 2 bolts = 4 entry-point locks, bolt2 not duplicated.
+  EXPECT_EQ(lm_.stats().downward_propagations.value() - before, 4u);
+}
+
+TEST_F(NestedSharingTest, FromTheSideOnInnerMostLevelBlocks) {
+  // A reader covering product1 (S down to bolts); a writer X-ing bolt1
+  // directly must conflict.
+  txn::Transaction* reader = tm_.Begin(1);
+  Result<nf2::ResolvedPath> rp = f_.store->Navigate(f_.products, f_.product1, {});
+  ASSERT_TRUE(rp.ok());
+  ASSERT_TRUE(proto_.Lock(*reader, MakeTarget(graph_, f_.catalog, *rp),
+                          LockMode::kS)
+                  .ok());
+
+  ComplexObjectProtocol::Options nowait;
+  nowait.wait = false;
+  ComplexObjectProtocol p2(&graph_, f_.store.get(), &lm_, &authz_, nowait);
+  ASSERT_TRUE(authz_.Grant(9, f_.bolts, authz::Right::kModify).ok());
+  txn::Transaction* writer = tm_.Begin(9);
+  Result<nf2::ResolvedPath> wp = f_.store->Navigate(f_.bolts, f_.bolt1, {});
+  ASSERT_TRUE(wp.ok());
+  EXPECT_TRUE(p2.Lock(*writer, MakeTarget(graph_, f_.catalog, *wp),
+                      LockMode::kX)
+                  .IsConflict());
+  ProtocolValidator validator(&graph_, f_.store.get());
+  EXPECT_TRUE(validator.Check(lm_).empty());
+}
+
+}  // namespace
+}  // namespace codlock::proto

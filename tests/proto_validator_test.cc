@@ -1,0 +1,142 @@
+/// Direct unit tests for the ProtocolValidator's coverage semantics.
+
+#include <gtest/gtest.h>
+
+#include "proto/validator.h"
+#include "sim/fixtures.h"
+
+namespace codlock::proto {
+namespace {
+
+using lock::LockMode;
+
+class ValidatorTest : public ::testing::Test {
+ protected:
+  ValidatorTest()
+      : f_(sim::BuildFigure7Instance()),
+        graph_(logra::LockGraph::Build(*f_.catalog)),
+        validator_(&graph_, f_.store.get()) {}
+
+  lock::ResourceId RobotRes(const std::string& key) {
+    Result<const nf2::Object*> c1 = f_.store->FindByKey(f_.cells, "c1");
+    EXPECT_TRUE(c1.ok());
+    Result<nf2::ResolvedPath> rp = f_.store->Navigate(
+        f_.cells, (*c1)->id, {nf2::PathStep::Elem("robots", key)});
+    EXPECT_TRUE(rp.ok());
+    nf2::AttrId robots =
+        *f_.catalog->FindField(f_.catalog->relation(f_.cells).root, "robots");
+    return {graph_.NodeForAttr(*f_.catalog->ElementAttr(robots)),
+            rp->target()->iid()};
+  }
+
+  lock::ResourceId EffectorRes(const std::string& key) {
+    Result<const nf2::Object*> e = f_.store->FindByKey(f_.effectors, key);
+    EXPECT_TRUE(e.ok());
+    return {graph_.ComplexObjectNode(f_.effectors), (*e)->root.iid()};
+  }
+
+  sim::CellsFixture f_;
+  logra::LockGraph graph_;
+  ProtocolValidator validator_;
+  lock::LockManager lm_;
+};
+
+TEST_F(ValidatorTest, EmptyGrantSetIsClean) {
+  EXPECT_TRUE(validator_.Check(lm_).empty());
+}
+
+TEST_F(ValidatorTest, CompatibleSharersAreClean) {
+  ASSERT_TRUE(lm_.Acquire(1, RobotRes("r1"), LockMode::kS).ok());
+  ASSERT_TRUE(lm_.Acquire(2, RobotRes("r1"), LockMode::kS).ok());
+  ASSERT_TRUE(lm_.Acquire(3, EffectorRes("e1"), LockMode::kS).ok());
+  EXPECT_TRUE(validator_.Check(lm_).empty());
+}
+
+TEST_F(ValidatorTest, IntentionLocksCoverNothing) {
+  ASSERT_TRUE(lm_.Acquire(1, RobotRes("r1"), LockMode::kIX).ok());
+  ASSERT_TRUE(lm_.Acquire(2, RobotRes("r1"), LockMode::kIX).ok());
+  EXPECT_TRUE(validator_.Check(lm_).empty());
+}
+
+TEST_F(ValidatorTest, ImplicitReadThroughRefVsDirectWrite) {
+  // Reader holds S on robot r1 (read coverage extends across its refs to
+  // e1, e2); writer holds X on e1 directly — undetected conflict.
+  ASSERT_TRUE(lm_.Acquire(1, RobotRes("r1"), LockMode::kS).ok());
+  ASSERT_TRUE(lm_.Acquire(2, EffectorRes("e1"), LockMode::kX).ok());
+  std::vector<Violation> v = validator_.Check(lm_);
+  ASSERT_FALSE(v.empty());
+  EXPECT_EQ(v[0].writer, 2u);
+  EXPECT_EQ(v[0].other, 1u);
+  EXPECT_FALSE(v[0].write_write);
+}
+
+TEST_F(ValidatorTest, WriteCoverageDoesNotCrossRefs) {
+  // Writer X on robot r1 writes only the robot's own unit; a reader of
+  // effector e3 (unreferenced by r1) is unaffected, and a reader of e1
+  // conflicts only as read-vs-write via the ref — which IS a violation
+  // because the writer's READ coverage... no: writer X covers reads of e1
+  // too, reader S on e1 is compatible with reads.  Only writer-write vs
+  // reader matters: X on r1 writes r1's subtree only.
+  ASSERT_TRUE(lm_.Acquire(1, RobotRes("r1"), LockMode::kX).ok());
+  ASSERT_TRUE(lm_.Acquire(2, EffectorRes("e1"), LockMode::kS).ok());
+  // No violation: the writer's write set is r1's own unit; e1 is only in
+  // its read set, and read-read is compatible.
+  EXPECT_TRUE(validator_.Check(lm_).empty());
+}
+
+TEST_F(ValidatorTest, WriteWriteReportedOnce) {
+  ASSERT_TRUE(lm_.Acquire(1, RobotRes("r1"), LockMode::kX).ok());
+  // Different resource key, same data: impossible via one lock manager, so
+  // simulate the path-only hazard with an overlapping singleton lock.
+  ASSERT_TRUE(
+      lm_.Acquire(2, {graph_.RelationNode(f_.cells), 0}, LockMode::kX).ok());
+  std::vector<Violation> v = validator_.Check(lm_);
+  ASSERT_FALSE(v.empty());
+  size_t ww = 0;
+  for (const Violation& viol : v) {
+    if (viol.write_write) ++ww;
+  }
+  // Write-write pairs reported once per iid (not once per direction).
+  EXPECT_GT(ww, 0u);
+  for (const Violation& viol : v) {
+    if (viol.write_write) {
+      EXPECT_LT(viol.writer, viol.other);
+    }
+  }
+}
+
+TEST_F(ValidatorTest, RelationLevelSCoversAllObjectsAndRefs) {
+  ASSERT_TRUE(
+      lm_.Acquire(1, {graph_.RelationNode(f_.cells), 0}, LockMode::kS).ok());
+  ASSERT_TRUE(lm_.Acquire(2, EffectorRes("e2"), LockMode::kX).ok());
+  // The relation-level S reads every cell and its referenced effectors:
+  // the direct X on e2 is an undetected conflict.
+  std::vector<Violation> v = validator_.Check(lm_);
+  ASSERT_FALSE(v.empty());
+  EXPECT_EQ(v[0].writer, 2u);
+}
+
+TEST_F(ValidatorTest, SixCoversReadsOnly) {
+  ASSERT_TRUE(lm_.Acquire(1, RobotRes("r1"), LockMode::kSIX).ok());
+  ASSERT_TRUE(lm_.Acquire(2, RobotRes("r2"), LockMode::kX).ok());
+  // SIX on r1 reads r1's subtree (+refs); X on r2 writes r2's subtree —
+  // they overlap only if r1 and r2 share data... they share effector e2
+  // via refs, but X on r2 does not write e2 (write sets don't cross
+  // refs).  Clean.
+  EXPECT_TRUE(validator_.Check(lm_).empty());
+}
+
+TEST_F(ValidatorTest, ViolationToStringMentionsBothTxns) {
+  Violation v;
+  v.writer = 7;
+  v.other = 9;
+  v.iid = 42;
+  v.write_write = true;
+  std::string s = v.ToString();
+  EXPECT_NE(s.find("7"), std::string::npos);
+  EXPECT_NE(s.find("9"), std::string::npos);
+  EXPECT_NE(s.find("writes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace codlock::proto

@@ -1,0 +1,153 @@
+/// Tests for the HDBL-style query parser: the Fig. 3 queries verbatim,
+/// the supported fragment's boundaries, and end-to-end execution of
+/// parsed queries.
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "sim/engine.h"
+#include "sim/fixtures.h"
+
+namespace codlock::query {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  ParserTest() : f_(sim::BuildFigure7Instance()) {}
+
+  Result<Query> Parse(const std::string& text) {
+    return ParseQuery(*f_.catalog, text);
+  }
+
+  sim::CellsFixture f_;
+};
+
+TEST_F(ParserTest, Q1Verbatim) {
+  Result<Query> q = Parse(
+      "SELECT o FROM c IN cells, o IN c.c_objects "
+      "WHERE c.cell_id = 'c1' FOR READ");
+  ASSERT_TRUE(q.ok()) << q.status();
+  Query expected = MakeQ1(f_.cells);
+  EXPECT_EQ(q->relation, expected.relation);
+  EXPECT_EQ(q->object_key, expected.object_key);
+  EXPECT_EQ(nf2::PathToString(q->path), nf2::PathToString(expected.path));
+  EXPECT_EQ(q->kind, expected.kind);
+}
+
+TEST_F(ParserTest, Q2Verbatim) {
+  Result<Query> q = Parse(
+      "SELECT r FROM c IN cells, r IN c.robots "
+      "WHERE c.cell_id = 'c1' AND r.robot_id = 'r1' FOR UPDATE");
+  ASSERT_TRUE(q.ok()) << q.status();
+  Query expected = MakeQ2(f_.cells);
+  EXPECT_EQ(q->relation, expected.relation);
+  EXPECT_EQ(q->object_key, expected.object_key);
+  EXPECT_EQ(nf2::PathToString(q->path), nf2::PathToString(expected.path));
+  EXPECT_EQ(q->kind, expected.kind);
+}
+
+TEST_F(ParserTest, Q3Verbatim) {
+  Result<Query> q = Parse(
+      "SELECT r FROM c IN cells, r IN c.robots "
+      "WHERE c.cell_id = 'c1' AND r.robot_id = 'r2' FOR UPDATE");
+  ASSERT_TRUE(q.ok()) << q.status();
+  Query expected = MakeQ3(f_.cells);
+  EXPECT_EQ(q->object_key, expected.object_key);
+  EXPECT_EQ(nf2::PathToString(q->path), nf2::PathToString(expected.path));
+}
+
+TEST_F(ParserTest, WholeObjectSelect) {
+  Result<Query> q =
+      Parse("SELECT c FROM c IN cells WHERE c.cell_id = 'c1' FOR READ");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->path.empty());
+  EXPECT_EQ(q->object_key, "c1");
+}
+
+TEST_F(ParserTest, WholeRelationScan) {
+  Result<Query> q = Parse("SELECT c FROM c IN cells FOR READ");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->object_key.empty());
+  EXPECT_TRUE(q->path.empty());
+}
+
+TEST_F(ParserTest, ThreeLevelNavigation) {
+  Result<Query> q = Parse(
+      "SELECT e FROM c IN cells, r IN c.robots, e IN r.effectors "
+      "WHERE c.cell_id = 'c1' AND r.robot_id = 'r1' FOR READ");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(nf2::PathToString(q->path), "robots['r1'].effectors");
+}
+
+TEST_F(ParserTest, DeleteKind) {
+  Result<Query> q = Parse(
+      "SELECT r FROM c IN cells, r IN c.robots "
+      "WHERE c.cell_id = 'c1' AND r.robot_id = 'r1' FOR DELETE");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->kind, AccessKind::kDelete);
+}
+
+TEST_F(ParserTest, KeywordsAreCaseInsensitive) {
+  Result<Query> q = Parse(
+      "select o from c in cells, o in c.c_objects "
+      "where c.cell_id = 'c1' for read");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->object_key, "c1");
+}
+
+TEST_F(ParserTest, SyntaxErrors) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("FROM c IN cells FOR READ").ok());
+  EXPECT_FALSE(Parse("SELECT c FROM c cells FOR READ").ok());
+  EXPECT_FALSE(Parse("SELECT c FROM c IN cells FOR BROWSE").ok());
+  EXPECT_FALSE(Parse("SELECT c FROM c IN cells").ok());
+  EXPECT_FALSE(
+      Parse("SELECT c FROM c IN cells WHERE c.cell_id = 'c1").ok());
+  EXPECT_FALSE(
+      Parse("SELECT c FROM c IN cells FOR READ trailing").ok());
+  EXPECT_FALSE(Parse("SELECT c FROM c IN cells FOR READ ;").ok());
+}
+
+TEST_F(ParserTest, SemanticErrors) {
+  // Unknown relation.
+  EXPECT_TRUE(Parse("SELECT x FROM x IN nonexistent FOR READ")
+                  .status()
+                  .IsNotFound());
+  // Unknown range variable.
+  EXPECT_FALSE(
+      Parse("SELECT r FROM c IN cells, r IN z.robots FOR READ").ok());
+  // Unbound SELECT variable.
+  EXPECT_FALSE(Parse("SELECT z FROM c IN cells FOR READ").ok());
+  // Non-collection attribute in a binding.
+  EXPECT_FALSE(
+      Parse("SELECT r FROM c IN cells, r IN c.cell_id FOR READ").ok());
+  // Non-key predicate is outside the fragment.
+  EXPECT_FALSE(Parse("SELECT r FROM c IN cells, r IN c.robots "
+                     "WHERE r.trajectory = 't' FOR READ")
+                   .ok());
+  // Second relation binding (join) rejected.
+  EXPECT_FALSE(
+      Parse("SELECT c FROM c IN cells, e IN effectors FOR READ").ok());
+  // Intermediate binding without key selection.
+  EXPECT_FALSE(Parse("SELECT e FROM c IN cells, r IN c.robots, "
+                     "e IN r.effectors WHERE c.cell_id = 'c1' FOR READ")
+                   .ok());
+}
+
+TEST_F(ParserTest, ParsedQ2ExecutesLikeHandBuiltQ2) {
+  sim::Engine eng(f_.catalog.get(), f_.store.get());
+  eng.authorization().Grant(1, f_.cells, authz::Right::kModify);
+  Result<Query> parsed = Parse(
+      "SELECT r FROM c IN cells, r IN c.robots "
+      "WHERE c.cell_id = 'c1' AND r.robot_id = 'r1' FOR UPDATE");
+  ASSERT_TRUE(parsed.ok());
+  Result<QueryResult> a = eng.RunShortTxn(1, *parsed);
+  Result<QueryResult> b = eng.RunShortTxn(1, MakeQ2(f_.cells));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->values_read, b->values_read);
+  EXPECT_EQ(a->target_locks, b->target_locks);
+}
+
+}  // namespace
+}  // namespace codlock::query

@@ -1,0 +1,195 @@
+/// Tests for query analysis and the determination of "optimal" lock
+/// requests via anticipated escalation (§4.5, [HDKS89]).
+
+#include <gtest/gtest.h>
+
+#include "query/planner.h"
+#include "sim/fixtures.h"
+
+namespace codlock::query {
+namespace {
+
+using lock::LockMode;
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  PlannerTest()
+      : f_(sim::BuildCellsEffectors(Params())),
+        graph_(logra::LockGraph::Build(*f_.catalog)),
+        stats_(Statistics::Collect(*f_.catalog, *f_.store)) {}
+
+  static sim::CellsParams Params() {
+    sim::CellsParams p;
+    p.num_cells = 2;
+    p.c_objects_per_cell = 8;  // relevant cardinality for Q1
+    p.robots_per_cell = 3;
+    return p;
+  }
+
+  LockPlanner MakePlanner(GranulePolicy policy, double theta = 16.0) {
+    LockPlanner::Options o;
+    o.policy = policy;
+    o.escalation_threshold = theta;
+    return LockPlanner(&graph_, f_.catalog.get(), &stats_, o);
+  }
+
+  sim::CellsFixture f_;
+  logra::LockGraph graph_;
+  Statistics stats_;
+};
+
+TEST_F(PlannerTest, StatisticsCollectCardinalities) {
+  nf2::AttrId c_objects =
+      *f_.catalog->FindField(f_.catalog->relation(f_.cells).root, "c_objects");
+  EXPECT_DOUBLE_EQ(stats_.CardinalityOf(c_objects), 8.0);
+  nf2::AttrId robots =
+      *f_.catalog->FindField(f_.catalog->relation(f_.cells).root, "robots");
+  EXPECT_DOUBLE_EQ(stats_.CardinalityOf(robots), 3.0);
+  EXPECT_DOUBLE_EQ(stats_.relation_cardinality.at(f_.cells), 2.0);
+  EXPECT_GT(stats_.SubtreeSizeOf(robots), 3.0);
+}
+
+TEST_F(PlannerTest, ReadQueryGetsSMode) {
+  LockPlanner p = MakePlanner(GranulePolicy::kOptimal);
+  Result<QueryPlan> plan = p.Plan(MakeQ1(f_.cells));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->target_mode, LockMode::kS);
+}
+
+TEST_F(PlannerTest, UpdateQueryGetsXMode) {
+  LockPlanner p = MakePlanner(GranulePolicy::kOptimal);
+  Result<QueryPlan> plan = p.Plan(MakeQ2(f_.cells));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->target_mode, LockMode::kX);
+  // Q2's target is one selected robot tuple — a single fine granule.
+  EXPECT_FALSE(plan->per_element);
+  EXPECT_EQ(plan->lock_path.size(), 1u);
+}
+
+TEST_F(PlannerTest, SmallCollectionLockedPerElement) {
+  // Q1 touches all 8 c_objects; 8 <= θ=16 → lock elements individually.
+  LockPlanner p = MakePlanner(GranulePolicy::kOptimal, 16.0);
+  Result<QueryPlan> plan = p.Plan(MakeQ1(f_.cells));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->per_element);
+  EXPECT_DOUBLE_EQ(plan->expected_target_locks, 8.0);
+}
+
+TEST_F(PlannerTest, AnticipatedEscalationAboveThreshold) {
+  // With θ=4 the expected 8 locks exceed the threshold: the planner
+  // escalates in advance to the c_objects HoLU.
+  LockPlanner p = MakePlanner(GranulePolicy::kOptimal, 4.0);
+  Result<QueryPlan> plan = p.Plan(MakeQ1(f_.cells));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->per_element);
+  EXPECT_DOUBLE_EQ(plan->expected_target_locks, 1.0);
+}
+
+TEST_F(PlannerTest, SelectivityShrinksExpectedLocks) {
+  Query q = MakeQ1(f_.cells);
+  q.selectivity = 0.25;  // 2 of 8 elements
+  LockPlanner p = MakePlanner(GranulePolicy::kOptimal, 4.0);
+  Result<QueryPlan> plan = p.Plan(q);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->per_element);  // 2 <= 4
+  EXPECT_DOUBLE_EQ(plan->expected_target_locks, 2.0);
+}
+
+TEST_F(PlannerTest, WholeObjectPolicyCollapsesPath) {
+  LockPlanner p = MakePlanner(GranulePolicy::kWholeObject);
+  Result<QueryPlan> plan = p.Plan(MakeQ2(f_.cells));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->lock_path.empty());
+  EXPECT_FALSE(plan->per_element);
+}
+
+TEST_F(PlannerTest, TuplePolicyAlwaysFinest) {
+  LockPlanner p = MakePlanner(GranulePolicy::kTuple, /*theta=*/1.0);
+  Result<QueryPlan> plan = p.Plan(MakeQ1(f_.cells));
+  ASSERT_TRUE(plan.ok());
+  // Tuple policy never escalates, even with 8 > θ.
+  EXPECT_TRUE(plan->per_element);
+  EXPECT_DOUBLE_EQ(plan->expected_target_locks, 8.0);
+}
+
+TEST_F(PlannerTest, QslgContainsIntentionChainAndTarget) {
+  LockPlanner p = MakePlanner(GranulePolicy::kOptimal);
+  Result<QueryPlan> plan = p.Plan(MakeQ2(f_.cells));
+  ASSERT_TRUE(plan.ok());
+  const auto& entries = plan->qslg.entries;
+  ASSERT_GE(entries.size(), 6u);
+  // Root-to-leaf: db IX, seg IX, relation IX, C.O. IX, robots IX, robot X.
+  EXPECT_EQ(entries[0].node, graph_.DatabaseNode(f_.db));
+  EXPECT_EQ(entries[0].mode, LockMode::kIX);
+  EXPECT_EQ(entries[1].node, graph_.SegmentNode(f_.seg1));
+  EXPECT_EQ(entries[2].node, graph_.RelationNode(f_.cells));
+  EXPECT_EQ(entries[3].node, graph_.ComplexObjectNode(f_.cells));
+  EXPECT_EQ(entries[3].mode, LockMode::kIX);
+  // The robot element target carries X.
+  bool saw_x = false;
+  for (const auto& e : entries) saw_x |= e.mode == LockMode::kX;
+  EXPECT_TRUE(saw_x);
+  // Anticipated downward propagation includes the effectors entry point.
+  bool saw_ep = false;
+  for (const auto& e : entries) {
+    if (e.node == graph_.ComplexObjectNode(f_.effectors)) {
+      saw_ep = true;
+      EXPECT_EQ(e.mode, LockMode::kS);
+    }
+  }
+  EXPECT_TRUE(saw_ep);
+  // Rendering is non-empty and mentions the modes.
+  std::string rendered = plan->qslg.ToString(graph_);
+  EXPECT_NE(rendered.find("IX"), std::string::npos);
+}
+
+TEST_F(PlannerTest, DeleteWithoutRefAccessSkipsPropagationEntries) {
+  Query q = MakeQ2(f_.cells);
+  q.kind = AccessKind::kDelete;
+  q.access_implies_refs = false;
+  LockPlanner p = MakePlanner(GranulePolicy::kOptimal);
+  Result<QueryPlan> plan = p.Plan(q);
+  ASSERT_TRUE(plan.ok());
+  for (const auto& e : plan->qslg.entries) {
+    EXPECT_NE(e.node, graph_.ComplexObjectNode(f_.effectors));
+  }
+}
+
+TEST_F(PlannerTest, InvalidQueriesRejected) {
+  LockPlanner p = MakePlanner(GranulePolicy::kOptimal);
+  Query bad;
+  bad.relation = nf2::kInvalidRelation;
+  EXPECT_FALSE(p.Plan(bad).ok());
+  Query bad_path = MakeQ1(f_.cells);
+  bad_path.path = {nf2::PathStep::Field("nonexistent")};
+  EXPECT_TRUE(p.Plan(bad_path).status().IsNotFound());
+}
+
+// Parameterized: the planner's per-element decision flips exactly at the
+// escalation threshold across a sweep of (cardinality-vs-θ) settings.
+class ThresholdSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdSweepTest, EscalationBoundaryRespected) {
+  sim::CellsParams params;
+  params.num_cells = 1;
+  params.c_objects_per_cell = 32;
+  sim::CellsFixture f = sim::BuildCellsEffectors(params);
+  logra::LockGraph graph = logra::LockGraph::Build(*f.catalog);
+  Statistics stats = Statistics::Collect(*f.catalog, *f.store);
+  LockPlanner::Options o;
+  o.policy = GranulePolicy::kOptimal;
+  o.escalation_threshold = GetParam();
+  LockPlanner p(&graph, f.catalog.get(), &stats, o);
+  Result<QueryPlan> plan = p.Plan(MakeQ1(f.cells));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->per_element, 32.0 <= GetParam());
+  if (plan->per_element) {
+    EXPECT_LE(plan->expected_target_locks, GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdSweepTest,
+                         ::testing::Values(1.0, 8.0, 31.0, 32.0, 64.0, 1e9));
+
+}  // namespace
+}  // namespace codlock::query

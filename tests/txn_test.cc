@@ -1,0 +1,78 @@
+/// Tests for the transaction manager: lifecycle, strict 2PL release, adopt.
+
+#include <gtest/gtest.h>
+
+#include "txn/txn_manager.h"
+
+namespace codlock::txn {
+namespace {
+
+constexpr lock::ResourceId kRes{5, 55};
+
+TEST(TxnManagerTest, BeginAssignsIncreasingIds) {
+  lock::LockManager lm;
+  TxnManager tm(&lm);
+  Transaction* a = tm.Begin(1);
+  Transaction* b = tm.Begin(1);
+  EXPECT_LT(a->id(), b->id());
+  EXPECT_TRUE(a->active());
+  EXPECT_EQ(a->user(), 1u);
+  EXPECT_EQ(a->kind(), TxnKind::kShort);
+  EXPECT_EQ(a->lock_duration(), lock::LockDuration::kShort);
+  Transaction* c = tm.Begin(2, TxnKind::kLong);
+  EXPECT_EQ(c->lock_duration(), lock::LockDuration::kLong);
+  EXPECT_EQ(tm.ActiveCount(), 3u);
+}
+
+TEST(TxnManagerTest, CommitReleasesLocks) {
+  lock::LockManager lm;
+  TxnManager tm(&lm);
+  Transaction* t = tm.Begin(1);
+  ASSERT_TRUE(lm.Acquire(t->id(), kRes, lock::LockMode::kX).ok());
+  ASSERT_TRUE(tm.Commit(t).ok());
+  EXPECT_EQ(t->state(), TxnState::kCommitted);
+  EXPECT_EQ(lm.HeldMode(t->id(), kRes), lock::LockMode::kNL);
+}
+
+TEST(TxnManagerTest, AbortReleasesLocks) {
+  lock::LockManager lm;
+  TxnManager tm(&lm);
+  Transaction* t = tm.Begin(1);
+  ASSERT_TRUE(lm.Acquire(t->id(), kRes, lock::LockMode::kS).ok());
+  ASSERT_TRUE(tm.Abort(t).ok());
+  EXPECT_EQ(t->state(), TxnState::kAborted);
+  EXPECT_EQ(lm.HeldMode(t->id(), kRes), lock::LockMode::kNL);
+}
+
+TEST(TxnManagerTest, DoubleFinishRejected) {
+  lock::LockManager lm;
+  TxnManager tm(&lm);
+  Transaction* t = tm.Begin(1);
+  ASSERT_TRUE(tm.Commit(t).ok());
+  EXPECT_TRUE(tm.Commit(t).IsFailedPrecondition());
+  EXPECT_TRUE(tm.Abort(t).IsFailedPrecondition());
+}
+
+TEST(TxnManagerTest, GetAndForget) {
+  lock::LockManager lm;
+  TxnManager tm(&lm);
+  Transaction* t = tm.Begin(1);
+  ASSERT_TRUE(tm.Get(t->id()).ok());
+  tm.Forget(t->id());
+  EXPECT_TRUE(tm.Get(t->id()).status().IsNotFound());
+}
+
+TEST(TxnManagerTest, AdoptRestoresIdAndBumpsCounter) {
+  lock::LockManager lm;
+  TxnManager tm(&lm);
+  Transaction* recovered = tm.Adopt(100, 9, TxnKind::kLong);
+  EXPECT_EQ(recovered->id(), 100u);
+  EXPECT_EQ(recovered->user(), 9u);
+  EXPECT_TRUE(recovered->active());
+  // New transactions must be younger than the adopted one.
+  Transaction* fresh = tm.Begin(1);
+  EXPECT_GT(fresh->id(), 100u);
+}
+
+}  // namespace
+}  // namespace codlock::txn

