@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_authorization.dir/bench_authorization.cpp.o"
+  "CMakeFiles/bench_authorization.dir/bench_authorization.cpp.o.d"
+  "bench_authorization"
+  "bench_authorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_authorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deadlock_policy.dir/bench_deadlock_policy.cpp.o"
+  "CMakeFiles/bench_deadlock_policy.dir/bench_deadlock_policy.cpp.o.d"
+  "bench_deadlock_policy"
+  "bench_deadlock_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deadlock_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_depth_sharing.dir/bench_depth_sharing.cpp.o"
+  "CMakeFiles/bench_depth_sharing.dir/bench_depth_sharing.cpp.o.d"
+  "bench_depth_sharing"
+  "bench_depth_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_depth_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_escalation.dir/bench_escalation.cpp.o"
+  "CMakeFiles/bench_escalation.dir/bench_escalation.cpp.o.d"
+  "bench_escalation"
+  "bench_escalation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_escalation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_long_txn.dir/bench_long_txn.cpp.o"
+  "CMakeFiles/bench_long_txn.dir/bench_long_txn.cpp.o.d"
+  "bench_long_txn"
+  "bench_long_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_long_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

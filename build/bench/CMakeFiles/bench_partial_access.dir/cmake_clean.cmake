@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partial_access.dir/bench_partial_access.cpp.o"
+  "CMakeFiles/bench_partial_access.dir/bench_partial_access.cpp.o.d"
+  "bench_partial_access"
+  "bench_partial_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partial_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shared_exclusive.dir/bench_shared_exclusive.cpp.o"
+  "CMakeFiles/bench_shared_exclusive.dir/bench_shared_exclusive.cpp.o.d"
+  "bench_shared_exclusive"
+  "bench_shared_exclusive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shared_exclusive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdbl_shell.dir/hdbl_shell.cpp.o"
+  "CMakeFiles/hdbl_shell.dir/hdbl_shell.cpp.o.d"
+  "hdbl_shell"
+  "hdbl_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdbl_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

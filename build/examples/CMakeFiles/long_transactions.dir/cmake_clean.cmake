@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/long_transactions.dir/long_transactions.cpp.o"
+  "CMakeFiles/long_transactions.dir/long_transactions.cpp.o.d"
+  "long_transactions"
+  "long_transactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/long_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/manufacturing_cells.cpp" "examples/CMakeFiles/manufacturing_cells.dir/manufacturing_cells.cpp.o" "gcc" "examples/CMakeFiles/manufacturing_cells.dir/manufacturing_cells.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/codlock_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ws/CMakeFiles/codlock_ws.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/codlock_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/codlock_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/logra/CMakeFiles/codlock_logra.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/codlock_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/authz/CMakeFiles/codlock_authz.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/codlock_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf2/CMakeFiles/codlock_nf2.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/codlock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manufacturing_cells.dir/manufacturing_cells.cpp.o"
+  "CMakeFiles/manufacturing_cells.dir/manufacturing_cells.cpp.o.d"
+  "manufacturing_cells"
+  "manufacturing_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manufacturing_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/part_library.dir/part_library.cpp.o"
+  "CMakeFiles/part_library.dir/part_library.cpp.o.d"
+  "part_library"
+  "part_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/part_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codlock_authz.dir/authz.cc.o"
+  "CMakeFiles/codlock_authz.dir/authz.cc.o.d"
+  "libcodlock_authz.a"
+  "libcodlock_authz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codlock_authz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codlock_idx.dir/key_index.cc.o"
+  "CMakeFiles/codlock_idx.dir/key_index.cc.o.d"
+  "libcodlock_idx.a"
+  "libcodlock_idx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codlock_idx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

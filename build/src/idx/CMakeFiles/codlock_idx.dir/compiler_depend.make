@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for codlock_idx.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lock/lock_manager.cc" "src/lock/CMakeFiles/codlock_lock.dir/lock_manager.cc.o" "gcc" "src/lock/CMakeFiles/codlock_lock.dir/lock_manager.cc.o.d"
+  "/root/repo/src/lock/long_lock_store.cc" "src/lock/CMakeFiles/codlock_lock.dir/long_lock_store.cc.o" "gcc" "src/lock/CMakeFiles/codlock_lock.dir/long_lock_store.cc.o.d"
+  "/root/repo/src/lock/mode.cc" "src/lock/CMakeFiles/codlock_lock.dir/mode.cc.o" "gcc" "src/lock/CMakeFiles/codlock_lock.dir/mode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/codlock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

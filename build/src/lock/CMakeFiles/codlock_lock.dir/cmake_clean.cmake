@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codlock_lock.dir/lock_manager.cc.o"
+  "CMakeFiles/codlock_lock.dir/lock_manager.cc.o.d"
+  "CMakeFiles/codlock_lock.dir/long_lock_store.cc.o"
+  "CMakeFiles/codlock_lock.dir/long_lock_store.cc.o.d"
+  "CMakeFiles/codlock_lock.dir/mode.cc.o"
+  "CMakeFiles/codlock_lock.dir/mode.cc.o.d"
+  "libcodlock_lock.a"
+  "libcodlock_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codlock_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

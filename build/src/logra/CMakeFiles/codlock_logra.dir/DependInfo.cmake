@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logra/lock_graph.cc" "src/logra/CMakeFiles/codlock_logra.dir/lock_graph.cc.o" "gcc" "src/logra/CMakeFiles/codlock_logra.dir/lock_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/codlock_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf2/CMakeFiles/codlock_nf2.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/codlock_lock.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

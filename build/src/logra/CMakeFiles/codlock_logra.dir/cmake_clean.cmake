@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codlock_logra.dir/lock_graph.cc.o"
+  "CMakeFiles/codlock_logra.dir/lock_graph.cc.o.d"
+  "libcodlock_logra.a"
+  "libcodlock_logra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codlock_logra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

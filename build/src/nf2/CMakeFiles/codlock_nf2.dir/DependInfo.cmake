@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nf2/schema.cc" "src/nf2/CMakeFiles/codlock_nf2.dir/schema.cc.o" "gcc" "src/nf2/CMakeFiles/codlock_nf2.dir/schema.cc.o.d"
+  "/root/repo/src/nf2/serialize.cc" "src/nf2/CMakeFiles/codlock_nf2.dir/serialize.cc.o" "gcc" "src/nf2/CMakeFiles/codlock_nf2.dir/serialize.cc.o.d"
+  "/root/repo/src/nf2/store.cc" "src/nf2/CMakeFiles/codlock_nf2.dir/store.cc.o" "gcc" "src/nf2/CMakeFiles/codlock_nf2.dir/store.cc.o.d"
+  "/root/repo/src/nf2/value.cc" "src/nf2/CMakeFiles/codlock_nf2.dir/value.cc.o" "gcc" "src/nf2/CMakeFiles/codlock_nf2.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/codlock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

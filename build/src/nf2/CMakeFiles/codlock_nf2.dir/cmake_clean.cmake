@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codlock_nf2.dir/schema.cc.o"
+  "CMakeFiles/codlock_nf2.dir/schema.cc.o.d"
+  "CMakeFiles/codlock_nf2.dir/serialize.cc.o"
+  "CMakeFiles/codlock_nf2.dir/serialize.cc.o.d"
+  "CMakeFiles/codlock_nf2.dir/store.cc.o"
+  "CMakeFiles/codlock_nf2.dir/store.cc.o.d"
+  "CMakeFiles/codlock_nf2.dir/value.cc.o"
+  "CMakeFiles/codlock_nf2.dir/value.cc.o.d"
+  "libcodlock_nf2.a"
+  "libcodlock_nf2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codlock_nf2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

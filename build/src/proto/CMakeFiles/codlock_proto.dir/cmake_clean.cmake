@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codlock_proto.dir/co_protocol.cc.o"
+  "CMakeFiles/codlock_proto.dir/co_protocol.cc.o.d"
+  "CMakeFiles/codlock_proto.dir/protocol.cc.o"
+  "CMakeFiles/codlock_proto.dir/protocol.cc.o.d"
+  "CMakeFiles/codlock_proto.dir/sysr_protocol.cc.o"
+  "CMakeFiles/codlock_proto.dir/sysr_protocol.cc.o.d"
+  "CMakeFiles/codlock_proto.dir/validator.cc.o"
+  "CMakeFiles/codlock_proto.dir/validator.cc.o.d"
+  "libcodlock_proto.a"
+  "libcodlock_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codlock_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

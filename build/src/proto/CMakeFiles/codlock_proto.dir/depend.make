@@ -1,0 +1,2 @@
+# Empty dependencies file for codlock_proto.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codlock_query.dir/executor.cc.o"
+  "CMakeFiles/codlock_query.dir/executor.cc.o.d"
+  "CMakeFiles/codlock_query.dir/parser.cc.o"
+  "CMakeFiles/codlock_query.dir/parser.cc.o.d"
+  "CMakeFiles/codlock_query.dir/planner.cc.o"
+  "CMakeFiles/codlock_query.dir/planner.cc.o.d"
+  "CMakeFiles/codlock_query.dir/query.cc.o"
+  "CMakeFiles/codlock_query.dir/query.cc.o.d"
+  "CMakeFiles/codlock_query.dir/statistics.cc.o"
+  "CMakeFiles/codlock_query.dir/statistics.cc.o.d"
+  "libcodlock_query.a"
+  "libcodlock_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codlock_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

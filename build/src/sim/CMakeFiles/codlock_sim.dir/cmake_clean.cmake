@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codlock_sim.dir/engine.cc.o"
+  "CMakeFiles/codlock_sim.dir/engine.cc.o.d"
+  "CMakeFiles/codlock_sim.dir/fixtures.cc.o"
+  "CMakeFiles/codlock_sim.dir/fixtures.cc.o.d"
+  "CMakeFiles/codlock_sim.dir/harness.cc.o"
+  "CMakeFiles/codlock_sim.dir/harness.cc.o.d"
+  "CMakeFiles/codlock_sim.dir/open_workload.cc.o"
+  "CMakeFiles/codlock_sim.dir/open_workload.cc.o.d"
+  "libcodlock_sim.a"
+  "libcodlock_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codlock_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codlock_txn.dir/txn_manager.cc.o"
+  "CMakeFiles/codlock_txn.dir/txn_manager.cc.o.d"
+  "CMakeFiles/codlock_txn.dir/undo_log.cc.o"
+  "CMakeFiles/codlock_txn.dir/undo_log.cc.o.d"
+  "libcodlock_txn.a"
+  "libcodlock_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codlock_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

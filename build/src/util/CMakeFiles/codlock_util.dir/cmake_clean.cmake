@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codlock_util.dir/metrics.cc.o"
+  "CMakeFiles/codlock_util.dir/metrics.cc.o.d"
+  "CMakeFiles/codlock_util.dir/status.cc.o"
+  "CMakeFiles/codlock_util.dir/status.cc.o.d"
+  "libcodlock_util.a"
+  "libcodlock_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codlock_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codlock_ws.dir/server.cc.o"
+  "CMakeFiles/codlock_ws.dir/server.cc.o.d"
+  "libcodlock_ws.a"
+  "libcodlock_ws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codlock_ws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

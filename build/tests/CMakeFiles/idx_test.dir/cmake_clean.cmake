@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idx_test.dir/idx_test.cc.o"
+  "CMakeFiles/idx_test.dir/idx_test.cc.o.d"
+  "idx_test"
+  "idx_test.pdb"
+  "idx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

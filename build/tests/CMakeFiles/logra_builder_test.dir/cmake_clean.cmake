@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logra_builder_test.dir/logra_builder_test.cc.o"
+  "CMakeFiles/logra_builder_test.dir/logra_builder_test.cc.o.d"
+  "logra_builder_test"
+  "logra_builder_test.pdb"
+  "logra_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logra_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logra_units_test.dir/logra_units_test.cc.o"
+  "CMakeFiles/logra_units_test.dir/logra_units_test.cc.o.d"
+  "logra_units_test"
+  "logra_units_test.pdb"
+  "logra_units_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logra_units_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

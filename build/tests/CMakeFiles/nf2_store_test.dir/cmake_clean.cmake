@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf2_store_test.dir/nf2_store_test.cc.o"
+  "CMakeFiles/nf2_store_test.dir/nf2_store_test.cc.o.d"
+  "nf2_store_test"
+  "nf2_store_test.pdb"
+  "nf2_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf2_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/open_workload_test.dir/open_workload_test.cc.o"
+  "CMakeFiles/open_workload_test.dir/open_workload_test.cc.o.d"
+  "open_workload_test"
+  "open_workload_test.pdb"
+  "open_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/open_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

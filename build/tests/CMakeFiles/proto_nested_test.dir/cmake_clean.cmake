@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_nested_test.dir/proto_nested_test.cc.o"
+  "CMakeFiles/proto_nested_test.dir/proto_nested_test.cc.o.d"
+  "proto_nested_test"
+  "proto_nested_test.pdb"
+  "proto_nested_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_nested_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

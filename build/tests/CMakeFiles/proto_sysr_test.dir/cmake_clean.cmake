@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_sysr_test.dir/proto_sysr_test.cc.o"
+  "CMakeFiles/proto_sysr_test.dir/proto_sysr_test.cc.o.d"
+  "proto_sysr_test"
+  "proto_sysr_test.pdb"
+  "proto_sysr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_sysr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

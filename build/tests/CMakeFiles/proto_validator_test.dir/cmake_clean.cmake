@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_validator_test.dir/proto_validator_test.cc.o"
+  "CMakeFiles/proto_validator_test.dir/proto_validator_test.cc.o.d"
+  "proto_validator_test"
+  "proto_validator_test.pdb"
+  "proto_validator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_validator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

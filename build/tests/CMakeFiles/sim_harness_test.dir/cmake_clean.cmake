@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_harness_test.dir/sim_harness_test.cc.o"
+  "CMakeFiles/sim_harness_test.dir/sim_harness_test.cc.o.d"
+  "sim_harness_test"
+  "sim_harness_test.pdb"
+  "sim_harness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_harness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_checkout_modes_test.dir/ws_checkout_modes_test.cc.o"
+  "CMakeFiles/ws_checkout_modes_test.dir/ws_checkout_modes_test.cc.o.d"
+  "ws_checkout_modes_test"
+  "ws_checkout_modes_test.pdb"
+  "ws_checkout_modes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_checkout_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_server_test.dir/ws_server_test.cc.o"
+  "CMakeFiles/ws_server_test.dir/ws_server_test.cc.o.d"
+  "ws_server_test"
+  "ws_server_test.pdb"
+  "ws_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codlock_dbtool.dir/codlock_dbtool.cpp.o"
+  "CMakeFiles/codlock_dbtool.dir/codlock_dbtool.cpp.o.d"
+  "codlock_dbtool"
+  "codlock_dbtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codlock_dbtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
