@@ -5,6 +5,19 @@
 
 namespace codlock::lock {
 
+namespace {
+
+/// Bumps the held-locks gauge and its high-water mark (atomics only).
+void NoteHolderAdded(LockStats& stats) {
+  int64_t held = stats.held_locks.fetch_add(1, std::memory_order_relaxed) + 1;
+  int64_t prev = stats.max_held_locks.load(std::memory_order_relaxed);
+  while (prev < held && !stats.max_held_locks.compare_exchange_weak(
+                            prev, held, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
 std::string_view DeadlockPolicyName(DeadlockPolicy policy) {
   switch (policy) {
     case DeadlockPolicy::kDetect:
@@ -27,26 +40,27 @@ LockManager::LockManager(Options options)
 
 void LockManager::Wound(TxnId txn) {
   {
-    std::lock_guard lk(wounded_mu_);
+    MutexLock lk(wounded_mu_);
     if (!wounded_.insert(txn).second) return;
   }
   wfg_.Kill(txn, KillReason::kWounded);
 }
 
 bool LockManager::IsWounded(TxnId txn) const {
-  std::lock_guard lk(wounded_mu_);
+  MutexLock lk(wounded_mu_);
   return wounded_.contains(txn);
 }
 
 void LockManager::ClearWound(TxnId txn) {
-  std::lock_guard lk(wounded_mu_);
+  MutexLock lk(wounded_mu_);
   wounded_.erase(txn);
 }
 
 LockManager::~LockManager() = default;
 
-bool LockManager::CompatibleWithHolders(const Entry& entry, TxnId txn,
-                                        LockMode target) {
+bool LockManager::CompatibleWithHolders(const Shard& shard, const Entry& entry,
+                                        TxnId txn, LockMode target) {
+  (void)shard;  // capability-only parameter
   bool compatible = true;
   for (const Holder& h : entry.holders) {
     if (h.txn == txn) continue;
@@ -60,9 +74,11 @@ bool LockManager::CompatibleWithHolders(const Entry& entry, TxnId txn,
   return compatible;
 }
 
-std::vector<TxnId> LockManager::BlockersOf(const Entry& entry, TxnId txn,
+std::vector<TxnId> LockManager::BlockersOf(const Shard& shard,
+                                           const Entry& entry, TxnId txn,
                                            LockMode target,
                                            const WaiterState* self) const {
+  (void)shard;  // capability-only parameter
   std::vector<TxnId> blockers;
   auto add = [&blockers, txn](TxnId t) {
     if (t == txn) return;
@@ -86,7 +102,7 @@ std::vector<TxnId> LockManager::BlockersOf(const Entry& entry, TxnId txn,
   return blockers;
 }
 
-bool LockManager::GrantWaiters(Entry& entry) {
+bool LockManager::GrantWaiters(Shard& shard, Entry& entry) {
   bool any = false;
   for (auto it = entry.waiters.begin(); it != entry.waiters.end();) {
     const std::shared_ptr<WaiterState>& w = *it;
@@ -95,7 +111,7 @@ bool LockManager::GrantWaiters(Entry& entry) {
       ++it;
       continue;
     }
-    if (!CompatibleWithHolders(entry, w->txn, w->wanted)) {
+    if (!CompatibleWithHolders(shard, entry, w->txn, w->wanted)) {
       // Strict FIFO: nobody behind a blocked waiter is granted.
       break;
     }
@@ -114,12 +130,7 @@ bool LockManager::GrantWaiters(Entry& entry) {
       }
     } else {
       entry.holders.push_back(Holder{w->txn, w->wanted, 1, w->duration});
-      int64_t held =
-          stats_.held_locks.fetch_add(1, std::memory_order_relaxed) + 1;
-      int64_t prev = stats_.max_held_locks.load(std::memory_order_relaxed);
-      while (prev < held && !stats_.max_held_locks.compare_exchange_weak(
-                                prev, held, std::memory_order_relaxed)) {
-      }
+      NoteHolderAdded(stats_);
     }
     w->granted = true;
     any = true;
@@ -138,7 +149,7 @@ void LockManager::EraseWaiter(Entry& entry, const WaiterState* w) {
 }
 
 void LockManager::RecordHeld(TxnId txn, ResourceId resource) {
-  std::lock_guard lk(registry_mu_);
+  MutexLock lk(registry_mu_);
   auto& v = txn_locks_[txn];
   if (std::find(v.begin(), v.end(), resource) == v.end()) {
     v.push_back(resource);
@@ -146,7 +157,7 @@ void LockManager::RecordHeld(TxnId txn, ResourceId resource) {
 }
 
 void LockManager::ForgetHeld(TxnId txn, ResourceId resource) {
-  std::lock_guard lk(registry_mu_);
+  MutexLock lk(registry_mu_);
   auto it = txn_locks_.find(txn);
   if (it == txn_locks_.end()) return;
   auto& v = it->second;
@@ -170,7 +181,20 @@ Status LockManager::Acquire(TxnId txn, ResourceId resource, LockMode mode,
   }
 
   Shard& shard = ShardFor(resource);
-  std::unique_lock lk(shard.mu);
+  bool record_held = false;
+  Status status;
+  {
+    MutexLock lk(shard.mu);
+    status = AcquireLocked(shard, txn, resource, mode, options, record_held);
+  }
+  // Lock order: the registry mutex is only ever taken with no shard held.
+  if (record_held && status.ok()) RecordHeld(txn, resource);
+  return status;
+}
+
+Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
+                                  LockMode mode, const AcquireOptions& options,
+                                  bool& record_held) {
   Entry& entry = shard.entries[resource];
 
   Holder* mine = nullptr;
@@ -192,8 +216,7 @@ Status LockManager::Acquire(TxnId txn, ResourceId resource, LockMode mode,
     return Status::OK();
   }
 
-  const LockMode target =
-      mine != nullptr ? Supremum(mine->mode, mode) : mode;
+  const LockMode target = mine != nullptr ? Supremum(mine->mode, mode) : mode;
   const bool is_conversion = mine != nullptr;
 
   const bool queue_clear = [&] {
@@ -207,7 +230,7 @@ Status LockManager::Acquire(TxnId txn, ResourceId resource, LockMode mode,
     return true;
   }();
 
-  if (queue_clear && CompatibleWithHolders(entry, txn, target)) {
+  if (queue_clear && CompatibleWithHolders(shard, entry, txn, target)) {
     if (mine != nullptr) {
       mine->mode = target;
       mine->count++;
@@ -216,17 +239,8 @@ Status LockManager::Acquire(TxnId txn, ResourceId resource, LockMode mode,
       }
     } else {
       entry.holders.push_back(Holder{txn, target, 1, options.duration});
-      int64_t held =
-          stats_.held_locks.fetch_add(1, std::memory_order_relaxed) + 1;
-      int64_t prev = stats_.max_held_locks.load(std::memory_order_relaxed);
-      while (prev < held && !stats_.max_held_locks.compare_exchange_weak(
-                                prev, held, std::memory_order_relaxed)) {
-      }
-      lk.unlock();
-      RecordHeld(txn, resource);
-      stats_.grants.Add();
-      stats_.immediate_grants.Add();
-      return Status::OK();
+      NoteHolderAdded(stats_);
+      record_held = true;
     }
     stats_.grants.Add();
     stats_.immediate_grants.Add();
@@ -261,23 +275,15 @@ Status LockManager::Acquire(TxnId txn, ResourceId resource, LockMode mode,
       std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
   Stopwatch waited;
 
-  auto cleanup_failed = [&](Entry& e) {
-    EraseWaiter(e, waiter.get());
-    wfg_.Remove(txn);
-    if (GrantWaiters(e)) shard.cv.notify_all();
-    if (e.holders.empty() && e.waiters.empty()) shard.entries.erase(resource);
-    stats_.wait_ns.Record(waited.ElapsedNanos());
-  };
-
   while (true) {
     switch (policy_) {
       case DeadlockPolicy::kDetect: {
         std::vector<TxnId> blockers =
-            BlockersOf(entry, txn, target, waiter.get());
+            BlockersOf(shard, entry, txn, target, waiter.get());
         TxnId victim = wfg_.UpdateAndCheck(txn, std::move(blockers), waiter,
                                            &shard.cv);
         if (victim == txn) {
-          cleanup_failed(entry);
+          CleanupFailedWait(shard, resource, entry, txn, waiter.get(), waited);
           stats_.deadlocks.Add();
           return Status::Deadlock("transaction " + std::to_string(txn) +
                                   " chosen as deadlock victim on " +
@@ -288,9 +294,11 @@ Status LockManager::Acquire(TxnId txn, ResourceId resource, LockMode mode,
       case DeadlockPolicy::kWaitDie: {
         // A requester may wait only for younger transactions; blocked by
         // anything older, it dies (restarts) instead.
-        for (TxnId blocker : BlockersOf(entry, txn, target, waiter.get())) {
+        for (TxnId blocker :
+             BlockersOf(shard, entry, txn, target, waiter.get())) {
           if (blocker < txn) {
-            cleanup_failed(entry);
+            CleanupFailedWait(shard, resource, entry, txn, waiter.get(),
+                              waited);
             stats_.deadlocks.Add();
             return Status::Deadlock(
                 "wait-die: transaction " + std::to_string(txn) +
@@ -303,7 +311,8 @@ Status LockManager::Acquire(TxnId txn, ResourceId resource, LockMode mode,
       case DeadlockPolicy::kWoundWait: {
         // An older requester wounds every younger conflicting transaction
         // and then waits for them to release at their (forced) EOT.
-        for (TxnId blocker : BlockersOf(entry, txn, target, waiter.get())) {
+        for (TxnId blocker :
+             BlockersOf(shard, entry, txn, target, waiter.get())) {
           if (blocker > txn) Wound(blocker);
         }
         wfg_.Register(txn, waiter, &shard.cv);
@@ -313,7 +322,7 @@ Status LockManager::Acquire(TxnId txn, ResourceId resource, LockMode mode,
         break;
     }
 
-    bool in_time = shard.cv.wait_until(lk, deadline, [&] {
+    bool in_time = shard.cv.WaitUntil(shard.mu, deadline, [&] {
       return waiter->granted || waiter->killed.load(
                                     std::memory_order_relaxed) !=
                                     KillReason::kNone;
@@ -323,15 +332,12 @@ Status LockManager::Acquire(TxnId txn, ResourceId resource, LockMode mode,
       wfg_.Remove(txn);
       stats_.grants.Add();
       stats_.wait_ns.Record(waited.ElapsedNanos());
-      if (!is_conversion) {
-        lk.unlock();
-        RecordHeld(txn, resource);
-      }
+      if (!is_conversion) record_held = true;
       return Status::OK();
     }
     KillReason reason = waiter->killed.load(std::memory_order_relaxed);
     if (reason != KillReason::kNone) {
-      cleanup_failed(entry);
+      CleanupFailedWait(shard, resource, entry, txn, waiter.get(), waited);
       stats_.deadlocks.Add();
       if (reason == KillReason::kWounded) {
         return Status::Aborted("transaction " + std::to_string(txn) +
@@ -343,7 +349,7 @@ Status LockManager::Acquire(TxnId txn, ResourceId resource, LockMode mode,
                               resource.ToString());
     }
     if (!in_time) {
-      cleanup_failed(entry);
+      CleanupFailedWait(shard, resource, entry, txn, waiter.get(), waited);
       stats_.timeouts.Add();
       return Status::Timeout("lock wait on " + resource.ToString() +
                              " exceeded " + std::to_string(timeout_ms) +
@@ -353,45 +359,63 @@ Status LockManager::Acquire(TxnId txn, ResourceId resource, LockMode mode,
   }
 }
 
+void LockManager::CleanupFailedWait(Shard& shard, ResourceId resource,
+                                    Entry& entry, TxnId txn,
+                                    const WaiterState* waiter,
+                                    const Stopwatch& waited) {
+  EraseWaiter(entry, waiter);
+  wfg_.Remove(txn);
+  if (GrantWaiters(shard, entry)) shard.cv.NotifyAll();
+  if (entry.holders.empty() && entry.waiters.empty()) {
+    shard.entries.erase(resource);
+  }
+  stats_.wait_ns.Record(waited.ElapsedNanos());
+}
+
 Status LockManager::Release(TxnId txn, ResourceId resource) {
   Shard& shard = ShardFor(resource);
-  std::unique_lock lk(shard.mu);
-  auto it = shard.entries.find(resource);
-  if (it == shard.entries.end()) {
-    return Status::NotFound("no lock entry for " + resource.ToString());
-  }
-  Entry& entry = it->second;
-  for (size_t i = 0; i < entry.holders.size(); ++i) {
-    if (entry.holders[i].txn != txn) continue;
-    stats_.releases.Add();
-    if (--entry.holders[i].count > 0) {
+  bool forget = false;
+  Status status = [&]() -> Status {
+    MutexLock lk(shard.mu);
+    auto it = shard.entries.find(resource);
+    if (it == shard.entries.end()) {
+      return Status::NotFound("no lock entry for " + resource.ToString());
+    }
+    Entry& entry = it->second;
+    for (size_t i = 0; i < entry.holders.size(); ++i) {
+      if (entry.holders[i].txn != txn) continue;
+      stats_.releases.Add();
+      if (--entry.holders[i].count > 0) {
+        return Status::OK();
+      }
+      entry.holders.erase(entry.holders.begin() + static_cast<long>(i));
+      stats_.held_locks.fetch_sub(1, std::memory_order_relaxed);
+      bool granted_any = GrantWaiters(shard, entry);
+      if (entry.holders.empty() && entry.waiters.empty()) {
+        shard.entries.erase(it);
+      }
+      if (granted_any) shard.cv.NotifyAll();
+      forget = true;
       return Status::OK();
     }
-    entry.holders.erase(entry.holders.begin() + static_cast<long>(i));
-    stats_.held_locks.fetch_sub(1, std::memory_order_relaxed);
-    bool granted_any = GrantWaiters(entry);
-    bool erase_entry = entry.holders.empty() && entry.waiters.empty();
-    if (erase_entry) shard.entries.erase(it);
-    if (granted_any) shard.cv.notify_all();
-    lk.unlock();
-    ForgetHeld(txn, resource);
-    return Status::OK();
-  }
-  return Status::NotFound("transaction " + std::to_string(txn) +
-                          " holds no lock on " + resource.ToString());
+    return Status::NotFound("transaction " + std::to_string(txn) +
+                            " holds no lock on " + resource.ToString());
+  }();
+  if (forget) ForgetHeld(txn, resource);
+  return status;
 }
 
 size_t LockManager::ReleaseAll(TxnId txn) {
   std::vector<ResourceId> held;
   {
-    std::lock_guard lk(registry_mu_);
+    MutexLock lk(registry_mu_);
     auto it = txn_locks_.find(txn);
     if (it != txn_locks_.end()) held = it->second;
   }
   size_t released = 0;
   for (const ResourceId& resource : held) {
     Shard& shard = ShardFor(resource);
-    std::unique_lock lk(shard.mu);
+    MutexLock lk(shard.mu);
     auto it = shard.entries.find(resource);
     if (it == shard.entries.end()) continue;
     Entry& entry = it->second;
@@ -401,16 +425,16 @@ size_t LockManager::ReleaseAll(TxnId txn) {
       stats_.held_locks.fetch_sub(1, std::memory_order_relaxed);
       stats_.releases.Add();
       ++released;
-      bool granted_any = GrantWaiters(entry);
+      bool granted_any = GrantWaiters(shard, entry);
       if (entry.holders.empty() && entry.waiters.empty()) {
         shard.entries.erase(it);
       }
-      if (granted_any) shard.cv.notify_all();
+      if (granted_any) shard.cv.NotifyAll();
       break;
     }
   }
   {
-    std::lock_guard lk(registry_mu_);
+    MutexLock lk(registry_mu_);
     txn_locks_.erase(txn);
   }
   ClearWound(txn);
@@ -419,7 +443,7 @@ size_t LockManager::ReleaseAll(TxnId txn) {
 
 Status LockManager::Downgrade(TxnId txn, ResourceId resource, LockMode mode) {
   Shard& shard = ShardFor(resource);
-  std::unique_lock lk(shard.mu);
+  MutexLock lk(shard.mu);
   auto it = shard.entries.find(resource);
   if (it == shard.entries.end()) {
     return Status::NotFound("no lock entry for " + resource.ToString());
@@ -432,7 +456,7 @@ Status LockManager::Downgrade(TxnId txn, ResourceId resource, LockMode mode) {
           std::string(LockModeName(mode)));
     }
     h.mode = mode;
-    if (GrantWaiters(it->second)) shard.cv.notify_all();
+    if (GrantWaiters(shard, it->second)) shard.cv.NotifyAll();
     return Status::OK();
   }
   return Status::NotFound("transaction " + std::to_string(txn) +
@@ -441,7 +465,7 @@ Status LockManager::Downgrade(TxnId txn, ResourceId resource, LockMode mode) {
 
 LockMode LockManager::HeldMode(TxnId txn, ResourceId resource) const {
   Shard& shard = ShardFor(resource);
-  std::lock_guard lk(shard.mu);
+  MutexLock lk(shard.mu);
   auto it = shard.entries.find(resource);
   if (it == shard.entries.end()) return LockMode::kNL;
   for (const Holder& h : it->second.holders) {
@@ -452,7 +476,7 @@ LockMode LockManager::HeldMode(TxnId txn, ResourceId resource) const {
 
 LockMode LockManager::GroupMode(ResourceId resource) const {
   Shard& shard = ShardFor(resource);
-  std::lock_guard lk(shard.mu);
+  MutexLock lk(shard.mu);
   auto it = shard.entries.find(resource);
   if (it == shard.entries.end()) return LockMode::kNL;
   LockMode m = LockMode::kNL;
@@ -463,7 +487,7 @@ LockMode LockManager::GroupMode(ResourceId resource) const {
 std::vector<HeldLock> LockManager::LocksOf(TxnId txn) const {
   std::vector<ResourceId> held;
   {
-    std::lock_guard lk(registry_mu_);
+    MutexLock lk(registry_mu_);
     auto it = txn_locks_.find(txn);
     if (it != txn_locks_.end()) held = it->second;
   }
@@ -471,7 +495,7 @@ std::vector<HeldLock> LockManager::LocksOf(TxnId txn) const {
   out.reserve(held.size());
   for (const ResourceId& resource : held) {
     Shard& shard = ShardFor(resource);
-    std::lock_guard lk(shard.mu);
+    MutexLock lk(shard.mu);
     auto it = shard.entries.find(resource);
     if (it == shard.entries.end()) continue;
     for (const Holder& h : it->second.holders) {
@@ -487,7 +511,7 @@ std::vector<HeldLock> LockManager::LocksOf(TxnId txn) const {
 size_t LockManager::NumEntries() const {
   size_t n = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard lk(shard.mu);
+    MutexLock lk(shard.mu);
     n += shard.entries.size();
   }
   return n;
@@ -496,7 +520,7 @@ size_t LockManager::NumEntries() const {
 std::vector<LongLockRecord> LockManager::SnapshotLongLocks() const {
   std::vector<LongLockRecord> out;
   for (const Shard& shard : shards_) {
-    std::lock_guard lk(shard.mu);
+    MutexLock lk(shard.mu);
     for (const auto& [res, entry] : shard.entries) {
       for (const Holder& h : entry.holders) {
         if (h.duration == LockDuration::kLong) {
@@ -511,7 +535,7 @@ std::vector<LongLockRecord> LockManager::SnapshotLongLocks() const {
 std::vector<LongLockRecord> LockManager::SnapshotAllLocks() const {
   std::vector<LongLockRecord> out;
   for (const Shard& shard : shards_) {
-    std::lock_guard lk(shard.mu);
+    MutexLock lk(shard.mu);
     for (const auto& [res, entry] : shard.entries) {
       for (const Holder& h : entry.holders) {
         out.push_back(LongLockRecord{h.txn, res, h.mode});
@@ -525,37 +549,40 @@ Status LockManager::RestoreLongLocks(
     const std::vector<LongLockRecord>& records) {
   for (const LongLockRecord& rec : records) {
     Shard& shard = ShardFor(rec.resource);
-    std::unique_lock lk(shard.mu);
-    Entry& entry = shard.entries[rec.resource];
-    if (!CompatibleWithHolders(entry, rec.txn, rec.mode)) {
-      return Status::Internal("long-lock restore conflict on " +
-                              rec.resource.ToString());
-    }
-    Holder* mine = nullptr;
-    for (Holder& h : entry.holders) {
-      if (h.txn == rec.txn) {
-        mine = &h;
-        break;
+    bool record_held = false;
+    {
+      MutexLock lk(shard.mu);
+      Entry& entry = shard.entries[rec.resource];
+      if (!CompatibleWithHolders(shard, entry, rec.txn, rec.mode)) {
+        return Status::Internal("long-lock restore conflict on " +
+                                rec.resource.ToString());
+      }
+      Holder* mine = nullptr;
+      for (Holder& h : entry.holders) {
+        if (h.txn == rec.txn) {
+          mine = &h;
+          break;
+        }
+      }
+      if (mine != nullptr) {
+        mine->mode = Supremum(mine->mode, rec.mode);
+        mine->duration = LockDuration::kLong;
+      } else {
+        entry.holders.push_back(Holder{rec.txn, rec.mode, 1,
+                                       LockDuration::kLong});
+        stats_.held_locks.fetch_add(1, std::memory_order_relaxed);
+        record_held = true;
       }
     }
-    if (mine != nullptr) {
-      mine->mode = Supremum(mine->mode, rec.mode);
-      mine->duration = LockDuration::kLong;
-    } else {
-      entry.holders.push_back(Holder{rec.txn, rec.mode, 1,
-                                     LockDuration::kLong});
-      stats_.held_locks.fetch_add(1, std::memory_order_relaxed);
-      lk.unlock();
-      RecordHeld(rec.txn, rec.resource);
-    }
+    if (record_held) RecordHeld(rec.txn, rec.resource);
   }
   return Status::OK();
 }
 
 TxnId LockManager::WaitsForGraph::UpdateAndCheck(
     TxnId self, std::vector<TxnId> blockers,
-    std::shared_ptr<WaiterState> waiter, std::condition_variable* cv) {
-  std::lock_guard lk(mu_);
+    std::shared_ptr<WaiterState> waiter, CondVar* cv) {
+  MutexLock lk(mu_);
   WaitRec& rec = waiting_[self];
   rec.blockers = std::move(blockers);
   rec.waiter = std::move(waiter);
@@ -573,7 +600,7 @@ TxnId LockManager::WaitsForGraph::UpdateAndCheck(
     } else {
       it->second.waiter->killed.store(KillReason::kDeadlockVictim,
                                       std::memory_order_relaxed);
-      it->second.cv->notify_all();
+      it->second.cv->NotifyAll();
     }
   }
   return victim;
@@ -581,8 +608,8 @@ TxnId LockManager::WaitsForGraph::UpdateAndCheck(
 
 void LockManager::WaitsForGraph::Register(TxnId self,
                                           std::shared_ptr<WaiterState> waiter,
-                                          std::condition_variable* cv) {
-  std::lock_guard lk(mu_);
+                                          CondVar* cv) {
+  MutexLock lk(mu_);
   WaitRec& rec = waiting_[self];
   rec.blockers.clear();
   rec.waiter = std::move(waiter);
@@ -590,15 +617,15 @@ void LockManager::WaitsForGraph::Register(TxnId self,
 }
 
 void LockManager::WaitsForGraph::Kill(TxnId txn, KillReason reason) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto it = waiting_.find(txn);
   if (it == waiting_.end()) return;
   it->second.waiter->killed.store(reason, std::memory_order_relaxed);
-  it->second.cv->notify_all();
+  it->second.cv->NotifyAll();
 }
 
 void LockManager::WaitsForGraph::Remove(TxnId self) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   waiting_.erase(self);
 }
 

@@ -23,11 +23,9 @@
 #define CODLOCK_LOCK_LOCK_MANAGER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -35,7 +33,9 @@
 #include "lock/mode.h"
 #include "lock/resource.h"
 #include "util/metrics.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace codlock::lock {
 
@@ -160,6 +160,9 @@ class LockManager {
  private:
   enum class KillReason : uint8_t { kNone, kDeadlockVictim, kWounded };
 
+  /// Shared between the requesting thread and granters/killers.  `granted`
+  /// is written and read only under the owning shard's mutex; `killed` is
+  /// atomic because the waits-for graph flips it under its own lock.
   struct WaiterState {
     TxnId txn = kInvalidTxn;
     LockMode wanted = LockMode::kNL;
@@ -182,9 +185,10 @@ class LockManager {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::condition_variable cv;
-    std::unordered_map<ResourceId, Entry, ResourceIdHash> entries;
+    mutable Mutex mu;
+    CondVar cv;
+    std::unordered_map<ResourceId, Entry, ResourceIdHash> entries
+        CODLOCK_GUARDED_BY(mu);
   };
 
   /// Waits-for graph over currently blocked transactions.
@@ -193,7 +197,7 @@ class LockManager {
     struct WaitRec {
       std::vector<TxnId> blockers;
       std::shared_ptr<WaiterState> waiter;
-      std::condition_variable* cv = nullptr;
+      CondVar* cv = nullptr;
     };
 
     /// Registers/updates the blocked set of \p self and searches for a
@@ -202,13 +206,11 @@ class LockManager {
     /// waiter is killed and its cv notified; the victim id is returned
     /// either way (kInvalidTxn if no cycle).
     TxnId UpdateAndCheck(TxnId self, std::vector<TxnId> blockers,
-                         std::shared_ptr<WaiterState> waiter,
-                         std::condition_variable* cv);
+                         std::shared_ptr<WaiterState> waiter, CondVar* cv);
 
     /// Registers \p self as waiting without cycle detection (prevention
     /// policies still need the registry so wounds can find the waiter).
-    void Register(TxnId self, std::shared_ptr<WaiterState> waiter,
-                  std::condition_variable* cv);
+    void Register(TxnId self, std::shared_ptr<WaiterState> waiter, CondVar* cv);
 
     /// Kills the pending wait of \p txn (wound-wait preemption); no-op if
     /// it is not currently waiting.
@@ -217,39 +219,58 @@ class LockManager {
     void Remove(TxnId self);
 
    private:
-    bool FindCycle(TxnId self, std::vector<TxnId>* cycle) const;
+    bool FindCycle(TxnId self, std::vector<TxnId>* cycle) const
+        CODLOCK_REQUIRES(mu_);
 
-    std::mutex mu_;
-    std::unordered_map<TxnId, WaitRec> waiting_;
+    Mutex mu_;
+    std::unordered_map<TxnId, WaitRec> waiting_ CODLOCK_GUARDED_BY(mu_);
   };
 
   Shard& ShardFor(ResourceId r) const {
     return shards_[ResourceIdHash{}(r) % shards_.size()];
   }
 
+  /// Body of `Acquire` once the shard is locked.  Sets \p record_held when
+  /// the caller must register a new (txn, resource) pair in the registry
+  /// after dropping the shard mutex (lock order: shard before registry).
+  Status AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
+                       LockMode mode, const AcquireOptions& options,
+                       bool& record_held) CODLOCK_REQUIRES(shard.mu);
+
+  /// Unwinds a failed wait: dequeues the waiter, deregisters it from the
+  /// waits-for graph, promotes unblocked waiters and drops an empty entry.
+  void CleanupFailedWait(Shard& shard, ResourceId resource, Entry& entry,
+                         TxnId txn, const WaiterState* waiter,
+                         const Stopwatch& waited) CODLOCK_REQUIRES(shard.mu);
+
   /// Grant test for (txn, target mode) against all *other* holders.
   /// Counts compatibility tests in stats.
-  bool CompatibleWithHolders(const Entry& entry, TxnId txn, LockMode target);
+  bool CompatibleWithHolders(const Shard& shard, const Entry& entry, TxnId txn,
+                             LockMode target) CODLOCK_REQUIRES(shard.mu);
 
   /// Blockers of (txn, target mode): other holders with incompatible modes,
   /// plus (for non-conversion requests) earlier queued waiters.
-  std::vector<TxnId> BlockersOf(const Entry& entry, TxnId txn, LockMode target,
-                                const WaiterState* self) const;
+  std::vector<TxnId> BlockersOf(const Shard& shard, const Entry& entry,
+                                TxnId txn, LockMode target,
+                                const WaiterState* self) const
+      CODLOCK_REQUIRES(shard.mu);
 
   /// Promotes grantable waiters at the front of the queue. Called with the
   /// shard mutex held whenever holders change. Returns true if any waiter
   /// was granted (caller notifies the shard cv).
-  bool GrantWaiters(Entry& entry);
+  bool GrantWaiters(Shard& shard, Entry& entry) CODLOCK_REQUIRES(shard.mu);
 
   void EraseWaiter(Entry& entry, const WaiterState* w);
 
-  void RecordHeld(TxnId txn, ResourceId resource);
-  void ForgetHeld(TxnId txn, ResourceId resource);
+  void RecordHeld(TxnId txn, ResourceId resource)
+      CODLOCK_EXCLUDES(registry_mu_);
+  void ForgetHeld(TxnId txn, ResourceId resource)
+      CODLOCK_EXCLUDES(registry_mu_);
 
   /// Marks \p txn wounded; its next acquire (and current waits) fail.
-  void Wound(TxnId txn);
-  bool IsWounded(TxnId txn) const;
-  void ClearWound(TxnId txn);
+  void Wound(TxnId txn) CODLOCK_EXCLUDES(wounded_mu_);
+  bool IsWounded(TxnId txn) const CODLOCK_EXCLUDES(wounded_mu_);
+  void ClearWound(TxnId txn) CODLOCK_EXCLUDES(wounded_mu_);
 
   Options options_;
   DeadlockPolicy policy_ = DeadlockPolicy::kDetect;
@@ -257,11 +278,12 @@ class LockManager {
   WaitsForGraph wfg_;
   LockStats stats_;
 
-  mutable std::mutex wounded_mu_;
-  std::unordered_set<TxnId> wounded_;
+  mutable Mutex wounded_mu_;
+  std::unordered_set<TxnId> wounded_ CODLOCK_GUARDED_BY(wounded_mu_);
 
-  mutable std::mutex registry_mu_;
-  std::unordered_map<TxnId, std::vector<ResourceId>> txn_locks_;
+  mutable Mutex registry_mu_;
+  std::unordered_map<TxnId, std::vector<ResourceId>> txn_locks_
+      CODLOCK_GUARDED_BY(registry_mu_);
 };
 
 }  // namespace codlock::lock

@@ -7,31 +7,31 @@ namespace codlock::lock {
 
 void LongLockStore::Save(const LockManager& manager) {
   std::vector<LongLockRecord> snapshot = manager.SnapshotLongLocks();
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   records_ = std::move(snapshot);
 }
 
 Status LongLockStore::Restore(LockManager* manager) const {
   std::vector<LongLockRecord> snapshot;
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     snapshot = records_;
   }
   return manager->RestoreLongLocks(snapshot);
 }
 
 std::vector<LongLockRecord> LongLockStore::records() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return records_;
 }
 
 size_t LongLockStore::size() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return records_.size();
 }
 
 std::string LongLockStore::Serialize() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   std::ostringstream os;
   for (const LongLockRecord& r : records_) {
     os << r.txn << ' ' << r.resource.node << ' ' << r.resource.instance << ' '
@@ -58,7 +58,7 @@ Status LongLockStore::Deserialize(const std::string& data) {
     r.mode = static_cast<LockMode>(mode);
     parsed.push_back(r);
   }
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   records_ = std::move(parsed);
   return Status::OK();
 }

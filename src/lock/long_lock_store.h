@@ -14,12 +14,13 @@
 #ifndef CODLOCK_LOCK_LONG_LOCK_STORE_H_
 #define CODLOCK_LOCK_LONG_LOCK_STORE_H_
 
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "lock/lock_manager.h"
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace codlock::lock {
 
@@ -52,8 +53,8 @@ class LongLockStore {
   Status LoadFromFile(const std::string& path);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<LongLockRecord> records_;
+  mutable Mutex mu_;
+  std::vector<LongLockRecord> records_ CODLOCK_GUARDED_BY(mu_);
 };
 
 }  // namespace codlock::lock

@@ -1,0 +1,108 @@
+/// \file lint.h
+/// \brief Static linter for object-specific lock graphs.
+///
+/// The soundness of the paper's locking protocols rests on structural
+/// invariants of the derived lock graphs (§4.3, §4.4):
+///
+///  1. **Derivation rules (§4.3)** — every schema attribute maps to the
+///     right node kind: set/list → HoLU (rules 1, 2), tuple → HeLU
+///     (rule 3), atomic → BLU (rule 4); a reference attribute is a BLU
+///     whose dashed edge points at the referenced relation's complex-object
+///     node.  The System R hierarchy above (database HeLU, segment HeLU,
+///     relation HoLU, index HoLU) must match §4.2 as well.
+///  2. **Acyclicity** — the full graph (solid containment edges plus
+///     dashed reference edges) must be a DAG; the paper restricts itself
+///     to non-recursive complex objects (§2) and the DAG protocol's
+///     correctness argument (§3.2.2) depends on it.
+///  3. **One entry point per inner unit (§4.4.1)** — a dashed edge may
+///     only enter an inner unit at its root (the referenced relation's
+///     complex-object node).  A dashed edge landing on an interior node
+///     would give the unit a second entry point and break implicit lock
+///     propagation.
+///  4. **Registered targets** — every ref BLU must dangle into a
+///     registered inner unit: a valid node that is the complex-object node
+///     of the attribute's declared target relation, with consistent
+///     back-edges.
+///  5. **Unit boundaries** — no solid edge may cross a unit boundary:
+///     solid containment stays within one relation's schema tree (or the
+///     database→segment→relation/index hierarchy); only dashed edges
+///     connect units.
+///
+/// `LintLockGraph` verifies all of the above for a built `LockGraph`
+/// against its catalog, and reports findings machine-readably (JSON) so
+/// CI and `ctest` can gate on them.  A graph freshly produced by
+/// `LockGraph::Build` must always lint clean; the linter guards against
+/// regressions in the builder and validates hand-constructed or mutated
+/// graphs in tests.
+
+#ifndef CODLOCK_LOGRA_LINT_H_
+#define CODLOCK_LOGRA_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "logra/lock_graph.h"
+#include "nf2/schema.h"
+
+namespace codlock::logra {
+
+/// Violation classes detected by the linter.
+enum class LintCode : uint8_t {
+  /// §4.3 rule 1–4 violation: node kind contradicts the backing attribute
+  /// (or hierarchy node kind contradicts §4.2).
+  kDerivationRule,
+  /// The graph (solid + dashed edges) contains a cycle.
+  kCycle,
+  /// A dashed edge enters a unit at a non-root node: the inner unit would
+  /// have more than one entry point (§4.4.1).
+  kMultipleEntryPoints,
+  /// A ref BLU whose dashed target is missing, out of range, or not the
+  /// registered complex-object node of the declared target relation.
+  kDanglingRef,
+  /// A solid edge crosses a unit boundary (or the System R hierarchy is
+  /// miswired).
+  kSolidCrossUnit,
+  /// Solid parent/child bookkeeping is inconsistent (edge recorded on one
+  /// side only).
+  kParentChildMismatch,
+  /// A BLU has solid children (basic lockable units are leaves).
+  kBluHasChildren,
+};
+
+std::string_view LintCodeName(LintCode code);
+
+/// \brief One structural violation.
+struct LintFinding {
+  LintCode code = LintCode::kDerivationRule;
+  /// Primary node the finding anchors at (kInvalidNode for whole-graph
+  /// findings without a representative node).
+  NodeId node = kInvalidNode;
+  /// Human-readable explanation including node names.
+  std::string message;
+};
+
+/// \brief Result of linting one lock graph.
+struct LintReport {
+  std::vector<LintFinding> findings;
+  size_t nodes_checked = 0;
+  size_t relations_checked = 0;
+
+  bool ok() const { return findings.empty(); }
+
+  /// Machine-readable report:
+  /// `{"ok":bool,"nodes":N,"relations":N,"findings":[{...},...]}`.
+  std::string ToJson() const;
+
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+/// Verifies the structural invariants above for \p graph built from
+/// \p catalog.  Checks the whole catalog-wide graph; per-relation
+/// object-specific graphs are subgraphs of it, so a clean report covers
+/// every relation's derived graph too.
+LintReport LintLockGraph(const LockGraph& graph, const nf2::Catalog& catalog);
+
+}  // namespace codlock::logra
+
+#endif  // CODLOCK_LOGRA_LINT_H_

@@ -166,6 +166,11 @@ class LockGraph {
   /// Human-readable node name ("HoLU(robots)", "HeLU(C.O. effectors)", ...).
   std::string NodeName(NodeId id) const;
 
+  /// Direct mutable access to a node.  `Build` output is immutable in
+  /// production; this hook exists solely so lint tests can seed structural
+  /// violations (cycles, rewired edges) into an otherwise valid graph.
+  Node& MutableNodeForTest(NodeId id) { return nodes_[id]; }
+
  private:
   NodeId AddNode(Node node);
   NodeId BuildAttrSubtree(const nf2::Catalog& catalog, nf2::AttrId attr,

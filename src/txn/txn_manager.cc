@@ -6,7 +6,7 @@ Transaction* TxnManager::Begin(authz::UserId user, TxnKind kind) {
   TxnId id = next_id_.fetch_add(1, std::memory_order_relaxed);
   auto txn = std::make_unique<Transaction>(id, user, kind);
   Transaction* raw = txn.get();
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   txns_.emplace(id, std::move(txn));
   return raw;
 }
@@ -14,7 +14,7 @@ Transaction* TxnManager::Begin(authz::UserId user, TxnKind kind) {
 Transaction* TxnManager::Adopt(TxnId id, authz::UserId user, TxnKind kind) {
   auto txn = std::make_unique<Transaction>(id, user, kind);
   Transaction* raw = txn.get();
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   // Keep future ids younger than every adopted id.
   TxnId next = next_id_.load(std::memory_order_relaxed);
   while (next <= id && !next_id_.compare_exchange_weak(
@@ -55,7 +55,7 @@ Status TxnManager::Abort(Transaction* txn) {
 }
 
 Result<Transaction*> TxnManager::Get(TxnId id) const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto it = txns_.find(id);
   if (it == txns_.end()) {
     return Status::NotFound("transaction " + std::to_string(id) +
@@ -65,12 +65,12 @@ Result<Transaction*> TxnManager::Get(TxnId id) const {
 }
 
 void TxnManager::Forget(TxnId id) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   txns_.erase(id);
 }
 
 size_t TxnManager::ActiveCount() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   size_t n = 0;
   for (const auto& [id, txn] : txns_) {
     if (txn->active()) ++n;

@@ -16,7 +16,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -24,7 +23,9 @@
 #include "lock/lock_manager.h"
 #include "nf2/store.h"
 #include "txn/undo_log.h"
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace codlock::txn {
 
@@ -119,8 +120,9 @@ class TxnManager {
   UndoLog* undo_log_ = nullptr;
   nf2::InstanceStore* store_ = nullptr;
   std::atomic<TxnId> next_id_{1};
-  mutable std::mutex mu_;
-  std::unordered_map<TxnId, std::unique_ptr<Transaction>> txns_;
+  mutable Mutex mu_;
+  std::unordered_map<TxnId, std::unique_ptr<Transaction>> txns_
+      CODLOCK_GUARDED_BY(mu_);
 };
 
 }  // namespace codlock::txn

@@ -1,0 +1,89 @@
+/// \file thread_annotations.h
+/// \brief Clang Thread Safety Analysis attribute macros.
+///
+/// The concurrency-critical core (lock manager, long-lock store,
+/// transaction manager, workstation–server layer) annotates which mutex
+/// protects which member and which lock a function expects to be held.
+/// Building with Clang and `-Wthread-safety` turns these declarations into
+/// compile-time race checks; on other compilers every macro expands to
+/// nothing.
+///
+/// The macro set follows the attribute names of the Clang documentation
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed
+/// `CODLOCK_` to stay out of other libraries' way.  Annotations only fire
+/// on capability-annotated types — use `codlock::Mutex` from util/mutex.h,
+/// not a bare `std::mutex`, for members that should be analyzed.
+
+#ifndef CODLOCK_UTIL_THREAD_ANNOTATIONS_H_
+#define CODLOCK_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define CODLOCK_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define CODLOCK_THREAD_ANNOTATION__(x)  // no-op outside Clang
+#endif
+
+/// Declares a class to be a capability (a lockable type).
+#define CODLOCK_CAPABILITY(x) CODLOCK_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define CODLOCK_SCOPED_CAPABILITY CODLOCK_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Member may only be accessed while holding the given capability.
+#define CODLOCK_GUARDED_BY(x) CODLOCK_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointed-to data may only be accessed while holding the capability.
+#define CODLOCK_PT_GUARDED_BY(x) CODLOCK_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock prevention).
+#define CODLOCK_ACQUIRED_BEFORE(...) \
+  CODLOCK_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define CODLOCK_ACQUIRED_AFTER(...) \
+  CODLOCK_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability to be held (exclusively / shared) on
+/// entry and does not release it.
+#define CODLOCK_REQUIRES(...) \
+  CODLOCK_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define CODLOCK_REQUIRES_SHARED(...) \
+  CODLOCK_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define CODLOCK_ACQUIRE(...) \
+  CODLOCK_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define CODLOCK_ACQUIRE_SHARED(...) \
+  CODLOCK_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases a capability held on entry.
+#define CODLOCK_RELEASE(...) \
+  CODLOCK_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define CODLOCK_RELEASE_SHARED(...) \
+  CODLOCK_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define CODLOCK_RELEASE_GENERIC(...) \
+  CODLOCK_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns the given value.
+#define CODLOCK_TRY_ACQUIRE(...) \
+  CODLOCK_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define CODLOCK_TRY_ACQUIRE_SHARED(...) \
+  CODLOCK_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (non-reentrant protection).
+#define CODLOCK_EXCLUDES(...) \
+  CODLOCK_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the calling thread holds the capability.
+#define CODLOCK_ASSERT_CAPABILITY(x) \
+  CODLOCK_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define CODLOCK_RETURN_CAPABILITY(x) \
+  CODLOCK_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Opts a function out of analysis (e.g. lock juggling the checker cannot
+/// follow); use sparingly and document why.
+#define CODLOCK_NO_THREAD_SAFETY_ANALYSIS \
+  CODLOCK_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // CODLOCK_UTIL_THREAD_ANNOTATIONS_H_

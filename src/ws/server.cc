@@ -57,7 +57,7 @@ Result<CheckOutTicket> Server::CheckOut(authz::UserId user,
     return data.status();
   }
   {
-    std::lock_guard lk(tickets_mu_);
+    MutexLock lk(tickets_mu_);
     long_txn_users_[txn->id()] = user;
   }
   long_store_.Save(*lm_);  // long locks reach stable storage
@@ -117,7 +117,7 @@ Result<nf2::ObjectId> Server::CheckInDerived(const CheckOutTicket& ticket,
 
   CODLOCK_RETURN_IF_ERROR(txns_->Commit(*txn));
   {
-    std::lock_guard lk(tickets_mu_);
+    MutexLock lk(tickets_mu_);
     long_txn_users_.erase(ticket.txn);
   }
   long_store_.Save(*lm_);
@@ -143,7 +143,7 @@ Status Server::CheckIn(const CheckOutTicket& ticket) {
   }
   CODLOCK_RETURN_IF_ERROR(txns_->Commit(*txn));
   {
-    std::lock_guard lk(tickets_mu_);
+    MutexLock lk(tickets_mu_);
     long_txn_users_.erase(ticket.txn);
   }
   long_store_.Save(*lm_);
@@ -155,7 +155,7 @@ Status Server::CancelCheckOut(const CheckOutTicket& ticket) {
   if (!txn.ok()) return txn.status();
   CODLOCK_RETURN_IF_ERROR(txns_->Abort(*txn));
   {
-    std::lock_guard lk(tickets_mu_);
+    MutexLock lk(tickets_mu_);
     long_txn_users_.erase(ticket.txn);
   }
   long_store_.Save(*lm_);
@@ -167,7 +167,7 @@ void Server::CrashAndRestart() {
   // the LongLockStore survives.
   RebuildEngine();
   long_store_.Restore(lm_.get());
-  std::lock_guard lk(tickets_mu_);
+  MutexLock lk(tickets_mu_);
   for (const auto& [txn_id, user] : long_txn_users_) {
     txns_->Adopt(txn_id, user, txn::TxnKind::kLong);
   }
@@ -188,7 +188,7 @@ Result<query::QueryResult> Server::RunShortTxn(authz::UserId user,
 }
 
 size_t Server::ActiveLongTxns() const {
-  std::lock_guard lk(tickets_mu_);
+  MutexLock lk(tickets_mu_);
   return long_txn_users_.size();
 }
 

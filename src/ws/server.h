@@ -20,7 +20,6 @@
 #define CODLOCK_WS_SERVER_H_
 
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "authz/authz.h"
@@ -29,6 +28,8 @@
 #include "query/executor.h"
 #include "query/planner.h"
 #include "txn/txn_manager.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace codlock::ws {
 
@@ -139,8 +140,10 @@ class Server {
   std::unique_ptr<query::LockPlanner> planner_;
   std::unique_ptr<query::QueryExecutor> executor_;
 
-  mutable std::mutex tickets_mu_;
-  std::unordered_map<lock::TxnId, authz::UserId> long_txn_users_;
+  mutable Mutex tickets_mu_;
+  /// Users of live long (check-out) transactions, re-adopted after a crash.
+  std::unordered_map<lock::TxnId, authz::UserId> long_txn_users_
+      CODLOCK_GUARDED_BY(tickets_mu_);
 };
 
 }  // namespace codlock::ws

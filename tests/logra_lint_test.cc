@@ -1,0 +1,182 @@
+/// \file logra_lint_test.cc
+/// \brief Tests for the lock-graph linter.
+///
+/// Clean graphs built from the sim:: fixtures must lint clean; graphs with
+/// seeded structural violations (a cycle, a second entry point into an
+/// inner unit, a dangling reference, a solid edge across a unit boundary)
+/// must each produce the expected finding.  Violations are seeded via
+/// `LockGraph::MutableNodeForTest`, since `Build` never produces them.
+
+#include "logra/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "logra/lock_graph.h"
+#include "sim/fixtures.h"
+
+namespace codlock::logra {
+namespace {
+
+bool HasCode(const LintReport& report, LintCode code) {
+  for (const LintFinding& f : report.findings) {
+    if (f.code == code) return true;
+  }
+  return false;
+}
+
+/// First node of \p rel matching \p pred (solid subtree, attribute level).
+template <typename Pred>
+NodeId FindAttrNode(const LockGraph& g, nf2::RelationId rel, Pred pred) {
+  for (const Node& n : g.nodes()) {
+    if (n.relation == rel && n.level == NodeLevel::kAttribute && pred(n)) {
+      return n.id;
+    }
+  }
+  return kInvalidNode;
+}
+
+NodeId FindRefBlu(const LockGraph& g, nf2::RelationId rel) {
+  return FindAttrNode(g, rel, [](const Node& n) { return n.is_ref_blu(); });
+}
+
+NodeId FindPlainBlu(const LockGraph& g, nf2::RelationId rel) {
+  return FindAttrNode(g, rel, [](const Node& n) {
+    return n.kind == NodeKind::kBLU && !n.is_ref_blu();
+  });
+}
+
+TEST(LograLintTest, CleanFixturesPass) {
+  {
+    sim::CellsFixture f = sim::BuildCellsEffectors();
+    LockGraph g = LockGraph::Build(*f.catalog);
+    LintReport report = LintLockGraph(g, *f.catalog);
+    EXPECT_TRUE(report.ok()) << report.ToString();
+    EXPECT_EQ(report.relations_checked, 2u);
+    EXPECT_GT(report.nodes_checked, 0u);
+  }
+  {
+    sim::CellsFixture f = sim::BuildFigure7Instance();
+    LockGraph g = LockGraph::Build(*f.catalog);
+    EXPECT_TRUE(LintLockGraph(g, *f.catalog).ok());
+  }
+  {
+    sim::SyntheticFixture f = sim::BuildSynthetic(sim::SyntheticParams{});
+    LockGraph g = LockGraph::Build(*f.catalog);
+    EXPECT_TRUE(LintLockGraph(g, *f.catalog).ok());
+  }
+  {
+    sim::SyntheticParams params;
+    params.refs_per_leaf = 0;  // disjoint complex objects: no dashed edges
+    sim::SyntheticFixture f = sim::BuildSynthetic(params);
+    LockGraph g = LockGraph::Build(*f.catalog);
+    EXPECT_TRUE(LintLockGraph(g, *f.catalog).ok());
+  }
+}
+
+TEST(LograLintTest, DetectsCycle) {
+  sim::CellsFixture f = sim::BuildCellsEffectors();
+  LockGraph g = LockGraph::Build(*f.catalog);
+
+  // Close a loop: a BLU inside the effectors unit gets a dashed edge back
+  // to the cells entry point, making cells -> ... -> effectors -> ... ->
+  // cells cyclic.
+  NodeId blu = FindPlainBlu(g, f.effectors);
+  ASSERT_NE(blu, kInvalidNode);
+  NodeId cells_co = g.ComplexObjectNode(f.cells);
+  g.MutableNodeForTest(blu).dashed_target = cells_co;
+  g.MutableNodeForTest(cells_co).dashed_in.push_back(blu);
+
+  LintReport report = LintLockGraph(g, *f.catalog);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasCode(report, LintCode::kCycle)) << report.ToString();
+}
+
+TEST(LograLintTest, DetectsSecondEntryPoint) {
+  sim::CellsFixture f = sim::BuildCellsEffectors();
+  LockGraph g = LockGraph::Build(*f.catalog);
+
+  // Repoint the robots' reference from the effectors entry point to a node
+  // *inside* the effectors unit: the unit would now have two entry points.
+  NodeId ref = FindRefBlu(g, f.cells);
+  ASSERT_NE(ref, kInvalidNode);
+  NodeId interior = FindPlainBlu(g, f.effectors);
+  ASSERT_NE(interior, kInvalidNode);
+  NodeId old_target = g.node(ref).dashed_target;
+  auto& old_in = g.MutableNodeForTest(old_target).dashed_in;
+  old_in.erase(std::find(old_in.begin(), old_in.end(), ref));
+  g.MutableNodeForTest(ref).dashed_target = interior;
+  g.MutableNodeForTest(interior).dashed_in.push_back(ref);
+
+  LintReport report = LintLockGraph(g, *f.catalog);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasCode(report, LintCode::kMultipleEntryPoints))
+      << report.ToString();
+}
+
+TEST(LograLintTest, DetectsDanglingRef) {
+  sim::CellsFixture f = sim::BuildCellsEffectors();
+  LockGraph g = LockGraph::Build(*f.catalog);
+
+  NodeId ref = FindRefBlu(g, f.cells);
+  ASSERT_NE(ref, kInvalidNode);
+  g.MutableNodeForTest(ref).dashed_target = 10'000;  // no such node
+
+  LintReport report = LintLockGraph(g, *f.catalog);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasCode(report, LintCode::kDanglingRef)) << report.ToString();
+}
+
+TEST(LograLintTest, DetectsUnregisteredRefTarget) {
+  sim::CellsFixture f = sim::BuildCellsEffectors();
+  LockGraph g = LockGraph::Build(*f.catalog);
+
+  // Point the reference at the *cells* entry point even though the schema
+  // declares it to target effectors: a valid entry, but not the registered
+  // one for this reference.
+  NodeId ref = FindRefBlu(g, f.cells);
+  ASSERT_NE(ref, kInvalidNode);
+  g.MutableNodeForTest(ref).dashed_target = g.ComplexObjectNode(f.cells);
+
+  LintReport report = LintLockGraph(g, *f.catalog);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasCode(report, LintCode::kDanglingRef)) << report.ToString();
+}
+
+TEST(LograLintTest, DetectsSolidEdgeAcrossUnitBoundary) {
+  sim::CellsFixture f = sim::BuildCellsEffectors();
+  LockGraph g = LockGraph::Build(*f.catalog);
+
+  // Graft the effectors entry point as a *solid* child of a cells
+  // attribute: containment across a unit boundary.
+  NodeId parent = FindPlainBlu(g, f.cells);
+  ASSERT_NE(parent, kInvalidNode);
+  NodeId eff_co = g.ComplexObjectNode(f.effectors);
+  g.MutableNodeForTest(parent).solid_children.push_back(eff_co);
+
+  LintReport report = LintLockGraph(g, *f.catalog);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasCode(report, LintCode::kSolidCrossUnit)) << report.ToString();
+  // The grafted child also makes the BLU a non-leaf.
+  EXPECT_TRUE(HasCode(report, LintCode::kBluHasChildren)) << report.ToString();
+}
+
+TEST(LograLintTest, JsonReportIsMachineReadable) {
+  sim::CellsFixture f = sim::BuildCellsEffectors();
+  LockGraph g = LockGraph::Build(*f.catalog);
+
+  LintReport clean = LintLockGraph(g, *f.catalog);
+  EXPECT_NE(clean.ToJson().find("\"ok\":true"), std::string::npos);
+
+  NodeId ref = FindRefBlu(g, f.cells);
+  ASSERT_NE(ref, kInvalidNode);
+  g.MutableNodeForTest(ref).dashed_target = 10'000;
+  LintReport broken = LintLockGraph(g, *f.catalog);
+  std::string json = broken.ToJson();
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"code\":\"dangling-ref\""), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace codlock::logra

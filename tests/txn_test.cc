@@ -57,9 +57,10 @@ TEST(TxnManagerTest, GetAndForget) {
   lock::LockManager lm;
   TxnManager tm(&lm);
   Transaction* t = tm.Begin(1);
-  ASSERT_TRUE(tm.Get(t->id()).ok());
-  tm.Forget(t->id());
-  EXPECT_TRUE(tm.Get(t->id()).status().IsNotFound());
+  const TxnId id = t->id();  // Forget() destroys *t.
+  ASSERT_TRUE(tm.Get(id).ok());
+  tm.Forget(id);
+  EXPECT_TRUE(tm.Get(id).status().IsNotFound());
 }
 
 TEST(TxnManagerTest, AdoptRestoresIdAndBumpsCounter) {

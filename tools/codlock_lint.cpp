@@ -1,0 +1,121 @@
+// codlock_lint — static lock-graph linter.
+//
+// Derives the object-specific lock graphs of a schema and statically
+// verifies the paper's structural invariants (§4.3 derivation rules, DAG
+// acyclicity, one entry point per inner unit, registered reference targets,
+// no solid edge across a unit boundary).  Exits non-zero when any
+// invariant is violated, so the check can gate CI / ctest.
+//
+// Usage:
+//   codlock_lint [--fixture=cells|figure7|synthetic|synthetic-disjoint|all]
+//                [--db=<path>] [--json] [--quiet]
+//
+// `--fixture` lints the built-in sim:: schemas (default: all); `--db`
+// lints a serialized database file written by codlock_dbtool.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "logra/lint.h"
+#include "logra/lock_graph.h"
+#include "nf2/serialize.h"
+#include "sim/fixtures.h"
+
+using namespace codlock;
+
+namespace {
+
+struct CliOptions {
+  std::string fixture = "all";
+  std::string db_path;
+  bool json = false;
+  bool quiet = false;
+};
+
+int Usage() {
+  std::cerr << "usage: codlock_lint [--fixture=cells|figure7|synthetic|"
+               "synthetic-disjoint|all] [--db=<path>] [--json] [--quiet]\n";
+  return 2;
+}
+
+/// Lints one catalog; returns true when clean.
+bool LintOne(const std::string& name, const nf2::Catalog& catalog,
+             const CliOptions& opts) {
+  logra::LockGraph graph = logra::LockGraph::Build(catalog);
+  logra::LintReport report = logra::LintLockGraph(graph, catalog);
+  if (opts.json) {
+    std::cout << "{\"schema\":\"" << name << "\",\"report\":"
+              << report.ToJson() << "}\n";
+  } else if (!opts.quiet || !report.ok()) {
+    std::cout << name << ": " << report.ToString();
+  }
+  return report.ok();
+}
+
+bool LintFixture(const std::string& which, const CliOptions& opts,
+                 bool* matched) {
+  bool ok = true;
+  bool all = which == "all";
+  *matched = all;
+  if (all || which == "cells") {
+    *matched = true;
+    sim::CellsFixture f = sim::BuildCellsEffectors();
+    ok &= LintOne("cells", *f.catalog, opts);
+  }
+  if (all || which == "figure7") {
+    *matched = true;
+    sim::CellsFixture f = sim::BuildFigure7Instance();
+    ok &= LintOne("figure7", *f.catalog, opts);
+  }
+  if (all || which == "synthetic") {
+    *matched = true;
+    sim::SyntheticParams params;  // defaults: depth 3, shared refs
+    sim::SyntheticFixture f = sim::BuildSynthetic(params);
+    ok &= LintOne("synthetic", *f.catalog, opts);
+  }
+  if (all || which == "synthetic-disjoint") {
+    *matched = true;
+    sim::SyntheticParams params;
+    params.refs_per_leaf = 0;  // fully disjoint complex objects
+    sim::SyntheticFixture f = sim::BuildSynthetic(params);
+    ok &= LintOne("synthetic-disjoint", *f.catalog, opts);
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--fixture=", 0) == 0) {
+      opts.fixture = arg.substr(10);
+    } else if (arg.rfind("--db=", 0) == 0) {
+      opts.db_path = arg.substr(5);
+      if (opts.db_path.empty()) return Usage();
+    } else if (arg == "--json") {
+      opts.json = true;
+    } else if (arg == "--quiet") {
+      opts.quiet = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  bool ok = true;
+  if (!opts.db_path.empty()) {
+    Result<nf2::LoadedDatabase> db = nf2::LoadDatabaseFromFile(opts.db_path);
+    if (!db.ok()) {
+      std::cerr << "error: " << db.status() << "\n";
+      return 2;
+    }
+    ok &= LintOne(opts.db_path, *db->catalog, opts);
+  } else {
+    bool matched = false;
+    ok &= LintFixture(opts.fixture, opts, &matched);
+    if (!matched) return Usage();
+  }
+  return ok ? 0 : 1;
+}
