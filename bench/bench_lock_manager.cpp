@@ -7,8 +7,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "lock/lock_manager.h"
 #include "lock/mode.h"
+#include "lock/txn_lock_cache.h"
 #include "util/rng.h"
 
 namespace codlock::lock {
@@ -25,33 +28,64 @@ void BM_AcquireRelease(benchmark::State& state) {
 BENCHMARK(BM_AcquireRelease);
 
 void BM_ReentrantAcquire(benchmark::State& state) {
+  // Re-entrant acquisition as the transaction layer drives it: a held-lock
+  // cache is attached (TxnManager::Begin does the same), so equal-or-weaker
+  // re-requests and their releases stay off the shard mutex entirely.
   LockManager lm;
+  TxnLockCache cache;
+  lm.AttachCache(1, &cache);
   ResourceId res{1, 42};
-  (void)lm.Acquire(1, res, LockMode::kS);
+  (void)lm.Acquire(1, res, LockMode::kS, {}, &cache);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(lm.Acquire(1, res, LockMode::kS));
-    benchmark::DoNotOptimize(lm.Release(1, res));
+    benchmark::DoNotOptimize(lm.Acquire(1, res, LockMode::kS, {}, &cache));
+    benchmark::DoNotOptimize(lm.Release(1, res, &cache));
   }
+  lm.DetachCache(1);
 }
 BENCHMARK(BM_ReentrantAcquire);
 
 void BM_HierarchicalPathAcquire(benchmark::State& state) {
   // The cost of a protocol-style root-to-leaf acquisition: N intention
-  // locks plus one leaf lock, then EOT release.
+  // locks plus one leaf lock, then EOT release.  AcquirePath batches the
+  // chain, visiting each lock shard once per request.
   const int depth = static_cast<int>(state.range(0));
   LockManager lm;
+  TxnLockCache cache;
+  lm.AttachCache(1, &cache);
+  std::vector<ResourceId> path;
+  for (int i = 0; i <= depth; ++i) {
+    path.push_back(ResourceId{static_cast<uint32_t>(i), 7});
+  }
   for (auto _ : state) {
-    for (int i = 0; i < depth; ++i) {
-      (void)lm.Acquire(1, ResourceId{static_cast<uint32_t>(i), 7},
-                       LockMode::kIX);
-    }
-    (void)lm.Acquire(1, ResourceId{static_cast<uint32_t>(depth), 7},
-                     LockMode::kX);
+    (void)lm.AcquirePath(1, path, LockMode::kX, {}, &cache);
     lm.ReleaseAll(1);
   }
+  lm.DetachCache(1);
   state.SetItemsProcessed(state.iterations() * (depth + 1));
 }
 BENCHMARK(BM_HierarchicalPathAcquire)->Arg(3)->Arg(6)->Arg(12);
+
+void BM_HierarchicalPathReacquire(benchmark::State& state) {
+  // Re-traversal of an already-locked path (a transaction revisiting its
+  // working set): every resource is covered by the held-lock cache, so the
+  // whole request is answered without touching a shard.
+  const int depth = static_cast<int>(state.range(0));
+  LockManager lm;
+  TxnLockCache cache;
+  lm.AttachCache(1, &cache);
+  std::vector<ResourceId> path;
+  for (int i = 0; i <= depth; ++i) {
+    path.push_back(ResourceId{static_cast<uint32_t>(i), 7});
+  }
+  (void)lm.AcquirePath(1, path, LockMode::kX, {}, &cache);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lm.AcquirePath(1, path, LockMode::kX, {}, &cache));
+  }
+  lm.ReleaseAll(1);
+  lm.DetachCache(1);
+  state.SetItemsProcessed(state.iterations() * (depth + 1));
+}
+BENCHMARK(BM_HierarchicalPathReacquire)->Arg(12);
 
 void BM_CompatibilityAgainstSharers(benchmark::State& state) {
   // An IS request against a granted group of N sharers: the compat test

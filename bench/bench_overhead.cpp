@@ -14,6 +14,7 @@
 //      (the protocol degenerates), so the runtime overhead is ~zero and
 //      only the planning cost of (b) remains.
 
+#include <cstring>
 #include <iostream>
 
 #include "sim/fixtures.h"
@@ -22,6 +23,8 @@
 using namespace codlock;
 
 namespace {
+
+bool g_json = false;
 
 sim::WorkloadReport RunDisjoint(sim::SyntheticFixture& f,
                                 sim::ProtocolChoice protocol,
@@ -53,19 +56,35 @@ sim::WorkloadReport RunDisjoint(sim::SyntheticFixture& f,
         s.queries = {q};
         return s;
       });
-  std::cout << r.Row(label) << "\n";
+  if (!g_json) std::cout << r.Row(label) << "\n";
   return r;
+}
+
+void PrintReportJson(std::ostream& os, const char* name,
+                     const sim::WorkloadReport& r) {
+  os << "    \"" << name << "\": {\"committed\": " << r.committed
+     << ", \"throughput_tps\": " << r.throughput_tps()
+     << ", \"locks_per_txn\": " << r.locks_per_txn()
+     << ", \"lock_requests\": " << r.lock_requests
+     << ", \"lock_waits\": " << r.lock_waits
+     << ", \"conflicts\": " << r.conflicts << "}";
 }
 
 }  // namespace
 
-int main() {
-  std::cout << "E7: overhead accounting (the paper's two disadvantages)\n\n";
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) g_json = true;
+  }
+  if (!g_json) {
+    std::cout << "E7: overhead accounting (the paper's two disadvantages)\n\n";
+  }
 
   // (a) Object-specific lock-graph construction (once per DDL).
   sim::CellsParams cp;
   cp.num_cells = 8;
   sim::CellsFixture cf = sim::BuildCellsEffectors(cp);
+  uint64_t graph_build_us = 0;
   {
     Stopwatch sw;
     constexpr int kReps = 1000;
@@ -74,12 +93,16 @@ int main() {
       logra::LockGraph g = logra::LockGraph::Build(*cf.catalog);
       nodes = g.num_nodes();
     }
-    std::cout << "(a) object-specific lock graph construction: "
-              << sw.ElapsedNanos() / 1000 / kReps << " us per catalog ("
-              << nodes << " nodes, amortized over the schema lifetime)\n";
+    graph_build_us = sw.ElapsedNanos() / 1000 / kReps;
+    if (!g_json) {
+      std::cout << "(a) object-specific lock graph construction: "
+                << graph_build_us << " us per catalog (" << nodes
+                << " nodes, amortized over the schema lifetime)\n";
+    }
   }
 
   // (b) Query-specific lock graph (planning) per query.
+  uint64_t planning_ns = 0;
   {
     logra::LockGraph g = logra::LockGraph::Build(*cf.catalog);
     query::Statistics stats = query::Statistics::Collect(*cf.catalog, *cf.store);
@@ -92,24 +115,39 @@ int main() {
       Result<query::QueryPlan> plan = planner.Plan(q2);
       if (!plan.ok()) return 1;
     }
-    std::cout << "(b) query-specific lock graph (planning): "
-              << sw.ElapsedNanos() / kReps
-              << " ns per query (once per query, before execution)\n\n";
+    planning_ns = sw.ElapsedNanos() / kReps;
+    if (!g_json) {
+      std::cout << "(b) query-specific lock graph (planning): " << planning_ns
+                << " ns per query (once per query, before execution)\n\n";
+    }
   }
 
   // (c) Disjoint-only exclusive workload: proposed vs. classical DAG.
-  std::cout << "(c) disjoint-only exclusive workload (no references):\n";
+  if (!g_json) {
+    std::cout << "(c) disjoint-only exclusive workload (no references):\n";
+  }
   sim::SyntheticParams sp;
   sp.depth = 2;
   sp.fanout = 4;
   sp.refs_per_leaf = 0;
   sp.num_objects = 64;
   sim::SyntheticFixture sf = sim::BuildSynthetic(sp);
-  std::cout << sim::WorkloadReport::Header() << "\n";
+  if (!g_json) std::cout << sim::WorkloadReport::Header() << "\n";
   sim::WorkloadReport a =
       RunDisjoint(sf, sim::ProtocolChoice::kComplexObject, "proposed");
   sim::WorkloadReport b =
       RunDisjoint(sf, sim::ProtocolChoice::kSysRAllParents, "classical GLPT76");
+  if (g_json) {
+    std::cout << "{\n  \"benchmark\": \"overhead\",\n"
+              << "  \"graph_build_us_per_catalog\": " << graph_build_us
+              << ",\n  \"planning_ns_per_query\": " << planning_ns
+              << ",\n  \"disjoint_workload\": {\n";
+    PrintReportJson(std::cout, "proposed", a);
+    std::cout << ",\n";
+    PrintReportJson(std::cout, "classical_glpt76", b);
+    std::cout << "\n  }\n}\n";
+    return 0;
+  }
   std::cout << "\nExpected shape: identical locks/txn (" << a.locks_per_txn()
             << " vs " << b.locks_per_txn()
             << ") — on disjoint objects the proposed protocol degenerates "

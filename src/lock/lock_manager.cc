@@ -1,20 +1,24 @@
 #include "lock/lock_manager.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 
 namespace codlock::lock {
 
 namespace {
 
-/// Bumps the held-locks gauge and its high-water mark (atomics only).
-void NoteHolderAdded(LockStats& stats) {
-  int64_t held = stats.held_locks.fetch_add(1, std::memory_order_relaxed) + 1;
+/// Bumps the held-locks gauge by \p n and its high-water mark (atomics
+/// only).  Batched callers pay one RMW for a whole path.
+void NoteHoldersAdded(LockStats& stats, int64_t n) {
+  int64_t held = stats.held_locks.fetch_add(n, std::memory_order_relaxed) + n;
   int64_t prev = stats.max_held_locks.load(std::memory_order_relaxed);
   while (prev < held && !stats.max_held_locks.compare_exchange_weak(
                             prev, held, std::memory_order_relaxed)) {
   }
 }
+
+void NoteHolderAdded(LockStats& stats) { NoteHoldersAdded(stats, 1); }
 
 }  // namespace
 
@@ -36,27 +40,58 @@ LockManager::LockManager(Options options)
     : options_(options),
       policy_(options.detect_deadlocks ? options.deadlock_policy
                                        : DeadlockPolicy::kTimeoutOnly),
-      shards_(static_cast<size_t>(std::max(1, options.num_shards))) {}
+      shards_(std::bit_ceil(
+          static_cast<size_t>(std::max(1, options.num_shards)))),
+      shard_mask_(shards_.size() - 1) {}
 
 void LockManager::Wound(TxnId txn) {
   {
     MutexLock lk(wounded_mu_);
     if (!wounded_.insert(txn).second) return;
+    wounded_count_.fetch_add(1, std::memory_order_relaxed);
   }
+  // The wounded transaction must observe the wound on its *next* acquire:
+  // drop its fast path before killing any pending wait.
+  InvalidateAttachedCache(txn);
   wfg_.Kill(txn, KillReason::kWounded);
 }
 
 bool LockManager::IsWounded(TxnId txn) const {
+  if (wounded_count_.load(std::memory_order_acquire) == 0) return false;
   MutexLock lk(wounded_mu_);
   return wounded_.contains(txn);
 }
 
 void LockManager::ClearWound(TxnId txn) {
+  if (wounded_count_.load(std::memory_order_acquire) == 0) return;
   MutexLock lk(wounded_mu_);
-  wounded_.erase(txn);
+  if (wounded_.erase(txn) > 0) {
+    wounded_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
 }
 
 LockManager::~LockManager() = default;
+
+void LockManager::AttachCache(TxnId txn, TxnLockCache* cache) {
+  MutexLock lk(caches_mu_);
+  caches_[txn] = cache;
+  cache_count_.store(caches_.size(), std::memory_order_release);
+}
+
+void LockManager::DetachCache(TxnId txn) {
+  MutexLock lk(caches_mu_);
+  caches_.erase(txn);
+  cache_count_.store(caches_.size(), std::memory_order_release);
+}
+
+void LockManager::InvalidateAttachedCache(TxnId txn) {
+  // With no cache attached anywhere there is nothing to invalidate; skip
+  // the registry mutex (standalone LockManager users never pay for it).
+  if (cache_count_.load(std::memory_order_acquire) == 0) return;
+  MutexLock lk(caches_mu_);
+  auto it = caches_.find(txn);
+  if (it != caches_.end()) it->second->Invalidate();
+}
 
 bool LockManager::CompatibleWithHolders(const Shard& shard, const Entry& entry,
                                         TxnId txn, LockMode target) {
@@ -102,8 +137,7 @@ std::vector<TxnId> LockManager::BlockersOf(const Shard& shard,
   return blockers;
 }
 
-bool LockManager::GrantWaiters(Shard& shard, Entry& entry) {
-  bool any = false;
+void LockManager::GrantWaiters(Shard& shard, Entry& entry) {
   for (auto it = entry.waiters.begin(); it != entry.waiters.end();) {
     const std::shared_ptr<WaiterState>& w = *it;
     if (w->killed.load(std::memory_order_relaxed) != KillReason::kNone) {
@@ -133,10 +167,10 @@ bool LockManager::GrantWaiters(Shard& shard, Entry& entry) {
       NoteHolderAdded(stats_);
     }
     w->granted = true;
-    any = true;
+    // Per-waiter wakeup: only the transaction this grant unblocked runs.
+    w->cv.NotifyOne();
     it = entry.waiters.erase(it);
   }
-  return any;
 }
 
 void LockManager::EraseWaiter(Entry& entry, const WaiterState* w) {
@@ -156,6 +190,18 @@ void LockManager::RecordHeld(TxnId txn, ResourceId resource) {
   }
 }
 
+void LockManager::RecordHeldBatch(TxnId txn,
+                                  std::span<const ResourceId> resources) {
+  if (resources.empty()) return;
+  MutexLock lk(registry_mu_);
+  auto& v = txn_locks_[txn];
+  for (const ResourceId& resource : resources) {
+    if (std::find(v.begin(), v.end(), resource) == v.end()) {
+      v.push_back(resource);
+    }
+  }
+}
+
 void LockManager::ForgetHeld(TxnId txn, ResourceId resource) {
   MutexLock lk(registry_mu_);
   auto it = txn_locks_.find(txn);
@@ -166,12 +212,26 @@ void LockManager::ForgetHeld(TxnId txn, ResourceId resource) {
 }
 
 Status LockManager::Acquire(TxnId txn, ResourceId resource, LockMode mode,
-                            const AcquireOptions& options) {
+                            const AcquireOptions& options,
+                            TxnLockCache* cache) {
   if (txn == kInvalidTxn) {
     return Status::InvalidArgument("invalid transaction id");
   }
   if (mode == LockMode::kNL) {
     return Status::InvalidArgument("cannot acquire mode NL");
+  }
+  // Fast path: a covered re-acquisition is answered from the transaction's
+  // own cache without touching any mutex.  A wound invalidates the cache
+  // (see Wound), so a wounded transaction always falls through to the
+  // slow path and fails there.
+  // A hit pays exactly one atomic RMW: cache_hits.  Total requests =
+  // requests + cache_hits and total grants = grants + cache_hits (see
+  // metrics.h).
+  if (cache != nullptr &&
+      cache->TryHit(resource, mode,
+                    options.duration == LockDuration::kLong)) {
+    stats_.cache_hits.Add();
+    return Status::OK();
   }
   stats_.requests.Add();
 
@@ -179,24 +239,168 @@ Status LockManager::Acquire(TxnId txn, ResourceId resource, LockMode mode,
     return Status::Aborted("transaction " + std::to_string(txn) +
                            " was wounded by an older transaction");
   }
+  return AcquireSlow(txn, resource, mode, options, cache);
+}
 
+Status LockManager::AcquireSlow(TxnId txn, ResourceId resource, LockMode mode,
+                                const AcquireOptions& options,
+                                TxnLockCache* cache) {
   Shard& shard = ShardFor(resource);
   bool record_held = false;
+  LockMode granted = LockMode::kNL;
   Status status;
   {
     MutexLock lk(shard.mu);
-    status = AcquireLocked(shard, txn, resource, mode, options, record_held);
+    status = AcquireLocked(shard, txn, resource, mode, options, record_held,
+                           granted);
   }
   // Lock order: the registry mutex is only ever taken with no shard held.
-  if (record_held && status.ok()) RecordHeld(txn, resource);
+  if (status.ok()) {
+    if (record_held) RecordHeld(txn, resource);
+    if (cache != nullptr) {
+      cache->Note(resource, granted,
+                  options.duration == LockDuration::kLong);
+    }
+  }
   return status;
 }
 
-Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
-                                  LockMode mode, const AcquireOptions& options,
-                                  bool& record_held) {
-  Entry& entry = shard.entries[resource];
+Status LockManager::AcquirePath(TxnId txn, std::span<const ResourceId> path,
+                                LockMode leaf_mode,
+                                const AcquireOptions& options,
+                                TxnLockCache* cache) {
+  if (txn == kInvalidTxn) {
+    return Status::InvalidArgument("invalid transaction id");
+  }
+  if (path.empty()) {
+    return Status::InvalidArgument("empty lock path");
+  }
+  if (leaf_mode == LockMode::kNL) {
+    return Status::InvalidArgument("cannot acquire mode NL");
+  }
+  if (policy_ == DeadlockPolicy::kWoundWait && IsWounded(txn)) {
+    return Status::Aborted("transaction " + std::to_string(txn) +
+                           " was wounded by an older transaction");
+  }
+  const LockMode prefix_mode = IntentionFor(leaf_mode);
+  const bool want_long = options.duration == LockDuration::kLong;
+  const size_t n = path.size();
+  auto mode_of = [&](size_t i) { return i + 1 == n ? leaf_mode : prefix_mode; };
 
+  // Batched processing tracks path positions in 64-bit masks on the stack;
+  // paths longer than that (never produced by the protocols — hierarchies
+  // are ~4–13 levels) fall back to per-resource acquisition.
+  constexpr size_t kMaxBatch = 64;
+  if (n > kMaxBatch) {
+    for (size_t i = 0; i < n; ++i) {
+      CODLOCK_RETURN_IF_ERROR(
+          Acquire(txn, path[i], mode_of(i), options, cache));
+    }
+    return Status::OK();
+  }
+  // Pass 1: answer covered re-acquisitions from the cache (no mutex).
+  uint32_t shard_of[kMaxBatch];
+  uint64_t todo_mask = 0;
+  uint64_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (cache != nullptr && cache->TryHit(path[i], mode_of(i), want_long)) {
+      ++hits;
+      continue;
+    }
+    shard_of[i] = static_cast<uint32_t>(ShardIndexFor(path[i]));
+    todo_mask |= uint64_t{1} << i;
+  }
+  // Total requests = requests + cache_hits (see metrics.h): one batched
+  // RMW per counter for the whole path.
+  if (hits != 0) stats_.cache_hits.Add(hits);
+  if (n - hits != 0) stats_.requests.Add(n - hits);
+  if (todo_mask == 0) return Status::OK();
+
+  // Pass 2: group by shard and visit each shard mutex once.  Immediate
+  // grants may land out of path order; that is invisible to other
+  // transactions (each grant only *adds* to this transaction's hold set)
+  // and the root-to-leaf order is restored for anything that must wait.
+  LockMode granted_of[kMaxBatch];
+  ResourceId newly_held[kMaxBatch];
+  size_t num_newly_held = 0;
+  uint64_t granted_mask = 0;
+  uint64_t deferred_mask = 0;
+  for (uint64_t rest = todo_mask; rest != 0;) {
+    const size_t first = static_cast<size_t>(std::countr_zero(rest));
+    const uint32_t shard_idx = shard_of[first];
+    Shard& shard = shards_[shard_idx];
+    MutexLock lk(shard.mu);
+    for (uint64_t scan = rest; scan != 0; scan &= scan - 1) {
+      const size_t i = static_cast<size_t>(std::countr_zero(scan));
+      if (shard_of[i] != shard_idx) continue;
+      rest &= ~(uint64_t{1} << i);
+      Entry& entry = EntryFor(shard, path[i]);
+      bool record_held = false;
+      LockMode granted = LockMode::kNL;
+      if (TryGrantLocked(shard, entry, txn, mode_of(i), options, granted,
+                         record_held)) {
+        granted_of[i] = granted;
+        granted_mask |= uint64_t{1} << i;
+        if (record_held) newly_held[num_newly_held++] = path[i];
+      } else {
+        deferred_mask |= uint64_t{1} << i;
+      }
+    }
+  }
+  if (granted_mask != 0) {
+    const uint64_t g = static_cast<uint64_t>(std::popcount(granted_mask));
+    stats_.grants.Add(g);
+    stats_.immediate_grants.Add(g);
+  }
+  if (num_newly_held != 0) {
+    NoteHoldersAdded(stats_, static_cast<int64_t>(num_newly_held));
+  }
+
+  // One registry lock for the whole batch (instead of one per resource).
+  RecordHeldBatch(txn, std::span<const ResourceId>(newly_held, num_newly_held));
+  if (cache != nullptr) {
+    for (uint64_t scan = granted_mask; scan != 0; scan &= scan - 1) {
+      const size_t i = static_cast<size_t>(std::countr_zero(scan));
+      cache->Note(path[i], granted_of[i], want_long);
+    }
+  }
+
+  // Pass 3: whatever conflicted is acquired blocking, in path order
+  // (rule 5 root-to-leaf waiting semantics; ascending bits = path order).
+  for (uint64_t scan = deferred_mask; scan != 0; scan &= scan - 1) {
+    const size_t i = static_cast<size_t>(std::countr_zero(scan));
+    CODLOCK_RETURN_IF_ERROR(
+        AcquireSlow(txn, path[i], mode_of(i), options, cache));
+  }
+  return Status::OK();
+}
+
+LockManager::Entry& LockManager::EntryFor(Shard& shard, const ResourceId& res) {
+  auto it = shard.entries.find(res);
+  if (it != shard.entries.end()) return it->second;
+  if (!shard.free_nodes.empty()) {
+    EntryMap::node_type nh = std::move(shard.free_nodes.back());
+    shard.free_nodes.pop_back();
+    nh.key() = res;  // node handles expose a mutable key for exactly this
+    return shard.entries.insert(std::move(nh)).position->second;
+  }
+  return shard.entries[res];
+}
+
+void LockManager::RetireEntry(Shard& shard, EntryMap::iterator it) {
+  if (shard.free_nodes.size() >= kEntryPoolSize) {
+    shard.entries.erase(it);
+    return;
+  }
+  EntryMap::node_type nh = shard.entries.extract(it);
+  nh.mapped().holders.clear();  // keeps capacity for the next tenant
+  nh.mapped().waiters.clear();
+  shard.free_nodes.push_back(std::move(nh));
+}
+
+bool LockManager::TryGrantLocked(Shard& shard, Entry& entry, TxnId txn,
+                                 LockMode mode, const AcquireOptions& options,
+                                 LockMode& granted, bool& record_held) {
   Holder* mine = nullptr;
   for (Holder& h : entry.holders) {
     if (h.txn == txn) {
@@ -205,15 +409,15 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
     }
   }
 
-  // Re-entrant acquisition of a covered mode: bump the count.
+  // Re-entrant acquisition of a covered mode: bump the count.  The caller
+  // accounts grants/immediate_grants (batched in AcquirePath).
   if (mine != nullptr && Covers(mine->mode, mode)) {
     mine->count++;
     if (options.duration == LockDuration::kLong) {
       mine->duration = LockDuration::kLong;
     }
-    stats_.grants.Add();
-    stats_.immediate_grants.Add();
-    return Status::OK();
+    granted = mine->mode;
+    return true;
   }
 
   const LockMode target = mine != nullptr ? Supremum(mine->mode, mode) : mode;
@@ -239,17 +443,39 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
       }
     } else {
       entry.holders.push_back(Holder{txn, target, 1, options.duration});
-      NoteHolderAdded(stats_);
-      record_held = true;
+      record_held = true;  // caller bumps the held-locks gauge
     }
+    granted = target;
+    return true;
+  }
+  return false;
+}
+
+Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
+                                  LockMode mode, const AcquireOptions& options,
+                                  bool& record_held, LockMode& granted) {
+  Entry& entry = EntryFor(shard, resource);
+
+  if (TryGrantLocked(shard, entry, txn, mode, options, granted, record_held)) {
     stats_.grants.Add();
     stats_.immediate_grants.Add();
+    if (record_held) NoteHolderAdded(stats_);
     return Status::OK();
   }
 
+  Holder* mine = nullptr;
+  for (Holder& h : entry.holders) {
+    if (h.txn == txn) {
+      mine = &h;
+      break;
+    }
+  }
+  const LockMode target = mine != nullptr ? Supremum(mine->mode, mode) : mode;
+  const bool is_conversion = mine != nullptr;
+
   if (!options.wait) {
     if (entry.holders.empty() && entry.waiters.empty()) {
-      shard.entries.erase(resource);
+      RetireEntry(shard, shard.entries.find(resource));
     }
     return Status::Conflict("lock " + std::string(LockModeName(mode)) +
                             " on " + resource.ToString() +
@@ -263,7 +489,7 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
   waiter->is_conversion = is_conversion;
   waiter->duration = options.duration;
   if (is_conversion) {
-    entry.waiters.push_front(waiter);
+    entry.waiters.insert(entry.waiters.begin(), waiter);
   } else {
     entry.waiters.push_back(waiter);
   }
@@ -280,8 +506,7 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
       case DeadlockPolicy::kDetect: {
         std::vector<TxnId> blockers =
             BlockersOf(shard, entry, txn, target, waiter.get());
-        TxnId victim = wfg_.UpdateAndCheck(txn, std::move(blockers), waiter,
-                                           &shard.cv);
+        TxnId victim = wfg_.UpdateAndCheck(txn, std::move(blockers), waiter);
         if (victim == txn) {
           CleanupFailedWait(shard, resource, entry, txn, waiter.get(), waited);
           stats_.deadlocks.Add();
@@ -305,7 +530,7 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
                 " is younger than blocker " + std::to_string(blocker));
           }
         }
-        wfg_.Register(txn, waiter, &shard.cv);
+        wfg_.Register(txn, waiter);
         break;
       }
       case DeadlockPolicy::kWoundWait: {
@@ -315,14 +540,14 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
              BlockersOf(shard, entry, txn, target, waiter.get())) {
           if (blocker > txn) Wound(blocker);
         }
-        wfg_.Register(txn, waiter, &shard.cv);
+        wfg_.Register(txn, waiter);
         break;
       }
       case DeadlockPolicy::kTimeoutOnly:
         break;
     }
 
-    bool in_time = shard.cv.WaitUntil(shard.mu, deadline, [&] {
+    bool in_time = waiter->cv.WaitUntil(shard.mu, deadline, [&] {
       return waiter->granted || waiter->killed.load(
                                     std::memory_order_relaxed) !=
                                     KillReason::kNone;
@@ -333,6 +558,7 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
       stats_.grants.Add();
       stats_.wait_ns.Record(waited.ElapsedNanos());
       if (!is_conversion) record_held = true;
+      granted = target;
       return Status::OK();
     }
     KillReason reason = waiter->killed.load(std::memory_order_relaxed);
@@ -365,14 +591,20 @@ void LockManager::CleanupFailedWait(Shard& shard, ResourceId resource,
                                     const Stopwatch& waited) {
   EraseWaiter(entry, waiter);
   wfg_.Remove(txn);
-  if (GrantWaiters(shard, entry)) shard.cv.NotifyAll();
+  GrantWaiters(shard, entry);
   if (entry.holders.empty() && entry.waiters.empty()) {
-    shard.entries.erase(resource);
+    RetireEntry(shard, shard.entries.find(resource));
   }
   stats_.wait_ns.Record(waited.ElapsedNanos());
 }
 
-Status LockManager::Release(TxnId txn, ResourceId resource) {
+Status LockManager::Release(TxnId txn, ResourceId resource,
+                            TxnLockCache* cache) {
+  // Fast path: the matching acquisition never reached the shard either.
+  if (cache != nullptr && cache->ConsumeRelease(resource)) {
+    stats_.releases.Add();
+    return Status::OK();
+  }
   Shard& shard = ShardFor(resource);
   bool forget = false;
   Status status = [&]() -> Status {
@@ -390,77 +622,115 @@ Status LockManager::Release(TxnId txn, ResourceId resource) {
       }
       entry.holders.erase(entry.holders.begin() + static_cast<long>(i));
       stats_.held_locks.fetch_sub(1, std::memory_order_relaxed);
-      bool granted_any = GrantWaiters(shard, entry);
+      GrantWaiters(shard, entry);
       if (entry.holders.empty() && entry.waiters.empty()) {
-        shard.entries.erase(it);
+        RetireEntry(shard, it);
       }
-      if (granted_any) shard.cv.NotifyAll();
       forget = true;
       return Status::OK();
     }
     return Status::NotFound("transaction " + std::to_string(txn) +
                             " holds no lock on " + resource.ToString());
   }();
-  if (forget) ForgetHeld(txn, resource);
+  if (forget) {
+    ForgetHeld(txn, resource);
+    // The hold is gone; no cached mode may survive it.
+    if (cache != nullptr) {
+      cache->Erase(resource);
+    } else {
+      InvalidateAttachedCache(txn);
+    }
+  }
   return status;
 }
 
 size_t LockManager::ReleaseAll(TxnId txn) {
+  // EOT: the cache must not answer for locks about to disappear.
+  InvalidateAttachedCache(txn);
   std::vector<ResourceId> held;
   {
     MutexLock lk(registry_mu_);
     auto it = txn_locks_.find(txn);
-    if (it != txn_locks_.end()) held = it->second;
-  }
-  size_t released = 0;
-  for (const ResourceId& resource : held) {
-    Shard& shard = ShardFor(resource);
-    MutexLock lk(shard.mu);
-    auto it = shard.entries.find(resource);
-    if (it == shard.entries.end()) continue;
-    Entry& entry = it->second;
-    for (size_t i = 0; i < entry.holders.size(); ++i) {
-      if (entry.holders[i].txn != txn) continue;
-      entry.holders.erase(entry.holders.begin() + static_cast<long>(i));
-      stats_.held_locks.fetch_sub(1, std::memory_order_relaxed);
-      stats_.releases.Add();
-      ++released;
-      bool granted_any = GrantWaiters(shard, entry);
-      if (entry.holders.empty() && entry.waiters.empty()) {
-        shard.entries.erase(it);
-      }
-      if (granted_any) shard.cv.NotifyAll();
-      break;
+    if (it != txn_locks_.end()) {
+      // A transaction acquires from one thread at a time, so nothing is
+      // added concurrently: take the list and drop the registry entry in
+      // the same critical section.
+      held = std::move(it->second);
+      txn_locks_.erase(it);
     }
   }
-  {
-    MutexLock lk(registry_mu_);
-    txn_locks_.erase(txn);
+  // Visit each shard once: group the held set by shard index, hashing each
+  // resource a single time.
+  std::vector<std::pair<uint32_t, ResourceId>> keyed;
+  keyed.reserve(held.size());
+  for (const ResourceId& r : held) {
+    keyed.emplace_back(static_cast<uint32_t>(ShardIndexFor(r)), r);
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t released = 0;
+  for (size_t i = 0; i < keyed.size();) {
+    const uint32_t shard_idx = keyed[i].first;
+    Shard& shard = shards_[shard_idx];
+    MutexLock lk(shard.mu);
+    for (; i < keyed.size() && keyed[i].first == shard_idx; ++i) {
+      auto it = shard.entries.find(keyed[i].second);
+      if (it == shard.entries.end()) continue;
+      Entry& entry = it->second;
+      for (size_t h = 0; h < entry.holders.size(); ++h) {
+        if (entry.holders[h].txn != txn) continue;
+        entry.holders.erase(entry.holders.begin() + static_cast<long>(h));
+        ++released;
+        GrantWaiters(shard, entry);
+        if (entry.holders.empty() && entry.waiters.empty()) {
+          RetireEntry(shard, it);
+        }
+        break;
+      }
+    }
+  }
+  // One RMW per counter for the whole transaction.
+  if (released != 0) {
+    stats_.held_locks.fetch_sub(static_cast<int64_t>(released),
+                                std::memory_order_relaxed);
+    stats_.releases.Add(released);
   }
   ClearWound(txn);
   return released;
 }
 
-Status LockManager::Downgrade(TxnId txn, ResourceId resource, LockMode mode) {
+Status LockManager::Downgrade(TxnId txn, ResourceId resource, LockMode mode,
+                              TxnLockCache* cache) {
   Shard& shard = ShardFor(resource);
-  MutexLock lk(shard.mu);
-  auto it = shard.entries.find(resource);
-  if (it == shard.entries.end()) {
-    return Status::NotFound("no lock entry for " + resource.ToString());
-  }
-  for (Holder& h : it->second.holders) {
-    if (h.txn != txn) continue;
-    if (!Covers(h.mode, mode)) {
-      return Status::InvalidArgument(
-          "cannot downgrade " + std::string(LockModeName(h.mode)) + " to " +
-          std::string(LockModeName(mode)));
+  Status status = [&]() -> Status {
+    MutexLock lk(shard.mu);
+    auto it = shard.entries.find(resource);
+    if (it == shard.entries.end()) {
+      return Status::NotFound("no lock entry for " + resource.ToString());
     }
-    h.mode = mode;
-    if (GrantWaiters(shard, it->second)) shard.cv.NotifyAll();
-    return Status::OK();
+    for (Holder& h : it->second.holders) {
+      if (h.txn != txn) continue;
+      if (!Covers(h.mode, mode)) {
+        return Status::InvalidArgument(
+            "cannot downgrade " + std::string(LockModeName(h.mode)) + " to " +
+            std::string(LockModeName(mode)));
+      }
+      h.mode = mode;
+      GrantWaiters(shard, it->second);
+      return Status::OK();
+    }
+    return Status::NotFound("transaction " + std::to_string(txn) +
+                            " holds no lock on " + resource.ToString());
+  }();
+  if (status.ok()) {
+    // The held mode shrank: a cached (stronger) mode must not survive.
+    if (cache != nullptr) {
+      cache->Erase(resource);
+    } else {
+      InvalidateAttachedCache(txn);
+    }
   }
-  return Status::NotFound("transaction " + std::to_string(txn) +
-                          " holds no lock on " + resource.ToString());
+  return status;
 }
 
 LockMode LockManager::HeldMode(TxnId txn, ResourceId resource) const {
@@ -552,7 +822,7 @@ Status LockManager::RestoreLongLocks(
     bool record_held = false;
     {
       MutexLock lk(shard.mu);
-      Entry& entry = shard.entries[rec.resource];
+      Entry& entry = EntryFor(shard, rec.resource);
       if (!CompatibleWithHolders(shard, entry, rec.txn, rec.mode)) {
         return Status::Internal("long-lock restore conflict on " +
                                 rec.resource.ToString());
@@ -581,12 +851,11 @@ Status LockManager::RestoreLongLocks(
 
 TxnId LockManager::WaitsForGraph::UpdateAndCheck(
     TxnId self, std::vector<TxnId> blockers,
-    std::shared_ptr<WaiterState> waiter, CondVar* cv) {
+    std::shared_ptr<WaiterState> waiter) {
   MutexLock lk(mu_);
   WaitRec& rec = waiting_[self];
   rec.blockers = std::move(blockers);
   rec.waiter = std::move(waiter);
-  rec.cv = cv;
 
   std::vector<TxnId> cycle;
   if (!FindCycle(self, &cycle)) return kInvalidTxn;
@@ -600,20 +869,18 @@ TxnId LockManager::WaitsForGraph::UpdateAndCheck(
     } else {
       it->second.waiter->killed.store(KillReason::kDeadlockVictim,
                                       std::memory_order_relaxed);
-      it->second.cv->NotifyAll();
+      it->second.waiter->cv.NotifyAll();
     }
   }
   return victim;
 }
 
 void LockManager::WaitsForGraph::Register(TxnId self,
-                                          std::shared_ptr<WaiterState> waiter,
-                                          CondVar* cv) {
+                                          std::shared_ptr<WaiterState> waiter) {
   MutexLock lk(mu_);
   WaitRec& rec = waiting_[self];
   rec.blockers.clear();
   rec.waiter = std::move(waiter);
-  rec.cv = cv;
 }
 
 void LockManager::WaitsForGraph::Kill(TxnId txn, KillReason reason) {
@@ -621,7 +888,7 @@ void LockManager::WaitsForGraph::Kill(TxnId txn, KillReason reason) {
   auto it = waiting_.find(txn);
   if (it == waiting_.end()) return;
   it->second.waiter->killed.store(reason, std::memory_order_relaxed);
-  it->second.cv->NotifyAll();
+  it->second.waiter->cv.NotifyAll();
 }
 
 void LockManager::WaitsForGraph::Remove(TxnId self) {

@@ -18,20 +18,30 @@
 ///  * short and *long* lock durations; long locks survive a simulated
 ///    system crash via `SnapshotLongLocks`/`RestoreLongLocks` (§3.1:
 ///    "long locks must survive system shutdowns and system crashes").
+///
+/// Hot-path machinery (the intention-lock tax of fine-granularity
+/// protocols — cf. Malta & Martinez — dominates §4.4.2 workloads):
+///  * an optional per-transaction `TxnLockCache` absorbs re-entrant
+///    acquisitions of covered modes without touching any shard mutex,
+///  * `AcquirePath` locks a root-to-leaf chain in one call, visiting each
+///    shard mutex once and updating the held-lock registry in one batch,
+///  * waiters carry their own condition variable, so a grant wakes exactly
+///    the transactions it unblocked instead of broadcasting to the shard.
 
 #ifndef CODLOCK_LOCK_LOCK_MANAGER_H_
 #define CODLOCK_LOCK_LOCK_MANAGER_H_
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "lock/mode.h"
 #include "lock/resource.h"
+#include "lock/txn_lock_cache.h"
 #include "util/metrics.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -93,6 +103,8 @@ struct LongLockRecord {
 class LockManager {
  public:
   struct Options {
+    /// Desired shard count; clamped to >= 1 and rounded up to the next
+    /// power of two so `ShardFor` can mask instead of divide.
     int num_shards = 16;
     /// Legacy switch: false maps to DeadlockPolicy::kTimeoutOnly.
     bool detect_deadlocks = true;
@@ -116,20 +128,56 @@ class LockManager {
   ///  * kConflict  — incompatible and `options.wait == false`,
   ///  * kDeadlock  — this request was chosen as deadlock victim,
   ///  * kTimeout   — deadline expired while waiting.
+  ///
+  /// \p cache, when given, must be the cache attached for \p txn (see
+  /// `AttachCache`) and the call must come from the transaction's own
+  /// thread.  Covered re-acquisitions are then answered from the cache
+  /// without touching the shard.
   Status Acquire(TxnId txn, ResourceId resource, LockMode mode,
-                 const AcquireOptions& options = AcquireOptions());
+                 const AcquireOptions& options = AcquireOptions(),
+                 TxnLockCache* cache = nullptr);
+
+  /// Acquires a root-to-leaf chain in one call (§4.4.2 rule 5): every
+  /// element of \p path except the last is locked in `IntentionFor(
+  /// leaf_mode)`, the last in \p leaf_mode.  Resources are grouped by
+  /// shard and each shard mutex is visited once; resources that cannot be
+  /// granted immediately fall back to ordered blocking acquisition
+  /// (root-to-leaf), preserving the protocol's waiting behavior.  On
+  /// failure, locks already granted remain held (strict 2PL — the caller
+  /// aborts, which releases everything).
+  Status AcquirePath(TxnId txn, std::span<const ResourceId> path,
+                     LockMode leaf_mode,
+                     const AcquireOptions& options = AcquireOptions(),
+                     TxnLockCache* cache = nullptr);
 
   /// Releases one acquisition of \p resource (locks are counted; the entry
   /// disappears when the count reaches zero).  The held *mode* is not
   /// recomputed on partial release; use `Downgrade` for de-escalation.
-  Status Release(TxnId txn, ResourceId resource);
+  /// With \p cache, a release pairing a cache-granted acquisition is
+  /// absorbed locally.
+  Status Release(TxnId txn, ResourceId resource, TxnLockCache* cache = nullptr);
 
   /// Releases every lock of \p txn (EOT).  Returns the number released.
+  /// Shards are visited once each; the transaction's attached cache (if
+  /// any) is invalidated first.
   size_t ReleaseAll(TxnId txn);
 
   /// Reduces the held mode of \p txn on \p resource to \p mode
   /// (de-escalation; mode must be weaker than or equal to the held mode).
-  Status Downgrade(TxnId txn, ResourceId resource, LockMode mode);
+  /// Waiters that the narrower mode no longer blocks are granted
+  /// immediately.
+  Status Downgrade(TxnId txn, ResourceId resource, LockMode mode,
+                   TxnLockCache* cache = nullptr);
+
+  /// Registers \p cache as the held-lock cache of \p txn so that
+  /// cross-thread events (wound, foreign release/downgrade, ReleaseAll)
+  /// invalidate it.  One cache per transaction; re-attaching replaces.
+  void AttachCache(TxnId txn, TxnLockCache* cache)
+      CODLOCK_EXCLUDES(caches_mu_);
+
+  /// Removes the registration; must be called before the cache is
+  /// destroyed.
+  void DetachCache(TxnId txn) CODLOCK_EXCLUDES(caches_mu_);
 
   /// Mode currently held by \p txn on \p resource (kNL if none).
   LockMode HeldMode(TxnId txn, ResourceId resource) const;
@@ -143,6 +191,9 @@ class LockManager {
 
   /// Number of resources with at least one holder or waiter.
   size_t NumEntries() const;
+
+  /// Number of shards after clamping/rounding (inspection).
+  size_t NumShards() const { return shards_.size(); }
 
   /// All long locks currently held (for the `LongLockStore`).
   std::vector<LongLockRecord> SnapshotLongLocks() const;
@@ -162,7 +213,10 @@ class LockManager {
 
   /// Shared between the requesting thread and granters/killers.  `granted`
   /// is written and read only under the owning shard's mutex; `killed` is
-  /// atomic because the waits-for graph flips it under its own lock.
+  /// atomic because the waits-for graph flips it under its own lock.  Each
+  /// waiter sleeps on its own condition variable (paired with the shard
+  /// mutex), so grants and kills wake exactly one transaction instead of
+  /// broadcasting to every waiter of the shard.
   struct WaiterState {
     TxnId txn = kInvalidTxn;
     LockMode wanted = LockMode::kNL;
@@ -170,6 +224,7 @@ class LockManager {
     bool granted = false;
     LockDuration duration = LockDuration::kShort;
     std::atomic<KillReason> killed{KillReason::kNone};
+    CondVar cv;
   };
 
   struct Holder {
@@ -179,17 +234,29 @@ class LockManager {
     LockDuration duration = LockDuration::kShort;
   };
 
+  /// Lock-table entry.  Both containers are vectors so that a freshly
+  /// created entry performs no allocation at all (a deque allocates its
+  /// chunk map eagerly, which dominated entry churn on the hot path);
+  /// waiter-queue edits are O(queue length), which stays tiny.
   struct Entry {
     std::vector<Holder> holders;
-    std::deque<std::shared_ptr<WaiterState>> waiters;
+    std::vector<std::shared_ptr<WaiterState>> waiters;
   };
+
+  using EntryMap = std::unordered_map<ResourceId, Entry, ResourceIdHash>;
 
   struct Shard {
     mutable Mutex mu;
-    CondVar cv;
-    std::unordered_map<ResourceId, Entry, ResourceIdHash> entries
-        CODLOCK_GUARDED_BY(mu);
+    EntryMap entries CODLOCK_GUARDED_BY(mu);
+    /// Pool of retired map nodes.  Creating and destroying an entry per
+    /// acquire/release cycle costs a map-node allocation plus the holder
+    /// vector's buffer; recycling extracted node handles (key rewritten in
+    /// place) makes the steady-state lock/unlock cycle allocation-free.
+    std::vector<EntryMap::node_type> free_nodes CODLOCK_GUARDED_BY(mu);
   };
+
+  /// Per-shard cap on pooled entry nodes (bounds idle memory).
+  static constexpr size_t kEntryPoolSize = 32;
 
   /// Waits-for graph over currently blocked transactions.
   class WaitsForGraph {
@@ -197,7 +264,6 @@ class LockManager {
     struct WaitRec {
       std::vector<TxnId> blockers;
       std::shared_ptr<WaiterState> waiter;
-      CondVar* cv = nullptr;
     };
 
     /// Registers/updates the blocked set of \p self and searches for a
@@ -206,11 +272,11 @@ class LockManager {
     /// waiter is killed and its cv notified; the victim id is returned
     /// either way (kInvalidTxn if no cycle).
     TxnId UpdateAndCheck(TxnId self, std::vector<TxnId> blockers,
-                         std::shared_ptr<WaiterState> waiter, CondVar* cv);
+                         std::shared_ptr<WaiterState> waiter);
 
     /// Registers \p self as waiting without cycle detection (prevention
     /// policies still need the registry so wounds can find the waiter).
-    void Register(TxnId self, std::shared_ptr<WaiterState> waiter, CondVar* cv);
+    void Register(TxnId self, std::shared_ptr<WaiterState> waiter);
 
     /// Kills the pending wait of \p txn (wound-wait preemption); no-op if
     /// it is not currently waiting.
@@ -226,16 +292,44 @@ class LockManager {
     std::unordered_map<TxnId, WaitRec> waiting_ CODLOCK_GUARDED_BY(mu_);
   };
 
-  Shard& ShardFor(ResourceId r) const {
-    return shards_[ResourceIdHash{}(r) % shards_.size()];
+  size_t ShardIndexFor(ResourceId r) const {
+    return ResourceIdHash{}(r) & shard_mask_;
   }
+
+  Shard& ShardFor(ResourceId r) const { return shards_[ShardIndexFor(r)]; }
+
+  /// Finds or creates the entry for \p res, reusing a pooled node when one
+  /// is available.
+  Entry& EntryFor(Shard& shard, const ResourceId& res)
+      CODLOCK_REQUIRES(shard.mu);
+
+  /// Drops an empty entry, returning its node to the shard pool (or freeing
+  /// it once the pool is full).
+  void RetireEntry(Shard& shard, EntryMap::iterator it)
+      CODLOCK_REQUIRES(shard.mu);
+
+  /// Attempts an immediate grant of \p mode (no waiting): re-entrant
+  /// covered acquisition, in-place conversion or fresh grant when the
+  /// queue is clear and all holders are compatible.  On success sets
+  /// \p granted to the mode now held and \p record_held when the caller
+  /// must register the new (txn, resource) pair.
+  bool TryGrantLocked(Shard& shard, Entry& entry, TxnId txn, LockMode mode,
+                      const AcquireOptions& options, LockMode& granted,
+                      bool& record_held) CODLOCK_REQUIRES(shard.mu);
 
   /// Body of `Acquire` once the shard is locked.  Sets \p record_held when
   /// the caller must register a new (txn, resource) pair in the registry
-  /// after dropping the shard mutex (lock order: shard before registry).
+  /// after dropping the shard mutex (lock order: shard before registry),
+  /// and \p granted to the mode held on success (for the caller's cache).
   Status AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
                        LockMode mode, const AcquireOptions& options,
-                       bool& record_held) CODLOCK_REQUIRES(shard.mu);
+                       bool& record_held, LockMode& granted)
+      CODLOCK_REQUIRES(shard.mu);
+
+  /// Slow path of `Acquire` (shard + registry + cache bookkeeping) after
+  /// the fast path missed.
+  Status AcquireSlow(TxnId txn, ResourceId resource, LockMode mode,
+                     const AcquireOptions& options, TxnLockCache* cache);
 
   /// Unwinds a failed wait: dequeues the waiter, deregisters it from the
   /// waits-for graph, promotes unblocked waiters and drops an empty entry.
@@ -255,17 +349,23 @@ class LockManager {
                                 const WaiterState* self) const
       CODLOCK_REQUIRES(shard.mu);
 
-  /// Promotes grantable waiters at the front of the queue. Called with the
-  /// shard mutex held whenever holders change. Returns true if any waiter
-  /// was granted (caller notifies the shard cv).
-  bool GrantWaiters(Shard& shard, Entry& entry) CODLOCK_REQUIRES(shard.mu);
+  /// Promotes grantable waiters at the front of the queue and wakes each
+  /// one on its own condition variable.  Called with the shard mutex held
+  /// whenever holders change.
+  void GrantWaiters(Shard& shard, Entry& entry) CODLOCK_REQUIRES(shard.mu);
 
   void EraseWaiter(Entry& entry, const WaiterState* w);
 
   void RecordHeld(TxnId txn, ResourceId resource)
       CODLOCK_EXCLUDES(registry_mu_);
+  /// Registers several new (txn, resource) pairs under one registry lock.
+  void RecordHeldBatch(TxnId txn, std::span<const ResourceId> resources)
+      CODLOCK_EXCLUDES(registry_mu_);
   void ForgetHeld(TxnId txn, ResourceId resource)
       CODLOCK_EXCLUDES(registry_mu_);
+
+  /// Bumps the invalidation epoch of the cache attached for \p txn, if any.
+  void InvalidateAttachedCache(TxnId txn) CODLOCK_EXCLUDES(caches_mu_);
 
   /// Marks \p txn wounded; its next acquire (and current waits) fail.
   void Wound(TxnId txn) CODLOCK_EXCLUDES(wounded_mu_);
@@ -275,15 +375,26 @@ class LockManager {
   Options options_;
   DeadlockPolicy policy_ = DeadlockPolicy::kDetect;
   mutable std::vector<Shard> shards_;
+  size_t shard_mask_ = 0;  ///< shards_.size() - 1 (power of two)
   WaitsForGraph wfg_;
   LockStats stats_;
 
   mutable Mutex wounded_mu_;
   std::unordered_set<TxnId> wounded_ CODLOCK_GUARDED_BY(wounded_mu_);
+  /// Mirror of wounded_.size(): lets the hot path skip wounded_mu_ when no
+  /// wound is outstanding (the overwhelmingly common case).
+  std::atomic<size_t> wounded_count_{0};
 
   mutable Mutex registry_mu_;
   std::unordered_map<TxnId, std::vector<ResourceId>> txn_locks_
       CODLOCK_GUARDED_BY(registry_mu_);
+
+  mutable Mutex caches_mu_;
+  std::unordered_map<TxnId, TxnLockCache*> caches_
+      CODLOCK_GUARDED_BY(caches_mu_);
+  /// Mirror of caches_.size(): lets release paths skip caches_mu_ entirely
+  /// when no cache is attached anywhere.
+  std::atomic<size_t> cache_count_{0};
 };
 
 }  // namespace codlock::lock

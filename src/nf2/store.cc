@@ -24,6 +24,7 @@ void InstanceStore::AssignIids(Value* v) {
 }
 
 Result<ObjectId> InstanceStore::Insert(RelationId rel, Value root) {
+  BumpMutationEpoch();
   if (rel >= catalog_->num_relations()) {
     return Status::NotFound("unknown relation id");
   }
@@ -106,6 +107,7 @@ Result<InstanceStore::IidInfo> InstanceStore::FindIid(Iid iid) const {
 }
 
 Status InstanceStore::Erase(RelationId rel, ObjectId id) {
+  BumpMutationEpoch();
   RelationStore& rs = StoreFor(rel);
   std::unique_lock lk(rs.mu);
   auto it = rs.objects.find(id);
@@ -143,6 +145,7 @@ Result<const Object*> InstanceStore::FindByKey(RelationId rel,
 }
 
 Result<Object*> InstanceStore::GetMutable(RelationId rel, ObjectId id) {
+  BumpMutationEpoch();
   RelationStore& rs = StoreFor(rel);
   std::shared_lock lk(rs.mu);
   auto it = rs.objects.find(id);
@@ -269,6 +272,7 @@ Result<const Object*> InstanceStore::Deref(const RefValue& ref) const {
 
 Result<Iid> InstanceStore::AddElement(RelationId rel, ObjectId id,
                                       const Path& coll_path, Value elem) {
+  BumpMutationEpoch();
   // Exclusive structure latch: relocating the element buffer must not
   // race with concurrent navigation (shared latch holders).
   RelationStore& rs = StoreFor(rel);
@@ -315,6 +319,7 @@ Result<Iid> InstanceStore::AddElement(RelationId rel, ObjectId id,
 Status InstanceStore::RemoveElement(RelationId rel, ObjectId id,
                                     const Path& coll_path,
                                     const std::string& elem_key) {
+  BumpMutationEpoch();
   RelationStore& rs = StoreFor(rel);
   std::unique_lock latch(rs.mu);
   Result<ResolvedPath> rp = NavigateLocked(rel, id, coll_path);

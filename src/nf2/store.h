@@ -171,7 +171,20 @@ class InstanceStore {
 
   const Catalog& catalog() const { return *catalog_; }
 
+  /// Monotone counter bumped by every operation that may change stored
+  /// values (Insert/Erase/GetMutable/AddElement/RemoveElement).  Consumers
+  /// deriving caches from stored data — e.g. the complex-object protocol's
+  /// downward-propagation memo — compare epochs to invalidate.  Bumps are
+  /// conservative: a mutator that ends up failing may still bump.
+  uint64_t mutation_epoch() const {
+    return mutation_epoch_.load(std::memory_order_acquire);
+  }
+
  private:
+  void BumpMutationEpoch() {
+    mutation_epoch_.fetch_add(1, std::memory_order_release);
+  }
+
   struct RelationStore {
     mutable std::shared_mutex mu;
     std::unordered_map<ObjectId, std::unique_ptr<Object>> objects;
@@ -188,6 +201,7 @@ class InstanceStore {
   void UnindexIids(const Value& v);
 
   const Catalog* catalog_;
+  std::atomic<uint64_t> mutation_epoch_{1};
   std::atomic<ObjectId> next_object_{1};
   std::atomic<Iid> next_iid_{1};
   mutable std::shared_mutex stores_mu_;

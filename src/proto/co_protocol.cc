@@ -1,5 +1,7 @@
 #include "proto/co_protocol.h"
 
+#include <algorithm>
+
 namespace codlock::proto {
 
 using lock::LockMode;
@@ -10,17 +12,19 @@ Status ComplexObjectProtocol::Lock(txn::Transaction& txn,
     return Status::InvalidArgument("cannot request mode NL");
   }
   const lock::AcquireOptions opts = AcquireOpts(txn);
-  const LockMode intention = lock::IntentionFor(mode);
 
   // Rule 5: request root-to-leaf.  Rules 1–4 parent conditions: every
   // immediate parent along the path gets (at least) the matching intention
   // mode.  The root of the outer unit (database node) needs no prior locks.
-  for (size_t i = 0; i + 1 < target.path.size(); ++i) {
-    lock::ResourceId res{target.path[i].first, target.path[i].second};
-    CODLOCK_RETURN_IF_ERROR(lm_->Acquire(txn.id(), res, intention, opts));
+  // AcquirePath batches the whole path — resources the transaction's lock
+  // cache already covers are skipped, the rest are grouped per lock shard.
+  std::vector<lock::ResourceId> path;
+  path.reserve(target.path.size());
+  for (const auto& [node, iid] : target.path) {
+    path.push_back(lock::ResourceId{node, iid});
   }
-  lock::ResourceId res{target.target_node(), target.target_iid()};
-  CODLOCK_RETURN_IF_ERROR(lm_->Acquire(txn.id(), res, mode, opts));
+  CODLOCK_RETURN_IF_ERROR(
+      lm_->AcquirePath(txn.id(), path, mode, opts, &txn.lock_cache()));
 
   // Rules 3/4/4′: implicit downward propagation for S and X.  Skipped when
   // the query's semantics guarantee the referenced common data is not
@@ -68,12 +72,16 @@ Status ComplexObjectProtocol::PropagateDownFromSingleton(
   switch (n.level) {
     case logra::NodeLevel::kRelation: {
       // S/X on a relation covers every object: their referenced inner
-      // units must become visible too.
+      // units must become visible too.  The caller's singleton lock keeps
+      // each object's ref adjacency stable, so the memo applies.
       for (nf2::ObjectId obj : store_->ObjectsOf(n.relation)) {
-        Result<const nf2::Object*> o = store_->Get(n.relation, obj);
-        if (!o.ok()) continue;  // concurrently erased
-        CODLOCK_RETURN_IF_ERROR(
-            PropagateDown(txn, (*o)->root, mode, visited));
+        Result<std::vector<nf2::RefValue>> refs =
+            ObjectRefs(n.relation, obj);
+        if (!refs.ok()) continue;  // concurrently erased
+        for (const nf2::RefValue& ref : *refs) {
+          CODLOCK_RETURN_IF_ERROR(
+              LockEntryPointInternal(txn, ref, mode, visited));
+        }
       }
       return Status::OK();
     }
@@ -120,33 +128,85 @@ Status ComplexObjectProtocol::LockEntryPointInternal(txn::Transaction& txn,
   }
 
   const lock::AcquireOptions opts = AcquireOpts(txn);
-  const LockMode intention = lock::IntentionFor(ep_mode);
 
   // Implicit upward propagation: the concurrency control manager locks all
   // immediate parents of the entry point up to the root of the superunit,
-  // root first.  (Never crosses a unit boundary upward.)
+  // root first (never crossing a unit boundary upward), then the entry
+  // point itself.  One batched AcquirePath covers the whole chain: the
+  // prefix gets IntentionFor(ep_mode), the entry point ep_mode, and each
+  // lock shard is visited at most once.
   logra::NodeId ep_node = graph_->ComplexObjectNode(ref.relation);
-  std::vector<logra::NodeId> chain = graph_->SuperunitChain(ep_node);
-  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
-    CODLOCK_RETURN_IF_ERROR(lm_->Acquire(
-        txn.id(), lock::ResourceId{*it, 0}, intention, opts));
-    lm_->stats().upward_propagations.Add();
-  }
-
+  const std::vector<logra::NodeId>& chain = ChainRootFirst(ep_node);
   Result<nf2::Iid> root_iid = store_->RootIid(ref.relation, ref.object);
   if (!root_iid.ok()) return root_iid.status();
-  CODLOCK_RETURN_IF_ERROR(lm_->Acquire(
-      txn.id(), lock::ResourceId{ep_node, *root_iid}, ep_mode, opts));
+
+  std::vector<lock::ResourceId> path;
+  path.reserve(chain.size() + 1);
+  for (logra::NodeId node : chain) {
+    path.push_back(lock::ResourceId{node, 0});
+  }
+  path.push_back(lock::ResourceId{ep_node, *root_iid});
+  CODLOCK_RETURN_IF_ERROR(
+      lm_->AcquirePath(txn.id(), path, ep_mode, opts, &txn.lock_cache()));
+  lm_->stats().upward_propagations.Add(chain.size());
   lm_->stats().downward_propagations.Add();
 
   // Common data may again contain common data: recurse.  The scan over the
-  // object's references happens while the data is read anyway (§4.4.2.1).
+  // object's references happens while the data is read anyway (§4.4.2.1);
+  // with the S/X on the entry point held, the object's ref adjacency is
+  // stable and comes from the propagation memo.
   if (ep_mode == LockMode::kS || ep_mode == LockMode::kX) {
-    Result<const nf2::Object*> obj = store_->Get(ref.relation, ref.object);
-    if (!obj.ok()) return obj.status();
-    return PropagateDown(txn, (*obj)->root, ep_mode, visited);
+    Result<std::vector<nf2::RefValue>> refs =
+        ObjectRefs(ref.relation, ref.object);
+    if (!refs.ok()) return refs.status();
+    for (const nf2::RefValue& r : *refs) {
+      CODLOCK_RETURN_IF_ERROR(
+          LockEntryPointInternal(txn, r, ep_mode, visited));
+    }
   }
   return Status::OK();
+}
+
+const std::vector<logra::NodeId>& ComplexObjectProtocol::ChainRootFirst(
+    logra::NodeId node) {
+  MutexLock lk(memo_mu_);
+  auto it = chain_memo_.find(node);
+  if (it == chain_memo_.end()) {
+    std::vector<logra::NodeId> chain = graph_->SuperunitChain(node);
+    std::reverse(chain.begin(), chain.end());
+    it = chain_memo_.emplace(node, std::move(chain)).first;
+  }
+  // References into the node-based map stay valid across later inserts,
+  // and entries are never erased or overwritten.
+  return it->second;
+}
+
+Result<std::vector<nf2::RefValue>> ComplexObjectProtocol::ObjectRefs(
+    nf2::RelationId rel, nf2::ObjectId obj) {
+  const uint64_t key = VisitKey(rel, obj);
+  const uint64_t before = store_->mutation_epoch();
+  {
+    MutexLock lk(memo_mu_);
+    if (memo_epoch_ == before) {
+      auto it = refs_memo_.find(key);
+      if (it != refs_memo_.end()) return it->second;
+    }
+  }
+  Result<const nf2::Object*> o = store_->Get(rel, obj);
+  if (!o.ok()) return o.status();
+  std::vector<nf2::RefValue> refs =
+      nf2::InstanceStore::CollectRefs((*o)->root);
+  const uint64_t after = store_->mutation_epoch();
+  MutexLock lk(memo_mu_);
+  if (memo_epoch_ != after) {
+    refs_memo_.clear();
+    memo_epoch_ = after;
+  }
+  // Cache only walks no mutator overlapped: the caller's covering S/X lock
+  // rules out writers of *this* object, but an unrelated mutation mid-walk
+  // would leave the fill attributable to neither epoch.
+  if (before == after) refs_memo_[key] = refs;
+  return refs;
 }
 
 Status ComplexObjectProtocol::LockNewValueRefs(txn::Transaction& txn,
@@ -189,11 +249,13 @@ Status ComplexObjectProtocol::Deescalate(txn::Transaction& txn,
       return Status::InvalidArgument("keep index " + std::to_string(idx) +
                                      " out of range");
     }
-    CODLOCK_RETURN_IF_ERROR(lm_->Acquire(
-        txn.id(), lock::ResourceId{elem_node, elems[idx].iid()}, held, opts));
+    CODLOCK_RETURN_IF_ERROR(
+        lm_->Acquire(txn.id(), lock::ResourceId{elem_node, elems[idx].iid()},
+                     held, opts, &txn.lock_cache()));
   }
-  CODLOCK_RETURN_IF_ERROR(
-      lm_->Downgrade(txn.id(), res, lock::IntentionFor(held)));
+  CODLOCK_RETURN_IF_ERROR(lm_->Downgrade(txn.id(), res,
+                                         lock::IntentionFor(held),
+                                         &txn.lock_cache()));
   lm_->stats().deescalations.Add();
   return Status::OK();
 }

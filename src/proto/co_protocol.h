@@ -33,10 +33,14 @@
 #ifndef CODLOCK_PROTO_CO_PROTOCOL_H_
 #define CODLOCK_PROTO_CO_PROTOCOL_H_
 
+#include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "authz/authz.h"
 #include "proto/protocol.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace codlock::proto {
 
@@ -92,11 +96,31 @@ class ComplexObjectProtocol : public LockProtocol {
   Status Deescalate(txn::Transaction& txn, const LockTarget& coarse,
                     const std::vector<size_t>& keep_indices);
 
+  /// Key of (relation, object) in visited sets and the propagation memo.
+  ///
+  /// A full-avalanche mix of both components: the earlier
+  /// `(rel << 48) ^ obj` aliased systematically whenever object ids used
+  /// bit 48 and above (e.g. (rel=1, obj=0) and (rel=0, obj=1<<48) mapped to
+  /// the same key, silently skipping a propagation step).  Packing 96 bits
+  /// into 64 cannot be injective, but the mix turns residual collisions
+  /// into data-independent birthday-bound events instead of structural
+  /// ones.  Public so tests can assert the old colliding pairs now differ.
+  static constexpr uint64_t VisitKey(nf2::RelationId rel, nf2::ObjectId obj) {
+    return Mix64(Mix64(static_cast<uint64_t>(rel) + 0x9E3779B97F4A7C15ULL) ^
+                 Mix64(obj + 0xBF58476D1CE4E5B9ULL));
+  }
+
  private:
   using Visited = std::unordered_set<uint64_t>;
 
-  static uint64_t VisitKey(nf2::RelationId rel, nf2::ObjectId obj) {
-    return (static_cast<uint64_t>(rel) << 48) ^ obj;
+  /// splitmix64 finalizer (bijective on uint64).
+  static constexpr uint64_t Mix64(uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return x;
   }
 
   lock::AcquireOptions AcquireOpts(const txn::Transaction& txn) const {
@@ -126,11 +150,38 @@ class ComplexObjectProtocol : public LockProtocol {
                                     logra::NodeId node, LockMode mode,
                                     Visited* visited);
 
+  /// The distinct refs contained in (rel, obj)'s value tree, memoized per
+  /// (relation, object) and revalidated against the store's mutation
+  /// epoch.  Precondition: the calling transaction holds an S/X lock
+  /// covering the object (the entry point itself, or a relation/segment/
+  /// database singleton above it), so no writer can be mutating the value
+  /// tree — which is what makes a fill safe to share across transactions.
+  Result<std::vector<nf2::RefValue>> ObjectRefs(nf2::RelationId rel,
+                                                nf2::ObjectId obj);
+
+  /// Superunit chain of \p node in root-first acquisition order, memoized
+  /// (the lock graph is immutable, so entries never invalidate).
+  const std::vector<logra::NodeId>& ChainRootFirst(logra::NodeId node);
+
   const logra::LockGraph* graph_;
   const nf2::InstanceStore* store_;
   lock::LockManager* lm_;
   const authz::AuthorizationManager* authz_;
   Options options_;
+
+  /// Guards the propagation memo below.  Leaf mutex: taken only from
+  /// protocol code with no lock-manager mutex held.
+  mutable Mutex memo_mu_;
+  /// store_->mutation_epoch() value the refs memo was filled under; a
+  /// mismatch at lookup means stored values may have changed and the whole
+  /// table is dropped.
+  uint64_t memo_epoch_ CODLOCK_GUARDED_BY(memo_mu_) = 0;
+  /// VisitKey(rel, obj) → distinct refs in the object's value tree.
+  std::unordered_map<uint64_t, std::vector<nf2::RefValue>> refs_memo_
+      CODLOCK_GUARDED_BY(memo_mu_);
+  /// Lock-graph node → superunit chain, root first (schema-static).
+  std::unordered_map<logra::NodeId, std::vector<logra::NodeId>> chain_memo_
+      CODLOCK_GUARDED_BY(memo_mu_);
 };
 
 }  // namespace codlock::proto

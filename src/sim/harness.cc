@@ -52,7 +52,8 @@ WorkloadReport RunWorkload(Engine& engine, const WorkloadConfig& config,
   std::atomic<uint64_t> queries{0}, reads{0}, writes{0};
 
   LockStats& stats = engine.lock_manager().stats();
-  const uint64_t req0 = stats.requests.value();
+  // Total lock requests include per-txn cache hits (see metrics.h).
+  const uint64_t req0 = stats.requests.value() + stats.cache_hits.value();
   const uint64_t waits0 = stats.waits.value();
   const uint64_t conf0 = stats.conflicts.value();
   const uint64_t compat0 = stats.compat_tests.value();
@@ -139,7 +140,8 @@ WorkloadReport RunWorkload(Engine& engine, const WorkloadConfig& config,
   report.queries_executed = queries.load();
   report.values_read = reads.load();
   report.values_written = writes.load();
-  report.lock_requests = stats.requests.value() - req0;
+  report.lock_requests =
+      stats.requests.value() + stats.cache_hits.value() - req0;
   report.lock_waits = stats.waits.value() - waits0;
   report.conflicts = stats.conflicts.value() - conf0;
   report.compat_tests = stats.compat_tests.value() - compat0;

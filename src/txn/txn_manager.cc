@@ -2,10 +2,16 @@
 
 namespace codlock::txn {
 
+TxnManager::~TxnManager() {
+  MutexLock lk(mu_);
+  for (const auto& [id, txn] : txns_) lock_manager_->DetachCache(id);
+}
+
 Transaction* TxnManager::Begin(authz::UserId user, TxnKind kind) {
   TxnId id = next_id_.fetch_add(1, std::memory_order_relaxed);
   auto txn = std::make_unique<Transaction>(id, user, kind);
   Transaction* raw = txn.get();
+  lock_manager_->AttachCache(id, &raw->lock_cache());
   MutexLock lk(mu_);
   txns_.emplace(id, std::move(txn));
   return raw;
@@ -14,6 +20,7 @@ Transaction* TxnManager::Begin(authz::UserId user, TxnKind kind) {
 Transaction* TxnManager::Adopt(TxnId id, authz::UserId user, TxnKind kind) {
   auto txn = std::make_unique<Transaction>(id, user, kind);
   Transaction* raw = txn.get();
+  lock_manager_->AttachCache(id, &raw->lock_cache());
   MutexLock lk(mu_);
   // Keep future ids younger than every adopted id.
   TxnId next = next_id_.load(std::memory_order_relaxed);
@@ -43,6 +50,9 @@ Status TxnManager::Finish(Transaction* txn, TxnState final_state) {
     }
   }
   lock_manager_->ReleaseAll(txn->id());
+  // EOT: no further acquisitions may use this transaction's cache, so the
+  // registration can go (ReleaseAll already invalidated the cache).
+  lock_manager_->DetachCache(txn->id());
   return undo_status;
 }
 
@@ -65,6 +75,7 @@ Result<Transaction*> TxnManager::Get(TxnId id) const {
 }
 
 void TxnManager::Forget(TxnId id) {
+  lock_manager_->DetachCache(id);
   MutexLock lk(mu_);
   txns_.erase(id);
 }

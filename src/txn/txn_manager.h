@@ -21,6 +21,7 @@
 
 #include "authz/authz.h"
 #include "lock/lock_manager.h"
+#include "lock/txn_lock_cache.h"
 #include "nf2/store.h"
 #include "txn/undo_log.h"
 #include "util/mutex.h"
@@ -61,6 +62,13 @@ class Transaction {
                                    : lock::LockDuration::kShort;
   }
 
+  /// The transaction's held-lock cache (acquisition fast path).  The
+  /// `TxnManager` attaches it to the lock manager at Begin/Adopt so that
+  /// wounds and foreign releases invalidate it; protocols pass it to
+  /// `LockManager::Acquire`/`AcquirePath`.  Owner-thread only (the thread
+  /// driving this transaction's calls).
+  lock::TxnLockCache& lock_cache() { return lock_cache_; }
+
  private:
   friend class TxnManager;
 
@@ -68,6 +76,7 @@ class Transaction {
   authz::UserId user_;
   TxnKind kind_;
   std::atomic<TxnState> state_{TxnState::kActive};
+  lock::TxnLockCache lock_cache_;
 };
 
 /// \brief Creates, commits and aborts transactions; enforces strict 2PL by
@@ -85,6 +94,10 @@ class TxnManager {
 
   TxnManager(const TxnManager&) = delete;
   TxnManager& operator=(const TxnManager&) = delete;
+
+  /// Detaches every live transaction's lock cache from the lock manager
+  /// (the caches die with the transactions owned here).
+  ~TxnManager();
 
   /// Starts a transaction for \p user.  Ids are monotonically increasing —
   /// a larger id is a younger transaction (deadlock victim order).

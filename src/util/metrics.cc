@@ -76,6 +76,7 @@ void LockStats::Reset() {
   requests.Reset();
   grants.Reset();
   immediate_grants.Reset();
+  cache_hits.Reset();
   waits.Reset();
   conflicts.Reset();
   compat_tests.Reset();
@@ -95,7 +96,8 @@ void LockStats::Reset() {
 std::string LockStats::ToString() const {
   std::ostringstream os;
   os << "requests=" << requests.value() << " grants=" << grants.value()
-     << " immediate=" << immediate_grants.value() << " waits=" << waits.value()
+     << " immediate=" << immediate_grants.value()
+     << " cache_hits=" << cache_hits.value() << " waits=" << waits.value()
      << " conflicts=" << conflicts.value()
      << " compat_tests=" << compat_tests.value()
      << " deadlocks=" << deadlocks.value() << " timeouts=" << timeouts.value()

@@ -63,9 +63,13 @@ class LatencyHistogram {
 /// One instance is shared by all components of a running configuration; the
 /// benchmark harness snapshots and diffs it.
 struct LockStats {
-  Counter requests;           ///< Lock requests received.
-  Counter grants;             ///< Requests granted (immediately or after wait).
-  Counter immediate_grants;   ///< Granted without blocking.
+  Counter requests;           ///< Slow-path lock requests received; total
+                              ///< requests = requests + cache_hits.
+  Counter grants;             ///< Slow-path grants (immediate or after wait);
+                              ///< total grants = grants + cache_hits.
+  Counter immediate_grants;   ///< Slow-path grants that never blocked.
+  Counter cache_hits;         ///< Grants answered by a per-txn lock cache
+                              ///< (no shard mutex touched).
   Counter waits;              ///< Requests that blocked at least once.
   Counter conflicts;          ///< Compatibility-test failures.
   Counter compat_tests;       ///< Compatibility tests executed.

@@ -11,6 +11,7 @@
 /// zero, and no request may be lost (grants + denials == attempts).
 
 #include "lock/lock_manager.h"
+#include "lock/txn_lock_cache.h"
 
 #include <gtest/gtest.h>
 
@@ -124,6 +125,93 @@ TEST(LockStressTest, WaitDie) {
 TEST(LockStressTest, TimeoutBackstop) {
   // No detection/prevention: deadlocks resolve only via short deadlines.
   StressPolicy(DeadlockPolicy::kTimeoutOnly, 150);
+}
+
+/// Hierarchy stress via the batched path API with per-transaction caches:
+/// every transaction locks a root-to-leaf path (shared hierarchy prefix,
+/// random leaf) through `AcquirePath`, re-acquires it (served by the
+/// cache), and sometimes converts the leaf.  Exercises the cache's
+/// cross-thread invalidation (wounds, ReleaseAll) under every policy.
+void StressPathsWithCache(DeadlockPolicy policy, uint64_t timeout_ms) {
+  LockManager::Options options;
+  options.deadlock_policy = policy;
+  options.num_shards = 4;
+  options.default_timeout_ms = timeout_ms;
+  LockManager lm(options);
+
+  constexpr int kThreads = 6;
+  constexpr int kTxnsPerThread = 30;
+  constexpr uint64_t kLeaves = 4;
+  std::atomic<TxnId> next_txn{1};
+  StressTally tally;
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      std::mt19937_64 rng(0xCAFE + static_cast<uint64_t>(w));
+      for (int t = 0; t < kTxnsPerThread; ++t) {
+        const TxnId txn = next_txn.fetch_add(1, std::memory_order_relaxed);
+        TxnLockCache cache;
+        lm.AttachCache(txn, &cache);
+        const std::vector<ResourceId> path = {
+            ResourceId{0, 0},                  // database
+            ResourceId{1, 0},                  // relation
+            ResourceId{2, rng() % kLeaves}};   // object (hot)
+        const LockMode leaf = (rng() % 3 == 0) ? LockMode::kX : LockMode::kS;
+        AcquireOptions opts;
+        opts.timeout_ms = timeout_ms;
+        bool aborted = false;
+        Status st = lm.AcquirePath(txn, path, leaf, opts, &cache);
+        if (st.ok()) {
+          // Covered re-acquisition: answered by the cache unless a
+          // concurrent wound invalidated it (then the slow path decides).
+          st = lm.AcquirePath(txn, path, leaf, opts, &cache);
+        }
+        if (st.ok() && leaf == LockMode::kS && rng() % 2 == 0) {
+          st = lm.Acquire(txn, path.back(), LockMode::kX, opts, &cache);
+        }
+        if (!st.ok()) {
+          ASSERT_TRUE(st.code() == StatusCode::kDeadlock ||
+                      st.code() == StatusCode::kTimeout ||
+                      st.code() == StatusCode::kAborted)
+              << "unexpected failure: " << st;
+          aborted = true;
+        }
+        if (aborted) {
+          tally.denied.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          tally.committed.fetch_add(1, std::memory_order_relaxed);
+        }
+        lm.ReleaseAll(txn);
+        lm.DetachCache(txn);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  EXPECT_EQ(lm.NumEntries(), 0u) << DeadlockPolicyName(policy);
+  EXPECT_EQ(lm.stats().held_locks.load(std::memory_order_relaxed), 0)
+      << DeadlockPolicyName(policy);
+  const uint64_t total = tally.committed.load() + tally.denied.load();
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads) * kTxnsPerThread);
+  EXPECT_GT(tally.committed.load(), 0u) << DeadlockPolicyName(policy);
+}
+
+TEST(LockStressTest, PathsWithCacheDeadlockDetection) {
+  StressPathsWithCache(DeadlockPolicy::kDetect, 5'000);
+}
+
+TEST(LockStressTest, PathsWithCacheWoundWait) {
+  StressPathsWithCache(DeadlockPolicy::kWoundWait, 5'000);
+}
+
+TEST(LockStressTest, PathsWithCacheWaitDie) {
+  StressPathsWithCache(DeadlockPolicy::kWaitDie, 5'000);
+}
+
+TEST(LockStressTest, PathsWithCacheTimeoutBackstop) {
+  StressPathsWithCache(DeadlockPolicy::kTimeoutOnly, 150);
 }
 
 /// Conversion storm: every thread takes S on the same resource and then

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "proto/co_protocol.h"
 #include "sim/fixtures.h"
 
@@ -242,6 +244,31 @@ TEST_F(CoProtocolTest, RejectsNLRequests) {
   txn::Transaction* t = tm_.Begin(1);
   LockTarget r1 = Target({nf2::PathStep::Elem("robots", "r1")});
   EXPECT_TRUE(proto_.Lock(*t, r1, LockMode::kNL).IsInvalidArgument());
+}
+
+TEST(VisitKeyTest, FormerlyAliasingPairsAreDistinct) {
+  // Regression: the visited-set key used to be `(rel << 48) ^ obj`, which
+  // aliases whenever an object id has bits at or above position 48 —
+  // (rel=1, obj=0) collided with (rel=0, obj=1<<48) and downward
+  // propagation would silently skip the second object.  The mixed key must
+  // keep them apart.
+  using P = ComplexObjectProtocol;
+  EXPECT_NE(P::VisitKey(1, 0), P::VisitKey(0, uint64_t{1} << 48));
+  EXPECT_NE(P::VisitKey(3, 7), P::VisitKey(0, (uint64_t{3} << 48) | 7));
+  EXPECT_NE(P::VisitKey(2, uint64_t{5} << 48),
+            P::VisitKey(7, uint64_t{0} << 48));
+}
+
+TEST(VisitKeyTest, NoCollisionsOverDenseIdGrid) {
+  // The (rel, obj) pairs real schemas produce are small and dense; the
+  // mixed key must be collision-free over such a grid.
+  std::set<uint64_t> seen;
+  for (uint32_t rel = 0; rel < 64; ++rel) {
+    for (uint64_t obj = 0; obj < 512; ++obj) {
+      seen.insert(ComplexObjectProtocol::VisitKey(rel, obj));
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u * 512u);
 }
 
 }  // namespace

@@ -1,0 +1,315 @@
+/// Coherence tests for the per-transaction held-lock cache and the batched
+/// path acquisition fast path (`LockManager::AcquirePath`).
+///
+/// The cache's safety argument (see txn_lock_cache.h) rests on a short list
+/// of rules; each test below pins one of them:
+///   - a hit never touches a shard, and only answers covered requests;
+///   - Release / Downgrade / ReleaseAll / a wound all drop the cached mode
+///     before it could answer stale;
+///   - fast-path grants and releases balance against shard-side hold
+///     counts (rule 4).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "lock/lock_manager.h"
+#include "lock/txn_lock_cache.h"
+
+namespace codlock::lock {
+namespace {
+
+constexpr ResourceId kR1{1, 100};
+constexpr ResourceId kR2{2, 200};
+
+TEST(TxnLockCacheTest, CoveredReacquisitionHitsWithoutShardTraffic) {
+  LockManager lm;
+  TxnLockCache cache;
+  lm.AttachCache(1, &cache);
+
+  ASSERT_TRUE(lm.Acquire(1, kR1, LockMode::kS, {}, &cache).ok());
+  const uint64_t slow_before = lm.stats().requests.value();
+
+  // Equal and weaker re-acquisitions are served by the cache.
+  ASSERT_TRUE(lm.Acquire(1, kR1, LockMode::kS, {}, &cache).ok());
+  ASSERT_TRUE(lm.Acquire(1, kR1, LockMode::kIS, {}, &cache).ok());
+  EXPECT_EQ(lm.stats().requests.value(), slow_before);
+  EXPECT_EQ(lm.stats().cache_hits.value(), 2u);
+
+  // Rule 4: fast grants are consumed by releases before the shard-side
+  // hold count is touched, so the books balance exactly.
+  ASSERT_TRUE(lm.Release(1, kR1, &cache).ok());
+  ASSERT_TRUE(lm.Release(1, kR1, &cache).ok());
+  ASSERT_TRUE(lm.Release(1, kR1, &cache).ok());
+  EXPECT_EQ(lm.HeldMode(1, kR1), LockMode::kNL);
+  EXPECT_EQ(lm.NumEntries(), 0u);
+  lm.DetachCache(1);
+}
+
+TEST(TxnLockCacheTest, StrongerRequestNeverAnsweredFromCache) {
+  LockManager lm;
+  TxnLockCache cache;
+  lm.AttachCache(1, &cache);
+
+  ASSERT_TRUE(lm.Acquire(1, kR1, LockMode::kS, {}, &cache).ok());
+  const uint64_t slow_before = lm.stats().requests.value();
+
+  // S does not cover X: the request must reach the shard and convert.
+  ASSERT_TRUE(lm.Acquire(1, kR1, LockMode::kX, {}, &cache).ok());
+  EXPECT_GT(lm.stats().requests.value(), slow_before);
+  EXPECT_EQ(lm.HeldMode(1, kR1), LockMode::kX);
+
+  // The slow path refreshed the entry: X now hits.
+  const uint64_t hits_before = lm.stats().cache_hits.value();
+  ASSERT_TRUE(lm.Acquire(1, kR1, LockMode::kX, {}, &cache).ok());
+  EXPECT_EQ(lm.stats().cache_hits.value(), hits_before + 1);
+  lm.ReleaseAll(1);
+  lm.DetachCache(1);
+}
+
+TEST(TxnLockCacheTest, ReleaseDropsCachedMode) {
+  LockManager lm;
+  TxnLockCache cache;
+  lm.AttachCache(1, &cache);
+
+  ASSERT_TRUE(lm.Acquire(1, kR1, LockMode::kS, {}, &cache).ok());
+  ASSERT_TRUE(lm.Release(1, kR1, &cache).ok());
+  EXPECT_EQ(cache.CachedMode(kR1), LockMode::kNL);
+
+  // A stale entry would answer this hit while the shard holds nothing.
+  const uint64_t slow_before = lm.stats().requests.value();
+  ASSERT_TRUE(lm.Acquire(1, kR1, LockMode::kS, {}, &cache).ok());
+  EXPECT_GT(lm.stats().requests.value(), slow_before);
+  EXPECT_EQ(lm.HeldMode(1, kR1), LockMode::kS);
+  lm.ReleaseAll(1);
+  lm.DetachCache(1);
+}
+
+TEST(TxnLockCacheTest, DowngradeDropsCachedMode) {
+  LockManager lm;
+  TxnLockCache cache;
+  lm.AttachCache(1, &cache);
+
+  ASSERT_TRUE(lm.Acquire(1, kR1, LockMode::kX, {}, &cache).ok());
+  ASSERT_TRUE(lm.Downgrade(1, kR1, LockMode::kS, &cache).ok());
+  EXPECT_EQ(cache.CachedMode(kR1), LockMode::kNL);
+
+  // If the stale X survived, this IX would hit the cache and never raise
+  // the held mode; the slow path computes sup(S, IX) = SIX.
+  ASSERT_TRUE(lm.Acquire(1, kR1, LockMode::kIX, {}, &cache).ok());
+  EXPECT_EQ(lm.HeldMode(1, kR1), LockMode::kSIX);
+  lm.ReleaseAll(1);
+  lm.DetachCache(1);
+}
+
+TEST(TxnLockCacheTest, ReleaseAllInvalidatesCache) {
+  LockManager lm;
+  TxnLockCache cache;
+  lm.AttachCache(1, &cache);
+
+  ASSERT_TRUE(lm.Acquire(1, kR1, LockMode::kS, {}, &cache).ok());
+  ASSERT_TRUE(lm.Acquire(1, kR2, LockMode::kIX, {}, &cache).ok());
+  EXPECT_EQ(lm.ReleaseAll(1), 2u);
+  EXPECT_EQ(cache.CachedMode(kR1), LockMode::kNL);
+  EXPECT_EQ(cache.CachedMode(kR2), LockMode::kNL);
+
+  const uint64_t slow_before = lm.stats().requests.value();
+  ASSERT_TRUE(lm.Acquire(1, kR1, LockMode::kS, {}, &cache).ok());
+  EXPECT_GT(lm.stats().requests.value(), slow_before);
+  lm.ReleaseAll(1);
+  lm.DetachCache(1);
+}
+
+TEST(TxnLockCacheTest, ForeignReleasePathInvalidatesAttachedCache) {
+  LockManager lm;
+  TxnLockCache cache;
+  lm.AttachCache(1, &cache);
+
+  ASSERT_TRUE(lm.Acquire(1, kR1, LockMode::kS, {}, &cache).ok());
+  // A release routed without the cache pointer (e.g. from recovery or an
+  // administrative path) must still invalidate through the registry.
+  ASSERT_TRUE(lm.Release(1, kR1).ok());
+  EXPECT_EQ(cache.CachedMode(kR1), LockMode::kNL);
+  lm.DetachCache(1);
+}
+
+TEST(TxnLockCacheTest, WoundInvalidatesCacheAndFailsNextAcquire) {
+  LockManager::Options o;
+  o.deadlock_policy = DeadlockPolicy::kWoundWait;
+  LockManager lm(o);
+  TxnLockCache cache;
+  lm.AttachCache(5, &cache);
+
+  // Younger txn 5 holds S with a warm cache entry.
+  ASSERT_TRUE(lm.Acquire(5, kR1, LockMode::kS, {}, &cache).ok());
+  ASSERT_TRUE(lm.Acquire(5, kR1, LockMode::kS, {}, &cache).ok());  // hit
+
+  // Older txn 2 requests X: wounds 5 and blocks until it releases.
+  Status st2;
+  std::thread older([&] { st2 = lm.Acquire(2, kR1, LockMode::kX); });
+  // Wait until the wound lands (the older txn enqueues first).
+  for (int i = 0; i < 200; ++i) {
+    if (lm.stats().waits.value() > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  // The covered re-acquisition must NOT be answered from the cache: the
+  // wound invalidated it and the slow path reports the abort.
+  Status st5 = lm.Acquire(5, kR1, LockMode::kS, {}, &cache);
+  EXPECT_TRUE(st5.IsAborted()) << st5;
+
+  lm.ReleaseAll(5);
+  older.join();
+  EXPECT_TRUE(st2.ok()) << st2;
+  lm.ReleaseAll(2);
+  lm.DetachCache(5);
+}
+
+TEST(TxnLockCacheTest, LongRequestNeverPiggybacksOnShortHolder) {
+  LockManager lm;
+  TxnLockCache cache;
+  lm.AttachCache(1, &cache);
+
+  ASSERT_TRUE(lm.Acquire(1, kR1, LockMode::kS, {}, &cache).ok());
+
+  AcquireOptions long_opts;
+  long_opts.duration = LockDuration::kLong;
+  const uint64_t slow_before = lm.stats().requests.value();
+  ASSERT_TRUE(lm.Acquire(1, kR1, LockMode::kS, long_opts, &cache).ok());
+  // The request reached the shard (the holder's duration must be
+  // upgraded for crash survival; the cache may not absorb it).
+  EXPECT_GT(lm.stats().requests.value(), slow_before);
+  std::vector<LongLockRecord> longs = lm.SnapshotLongLocks();
+  ASSERT_EQ(longs.size(), 1u);
+  EXPECT_EQ(longs[0].txn, 1u);
+
+  // Once the holder is long, further long requests may hit.
+  const uint64_t hits_before = lm.stats().cache_hits.value();
+  ASSERT_TRUE(lm.Acquire(1, kR1, LockMode::kS, long_opts, &cache).ok());
+  EXPECT_EQ(lm.stats().cache_hits.value(), hits_before + 1);
+  lm.ReleaseAll(1);
+  lm.DetachCache(1);
+}
+
+TEST(AcquirePathTest, LocksEveryLevelAndWarmsCache) {
+  LockManager lm;
+  TxnLockCache cache;
+  lm.AttachCache(1, &cache);
+
+  const std::vector<ResourceId> path = {{0, 1}, {1, 10}, {2, 100}};
+  ASSERT_TRUE(lm.AcquirePath(1, path, LockMode::kX, {}, &cache).ok());
+  EXPECT_EQ(lm.HeldMode(1, path[0]), LockMode::kIX);
+  EXPECT_EQ(lm.HeldMode(1, path[1]), LockMode::kIX);
+  EXPECT_EQ(lm.HeldMode(1, path[2]), LockMode::kX);
+
+  // The whole second pass is answered from the cache.
+  const uint64_t slow_before = lm.stats().requests.value();
+  const uint64_t hits_before = lm.stats().cache_hits.value();
+  ASSERT_TRUE(lm.AcquirePath(1, path, LockMode::kX, {}, &cache).ok());
+  EXPECT_EQ(lm.stats().requests.value(), slow_before);
+  EXPECT_EQ(lm.stats().cache_hits.value(), hits_before + 3);
+
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.NumEntries(), 0u);
+  lm.DetachCache(1);
+}
+
+TEST(AcquirePathTest, SharedLeafUsesIntentionSharedPrefix) {
+  LockManager lm;
+  const std::vector<ResourceId> path = {{0, 1}, {1, 10}, {2, 100}};
+  ASSERT_TRUE(lm.AcquirePath(1, path, LockMode::kS).ok());
+  EXPECT_EQ(lm.HeldMode(1, path[0]), LockMode::kIS);
+  EXPECT_EQ(lm.HeldMode(1, path[1]), LockMode::kIS);
+  EXPECT_EQ(lm.HeldMode(1, path[2]), LockMode::kS);
+  lm.ReleaseAll(1);
+}
+
+TEST(AcquirePathTest, ConflictingLeafBlocksUntilHolderReleases) {
+  LockManager lm;
+  const std::vector<ResourceId> path = {{0, 1}, {1, 10}, {2, 100}};
+  ASSERT_TRUE(lm.Acquire(2, path[2], LockMode::kX).ok());
+
+  std::atomic<bool> granted{false};
+  std::thread blocked([&] {
+    ASSERT_TRUE(lm.AcquirePath(1, path, LockMode::kS).ok());
+    granted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(granted);
+  lm.ReleaseAll(2);
+  blocked.join();
+  EXPECT_TRUE(granted);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.NumEntries(), 0u);
+}
+
+TEST(AcquirePathTest, RejectsInvalidInput) {
+  LockManager lm;
+  const std::vector<ResourceId> path = {{0, 1}};
+  EXPECT_TRUE(
+      lm.AcquirePath(kInvalidTxn, path, LockMode::kS).IsInvalidArgument());
+  EXPECT_TRUE(lm.AcquirePath(1, {}, LockMode::kS).IsInvalidArgument());
+  EXPECT_TRUE(lm.AcquirePath(1, path, LockMode::kNL).IsInvalidArgument());
+}
+
+TEST(AcquirePathTest, LongPathsFallBackToPerResourceAcquisition) {
+  LockManager lm;
+  std::vector<ResourceId> path;
+  for (uint64_t i = 0; i < 80; ++i) path.push_back(ResourceId{3, i});
+  ASSERT_TRUE(lm.AcquirePath(1, path, LockMode::kX).ok());
+  EXPECT_EQ(lm.HeldMode(1, path[0]), LockMode::kIX);
+  EXPECT_EQ(lm.HeldMode(1, path[79]), LockMode::kX);
+  EXPECT_EQ(lm.ReleaseAll(1), 80u);
+}
+
+TEST(LockManagerShardingTest, ShardCountClampedToPowerOfTwo) {
+  auto shards_with = [](int n) {
+    LockManager::Options o;
+    o.num_shards = n;
+    return LockManager(o).NumShards();
+  };
+  EXPECT_EQ(shards_with(0), 1u);
+  EXPECT_EQ(shards_with(-5), 1u);
+  EXPECT_EQ(shards_with(1), 1u);
+  EXPECT_EQ(shards_with(3), 4u);
+  EXPECT_EQ(shards_with(16), 16u);
+  EXPECT_EQ(shards_with(17), 32u);
+}
+
+TEST(LockManagerWakeupTest, DowngradePromotesEveryCompatibleQueuedWaiter) {
+  // Per-waiter wakeups must promote *all* waiters the narrower mode no
+  // longer blocks, not just one (a broadcast CV hid missed-wakeup bugs).
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, kR1, LockMode::kX).ok());
+
+  std::atomic<int> granted{0};
+  std::thread r1([&] {
+    ASSERT_TRUE(lm.Acquire(2, kR1, LockMode::kS).ok());
+    granted.fetch_add(1);
+  });
+  std::thread r2([&] {
+    ASSERT_TRUE(lm.Acquire(3, kR1, LockMode::kIS).ok());
+    granted.fetch_add(1);
+  });
+  // Wait until both requests are queued.
+  for (int i = 0; i < 500 && lm.stats().waits.value() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(granted.load(), 0);
+
+  ASSERT_TRUE(lm.Downgrade(1, kR1, LockMode::kS).ok());
+  r1.join();
+  r2.join();
+  EXPECT_EQ(granted.load(), 2);
+  EXPECT_EQ(lm.GroupMode(kR1), LockMode::kS);
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+  lm.ReleaseAll(3);
+}
+
+}  // namespace
+}  // namespace codlock::lock
