@@ -4,6 +4,8 @@
 #include <bit>
 #include <chrono>
 
+#include "util/mutation_points.h"
+
 namespace codlock::lock {
 
 namespace {
@@ -85,6 +87,10 @@ void LockManager::DetachCache(TxnId txn) {
 }
 
 void LockManager::InvalidateAttachedCache(TxnId txn) {
+  // Mutation point (kill-suite only): drop the epoch bump.  Stale cached
+  // modes then outlive the shard-side hold (e.g. after ReleaseAll at EOT)
+  // and the cache-coherence oracle must see the divergence.
+  if (mutation::Enabled(mutation::Mutant::kDropCacheInvalidation)) return;
   // With no cache attached anywhere there is nothing to invalidate; skip
   // the registry mutex (standalone LockManager users never pay for it).
   if (cache_count_.load(std::memory_order_acquire) == 0) return;
@@ -167,8 +173,13 @@ void LockManager::GrantWaiters(Shard& shard, Entry& entry) {
       NoteHolderAdded(stats_);
     }
     w->granted = true;
-    // Per-waiter wakeup: only the transaction this grant unblocked runs.
-    w->cv.NotifyOne();
+    // Mutation point (kill-suite only): lose the wakeup — the waiter is
+    // promoted to holder but never notified.  The schedule wedges and the
+    // termination oracle must flag the stuck state.
+    if (!mutation::Enabled(mutation::Mutant::kSkipWaiterWakeup)) {
+      // Per-waiter wakeup: only the transaction this grant unblocked runs.
+      w->cv.NotifyOne();
+    }
     it = entry.waiters.erase(it);
   }
 }

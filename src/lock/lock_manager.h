@@ -135,7 +135,8 @@ class LockManager {
   /// without touching the shard.
   Status Acquire(TxnId txn, ResourceId resource, LockMode mode,
                  const AcquireOptions& options = AcquireOptions(),
-                 TxnLockCache* cache = nullptr);
+                 TxnLockCache* cache = nullptr)
+      CODLOCK_EXCLUDES(registry_mu_, caches_mu_, wounded_mu_);
 
   /// Acquires a root-to-leaf chain in one call (§4.4.2 rule 5): every
   /// element of \p path except the last is locked in `IntentionFor(
@@ -148,26 +149,30 @@ class LockManager {
   Status AcquirePath(TxnId txn, std::span<const ResourceId> path,
                      LockMode leaf_mode,
                      const AcquireOptions& options = AcquireOptions(),
-                     TxnLockCache* cache = nullptr);
+                     TxnLockCache* cache = nullptr)
+      CODLOCK_EXCLUDES(registry_mu_, caches_mu_, wounded_mu_);
 
   /// Releases one acquisition of \p resource (locks are counted; the entry
   /// disappears when the count reaches zero).  The held *mode* is not
   /// recomputed on partial release; use `Downgrade` for de-escalation.
   /// With \p cache, a release pairing a cache-granted acquisition is
   /// absorbed locally.
-  Status Release(TxnId txn, ResourceId resource, TxnLockCache* cache = nullptr);
+  Status Release(TxnId txn, ResourceId resource, TxnLockCache* cache = nullptr)
+      CODLOCK_EXCLUDES(registry_mu_, caches_mu_);
 
   /// Releases every lock of \p txn (EOT).  Returns the number released.
   /// Shards are visited once each; the transaction's attached cache (if
   /// any) is invalidated first.
-  size_t ReleaseAll(TxnId txn);
+  size_t ReleaseAll(TxnId txn)
+      CODLOCK_EXCLUDES(registry_mu_, caches_mu_, wounded_mu_);
 
   /// Reduces the held mode of \p txn on \p resource to \p mode
   /// (de-escalation; mode must be weaker than or equal to the held mode).
   /// Waiters that the narrower mode no longer blocks are granted
   /// immediately.
   Status Downgrade(TxnId txn, ResourceId resource, LockMode mode,
-                   TxnLockCache* cache = nullptr);
+                   TxnLockCache* cache = nullptr)
+      CODLOCK_EXCLUDES(registry_mu_, caches_mu_);
 
   /// Registers \p cache as the held-lock cache of \p txn so that
   /// cross-thread events (wound, foreign release/downgrade, ReleaseAll)
@@ -329,7 +334,8 @@ class LockManager {
   /// Slow path of `Acquire` (shard + registry + cache bookkeeping) after
   /// the fast path missed.
   Status AcquireSlow(TxnId txn, ResourceId resource, LockMode mode,
-                     const AcquireOptions& options, TxnLockCache* cache);
+                     const AcquireOptions& options, TxnLockCache* cache)
+      CODLOCK_EXCLUDES(registry_mu_);
 
   /// Unwinds a failed wait: dequeues the waiter, deregisters it from the
   /// waits-for graph, promotes unblocked waiters and drops an empty entry.

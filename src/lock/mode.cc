@@ -1,5 +1,7 @@
 #include "lock/mode.h"
 
+#include "util/mutation_points.h"
+
 namespace codlock::lock {
 
 namespace {
@@ -54,7 +56,19 @@ std::string_view LockModeName(LockMode m) {
   return "?";
 }
 
-bool Compatible(LockMode a, LockMode b) { return kCompat[Idx(a)][Idx(b)]; }
+bool Compatible(LockMode a, LockMode b) {
+  if (kCompat[Idx(a)][Idx(b)]) return true;
+  // Mutation point (kill-suite only): one flipped matrix cell — S and X
+  // pass the compatibility test.  The oracles audit grants against an
+  // independent copy of the §3 matrix, so this must surface as two
+  // conflicting holders on one resource.
+  if (mutation::Enabled(mutation::Mutant::kCompatSX) &&
+      ((a == LockMode::kS && b == LockMode::kX) ||
+       (a == LockMode::kX && b == LockMode::kS))) {
+    return true;
+  }
+  return false;
+}
 
 LockMode Supremum(LockMode a, LockMode b) { return kSup[Idx(a)][Idx(b)]; }
 

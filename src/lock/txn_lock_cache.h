@@ -23,6 +23,14 @@
 /// lookup and discards the whole map, falling back to the authoritative
 /// slow path.
 ///
+/// Clang Thread Safety Analysis cannot express "single owner thread"
+/// directly, so the contract is encoded as an annotation-only capability:
+/// `slots_`/`seen_epoch_` are `GUARDED_BY(owner_)` and every owner-thread
+/// method asserts the capability (zero-cost — the assert function is an
+/// empty inline).  Any future accessor of the map that forgets to declare
+/// itself an owner-thread method is flagged under `-Wthread-safety`;
+/// `Invalidate` needs no assertion because it only touches the atomic.
+///
 /// ## Coherence rules (kept provably simple)
 ///
 ///  1. An entry is written only after the slow path *granted* that mode —
@@ -48,8 +56,14 @@
 
 #include "lock/mode.h"
 #include "lock/resource.h"
+#include "util/thread_annotations.h"
 
 namespace codlock::lock {
+
+/// \brief Annotation-only capability standing in for "the owning thread is
+/// the caller".  Never actually locked; owner-thread methods assert it so
+/// the analysis can police access to owner-only state.
+class CODLOCK_CAPABILITY("owner-thread") OwnerThreadCap {};
 
 /// \brief Per-transaction held-lock cache.  See file comment for the
 /// threading contract.
@@ -79,6 +93,7 @@ class TxnLockCache {
   /// Mode this transaction is known to hold on \p r (kNL on miss or after
   /// an invalidation).  Owner thread only.
   LockMode CachedMode(const ResourceId& r) {
+    AssertOwner();
     if (!Fresh()) return LockMode::kNL;
     const Slot* s = Find(r);
     return s == nullptr ? LockMode::kNL : s->mode;
@@ -90,6 +105,7 @@ class TxnLockCache {
   /// upgrade the holder's duration for crash survival).  On success the
   /// grant is counted locally.  Owner thread only.
   bool TryHit(const ResourceId& r, LockMode mode, bool want_long) {
+    AssertOwner();
     if (!Fresh()) return false;
     Slot* s = Find(r);
     if (s == nullptr || !Covers(s->mode, mode)) return false;
@@ -100,6 +116,7 @@ class TxnLockCache {
 
   /// Records a slow-path grant of \p mode on \p r.  Owner thread only.
   void Note(const ResourceId& r, LockMode mode, bool is_long) {
+    AssertOwner();
     Fresh();  // start a fresh array if an invalidation raced the grant
     Slot* s = Find(r);
     if (s == nullptr) {
@@ -114,6 +131,7 @@ class TxnLockCache {
   /// Consumes one fast-path grant of \p r if any is pending; the caller
   /// skips the shard entirely when this returns true.  Owner thread only.
   bool ConsumeRelease(const ResourceId& r) {
+    AssertOwner();
     if (!Fresh()) return false;
     Slot* s = Find(r);
     if (s == nullptr || s->pending == 0) return false;
@@ -123,6 +141,7 @@ class TxnLockCache {
 
   /// Drops the entry for \p r (owner-thread release/downgrade).
   void Erase(const ResourceId& r) {
+    AssertOwner();
     if (!Fresh()) return;
     Slot* s = Find(r);
     if (s == nullptr) return;
@@ -132,6 +151,7 @@ class TxnLockCache {
 
   /// Drops everything (EOT).  Owner thread only.
   void Clear() {
+    AssertOwner();
     slots_.clear();
     seen_epoch_ = epoch_.load(std::memory_order_acquire);
   }
@@ -142,14 +162,33 @@ class TxnLockCache {
 
   /// Number of live cached entries (test/inspection; owner thread only).
   size_t size() {
+    AssertOwner();
     if (!Fresh()) return 0;
     return slots_.size();
   }
 
+  /// The slots a fast-path lookup would currently trust: empty if a
+  /// pending invalidation would discard the array first, the live array
+  /// otherwise.  This is the cache-coherence oracle's view — every
+  /// returned slot must be covered by the shard table's ground truth.
+  ///
+  /// Caller contract: the owning transaction's thread must be quiescent
+  /// (the model checker audits only when every scheduled thread is parked
+  /// or at an operation boundary), making this effectively an owner-thread
+  /// read even when issued from the controller.
+  std::vector<Slot> AuditSnapshot() const CODLOCK_NO_THREAD_SAFETY_ANALYSIS {
+    if (epoch_.load(std::memory_order_acquire) != seen_epoch_) return {};
+    return slots_;
+  }
+
  private:
+  /// Zero-cost capability assertion: calling any owner-thread method *is*
+  /// the claim of being the owner; the analysis takes it from here.
+  void AssertOwner() CODLOCK_ASSERT_CAPABILITY(owner_) {}
+
   /// Discards the array if an invalidation happened since the last access.
   /// Returns true when the contents are trustworthy.
-  bool Fresh() {
+  bool Fresh() CODLOCK_REQUIRES(owner_) {
     uint64_t e = epoch_.load(std::memory_order_acquire);
     if (e == seen_epoch_) return true;
     slots_.clear();
@@ -157,16 +196,17 @@ class TxnLockCache {
     return false;
   }
 
-  Slot* Find(const ResourceId& r) {
+  Slot* Find(const ResourceId& r) CODLOCK_REQUIRES(owner_) {
     for (Slot& s : slots_) {
       if (s.res == r) return &s;
     }
     return nullptr;
   }
 
-  std::vector<Slot> slots_;
+  OwnerThreadCap owner_;
+  std::vector<Slot> slots_ CODLOCK_GUARDED_BY(owner_);
   std::atomic<uint64_t> epoch_{0};
-  uint64_t seen_epoch_ = 0;
+  uint64_t seen_epoch_ CODLOCK_GUARDED_BY(owner_) = 0;
 };
 
 }  // namespace codlock::lock

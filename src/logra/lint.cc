@@ -22,6 +22,7 @@ class Linter {
     CheckDashedEdges();
     CheckRegisteredRelations();
     CheckAcyclic();
+    CheckEntryPointReachability();
     report_.nodes_checked = graph_.num_nodes();
     report_.relations_checked = catalog_.num_relations();
     return std::move(report_);
@@ -294,6 +295,39 @@ class Linter {
     }
   }
 
+  /// Every inner-unit entry point must be reachable from an outer-unit
+  /// root: BFS from the database nodes over solid containment and dashed
+  /// reference edges (the paths implicit propagation travels).
+  void CheckEntryPointReachability() {
+    std::vector<bool> reached(graph_.num_nodes(), false);
+    std::vector<NodeId> frontier;
+    for (const Node& n : graph_.nodes()) {
+      if (n.level == NodeLevel::kDatabase) {
+        reached[n.id] = true;
+        frontier.push_back(n.id);
+      }
+    }
+    while (!frontier.empty()) {
+      NodeId id = frontier.back();
+      frontier.pop_back();
+      for (NodeId next : EdgesOf(id)) {
+        if (!reached[next]) {
+          reached[next] = true;
+          frontier.push_back(next);
+        }
+      }
+    }
+    for (const Node& n : graph_.nodes()) {
+      if (n.level == NodeLevel::kComplexObject && !reached[n.id]) {
+        Add(LintCode::kUnreachableEntryPoint, n.id,
+            Name(n.id) +
+                ": entry point unreachable from every database root — "
+                "implicit locks can never arrive here (§4.3 rule 4, "
+                "§4.4.2)");
+      }
+    }
+  }
+
   std::vector<NodeId> EdgesOf(NodeId id) const {
     std::vector<NodeId> edges;
     const Node& n = graph_.node(id);
@@ -356,6 +390,8 @@ std::string_view LintCodeName(LintCode code) {
       return "parent-child-mismatch";
     case LintCode::kBluHasChildren:
       return "blu-has-children";
+    case LintCode::kUnreachableEntryPoint:
+      return "unreachable-entry-point";
   }
   return "?";
 }

@@ -67,6 +67,13 @@ enum class LintCode : uint8_t {
   kParentChildMismatch,
   /// A BLU has solid children (basic lockable units are leaves).
   kBluHasChildren,
+  /// An inner-unit entry point (complex-object node) is not reachable from
+  /// any outer-unit root (database node) via solid containment and dashed
+  /// reference edges.  An unreachable entry point can never receive the
+  /// implicit locks of §4.4.2 — its unit is dead weight at best, and a
+  /// protocol bug at worst (a ref BLU that should point at it dangles
+  /// elsewhere, §4.3 rule 4).
+  kUnreachableEntryPoint,
 };
 
 std::string_view LintCodeName(LintCode code);

@@ -1,0 +1,314 @@
+#include "mc/explorer.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "mc/oracles.h"
+#include "mc/scheduler.h"
+
+namespace codlock::mc {
+namespace {
+
+using lock::LockMode;
+using lock::ResourceId;
+using lock::TxnId;
+
+/// Lock-table delta of one scheduler step, as seen from the controller.
+struct Footprint {
+  std::vector<std::pair<ResourceId, LockMode>> acquired;
+  std::vector<ResourceId> released;
+  /// Cross-thread effects (notify, kill, timeout injection, wound-wait
+  /// side channels): dependent with every other step.
+  bool global = false;
+};
+
+/// A deferred branch choice: thread \p tid, with the footprint its step
+/// had when it was explored.
+struct SleepEntry {
+  int tid = -1;
+  Footprint fp;
+};
+
+using LockSnapshot =
+    std::unordered_map<TxnId,
+                       std::unordered_map<ResourceId, LockMode,
+                                          lock::ResourceIdHash>>;
+
+LockSnapshot Snapshot(const lock::LockManager& lm) {
+  LockSnapshot snap;
+  for (const lock::LongLockRecord& rec : lm.SnapshotAllLocks()) {
+    snap[rec.txn][rec.resource] = rec.mode;
+  }
+  return snap;
+}
+
+bool TouchesResource(const Footprint& fp, const ResourceId& r) {
+  for (const auto& [res, mode] : fp.acquired) {
+    if (res == r) return true;
+  }
+  return std::find(fp.released.begin(), fp.released.end(), r) !=
+         fp.released.end();
+}
+
+/// Steps commute unless one released a resource the other touches, or
+/// they acquired incompatible modes on a common resource.
+bool Dependent(const Footprint& a, const Footprint& b) {
+  if (a.global || b.global) return true;
+  for (const ResourceId& r : a.released) {
+    if (TouchesResource(b, r)) return true;
+  }
+  for (const ResourceId& r : b.released) {
+    if (TouchesResource(a, r)) return true;
+  }
+  for (const auto& [ra, ma] : a.acquired) {
+    for (const auto& [rb, mb] : b.acquired) {
+      if (ra == rb && !PristineCompatible(ma, mb)) return true;
+    }
+  }
+  return false;
+}
+
+/// One decision point of an execution.
+struct DepthRec {
+  std::vector<int> candidates;  ///< enabled and awake (includes chosen)
+  int chosen = -1;
+  Footprint fp;  ///< footprint of the chosen step
+};
+
+struct ExecResult {
+  std::vector<DepthRec> depths;
+  bool sleep_blocked = false;
+  bool completed = false;
+  uint64_t sibling_prunes = 0;  ///< enabled-but-asleep counts along the path
+};
+
+class Explorer {
+ public:
+  Explorer(const WorkloadSpec& spec, const ExploreOptions& opts)
+      : spec_(spec), opts_(opts) {
+    por_enabled_ = opts_.use_por &&
+                   opts_.run.policy != lock::DeadlockPolicy::kWoundWait;
+  }
+
+  ExploreStats Run() {
+    Dfs({}, {});
+    return std::move(stats_);
+  }
+
+ private:
+  /// Computes the footprint of the step the thread of \p txn just took,
+  /// from before/after lock-table snapshots.  Changes to *other*
+  /// transactions' entries mean the step killed or granted someone else's
+  /// waiter — a cross-thread effect.
+  Footprint DiffFootprint(const LockSnapshot& before,
+                          const LockSnapshot& after, TxnId txn,
+                          bool had_notifies, bool was_timeout) {
+    Footprint fp;
+    if (!por_enabled_ || had_notifies || was_timeout) fp.global = true;
+    std::unordered_set<TxnId> ids;
+    for (const auto& [t, _] : before) ids.insert(t);
+    for (const auto& [t, _] : after) ids.insert(t);
+    static const std::unordered_map<ResourceId, LockMode,
+                                    lock::ResourceIdHash>
+        kEmpty;
+    for (TxnId t : ids) {
+      auto bi = before.find(t);
+      auto ai = after.find(t);
+      const auto& b = bi == before.end() ? kEmpty : bi->second;
+      const auto& a = ai == after.end() ? kEmpty : ai->second;
+      bool changed = false;
+      for (const auto& [res, mode] : a) {
+        auto it = b.find(res);
+        if (it == b.end() || it->second != mode) {
+          changed = true;
+          if (t == txn) fp.acquired.emplace_back(res, mode);
+        }
+      }
+      for (const auto& [res, mode] : b) {
+        auto it = a.find(res);
+        if (it == a.end() ||
+            (it->second != mode && !lock::Covers(it->second, mode))) {
+          changed = true;
+          if (t == txn) fp.released.push_back(res);
+        }
+      }
+      if (changed && t != txn) fp.global = true;
+    }
+    return fp;
+  }
+
+  static bool Quiescent(const DetScheduler& sched) {
+    for (int i = 0; i < sched.num_threads(); ++i) {
+      ThreadState s = sched.StateOf(i);
+      if (s != ThreadState::kReady && s != ThreadState::kDone) return false;
+    }
+    return true;
+  }
+
+  /// Drops sleepers woken by a dependent step.
+  static void FilterSleep(std::vector<SleepEntry>* sleep,
+                          const Footprint& step) {
+    sleep->erase(std::remove_if(sleep->begin(), sleep->end(),
+                                [&](const SleepEntry& e) {
+                                  return Dependent(e.fp, step);
+                                }),
+                 sleep->end());
+  }
+
+  /// Runs one execution: replays \p forced, then extends with the default
+  /// policy (lowest awake candidate) until done.  \p injected[k] are sleep
+  /// entries to add at decision depth k (explored siblings of ancestors).
+  ExecResult Execute(const std::vector<int>& forced,
+                     const std::vector<std::vector<SleepEntry>>& injected) {
+    ExecResult res;
+    auto run = std::make_unique<WorkloadRun>(spec_, opts_.run);
+    OracleSuite oracles(run.get());
+    {
+      DetScheduler sched;
+      sched.Launch(run->MakeBodies([&sched] { sched.Yield(); }));
+      std::vector<SleepEntry> sleep;
+      int steps = 0;
+      size_t depth = 0;
+      while (!sched.AllDone()) {
+        if (++steps > opts_.max_steps) {
+          oracles.NoteNonTermination();
+          break;
+        }
+        std::vector<int> enabled = sched.Enabled();
+        if (enabled.empty()) {
+          // Global stall: forced timeout injection (not a decision).
+          std::vector<int> parked = sched.Parked();
+          if (parked.empty()) break;  // cannot happen
+          oracles.NoteForcedTimeout();
+          int tid = parked.front();
+          LockSnapshot before = Snapshot(run->lock_manager());
+          std::vector<int> notified = sched.DeliverTimeout(tid);
+          Footprint fp =
+              DiffFootprint(before, Snapshot(run->lock_manager()),
+                            run->txn(tid)->id(), !notified.empty(), true);
+          FilterSleep(&sleep, fp);
+          oracles.CheckStep(Quiescent(sched));
+          continue;
+        }
+        if (depth < injected.size()) {
+          sleep.insert(sleep.end(), injected[depth].begin(),
+                       injected[depth].end());
+        }
+        std::vector<int> candidates;
+        for (int t : enabled) {
+          bool asleep = std::any_of(
+              sleep.begin(), sleep.end(),
+              [&](const SleepEntry& e) { return e.tid == t; });
+          if (asleep) {
+            ++res.sibling_prunes;
+          } else {
+            candidates.push_back(t);
+          }
+        }
+        if (candidates.empty()) {
+          // Every enabled thread is asleep: all extensions of this path
+          // are covered by already-explored orderings.
+          res.sleep_blocked = true;
+          break;
+        }
+        int chosen =
+            depth < forced.size() ? forced[depth] : candidates.front();
+        LockSnapshot before = Snapshot(run->lock_manager());
+        std::vector<int> notified = sched.Step(chosen);
+        DepthRec rec;
+        rec.candidates = std::move(candidates);
+        rec.chosen = chosen;
+        rec.fp = DiffFootprint(before, Snapshot(run->lock_manager()),
+                               run->txn(chosen)->id(), !notified.empty(),
+                               false);
+        FilterSleep(&sleep, rec.fp);
+        res.depths.push_back(std::move(rec));
+        ++depth;
+        oracles.CheckStep(Quiescent(sched));
+      }
+      res.completed = sched.AllDone();
+      if (res.completed && !res.sleep_blocked) oracles.CheckTerminal();
+      // The scheduler destructor drains and joins before `run` dies.
+    }
+    ++stats_.executions;
+    if (res.completed && !res.sleep_blocked) ++stats_.terminals;
+    if (res.sleep_blocked) ++stats_.sleep_blocked;
+    stats_.sibling_prunes += res.sibling_prunes;
+    stats_.max_depth =
+        std::max(stats_.max_depth, static_cast<int>(res.depths.size()));
+    if (!oracles.clean()) {
+      ++stats_.violating_executions;
+      for (const std::string& v : oracles.violations()) {
+        if (stats_.violation_messages.size() >=
+            opts_.max_violation_messages) {
+          break;
+        }
+        if (std::find(stats_.violation_messages.begin(),
+                      stats_.violation_messages.end(),
+                      v) == stats_.violation_messages.end()) {
+          stats_.violation_messages.push_back(v);
+        }
+      }
+    }
+    return res;
+  }
+
+  bool AtCap() const {
+    return opts_.max_executions != 0 &&
+           stats_.executions >= opts_.max_executions;
+  }
+
+  /// Depth-first exploration.  Executes the forced prefix once (default
+  /// extension = one schedule), then branches every un-slept sibling at
+  /// every decision depth at or below the prefix.
+  ExecResult Dfs(const std::vector<int>& forced,
+                 const std::vector<std::vector<SleepEntry>>& injected) {
+    ExecResult r = Execute(forced, injected);
+    for (size_t d = forced.size(); d < r.depths.size(); ++d) {
+      const DepthRec& rec = r.depths[d];
+      if (rec.candidates.size() < 2) continue;
+      std::vector<SleepEntry> explored{{rec.chosen, rec.fp}};
+      for (int c : rec.candidates) {
+        if (c == rec.chosen) continue;
+        if (AtCap()) {
+          stats_.hit_execution_cap = true;
+          return r;
+        }
+        std::vector<int> child_forced;
+        child_forced.reserve(d + 1);
+        for (size_t k = 0; k < d; ++k) {
+          child_forced.push_back(r.depths[k].chosen);
+        }
+        child_forced.push_back(c);
+        std::vector<std::vector<SleepEntry>> child_injected(
+            injected.begin(),
+            injected.begin() +
+                std::min(injected.size(), static_cast<size_t>(d) + 1));
+        child_injected.resize(d + 1);
+        child_injected[d].insert(child_injected[d].end(), explored.begin(),
+                                 explored.end());
+        ExecResult child = Dfs(child_forced, child_injected);
+        if (child.depths.size() > d) {
+          explored.push_back({c, child.depths[d].fp});
+        }
+      }
+    }
+    return r;
+  }
+
+  WorkloadSpec spec_;
+  ExploreOptions opts_;
+  bool por_enabled_ = true;
+  ExploreStats stats_;
+};
+
+}  // namespace
+
+ExploreStats Explore(const WorkloadSpec& spec, const ExploreOptions& opts) {
+  return Explorer(spec, opts).Run();
+}
+
+}  // namespace codlock::mc

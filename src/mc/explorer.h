@@ -1,0 +1,77 @@
+/// \file explorer.h
+/// \brief Exhaustive schedule exploration (stateless model checking).
+///
+/// `Explore` enumerates every distinguishable interleaving of a scripted
+/// workload by depth-first search over scheduler decisions.  The state
+/// space is explored *statelessly*: each schedule re-executes the whole
+/// stack from scratch (fresh fixture, lock manager, transactions) and
+/// replays a forced decision prefix before continuing with the default
+/// policy (lowest enabled thread).  Oracles (`mc/oracles.h`) are checked
+/// after every step of every execution.
+///
+/// A *decision* is "which enabled thread runs next".  Two situations are
+/// explicitly **not** decisions:
+///
+///  * parked threads are not steppable until notified — blocking is part
+///    of the semantics, not of the schedule;
+///  * timeout injection is forced, never chosen: only when *no* thread is
+///    enabled does the explorer inject a timeout into the lowest parked
+///    thread (and oracle (e) flags that under non-timeout policies).
+///
+/// ## Partial-order reduction (sleep sets)
+///
+/// Each step's *footprint* — the lock-table delta it caused, plus whether
+/// it had cross-thread effects (notify, kill, timeout) — is computed from
+/// controller-side snapshots.  Two steps are independent when their
+/// footprints only acquire pristine-compatible modes on common resources
+/// and neither had cross-thread effects; exploring both orders of an
+/// independent pair is redundant, and classic sleep sets prune the second
+/// order: after exploring thread `t` at a state, `t` (with its footprint)
+/// is put to sleep for the sibling branches and only woken by a dependent
+/// step.  Under wound-wait the wound flag is invisible to lock-table
+/// snapshots, so footprints are conservatively global (POR disabled).
+
+#ifndef CODLOCK_MC_EXPLORER_H_
+#define CODLOCK_MC_EXPLORER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mc/workload.h"
+
+namespace codlock::mc {
+
+/// \brief Exploration knobs.
+struct ExploreOptions {
+  RunOptions run;
+  /// Sleep-set partial-order reduction (auto-disabled under kWoundWait).
+  bool use_por = true;
+  /// Safety cap on the number of executions (0 = unlimited).
+  uint64_t max_executions = 200000;
+  /// Per-execution step budget; exceeding it is an oracle (e) violation.
+  int max_steps = 2000;
+  /// At most this many violation messages are kept verbatim.
+  size_t max_violation_messages = 20;
+};
+
+/// \brief Exploration outcome.
+struct ExploreStats {
+  uint64_t executions = 0;        ///< schedules actually run
+  uint64_t terminals = 0;         ///< executions that ran to completion
+  uint64_t sleep_blocked = 0;     ///< executions cut short by sleep sets
+  uint64_t sibling_prunes = 0;    ///< branch candidates skipped (asleep)
+  uint64_t violating_executions = 0;
+  int max_depth = 0;              ///< longest decision sequence seen
+  bool hit_execution_cap = false;
+  std::vector<std::string> violation_messages;  ///< capped, deduplicated
+
+  bool clean() const { return violating_executions == 0; }
+};
+
+/// Exhaustively explores \p spec under \p opts.  See file comment.
+ExploreStats Explore(const WorkloadSpec& spec, const ExploreOptions& opts);
+
+}  // namespace codlock::mc
+
+#endif  // CODLOCK_MC_EXPLORER_H_

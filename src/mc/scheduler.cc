@@ -1,0 +1,180 @@
+#include "mc/scheduler.h"
+
+#include <cassert>
+
+namespace codlock::mc {
+
+namespace {
+// Identity of the controlled thread, if any.  Set once per worker before
+// its body runs; the scheduler pointer doubles as the "am I controlled by
+// *this* scheduler" check so unrelated threads (and the controller itself)
+// always take native blocking paths.
+thread_local DetScheduler* tls_owner = nullptr;
+thread_local int tls_tid = -1;
+}  // namespace
+
+DetScheduler::~DetScheduler() {
+  if (launched_) {
+    Drain();
+    for (std::thread& t : threads_) t.join();
+    BlockingObserver::Set(nullptr);
+  }
+}
+
+void DetScheduler::Launch(std::vector<std::function<void()>> bodies) {
+  assert(!launched_);
+  launched_ = true;
+  slots_.reserve(bodies.size());
+  for (size_t i = 0; i < bodies.size(); ++i) {
+    slots_.push_back(std::make_unique<PerThread>());
+  }
+  // Register before any controlled thread can reach a CondVar.
+  BlockingObserver::Set(this);
+  for (size_t i = 0; i < bodies.size(); ++i) {
+    threads_.emplace_back([this, i, body = std::move(bodies[i])]() {
+      tls_owner = this;
+      tls_tid = static_cast<int>(i);
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        // Wait for our first turn; state is already kReady.
+        slots_[i]->cv.wait(lk, [&] { return active_ == static_cast<int>(i); });
+        slots_[i]->state = ThreadState::kRunning;
+      }
+      body();
+      std::unique_lock<std::mutex> lk(mu_);
+      slots_[i]->state = ThreadState::kDone;
+      active_ = -1;
+      controller_cv_.notify_one();
+    });
+  }
+}
+
+void DetScheduler::RunUntilSuspend(std::unique_lock<std::mutex>& lk, int tid,
+                                   WakeKind wake) {
+  PerThread& pt = *slots_[tid];
+  step_notified_.clear();
+  pt.wake = wake;
+  active_ = tid;
+  pt.cv.notify_one();
+  controller_cv_.wait(lk, [&] { return active_ == -1; });
+}
+
+std::vector<int> DetScheduler::Step(int tid) {
+  std::unique_lock<std::mutex> lk(mu_);
+  ThreadState s = slots_[tid]->state;
+  assert(s == ThreadState::kReady || s == ThreadState::kNotified);
+  (void)s;
+  RunUntilSuspend(lk, tid, WakeKind::kNotified);
+  return step_notified_;
+}
+
+std::vector<int> DetScheduler::DeliverTimeout(int tid) {
+  std::unique_lock<std::mutex> lk(mu_);
+  assert(slots_[tid]->state == ThreadState::kParked);
+  RunUntilSuspend(lk, tid, WakeKind::kTimeout);
+  return step_notified_;
+}
+
+std::vector<int> DetScheduler::Enabled() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  std::vector<int> out;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    ThreadState s = slots_[i]->state;
+    if (s == ThreadState::kReady || s == ThreadState::kNotified) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<int> DetScheduler::Parked() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  std::vector<int> out;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i]->state == ThreadState::kParked) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+ThreadState DetScheduler::StateOf(int tid) const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return slots_[tid]->state;
+}
+
+bool DetScheduler::AllDone() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (const auto& pt : slots_) {
+    if (pt->state != ThreadState::kDone) return false;
+  }
+  return true;
+}
+
+int DetScheduler::CurrentTid() { return tls_tid; }
+
+void DetScheduler::SuspendSelf(std::unique_lock<std::mutex>& lk, int tid,
+                               ThreadState state) {
+  slots_[tid]->state = state;
+  active_ = -1;
+  controller_cv_.notify_one();
+  slots_[tid]->cv.wait(lk, [&] { return active_ == tid; });
+  slots_[tid]->state = ThreadState::kRunning;
+}
+
+void DetScheduler::Yield() {
+  int tid = tls_tid;
+  assert(tls_owner == this && tid >= 0);
+  std::unique_lock<std::mutex> lk(mu_);
+  SuspendSelf(lk, tid, ThreadState::kReady);
+}
+
+void DetScheduler::Drain() {
+  // Generous budget: real executions take tens of steps; hitting this cap
+  // means a livelock (reported via drain_incomplete()).
+  int budget = 100000;
+  while (!AllDone() && budget-- > 0) {
+    std::vector<int> enabled = Enabled();
+    if (!enabled.empty()) {
+      Step(enabled.front());
+      continue;
+    }
+    std::vector<int> parked = Parked();
+    if (!parked.empty()) {
+      DeliverTimeout(parked.front());
+      continue;
+    }
+    break;  // nothing ready, nothing parked, not all done: impossible
+  }
+  drain_incomplete_ = !AllDone();
+  // A wedged execution would make join() hang; there is no safe way to
+  // kill a std::thread, so assert loudly instead of hanging silently.
+  assert(!drain_incomplete_ && "DetScheduler::Drain could not finish");
+}
+
+bool DetScheduler::ControlsCurrentThread() const {
+  return tls_owner == this && tls_tid >= 0;
+}
+
+BlockingObserver::WakeKind DetScheduler::OnCondVarBlock(const void* cv) {
+  int tid = tls_tid;
+  std::unique_lock<std::mutex> lk(mu_);
+  slots_[tid]->parked_on = cv;
+  SuspendSelf(lk, tid, ThreadState::kParked);
+  slots_[tid]->parked_on = nullptr;
+  return slots_[tid]->wake;
+}
+
+void DetScheduler::OnCondVarNotify(const void* cv) {
+  // Leaf lock only: callers may hold a lock-manager shard mutex.
+  std::unique_lock<std::mutex> lk(mu_);
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    PerThread& pt = *slots_[i];
+    if (pt.state == ThreadState::kParked && pt.parked_on == cv) {
+      pt.state = ThreadState::kNotified;
+      step_notified_.push_back(static_cast<int>(i));
+    }
+  }
+}
+
+}  // namespace codlock::mc

@@ -1,0 +1,149 @@
+/// \file scheduler.h
+/// \brief Deterministic cooperative scheduler for model-checked executions.
+///
+/// `DetScheduler` runs N workload threads such that **exactly one** of them
+/// executes at any moment, and the controller (the explorer's thread) picks
+/// which one runs next at every scheduling point.  Scheduling points are:
+///
+///  * operation boundaries — the workload runner calls `Yield()` between
+///    protocol operations;
+///  * condition-variable parks — a controlled thread that would block in
+///    `CondVar::Wait`/`WaitUntil` instead parks here via the process-wide
+///    `BlockingObserver` hook (`util/det_hooks.h`) and resumes only when
+///    the controller steps it again.
+///
+/// Notifications are **deferred**: `OnCondVarNotify` only marks parked
+/// threads runnable (`kNotified`) — they do not start running until the
+/// controller explicitly steps them.  This keeps every execution a strict
+/// sequence of (thread, step) pairs, which is what makes interleavings
+/// enumerable and replayable.
+///
+/// Timeouts are *injected*, never spontaneous: real deadlines in
+/// `WaitUntil` are ignored while a thread is controlled; the controller
+/// resolves a parked thread's wait as timed-out with `DeliverTimeout`.
+///
+/// Threading: one `mu_` protects all scheduler state.  `OnCondVarNotify`
+/// may be called while the notifying thread holds a lock-manager shard
+/// mutex; the scheduler mutex is a leaf (nothing is acquired under it), so
+/// this cannot deadlock.  `OnCondVarBlock` is entered with no locks held
+/// (the CondVar wrapper releases the mutex first), so whenever every
+/// controlled thread is parked or yielded the whole stack under test is
+/// quiescent and auditable.
+
+#ifndef CODLOCK_MC_SCHEDULER_H_
+#define CODLOCK_MC_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/det_hooks.h"
+
+namespace codlock::mc {
+
+/// \brief What a controlled thread is doing, from the controller's view.
+enum class ThreadState : uint8_t {
+  kReady,     ///< at an op boundary (or not yet started); can be stepped
+  kRunning,   ///< currently executing (transient; controller is waiting)
+  kParked,    ///< blocked in a CondVar wait; needs notify or timeout
+  kNotified,  ///< parked but marked runnable by a notify; can be stepped
+  kDone,      ///< body returned
+};
+
+/// \brief Cooperative deterministic scheduler.  See file comment.
+///
+/// Single-controller discipline: all public methods except `Yield` must be
+/// called from the controller thread (the one that called `Launch`), and
+/// never while a step is in flight.
+class DetScheduler final : public BlockingObserver {
+ public:
+  DetScheduler() = default;
+  ~DetScheduler() override;
+
+  DetScheduler(const DetScheduler&) = delete;
+  DetScheduler& operator=(const DetScheduler&) = delete;
+
+  /// Spawns one controlled thread per body and registers this scheduler as
+  /// the process-wide blocking observer.  No body runs until `Step`.
+  void Launch(std::vector<std::function<void()>> bodies);
+
+  /// Runs thread \p tid (which must be `kReady` or `kNotified`) until its
+  /// next scheduling point: the next `Yield`, a park, or completion.
+  /// Returns the threads whose parked waits were notified during the step,
+  /// in notification order (they are now `kNotified`, not running).
+  std::vector<int> Step(int tid);
+
+  /// Resolves parked thread \p tid's wait as timed out and runs it until
+  /// its next scheduling point.  Returns threads notified during the step
+  /// (a timed-out waiter may release locks it already held... it does not
+  /// here, but a granted-but-unnotified waiter unwinds by observing its
+  /// predicate true and proceeding as granted).
+  std::vector<int> DeliverTimeout(int tid);
+
+  /// Threads that can be stepped right now (`kReady` or `kNotified`),
+  /// ascending.
+  std::vector<int> Enabled() const;
+
+  /// Threads currently parked (`kParked`), ascending.
+  std::vector<int> Parked() const;
+
+  ThreadState StateOf(int tid) const;
+  bool AllDone() const;
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// Id of the controlled thread calling, or -1 from any other thread.
+  static int CurrentTid();
+
+  /// Called by controlled threads between operations to hand control back.
+  void Yield();
+
+  /// Force-runs every thread to completion (stepping enabled threads,
+  /// injecting timeouts into parked ones) so that join can succeed.  Gives
+  /// up after a step budget; see `drain_incomplete()`.
+  void Drain();
+
+  /// True when `Drain` hit its step budget with live threads remaining —
+  /// an execution that cannot terminate even with timeouts (a scheduler or
+  /// lock-manager bug; tests assert this stays false).
+  bool drain_incomplete() const { return drain_incomplete_; }
+
+  // BlockingObserver:
+  bool ControlsCurrentThread() const override;
+  WakeKind OnCondVarBlock(const void* cv) override;
+  void OnCondVarNotify(const void* cv) override;
+
+ private:
+  struct PerThread {
+    ThreadState state = ThreadState::kReady;
+    const void* parked_on = nullptr;
+    WakeKind wake = WakeKind::kNotified;
+    std::condition_variable cv;
+  };
+
+  /// Wakes thread \p tid with \p wake and blocks until it reaches its next
+  /// scheduling point.  Caller holds `lk`.
+  void RunUntilSuspend(std::unique_lock<std::mutex>& lk, int tid,
+                       WakeKind wake);
+
+  /// Body-side suspension: publish \p state, wake the controller, wait for
+  /// our turn.  Caller holds `lk`.
+  void SuspendSelf(std::unique_lock<std::mutex>& lk, int tid,
+                   ThreadState state);
+
+  mutable std::mutex mu_;
+  std::condition_variable controller_cv_;
+  std::vector<std::unique_ptr<PerThread>> slots_;
+  std::vector<std::thread> threads_;
+  int active_ = -1;  ///< tid allowed to run, or -1 (controller's turn)
+  std::vector<int> step_notified_;
+  bool drain_incomplete_ = false;
+  bool launched_ = false;
+};
+
+}  // namespace codlock::mc
+
+#endif  // CODLOCK_MC_SCHEDULER_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/mutation_points.h"
+
 namespace codlock::proto {
 
 using lock::LockMode;
@@ -24,7 +26,7 @@ Status ComplexObjectProtocol::Lock(txn::Transaction& txn,
     path.push_back(lock::ResourceId{node, iid});
   }
   CODLOCK_RETURN_IF_ERROR(
-      lm_->AcquirePath(txn.id(), path, mode, opts, &txn.lock_cache()));
+      lm_->AcquirePath(txn.id(), path, mode, opts, CacheOf(txn)));
 
   // Rules 3/4/4′: implicit downward propagation for S and X.  Skipped when
   // the query's semantics guarantee the referenced common data is not
@@ -34,6 +36,10 @@ Status ComplexObjectProtocol::Lock(txn::Transaction& txn,
   // protocol is identical to the traditional one" (§4.4.2.1).
   if ((mode == LockMode::kS || mode == LockMode::kX) &&
       target.access_implies_refs &&
+      // Mutation point (kill-suite only): rules 3/4 dropped — locks on
+      // common data are never propagated, recreating the §3.2.2 protocol
+      // defect the visibility oracle exists to catch.
+      !mutation::Enabled(mutation::Mutant::kSkipDownwardPropagation) &&
       !graph_->RefBlusUnder(target.target_node()).empty()) {
     Visited visited;
     if (target.value != nullptr) {
@@ -142,12 +148,17 @@ Status ComplexObjectProtocol::LockEntryPointInternal(txn::Transaction& txn,
 
   std::vector<lock::ResourceId> path;
   path.reserve(chain.size() + 1);
-  for (logra::NodeId node : chain) {
-    path.push_back(lock::ResourceId{node, 0});
+  // Mutation point (kill-suite only): rules 1/2 dropped — the entry point
+  // is locked without its superunit chain, so a relation/segment-level
+  // request no longer conflicts with the inner unit's use.
+  if (!mutation::Enabled(mutation::Mutant::kSkipUpwardPropagation)) {
+    for (logra::NodeId node : chain) {
+      path.push_back(lock::ResourceId{node, 0});
+    }
   }
   path.push_back(lock::ResourceId{ep_node, *root_iid});
   CODLOCK_RETURN_IF_ERROR(
-      lm_->AcquirePath(txn.id(), path, ep_mode, opts, &txn.lock_cache()));
+      lm_->AcquirePath(txn.id(), path, ep_mode, opts, CacheOf(txn)));
   lm_->stats().upward_propagations.Add(chain.size());
   lm_->stats().downward_propagations.Add();
 
@@ -251,11 +262,11 @@ Status ComplexObjectProtocol::Deescalate(txn::Transaction& txn,
     }
     CODLOCK_RETURN_IF_ERROR(
         lm_->Acquire(txn.id(), lock::ResourceId{elem_node, elems[idx].iid()},
-                     held, opts, &txn.lock_cache()));
+                     held, opts, CacheOf(txn)));
   }
   CODLOCK_RETURN_IF_ERROR(lm_->Downgrade(txn.id(), res,
                                          lock::IntentionFor(held),
-                                         &txn.lock_cache()));
+                                         CacheOf(txn)));
   lm_->stats().deescalations.Add();
   return Status::OK();
 }

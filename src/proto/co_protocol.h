@@ -55,6 +55,11 @@ class ComplexObjectProtocol : public LockProtocol {
     /// Acquire options forwarded to the lock manager.
     bool wait = true;
     uint64_t timeout_ms = 0;
+    /// Pass the transaction's held-lock cache to the lock manager (the
+    /// acquisition fast path).  The model checker explores every workload
+    /// with the cache both on and off: the observable schedules and
+    /// verdicts must not differ.
+    bool use_txn_cache = true;
   };
 
   ComplexObjectProtocol(const logra::LockGraph* graph,
@@ -121,6 +126,10 @@ class ComplexObjectProtocol : public LockProtocol {
     x *= 0x94D049BB133111EBULL;
     x ^= x >> 31;
     return x;
+  }
+
+  lock::TxnLockCache* CacheOf(txn::Transaction& txn) const {
+    return options_.use_txn_cache ? &txn.lock_cache() : nullptr;
   }
 
   lock::AcquireOptions AcquireOpts(const txn::Transaction& txn) const {

@@ -1,5 +1,7 @@
 #include "proto/validator.h"
 
+#include <algorithm>
+
 namespace codlock::proto {
 
 std::string Violation::ToString() const {
@@ -9,47 +11,53 @@ std::string Violation::ToString() const {
          " (conflict undetected by the lock protocol)";
 }
 
-void ProtocolValidator::CoverSolid(const nf2::Value& v,
-                                   std::unordered_set<nf2::Iid>* out) const {
+namespace {
+
+void CoverSolid(const nf2::Value& v, std::unordered_set<nf2::Iid>* out) {
   out->insert(v.iid());
   if (!v.is_atomic() && !v.is_ref()) {
     for (const nf2::Value& child : v.children()) CoverSolid(child, out);
   }
 }
 
-void ProtocolValidator::CoverWithRefs(
-    const nf2::Value& v, std::unordered_set<nf2::Iid>* out,
-    std::unordered_set<uint64_t>* visited) const {
+void CoverWithRefs(const nf2::InstanceStore& store, const nf2::Value& v,
+                   std::unordered_set<nf2::Iid>* out,
+                   std::unordered_set<uint64_t>* visited) {
   out->insert(v.iid());
   if (v.is_ref()) {
     const nf2::RefValue& ref = v.as_ref();
     uint64_t key = (static_cast<uint64_t>(ref.relation) << 48) ^ ref.object;
     if (!visited->insert(key).second) return;
-    Result<const nf2::Object*> obj = store_->Get(ref.relation, ref.object);
-    if (obj.ok()) CoverWithRefs((*obj)->root, out, visited);
+    Result<const nf2::Object*> obj = store.Get(ref.relation, ref.object);
+    if (obj.ok()) CoverWithRefs(store, (*obj)->root, out, visited);
     return;
   }
   if (!v.is_atomic()) {
     for (const nf2::Value& child : v.children()) {
-      CoverWithRefs(child, out, visited);
+      CoverWithRefs(store, child, out, visited);
     }
   }
 }
 
-void ProtocolValidator::Expand(const lock::LongLockRecord& rec,
-                               Coverage* cov) const {
+}  // namespace
+
+LockCoverage ExpandLockCoverage(const logra::LockGraph& graph,
+                                const nf2::InstanceStore& store,
+                                const lock::ResourceId& resource,
+                                lock::LockMode mode) {
   using lock::LockMode;
-  if (rec.mode == LockMode::kIS || rec.mode == LockMode::kIX ||
-      rec.mode == LockMode::kNL) {
-    return;  // pure intention locks cover nothing by themselves
+  LockCoverage cov;
+  if (mode == LockMode::kIS || mode == LockMode::kIX ||
+      mode == LockMode::kNL) {
+    return cov;  // pure intention locks cover nothing by themselves
   }
-  const bool is_write = rec.mode == LockMode::kX;
+  const bool is_write = mode == LockMode::kX;
 
   // Collect the value roots the resource denotes.
   std::vector<const nf2::Value*> roots;
-  if (rec.resource.instance == 0) {
-    const logra::Node& node = graph_->node(rec.resource.node);
-    const nf2::Catalog& catalog = store_->catalog();
+  if (resource.instance == 0) {
+    const logra::Node& node = graph.node(resource.node);
+    const nf2::Catalog& catalog = store.catalog();
     for (nf2::RelationId rel = 0; rel < catalog.num_relations(); ++rel) {
       const nf2::RelationDef& rdef = catalog.relation(rel);
       bool in_scope = false;
@@ -67,38 +75,103 @@ void ProtocolValidator::Expand(const lock::LongLockRecord& rec,
           break;
       }
       if (!in_scope) continue;
-      for (nf2::ObjectId obj : store_->ObjectsOf(rel)) {
-        Result<const nf2::Object*> o = store_->Get(rel, obj);
+      for (nf2::ObjectId obj : store.ObjectsOf(rel)) {
+        Result<const nf2::Object*> o = store.Get(rel, obj);
         if (o.ok()) roots.push_back(&(*o)->root);
       }
     }
   } else {
     Result<nf2::InstanceStore::IidInfo> info =
-        store_->FindIid(rec.resource.instance);
+        store.FindIid(resource.instance);
     if (info.ok()) roots.push_back(info->value);
   }
 
   std::unordered_set<uint64_t> visited;
   for (const nf2::Value* root : roots) {
-    CoverWithRefs(*root, &cov->reads, &visited);
-    if (is_write) CoverSolid(*root, &cov->writes);
+    CoverWithRefs(store, *root, &cov.reads, &visited);
+    if (is_write) CoverSolid(*root, &cov.writes);
   }
+  return cov;
+}
+
+SerializabilityVerdict CheckConflictSerializable(
+    const std::vector<HistoryOp>& history,
+    const std::unordered_set<lock::TxnId>& committed) {
+  SerializabilityVerdict verdict;
+
+  // Precedence edges Ti -> Tj for each conflicting pair (earlier Ti op,
+  // later Tj op) between distinct committed transactions.
+  std::unordered_map<lock::TxnId, std::unordered_set<lock::TxnId>> edges;
+  auto intersects = [](const std::unordered_set<nf2::Iid>& a,
+                       const std::unordered_set<nf2::Iid>& b) {
+    const auto& small = a.size() <= b.size() ? a : b;
+    const auto& large = a.size() <= b.size() ? b : a;
+    return std::any_of(small.begin(), small.end(),
+                       [&](nf2::Iid i) { return large.contains(i); });
+  };
+  for (size_t i = 0; i < history.size(); ++i) {
+    const HistoryOp& early = history[i];
+    if (!committed.contains(early.txn)) continue;
+    for (size_t j = i + 1; j < history.size(); ++j) {
+      const HistoryOp& late = history[j];
+      if (late.txn == early.txn || !committed.contains(late.txn)) continue;
+      const bool conflict = intersects(early.cov.writes, late.cov.reads) ||
+                            intersects(early.cov.writes, late.cov.writes) ||
+                            intersects(early.cov.reads, late.cov.writes);
+      if (conflict) edges[early.txn].insert(late.txn);
+    }
+  }
+
+  // Recursive DFS with colors; a gray-to-gray edge closes a cycle.  The
+  // graph has one node per committed transaction — a handful in every
+  // caller — so recursion depth is trivially bounded.
+  enum class Color : uint8_t { kWhite, kGray, kBlack };
+  std::unordered_map<lock::TxnId, Color> color;
+  std::vector<lock::TxnId> path;
+  auto dfs = [&](auto&& self, lock::TxnId t) -> bool {
+    color[t] = Color::kGray;
+    path.push_back(t);
+    for (lock::TxnId next : edges[t]) {
+      Color c = color.contains(next) ? color[next] : Color::kWhite;
+      if (c == Color::kGray) {
+        // Found a cycle: report the path segment from `next` onwards.
+        verdict.serializable = false;
+        auto it = std::find(path.begin(), path.end(), next);
+        verdict.cycle.assign(it, path.end());
+        verdict.cycle.push_back(next);
+        return true;
+      }
+      if (c == Color::kWhite && self(self, next)) return true;
+    }
+    path.pop_back();
+    color[t] = Color::kBlack;
+    return false;
+  };
+  std::vector<lock::TxnId> roots;
+  roots.reserve(edges.size());
+  for (const auto& [t, _] : edges) roots.push_back(t);
+  for (lock::TxnId root : roots) {
+    Color c = color.contains(root) ? color[root] : Color::kWhite;
+    if (c == Color::kWhite && dfs(dfs, root)) return verdict;
+  }
+  return verdict;
 }
 
 std::vector<Violation> ProtocolValidator::Check(
     const lock::LockManager& lm) const {
-  std::unordered_map<lock::TxnId, Coverage> by_txn;
+  std::unordered_map<lock::TxnId, LockCoverage> by_txn;
   for (const lock::LongLockRecord& rec : lm.SnapshotAllLocks()) {
-    Expand(rec, &by_txn[rec.txn]);
+    by_txn[rec.txn].MergeFrom(
+        ExpandLockCoverage(*graph_, *store_, rec.resource, rec.mode));
   }
 
   std::vector<Violation> out;
   for (auto wi = by_txn.begin(); wi != by_txn.end(); ++wi) {
-    const Coverage& w = wi->second;
+    const LockCoverage& w = wi->second;
     if (w.writes.empty()) continue;
     for (auto oi = by_txn.begin(); oi != by_txn.end(); ++oi) {
       if (oi == wi) continue;
-      const Coverage& o = oi->second;
+      const LockCoverage& o = oi->second;
       for (nf2::Iid iid : w.writes) {
         bool ww = o.writes.contains(iid);
         if (ww || o.reads.contains(iid)) {

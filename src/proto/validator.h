@@ -22,6 +22,13 @@
 /// variant) never lets such grant sets coexist; the path-only DAG variant
 /// does — those are the undetected from-the-side conflicts benchmark E3
 /// counts.
+///
+/// Beyond the live grant-set audit, the same coverage expansion feeds a
+/// *history* check: `CheckConflictSerializable` decides conflict-
+/// serializability of a committed schedule by precedence-graph cycle
+/// detection (the classical criterion strict 2PL is supposed to
+/// guarantee).  The model checker (`src/mc`) replays every explored
+/// interleaving through both checks.
 
 #ifndef CODLOCK_PROTO_VALIDATOR_H_
 #define CODLOCK_PROTO_VALIDATOR_H_
@@ -48,6 +55,50 @@ struct Violation {
   std::string ToString() const;
 };
 
+/// \brief The instance data one granted lock semantically covers.
+struct LockCoverage {
+  std::unordered_set<nf2::Iid> reads;
+  std::unordered_set<nf2::Iid> writes;
+
+  void MergeFrom(const LockCoverage& o) {
+    reads.insert(o.reads.begin(), o.reads.end());
+    writes.insert(o.writes.begin(), o.writes.end());
+  }
+};
+
+/// Expands one granted lock — \p mode held on \p resource — into the data
+/// coverage it grants (see file comment).  Intention modes cover nothing.
+/// The store must not be structurally modified during the call.
+LockCoverage ExpandLockCoverage(const logra::LockGraph& graph,
+                                const nf2::InstanceStore& store,
+                                const lock::ResourceId& resource,
+                                lock::LockMode mode);
+
+/// \brief One logical data operation of a schedule: transaction \p txn
+/// accessed \p cov.reads for reading and \p cov.writes for writing, in
+/// the position of the history this record occupies.
+struct HistoryOp {
+  lock::TxnId txn = lock::kInvalidTxn;
+  LockCoverage cov;
+};
+
+/// \brief Outcome of the conflict-serializability test.
+struct SerializabilityVerdict {
+  bool serializable = true;
+  /// Witness when not serializable: transaction ids along one precedence
+  /// cycle (first element repeated at the end).
+  std::vector<lock::TxnId> cycle;
+};
+
+/// Conflict-serializability of \p history via precedence-graph cycle
+/// detection: an edge Ti → Tj exists when an earlier op of Ti conflicts
+/// with a later op of Tj (write/read, read/write or write/write on a
+/// common iid).  Only transactions in \p committed participate — aborted
+/// transactions' operations are undone and impose no ordering.
+SerializabilityVerdict CheckConflictSerializable(
+    const std::vector<HistoryOp>& history,
+    const std::unordered_set<lock::TxnId>& committed);
+
 /// \brief Offline grant-set auditor.
 ///
 /// `Check` inspects a snapshot of the lock manager; it is intended to be
@@ -63,21 +114,6 @@ class ProtocolValidator {
   std::vector<Violation> Check(const lock::LockManager& lm) const;
 
  private:
-  struct Coverage {
-    std::unordered_set<nf2::Iid> reads;
-    std::unordered_set<nf2::Iid> writes;
-  };
-
-  /// Adds the solid subtree of \p v to \p out.
-  void CoverSolid(const nf2::Value& v, std::unordered_set<nf2::Iid>* out) const;
-
-  /// Adds the solid subtree plus the dashed closure of \p v to \p out.
-  void CoverWithRefs(const nf2::Value& v, std::unordered_set<nf2::Iid>* out,
-                     std::unordered_set<uint64_t>* visited) const;
-
-  /// Expands one held lock into \p cov.
-  void Expand(const lock::LongLockRecord& rec, Coverage* cov) const;
-
   const logra::LockGraph* graph_;
   const nf2::InstanceStore* store_;
 };

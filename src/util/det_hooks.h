@@ -1,0 +1,82 @@
+/// \file det_hooks.h
+/// \brief Process-wide hook that lets a deterministic scheduler virtualize
+/// condition-variable blocking (the model checker's interposition point).
+///
+/// The model checker (`src/mc`) re-executes small multi-transaction
+/// workloads under every distinguishable thread interleaving.  For that it
+/// must control *when* a thread blocks and resumes — which, in this
+/// codebase, happens in exactly one place: `CondVar::Wait`/`WaitUntil`
+/// (every lock-manager wait parks on a per-waiter condition variable).
+///
+/// A registered `BlockingObserver` turns those waits into cooperative
+/// scheduling points:
+///
+///  * a controlled thread that would block releases the mutex and parks in
+///    `OnCondVarBlock` until the scheduler runs it again — so at most one
+///    controlled thread executes at any time;
+///  * `NotifyOne`/`NotifyAll` forward to `OnCondVarNotify` *before* the
+///    native notify, letting the scheduler mark parked threads runnable
+///    without actually resuming them mid-step (deferred resumption keeps
+///    the interleaving sequentialized).
+///
+/// When no observer is registered (the production case) the only cost is
+/// one relaxed atomic load per notify/wait — the wrappers otherwise compile
+/// to the plain std calls.
+///
+/// The parked thread holds **no mutex** while in `OnCondVarBlock` (the
+/// caller released it first), so the whole lock-manager state is quiescent
+/// and auditable whenever every controlled thread is parked or yielded.
+
+#ifndef CODLOCK_UTIL_DET_HOOKS_H_
+#define CODLOCK_UTIL_DET_HOOKS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace codlock {
+
+/// \brief Scheduler interposition interface for condition-variable waits.
+class BlockingObserver {
+ public:
+  /// How a parked thread was resumed.
+  enum class WakeKind : uint8_t {
+    kNotified,  ///< a notify marked it runnable; re-check the predicate
+    kTimeout,   ///< the scheduler injected a timeout for this wait
+  };
+
+  virtual ~BlockingObserver() = default;
+
+  /// True when the calling thread is one the observer schedules.  Waits on
+  /// uncontrolled threads (the controller itself, unrelated test threads)
+  /// take the native path.
+  virtual bool ControlsCurrentThread() const = 0;
+
+  /// Called by a controlled thread instead of blocking on \p cv.  The
+  /// caller holds no mutex.  Returns when the scheduler runs this thread
+  /// again, with the reason it was resumed.
+  virtual WakeKind OnCondVarBlock(const void* cv) = 0;
+
+  /// Called (from any thread, possibly holding unrelated mutexes) right
+  /// before the native notify on \p cv.  Implementations must only take
+  /// their own leaf mutex here.
+  virtual void OnCondVarNotify(const void* cv) = 0;
+
+  /// The registered observer, or nullptr (production).
+  static BlockingObserver* Get() {
+    return observer_.load(std::memory_order_acquire);
+  }
+
+  /// Registers \p obs process-wide (nullptr to deregister).  Only one
+  /// observer may be registered at a time; the registrant must deregister
+  /// before destruction and after every controlled thread has exited.
+  static void Set(BlockingObserver* obs) {
+    observer_.store(obs, std::memory_order_release);
+  }
+
+ private:
+  static inline std::atomic<BlockingObserver*> observer_{nullptr};
+};
+
+}  // namespace codlock
+
+#endif  // CODLOCK_UTIL_DET_HOOKS_H_

@@ -23,6 +23,7 @@
 #include <mutex>
 #include <utility>
 
+#include "util/det_hooks.h"
 #include "util/thread_annotations.h"
 
 namespace codlock {
@@ -68,14 +69,28 @@ class CondVar {
   CondVar(const CondVar&) = delete;
   CondVar& operator=(const CondVar&) = delete;
 
-  void NotifyOne() { cv_.notify_one(); }
-  void NotifyAll() { cv_.notify_all(); }
+  void NotifyOne() {
+    if (BlockingObserver* obs = BlockingObserver::Get()) {
+      obs->OnCondVarNotify(this);
+    }
+    cv_.notify_one();
+  }
+  void NotifyAll() {
+    if (BlockingObserver* obs = BlockingObserver::Get()) {
+      obs->OnCondVarNotify(this);
+    }
+    cv_.notify_all();
+  }
 
   /// Blocks until \p pred holds or \p deadline passes; returns `pred()`.
   template <typename Clock, typename Duration, typename Predicate>
   bool WaitUntil(Mutex& mu,
                  const std::chrono::time_point<Clock, Duration>& deadline,
                  Predicate pred) CODLOCK_REQUIRES(mu) {
+    BlockingObserver* obs = BlockingObserver::Get();
+    if (obs != nullptr && obs->ControlsCurrentThread()) {
+      return WaitControlled(mu, *obs, pred, /*can_time_out=*/true);
+    }
     // Adopt the already-held mutex for the duration of the wait; release()
     // afterwards so ownership stays with the caller's scoped lock.
     std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
@@ -87,12 +102,38 @@ class CondVar {
   /// Blocks until \p pred holds.
   template <typename Predicate>
   void Wait(Mutex& mu, Predicate pred) CODLOCK_REQUIRES(mu) {
+    BlockingObserver* obs = BlockingObserver::Get();
+    if (obs != nullptr && obs->ControlsCurrentThread()) {
+      WaitControlled(mu, *obs, pred, /*can_time_out=*/false);
+      return;
+    }
     std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
     cv_.wait(lk, std::move(pred));
     lk.release();
   }
 
  private:
+  /// Wait path for scheduler-controlled threads (model checking): park in
+  /// the observer with the mutex released, re-check the predicate per
+  /// wake-up.  A scheduler-injected timeout ends the wait like a deadline
+  /// expiry would (the caller sees `pred()`, normally false).  Real time
+  /// plays no role — interleavings stay deterministic.  The raw `mu.mu_`
+  /// accesses are invisible to thread-safety analysis on purpose: as in
+  /// the native branch, the capability is considered held across the wait.
+  template <typename Predicate>
+  bool WaitControlled(Mutex& mu, BlockingObserver& obs, Predicate& pred,
+                      bool can_time_out) CODLOCK_NO_THREAD_SAFETY_ANALYSIS {
+    while (!pred()) {
+      mu.mu_.unlock();
+      BlockingObserver::WakeKind wake = obs.OnCondVarBlock(this);
+      mu.mu_.lock();
+      if (can_time_out && wake == BlockingObserver::WakeKind::kTimeout) {
+        return pred();
+      }
+    }
+    return true;
+  }
+
   std::condition_variable cv_;
 };
 

@@ -162,6 +162,33 @@ TEST(LograLintTest, DetectsSolidEdgeAcrossUnitBoundary) {
   EXPECT_TRUE(HasCode(report, LintCode::kBluHasChildren)) << report.ToString();
 }
 
+TEST(LograLintTest, DetectsUnreachableEntryPoint) {
+  sim::CellsFixture f = sim::BuildCellsEffectors();
+  LockGraph g = LockGraph::Build(*f.catalog);
+
+  // Orphan the effectors entry point: drop its containment edge from the
+  // relation node and the only dashed edge pointing at it.  No implicit
+  // lock can ever reach the unit afterwards.
+  NodeId eff_co = g.ComplexObjectNode(f.effectors);
+  NodeId rel_node = g.RelationNode(f.effectors);
+  auto& kids = g.MutableNodeForTest(rel_node).solid_children;
+  kids.erase(std::find(kids.begin(), kids.end(), eff_co));
+  NodeId ref = FindRefBlu(g, f.cells);
+  ASSERT_NE(ref, kInvalidNode);
+  auto& in = g.MutableNodeForTest(eff_co).dashed_in;
+  in.erase(std::find(in.begin(), in.end(), ref));
+  g.MutableNodeForTest(ref).dashed_target = kInvalidNode;
+
+  LintReport report = LintLockGraph(g, *f.catalog);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasCode(report, LintCode::kUnreachableEntryPoint))
+      << report.ToString();
+  // The orphaned containment also surfaces as a parent/child mismatch (the
+  // entry point still names the relation node as its solid parent).
+  EXPECT_TRUE(HasCode(report, LintCode::kParentChildMismatch))
+      << report.ToString();
+}
+
 TEST(LograLintTest, JsonReportIsMachineReadable) {
   sim::CellsFixture f = sim::BuildCellsEffectors();
   LockGraph g = LockGraph::Build(*f.catalog);

@@ -1,0 +1,213 @@
+/// \file mc_scheduler_test.cc
+/// \brief Tests for the deterministic cooperative scheduler.
+///
+/// The scheduler is the foundation the model checker stands on: exactly one
+/// controlled thread runs at a time, scheduling points are op boundaries
+/// (`Yield`) and condition-variable parks, notifications are deferred, and
+/// timeouts are injected rather than spontaneous.  These tests drive small
+/// hand-written bodies through explicit schedules and assert the observable
+/// order of effects.
+
+#include "mc/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <vector>
+
+#include "util/mutex.h"
+
+namespace codlock::mc {
+namespace {
+
+TEST(McSchedulerTest, RunsStepsInControllerChosenOrder) {
+  // Each body appends three marks, yielding between them; every Step runs
+  // exactly one segment, so the log is fully determined by the schedule.
+  std::vector<int> log;  // only one controlled thread runs at a time
+  DetScheduler sched;
+  auto body = [&](int base) {
+    return [&, base] {
+      log.push_back(base + 0);
+      sched.Yield();
+      log.push_back(base + 1);
+      sched.Yield();
+      log.push_back(base + 2);
+    };
+  };
+
+  sched.Launch({body(0), body(10)});
+  EXPECT_EQ(sched.num_threads(), 2);
+  EXPECT_EQ(sched.StateOf(0), ThreadState::kReady);
+  EXPECT_EQ(sched.StateOf(1), ThreadState::kReady);
+  EXPECT_EQ(sched.Enabled(), (std::vector<int>{0, 1}));
+  EXPECT_TRUE(log.empty()) << "no body may run before the first Step";
+
+  for (int tid : {0, 1, 1, 0, 0, 1}) {
+    EXPECT_TRUE(sched.Step(tid).empty());  // nothing parks, nothing notifies
+  }
+  EXPECT_EQ(log, (std::vector<int>{0, 10, 11, 1, 2, 12}));
+  EXPECT_TRUE(sched.AllDone());
+  EXPECT_EQ(sched.StateOf(0), ThreadState::kDone);
+  EXPECT_EQ(sched.StateOf(1), ThreadState::kDone);
+  EXPECT_TRUE(sched.Enabled().empty());
+}
+
+TEST(McSchedulerTest, CurrentTidIdentifiesControlledThreads) {
+  EXPECT_EQ(DetScheduler::CurrentTid(), -1);  // controller thread
+  int seen0 = -2, seen1 = -2;
+  DetScheduler sched;
+  sched.Launch({[&] { seen0 = DetScheduler::CurrentTid(); },
+                [&] { seen1 = DetScheduler::CurrentTid(); }});
+  sched.Step(0);
+  sched.Step(1);
+  EXPECT_EQ(seen0, 0);
+  EXPECT_EQ(seen1, 1);
+  EXPECT_EQ(DetScheduler::CurrentTid(), -1);
+}
+
+TEST(McSchedulerTest, ParkNotifyStepSequence) {
+  Mutex mu;
+  CondVar cv;
+  bool flag = false;     // guarded by mu
+  bool waited = false;   // written by thread 0 after its wait returns
+
+  DetScheduler sched;
+  sched.Launch({
+      [&] {
+        MutexLock lock(mu);
+        cv.Wait(mu, [&] { return flag; });
+        waited = true;
+      },
+      [&] {
+        MutexLock lock(mu);
+        flag = true;
+        cv.NotifyOne();
+      },
+  });
+
+  // Thread 0 parks on the condition variable.
+  EXPECT_TRUE(sched.Step(0).empty());
+  EXPECT_EQ(sched.StateOf(0), ThreadState::kParked);
+  EXPECT_EQ(sched.Parked(), (std::vector<int>{0}));
+  EXPECT_EQ(sched.Enabled(), (std::vector<int>{1}));
+  EXPECT_FALSE(waited);
+
+  // Thread 1 notifies: the notification is *deferred* — thread 0 becomes
+  // steppable but has not run yet.
+  EXPECT_EQ(sched.Step(1), (std::vector<int>{0}));
+  EXPECT_EQ(sched.StateOf(0), ThreadState::kNotified);
+  EXPECT_EQ(sched.StateOf(1), ThreadState::kDone);
+  EXPECT_FALSE(waited) << "a notified thread must not run until stepped";
+
+  // Stepping the notified thread resumes the wait; the predicate holds.
+  EXPECT_TRUE(sched.Step(0).empty());
+  EXPECT_TRUE(waited);
+  EXPECT_TRUE(sched.AllDone());
+}
+
+TEST(McSchedulerTest, DeliverTimeoutResolvesWaitAsTimedOut) {
+  Mutex mu;
+  CondVar cv;
+  bool wait_result = true;  // WaitUntil must report the (false) predicate
+
+  DetScheduler sched;
+  sched.Launch({[&] {
+    MutexLock lock(mu);
+    // The deadline is real-time-far-away; controlled threads ignore real
+    // deadlines entirely — only DeliverTimeout can end this wait.
+    auto never = std::chrono::steady_clock::now() + std::chrono::hours(24);
+    wait_result =
+        cv.WaitUntil(mu, never, [&] { return false; });
+  }});
+
+  sched.Step(0);
+  EXPECT_EQ(sched.StateOf(0), ThreadState::kParked);
+  EXPECT_TRUE(sched.Enabled().empty());
+
+  sched.DeliverTimeout(0);
+  EXPECT_TRUE(sched.AllDone());
+  EXPECT_FALSE(wait_result) << "a timed-out wait returns its predicate";
+}
+
+TEST(McSchedulerTest, SpuriousNotifyReparks) {
+  Mutex mu;
+  CondVar cv;
+  bool flag = false;
+  int wakeups = 0;
+
+  DetScheduler sched;
+  sched.Launch({
+      [&] {
+        MutexLock lock(mu);
+        cv.Wait(mu, [&] {
+          ++wakeups;
+          return flag;
+        });
+      },
+      [&] {
+        {
+          MutexLock lock(mu);
+          cv.NotifyOne();  // spurious: predicate still false
+        }
+        sched.Yield();
+        {
+          MutexLock lock(mu);
+          flag = true;
+          cv.NotifyOne();
+        }
+      },
+  });
+
+  sched.Step(0);  // initial predicate check + park
+  EXPECT_EQ(sched.Step(1), (std::vector<int>{0}));
+  sched.Step(0);  // woken, predicate still false: re-parks
+  EXPECT_EQ(sched.StateOf(0), ThreadState::kParked);
+  EXPECT_EQ(sched.Step(1), (std::vector<int>{0}));
+  sched.Step(0);  // predicate now true
+  EXPECT_TRUE(sched.AllDone());
+  EXPECT_EQ(wakeups, 3);  // initial, spurious, final
+}
+
+TEST(McSchedulerTest, DrainRunsEverythingToCompletion) {
+  Mutex mu;
+  CondVar cv;
+  int finished = 0;
+
+  DetScheduler sched;
+  sched.Launch({
+      [&] {
+        MutexLock lock(mu);
+        auto never = std::chrono::steady_clock::now() + std::chrono::hours(24);
+        cv.WaitUntil(mu, never, [&] { return false; });
+        ++finished;
+      },
+      [&] {
+        sched.Yield();
+        ++finished;
+      },
+  });
+
+  sched.Step(0);  // park thread 0 so Drain must inject a timeout
+  sched.Drain();
+  EXPECT_TRUE(sched.AllDone());
+  EXPECT_FALSE(sched.drain_incomplete());
+  EXPECT_EQ(finished, 2);
+}
+
+TEST(McSchedulerTest, DestructorDrainsUnsteppedThreads) {
+  // Destroying a scheduler with never-stepped bodies must not hang: the
+  // destructor drains and joins.
+  int ran = 0;
+  {
+    DetScheduler sched;
+    sched.Launch({[&] { ++ran; }, [&] {
+                    sched.Yield();
+                    ++ran;
+                  }});
+  }
+  EXPECT_EQ(ran, 2);
+}
+
+}  // namespace
+}  // namespace codlock::mc

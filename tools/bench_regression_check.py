@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Compare freshly generated BENCH_*.json against committed baselines.
+
+Reads the two perf baselines the repo keeps at its root —
+
+  BENCH_lock_manager.json  google-benchmark JSON (aggregates only); the
+                           *_median real_time per benchmark family is the
+                           compared statistic (medians are robust to the
+                           odd slow repetition on shared runners);
+  BENCH_overhead.json      bench_overhead --json; every "throughput_tps"
+                           value in the document is compared (higher is
+                           better).
+
+and prints one line per metric with the relative delta.  A metric whose
+delta is worse than the threshold (default 15%) counts as a regression;
+improvements are reported but never fail.  CI runs this warn-only
+(shared-runner numbers are indicative, see EXPERIMENTS.md "Performance
+methodology"); pass --strict to turn regressions into a non-zero exit for
+controlled machines.
+
+Usage:
+  tools/bench_regression_check.py --baseline-dir DIR --fresh-dir DIR
+                                  [--threshold 0.15] [--strict]
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_json(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def lock_manager_medians(doc):
+    """Map benchmark family -> median real_time (ns) from google-benchmark
+    aggregate output."""
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("aggregate_name") == "median":
+            out[b["run_name"]] = (float(b["real_time"]),
+                                  b.get("time_unit", "ns"))
+    return out
+
+
+def throughput_metrics(doc, prefix=""):
+    """Recursively collect every "throughput_tps" value with its JSON path."""
+    out = {}
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if key == "throughput_tps" and isinstance(value, (int, float)):
+                out[prefix or key] = float(value)
+            else:
+                out.update(throughput_metrics(value, path))
+    elif isinstance(doc, list):
+        for i, value in enumerate(doc):
+            out.update(throughput_metrics(value, f"{prefix}[{i}]"))
+    return out
+
+
+def compare(name, baseline, fresh, threshold, lower_is_better):
+    """Returns (is_regression, line)."""
+    if baseline == 0:
+        return False, f"  {name}: baseline is zero, skipped"
+    delta = (fresh - baseline) / baseline
+    worse = delta > threshold if lower_is_better else delta < -threshold
+    arrow = "REGRESSION" if worse else "ok"
+    return worse, (f"  {name}: baseline={baseline:.6g} fresh={fresh:.6g} "
+                   f"delta={delta:+.1%} [{arrow}]")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline-dir", required=True,
+                    help="directory holding the committed BENCH_*.json")
+    ap.add_argument("--fresh-dir", required=True,
+                    help="directory holding the freshly generated BENCH_*.json")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="relative worsening that counts as a regression "
+                         "(default 0.15 = 15%%)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit non-zero when a regression is found "
+                         "(default: warn only)")
+    args = ap.parse_args()
+
+    regressions = 0
+    compared = 0
+
+    # --- BENCH_lock_manager.json: median real_time, lower is better. -------
+    lm = "BENCH_lock_manager.json"
+    base_path = os.path.join(args.baseline_dir, lm)
+    fresh_path = os.path.join(args.fresh_dir, lm)
+    if os.path.exists(base_path) and os.path.exists(fresh_path):
+        base = lock_manager_medians(load_json(base_path))
+        fresh = lock_manager_medians(load_json(fresh_path))
+        print(f"{lm} (median real_time, lower is better):")
+        for name in sorted(base):
+            if name not in fresh:
+                print(f"  {name}: missing from fresh run")
+                continue
+            (b, b_unit), (f, f_unit) = base[name], fresh[name]
+            if b_unit != f_unit:
+                print(f"  {name}: unit mismatch {b_unit} vs {f_unit}, skipped")
+                continue
+            worse, line = compare(name, b, f, args.threshold,
+                                  lower_is_better=True)
+            print(line)
+            compared += 1
+            regressions += worse
+        for name in sorted(set(fresh) - set(base)):
+            print(f"  {name}: new benchmark (no baseline)")
+    else:
+        print(f"{lm}: not present in both directories, skipped")
+
+    # --- BENCH_overhead.json: throughput_tps, higher is better. ------------
+    ov = "BENCH_overhead.json"
+    base_path = os.path.join(args.baseline_dir, ov)
+    fresh_path = os.path.join(args.fresh_dir, ov)
+    if os.path.exists(base_path) and os.path.exists(fresh_path):
+        base = throughput_metrics(load_json(base_path))
+        fresh = throughput_metrics(load_json(fresh_path))
+        print(f"{ov} (throughput_tps, higher is better):")
+        for name in sorted(base):
+            if name not in fresh:
+                print(f"  {name}: missing from fresh run")
+                continue
+            worse, line = compare(name, base[name], fresh[name],
+                                  args.threshold, lower_is_better=False)
+            print(line)
+            compared += 1
+            regressions += worse
+    else:
+        print(f"{ov}: not present in both directories, skipped")
+
+    print(f"compared {compared} metrics, {regressions} regression(s) beyond "
+          f"{args.threshold:.0%}")
+    if regressions and args.strict:
+        return 1
+    if regressions:
+        print("warning: regressions found (non-fatal without --strict)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
