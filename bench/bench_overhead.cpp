@@ -62,12 +62,19 @@ sim::WorkloadReport RunDisjoint(sim::SyntheticFixture& f,
 
 void PrintReportJson(std::ostream& os, const char* name,
                      const sim::WorkloadReport& r) {
-  os << "    \"" << name << "\": {\"committed\": " << r.committed
+  os << "    \"" << name << "\": {\"submitted\": " << r.submitted
+     << ", \"committed\": " << r.committed
      << ", \"throughput_tps\": " << r.throughput_tps()
      << ", \"locks_per_txn\": " << r.locks_per_txn()
      << ", \"lock_requests\": " << r.lock_requests
      << ", \"lock_waits\": " << r.lock_waits
-     << ", \"conflicts\": " << r.conflicts << "}";
+     << ", \"conflicts\": " << r.conflicts
+     << ", \"deadlock_aborts\": " << r.deadlock_aborts
+     << ", \"timeout_aborts\": " << r.timeout_aborts
+     << ", \"shed_aborts\": " << r.shed_aborts
+     << ", \"retries\": " << r.retries
+     << ", \"unresolved\": " << r.unresolved
+     << ", \"reconciles\": " << (r.Reconciles() ? "true" : "false") << "}";
 }
 
 }  // namespace

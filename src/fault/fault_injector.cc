@@ -1,0 +1,195 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace codlock::fault {
+
+namespace {
+
+/// Process-wide count of armed points: the per-site fast path.  Zero means
+/// every Fire() returns kNone after one relaxed load.
+std::atomic<uint64_t> g_armed_count{0};
+
+struct Registry {
+  Mutex mu;
+  std::vector<FaultPoint*> points CODLOCK_GUARDED_BY(mu);
+};
+
+Registry& TheRegistry() {
+  static Registry* r = new Registry();  // leaked: outlives static dtors
+  return *r;
+}
+
+uint64_t MixSeed(uint64_t seed, std::string_view name) {
+  // splitmix64 over the seed xor a stable string hash, so two points armed
+  // from one plan seed draw independent streams.
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return seed ^ h;
+}
+
+}  // namespace
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kError:
+      return "error";
+    case FaultKind::kTornWrite:
+      return "torn-write";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kForcedTimeout:
+      return "forced-timeout";
+    case FaultKind::kAllocFail:
+      return "alloc-fail";
+  }
+  return "?";
+}
+
+FaultPoint::FaultPoint(std::string_view name, FaultKind sweep_kind)
+    : name_(name), sweep_kind_(sweep_kind) {
+  Registry& r = TheRegistry();
+  MutexLock lk(r.mu);
+  r.points.push_back(this);
+}
+
+FireResult FaultPoint::Fire() {
+  if (g_armed_count.load(std::memory_order_relaxed) == 0) return {};
+  MutexLock lk(mu_);
+  if (!armed_) return {};
+  const uint64_t hit = ++hits_;
+  bool fire = false;
+  bool disarm_after = false;
+  switch (spec_.trigger.when) {
+    case Trigger::When::kAlways:
+      fire = true;
+      break;
+    case Trigger::When::kOnce:
+      fire = true;
+      disarm_after = true;
+      break;
+    case Trigger::When::kNth:
+      fire = hit == std::max<uint64_t>(spec_.trigger.n, 1);
+      disarm_after = fire;
+      break;
+    case Trigger::When::kEveryNth: {
+      const uint64_t n = std::max<uint64_t>(spec_.trigger.n, 1);
+      fire = hit % n == 0;
+      break;
+    }
+    case Trigger::When::kProbability:
+      fire = rng_.Bernoulli(spec_.trigger.p);
+      break;
+  }
+  if (!fire) return {};
+  FireResult result{spec_.kind, spec_.arg};
+  if (disarm_after) {
+    armed_ = false;
+    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+void FaultPoint::Arm(const FaultSpec& spec) {
+  MutexLock lk(mu_);
+  if (!armed_) g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  armed_ = true;
+  spec_ = spec;
+  hits_ = 0;
+  rng_ = Rng(MixSeed(spec.seed, name_));
+}
+
+void FaultPoint::Disarm() {
+  MutexLock lk(mu_);
+  if (armed_) g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  armed_ = false;
+  hits_ = 0;
+}
+
+bool FaultPoint::armed() const {
+  MutexLock lk(mu_);
+  return armed_;
+}
+
+uint64_t FaultPoint::hits() const {
+  MutexLock lk(mu_);
+  return hits_;
+}
+
+std::vector<FaultPoint*> AllPoints() {
+  Registry& r = TheRegistry();
+  MutexLock lk(r.mu);
+  return r.points;
+}
+
+FaultPoint* FindPoint(std::string_view name) {
+  Registry& r = TheRegistry();
+  MutexLock lk(r.mu);
+  for (FaultPoint* p : r.points) {
+    if (p->name() == name) return p;
+  }
+  return nullptr;
+}
+
+void DisarmAll() {
+  for (FaultPoint* p : AllPoints()) p->Disarm();
+}
+
+FaultPlan& FaultPlan::Add(std::string_view point, FaultSpec spec) {
+  spec.seed = seed_;
+  faults_.emplace_back(std::string(point), spec);
+  return *this;
+}
+
+Status FaultPlan::Arm() {
+  std::vector<FaultPoint*> resolved;
+  resolved.reserve(faults_.size());
+  for (const auto& [name, spec] : faults_) {
+    FaultPoint* p = FindPoint(name);
+    if (p == nullptr) {
+      return Status::NotFound("unknown fault point '" + name + "'");
+    }
+    resolved.push_back(p);
+  }
+  for (size_t i = 0; i < resolved.size(); ++i) {
+    resolved[i]->Arm(faults_[i].second);
+  }
+  armed_points_ = std::move(resolved);
+  return Status::OK();
+}
+
+void FaultPlan::Disarm() {
+  for (FaultPoint* p : armed_points_) p->Disarm();
+  armed_points_.clear();
+}
+
+Status StatusFor(const FireResult& result, std::string_view point) {
+  const std::string where(point);
+  switch (result.kind) {
+    case FaultKind::kNone:
+      return Status::OK();
+    case FaultKind::kError:
+      return Status::Internal("injected fault at " + where);
+    case FaultKind::kTornWrite:
+    case FaultKind::kCrash:
+      return Status::Internal("injected crash at " + where);
+    case FaultKind::kForcedTimeout:
+      return Status::Timeout("injected timeout at " + where);
+    case FaultKind::kAllocFail:
+      return Status::Internal("injected allocation failure at " + where);
+  }
+  return Status::Internal("injected fault at " + where);
+}
+
+bool IsInjectedCrash(const Status& status) {
+  return status.IsInternal() &&
+         status.message().rfind("injected crash", 0) == 0;
+}
+
+}  // namespace codlock::fault

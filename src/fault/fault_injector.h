@@ -1,0 +1,221 @@
+/// \file fault_injector.h
+/// \brief Deterministic fault-injection framework.
+///
+/// §3.1 demands that long locks "survive system shutdowns and system
+/// crashes" — a property that can only be *tested* by making the system
+/// fail on purpose, at every point where it could fail in production.
+/// This framework provides named **fault points** compiled into the
+/// production code (same spirit as `util/mutation_points.h`): each site
+/// asks its point whether a fault fires *now*, and interprets the returned
+/// kind (torn write, IO error, crash-at-point, forced timeout, allocation
+/// failure).  With nothing armed the cost per site is a single relaxed
+/// atomic load of a process-wide counter.
+///
+/// Determinism: triggers are counter-based (once / at the nth hit / every
+/// nth hit) or probability-based with a per-point `Rng` seeded from the
+/// arming seed and the point name, so a seeded `FaultPlan` reproduces the
+/// exact same failure schedule on every run — which is what lets the
+/// crashpoint sweep (`tools/codlock_faultsweep`) enumerate every
+/// registered point, crash there, and assert recovery.
+///
+/// Threading: `Fire()` may be called from any thread (per-point mutex once
+/// the global fast path misses).  Arming/disarming is expected from a
+/// controlling thread (tests, sweep driver) while workload threads run.
+
+#ifndef CODLOCK_FAULT_FAULT_INJECTOR_H_
+#define CODLOCK_FAULT_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace codlock::fault {
+
+/// What the injection site should simulate when its point fires.  The
+/// *site* defines the exact semantics; the table below is the contract the
+/// shipped sites implement.
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  /// The operation reports an injected IO/internal error (stream write
+  /// failure, fsync error, rename error ...) and unwinds cleanly.
+  kError,
+  /// A file write stops after `arg` bytes of the intended payload (0 =
+  /// half), leaving a short/torn artifact, then behaves like kCrash.
+  kTornWrite,
+  /// The site abandons the operation mid-way exactly as a process death
+  /// would: no cleanup, no rename, partial state stays on disk / in
+  /// memory.  The caller observes `StatusCode::kInternal` with message
+  /// prefix "injected crash"; a sweep driver then simulates the restart.
+  kCrash,
+  /// A blocking lock wait fails immediately as if its deadline expired.
+  kForcedTimeout,
+  /// An allocation at the site reports exhaustion (the operation fails
+  /// with an injected error instead of throwing bad_alloc).
+  kAllocFail,
+};
+
+std::string_view FaultKindName(FaultKind kind);
+
+/// When an armed point actually fires.
+struct Trigger {
+  enum class When : uint8_t {
+    kAlways,       ///< every hit
+    kOnce,         ///< the first hit after arming, then auto-disarm
+    kNth,          ///< exactly the nth hit after arming (1-based), once
+    kEveryNth,     ///< every nth hit (n, 2n, 3n, ...)
+    kProbability,  ///< each hit independently with probability `p`
+  };
+  When when = When::kOnce;
+  uint64_t n = 1;  ///< for kNth/kEveryNth (1-based)
+  double p = 0.0;  ///< for kProbability
+
+  static Trigger Always() { return {When::kAlways, 1, 0.0}; }
+  static Trigger Once() { return {When::kOnce, 1, 0.0}; }
+  static Trigger Nth(uint64_t n) { return {When::kNth, n, 0.0}; }
+  static Trigger EveryNth(uint64_t n) { return {When::kEveryNth, n, 0.0}; }
+  static Trigger Probability(double p) {
+    return {When::kProbability, 1, p};
+  }
+};
+
+/// A fault armed at one point.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kError;
+  Trigger trigger = Trigger::Once();
+  /// Kind-specific argument (kTornWrite: bytes to let through).
+  uint64_t arg = 0;
+  /// Seed for probability triggers (mixed with the point name).
+  uint64_t seed = 1;
+};
+
+/// Outcome of asking a point whether to fail now.
+struct FireResult {
+  FaultKind kind = FaultKind::kNone;
+  uint64_t arg = 0;
+
+  explicit operator bool() const { return kind != FaultKind::kNone; }
+};
+
+/// \brief One named fault point.  Define at namespace scope in the .cc of
+/// the component it guards so registration happens at static-init time and
+/// the sweep can enumerate it:
+///
+///     static fault::FaultPoint kSyncFault{"store/sync", FaultKind::kCrash};
+///     ...
+///     if (fault::FireResult f = kSyncFault.Fire()) { /* interpret f */ }
+class FaultPoint {
+ public:
+  /// \p sweep_kind is the fault the crashpoint sweep arms at this point —
+  /// the "worst plausible" failure of the guarded operation.
+  FaultPoint(std::string_view name, FaultKind sweep_kind);
+
+  FaultPoint(const FaultPoint&) = delete;
+  FaultPoint& operator=(const FaultPoint&) = delete;
+
+  const std::string& name() const { return name_; }
+  FaultKind sweep_kind() const { return sweep_kind_; }
+
+  /// Asks whether a fault fires at this hit.  Cheap when nothing is armed
+  /// anywhere (one relaxed atomic load).
+  FireResult Fire();
+
+  void Arm(const FaultSpec& spec);
+  void Disarm();
+  bool armed() const;
+
+  /// Hits since arming (0 when disarmed; tests use this to see how often
+  /// the guarded path runs).
+  uint64_t hits() const;
+
+ private:
+  const std::string name_;
+  const FaultKind sweep_kind_;
+
+  mutable Mutex mu_;
+  bool armed_ CODLOCK_GUARDED_BY(mu_) = false;
+  FaultSpec spec_ CODLOCK_GUARDED_BY(mu_);
+  uint64_t hits_ CODLOCK_GUARDED_BY(mu_) = 0;
+  Rng rng_ CODLOCK_GUARDED_BY(mu_){0};
+};
+
+/// All fault points linked into this process (static-init registration
+/// order; stable within one build).
+std::vector<FaultPoint*> AllPoints();
+
+/// Looks up a point by name (nullptr if unknown).
+FaultPoint* FindPoint(std::string_view name);
+
+/// Disarms every point (test teardown safety net).
+void DisarmAll();
+
+/// \brief A named, seeded set of faults armed together.
+///
+/// The plan seed is mixed into every probability trigger (per point, via
+/// the point name) so one integer reproduces the whole failure schedule.
+/// Destruction disarms whatever the plan armed.
+class FaultPlan {
+ public:
+  explicit FaultPlan(uint64_t seed = 1) : seed_(seed) {}
+  ~FaultPlan() { Disarm(); }
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  /// Adds \p spec for the point named \p point (validated at Arm time).
+  FaultPlan& Add(std::string_view point, FaultSpec spec);
+
+  /// Arms every added fault; fails with kNotFound on an unknown point
+  /// name (nothing is armed in that case).
+  Status Arm();
+
+  /// Disarms the points this plan armed (idempotent).
+  void Disarm();
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint64_t seed_;
+  std::vector<std::pair<std::string, FaultSpec>> faults_;
+  std::vector<FaultPoint*> armed_points_;
+};
+
+/// RAII single-point arm for tests.
+class ScopedFault {
+ public:
+  ScopedFault(std::string_view point, const FaultSpec& spec)
+      : point_(FindPoint(point)) {
+    if (point_ != nullptr) point_->Arm(spec);
+  }
+  ~ScopedFault() {
+    if (point_ != nullptr) point_->Disarm();
+  }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  /// False if the named point does not exist (typo guard for tests).
+  bool valid() const { return point_ != nullptr; }
+  FaultPoint* point() const { return point_; }
+
+ private:
+  FaultPoint* point_;
+};
+
+/// Builds the Status an injection site returns for \p result (kError →
+/// kInternal "injected fault at <point>", kCrash → kInternal "injected
+/// crash at <point>", kAllocFail → kInternal "injected allocation failure
+/// at <point>", kForcedTimeout → kTimeout).
+Status StatusFor(const FireResult& result, std::string_view point);
+
+/// True when \p status is an injected crash (distinguishes a simulated
+/// process death from an ordinary error in sweep drivers).
+bool IsInjectedCrash(const Status& status);
+
+}  // namespace codlock::fault
+
+#endif  // CODLOCK_FAULT_FAULT_INJECTOR_H_

@@ -3,12 +3,25 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <thread>
 
+#include "fault/fault_injector.h"
 #include "util/mutation_points.h"
 
 namespace codlock::lock {
 
 namespace {
+
+// Fault points (fault/fault_injector.h).  `lock/waiter-alloc` models an
+// allocation failure creating the waiter state; `lock/wait` forces a
+// blocked request to time out; `lock/acquire-path` fails AcquirePath
+// mid-path (arm with Trigger::Nth to pick the position) to exercise the
+// partial-acquisition rollback.
+fault::FaultPoint g_fault_waiter_alloc{"lock/waiter-alloc",
+                                       fault::FaultKind::kAllocFail};
+fault::FaultPoint g_fault_wait{"lock/wait", fault::FaultKind::kForcedTimeout};
+fault::FaultPoint g_fault_acquire_path{"lock/acquire-path",
+                                       fault::FaultKind::kError};
 
 /// Bumps the held-locks gauge by \p n and its high-water mark (atomics
 /// only).  Batched callers pay one RMW for a whole path.
@@ -312,10 +325,10 @@ Status LockManager::AcquirePath(TxnId txn, std::span<const ResourceId> path,
   // Pass 1: answer covered re-acquisitions from the cache (no mutex).
   uint32_t shard_of[kMaxBatch];
   uint64_t todo_mask = 0;
-  uint64_t hits = 0;
+  uint64_t hit_mask = 0;
   for (size_t i = 0; i < n; ++i) {
     if (cache != nullptr && cache->TryHit(path[i], mode_of(i), want_long)) {
-      ++hits;
+      hit_mask |= uint64_t{1} << i;
       continue;
     }
     shard_of[i] = static_cast<uint32_t>(ShardIndexFor(path[i]));
@@ -323,6 +336,7 @@ Status LockManager::AcquirePath(TxnId txn, std::span<const ResourceId> path,
   }
   // Total requests = requests + cache_hits (see metrics.h): one batched
   // RMW per counter for the whole path.
+  const uint64_t hits = static_cast<uint64_t>(std::popcount(hit_mask));
   if (hits != 0) stats_.cache_hits.Add(hits);
   if (n - hits != 0) stats_.requests.Add(n - hits);
   if (todo_mask == 0) return Status::OK();
@@ -378,12 +392,33 @@ Status LockManager::AcquirePath(TxnId txn, std::span<const ResourceId> path,
 
   // Pass 3: whatever conflicted is acquired blocking, in path order
   // (rule 5 root-to-leaf waiting semantics; ascending bits = path order).
+  // A mid-path failure (timeout, deadlock, shed, injected fault) rolls
+  // back every acquisition *this call* made — cache hits, immediate
+  // grants and blocking grants — leaf-to-root, so the failed path leaves
+  // no new intention locks behind for the retry loop to trip over.
+  Status status;
+  uint64_t blocking_done = 0;
   for (uint64_t scan = deferred_mask; scan != 0; scan &= scan - 1) {
     const size_t i = static_cast<size_t>(std::countr_zero(scan));
-    CODLOCK_RETURN_IF_ERROR(
-        AcquireSlow(txn, path[i], mode_of(i), options, cache));
+    if (fault::FireResult f = g_fault_acquire_path.Fire()) {
+      status = fault::StatusFor(f, g_fault_acquire_path.name());
+      break;
+    }
+    status = AcquireSlow(txn, path[i], mode_of(i), options, cache);
+    if (!status.ok()) break;
+    blocking_done |= uint64_t{1} << i;
   }
-  return Status::OK();
+  if (status.ok()) return Status::OK();
+
+  const uint64_t undo = hit_mask | granted_mask | blocking_done;
+  for (size_t i = n; i-- > 0;) {
+    if ((undo & (uint64_t{1} << i)) == 0) continue;
+    // Count-paired: a re-entrant acquisition merely drops back to its
+    // previous count; a fresh grant disappears.  Mode upgrades from
+    // conversions persist (safe — strictly stronger).
+    Release(txn, path[i], cache);
+  }
+  return status;
 }
 
 LockManager::Entry& LockManager::EntryFor(Shard& shard, const ResourceId& res) {
@@ -493,6 +528,37 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
                             " conflicts and wait=false");
   }
 
+  auto maybe_retire = [&] {
+    if (entry.holders.empty() && entry.waiters.empty()) {
+      RetireEntry(shard, shard.entries.find(resource));
+    }
+  };
+
+  // Crash/restart drain: no new waiter may park once draining started.
+  if (draining_.load(std::memory_order_acquire)) {
+    maybe_retire();
+    return Status::Aborted("lock manager is draining for shutdown");
+  }
+
+  // Overload shedding: beyond the blocked-waiter cap, rejecting is kinder
+  // than queuing — the convoy would only deepen.  kShed tells the caller
+  // "retry with backoff", unlike kConflict/kTimeout.
+  if (options_.max_blocked_waiters != 0 &&
+      blocked_waiters_.load(std::memory_order_acquire) >=
+          options_.max_blocked_waiters) {
+    stats_.sheds.Add();
+    maybe_retire();
+    return Status::Shed("lock wait on " + resource.ToString() +
+                        " shed: " +
+                        std::to_string(options_.max_blocked_waiters) +
+                        " waiters already blocked");
+  }
+
+  if (fault::FireResult f = g_fault_waiter_alloc.Fire()) {
+    maybe_retire();
+    return fault::StatusFor(f, g_fault_waiter_alloc.name());
+  }
+
   // Enqueue and wait.
   auto waiter = std::make_shared<WaiterState>();
   waiter->txn = txn;
@@ -505,12 +571,27 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
     entry.waiters.push_back(waiter);
   }
   stats_.waits.Add();
+  blocked_waiters_.fetch_add(1, std::memory_order_acq_rel);
 
   const uint64_t timeout_ms =
-      options.timeout_ms != 0 ? options.timeout_ms : options_.default_timeout_ms;
+      options.timeout_ms != AcquireOptions::kTimeoutDefault
+          ? options.timeout_ms
+          : options_.default_timeout_ms;
+  const bool infinite = timeout_ms == AcquireOptions::kTimeoutInfinite;
   const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+      infinite ? std::chrono::steady_clock::time_point::max()
+               : std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(timeout_ms);
   Stopwatch waited;
+
+  if (fault::FireResult f = g_fault_wait.Fire()) {
+    // Forced timeout: the wait "expires" immediately, whatever the
+    // deadline was.
+    blocked_waiters_.fetch_sub(1, std::memory_order_acq_rel);
+    CleanupFailedWait(shard, resource, entry, txn, waiter.get(), waited);
+    stats_.timeouts.Add();
+    return fault::StatusFor(f, g_fault_wait.name());
+  }
 
   while (true) {
     switch (policy_) {
@@ -519,6 +600,7 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
             BlockersOf(shard, entry, txn, target, waiter.get());
         TxnId victim = wfg_.UpdateAndCheck(txn, std::move(blockers), waiter);
         if (victim == txn) {
+          blocked_waiters_.fetch_sub(1, std::memory_order_acq_rel);
           CleanupFailedWait(shard, resource, entry, txn, waiter.get(), waited);
           stats_.deadlocks.Add();
           return Status::Deadlock("transaction " + std::to_string(txn) +
@@ -533,6 +615,7 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
         for (TxnId blocker :
              BlockersOf(shard, entry, txn, target, waiter.get())) {
           if (blocker < txn) {
+            blocked_waiters_.fetch_sub(1, std::memory_order_acq_rel);
             CleanupFailedWait(shard, resource, entry, txn, waiter.get(),
                               waited);
             stats_.deadlocks.Add();
@@ -558,13 +641,21 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
         break;
     }
 
-    bool in_time = waiter->cv.WaitUntil(shard.mu, deadline, [&] {
+    auto wake_pred = [&] {
       return waiter->granted || waiter->killed.load(
                                     std::memory_order_relaxed) !=
                                     KillReason::kNone;
-    });
+    };
+    bool in_time = true;
+    if (infinite) {
+      // No deadline: sleep until granted or killed (never times out).
+      waiter->cv.Wait(shard.mu, wake_pred);
+    } else {
+      in_time = waiter->cv.WaitUntil(shard.mu, deadline, wake_pred);
+    }
 
     if (waiter->granted) {
+      blocked_waiters_.fetch_sub(1, std::memory_order_acq_rel);
       wfg_.Remove(txn);
       stats_.grants.Add();
       stats_.wait_ns.Record(waited.ElapsedNanos());
@@ -574,7 +665,13 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
     }
     KillReason reason = waiter->killed.load(std::memory_order_relaxed);
     if (reason != KillReason::kNone) {
+      blocked_waiters_.fetch_sub(1, std::memory_order_acq_rel);
       CleanupFailedWait(shard, resource, entry, txn, waiter.get(), waited);
+      if (reason == KillReason::kShutdown) {
+        return Status::Aborted("lock wait on " + resource.ToString() +
+                               " aborted: lock manager draining for "
+                               "shutdown");
+      }
       stats_.deadlocks.Add();
       if (reason == KillReason::kWounded) {
         return Status::Aborted("transaction " + std::to_string(txn) +
@@ -586,6 +683,7 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
                               resource.ToString());
     }
     if (!in_time) {
+      blocked_waiters_.fetch_sub(1, std::memory_order_acq_rel);
       CleanupFailedWait(shard, resource, entry, txn, waiter.get(), waited);
       stats_.timeouts.Add();
       return Status::Timeout("lock wait on " + resource.ToString() +
@@ -710,6 +808,35 @@ size_t LockManager::ReleaseAll(TxnId txn) {
   return released;
 }
 
+size_t LockManager::DrainForShutdown() {
+  // From here on AcquireLocked refuses to park new waiters (they fail
+  // with kAborted before enqueuing).
+  draining_.store(true, std::memory_order_release);
+  size_t killed = 0;
+  for (Shard& shard : shards_) {
+    MutexLock lk(shard.mu);
+    for (auto& [res, entry] : shard.entries) {
+      for (auto& w : entry.waiters) {
+        if (w->granted) continue;
+        KillReason expected = KillReason::kNone;
+        if (w->killed.compare_exchange_strong(expected, KillReason::kShutdown,
+                                              std::memory_order_relaxed)) {
+          ++killed;
+          w->cv.NotifyAll();
+        }
+      }
+    }
+  }
+  // Each killed waiter unwinds under its shard mutex (dequeue + waits-for
+  // removal) and decrements the gauge as it leaves; wait for the last one
+  // so the manager can be destroyed without a thread sleeping on a member
+  // condition variable.
+  while (blocked_waiters_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  return killed;
+}
+
 Status LockManager::Downgrade(TxnId txn, ResourceId resource, LockMode mode,
                               TxnLockCache* cache) {
   Shard& shard = ShardFor(resource);
@@ -828,16 +955,37 @@ std::vector<LongLockRecord> LockManager::SnapshotAllLocks() const {
 
 Status LockManager::RestoreLongLocks(
     const std::vector<LongLockRecord>& records) {
+  // Pass 1 — validate without mutating: a record conflicts when any
+  // *other* transaction already holds an incompatible mode (e.g. a short
+  // lock taken before recovery ran).  All-or-nothing: one conflict and
+  // nothing is installed, so a failed restore never leaves a half-adopted
+  // lock table behind.
+  for (const LongLockRecord& rec : records) {
+    if (rec.txn == kInvalidTxn) {
+      return Status::InvalidArgument("long-lock record with invalid txn");
+    }
+    Shard& shard = ShardFor(rec.resource);
+    MutexLock lk(shard.mu);
+    auto it = shard.entries.find(rec.resource);
+    if (it == shard.entries.end()) continue;
+    if (!CompatibleWithHolders(shard, it->second, rec.txn, rec.mode)) {
+      return Status::Internal("long-lock restore conflict on " +
+                              rec.resource.ToString() + ": txn " +
+                              std::to_string(rec.txn) + " wants " +
+                              std::string(LockModeName(rec.mode)) +
+                              " against an incompatible holder");
+    }
+  }
+
+  // Pass 2 — install.  Duplicate records for one (txn, resource) merge to
+  // the supremum mode.  Runs during recovery quiescence, so the validated
+  // facts still hold.
   for (const LongLockRecord& rec : records) {
     Shard& shard = ShardFor(rec.resource);
     bool record_held = false;
     {
       MutexLock lk(shard.mu);
       Entry& entry = EntryFor(shard, rec.resource);
-      if (!CompatibleWithHolders(shard, entry, rec.txn, rec.mode)) {
-        return Status::Internal("long-lock restore conflict on " +
-                                rec.resource.ToString());
-      }
       Holder* mine = nullptr;
       for (Holder& h : entry.holders) {
         if (h.txn == rec.txn) {

@@ -78,11 +78,22 @@ std::string_view DeadlockPolicyName(DeadlockPolicy policy);
 
 /// Per-request options.
 struct AcquireOptions {
+  /// `timeout_ms` sentinel: use the manager's `default_timeout_ms`.
+  /// Historically `timeout_ms == 0` silently meant "default", making an
+  /// explicit zero-length wait unexpressible; the sentinels make the
+  /// intent spellable.  0 is kept equal to kTimeoutDefault for backward
+  /// compatibility — a true "don't wait" is `wait = false`.
+  static constexpr uint64_t kTimeoutDefault = 0;
+  /// `timeout_ms` sentinel: wait forever (no deadline).
+  static constexpr uint64_t kTimeoutInfinite = ~uint64_t{0};
+
   LockDuration duration = LockDuration::kShort;
   /// If false, a conflicting request fails immediately with kConflict.
   bool wait = true;
-  /// Deadline for a waiting request, in milliseconds (0 = manager default).
-  uint64_t timeout_ms = 0;
+  /// Deadline for a waiting request, in milliseconds.  `kTimeoutDefault`
+  /// (= 0) uses the manager default; `kTimeoutInfinite` waits without a
+  /// deadline.
+  uint64_t timeout_ms = kTimeoutDefault;
 };
 
 /// A lock held by a transaction (inspection, Fig. 7 reproduction).
@@ -109,7 +120,14 @@ class LockManager {
     /// Legacy switch: false maps to DeadlockPolicy::kTimeoutOnly.
     bool detect_deadlocks = true;
     DeadlockPolicy deadlock_policy = DeadlockPolicy::kDetect;
+    /// Default deadline for waiting requests; may be
+    /// `AcquireOptions::kTimeoutInfinite`.
     uint64_t default_timeout_ms = 10'000;
+    /// Overload shedding: when more than this many requests are blocked
+    /// manager-wide, further requests that would have to wait fail with
+    /// `StatusCode::kShed` instead of queuing (0 = unlimited).  Bounds the
+    /// waiter convoy under overload so admitted work keeps finishing.
+    size_t max_blocked_waiters = 0;
   };
 
   explicit LockManager(Options options);
@@ -144,8 +162,11 @@ class LockManager {
   /// shard and each shard mutex is visited once; resources that cannot be
   /// granted immediately fall back to ordered blocking acquisition
   /// (root-to-leaf), preserving the protocol's waiting behavior.  On
-  /// failure, locks already granted remain held (strict 2PL — the caller
-  /// aborts, which releases everything).
+  /// failure the *acquisitions this call made* are rolled back
+  /// (leaf-to-root), so a failed path leaves no newly-taken intention
+  /// locks behind; mode upgrades a conversion applied to a previously
+  /// held lock are not undone (the count is re-paired, the stronger mode
+  /// stays until the caller aborts — safe, merely conservative).
   Status AcquirePath(TxnId txn, std::span<const ResourceId> path,
                      LockMode leaf_mode,
                      const AcquireOptions& options = AcquireOptions(),
@@ -207,14 +228,37 @@ class LockManager {
   /// protocol validator to audit global consistency of the grant set).
   std::vector<LongLockRecord> SnapshotAllLocks() const;
 
-  /// Re-installs long locks after a crash into an otherwise empty manager.
+  /// Re-installs long locks after a crash.  All-or-nothing: the records
+  /// are first validated against the locks currently held (conflicting
+  /// short locks of adopted transactions, for example) and nothing is
+  /// installed when any record conflicts.  Duplicate records for the same
+  /// (txn, resource) merge to the supremum mode.  Intended to run during
+  /// recovery quiescence (no concurrent acquires).
   Status RestoreLongLocks(const std::vector<LongLockRecord>& records);
+
+  /// Number of requests currently blocked waiting for a lock.
+  size_t NumBlockedWaiters() const {
+    return blocked_waiters_.load(std::memory_order_acquire);
+  }
+
+  /// Crash/shutdown preparation: rejects requests that would have to wait
+  /// from now on (they fail with kAborted), kills every blocked waiter,
+  /// and returns once no request is blocked inside the manager.  After
+  /// this the manager can be destroyed or abandoned without leaving a
+  /// thread sleeping on a member condition variable.  The number of
+  /// waiters killed is returned.
+  size_t DrainForShutdown();
 
   LockStats& stats() { return stats_; }
   const LockStats& stats() const { return stats_; }
 
  private:
-  enum class KillReason : uint8_t { kNone, kDeadlockVictim, kWounded };
+  enum class KillReason : uint8_t {
+    kNone,
+    kDeadlockVictim,
+    kWounded,
+    kShutdown,  ///< drained by DrainForShutdown (crash/restart)
+  };
 
   /// Shared between the requesting thread and granters/killers.  `granted`
   /// is written and read only under the owning shard's mutex; `killed` is
@@ -384,6 +428,11 @@ class LockManager {
   size_t shard_mask_ = 0;  ///< shards_.size() - 1 (power of two)
   WaitsForGraph wfg_;
   LockStats stats_;
+
+  /// Requests currently blocked in AcquireLocked (shedding + drain).
+  std::atomic<size_t> blocked_waiters_{0};
+  /// Set by DrainForShutdown: requests that would wait fail instead.
+  std::atomic<bool> draining_{false};
 
   mutable Mutex wounded_mu_;
   std::unordered_set<TxnId> wounded_ CODLOCK_GUARDED_BY(wounded_mu_);

@@ -1,14 +1,114 @@
 #include "lock/long_lock_store.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "fault/fault_injector.h"
+#include "util/crc32.h"
+
 namespace codlock::lock {
 
-void LongLockStore::Save(const LockManager& manager) {
+namespace {
+
+// Fault points of the persistence path (see file comment in the header).
+// Namespace-scope objects register at static-init time so the crashpoint
+// sweep can enumerate them.
+fault::FaultPoint g_fault_open_temp{"store/open-temp",
+                                    fault::FaultKind::kError};
+fault::FaultPoint g_fault_write_frame{"store/write-frame",
+                                      fault::FaultKind::kTornWrite};
+fault::FaultPoint g_fault_sync{"store/sync", fault::FaultKind::kCrash};
+fault::FaultPoint g_fault_rename{"store/rename", fault::FaultKind::kCrash};
+fault::FaultPoint g_fault_after_rename{"store/after-rename",
+                                       fault::FaultKind::kCrash};
+
+// Framed block layout (all integers little-endian):
+//   u32 magic | u64 generation | u32 record_count
+//   record_count * (u64 txn | u32 node | u64 instance | u8 mode)
+//   u32 crc32 over everything after the magic
+constexpr uint32_t kBlockMagic = 0x314E4743;  // "CGN1"
+constexpr size_t kHeaderSize = 4 + 8 + 4;
+constexpr size_t kRecordSize = 8 + 4 + 8 + 1;
+constexpr size_t kCrcSize = 4;
+
+void PutU32(std::string& s, uint32_t v) {
+  for (int i = 0; i < 4; ++i) s.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string& s, uint64_t v) {
+  for (int i = 0; i < 8; ++i) s.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+struct ParsedBlock {
+  uint64_t generation = 0;
+  std::vector<LongLockRecord> records;
+  size_t offset = 0;  ///< where the block starts in the file image
+  size_t length = 0;  ///< total block length in bytes
+};
+
+/// Tries to parse one framed block at \p off.  Returns true when the
+/// block is complete, CRC-clean and semantically valid.
+bool ParseBlockAt(const std::string& data, size_t off, ParsedBlock* out) {
+  if (off + kHeaderSize + kCrcSize > data.size()) return false;
+  if (GetU32(data.data() + off) != kBlockMagic) return false;
+  const uint64_t gen = GetU64(data.data() + off + 4);
+  const uint32_t count = GetU32(data.data() + off + 12);
+  // Reject absurd counts before computing the length (overflow guard).
+  if (count > (data.size() - off) / kRecordSize) return false;
+  const size_t length = kHeaderSize + count * kRecordSize + kCrcSize;
+  if (off + length > data.size()) return false;
+  const std::string_view body(data.data() + off + 4,
+                              kHeaderSize - 4 + count * kRecordSize);
+  const uint32_t stored_crc = GetU32(data.data() + off + length - kCrcSize);
+  if (Crc32(body) != stored_crc) return false;
+
+  std::vector<LongLockRecord> records;
+  records.reserve(count);
+  const char* p = data.data() + off + kHeaderSize;
+  for (uint32_t i = 0; i < count; ++i, p += kRecordSize) {
+    LongLockRecord r;
+    r.txn = GetU64(p);
+    r.resource.node = GetU32(p + 8);
+    r.resource.instance = GetU64(p + 12);
+    const uint8_t mode = static_cast<uint8_t>(p[20]);
+    if (mode >= kNumModes) return false;  // CRC collision / version skew
+    r.mode = static_cast<LockMode>(mode);
+    records.push_back(r);
+  }
+  out->generation = gen;
+  out->records = std::move(records);
+  out->offset = off;
+  out->length = length;
+  return true;
+}
+
+}  // namespace
+
+Status LongLockStore::Save(const LockManager& manager) {
   std::vector<LongLockRecord> snapshot = manager.SnapshotLongLocks();
   MutexLock lk(mu_);
   records_ = std::move(snapshot);
+  ++generation_;
+  if (backing_path_.empty()) return Status::OK();
+  return WriteToFileLocked(backing_path_);
 }
 
 Status LongLockStore::Restore(LockManager* manager) const {
@@ -28,6 +128,26 @@ std::vector<LongLockRecord> LongLockStore::records() const {
 size_t LongLockStore::size() const {
   MutexLock lk(mu_);
   return records_.size();
+}
+
+uint64_t LongLockStore::generation() const {
+  MutexLock lk(mu_);
+  return generation_;
+}
+
+void LongLockStore::SetBackingFile(std::string path) {
+  MutexLock lk(mu_);
+  backing_path_ = std::move(path);
+}
+
+std::string LongLockStore::backing_file() const {
+  MutexLock lk(mu_);
+  return backing_path_;
+}
+
+LongLockStore::LoadReport LongLockStore::last_load() const {
+  MutexLock lk(mu_);
+  return last_load_;
 }
 
 std::string LongLockStore::Serialize() const {
@@ -60,23 +180,133 @@ Status LongLockStore::Deserialize(const std::string& data) {
   }
   MutexLock lk(mu_);
   records_ = std::move(parsed);
+  ++generation_;
   return Status::OK();
 }
 
-Status LongLockStore::WriteToFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::Internal("cannot open '" + path + "' for writing");
-  out << Serialize();
-  if (!out.good()) return Status::Internal("write to '" + path + "' failed");
+std::string LongLockStore::EncodeBlockLocked() const {
+  std::string block;
+  block.reserve(kHeaderSize + records_.size() * kRecordSize + kCrcSize);
+  PutU32(block, kBlockMagic);
+  PutU64(block, generation_);
+  PutU32(block, static_cast<uint32_t>(records_.size()));
+  for (const LongLockRecord& r : records_) {
+    PutU64(block, r.txn);
+    PutU32(block, r.resource.node);
+    PutU64(block, r.resource.instance);
+    block.push_back(static_cast<char>(r.mode));
+  }
+  PutU32(block, Crc32(std::string_view(block.data() + 4, block.size() - 4)));
+  return block;
+}
+
+Status LongLockStore::WriteToFile(const std::string& path) {
+  MutexLock lk(mu_);
+  return WriteToFileLocked(path);
+}
+
+Status LongLockStore::WriteToFileLocked(const std::string& path) {
+  const std::string block = EncodeBlockLocked();
+  // The live file always carries the previous good generation ahead of
+  // the new one, so a torn write of the tail still leaves one complete
+  // generation to salvage.
+  const std::string contents = prev_block_ + block;
+  const std::string tmp = path + ".tmp";
+
+  if (fault::FireResult f = g_fault_open_temp.Fire()) {
+    return fault::StatusFor(f, g_fault_open_temp.name());
+  }
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open '" + tmp + "' for writing");
+
+  if (fault::FireResult f = g_fault_write_frame.Fire()) {
+    // Torn write: a prefix of the image reaches the temp file, then the
+    // "process" dies — no rename, the live file is untouched.
+    size_t keep = 0;
+    if (f.kind == fault::FaultKind::kTornWrite) {
+      keep = f.arg != 0 ? std::min<size_t>(f.arg, contents.size())
+                        : contents.size() / 2;
+    }
+    out.write(contents.data(), static_cast<std::streamsize>(keep));
+    out.flush();
+    return fault::StatusFor(f, g_fault_write_frame.name());
+  }
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  out.flush();  // best portable approximation of fsync for the simulation
+  if (fault::FireResult f = g_fault_sync.Fire()) {
+    // Flush/fsync failed or the process died before it: the temp image
+    // may or may not be complete, the live file still holds the old
+    // generations.
+    return fault::StatusFor(f, g_fault_sync.name());
+  }
+  if (!out.good()) return Status::Internal("write to '" + tmp + "' failed");
+  out.close();
+  if (out.fail()) return Status::Internal("close of '" + tmp + "' failed");
+
+  if (fault::FireResult f = g_fault_rename.Fire()) {
+    // Crash before the rename: durable state is still the old file.
+    return fault::StatusFor(f, g_fault_rename.name());
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("rename '" + tmp + "' -> '" + path + "' failed");
+  }
+  // The new image is durable from here on, even if the caller sees the
+  // injected crash below (restart recovers the *new* generation).
+  prev_block_ = block;
+  if (fault::FireResult f = g_fault_after_rename.Fire()) {
+    return fault::StatusFor(f, g_fault_after_rename.name());
+  }
   return Status::OK();
 }
 
 Status LongLockStore::LoadFromFile(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open '" + path + "'");
   std::ostringstream buf;
   buf << in.rdbuf();
-  return Deserialize(buf.str());
+  const std::string data = buf.str();
+
+  // Scan for framed blocks; corruption skips forward to the next intact
+  // magic instead of failing the load.  The newest (highest-generation)
+  // intact block wins.
+  ParsedBlock best;
+  bool have_best = false;
+  size_t valid_bytes = 0;
+  size_t off = 0;
+  while (off + kHeaderSize + kCrcSize <= data.size()) {
+    ParsedBlock block;
+    if (ParseBlockAt(data, off, &block)) {
+      valid_bytes += block.length;
+      if (!have_best || block.generation >= best.generation) {
+        best = std::move(block);
+        have_best = true;
+      }
+      off = best.offset + best.length > off ? off + best.length
+                                            : off + 1;  // defensive
+      continue;
+    }
+    ++off;
+  }
+
+  MutexLock lk(mu_);
+  last_load_ = LoadReport{};
+  last_load_.discarded_bytes = data.size() - valid_bytes;
+  last_load_.salvaged = last_load_.discarded_bytes != 0;
+  if (have_best) {
+    records_ = std::move(best.records);
+    generation_ = best.generation;
+    prev_block_ = data.substr(best.offset, best.length);
+  } else {
+    // No complete generation survived: the file predates its first
+    // completed save (or lost everything to corruption) — recover the
+    // empty generation-0 state rather than failing recovery outright.
+    records_.clear();
+    generation_ = 0;
+    prev_block_.clear();
+  }
+  last_load_.generation = generation_;
+  last_load_.records = records_.size();
+  return Status::OK();
 }
 
 }  // namespace codlock::lock

@@ -1,15 +1,40 @@
 /// \file long_lock_store.h
-/// \brief Stable storage for long locks.
+/// \brief Crash-consistent stable storage for long locks.
 ///
 /// §3.1: "In contrast to traditional short locks, long locks must survive
 /// system shutdowns and system crashes."  The `LongLockStore` models the
-/// stable storage a server would keep its check-out locks in: the server
-/// saves a snapshot on every check-out/check-in, and after a (simulated)
-/// crash a fresh `LockManager` is reloaded from it, while all short locks
-/// are lost.
+/// stable storage a server keeps its check-out locks in: the server saves
+/// a snapshot on every check-out/check-in, and after a (simulated) crash a
+/// fresh `LockManager` is reloaded from it, while all short locks are lost.
 ///
-/// Snapshots serialize to a simple line format so they can optionally be
-/// written to and re-read from a file.
+/// ## On-disk format (crash consistency)
+///
+/// A snapshot that must survive crashes cannot be written with a plain
+/// truncate-and-rewrite — a crash mid-save would tear the very state the
+/// store exists to protect.  Persistence therefore uses:
+///
+///  * **Framed generation blocks** — every save appends a self-validating
+///    block `[magic | generation | record count | records | CRC-32]`; a
+///    torn or corrupted block fails its CRC and is ignored at load time.
+///  * **Write-to-temp + atomic rename** — the new file image (previous
+///    good block + new block) is written to `<path>.tmp`, flushed, and
+///    renamed over `<path>`, so the live file is replaced atomically and
+///    always contains the last *two* generations.
+///  * **Salvage on load** — `LoadFromFile` scans for the newest block
+///    with a valid CRC and recovers it; trailing garbage (a torn append,
+///    a truncated file) only costs the torn generation, never a failed
+///    load.  A file with no valid block recovers the empty generation 0
+///    (the state before the first completed save).  `last_load()` reports
+///    what was recovered and how many bytes were discarded.
+///
+/// Fault points (`fault/fault_injector.h`): `store/open-temp`,
+/// `store/write-frame`, `store/sync`, `store/rename`,
+/// `store/after-rename` — the crashpoint sweep kills a save at each of
+/// them and asserts the load recovers this or the previous generation.
+///
+/// The legacy line format (`Serialize`/`Deserialize`) is kept for human
+/// inspection and in-memory round trips; file persistence always uses the
+/// framed binary format.
 
 #ifndef CODLOCK_LOCK_LONG_LOCK_STORE_H_
 #define CODLOCK_LOCK_LONG_LOCK_STORE_H_
@@ -27,9 +52,20 @@ namespace codlock::lock {
 /// \brief Durable store of long-lock records.
 class LongLockStore {
  public:
+  /// What `LoadFromFile` recovered.
+  struct LoadReport {
+    uint64_t generation = 0;      ///< recovered generation (0 = empty state)
+    size_t records = 0;           ///< records in the recovered generation
+    bool salvaged = false;        ///< true when corrupt/torn bytes were skipped
+    size_t discarded_bytes = 0;   ///< bytes not part of the recovered block
+  };
+
   /// Replaces the stored snapshot with the long locks currently held in
-  /// \p manager.
-  void Save(const LockManager& manager);
+  /// \p manager and bumps the generation.  When a backing file is set
+  /// (`SetBackingFile`), the snapshot is persisted crash-consistently and
+  /// a write/sync/rename failure is returned — the caller must not treat
+  /// the locks as durable in that case.
+  Status Save(const LockManager& manager);
 
   /// Re-installs the stored snapshot into \p manager (normally a freshly
   /// constructed one, after a crash).
@@ -40,21 +76,48 @@ class LongLockStore {
 
   size_t size() const;
 
-  /// Serializes the snapshot ("txn node instance mode\n" per record).
+  /// Generation number of the current snapshot (0 before the first Save).
+  uint64_t generation() const;
+
+  /// File that `Save` persists to ("" = in-memory only).
+  void SetBackingFile(std::string path);
+  std::string backing_file() const;
+
+  /// Serializes the snapshot ("txn node instance mode\n" per record);
+  /// legacy line format, not crash-consistent.
   std::string Serialize() const;
 
   /// Replaces the snapshot by parsing \p data (format of `Serialize`).
   Status Deserialize(const std::string& data);
 
-  /// Writes the snapshot to \p path.
-  Status WriteToFile(const std::string& path) const;
+  /// Writes the snapshot to \p path in the framed binary format (previous
+  /// good generation + current one, via temp file + atomic rename).
+  Status WriteToFile(const std::string& path);
 
-  /// Loads the snapshot from \p path.
+  /// Loads the newest intact generation from \p path (see file comment);
+  /// kNotFound when the file does not exist, OK otherwise — corruption is
+  /// salvaged, never fatal.  `last_load()` describes the outcome.
   Status LoadFromFile(const std::string& path);
 
+  /// Outcome of the most recent `LoadFromFile`.
+  LoadReport last_load() const;
+
  private:
+  /// Encodes records_/generation_ as one framed block.
+  std::string EncodeBlockLocked() const CODLOCK_REQUIRES(mu_);
+
+  /// Body of `WriteToFile` with mu_ held (shared with `Save`).
+  Status WriteToFileLocked(const std::string& path) CODLOCK_REQUIRES(mu_);
+
   mutable Mutex mu_;
   std::vector<LongLockRecord> records_ CODLOCK_GUARDED_BY(mu_);
+  uint64_t generation_ CODLOCK_GUARDED_BY(mu_) = 0;
+  /// Raw bytes of the last successfully persisted (or loaded) block; the
+  /// next save prepends them so the live file always holds two
+  /// generations.
+  std::string prev_block_ CODLOCK_GUARDED_BY(mu_);
+  std::string backing_path_ CODLOCK_GUARDED_BY(mu_);
+  LoadReport last_load_ CODLOCK_GUARDED_BY(mu_);
 };
 
 }  // namespace codlock::lock

@@ -48,8 +48,11 @@ WorkloadReport RunWorkload(Engine& engine, const WorkloadConfig& config,
                            const TxnGenerator& generator) {
   WorkloadReport report;
   std::atomic<uint64_t> committed{0}, deadlocks{0}, wounds{0}, timeouts{0},
-      errors{0};
+      sheds{0}, retries{0}, unresolved{0}, errors{0};
   std::atomic<uint64_t> queries{0}, reads{0}, writes{0};
+
+  RetryPolicy policy = config.retry;
+  policy.max_attempts = config.max_retries + 1;
 
   LockStats& stats = engine.lock_manager().stats();
   // Total lock requests include per-txn cache hits (see metrics.h).
@@ -69,9 +72,7 @@ WorkloadReport RunWorkload(Engine& engine, const WorkloadConfig& config,
       Rng rng(config.seed * 1000003ULL + static_cast<uint64_t>(t));
       for (int i = 0; i < config.txns_per_thread; ++i) {
         TxnScript script = generator(t, i, rng);
-        bool done = false;
-        for (int attempt = 0; attempt <= config.max_retries && !done;
-             ++attempt) {
+        for (int attempt = 1;; ++attempt) {
           txn::Transaction* txn =
               engine.txn_manager().Begin(script.user, txn::TxnKind::kShort);
           Status failure;
@@ -98,32 +99,41 @@ WorkloadReport RunWorkload(Engine& engine, const WorkloadConfig& config,
             engine.txn_manager().Commit(txn);
             engine.txn_manager().Forget(txn->id());
             committed.fetch_add(1, std::memory_order_relaxed);
-            done = true;
+            break;
+          }
+          // Abort with cause: classifies into aborts_timeout /
+          // aborts_deadlock / aborts_shed in the shared LockStats.
+          engine.txn_manager().Abort(txn, failure);
+          engine.txn_manager().Forget(txn->id());
+          if (failure.IsDeadlock()) {
+            deadlocks.fetch_add(1, std::memory_order_relaxed);
+          } else if (failure.IsAborted()) {
+            // Wound-wait preemption: retry like a deadlock victim.
+            wounds.fetch_add(1, std::memory_order_relaxed);
+          } else if (failure.IsTimeout()) {
+            timeouts.fetch_add(1, std::memory_order_relaxed);
+          } else if (failure.IsShed()) {
+            sheds.fetch_add(1, std::memory_order_relaxed);
           } else {
-            engine.txn_manager().Abort(txn);
-            engine.txn_manager().Forget(txn->id());
-            bool retryable = true;
-            if (failure.IsDeadlock()) {
-              deadlocks.fetch_add(1, std::memory_order_relaxed);
-            } else if (failure.IsAborted()) {
-              // Wound-wait preemption: retry like a deadlock victim.
-              wounds.fetch_add(1, std::memory_order_relaxed);
-            } else if (failure.IsTimeout()) {
-              timeouts.fetch_add(1, std::memory_order_relaxed);
-            } else {
-              errors.fetch_add(1, std::memory_order_relaxed);
-              done = true;  // non-retryable
-              retryable = false;
-            }
-            if (retryable && !done) {
-              // Exponential backoff with jitter: retried transactions get
-              // *younger* ids, so without backoff wait-die-style policies
-              // can livelock a restarting victim against a long holder.
-              uint64_t backoff_us =
-                  std::min<uint64_t>(100u << std::min(attempt, 7), 10'000u);
-              std::this_thread::sleep_for(std::chrono::microseconds(
-                  backoff_us / 2 + rng.Uniform(backoff_us / 2 + 1)));
-            }
+            errors.fetch_add(1, std::memory_order_relaxed);
+            break;  // permanent failure, counted as such
+          }
+          if (!policy.ShouldRetry(failure, attempt)) {
+            // Retry budget exhausted on a retryable failure: the
+            // transaction is *reported* as unresolved, never silently
+            // dropped (see WorkloadReport::Reconciles).
+            unresolved.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          retries.fetch_add(1, std::memory_order_relaxed);
+          engine.lock_manager().stats().retries.Add();
+          // Exponential backoff with jitter: retried transactions get
+          // *younger* ids, so without backoff wait-die-style policies
+          // can livelock a restarting victim against a long holder.
+          const uint64_t backoff_us = policy.BackoffUs(attempt, rng);
+          if (backoff_us != 0) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(backoff_us));
           }
         }
       }
@@ -132,10 +142,15 @@ WorkloadReport RunWorkload(Engine& engine, const WorkloadConfig& config,
   for (std::thread& w : workers) w.join();
 
   report.elapsed_ns = wall.ElapsedNanos();
+  report.submitted = static_cast<uint64_t>(config.threads) *
+                     static_cast<uint64_t>(config.txns_per_thread);
   report.committed = committed.load();
   report.deadlock_aborts = deadlocks.load();
   report.wound_aborts = wounds.load();
   report.timeout_aborts = timeouts.load();
+  report.shed_aborts = sheds.load();
+  report.retries = retries.load();
+  report.unresolved = unresolved.load();
   report.other_errors = errors.load();
   report.queries_executed = queries.load();
   report.values_read = reads.load();

@@ -17,6 +17,7 @@
 
 #include "query/query.h"
 #include "sim/engine.h"
+#include "util/retry.h"
 #include "util/rng.h"
 
 namespace codlock::sim {
@@ -42,15 +43,30 @@ struct WorkloadConfig {
   int txns_per_thread = 50;
   uint64_t seed = 1;
   /// Abort-and-retry budget per transaction (deadlock victims retry).
+  /// The effective policy is `retry` with `max_attempts = max_retries + 1`
+  /// (kept as a separate knob for the existing benchmarks).
   int max_retries = 3;
+  /// Backoff shape and which failures are retryable (max_attempts is
+  /// overridden from `max_retries` above).
+  RetryPolicy retry;
 };
 
 /// \brief Aggregated outcome of one workload run.
+///
+/// Accounting invariant (no transaction vanishes):
+///   `submitted == committed + unresolved + other_errors`
+/// — every submitted transaction either commits, exhausts its retry
+/// budget on a retryable failure (`unresolved`), or hits a permanent
+/// error.  `Reconciles()` checks it.
 struct WorkloadReport {
+  uint64_t submitted = 0;  ///< distinct transactions handed to workers
   uint64_t committed = 0;
   uint64_t deadlock_aborts = 0;
   uint64_t wound_aborts = 0;  ///< wound-wait preemptions (retried)
   uint64_t timeout_aborts = 0;
+  uint64_t shed_aborts = 0;  ///< attempts rejected by overload shedding
+  uint64_t retries = 0;      ///< re-runs after retryable aborts
+  uint64_t unresolved = 0;   ///< retry budget exhausted (reported, not lost)
   uint64_t other_errors = 0;
   uint64_t queries_executed = 0;
   uint64_t values_read = 0;
@@ -79,6 +95,11 @@ struct WorkloadReport {
     return committed == 0 ? 0.0
                           : static_cast<double>(lock_requests) /
                                 static_cast<double>(committed);
+  }
+
+  /// True when the accounting invariant holds (see struct comment).
+  bool Reconciles() const {
+    return submitted == committed + unresolved + other_errors;
   }
 
   /// One-line summary for benchmark tables.

@@ -1,6 +1,17 @@
 #include "txn/txn_manager.h"
 
+#include "fault/fault_injector.h"
+
 namespace codlock::txn {
+
+namespace {
+// Crash at end-of-transaction, *after* the state flip but before any lock
+// is released: the transaction's locks stay behind exactly as a process
+// death mid-EOT would leave them.  The crashpoint sweep asserts that a
+// restart reaps them.
+fault::FaultPoint g_fault_finish_crash{"txn/finish-crash",
+                                       fault::FaultKind::kCrash};
+}  // namespace
 
 TxnManager::~TxnManager() {
   MutexLock lk(mu_);
@@ -39,6 +50,10 @@ Status TxnManager::Finish(Transaction* txn, TxnState final_state) {
     return Status::FailedPrecondition(
         "transaction " + std::to_string(txn->id()) + " is not active");
   }
+  if (fault::FireResult f = g_fault_finish_crash.Fire()) {
+    // Simulated process death mid-EOT: no undo, no release, no detach.
+    return fault::StatusFor(f, "txn/finish-crash");
+  }
   Status undo_status;
   if (undo_log_ != nullptr && store_ != nullptr) {
     if (final_state == TxnState::kAborted) {
@@ -61,6 +76,19 @@ Status TxnManager::Commit(Transaction* txn) {
 }
 
 Status TxnManager::Abort(Transaction* txn) {
+  return Finish(txn, TxnState::kAborted);
+}
+
+Status TxnManager::Abort(Transaction* txn, const Status& cause) {
+  LockStats& stats = lock_manager_->stats();
+  if (cause.IsTimeout()) {
+    stats.aborts_timeout.Add();
+  } else if (cause.IsDeadlock() || cause.IsAborted()) {
+    // kAborted here is a wound-wait preemption — a prevented deadlock.
+    stats.aborts_deadlock.Add();
+  } else if (cause.IsShed()) {
+    stats.aborts_shed.Add();
+  }
   return Finish(txn, TxnState::kAborted);
 }
 

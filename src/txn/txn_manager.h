@@ -115,6 +115,12 @@ class TxnManager {
   /// concern and out of scope for the lock technique.
   Status Abort(Transaction* txn);
 
+  /// Aborts and classifies \p cause into the lock manager's abort-by-cause
+  /// counters (`aborts_timeout` / `aborts_deadlock` / `aborts_shed`);
+  /// retry loops use this overload so operators can tell *why* work was
+  /// lost, not just that it was.
+  Status Abort(Transaction* txn, const Status& cause);
+
   /// Looks up a live transaction by id.
   Result<Transaction*> Get(TxnId id) const;
 

@@ -1,0 +1,47 @@
+/// \file crc32.h
+/// \brief CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+///
+/// Used to frame long-lock store records so a torn or corrupted write is
+/// *detected* at load time instead of silently installing garbage locks.
+/// Table-driven, one table built at static init; no dependencies.
+
+#ifndef CODLOCK_UTIL_CRC32_H_
+#define CODLOCK_UTIL_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace codlock {
+
+namespace internal {
+inline const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace internal
+
+/// CRC-32 of \p data continuing from \p crc (pass 0 to start).
+inline uint32_t Crc32(std::string_view data, uint32_t crc = 0) {
+  const auto& table = internal::Crc32Table();
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (char ch : data) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace codlock
+
+#endif  // CODLOCK_UTIL_CRC32_H_

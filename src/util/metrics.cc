@@ -82,12 +82,17 @@ void LockStats::Reset() {
   compat_tests.Reset();
   deadlocks.Reset();
   timeouts.Reset();
+  sheds.Reset();
   releases.Reset();
   escalations.Reset();
   deescalations.Reset();
   upward_propagations.Reset();
   downward_propagations.Reset();
   parent_searches.Reset();
+  aborts_timeout.Reset();
+  aborts_deadlock.Reset();
+  aborts_shed.Reset();
+  retries.Reset();
   wait_ns.Reset();
   held_locks.store(0, std::memory_order_relaxed);
   max_held_locks.store(0, std::memory_order_relaxed);
@@ -101,12 +106,16 @@ std::string LockStats::ToString() const {
      << " conflicts=" << conflicts.value()
      << " compat_tests=" << compat_tests.value()
      << " deadlocks=" << deadlocks.value() << " timeouts=" << timeouts.value()
-     << " releases=" << releases.value()
+     << " sheds=" << sheds.value() << " releases=" << releases.value()
      << " escalations=" << escalations.value()
      << " deescalations=" << deescalations.value()
      << " up_prop=" << upward_propagations.value()
      << " down_prop=" << downward_propagations.value()
      << " parent_searches=" << parent_searches.value()
+     << " aborts_timeout=" << aborts_timeout.value()
+     << " aborts_deadlock=" << aborts_deadlock.value()
+     << " aborts_shed=" << aborts_shed.value()
+     << " retries=" << retries.value()
      << " max_held=" << max_held_locks.load(std::memory_order_relaxed)
      << " wait_mean_us=" << wait_ns.mean() / 1000.0;
   return os.str();

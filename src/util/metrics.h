@@ -75,6 +75,8 @@ struct LockStats {
   Counter compat_tests;       ///< Compatibility tests executed.
   Counter deadlocks;          ///< Requests denied by deadlock detection.
   Counter timeouts;           ///< Requests denied by deadline expiry.
+  Counter sheds;              ///< Requests rejected by overload shedding
+                              ///< (blocked-waiter cap reached).
   Counter releases;           ///< Individual lock releases.
   Counter escalations;        ///< Run-time lock escalations performed.
   Counter deescalations;      ///< De-escalations (coarse lock narrowed).
@@ -82,6 +84,16 @@ struct LockStats {
   Counter downward_propagations;  ///< Implicit downward propagation lock ops.
   Counter parent_searches;    ///< Objects scanned to find referencing parents
                               ///< (naive DAG protocol on shared data).
+
+  // Transaction-level failure accounting (maintained by the txn layer and
+  // harnesses that own the abort/retry loop, not by the lock manager).
+  Counter aborts_timeout;     ///< Transactions aborted because a lock wait
+                              ///< exceeded its deadline.
+  Counter aborts_deadlock;    ///< Transactions aborted as deadlock victims
+                              ///< (incl. wound-wait preemptions, wait-die).
+  Counter aborts_shed;        ///< Transactions aborted by overload shedding.
+  Counter retries;            ///< Transparent re-runs of aborted txns.
+
   LatencyHistogram wait_ns;   ///< Time spent blocked per waiting request.
 
   /// Number of distinct lock-table entries currently held (gauge).

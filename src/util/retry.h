@@ -1,0 +1,62 @@
+/// \file retry.h
+/// \brief Bounded retry with seeded-jitter exponential backoff.
+///
+/// Transaction Repair (Veldhuizen 2014) argues that conflict aborts are
+/// recoverable events, not terminal ones: a transaction killed as a
+/// deadlock victim, timed out, wounded, or shed under overload can simply
+/// run again.  `RetryPolicy` centralizes the decision (*which* failures
+/// retry, *how many* times, *how long* to back off) that was previously
+/// hard-coded in each harness.  All jitter flows through the caller's
+/// seeded `Rng`, so a retried workload is exactly reproducible.
+
+#ifndef CODLOCK_UTIL_RETRY_H_
+#define CODLOCK_UTIL_RETRY_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace codlock {
+
+/// \brief Retry/backoff configuration for aborted transactions.
+struct RetryPolicy {
+  /// Total attempts including the first one; 1 disables retrying.
+  int max_attempts = 4;
+  /// Backoff before retry k (k = 1 is the first retry) is drawn uniformly
+  /// from [base/2 + base*2^(k-1)/2 * jitter window]; concretely:
+  /// full = min(base_backoff_us << (k-1), max_backoff_us), sleep in
+  /// [full/2, full].  Halving the floor keeps retried victims from
+  /// re-colliding in lockstep while bounding the worst-case delay.
+  uint64_t base_backoff_us = 100;
+  uint64_t max_backoff_us = 10'000;
+
+  /// Failures that a fresh attempt can cure: deadlock victims, expired
+  /// deadlines, wound-wait preemptions, and overload sheds.  Everything
+  /// else (bad queries, authorization, corruption) is permanent.
+  static bool IsRetryable(const Status& s) {
+    return s.IsDeadlock() || s.IsTimeout() || s.IsAborted() || s.IsShed();
+  }
+
+  /// True when attempt \p attempt (0-based count of attempts already made)
+  /// may be followed by another one.
+  bool ShouldRetry(const Status& s, int attempts_made) const {
+    return IsRetryable(s) && attempts_made < max_attempts;
+  }
+
+  /// Backoff in microseconds before retry number \p retry (1-based),
+  /// jittered via \p rng.
+  uint64_t BackoffUs(int retry, Rng& rng) const {
+    if (retry < 1) retry = 1;
+    const int shift = std::min(retry - 1, 20);
+    const uint64_t full =
+        std::min<uint64_t>(base_backoff_us << shift, max_backoff_us);
+    if (full == 0) return 0;
+    return full / 2 + rng.Uniform(full / 2 + 1);
+  }
+};
+
+}  // namespace codlock
+
+#endif  // CODLOCK_UTIL_RETRY_H_

@@ -26,6 +26,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Aborted";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kShed:
+      return "Shed";
   }
   return "Unknown";
 }

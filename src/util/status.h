@@ -42,6 +42,12 @@ enum class StatusCode : uint8_t {
   kAborted,
   /// Internal invariant violation; indicates a bug in codlock itself.
   kInternal,
+  /// The request was rejected by overload shedding: the lock manager's
+  /// blocked-waiter cap is reached and queuing further requests would
+  /// collapse throughput instead of preserving it.  Distinct from
+  /// kConflict/kTimeout so callers can retry with backoff (the conflict
+  /// may clear) or report the rejection to the client.
+  kShed,
 };
 
 /// \brief Human-readable name of a status code ("Ok", "Deadlock", ...).
@@ -91,6 +97,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Shed(std::string msg) {
+    return Status(StatusCode::kShed, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -107,6 +116,7 @@ class Status {
   }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsShed() const { return code_ == StatusCode::kShed; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

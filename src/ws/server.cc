@@ -1,6 +1,19 @@
 #include "ws/server.h"
 
+#include <chrono>
+#include <thread>
+
+#include "fault/fault_injector.h"
+#include "util/rng.h"
+
 namespace codlock::ws {
+
+namespace {
+// Server dies between the transaction outcome and the Save reaching
+// stable storage (the classic window a crash-consistency story must
+// close).
+fault::FaultPoint g_fault_persist{"ws/persist", fault::FaultKind::kCrash};
+}  // namespace
 
 Server::Server(const nf2::Catalog* catalog, nf2::InstanceStore* store,
                Options options)
@@ -10,9 +23,23 @@ Server::Server(const nf2::Catalog* catalog, nf2::InstanceStore* store,
       graph_(logra::LockGraph::Build(*catalog)),
       stats_(query::Statistics::Collect(*catalog, *store)) {
   RebuildEngine();
+  if (!options_.storage_path.empty()) {
+    long_store_.SetBackingFile(options_.storage_path);
+    // Continue an existing file's generation sequence (salvaging load; a
+    // missing file just means a fresh store).
+    long_store_.LoadFromFile(options_.storage_path);
+  }
 }
 
 void Server::RebuildEngine() {
+  // Destruction order matters on rebuild: every component below holds a
+  // raw pointer into the current lock manager (the TxnManager's
+  // destructor, for one, detaches its per-transaction lock caches from
+  // it), so the dependents must die before the manager they point into.
+  executor_.reset();
+  planner_.reset();
+  protocol_.reset();
+  txns_.reset();
   lm_ = std::make_unique<lock::LockManager>(options_.lock_manager);
   txns_ = std::make_unique<txn::TxnManager>(lm_.get(), &undo_, store_);
   protocol_ = std::make_unique<proto::ComplexObjectProtocol>(
@@ -60,7 +87,20 @@ Result<CheckOutTicket> Server::CheckOut(authz::UserId user,
     MutexLock lk(tickets_mu_);
     long_txn_users_[txn->id()] = user;
   }
-  long_store_.Save(*lm_);  // long locks reach stable storage
+  // Long locks must reach stable storage before the ticket exists: a
+  // check-out whose locks were never persisted would not survive the very
+  // crash it is supposed to survive, so a persist failure aborts it.
+  if (Status persisted = PersistLongLocks(); !persisted.ok()) {
+    {
+      MutexLock lk(tickets_mu_);
+      long_txn_users_.erase(txn->id());
+    }
+    txns_->Abort(txn);
+    // Best effort: bring stable storage back in line with the abort (if
+    // the fault cleared); a second failure changes nothing durable.
+    PersistLongLocks();
+    return persisted;
+  }
 
   CheckOutTicket ticket;
   ticket.txn = txn->id();
@@ -120,7 +160,9 @@ Result<nf2::ObjectId> Server::CheckInDerived(const CheckOutTicket& ticket,
     MutexLock lk(tickets_mu_);
     long_txn_users_.erase(ticket.txn);
   }
-  long_store_.Save(*lm_);
+  // The commit stands; a persist failure means stable storage still names
+  // the released locks.  Surface it — recovery reaps such orphans.
+  CODLOCK_RETURN_IF_ERROR(PersistLongLocks());
   return inserted;
 }
 
@@ -146,8 +188,7 @@ Status Server::CheckIn(const CheckOutTicket& ticket) {
     MutexLock lk(tickets_mu_);
     long_txn_users_.erase(ticket.txn);
   }
-  long_store_.Save(*lm_);
-  return Status::OK();
+  return PersistLongLocks();
 }
 
 Status Server::CancelCheckOut(const CheckOutTicket& ticket) {
@@ -158,33 +199,72 @@ Status Server::CancelCheckOut(const CheckOutTicket& ticket) {
     MutexLock lk(tickets_mu_);
     long_txn_users_.erase(ticket.txn);
   }
-  long_store_.Save(*lm_);
-  return Status::OK();
+  return PersistLongLocks();
 }
 
-void Server::CrashAndRestart() {
-  // Volatile state (the lock table, transaction registry) is lost; only
-  // the LongLockStore survives.
+Status Server::PersistLongLocks() {
+  if (fault::FireResult f = g_fault_persist.Fire()) {
+    return fault::StatusFor(f, "ws/persist");
+  }
+  return long_store_.Save(*lm_);
+}
+
+Status Server::CrashAndRestart() {
+  // Nobody may stay parked inside the dying lock manager: kill every
+  // blocked waiter (their Acquire calls fail with kAborted) and wait for
+  // them to unwind before tearing the engine down.
+  lm_->DrainForShutdown();
+  // Volatile state (the lock table, transaction registry, every *short*
+  // lock and waiter) is lost; only the LongLockStore survives.
   RebuildEngine();
-  long_store_.Restore(lm_.get());
+  if (const std::string path = long_store_.backing_file(); !path.empty()) {
+    // Recover from disk, not from memory: what the crash left in the file
+    // is the truth (salvaging load — corruption costs at most the torn
+    // generation, never the recovery).
+    Status load = long_store_.LoadFromFile(path);
+    if (!load.ok() && !load.IsNotFound()) return load;
+  }
+  Status restored = long_store_.Restore(lm_.get());
   MutexLock lk(tickets_mu_);
+  // Reap orphaned long locks: a crash between a commit/abort and its
+  // persist leaves stable storage naming locks whose transaction no
+  // longer has a ticket.  Nobody could ever release them — drop them
+  // before adopting the live ones.
+  for (const lock::LongLockRecord& rec : long_store_.records()) {
+    if (long_txn_users_.find(rec.txn) == long_txn_users_.end()) {
+      lm_->ReleaseAll(rec.txn);
+    }
+  }
   for (const auto& [txn_id, user] : long_txn_users_) {
     txns_->Adopt(txn_id, user, txn::TxnKind::kLong);
   }
+  return restored;
 }
 
 Result<query::QueryResult> Server::RunShortTxn(authz::UserId user,
                                                const query::Query& query) {
   Result<query::QueryPlan> plan = planner_->Plan(query);
   if (!plan.ok()) return plan.status();
-  txn::Transaction* txn = txns_->Begin(user, txn::TxnKind::kShort);
-  Result<query::QueryResult> result = executor_->Execute(*txn, query, *plan);
-  if (!result.ok()) {
-    txns_->Abort(txn);
-    return result.status();
+  for (int attempt = 1;; ++attempt) {
+    txn::Transaction* txn = txns_->Begin(user, txn::TxnKind::kShort);
+    const lock::TxnId id = txn->id();
+    Result<query::QueryResult> result = executor_->Execute(*txn, query, *plan);
+    if (result.ok()) {
+      CODLOCK_RETURN_IF_ERROR(txns_->Commit(txn));
+      return result;
+    }
+    const Status failure = result.status();
+    txns_->Abort(txn, failure);  // classifies the cause into stats
+    if (!options_.retry.ShouldRetry(failure, attempt)) return failure;
+    lm_->stats().retries.Add();
+    // Jitter is seeded from the aborted attempt's id: deterministic for a
+    // deterministic schedule, distinct for concurrent victims.
+    Rng rng(0x9E3779B97F4A7C15ULL ^ (id * 0xBF58476D1CE4E5B9ULL));
+    const uint64_t backoff_us = options_.retry.BackoffUs(attempt, rng);
+    if (backoff_us != 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    }
   }
-  CODLOCK_RETURN_IF_ERROR(txns_->Commit(txn));
-  return result;
 }
 
 size_t Server::ActiveLongTxns() const {

@@ -29,6 +29,7 @@
 #include "query/planner.h"
 #include "txn/txn_manager.h"
 #include "util/mutex.h"
+#include "util/retry.h"
 #include "util/thread_annotations.h"
 
 namespace codlock::ws {
@@ -67,6 +68,16 @@ class Server {
     query::LockPlanner::Options planner;
     proto::ComplexObjectProtocol::Options protocol;
     lock::LockManager::Options lock_manager;
+    /// When non-empty, long locks are persisted to this file on every
+    /// check-out/check-in (crash-consistent, see `LongLockStore`) and
+    /// `CrashAndRestart` recovers from the *file* rather than from the
+    /// in-memory snapshot.  An existing file is loaded at construction so
+    /// generations continue across server instances.
+    std::string storage_path;
+    /// Retry/backoff for `RunShortTxn`: deadlock victims, timeouts,
+    /// wounds and shed requests are re-run transparently (the abort cause
+    /// and each re-run are counted in the lock manager's stats).
+    RetryPolicy retry;
   };
 
   Server(const nf2::Catalog* catalog, nf2::InstanceStore* store,
@@ -102,10 +113,15 @@ class Server {
   /// Abandons a check-out without applying changes.
   Status CancelCheckOut(const CheckOutTicket& ticket);
 
-  /// Simulates a server crash + restart: the lock manager and transaction
-  /// manager are rebuilt; short transactions are gone; long locks and
-  /// their transactions are recovered from stable storage.
-  void CrashAndRestart();
+  /// Simulates a server crash + restart: blocked lock waits are drained
+  /// (they fail with kAborted), the lock manager and transaction manager
+  /// are rebuilt; short transactions are gone; long locks and their
+  /// transactions are recovered from stable storage (the backing file
+  /// when one is configured).  Recovered long locks whose transaction has
+  /// no live check-out ticket are reaped — nobody could ever release
+  /// them.  Returns the first recovery error (restore conflicts); the
+  /// server is still usable, with whatever was recovered.
+  Status CrashAndRestart();
 
   /// Runs a regular (short) transaction executing \p query.
   Result<query::QueryResult> RunShortTxn(authz::UserId user,
@@ -123,6 +139,9 @@ class Server {
 
  private:
   void RebuildEngine();
+
+  /// Saves the long locks to stable storage (fault point `ws/persist`).
+  Status PersistLongLocks();
 
   const nf2::Catalog* catalog_;
   nf2::InstanceStore* store_;

@@ -1,0 +1,265 @@
+/// Tests for the fault-injection framework (fault/fault_injector.h): point
+/// registration, trigger semantics, plans, status mapping — and the fault
+/// points wired into the lock manager (forced timeout, allocation failure,
+/// mid-path failure with full rollback).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "fault/fault_injector.h"
+#include "lock/lock_manager.h"
+#include "util/rng.h"
+
+namespace codlock::fault {
+namespace {
+
+// A point owned by this test binary: registered at static-init like the
+// production points, so it also shows up in AllPoints()/FindPoint().
+FaultPoint g_test_point{"test/point", FaultKind::kError};
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { DisarmAll(); }
+};
+
+TEST_F(FaultTest, DisarmedPointNeverFires) {
+  EXPECT_FALSE(g_test_point.armed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(g_test_point.Fire());
+  }
+  EXPECT_EQ(g_test_point.hits(), 0u);
+}
+
+TEST_F(FaultTest, RegistryFindsStaticPoints) {
+  FaultPoint* found = FindPoint("test/point");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found, &g_test_point);
+  EXPECT_EQ(found->sweep_kind(), FaultKind::kError);
+  EXPECT_EQ(FindPoint("no/such/point"), nullptr);
+
+  bool in_all = false;
+  for (FaultPoint* p : AllPoints()) in_all |= (p == &g_test_point);
+  EXPECT_TRUE(in_all);
+}
+
+TEST_F(FaultTest, OnceFiresExactlyOnceThenAutoDisarms) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kCrash;
+  spec.trigger = Trigger::Once();
+  g_test_point.Arm(spec);
+
+  FireResult first = g_test_point.Fire();
+  EXPECT_TRUE(first);
+  EXPECT_EQ(first.kind, FaultKind::kCrash);
+  EXPECT_FALSE(g_test_point.armed());
+  EXPECT_FALSE(g_test_point.Fire());
+}
+
+TEST_F(FaultTest, NthFiresOnlyOnTheNthHit) {
+  FaultSpec spec;
+  spec.trigger = Trigger::Nth(3);
+  g_test_point.Arm(spec);
+
+  EXPECT_FALSE(g_test_point.Fire());  // hit 1
+  EXPECT_FALSE(g_test_point.Fire());  // hit 2
+  EXPECT_TRUE(g_test_point.Fire());   // hit 3
+  EXPECT_FALSE(g_test_point.armed()) << "kNth is one-shot";
+  EXPECT_FALSE(g_test_point.Fire());
+}
+
+TEST_F(FaultTest, EveryNthFiresPeriodically) {
+  FaultSpec spec;
+  spec.trigger = Trigger::EveryNth(2);
+  g_test_point.Arm(spec);
+
+  int fired = 0;
+  for (int i = 1; i <= 6; ++i) {
+    if (g_test_point.Fire()) {
+      ++fired;
+      EXPECT_EQ(i % 2, 0) << "fired on odd hit " << i;
+    }
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_TRUE(g_test_point.armed()) << "kEveryNth stays armed";
+}
+
+TEST_F(FaultTest, ProbabilityExtremesAndDeterminism) {
+  FaultSpec never;
+  never.trigger = Trigger::Probability(0.0);
+  g_test_point.Arm(never);
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(g_test_point.Fire());
+
+  FaultSpec always;
+  always.trigger = Trigger::Probability(1.0);
+  g_test_point.Arm(always);
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(g_test_point.Fire());
+
+  // Same seed → same firing schedule.
+  auto schedule = [this](uint64_t seed) {
+    FaultSpec spec;
+    spec.trigger = Trigger::Probability(0.5);
+    spec.seed = seed;
+    g_test_point.Arm(spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(static_cast<bool>(g_test_point.Fire()));
+    }
+    return fired;
+  };
+  EXPECT_EQ(schedule(7), schedule(7));
+}
+
+TEST_F(FaultTest, HitsCountWhileArmed) {
+  FaultSpec spec;
+  spec.trigger = Trigger::EveryNth(1000);  // never fires in this test
+  g_test_point.Arm(spec);
+  for (int i = 0; i < 5; ++i) g_test_point.Fire();
+  EXPECT_EQ(g_test_point.hits(), 5u);
+  g_test_point.Disarm();
+  EXPECT_EQ(g_test_point.hits(), 0u);
+}
+
+TEST_F(FaultTest, TornWriteArgIsPassedThrough) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kTornWrite;
+  spec.trigger = Trigger::Once();
+  spec.arg = 17;
+  g_test_point.Arm(spec);
+  FireResult f = g_test_point.Fire();
+  ASSERT_TRUE(f);
+  EXPECT_EQ(f.kind, FaultKind::kTornWrite);
+  EXPECT_EQ(f.arg, 17u);
+}
+
+TEST_F(FaultTest, PlanArmsAtomicallyAndDisarmsOnDestruction) {
+  {
+    FaultPlan bad(1);
+    bad.Add("test/point", FaultSpec{});
+    bad.Add("no/such/point", FaultSpec{});
+    EXPECT_TRUE(bad.Arm().IsNotFound());
+    EXPECT_FALSE(g_test_point.armed()) << "nothing armed on a failed plan";
+  }
+  {
+    FaultPlan plan(1);
+    FaultSpec spec;
+    spec.trigger = Trigger::Always();
+    plan.Add("test/point", spec);
+    ASSERT_TRUE(plan.Arm().ok());
+    EXPECT_TRUE(g_test_point.armed());
+  }
+  EXPECT_FALSE(g_test_point.armed()) << "plan destruction disarms";
+}
+
+TEST_F(FaultTest, ScopedFaultGuardsAgainstTypos) {
+  ScopedFault typo("test/poimt", FaultSpec{});
+  EXPECT_FALSE(typo.valid());
+  ScopedFault real("test/point", FaultSpec{});
+  EXPECT_TRUE(real.valid());
+  EXPECT_TRUE(g_test_point.armed());
+}
+
+TEST_F(FaultTest, StatusForMapsKinds) {
+  Status err = StatusFor({FaultKind::kError, 0}, "p");
+  EXPECT_TRUE(err.IsInternal());
+  EXPECT_FALSE(IsInjectedCrash(err));
+
+  Status crash = StatusFor({FaultKind::kCrash, 0}, "p");
+  EXPECT_TRUE(crash.IsInternal());
+  EXPECT_TRUE(IsInjectedCrash(crash));
+
+  Status timeout = StatusFor({FaultKind::kForcedTimeout, 0}, "p");
+  EXPECT_TRUE(timeout.IsTimeout());
+
+  Status alloc = StatusFor({FaultKind::kAllocFail, 0}, "p");
+  EXPECT_TRUE(alloc.IsInternal());
+  EXPECT_FALSE(IsInjectedCrash(alloc));
+}
+
+// --- Points wired into the lock manager --------------------------------
+
+TEST_F(FaultTest, ForcedTimeoutFailsABlockedWait) {
+  lock::LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, {1, 1}, lock::LockMode::kX).ok());
+
+  ScopedFault f("lock/wait", [] {
+    FaultSpec s;
+    s.kind = FaultKind::kForcedTimeout;
+    s.trigger = Trigger::Once();
+    return s;
+  }());
+  ASSERT_TRUE(f.valid());
+
+  const uint64_t timeouts0 = lm.stats().timeouts.value();
+  lock::AcquireOptions opts;
+  opts.timeout_ms = 60'000;  // the injected timeout must not actually wait
+  Status s = lm.Acquire(2, {1, 1}, lock::LockMode::kS, opts);
+  EXPECT_TRUE(s.IsTimeout()) << s.ToString();
+  EXPECT_EQ(lm.stats().timeouts.value(), timeouts0 + 1);
+  EXPECT_EQ(lm.NumBlockedWaiters(), 0u);
+  // The failed wait left no residue: the holder releases, others proceed.
+  ASSERT_TRUE(lm.Release(1, {1, 1}).ok());
+  EXPECT_TRUE(lm.Acquire(2, {1, 1}, lock::LockMode::kS).ok());
+}
+
+TEST_F(FaultTest, WaiterAllocFailureRejectsTheRequest) {
+  lock::LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, {1, 1}, lock::LockMode::kX).ok());
+
+  ScopedFault f("lock/waiter-alloc", [] {
+    FaultSpec s;
+    s.kind = FaultKind::kAllocFail;
+    s.trigger = Trigger::Once();
+    return s;
+  }());
+  ASSERT_TRUE(f.valid());
+
+  Status s = lm.Acquire(2, {1, 1}, lock::LockMode::kS);
+  EXPECT_TRUE(s.IsInternal()) << s.ToString();
+  EXPECT_EQ(lm.NumBlockedWaiters(), 0u);
+  EXPECT_TRUE(lm.LocksOf(2).empty());
+}
+
+TEST_F(FaultTest, MidPathFaultRollsBackTheWholePath) {
+  lock::LockManager lm;
+  // Txn 9 holds a conflict on the middle element so txn 1's AcquirePath
+  // must defer it to the blocking pass — where the armed point fires.
+  ASSERT_TRUE(lm.Acquire(9, {2, 0}, lock::LockMode::kS).ok());
+
+  ScopedFault f("lock/acquire-path", [] {
+    FaultSpec s;
+    s.kind = FaultKind::kError;
+    s.trigger = Trigger::Once();
+    return s;
+  }());
+  ASSERT_TRUE(f.valid());
+
+  const std::vector<lock::ResourceId> path = {{1, 0}, {2, 0}, {3, 5}};
+  lock::AcquireOptions opts;
+  opts.timeout_ms = 100;
+  Status s = lm.AcquirePath(1, path, lock::LockMode::kX, opts);
+  EXPECT_TRUE(s.IsInternal()) << s.ToString();
+  // Partial-failure cleanup: the intention locks taken on {1,0} (and any
+  // other element) must be gone — a failed path leaves nothing behind.
+  EXPECT_TRUE(lm.LocksOf(1).empty());
+  EXPECT_EQ(lm.HeldMode(1, {1, 0}), lock::LockMode::kNL);
+  EXPECT_EQ(lm.NumBlockedWaiters(), 0u);
+
+  // With the fault consumed the same path acquires normally (the blocking
+  // element waits for txn 9, which releases from another thread).
+  std::thread releaser([&lm] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    lm.ReleaseAll(9);
+  });
+  lock::AcquireOptions retry_opts;
+  retry_opts.timeout_ms = 5'000;
+  EXPECT_TRUE(lm.AcquirePath(1, path, lock::LockMode::kX, retry_opts).ok());
+  releaser.join();
+  EXPECT_EQ(lm.HeldMode(1, {3, 5}), lock::LockMode::kX);
+  lm.ReleaseAll(1);
+}
+
+}  // namespace
+}  // namespace codlock::fault

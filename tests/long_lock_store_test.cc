@@ -1,0 +1,244 @@
+/// Tests for the crash-consistent `LongLockStore`: framed-generation
+/// persistence, torn-write salvage at every byte offset, corruption
+/// recovery, Status propagation from Save/LoadFromFile, and the store
+/// fault points (open-temp, write-frame, sync, rename, after-rename).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fault/fault_injector.h"
+#include "lock/lock_manager.h"
+#include "lock/long_lock_store.h"
+
+namespace codlock::lock {
+namespace {
+
+AcquireOptions LongOpts() {
+  AcquireOptions o;
+  o.duration = LockDuration::kLong;
+  return o;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+class LongLockStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("codlock_store_test_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    path_ = (dir_ / "locks.bin").string();
+  }
+  void TearDown() override {
+    fault::DisarmAll();
+    std::filesystem::remove_all(dir_);
+  }
+
+  /// Builds a store file holding generations 1 and 2 (3 records total)
+  /// and returns its bytes.
+  std::string SeedTwoGenerations() {
+    LockManager lm;
+    LongLockStore store;
+    store.SetBackingFile(path_);
+    EXPECT_TRUE(lm.Acquire(1, {1, 1}, LockMode::kX, LongOpts()).ok());
+    EXPECT_TRUE(lm.Acquire(1, {2, 7}, LockMode::kS, LongOpts()).ok());
+    EXPECT_TRUE(store.Save(lm).ok());  // generation 1
+    EXPECT_TRUE(lm.Acquire(2, {3, 9}, LockMode::kIX, LongOpts()).ok());
+    EXPECT_TRUE(store.Save(lm).ok());  // generation 2
+    return ReadFile(path_);
+  }
+
+  std::filesystem::path dir_;
+  std::string path_;
+};
+
+TEST_F(LongLockStoreTest, RoundTripThroughFile) {
+  SeedTwoGenerations();
+
+  LongLockStore loaded;
+  ASSERT_TRUE(loaded.LoadFromFile(path_).ok());
+  EXPECT_EQ(loaded.generation(), 2u);
+  EXPECT_EQ(loaded.size(), 3u);
+  EXPECT_FALSE(loaded.last_load().salvaged);
+  EXPECT_EQ(loaded.last_load().discarded_bytes, 0u);
+
+  LockManager fresh;
+  ASSERT_TRUE(loaded.Restore(&fresh).ok());
+  EXPECT_EQ(fresh.HeldMode(1, {1, 1}), LockMode::kX);
+  EXPECT_EQ(fresh.HeldMode(1, {2, 7}), LockMode::kS);
+  EXPECT_EQ(fresh.HeldMode(2, {3, 9}), LockMode::kIX);
+}
+
+TEST_F(LongLockStoreTest, MissingFileIsNotFound) {
+  LongLockStore store;
+  EXPECT_TRUE(store.LoadFromFile(path_).IsNotFound());
+}
+
+TEST_F(LongLockStoreTest, TruncationAtEveryOffsetNeverFailsLoad) {
+  const std::string image = SeedTwoGenerations();
+  ASSERT_FALSE(image.empty());
+  const std::string cut = (dir_ / "cut.bin").string();
+
+  size_t recovered_g1 = 0, recovered_g2 = 0;
+  for (size_t len = 0; len <= image.size(); ++len) {
+    WriteFile(cut, image.substr(0, len));
+    LongLockStore probe;
+    Status s = probe.LoadFromFile(cut);
+    ASSERT_TRUE(s.ok()) << "offset " << len << ": " << s.ToString();
+    const uint64_t gen = probe.generation();
+    ASSERT_LE(gen, 2u) << "offset " << len;
+    if (gen == 1) {
+      ++recovered_g1;
+      EXPECT_EQ(probe.size(), 2u) << "offset " << len;
+    } else if (gen == 2) {
+      ++recovered_g2;
+      EXPECT_EQ(probe.size(), 3u) << "offset " << len;
+    }
+    // A recovered generation is always complete: salvage may drop the torn
+    // suffix, never part of a block.
+    if (len < image.size()) {
+      EXPECT_TRUE(probe.last_load().salvaged ||
+                  probe.last_load().discarded_bytes == 0)
+          << "offset " << len;
+    }
+  }
+  // Once generation 1's block is complete, truncations within generation
+  // 2's block recover generation 1; the full image recovers generation 2.
+  EXPECT_GT(recovered_g1, 0u);
+  EXPECT_EQ(recovered_g2, 1u);
+}
+
+TEST_F(LongLockStoreTest, CorruptedNewestBlockSalvagesPrevious) {
+  std::string image = SeedTwoGenerations();
+  // Flip a byte in the last (generation 2) block's record area.
+  image[image.size() - 10] ^= 0x5A;
+  WriteFile(path_, image);
+
+  LongLockStore probe;
+  ASSERT_TRUE(probe.LoadFromFile(path_).ok());
+  EXPECT_EQ(probe.generation(), 1u);
+  EXPECT_EQ(probe.size(), 2u);
+  EXPECT_TRUE(probe.last_load().salvaged);
+  EXPECT_GT(probe.last_load().discarded_bytes, 0u);
+}
+
+TEST_F(LongLockStoreTest, GarbageFileRecoversEmptyGenerationZero) {
+  WriteFile(path_, "this is not a lock store at all, not even close");
+  LongLockStore probe;
+  ASSERT_TRUE(probe.LoadFromFile(path_).ok());
+  EXPECT_EQ(probe.generation(), 0u);
+  EXPECT_EQ(probe.size(), 0u);
+  EXPECT_TRUE(probe.last_load().salvaged);
+}
+
+TEST_F(LongLockStoreTest, SaveWithoutBackingFileStaysInMemory) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, {1, 1}, LockMode::kX, LongOpts()).ok());
+  LongLockStore store;
+  ASSERT_TRUE(store.Save(lm).ok());
+  EXPECT_EQ(store.generation(), 1u);
+  EXPECT_FALSE(std::filesystem::exists(path_));
+}
+
+TEST_F(LongLockStoreTest, GenerationsContinueAcrossLoad) {
+  SeedTwoGenerations();
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(5, {4, 4}, LockMode::kX, LongOpts()).ok());
+
+  LongLockStore store;
+  store.SetBackingFile(path_);
+  ASSERT_TRUE(store.LoadFromFile(path_).ok());
+  ASSERT_TRUE(store.Save(lm).ok());
+  EXPECT_EQ(store.generation(), 3u);
+
+  LongLockStore probe;
+  ASSERT_TRUE(probe.LoadFromFile(path_).ok());
+  EXPECT_EQ(probe.generation(), 3u);
+  EXPECT_EQ(probe.size(), 1u);
+}
+
+// --- Fault points in the save path -------------------------------------
+
+struct SaveFaultCase {
+  const char* point;
+  fault::FaultKind kind;
+  /// Generation a post-fault load must recover: 1 = previous survives,
+  /// 2 = new state already durable despite the error status.
+  uint64_t expect_generation;
+};
+
+class SaveFaultTest : public LongLockStoreTest,
+                      public ::testing::WithParamInterface<SaveFaultCase> {};
+
+TEST_P(SaveFaultTest, FailedSaveIsReportedAndRecoverable) {
+  const SaveFaultCase& c = GetParam();
+  LockManager lm;
+  LongLockStore store;
+  store.SetBackingFile(path_);
+  ASSERT_TRUE(lm.Acquire(1, {1, 1}, LockMode::kX, LongOpts()).ok());
+  ASSERT_TRUE(store.Save(lm).ok());  // generation 1, durable
+
+  fault::FaultSpec spec;
+  spec.kind = c.kind;
+  spec.trigger = fault::Trigger::Once();
+  fault::ScopedFault f(c.point, spec);
+  ASSERT_TRUE(f.valid()) << c.point;
+
+  ASSERT_TRUE(lm.Acquire(2, {2, 2}, LockMode::kX, LongOpts()).ok());
+  Status saved = store.Save(lm);  // generation 2 attempt dies at the point
+  EXPECT_FALSE(saved.ok()) << c.point;
+  if (c.kind == fault::FaultKind::kCrash ||
+      c.kind == fault::FaultKind::kTornWrite) {
+    EXPECT_TRUE(fault::IsInjectedCrash(saved)) << saved.ToString();
+  }
+
+  // Whatever the crash left on disk, the load recovers a complete
+  // generation — the previous one, or the new one if the rename made it.
+  LongLockStore probe;
+  ASSERT_TRUE(probe.LoadFromFile(path_).ok()) << c.point;
+  EXPECT_EQ(probe.generation(), c.expect_generation) << c.point;
+  if (probe.generation() == 1) {
+    EXPECT_EQ(probe.size(), 1u);
+  } else {
+    EXPECT_EQ(probe.size(), 2u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSavePoints, SaveFaultTest,
+    ::testing::Values(
+        SaveFaultCase{"store/open-temp", fault::FaultKind::kError, 1},
+        SaveFaultCase{"store/write-frame", fault::FaultKind::kTornWrite, 1},
+        SaveFaultCase{"store/sync", fault::FaultKind::kCrash, 1},
+        SaveFaultCase{"store/rename", fault::FaultKind::kCrash, 1},
+        // After the rename the new generation IS durable; the caller sees
+        // the crash, but restart recovers generation 2.
+        SaveFaultCase{"store/after-rename", fault::FaultKind::kCrash, 2}),
+    [](const ::testing::TestParamInfo<SaveFaultCase>& param_info) {
+      std::string name = param_info.param.point;
+      for (char& ch : name) {
+        if (ch == '/' || ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace codlock::lock

@@ -13,14 +13,17 @@ Reads the two perf baselines the repo keeps at its root —
 
 and prints one line per metric with the relative delta.  A metric whose
 delta is worse than the threshold (default 15%) counts as a regression;
-improvements are reported but never fail.  CI runs this warn-only
-(shared-runner numbers are indicative, see EXPERIMENTS.md "Performance
-methodology"); pass --strict to turn regressions into a non-zero exit for
-controlled machines.
+improvements are reported but never fail.  CI runs this warn-only for
+moderate regressions (shared-runner numbers are indicative, see
+EXPERIMENTS.md "Performance methodology"), but a delta beyond the fail
+threshold (default 30%) is beyond shared-runner noise and always exits
+non-zero.  Pass --strict to make *every* regression fatal on controlled
+machines.
 
 Usage:
   tools/bench_regression_check.py --baseline-dir DIR --fresh-dir DIR
-                                  [--threshold 0.15] [--strict]
+                                  [--threshold 0.15] [--fail-threshold 0.30]
+                                  [--strict]
 
 Only the Python standard library is used.
 """
@@ -63,15 +66,18 @@ def throughput_metrics(doc, prefix=""):
     return out
 
 
-def compare(name, baseline, fresh, threshold, lower_is_better):
-    """Returns (is_regression, line)."""
+def compare(name, baseline, fresh, threshold, fail_threshold,
+            lower_is_better):
+    """Returns (is_regression, is_failure, line)."""
     if baseline == 0:
-        return False, f"  {name}: baseline is zero, skipped"
+        return False, False, f"  {name}: baseline is zero, skipped"
     delta = (fresh - baseline) / baseline
-    worse = delta > threshold if lower_is_better else delta < -threshold
-    arrow = "REGRESSION" if worse else "ok"
-    return worse, (f"  {name}: baseline={baseline:.6g} fresh={fresh:.6g} "
-                   f"delta={delta:+.1%} [{arrow}]")
+    signed = delta if lower_is_better else -delta
+    worse = signed > threshold
+    fatal = signed > fail_threshold
+    arrow = "FAILURE" if fatal else ("REGRESSION" if worse else "ok")
+    return worse, fatal, (f"  {name}: baseline={baseline:.6g} "
+                          f"fresh={fresh:.6g} delta={delta:+.1%} [{arrow}]")
 
 
 def main():
@@ -83,12 +89,16 @@ def main():
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="relative worsening that counts as a regression "
                          "(default 0.15 = 15%%)")
+    ap.add_argument("--fail-threshold", type=float, default=0.30,
+                    help="relative worsening beyond which a regression is "
+                         "fatal even without --strict (default 0.30 = 30%%)")
     ap.add_argument("--strict", action="store_true",
-                    help="exit non-zero when a regression is found "
-                         "(default: warn only)")
+                    help="exit non-zero when any regression is found "
+                         "(default: only those beyond --fail-threshold)")
     args = ap.parse_args()
 
     regressions = 0
+    failures = 0
     compared = 0
 
     # --- BENCH_lock_manager.json: median real_time, lower is better. -------
@@ -107,11 +117,13 @@ def main():
             if b_unit != f_unit:
                 print(f"  {name}: unit mismatch {b_unit} vs {f_unit}, skipped")
                 continue
-            worse, line = compare(name, b, f, args.threshold,
-                                  lower_is_better=True)
+            worse, fatal, line = compare(name, b, f, args.threshold,
+                                         args.fail_threshold,
+                                         lower_is_better=True)
             print(line)
             compared += 1
             regressions += worse
+            failures += fatal
         for name in sorted(set(fresh) - set(base)):
             print(f"  {name}: new benchmark (no baseline)")
     else:
@@ -129,16 +141,23 @@ def main():
             if name not in fresh:
                 print(f"  {name}: missing from fresh run")
                 continue
-            worse, line = compare(name, base[name], fresh[name],
-                                  args.threshold, lower_is_better=False)
+            worse, fatal, line = compare(name, base[name], fresh[name],
+                                         args.threshold, args.fail_threshold,
+                                         lower_is_better=False)
             print(line)
             compared += 1
             regressions += worse
+            failures += fatal
     else:
         print(f"{ov}: not present in both directories, skipped")
 
     print(f"compared {compared} metrics, {regressions} regression(s) beyond "
-          f"{args.threshold:.0%}")
+          f"{args.threshold:.0%}, {failures} beyond the "
+          f"{args.fail_threshold:.0%} failure threshold")
+    if failures:
+        print(f"error: regression(s) beyond {args.fail_threshold:.0%} "
+              f"exceed shared-runner noise")
+        return 1
     if regressions and args.strict:
         return 1
     if regressions:

@@ -1,0 +1,340 @@
+// codlock_faultsweep — crashpoint sweep over every registered fault point.
+//
+// For each fault point linked into the binary (fault/fault_injector.h) the
+// sweep builds a fresh workstation–server stack with a file-backed long
+// lock store, establishes a baseline check-out, arms the point with its
+// declared worst plausible failure (Trigger::Once), drives check-out /
+// conflicting check-out / check-in traffic through it, then simulates the
+// restart (`Server::CrashAndRestart`) and asserts:
+//
+//   * recovery itself reports no error,
+//   * the baseline check-out's long locks survived,
+//   * no blocked waiter and no lock owned by a dead transaction remains
+//     (orphan reap),
+//   * the protocol validator finds no undetected conflict in the
+//     recovered grant set,
+//   * the server is usable: the surviving ticket checks in cleanly and a
+//     fresh check-out of the same data succeeds.
+//
+// The separate `truncate` mode is the torn-write sweep: it persists two
+// generations, then truncates the store file at *every* byte offset and
+// asserts that loading never fails and always recovers a complete
+// generation (the newest intact one, or the empty generation 0).
+//
+// Usage:
+//   codlock_faultsweep [--json] [--dir <scratch-dir>] [sweep|truncate|all]
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/fault_injector.h"
+#include "lock/lock_manager.h"
+#include "lock/long_lock_store.h"
+#include "proto/validator.h"
+#include "sim/fixtures.h"
+#include "ws/server.h"
+
+using namespace codlock;
+
+namespace {
+
+struct PointResult {
+  std::string point;
+  std::string kind;
+  bool fired = false;  ///< the armed fault actually triggered
+  bool passed = false;
+  std::string detail;  ///< first failed assertion (empty when passed)
+};
+
+std::string Sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '/' || c == ' ') c = '_';
+  }
+  return out;
+}
+
+/// Runs the victim workload with \p point armed and checks recovery.
+PointResult SweepOne(fault::FaultPoint* point, const std::string& dir) {
+  PointResult res;
+  res.point = point->name();
+  res.kind = std::string(fault::FaultKindName(point->sweep_kind()));
+  auto fail = [&res](const std::string& why) {
+    res.passed = false;
+    res.detail = why;
+    return res;
+  };
+
+  sim::CellsFixture f = sim::BuildFigure7Instance();
+  ws::Server::Options opts;
+  opts.protocol.timeout_ms = 100;  // conflicting check-outs fail fast
+  opts.lock_manager.default_timeout_ms = 200;
+  opts.storage_path = dir + "/" + Sanitize(point->name()) + ".locks";
+  std::filesystem::remove(opts.storage_path);
+  std::filesystem::remove(opts.storage_path + ".tmp");
+  ws::Server server(f.catalog.get(), f.store.get(), opts);
+
+  // Baseline: user 1 holds long X locks on robot r1 before any fault.
+  Result<ws::CheckOutTicket> baseline =
+      server.CheckOut(1, query::MakeQ2(f.cells));
+  if (!baseline.ok()) {
+    return fail("baseline check-out failed: " + baseline.status().ToString());
+  }
+
+  // Arm the worst plausible failure of this point, exactly once.
+  fault::FaultSpec spec;
+  spec.kind = point->sweep_kind();
+  spec.trigger = fault::Trigger::Once();
+  point->Arm(spec);
+
+  // Victim traffic: a disjoint check-out (persist path), a conflicting
+  // check-out (wait path), a check-in (EOT path).  Failures are expected
+  // here — they *are* the injected faults.
+  Result<ws::CheckOutTicket> disjoint =
+      server.CheckOut(2, query::MakeQ1(f.cells));
+  server.CheckOut(3, query::MakeQ2(f.cells));  // conflicts with baseline
+  if (disjoint.ok()) server.CheckIn(*disjoint);
+
+  res.fired = !point->armed();  // Trigger::Once auto-disarms on fire
+  point->Disarm();
+
+  // The crash and the restart.
+  Status restarted = server.CrashAndRestart();
+  if (!restarted.ok()) {
+    return fail("CrashAndRestart failed: " + restarted.ToString());
+  }
+
+  // Baseline long locks survived.
+  if (server.lock_manager().LocksOf(baseline->txn).empty()) {
+    return fail("baseline long locks lost in recovery");
+  }
+
+  // No orphans: nothing blocked, and every held lock has a live owner.
+  if (server.lock_manager().NumBlockedWaiters() != 0) {
+    return fail("blocked waiters survived recovery");
+  }
+  for (const lock::LongLockRecord& rec :
+       server.lock_manager().SnapshotAllLocks()) {
+    if (!server.txn_manager().Get(rec.txn).ok()) {
+      return fail("orphan lock owned by dead txn " + std::to_string(rec.txn) +
+                  " on " + rec.resource.ToString());
+    }
+  }
+
+  // The recovered grant set is coherent.
+  proto::ProtocolValidator validator(&server.graph(), f.store.get());
+  std::vector<proto::Violation> violations =
+      validator.Check(server.lock_manager());
+  if (!violations.empty()) {
+    return fail("validator: " + violations.front().ToString());
+  }
+
+  // The server still works: check the baseline in, check the data out
+  // again.
+  Status checked_in = server.CheckIn(*baseline);
+  if (!checked_in.ok()) {
+    return fail("post-recovery check-in failed: " + checked_in.ToString());
+  }
+  Result<ws::CheckOutTicket> again =
+      server.CheckOut(9, query::MakeQ2(f.cells));
+  if (!again.ok()) {
+    return fail("post-recovery check-out failed: " +
+                again.status().ToString());
+  }
+  server.CheckIn(*again);
+
+  res.passed = true;
+  return res;
+}
+
+struct TruncateResult {
+  size_t offsets = 0;       ///< truncation points exercised
+  size_t failed_loads = 0;  ///< loads that returned an error (must be 0)
+  size_t recovered_g2 = 0;  ///< newest generation recovered
+  size_t recovered_g1 = 0;  ///< previous generation recovered
+  size_t recovered_g0 = 0;  ///< empty state recovered
+  bool passed = false;
+  std::string detail;
+};
+
+/// Truncates the two-generation store file at every byte offset and
+/// asserts the load always recovers a complete generation.
+TruncateResult TruncateSweep(const std::string& dir) {
+  TruncateResult res;
+  const std::string path = dir + "/truncate.locks";
+  const std::string cut = dir + "/truncate.cut.locks";
+  std::filesystem::remove(path);
+
+  lock::LockManager lm;
+  lock::AcquireOptions long_opts;
+  long_opts.duration = lock::LockDuration::kLong;
+  lock::LongLockStore store;
+  store.SetBackingFile(path);
+  lm.Acquire(1, {1, 1}, lock::LockMode::kX, long_opts);
+  lm.Acquire(1, {2, 7}, lock::LockMode::kS, long_opts);
+  Status s1 = store.Save(lm);  // generation 1
+  lm.Acquire(2, {3, 9}, lock::LockMode::kX, long_opts);
+  Status s2 = store.Save(lm);  // generation 2
+  if (!s1.ok() || !s2.ok()) {
+    res.detail = "seeding saves failed: " + s1.ToString() + " / " +
+                 s2.ToString();
+    return res;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string image = buf.str();
+  if (image.empty()) {
+    res.detail = "store image empty";
+    return res;
+  }
+
+  for (size_t len = 0; len <= image.size(); ++len) {
+    {
+      std::ofstream out(cut, std::ios::binary | std::ios::trunc);
+      out.write(image.data(), static_cast<std::streamsize>(len));
+    }
+    lock::LongLockStore probe;
+    Status loaded = probe.LoadFromFile(cut);
+    ++res.offsets;
+    if (!loaded.ok()) {
+      ++res.failed_loads;
+      if (res.detail.empty()) {
+        res.detail = "load failed at offset " + std::to_string(len) + ": " +
+                     loaded.ToString();
+      }
+      continue;
+    }
+    switch (probe.generation()) {
+      case 2:
+        ++res.recovered_g2;
+        break;
+      case 1:
+        ++res.recovered_g1;
+        break;
+      case 0:
+        ++res.recovered_g0;
+        break;
+      default:
+        ++res.failed_loads;
+        if (res.detail.empty()) {
+          res.detail = "impossible generation " +
+                       std::to_string(probe.generation()) + " at offset " +
+                       std::to_string(len);
+        }
+    }
+    // The untruncated image must recover the newest generation with all
+    // its records.
+    if (len == image.size() &&
+        (probe.generation() != 2 || probe.size() != 3)) {
+      ++res.failed_loads;
+      if (res.detail.empty()) {
+        res.detail = "full image did not recover generation 2";
+      }
+    }
+  }
+  res.passed = res.failed_loads == 0 && res.recovered_g2 > 0 &&
+               res.recovered_g1 > 0;
+  if (!res.passed && res.detail.empty()) {
+    res.detail = "expected both generations to be recoverable";
+  }
+  return res;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string dir = std::filesystem::temp_directory_path().string() +
+                    "/codlock_faultsweep";
+  std::string mode = "all";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--dir" && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (arg == "sweep" || arg == "truncate" || arg == "all") {
+      mode = arg;
+    } else {
+      std::cerr << "usage: codlock_faultsweep [--json] [--dir <d>] "
+                   "[sweep|truncate|all]\n";
+      return 2;
+    }
+  }
+  std::filesystem::create_directories(dir);
+
+  std::vector<PointResult> points;
+  TruncateResult trunc;
+  bool ok = true;
+
+  if (mode == "sweep" || mode == "all") {
+    for (fault::FaultPoint* p : fault::AllPoints()) {
+      PointResult r = SweepOne(p, dir);
+      fault::DisarmAll();  // belt and braces between scenarios
+      ok = ok && r.passed;
+      points.push_back(std::move(r));
+    }
+  }
+  if (mode == "truncate" || mode == "all") {
+    trunc = TruncateSweep(dir);
+    ok = ok && trunc.passed;
+  }
+
+  if (json) {
+    std::ostringstream os;
+    os << "{\n  \"points\": [\n";
+    for (size_t i = 0; i < points.size(); ++i) {
+      const PointResult& r = points[i];
+      os << "    {\"point\": \"" << JsonEscape(r.point) << "\", \"kind\": \""
+         << r.kind << "\", \"fired\": " << (r.fired ? "true" : "false")
+         << ", \"passed\": " << (r.passed ? "true" : "false")
+         << ", \"detail\": \"" << JsonEscape(r.detail) << "\"}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    os << "  ]";
+    if (mode != "sweep") {
+      os << ",\n  \"truncate\": {\"offsets\": " << trunc.offsets
+         << ", \"failed_loads\": " << trunc.failed_loads
+         << ", \"recovered_g2\": " << trunc.recovered_g2
+         << ", \"recovered_g1\": " << trunc.recovered_g1
+         << ", \"recovered_g0\": " << trunc.recovered_g0
+         << ", \"passed\": " << (trunc.passed ? "true" : "false")
+         << ", \"detail\": \"" << JsonEscape(trunc.detail) << "\"}";
+    }
+    os << ",\n  \"passed\": " << (ok ? "true" : "false") << "\n}\n";
+    std::cout << os.str();
+  } else {
+    for (const PointResult& r : points) {
+      std::cout << (r.passed ? "PASS " : "FAIL ") << r.point << " ("
+                << r.kind << (r.fired ? ", fired" : ", not traversed")
+                << ")" << (r.detail.empty() ? "" : ": " + r.detail) << "\n";
+    }
+    if (mode != "sweep") {
+      std::cout << (trunc.passed ? "PASS " : "FAIL ")
+                << "truncate sweep: " << trunc.offsets << " offsets, "
+                << trunc.failed_loads << " failed loads, g2/g1/g0 = "
+                << trunc.recovered_g2 << "/" << trunc.recovered_g1 << "/"
+                << trunc.recovered_g0
+                << (trunc.detail.empty() ? "" : ": " + trunc.detail) << "\n";
+    }
+    std::cout << (ok ? "crashpoint sweep passed" : "crashpoint sweep FAILED")
+              << "\n";
+  }
+  return ok ? 0 : 1;
+}
