@@ -1,0 +1,177 @@
+// Lease-path overhead benchmark (workstation liveness, DESIGN.md §9).
+//
+// The lease subsystem sits on the check-out/check-in hot path: every
+// grant installs a lease with its fencing token, every ticket-presenting
+// operation verifies the fencing epochs first, and the periodic sweep
+// scans all live leases.  Measured here:
+//
+//  (a) checkout_checkin — full check-out → check-in cycles including
+//      lease grant/drop and fence bookkeeping,
+//  (b) renewals        — the heartbeat path (fence check + deadline
+//      bump) on a standing ticket,
+//  (c) idle_sweep      — `SweepExpiredLeases` scans over a fleet of
+//      live, unexpired leases (the steady-state reclamation cadence),
+//  (d) fenced_rejects  — the zombie rejection path: a reclaimed ticket
+//      presented repeatedly (fence comparison + counter, no locks
+//      touched).
+//
+// `--json` emits machine-readable "throughput_tps" metrics compared by
+// tools/bench_regression_check.py against the committed BENCH_lease.json.
+
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/fixtures.h"
+#include "ws/server.h"
+
+using namespace codlock;
+
+namespace {
+
+struct Measurement {
+  uint64_t ops = 0;
+  double seconds = 0;
+  double tps() const { return seconds > 0 ? ops / seconds : 0; }
+  double ns_per_op() const { return ops > 0 ? seconds * 1e9 / ops : 0; }
+};
+
+template <typename Fn>
+Measurement Measure(uint64_t ops, Fn&& op) {
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < ops; ++i) op();
+  const auto end = std::chrono::steady_clock::now();
+  return {ops, std::chrono::duration<double>(end - start).count()};
+}
+
+query::Query CellQuery(const sim::CellsFixture& f, const std::string& key) {
+  query::Query q;
+  q.name = "bench-lease";
+  q.relation = f.cells;
+  q.object_key = key;
+  q.path = {nf2::PathStep::Field("c_objects")};
+  q.kind = query::AccessKind::kUpdate;
+  return q;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  uint64_t scale = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      scale = std::max<uint64_t>(1, std::stoull(argv[++i]));
+    } else {
+      std::cerr << "usage: bench_lease [--json] [--scale N]\n";
+      return 2;
+    }
+  }
+
+  sim::CellsParams params;
+  params.num_cells = 64;
+  params.c_objects_per_cell = 4;
+  params.robots_per_cell = 2;
+  params.num_effectors = 8;
+  sim::CellsFixture f = sim::BuildCellsEffectors(params);
+
+  ws::Server::Options opts;
+  opts.lease.duration_ms = 1u << 30;  // nothing expires unless we say so
+  opts.lease.grace_ms = 1000;
+  ws::Server server(f.catalog.get(), f.store.get(), std::move(opts));
+
+  // (a) check-out / check-in cycles on one cell.
+  Measurement cycle = Measure(2000 * scale, [&] {
+    Result<ws::CheckOutTicket> t = server.CheckOut(
+        1, CellQuery(f, "c1"), ws::CheckOutMode::kExclusive);
+    if (!t.ok() || !server.CheckIn(*t).ok()) std::abort();
+  });
+
+  // (b) renewals on a standing ticket.
+  Result<ws::CheckOutTicket> standing = server.CheckOut(
+      1, CellQuery(f, "c1"), ws::CheckOutMode::kExclusive);
+  if (!standing.ok()) {
+    std::cerr << "setup check-out failed: " << standing.status().ToString()
+              << "\n";
+    return 1;
+  }
+  Measurement renew = Measure(100'000 * scale, [&] {
+    if (!server.RenewLease(*standing).ok()) std::abort();
+  });
+
+  // (c) sweep over a fleet of live leases (cells c2..c33).
+  std::vector<ws::CheckOutTicket> fleet;
+  for (int c = 2; c <= 33; ++c) {
+    Result<ws::CheckOutTicket> t =
+        server.CheckOut(static_cast<authz::UserId>(c),
+                        CellQuery(f, "c" + std::to_string(c)),
+                        ws::CheckOutMode::kExclusive);
+    if (!t.ok()) {
+      std::cerr << "fleet check-out failed: " << t.status().ToString()
+                << "\n";
+      return 1;
+    }
+    fleet.push_back(*t);
+  }
+  Measurement sweep = Measure(20'000 * scale, [&] {
+    if (server.SweepExpiredLeases() != 0) std::abort();  // nothing expired
+  });
+
+  // (d) the fenced zombie rejection path, on its own server so the
+  // expiry does not disturb the fleet above: check out, let the lease
+  // run out, reclaim, then present the stale ticket over and over.
+  ws::Server::Options zopts;
+  zopts.lease.duration_ms = 1000;
+  zopts.lease.grace_ms = 500;
+  ws::Server zserver(f.catalog.get(), f.store.get(), std::move(zopts));
+  Result<ws::CheckOutTicket> zombie = zserver.CheckOut(
+      1, CellQuery(f, "c34"), ws::CheckOutMode::kExclusive);
+  if (!zombie.ok()) {
+    std::cerr << "zombie check-out failed: " << zombie.status().ToString()
+              << "\n";
+    return 1;
+  }
+  zserver.clock().AdvanceMs(1501);
+  if (zserver.SweepExpiredLeases() != 1) {
+    std::cerr << "expected the zombie's lease to be reclaimed\n";
+    return 1;
+  }
+  Measurement fenced = Measure(100'000 * scale, [&] {
+    if (zserver.CheckIn(*zombie).ok()) std::abort();
+  });
+
+  if (json) {
+    std::cout.setf(std::ios::fixed);
+    std::cout.precision(1);
+    std::cout << "{\n  \"benchmark\": \"lease\",\n  \"scenarios\": {\n"
+              << "    \"checkout_checkin\": {\"ops\": " << cycle.ops
+              << ", \"throughput_tps\": " << cycle.tps()
+              << ", \"ns_per_op\": " << cycle.ns_per_op() << "},\n"
+              << "    \"renewals\": {\"ops\": " << renew.ops
+              << ", \"throughput_tps\": " << renew.tps()
+              << ", \"ns_per_op\": " << renew.ns_per_op() << "},\n"
+              << "    \"idle_sweep\": {\"ops\": " << sweep.ops
+              << ", \"leases_scanned\": " << fleet.size()
+              << ", \"throughput_tps\": " << sweep.tps()
+              << ", \"ns_per_op\": " << sweep.ns_per_op() << "},\n"
+              << "    \"fenced_rejects\": {\"ops\": " << fenced.ops
+              << ", \"throughput_tps\": " << fenced.tps()
+              << ", \"ns_per_op\": " << fenced.ns_per_op() << "}\n"
+              << "  }\n}\n";
+  } else {
+    auto row = [](const char* name, const Measurement& m) {
+      std::cout << name << ": " << m.ops << " ops, "
+                << static_cast<uint64_t>(m.tps()) << " ops/s, "
+                << static_cast<uint64_t>(m.ns_per_op()) << " ns/op\n";
+    };
+    row("checkout+checkin ", cycle);
+    row("lease renewal    ", renew);
+    row("idle sweep (32)  ", sweep);
+    row("fenced rejection ", fenced);
+  }
+  return 0;
+}

@@ -24,13 +24,27 @@ fault::FaultPoint g_fault_rename{"store/rename", fault::FaultKind::kCrash};
 fault::FaultPoint g_fault_after_rename{"store/after-rename",
                                        fault::FaultKind::kCrash};
 
-// Framed block layout (all integers little-endian):
-//   u32 magic | u64 generation | u32 record_count
-//   record_count * (u64 txn | u32 node | u64 instance | u8 mode)
-//   u32 crc32 over everything after the magic
-constexpr uint32_t kBlockMagic = 0x314E4743;  // "CGN1"
-constexpr size_t kHeaderSize = 4 + 8 + 4;
+// Framed block layout (all integers little-endian).  The magic doubles as
+// the format version:
+//
+//   v1 ("CGN1"):  u32 magic | u64 generation | u32 record_count
+//                 record_count * (u64 txn | u32 node | u64 instance | u8 mode)
+//                 u32 crc32 over everything after the magic
+//
+//   v2 ("CGN2"):  u32 magic | u64 generation | u32 record_count
+//                 | u32 epoch_count
+//                 record_count * (u64 txn | u32 node | u64 instance | u8 mode)
+//                 epoch_count * (u32 node | u64 instance | u64 epoch)
+//                 u32 crc32 over everything after the magic
+//
+// v1 blocks (written before the lease subsystem existed) still parse —
+// they simply carry no fence epochs.  Saves always write v2.
+constexpr uint32_t kBlockMagicV1 = 0x314E4743;  // "CGN1"
+constexpr uint32_t kBlockMagicV2 = 0x324E4743;  // "CGN2"
+constexpr size_t kHeaderSizeV1 = 4 + 8 + 4;
+constexpr size_t kHeaderSizeV2 = 4 + 8 + 4 + 4;
 constexpr size_t kRecordSize = 8 + 4 + 8 + 1;
+constexpr size_t kEpochSize = 4 + 8 + 8;
 constexpr size_t kCrcSize = 4;
 
 void PutU32(std::string& s, uint32_t v) {
@@ -60,29 +74,38 @@ uint64_t GetU64(const char* p) {
 struct ParsedBlock {
   uint64_t generation = 0;
   std::vector<LongLockRecord> records;
+  std::vector<FenceEpochRecord> epochs;
   size_t offset = 0;  ///< where the block starts in the file image
   size_t length = 0;  ///< total block length in bytes
 };
 
-/// Tries to parse one framed block at \p off.  Returns true when the
-/// block is complete, CRC-clean and semantically valid.
+/// Tries to parse one framed block (either version) at \p off.  Returns
+/// true when the block is complete, CRC-clean and semantically valid.
 bool ParseBlockAt(const std::string& data, size_t off, ParsedBlock* out) {
-  if (off + kHeaderSize + kCrcSize > data.size()) return false;
-  if (GetU32(data.data() + off) != kBlockMagic) return false;
+  if (off + kHeaderSizeV1 + kCrcSize > data.size()) return false;
+  const uint32_t magic = GetU32(data.data() + off);
+  const bool v2 = magic == kBlockMagicV2;
+  if (!v2 && magic != kBlockMagicV1) return false;
+  const size_t header = v2 ? kHeaderSizeV2 : kHeaderSizeV1;
+  if (off + header + kCrcSize > data.size()) return false;
   const uint64_t gen = GetU64(data.data() + off + 4);
   const uint32_t count = GetU32(data.data() + off + 12);
+  const uint32_t epoch_count = v2 ? GetU32(data.data() + off + 16) : 0;
   // Reject absurd counts before computing the length (overflow guard).
   if (count > (data.size() - off) / kRecordSize) return false;
-  const size_t length = kHeaderSize + count * kRecordSize + kCrcSize;
+  if (epoch_count > (data.size() - off) / kEpochSize) return false;
+  const size_t length = header + count * kRecordSize +
+                        epoch_count * kEpochSize + kCrcSize;
   if (off + length > data.size()) return false;
-  const std::string_view body(data.data() + off + 4,
-                              kHeaderSize - 4 + count * kRecordSize);
+  const std::string_view body(
+      data.data() + off + 4,
+      header - 4 + count * kRecordSize + epoch_count * kEpochSize);
   const uint32_t stored_crc = GetU32(data.data() + off + length - kCrcSize);
   if (Crc32(body) != stored_crc) return false;
 
   std::vector<LongLockRecord> records;
   records.reserve(count);
-  const char* p = data.data() + off + kHeaderSize;
+  const char* p = data.data() + off + header;
   for (uint32_t i = 0; i < count; ++i, p += kRecordSize) {
     LongLockRecord r;
     r.txn = GetU64(p);
@@ -93,8 +116,18 @@ bool ParseBlockAt(const std::string& data, size_t off, ParsedBlock* out) {
     r.mode = static_cast<LockMode>(mode);
     records.push_back(r);
   }
+  std::vector<FenceEpochRecord> epochs;
+  epochs.reserve(epoch_count);
+  for (uint32_t i = 0; i < epoch_count; ++i, p += kEpochSize) {
+    FenceEpochRecord e;
+    e.root.node = GetU32(p);
+    e.root.instance = GetU64(p + 4);
+    e.epoch = GetU64(p + 12);
+    epochs.push_back(e);
+  }
   out->generation = gen;
   out->records = std::move(records);
+  out->epochs = std::move(epochs);
   out->offset = off;
   out->length = length;
   return true;
@@ -133,6 +166,27 @@ size_t LongLockStore::size() const {
 uint64_t LongLockStore::generation() const {
   MutexLock lk(mu_);
   return generation_;
+}
+
+uint64_t LongLockStore::FenceEpochOf(ResourceId root) const {
+  MutexLock lk(mu_);
+  auto it = epochs_.find(root);
+  return it == epochs_.end() ? 0 : it->second;
+}
+
+uint64_t LongLockStore::BumpFenceEpoch(ResourceId root) {
+  MutexLock lk(mu_);
+  return ++epochs_[root];
+}
+
+std::vector<FenceEpochRecord> LongLockStore::FenceEpochs() const {
+  MutexLock lk(mu_);
+  std::vector<FenceEpochRecord> out;
+  out.reserve(epochs_.size());
+  for (const auto& [root, epoch] : epochs_) {
+    out.push_back({root, epoch});
+  }
+  return out;
 }
 
 void LongLockStore::SetBackingFile(std::string path) {
@@ -185,16 +239,37 @@ Status LongLockStore::Deserialize(const std::string& data) {
 }
 
 std::string LongLockStore::EncodeBlockLocked() const {
+  // Sorted epoch table: a deterministic byte image for a given state (the
+  // unordered_map iteration order must not leak into stable storage).
+  std::vector<FenceEpochRecord> epochs;
+  epochs.reserve(epochs_.size());
+  for (const auto& [root, epoch] : epochs_) {
+    epochs.push_back({root, epoch});
+  }
+  std::sort(epochs.begin(), epochs.end(),
+            [](const FenceEpochRecord& a, const FenceEpochRecord& b) {
+              return a.root.node != b.root.node
+                         ? a.root.node < b.root.node
+                         : a.root.instance < b.root.instance;
+            });
+
   std::string block;
-  block.reserve(kHeaderSize + records_.size() * kRecordSize + kCrcSize);
-  PutU32(block, kBlockMagic);
+  block.reserve(kHeaderSizeV2 + records_.size() * kRecordSize +
+                epochs.size() * kEpochSize + kCrcSize);
+  PutU32(block, kBlockMagicV2);
   PutU64(block, generation_);
   PutU32(block, static_cast<uint32_t>(records_.size()));
+  PutU32(block, static_cast<uint32_t>(epochs.size()));
   for (const LongLockRecord& r : records_) {
     PutU64(block, r.txn);
     PutU32(block, r.resource.node);
     PutU64(block, r.resource.instance);
     block.push_back(static_cast<char>(r.mode));
+  }
+  for (const FenceEpochRecord& e : epochs) {
+    PutU32(block, e.root.node);
+    PutU64(block, e.root.instance);
+    PutU64(block, e.epoch);
   }
   PutU32(block, Crc32(std::string_view(block.data() + 4, block.size() - 4)));
   return block;
@@ -273,7 +348,7 @@ Status LongLockStore::LoadFromFile(const std::string& path) {
   bool have_best = false;
   size_t valid_bytes = 0;
   size_t off = 0;
-  while (off + kHeaderSize + kCrcSize <= data.size()) {
+  while (off + kHeaderSizeV1 + kCrcSize <= data.size()) {
     ParsedBlock block;
     if (ParseBlockAt(data, off, &block)) {
       valid_bytes += block.length;
@@ -296,6 +371,10 @@ Status LongLockStore::LoadFromFile(const std::string& path) {
     records_ = std::move(best.records);
     generation_ = best.generation;
     prev_block_ = data.substr(best.offset, best.length);
+    epochs_.clear();
+    for (const FenceEpochRecord& e : best.epochs) {
+      epochs_[e.root] = e.epoch;
+    }
   } else {
     // No complete generation survived: the file predates its first
     // completed save (or lost everything to corruption) — recover the
@@ -303,6 +382,7 @@ Status LongLockStore::LoadFromFile(const std::string& path) {
     records_.clear();
     generation_ = 0;
     prev_block_.clear();
+    epochs_.clear();
   }
   last_load_.generation = generation_;
   last_load_.records = records_.size();

@@ -14,8 +14,13 @@
 /// store exists to protect.  Persistence therefore uses:
 ///
 ///  * **Framed generation blocks** — every save appends a self-validating
-///    block `[magic | generation | record count | records | CRC-32]`; a
-///    torn or corrupted block fails its CRC and is ignored at load time.
+///    block `[magic | generation | record count | epoch count | records |
+///    fence epochs | CRC-32]`; a torn or corrupted block fails its CRC and
+///    is ignored at load time.  The magic doubles as the format version:
+///    "CGN1" blocks (PR 4) carry no fence-epoch table and still load —
+///    their epochs default to zero (forward-compatible salvage, not a hard
+///    error); "CGN2" blocks append the per-root fencing epochs the lease
+///    subsystem needs to survive server crashes.
 ///  * **Write-to-temp + atomic rename** — the new file image (previous
 ///    good block + new block) is written to `<path>.tmp`, flushed, and
 ///    renamed over `<path>`, so the live file is replaced atomically and
@@ -40,6 +45,7 @@
 #define CODLOCK_LOCK_LONG_LOCK_STORE_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "lock/lock_manager.h"
@@ -48,6 +54,19 @@
 #include "util/thread_annotations.h"
 
 namespace codlock::lock {
+
+/// \brief One checked-out root's fencing epoch (zombie fencing).
+///
+/// The epoch of a root resource counts how often lease reclamation (or the
+/// post-crash orphan reaper) revoked long locks on it.  A check-out ticket
+/// records the epochs of its roots at grant time; any later check-in /
+/// renew / resume that presents an older epoch is a zombie and fails with
+/// `StatusCode::kFenced`.  Epochs are persisted with every generation so a
+/// server crash can never resurrect a fenced ticket.
+struct FenceEpochRecord {
+  ResourceId root;
+  uint64_t epoch = 0;
+};
 
 /// \brief Durable store of long-lock records.
 class LongLockStore {
@@ -75,6 +94,16 @@ class LongLockStore {
   std::vector<LongLockRecord> records() const;
 
   size_t size() const;
+
+  /// Fencing epoch of \p root (0 = never reclaimed).
+  uint64_t FenceEpochOf(ResourceId root) const;
+
+  /// Monotonically bumps \p root's fencing epoch (lease reclaim / orphan
+  /// reap) and returns the new value.  Durable from the next `Save`.
+  uint64_t BumpFenceEpoch(ResourceId root);
+
+  /// All non-zero fencing epochs (inspection, sweep invariants).
+  std::vector<FenceEpochRecord> FenceEpochs() const;
 
   /// Generation number of the current snapshot (0 before the first Save).
   uint64_t generation() const;
@@ -111,6 +140,10 @@ class LongLockStore {
 
   mutable Mutex mu_;
   std::vector<LongLockRecord> records_ CODLOCK_GUARDED_BY(mu_);
+  /// Per-root fencing epochs; kept independent of records_ (an epoch must
+  /// outlive the locks it fences).
+  std::unordered_map<ResourceId, uint64_t, ResourceIdHash> epochs_
+      CODLOCK_GUARDED_BY(mu_);
   uint64_t generation_ CODLOCK_GUARDED_BY(mu_) = 0;
   /// Raw bytes of the last successfully persisted (or loaded) block; the
   /// next save prepends them so the live file always holds two

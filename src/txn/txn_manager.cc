@@ -42,6 +42,13 @@ Transaction* TxnManager::Adopt(TxnId id, authz::UserId user, TxnKind kind) {
   return raw;
 }
 
+void TxnManager::ReserveIds(TxnId floor) {
+  TxnId next = next_id_.load(std::memory_order_relaxed);
+  while (next < floor && !next_id_.compare_exchange_weak(
+                             next, floor, std::memory_order_relaxed)) {
+  }
+}
+
 Status TxnManager::Finish(Transaction* txn, TxnState final_state) {
   if (txn == nullptr) return Status::InvalidArgument("null transaction");
   TxnState expected = TxnState::kActive;

@@ -107,6 +107,13 @@ class TxnManager {
   /// original id (its long locks were re-installed from stable storage).
   Transaction* Adopt(TxnId id, authz::UserId user, TxnKind kind);
 
+  /// Raises the id floor: every future `Begin` id is >= \p floor.  A
+  /// rebuilt manager would otherwise restart at 1 and re-issue ids that
+  /// pre-crash tickets still name — recovery derives a fresh era from
+  /// the durable store generation so stale ids can never alias live
+  /// transactions.  No-op when ids are already past the floor.
+  void ReserveIds(TxnId floor);
+
   /// Commits: releases every lock of the transaction (degree 3: nothing was
   /// released before this point).
   Status Commit(Transaction* txn);

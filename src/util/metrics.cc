@@ -93,6 +93,11 @@ void LockStats::Reset() {
   aborts_deadlock.Reset();
   aborts_shed.Reset();
   retries.Reset();
+  leases_granted.Reset();
+  leases_renewed.Reset();
+  leases_expired.Reset();
+  fenced_checkins.Reset();
+  reclaimed_long_locks.Reset();
   wait_ns.Reset();
   held_locks.store(0, std::memory_order_relaxed);
   max_held_locks.store(0, std::memory_order_relaxed);
@@ -116,6 +121,11 @@ std::string LockStats::ToString() const {
      << " aborts_deadlock=" << aborts_deadlock.value()
      << " aborts_shed=" << aborts_shed.value()
      << " retries=" << retries.value()
+     << " leases_granted=" << leases_granted.value()
+     << " leases_renewed=" << leases_renewed.value()
+     << " leases_expired=" << leases_expired.value()
+     << " fenced_checkins=" << fenced_checkins.value()
+     << " reclaimed_long_locks=" << reclaimed_long_locks.value()
      << " max_held=" << max_held_locks.load(std::memory_order_relaxed)
      << " wait_mean_us=" << wait_ns.mean() / 1000.0;
   return os.str();

@@ -94,6 +94,16 @@ struct LockStats {
   Counter aborts_shed;        ///< Transactions aborted by overload shedding.
   Counter retries;            ///< Transparent re-runs of aborted txns.
 
+  // Workstation liveness (leases over check-outs; maintained by ws::Server).
+  Counter leases_granted;     ///< Check-out leases issued.
+  Counter leases_renewed;     ///< Successful lease renewals (incl. resumes).
+  Counter leases_expired;     ///< Leases that ran past deadline + grace.
+  Counter fenced_checkins;    ///< Check-in/renew/resume attempts rejected
+                              ///< with a stale fencing epoch (zombies).
+  Counter reclaimed_long_locks;  ///< Long locks released by the lease
+                                 ///< reclamation sweep (stranded capacity
+                                 ///< recovered from dead workstations).
+
   LatencyHistogram wait_ns;   ///< Time spent blocked per waiting request.
 
   /// Number of distinct lock-table entries currently held (gauge).

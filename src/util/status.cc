@@ -28,6 +28,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kShed:
       return "Shed";
+    case StatusCode::kFenced:
+      return "Fenced";
   }
   return "Unknown";
 }

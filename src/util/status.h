@@ -48,6 +48,13 @@ enum class StatusCode : uint8_t {
   /// kConflict/kTimeout so callers can retry with backoff (the conflict
   /// may clear) or report the rejection to the client.
   kShed,
+  /// The operation presented a stale fencing epoch: the check-out lease it
+  /// belongs to was reclaimed (and the data possibly re-granted to another
+  /// workstation) after the caller lost contact.  A fenced operation must
+  /// never be retried with the same ticket — the workstation has to check
+  /// the data out again.  Distinct from kAborted so zombie clients can be
+  /// told apart from ordinary victims.
+  kFenced,
 };
 
 /// \brief Human-readable name of a status code ("Ok", "Deadlock", ...).
@@ -100,6 +107,9 @@ class Status {
   static Status Shed(std::string msg) {
     return Status(StatusCode::kShed, std::move(msg));
   }
+  static Status Fenced(std::string msg) {
+    return Status(StatusCode::kFenced, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -117,6 +127,7 @@ class Status {
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsShed() const { return code_ == StatusCode::kShed; }
+  bool IsFenced() const { return code_ == StatusCode::kFenced; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

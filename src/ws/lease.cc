@@ -1,0 +1,153 @@
+#include "ws/lease.h"
+
+#include <algorithm>
+
+namespace codlock::ws {
+
+std::string_view ExpiredExclusivePolicyName(ExpiredExclusivePolicy policy) {
+  switch (policy) {
+    case ExpiredExclusivePolicy::kReclaimAbort:
+      return "reclaim-abort";
+    case ExpiredExclusivePolicy::kOrphanHold:
+      return "orphan-hold";
+  }
+  return "?";
+}
+
+std::string_view LeaseStateName(LeaseState state) {
+  switch (state) {
+    case LeaseState::kActive:
+      return "active";
+    case LeaseState::kInGrace:
+      return "in-grace";
+    case LeaseState::kExpired:
+      return "expired";
+    case LeaseState::kOrphaned:
+      return "orphaned";
+  }
+  return "?";
+}
+
+LeaseRecord LeaseManager::Grant(lock::TxnId txn, CheckOutMode mode,
+                                std::vector<RootFence> fence) {
+  LeaseRecord rec;
+  rec.txn = txn;
+  rec.mode = mode;
+  rec.granted_at_ms = clock_->NowMs();
+  rec.deadline_ms = rec.granted_at_ms + options_.duration_ms;
+  rec.fence = std::move(fence);
+  MutexLock lk(mu_);
+  leases_[txn] = rec;
+  return rec;
+}
+
+Status LeaseManager::Renew(lock::TxnId txn) {
+  const uint64_t now = clock_->NowMs();
+  MutexLock lk(mu_);
+  auto it = leases_.find(txn);
+  if (it == leases_.end()) {
+    return Status::NotFound("no lease for txn " + std::to_string(txn));
+  }
+  LeaseRecord& rec = it->second;
+  if (rec.orphaned) {
+    return Status::FailedPrecondition(
+        "lease of txn " + std::to_string(txn) +
+        " is orphaned (expired under orphan-hold); operator action needed");
+  }
+  if (now >= rec.deadline_ms + options_.grace_ms) {
+    return Status::FailedPrecondition(
+        "lease of txn " + std::to_string(txn) +
+        " expired beyond its grace window");
+  }
+  rec.deadline_ms = now + options_.duration_ms;
+  ++rec.renewals;
+  return Status::OK();
+}
+
+Status LeaseManager::Release(lock::TxnId txn) {
+  MutexLock lk(mu_);
+  if (leases_.erase(txn) == 0) {
+    return Status::NotFound("no lease for txn " + std::to_string(txn));
+  }
+  return Status::OK();
+}
+
+void LeaseManager::Drop(lock::TxnId txn) {
+  MutexLock lk(mu_);
+  leases_.erase(txn);
+}
+
+void LeaseManager::MarkOrphaned(lock::TxnId txn) {
+  MutexLock lk(mu_);
+  auto it = leases_.find(txn);
+  if (it != leases_.end()) it->second.orphaned = true;
+}
+
+void LeaseManager::ReissueAll() {
+  const uint64_t now = clock_->NowMs();
+  MutexLock lk(mu_);
+  for (auto& [txn, rec] : leases_) {
+    if (rec.orphaned) continue;
+    rec.deadline_ms = now + options_.duration_ms;
+  }
+}
+
+bool LeaseManager::Has(lock::TxnId txn) const {
+  MutexLock lk(mu_);
+  return leases_.find(txn) != leases_.end();
+}
+
+Result<LeaseRecord> LeaseManager::Get(lock::TxnId txn) const {
+  MutexLock lk(mu_);
+  auto it = leases_.find(txn);
+  if (it == leases_.end()) {
+    return Status::NotFound("no lease for txn " + std::to_string(txn));
+  }
+  return it->second;
+}
+
+LeaseState LeaseManager::StateOf(const LeaseRecord& record) const {
+  if (record.orphaned) return LeaseState::kOrphaned;
+  const uint64_t now = clock_->NowMs();
+  if (now < record.deadline_ms) return LeaseState::kActive;
+  if (now < record.deadline_ms + options_.grace_ms) {
+    return LeaseState::kInGrace;
+  }
+  return LeaseState::kExpired;
+}
+
+std::vector<LeaseRecord> LeaseManager::ExpiredBeyondGrace() const {
+  std::vector<LeaseRecord> out;
+  {
+    MutexLock lk(mu_);
+    for (const auto& [txn, rec] : leases_) {
+      if (StateOf(rec) == LeaseState::kExpired) out.push_back(rec);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LeaseRecord& a, const LeaseRecord& b) {
+              return a.txn < b.txn;
+            });
+  return out;
+}
+
+std::vector<LeaseRecord> LeaseManager::Snapshot() const {
+  std::vector<LeaseRecord> out;
+  {
+    MutexLock lk(mu_);
+    out.reserve(leases_.size());
+    for (const auto& [txn, rec] : leases_) out.push_back(rec);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LeaseRecord& a, const LeaseRecord& b) {
+              return a.txn < b.txn;
+            });
+  return out;
+}
+
+size_t LeaseManager::size() const {
+  MutexLock lk(mu_);
+  return leases_.size();
+}
+
+}  // namespace codlock::ws

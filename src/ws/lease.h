@@ -1,0 +1,189 @@
+/// \file lease.h
+/// \brief Lease-based liveness for workstation check-outs.
+///
+/// The paper's workstation–server model (§1/§3.1) hands long S/X locks to
+/// workstations for the lifetime of a check-out.  PR 4 made those locks
+/// survive *server* crashes; this subsystem handles the dual failure: a
+/// *workstation* that crashes, hangs or partitions while holding long
+/// locks would strand lock capacity forever.  The cure is the standard
+/// lock-service discipline (cf. the check-out disciplines of [LoPl83,
+/// KSUW85]): every check-out ticket carries a **lease** the workstation
+/// must renew; a lease that runs past its deadline enters a **grace
+/// window** (reconnection is still possible — session resume); beyond the
+/// grace window a reclamation sweep revokes the ticket's long locks
+/// according to a per-`CheckOutMode` policy, and the checked-out roots'
+/// **fencing epochs** are bumped so any later operation by the zombie
+/// workstation deterministically fails with `StatusCode::kFenced` instead
+/// of silently clobbering a re-granted object.
+///
+/// Everything is driven by a `VirtualClock` that only moves when told to:
+/// the subsystem composes with the deterministic sim harness, the fault
+/// sweeps and the model checker — no wall-clock time, no timer threads,
+/// and a steppable sweep (`ws::Server::SweepExpiredLeases`) instead of a
+/// background reaper.
+
+#ifndef CODLOCK_WS_LEASE_H_
+#define CODLOCK_WS_LEASE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "lock/resource.h"
+#include "util/mutex.h"
+#include "util/result.h"
+#include "util/thread_annotations.h"
+
+namespace codlock::ws {
+
+enum class CheckOutMode : uint8_t;  // server.h
+
+/// \brief Deterministic time source for the lease subsystem.
+///
+/// Milliseconds since an arbitrary origin; advances only when a driver
+/// (test, sim harness, sweep tool) says so.  Thread-safe.
+class VirtualClock {
+ public:
+  uint64_t NowMs() const { return now_ms_.load(std::memory_order_acquire); }
+  void AdvanceMs(uint64_t delta_ms) {
+    now_ms_.fetch_add(delta_ms, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<uint64_t> now_ms_{0};
+};
+
+/// What the reclamation sweep does with an expired *exclusive* check-out.
+/// Shared and derivation check-outs hold only long S locks — releasing
+/// them can never lose workstation work, so they are always reclaimed.
+enum class ExpiredExclusivePolicy : uint8_t {
+  /// Abort the check-out transaction and release its long locks; the
+  /// central database keeps its pre-check-out state (an exclusive
+  /// check-in re-applies the workstation's changes, so nothing has been
+  /// written back yet).  The zombie is fenced.  Default.
+  kReclaimAbort,
+  /// Keep the locks and mark the lease orphaned: capacity stays stranded
+  /// until an operator (or the returning workstation) resolves it, but a
+  /// slow workstation's work is never thrown away.  The ticket is *not*
+  /// fenced — a late check-in still succeeds.
+  kOrphanHold,
+};
+
+std::string_view ExpiredExclusivePolicyName(ExpiredExclusivePolicy policy);
+
+/// \brief Lease parameters (virtual-clock milliseconds).
+struct LeaseOptions {
+  /// Lease length from grant/renewal to deadline.
+  uint64_t duration_ms = 30'000;
+  /// Reconnection window past the deadline: a workstation presenting its
+  /// ticket (with a valid fencing epoch) inside deadline + grace resumes
+  /// its session; the sweep only reclaims beyond it.
+  uint64_t grace_ms = 10'000;
+  ExpiredExclusivePolicy exclusive_policy =
+      ExpiredExclusivePolicy::kReclaimAbort;
+};
+
+/// Lifecycle of a lease, as judged against the virtual clock.
+enum class LeaseState : uint8_t {
+  kActive,    ///< now < deadline
+  kInGrace,   ///< deadline <= now < deadline + grace (resume possible)
+  kExpired,   ///< now >= deadline + grace (sweep will reclaim)
+  kOrphaned,  ///< expired exclusive under kOrphanHold (locks kept)
+};
+
+std::string_view LeaseStateName(LeaseState state);
+
+/// \brief A checked-out root with the fencing epoch it was granted under.
+///
+/// The ticket carries these as its fencing token: the server compares the
+/// presented epochs against `LongLockStore::FenceEpochOf` on every
+/// check-in / renew / resume.
+struct RootFence {
+  lock::ResourceId root;
+  uint64_t epoch = 0;
+};
+
+/// \brief One live lease.
+struct LeaseRecord {
+  lock::TxnId txn = lock::kInvalidTxn;
+  CheckOutMode mode;
+  uint64_t granted_at_ms = 0;
+  uint64_t deadline_ms = 0;
+  uint64_t renewals = 0;
+  bool orphaned = false;
+  /// The check-out's root resources (non-intention long locks) and the
+  /// fencing epochs they were granted under.
+  std::vector<RootFence> fence;
+};
+
+/// \brief Bookkeeping for all check-out leases of one server.
+///
+/// Pure deterministic state machine over the virtual clock: no I/O, no
+/// threads.  Lock revocation, fencing-epoch persistence and policy
+/// execution live in `ws::Server` (which owns the lock manager and the
+/// `LongLockStore`); the manager answers *which* leases are in which
+/// state and keeps the deadlines.
+class LeaseManager {
+ public:
+  LeaseManager(const VirtualClock* clock, LeaseOptions options)
+      : clock_(clock), options_(options) {}
+
+  LeaseManager(const LeaseManager&) = delete;
+  LeaseManager& operator=(const LeaseManager&) = delete;
+
+  /// Issues a lease for check-out transaction \p txn.  \p fence carries
+  /// the checked-out roots with their current fencing epochs.
+  LeaseRecord Grant(lock::TxnId txn, CheckOutMode mode,
+                    std::vector<RootFence> fence);
+
+  /// Extends the lease to now + duration.  Allowed while the lease is
+  /// active or in its grace window (that *is* session resume); fails with
+  /// kFailedPrecondition once expired or orphaned, kNotFound when no
+  /// lease exists (already reclaimed and dropped).
+  Status Renew(lock::TxnId txn);
+
+  /// Drops the lease on check-in / cancel.  kNotFound when absent.
+  Status Release(lock::TxnId txn);
+
+  /// Drops the lease after the sweep reclaimed its locks.
+  void Drop(lock::TxnId txn);
+
+  /// Marks an expired exclusive lease orphaned (kOrphanHold policy): it
+  /// stays visible, keeps its locks, and is skipped by later sweeps.
+  void MarkOrphaned(lock::TxnId txn);
+
+  /// Post-crash session recovery: every surviving lease gets a fresh
+  /// deadline (now + duration) so reconnecting workstations have a full
+  /// window to resume after the outage; renewal counts are kept.
+  void ReissueAll();
+
+  bool Has(lock::TxnId txn) const;
+  Result<LeaseRecord> Get(lock::TxnId txn) const;
+
+  /// State of \p record as of the clock's current time.
+  LeaseState StateOf(const LeaseRecord& record) const;
+
+  /// Leases past deadline + grace that are not orphaned — the sweep's
+  /// work list, in ascending txn order (deterministic).
+  std::vector<LeaseRecord> ExpiredBeyondGrace() const;
+
+  /// All leases, ascending txn order.
+  std::vector<LeaseRecord> Snapshot() const;
+
+  size_t size() const;
+  uint64_t NowMs() const { return clock_->NowMs(); }
+  const LeaseOptions& options() const { return options_; }
+
+ private:
+  const VirtualClock* clock_;
+  const LeaseOptions options_;
+  mutable Mutex mu_;
+  std::unordered_map<lock::TxnId, LeaseRecord> leases_
+      CODLOCK_GUARDED_BY(mu_);
+};
+
+}  // namespace codlock::ws
+
+#endif  // CODLOCK_WS_LEASE_H_

@@ -13,6 +13,18 @@ namespace {
 // stable storage (the classic window a crash-consistency story must
 // close).
 fault::FaultPoint g_fault_persist{"ws/persist", fault::FaultKind::kCrash};
+// Sweep windows: the server dies right as it picks up an expired lease
+// (before any reclamation effect) ...
+fault::FaultPoint g_fault_lease_expire{"ws.lease.expire",
+                                       fault::FaultKind::kCrash};
+// ... or after reclaiming in memory (epochs bumped, locks released,
+// lease dropped) but before the persist — restart must re-converge.
+fault::FaultPoint g_fault_lease_reclaim{"ws.lease.reclaim",
+                                        fault::FaultKind::kCrash};
+// The server dies at the very moment a stale fencing epoch is detected;
+// the fenced ticket must stay fenced across the restart.
+fault::FaultPoint g_fault_checkin_fenced{"ws.checkin.fenced",
+                                         fault::FaultKind::kCrash};
 }  // namespace
 
 Server::Server(const nf2::Catalog* catalog, nf2::InstanceStore* store,
@@ -21,7 +33,8 @@ Server::Server(const nf2::Catalog* catalog, nf2::InstanceStore* store,
       store_(store),
       options_(options),
       graph_(logra::LockGraph::Build(*catalog)),
-      stats_(query::Statistics::Collect(*catalog, *store)) {
+      stats_(query::Statistics::Collect(*catalog, *store)),
+      leases_(&clock_, options_.lease) {
   RebuildEngine();
   if (!options_.storage_path.empty()) {
     long_store_.SetBackingFile(options_.storage_path);
@@ -108,7 +121,136 @@ Result<CheckOutTicket> Server::CheckOut(authz::UserId user,
   ticket.mode = mode;
   ticket.query = query;
   ticket.data = *data;
+  // Fencing token: the check-out's roots with their *current* epochs.
+  // Epochs only move when locks are reclaimed, so concurrent shared
+  // check-outs of the same object see the same epoch and never fence
+  // each other.
+  for (const lock::ResourceId& root : RootsOf(ticket.txn)) {
+    ticket.fence.push_back({root, long_store_.FenceEpochOf(root)});
+  }
+  const LeaseRecord lease =
+      leases_.Grant(ticket.txn, mode, ticket.fence);
+  ticket.lease_deadline_ms = lease.deadline_ms;
+  ticket.lease_grace_ms = options_.lease.grace_ms;
+  lm_->stats().leases_granted.Add();
   return ticket;
+}
+
+std::vector<lock::ResourceId> Server::RootsOf(lock::TxnId txn) const {
+  std::vector<lock::ResourceId> roots;
+  for (const lock::HeldLock& held : lm_->LocksOf(txn)) {
+    if (held.duration == lock::LockDuration::kLong &&
+        !lock::IsIntention(held.mode)) {
+      roots.push_back(held.resource);
+    }
+  }
+  return roots;
+}
+
+Status Server::CheckFence(const CheckOutTicket& ticket) {
+  for (const RootFence& f : ticket.fence) {
+    const uint64_t current = long_store_.FenceEpochOf(f.root);
+    if (current == f.epoch) continue;
+    if (fault::FireResult fr = g_fault_checkin_fenced.Fire()) {
+      return fault::StatusFor(fr, "ws.checkin.fenced");
+    }
+    lm_->stats().fenced_checkins.Add();
+    return Status::Fenced("ticket of txn " + std::to_string(ticket.txn) +
+                          " is fenced: root " + f.root.ToString() +
+                          " was granted at epoch " + std::to_string(f.epoch) +
+                          ", store is at epoch " + std::to_string(current));
+  }
+  return Status::OK();
+}
+
+Status Server::RenewLease(const CheckOutTicket& ticket) {
+  CODLOCK_RETURN_IF_ERROR(CheckFence(ticket));
+  CODLOCK_RETURN_IF_ERROR(leases_.Renew(ticket.txn));
+  lm_->stats().leases_renewed.Add();
+  return Status::OK();
+}
+
+Result<CheckOutTicket> Server::ResumeSession(const CheckOutTicket& ticket) {
+  CODLOCK_RETURN_IF_ERROR(CheckFence(ticket));
+  // Renewal doubles as the liveness gate: it fails once the lease is
+  // past its grace window, orphaned, or already reclaimed.
+  CODLOCK_RETURN_IF_ERROR(leases_.Renew(ticket.txn));
+  lm_->stats().leases_renewed.Add();
+  Result<txn::Transaction*> txn = txns_->Get(ticket.txn);
+  if (!txn.ok()) return txn.status();
+  // Hand the workstation a fresh copy of its data (its private database
+  // may not have survived whatever killed the session).  The long locks
+  // are still held, so this read-only re-execution cannot block.
+  query::Query reread = ticket.query;
+  reread.kind = query::AccessKind::kRead;
+  Result<query::QueryPlan> plan = planner_->Plan(reread);
+  if (!plan.ok()) return plan.status();
+  Result<query::QueryResult> data = executor_->Execute(**txn, reread, *plan);
+  if (!data.ok()) return data.status();
+
+  CheckOutTicket fresh = ticket;
+  fresh.data = *data;
+  Result<LeaseRecord> lease = leases_.Get(ticket.txn);
+  if (lease.ok()) fresh.lease_deadline_ms = lease->deadline_ms;
+  fresh.lease_grace_ms = options_.lease.grace_ms;
+  return fresh;
+}
+
+size_t Server::SweepExpiredLeases() {
+  size_t reaped = 0;
+  for (const LeaseRecord& rec : leases_.ExpiredBeyondGrace()) {
+    if (fault::FireResult fr = g_fault_lease_expire.Fire()) {
+      // Simulated death before any reclamation effect: nothing durable
+      // has changed, the next sweep (or restart) sees the lease again.
+      (void)fault::StatusFor(fr, "ws.lease.expire");
+      return reaped;
+    }
+    lm_->stats().leases_expired.Add();
+
+    if (rec.mode == CheckOutMode::kExclusive &&
+        options_.lease.exclusive_policy == ExpiredExclusivePolicy::kOrphanHold) {
+      // Keep the zombie's locks and its epochs: a late exclusive
+      // check-in still succeeds, capacity stays stranded until an
+      // operator (or the workstation) resolves it.
+      leases_.MarkOrphaned(rec.txn);
+      ++reaped;
+      continue;
+    }
+
+    // Reclaim: fence first (in memory), then revoke.  The epoch bump and
+    // the lock release reach stable storage in one Save below; a crash
+    // in between is covered by the restart's orphan reaper, which
+    // re-bumps epochs for every root it reaps.
+    size_t released = 0;
+    for (const lock::ResourceId& root : RootsOf(rec.txn)) {
+      long_store_.BumpFenceEpoch(root);
+      ++released;
+    }
+    lm_->stats().reclaimed_long_locks.Add(released);
+    // Plain abort, no cause classification: a reclaim is not a deadlock
+    // casualty — `leases_expired` is its counter.
+    if (Result<txn::Transaction*> txn = txns_->Get(rec.txn); txn.ok()) {
+      txns_->Abort(*txn);
+    } else {
+      lm_->ReleaseAll(rec.txn);
+    }
+    // Drop the ticket's registration *before* persisting: if the persist
+    // (or the process) dies here, restart recovery finds long locks with
+    // no registered ticket and reaps them — same end state.
+    {
+      MutexLock lk(tickets_mu_);
+      long_txn_users_.erase(rec.txn);
+    }
+    leases_.Drop(rec.txn);
+    if (fault::FireResult fr = g_fault_lease_reclaim.Fire()) {
+      // Simulated death after the in-memory reclaim, before the persist.
+      (void)fault::StatusFor(fr, "ws.lease.reclaim");
+      return reaped + 1;
+    }
+    PersistLongLocks();
+    ++reaped;
+  }
+  return reaped;
 }
 
 Result<nf2::ObjectId> Server::CheckInDerived(const CheckOutTicket& ticket,
@@ -118,6 +260,8 @@ Result<nf2::ObjectId> Server::CheckInDerived(const CheckOutTicket& ticket,
     return Status::FailedPrecondition(
         "CheckInDerived requires a derivation check-out");
   }
+  // Fence before anything else: a reclaimed ticket must not insert.
+  CODLOCK_RETURN_IF_ERROR(CheckFence(ticket));
   Result<txn::Transaction*> txn = txns_->Get(ticket.txn);
   if (!txn.ok()) return txn.status();
   if (!(*txn)->active()) {
@@ -160,6 +304,7 @@ Result<nf2::ObjectId> Server::CheckInDerived(const CheckOutTicket& ticket,
     MutexLock lk(tickets_mu_);
     long_txn_users_.erase(ticket.txn);
   }
+  leases_.Drop(ticket.txn);
   // The commit stands; a persist failure means stable storage still names
   // the released locks.  Surface it — recovery reaps such orphans.
   CODLOCK_RETURN_IF_ERROR(PersistLongLocks());
@@ -167,6 +312,10 @@ Result<nf2::ObjectId> Server::CheckInDerived(const CheckOutTicket& ticket,
 }
 
 Status Server::CheckIn(const CheckOutTicket& ticket) {
+  // Fence before touching any data: a zombie whose locks were reclaimed
+  // (and whose object may since have been re-granted and changed) must
+  // fail here, deterministically, with kFenced.
+  CODLOCK_RETURN_IF_ERROR(CheckFence(ticket));
   Result<txn::Transaction*> txn = txns_->Get(ticket.txn);
   if (!txn.ok()) return txn.status();
   if (!(*txn)->active()) {
@@ -188,10 +337,12 @@ Status Server::CheckIn(const CheckOutTicket& ticket) {
     MutexLock lk(tickets_mu_);
     long_txn_users_.erase(ticket.txn);
   }
+  leases_.Drop(ticket.txn);
   return PersistLongLocks();
 }
 
 Status Server::CancelCheckOut(const CheckOutTicket& ticket) {
+  CODLOCK_RETURN_IF_ERROR(CheckFence(ticket));
   Result<txn::Transaction*> txn = txns_->Get(ticket.txn);
   if (!txn.ok()) return txn.status();
   CODLOCK_RETURN_IF_ERROR(txns_->Abort(*txn));
@@ -199,6 +350,7 @@ Status Server::CancelCheckOut(const CheckOutTicket& ticket) {
     MutexLock lk(tickets_mu_);
     long_txn_users_.erase(ticket.txn);
   }
+  leases_.Drop(ticket.txn);
   return PersistLongLocks();
 }
 
@@ -225,19 +377,46 @@ Status Server::CrashAndRestart() {
     if (!load.ok() && !load.IsNotFound()) return load;
   }
   Status restored = long_store_.Restore(lm_.get());
+  // New incarnation, new txn-id era: the store generation is durable and
+  // bumped by every persisted check-out/check-in, so ids issued after
+  // the restart can never alias a pre-crash ticket's id (a zombie
+  // presenting a stale ticket must not act on someone else's
+  // transaction).  Adoption below re-registers survivors under their
+  // original (older-era) ids.
+  txns_->ReserveIds((long_store_.generation() + 1) << 32);
   MutexLock lk(tickets_mu_);
   // Reap orphaned long locks: a crash between a commit/abort and its
   // persist leaves stable storage naming locks whose transaction no
   // longer has a ticket.  Nobody could ever release them — drop them
-  // before adopting the live ones.
+  // before adopting the live ones.  Reaping revokes locks a workstation
+  // may still believe it holds, so every reaped root's fencing epoch is
+  // bumped: this also re-fences a reclaim whose epoch bump died with the
+  // crash before reaching stable storage (the locks it released are
+  // still in the recovered generation, so they are reaped — and
+  // re-fenced — here).
+  bool reaped_any = false;
   for (const lock::LongLockRecord& rec : long_store_.records()) {
-    if (long_txn_users_.find(rec.txn) == long_txn_users_.end()) {
-      lm_->ReleaseAll(rec.txn);
+    if (long_txn_users_.find(rec.txn) != long_txn_users_.end()) continue;
+    if (!lock::IsIntention(rec.mode)) {
+      long_store_.BumpFenceEpoch(rec.resource);
     }
+    lm_->ReleaseAll(rec.txn);
+    leases_.Drop(rec.txn);
+    reaped_any = true;
+  }
+  if (reaped_any) {
+    // Make the reap (and its epoch bumps) durable immediately; a persist
+    // failure here leaves the old generation, which the next restart
+    // reaps to the same end state.
+    Status saved = long_store_.Save(*lm_);
+    if (restored.ok() && !saved.ok()) restored = saved;
   }
   for (const auto& [txn_id, user] : long_txn_users_) {
     txns_->Adopt(txn_id, user, txn::TxnKind::kLong);
   }
+  // Surviving check-outs get a full renewal window: the outage must not
+  // eat the workstations' grace budget.
+  leases_.ReissueAll();
   return restored;
 }
 
@@ -270,6 +449,31 @@ Result<query::QueryResult> Server::RunShortTxn(authz::UserId user,
 size_t Server::ActiveLongTxns() const {
   MutexLock lk(tickets_mu_);
   return long_txn_users_.size();
+}
+
+std::vector<Server::LeaseView> Server::LeaseTable() const {
+  std::vector<LeaseView> table;
+  for (const LeaseRecord& rec : leases_.Snapshot()) {
+    LeaseView row;
+    row.txn = rec.txn;
+    {
+      MutexLock lk(tickets_mu_);
+      auto it = long_txn_users_.find(rec.txn);
+      if (it != long_txn_users_.end()) row.user = it->second;
+    }
+    row.mode = rec.mode;
+    row.state = leases_.StateOf(rec);
+    row.deadline_ms = rec.deadline_ms;
+    row.renewals = rec.renewals;
+    row.fence = rec.fence;
+    for (const lock::HeldLock& held : lm_->LocksOf(rec.txn)) {
+      if (held.duration == lock::LockDuration::kLong) {
+        row.held.push_back(held.resource);
+      }
+    }
+    table.push_back(std::move(row));
+  }
+  return table;
 }
 
 }  // namespace codlock::ws

@@ -31,6 +31,7 @@
 #include "util/mutex.h"
 #include "util/retry.h"
 #include "util/thread_annotations.h"
+#include "ws/lease.h"
 
 namespace codlock::ws {
 
@@ -53,12 +54,27 @@ std::string_view CheckOutModeName(CheckOutMode mode);
 
 /// \brief Handle to a checked-out data set (a "private database" on a
 /// workstation).
+///
+/// Besides the data, the ticket is the workstation's *liveness token*: it
+/// names the lease deadline the workstation must renew against and carries
+/// the fencing epochs of its checked-out roots.  Check-in, renewal and
+/// session resume all present the ticket; a stale fencing epoch (the lease
+/// was reclaimed, the data possibly re-granted) fails deterministically
+/// with `StatusCode::kFenced`.
 struct CheckOutTicket {
   lock::TxnId txn = lock::kInvalidTxn;
   authz::UserId user = authz::kInvalidUser;
   CheckOutMode mode = CheckOutMode::kExclusive;
   query::Query query;
   query::QueryResult data;  ///< what was copied to the workstation
+  /// Virtual-clock lease deadline at grant; refreshed by `RenewLease` /
+  /// `ResumeSession` (the returned ticket carries the new deadline).
+  uint64_t lease_deadline_ms = 0;
+  /// Reconnection window past the deadline (copied from the server's
+  /// `LeaseOptions` so the workstation can pace its renewals).
+  uint64_t lease_grace_ms = 0;
+  /// Fencing token: checked-out roots with their grant-time epochs.
+  std::vector<RootFence> fence;
 };
 
 /// \brief The central database server.
@@ -78,6 +94,9 @@ class Server {
     /// wounds and shed requests are re-run transparently (the abort cause
     /// and each re-run are counted in the lock manager's stats).
     RetryPolicy retry;
+    /// Lease duration / grace window / expired-exclusive policy for
+    /// check-outs (virtual-clock driven; see `ws/lease.h`).
+    LeaseOptions lease;
   };
 
   Server(const nf2::Catalog* catalog, nf2::InstanceStore* store,
@@ -113,6 +132,31 @@ class Server {
   /// Abandons a check-out without applying changes.
   Status CancelCheckOut(const CheckOutTicket& ticket);
 
+  /// Heartbeat: extends the ticket's lease to now + duration.  Succeeds
+  /// while the lease is active or inside its grace window; fails with
+  /// kFenced when the ticket's fencing epochs are stale (the lease was
+  /// reclaimed and the data possibly re-granted), kFailedPrecondition
+  /// when expired/orphaned, kNotFound when the lease is already gone.
+  Status RenewLease(const CheckOutTicket& ticket);
+
+  /// Session recovery: a workstation that lost contact (its own reboot, a
+  /// partition, a server crash) presents its old ticket and — if the
+  /// lease is still within deadline + grace and the fencing epochs still
+  /// match — receives a fresh ticket with a renewed lease and a re-read
+  /// copy of the data.  Past the grace window (or once fenced) the
+  /// session is unrecoverable and the workstation must check out anew.
+  Result<CheckOutTicket> ResumeSession(const CheckOutTicket& ticket);
+
+  /// Reclamation sweep (steppable; drive the clock, then call this):
+  /// every lease past deadline + grace is reaped — kShared/kDerive and
+  /// (under kReclaimAbort) kExclusive check-outs have their long
+  /// transactions aborted and long locks released, and the fencing epoch
+  /// of each checked-out root is bumped and persisted so the zombie
+  /// workstation can never check in; kExclusive under kOrphanHold is
+  /// marked orphaned and keeps its locks.  Returns the number of leases
+  /// reaped (orphaned ones count — their lease did end).
+  size_t SweepExpiredLeases();
+
   /// Simulates a server crash + restart: blocked lock waits are drained
   /// (they fail with kAborted), the lock manager and transaction manager
   /// are rebuilt; short transactions are gone; long locks and their
@@ -134,14 +178,44 @@ class Server {
   const lock::LongLockStore& stable_storage() const { return long_store_; }
   query::LockPlanner& planner() { return *planner_; }
 
+  /// The lease subsystem's time source; tests/sims advance it manually.
+  VirtualClock& clock() { return clock_; }
+  const LeaseManager& leases() const { return leases_; }
+
   /// Number of live (recovered or active) long transactions.
   size_t ActiveLongTxns() const;
+
+  /// One row of the lease table (`codlock_dbtool leases`).
+  struct LeaseView {
+    lock::TxnId txn = lock::kInvalidTxn;
+    authz::UserId user = authz::kInvalidUser;
+    CheckOutMode mode = CheckOutMode::kExclusive;
+    LeaseState state = LeaseState::kActive;
+    uint64_t deadline_ms = 0;
+    uint64_t renewals = 0;
+    std::vector<RootFence> fence;        ///< roots + granted epochs
+    std::vector<lock::ResourceId> held;  ///< long locks currently held
+  };
+
+  /// Active check-out leases with their held long locks, ascending txn
+  /// order (deterministic).
+  std::vector<LeaseView> LeaseTable() const;
 
  private:
   void RebuildEngine();
 
   /// Saves the long locks to stable storage (fault point `ws/persist`).
   Status PersistLongLocks();
+
+  /// Verifies the ticket's fencing epochs against stable storage.  Runs
+  /// *first* in every ticket-presenting operation: a fenced ticket must
+  /// fail before any lock or data is touched.  Fires `ws.checkin.fenced`
+  /// and counts `fenced_checkins` on mismatch.
+  Status CheckFence(const CheckOutTicket& ticket);
+
+  /// The check-out's root resources: its long locks held in non-intention
+  /// modes (S/SIX/X) — what the fencing epochs key on.
+  std::vector<lock::ResourceId> RootsOf(lock::TxnId txn) const;
 
   const nf2::Catalog* catalog_;
   nf2::InstanceStore* store_;
@@ -151,6 +225,11 @@ class Server {
   txn::UndoLog undo_;
   lock::LongLockStore long_store_;
   query::Statistics stats_;
+  // Lease state is *server* state, not engine state: it survives
+  // `CrashAndRestart` (leases are reissued, not forgotten — the outage
+  // must not eat the workstations' renewal budget).
+  VirtualClock clock_;
+  LeaseManager leases_;
 
   // Volatile components, rebuilt on crash.
   std::unique_ptr<lock::LockManager> lm_;

@@ -9,10 +9,12 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "fault/fault_injector.h"
 #include "lock/lock_manager.h"
 #include "lock/long_lock_store.h"
+#include "util/crc32.h"
 
 namespace codlock::lock {
 namespace {
@@ -173,6 +175,98 @@ TEST_F(LongLockStoreTest, GenerationsContinueAcrossLoad) {
   ASSERT_TRUE(probe.LoadFromFile(path_).ok());
   EXPECT_EQ(probe.generation(), 3u);
   EXPECT_EQ(probe.size(), 1u);
+}
+
+// --- Format versions and fence epochs ----------------------------------
+
+void PutU32(std::string& s, uint32_t v) {
+  for (int i = 0; i < 4; ++i) s.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string& s, uint64_t v) {
+  for (int i = 0; i < 8; ++i) s.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+/// Hand-encodes a v1 ("CGN1") block exactly as the pre-lease store wrote
+/// it: no epoch table, CRC over everything after the magic.
+std::string EncodeV1Block(uint64_t generation,
+                          const std::vector<LongLockRecord>& records) {
+  std::string block;
+  PutU32(block, 0x314E4743);  // "CGN1"
+  PutU64(block, generation);
+  PutU32(block, static_cast<uint32_t>(records.size()));
+  for (const LongLockRecord& r : records) {
+    PutU64(block, r.txn);
+    PutU32(block, r.resource.node);
+    PutU64(block, r.resource.instance);
+    block.push_back(static_cast<char>(r.mode));
+  }
+  PutU32(block, Crc32(std::string_view(block.data() + 4, block.size() - 4)));
+  return block;
+}
+
+TEST_F(LongLockStoreTest, V1FormatStillLoads) {
+  // A store file written before the lease subsystem existed: one v1
+  // block, no fence-epoch table.
+  WriteFile(path_, EncodeV1Block(7, {{1, {1, 1}, LockMode::kX},
+                                     {1, {2, 7}, LockMode::kS}}));
+
+  LongLockStore loaded;
+  ASSERT_TRUE(loaded.LoadFromFile(path_).ok());
+  EXPECT_EQ(loaded.generation(), 7u);
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_FALSE(loaded.last_load().salvaged);
+
+  // v1 carries no epochs: every root starts at the default epoch 0.
+  EXPECT_TRUE(loaded.FenceEpochs().empty());
+  EXPECT_EQ(loaded.FenceEpochOf({1, 1}), 0u);
+
+  LockManager fresh;
+  ASSERT_TRUE(loaded.Restore(&fresh).ok());
+  EXPECT_EQ(fresh.HeldMode(1, {1, 1}), LockMode::kX);
+  EXPECT_EQ(fresh.HeldMode(1, {2, 7}), LockMode::kS);
+}
+
+TEST_F(LongLockStoreTest, V1UpgradesToV2OnNextSave) {
+  WriteFile(path_, EncodeV1Block(3, {{1, {1, 1}, LockMode::kX}}));
+
+  LongLockStore store;
+  store.SetBackingFile(path_);
+  ASSERT_TRUE(store.LoadFromFile(path_).ok());
+  EXPECT_EQ(store.BumpFenceEpoch({1, 1}), 1u);
+
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(2, {2, 2}, LockMode::kX, LongOpts()).ok());
+  ASSERT_TRUE(store.Save(lm).ok());  // writes v2: generation 4 + epochs
+
+  LongLockStore probe;
+  ASSERT_TRUE(probe.LoadFromFile(path_).ok());
+  EXPECT_EQ(probe.generation(), 4u);
+  EXPECT_EQ(probe.size(), 1u);
+  EXPECT_EQ(probe.FenceEpochOf({1, 1}), 1u);
+}
+
+TEST_F(LongLockStoreTest, FenceEpochsPersistAcrossSaveAndLoad) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, {1, 1}, LockMode::kX, LongOpts()).ok());
+
+  LongLockStore store;
+  store.SetBackingFile(path_);
+  EXPECT_EQ(store.BumpFenceEpoch({1, 1}), 1u);
+  EXPECT_EQ(store.BumpFenceEpoch({1, 1}), 2u);
+  EXPECT_EQ(store.BumpFenceEpoch({2, 7}), 1u);
+  ASSERT_TRUE(store.Save(lm).ok());
+
+  LongLockStore probe;
+  ASSERT_TRUE(probe.LoadFromFile(path_).ok());
+  EXPECT_EQ(probe.FenceEpochOf({1, 1}), 2u);
+  EXPECT_EQ(probe.FenceEpochOf({2, 7}), 1u);
+  EXPECT_EQ(probe.FenceEpochOf({3, 3}), 0u);  // never bumped
+  EXPECT_EQ(probe.FenceEpochs().size(), 2u);
+
+  // The epoch table rides the same torn-write discipline as the records:
+  // a fresh save after another bump supersedes, and reloading is stable.
+  EXPECT_EQ(probe.BumpFenceEpoch({2, 7}), 2u);
 }
 
 // --- Fault points in the save path -------------------------------------

@@ -1,0 +1,436 @@
+/// Tests for the workstation-liveness subsystem (`ws/lease.h` + the
+/// `ws::Server` integration): lease grant/renew/expiry across all three
+/// check-out modes, the grace-window session resume, the orphan-hold
+/// policy, zombie fencing (a reclaimed ticket can never clobber a
+/// re-granted object), fencing-epoch persistence across server crashes,
+/// the crash-during-grace matrix, the lease stats counters, and a seeded
+/// flaky-workstation soak.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "sim/fixtures.h"
+#include "sim/flaky_ws.h"
+#include "ws/server.h"
+
+namespace codlock::ws {
+namespace {
+
+/// Update query over one cell's local objects (`c_objects`): disjoint
+/// from every other cell, so per-cell exclusive check-outs never contend.
+query::Query CellQuery(const sim::CellsFixture& f, const std::string& key,
+                       query::AccessKind kind = query::AccessKind::kUpdate) {
+  query::Query q;
+  q.name = "lease-test-" + key;
+  q.relation = f.cells;
+  q.object_key = key;
+  q.path = {nf2::PathStep::Field("c_objects")};
+  q.kind = kind;
+  return q;
+}
+
+class WsLeaseTest : public ::testing::Test {
+ protected:
+  /// Short lease (1 s) + grace (500 ms) so tests drive expiry cheaply.
+  Server::Options ShortLeaseOptions() {
+    Server::Options opts;
+    opts.protocol.timeout_ms = 100;
+    opts.lock_manager.default_timeout_ms = 100;
+    opts.lease.duration_ms = 1000;
+    opts.lease.grace_ms = 500;
+    return opts;
+  }
+
+  void Build(Server::Options opts) {
+    fx_ = sim::BuildFigure7Instance();
+    server_ = std::make_unique<Server>(fx_.catalog.get(), fx_.store.get(),
+                                       std::move(opts));
+  }
+  void Build() { Build(ShortLeaseOptions()); }
+
+  /// Advances the clock past deadline + grace of a just-granted lease.
+  void ExpireLeases() {
+    server_->clock().AdvanceMs(server_->leases().options().duration_ms +
+                               server_->leases().options().grace_ms + 1);
+  }
+
+  sim::CellsFixture fx_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(WsLeaseTest, GrantCarriesLeaseAndFence) {
+  Build();
+  Result<CheckOutTicket> t =
+      server_->CheckOut(1, CellQuery(fx_, "c1"), CheckOutMode::kExclusive);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+
+  EXPECT_EQ(t->lease_deadline_ms, 1000u);
+  EXPECT_EQ(t->lease_grace_ms, 500u);
+  ASSERT_FALSE(t->fence.empty());
+  for (const RootFence& f : t->fence) {
+    // Fresh roots start at epoch 0; the grant does not bump (concurrent
+    // shared check-outs of the same object must not fence each other).
+    EXPECT_EQ(f.epoch, server_->stable_storage().FenceEpochOf(f.root));
+  }
+
+  ASSERT_TRUE(server_->leases().Has(t->txn));
+  Result<LeaseRecord> rec = server_->leases().Get(t->txn);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(server_->leases().StateOf(*rec), LeaseState::kActive);
+  EXPECT_EQ(server_->lock_manager().stats().leases_granted.value(), 1u);
+
+  EXPECT_TRUE(server_->CheckIn(*t).ok());
+  EXPECT_FALSE(server_->leases().Has(t->txn));
+}
+
+TEST_F(WsLeaseTest, RenewExtendsDeadline) {
+  Build();
+  Result<CheckOutTicket> t =
+      server_->CheckOut(1, CellQuery(fx_, "c1"), CheckOutMode::kExclusive);
+  ASSERT_TRUE(t.ok());
+
+  server_->clock().AdvanceMs(900);  // 100 ms before the deadline
+  ASSERT_TRUE(server_->RenewLease(*t).ok());
+  Result<LeaseRecord> rec = server_->leases().Get(t->txn);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->deadline_ms, 1900u);  // now + duration
+  EXPECT_EQ(rec->renewals, 1u);
+  EXPECT_EQ(server_->lock_manager().stats().leases_renewed.value(), 1u);
+
+  // A renewal inside the grace window is the lightweight session resume.
+  server_->clock().AdvanceMs(1000 + 200);  // 200 ms past the new deadline
+  EXPECT_EQ(server_->leases().StateOf(*server_->leases().Get(t->txn)),
+            LeaseState::kInGrace);
+  EXPECT_TRUE(server_->RenewLease(*t).ok());
+  EXPECT_EQ(server_->leases().StateOf(*server_->leases().Get(t->txn)),
+            LeaseState::kActive);
+}
+
+TEST_F(WsLeaseTest, RenewPastGraceFails) {
+  Build();
+  Result<CheckOutTicket> t =
+      server_->CheckOut(1, CellQuery(fx_, "c1"), CheckOutMode::kExclusive);
+  ASSERT_TRUE(t.ok());
+
+  ExpireLeases();
+  EXPECT_EQ(server_->leases().StateOf(*server_->leases().Get(t->txn)),
+            LeaseState::kExpired);
+  EXPECT_TRUE(server_->RenewLease(*t).IsFailedPrecondition());
+
+  // Once the sweep reclaimed it, the lease is gone entirely and the
+  // ticket's fence is stale.
+  EXPECT_EQ(server_->SweepExpiredLeases(), 1u);
+  EXPECT_TRUE(server_->RenewLease(*t).IsFenced());
+}
+
+// The sweep reclaims expired check-outs of every mode that cannot lose
+// workstation work; the zombie is fenced afterwards.
+class SweepModeTest : public WsLeaseTest,
+                      public ::testing::WithParamInterface<CheckOutMode> {};
+
+TEST_P(SweepModeTest, ExpiredCheckOutIsReclaimedAndFenced) {
+  const CheckOutMode mode = GetParam();
+  Build();
+  const query::AccessKind kind = mode == CheckOutMode::kExclusive
+                                     ? query::AccessKind::kUpdate
+                                     : query::AccessKind::kRead;
+  Result<CheckOutTicket> t =
+      server_->CheckOut(1, CellQuery(fx_, "c1", kind), mode);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_FALSE(server_->lock_manager().LocksOf(t->txn).empty());
+
+  ExpireLeases();
+  EXPECT_EQ(server_->SweepExpiredLeases(), 1u);
+
+  // Locks released, transaction finished, lease dropped, epochs bumped.
+  EXPECT_TRUE(server_->lock_manager().LocksOf(t->txn).empty());
+  EXPECT_FALSE(server_->leases().Has(t->txn));
+  EXPECT_EQ(server_->ActiveLongTxns(), 0u);
+  for (const RootFence& f : t->fence) {
+    EXPECT_GT(server_->stable_storage().FenceEpochOf(f.root), f.epoch);
+  }
+  EXPECT_EQ(server_->lock_manager().stats().leases_expired.value(), 1u);
+  EXPECT_GT(server_->lock_manager().stats().reclaimed_long_locks.value(),
+            0u);
+
+  // The zombie presents its stale ticket: deterministically fenced.
+  Status zombie = mode == CheckOutMode::kDerive
+                      ? server_->CancelCheckOut(*t)
+                      : server_->CheckIn(*t);
+  EXPECT_TRUE(zombie.IsFenced()) << zombie.ToString();
+  EXPECT_EQ(server_->lock_manager().stats().fenced_checkins.value(), 1u);
+
+  // The data is re-grantable.
+  Result<CheckOutTicket> again =
+      server_->CheckOut(2, CellQuery(fx_, "c1", kind), mode);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_TRUE((mode == CheckOutMode::kDerive
+                   ? server_->CancelCheckOut(*again)
+                   : server_->CheckIn(*again))
+                  .ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, SweepModeTest,
+                         ::testing::Values(CheckOutMode::kExclusive,
+                                           CheckOutMode::kShared,
+                                           CheckOutMode::kDerive),
+                         [](const ::testing::TestParamInfo<CheckOutMode>& i) {
+                           return std::string(CheckOutModeName(i.param));
+                         });
+
+TEST_F(WsLeaseTest, OrphanHoldKeepsExclusiveLocks) {
+  Server::Options opts = ShortLeaseOptions();
+  opts.lease.exclusive_policy = ExpiredExclusivePolicy::kOrphanHold;
+  Build(std::move(opts));
+
+  Result<CheckOutTicket> t =
+      server_->CheckOut(1, CellQuery(fx_, "c1"), CheckOutMode::kExclusive);
+  ASSERT_TRUE(t.ok());
+
+  ExpireLeases();
+  EXPECT_EQ(server_->SweepExpiredLeases(), 1u);  // orphaned counts as reaped
+
+  // Locks and lease stay; the lease is marked orphaned and later sweeps
+  // skip it.
+  EXPECT_FALSE(server_->lock_manager().LocksOf(t->txn).empty());
+  ASSERT_TRUE(server_->leases().Has(t->txn));
+  EXPECT_EQ(server_->leases().StateOf(*server_->leases().Get(t->txn)),
+            LeaseState::kOrphaned);
+  EXPECT_EQ(server_->SweepExpiredLeases(), 0u);
+
+  // No epoch bump: the returning workstation's late check-in still lands
+  // (work is never thrown away under this policy).
+  for (const RootFence& f : t->fence) {
+    EXPECT_EQ(server_->stable_storage().FenceEpochOf(f.root), f.epoch);
+  }
+  EXPECT_TRUE(server_->CheckIn(*t).ok());
+  EXPECT_FALSE(server_->leases().Has(t->txn));
+}
+
+TEST_F(WsLeaseTest, ResumeSessionWithinGrace) {
+  Build();
+  Result<CheckOutTicket> t =
+      server_->CheckOut(1, CellQuery(fx_, "c1"), CheckOutMode::kExclusive);
+  ASSERT_TRUE(t.ok());
+
+  server_->clock().AdvanceMs(1200);  // inside the grace window
+  Result<CheckOutTicket> resumed = server_->ResumeSession(*t);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed->txn, t->txn);
+  EXPECT_EQ(resumed->lease_deadline_ms, 1200u + 1000u);
+  EXPECT_GT(resumed->data.values_read, 0u);  // the data was re-read
+  EXPECT_EQ(server_->leases().StateOf(*server_->leases().Get(t->txn)),
+            LeaseState::kActive);
+
+  EXPECT_TRUE(server_->CheckIn(*resumed).ok());
+}
+
+TEST_F(WsLeaseTest, ResumeBeyondGraceFails) {
+  Build();
+  Result<CheckOutTicket> t =
+      server_->CheckOut(1, CellQuery(fx_, "c1"), CheckOutMode::kExclusive);
+  ASSERT_TRUE(t.ok());
+
+  ExpireLeases();
+  // Before the sweep: the lease exists but is expired — unrecoverable.
+  EXPECT_TRUE(server_->ResumeSession(*t).status().IsFailedPrecondition());
+  // After the sweep: reclaimed and fenced.
+  EXPECT_EQ(server_->SweepExpiredLeases(), 1u);
+  EXPECT_TRUE(server_->ResumeSession(*t).status().IsFenced());
+}
+
+TEST_F(WsLeaseTest, FencedCheckInNeverClobbersRegrantedObject) {
+  Build();
+  Result<CheckOutTicket> w1 =
+      server_->CheckOut(1, CellQuery(fx_, "c1"), CheckOutMode::kExclusive);
+  ASSERT_TRUE(w1.ok());
+
+  ExpireLeases();
+  ASSERT_EQ(server_->SweepExpiredLeases(), 1u);
+
+  // The cell is re-granted to W2 before the zombie returns.
+  Result<CheckOutTicket> w2 =
+      server_->CheckOut(2, CellQuery(fx_, "c1"), CheckOutMode::kExclusive);
+  ASSERT_TRUE(w2.ok()) << w2.status().ToString();
+
+  // W1's late check-in is the lost update; the fence stops it before any
+  // lock or data is touched.
+  Status late = server_->CheckIn(*w1);
+  EXPECT_TRUE(late.IsFenced()) << late.ToString();
+  EXPECT_EQ(server_->lock_manager().stats().fenced_checkins.value(), 1u);
+
+  // W2's session is untouched by the rejected zombie.
+  ASSERT_TRUE(server_->leases().Has(w2->txn));
+  EXPECT_TRUE(server_->CheckIn(*w2).ok());
+}
+
+TEST_F(WsLeaseTest, CrashDuringGraceReissuesLease) {
+  Build();
+  Result<CheckOutTicket> t =
+      server_->CheckOut(1, CellQuery(fx_, "c1"), CheckOutMode::kExclusive);
+  ASSERT_TRUE(t.ok());
+
+  server_->clock().AdvanceMs(1300);  // deep into the grace window
+  ASSERT_TRUE(server_->CrashAndRestart().ok());
+
+  // The outage must not eat the workstation's reconnection budget: the
+  // surviving lease gets a full fresh window.
+  ASSERT_TRUE(server_->leases().Has(t->txn));
+  EXPECT_EQ(server_->leases().StateOf(*server_->leases().Get(t->txn)),
+            LeaseState::kActive);
+  Result<CheckOutTicket> resumed = server_->ResumeSession(*t);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_TRUE(server_->CheckIn(*resumed).ok());
+}
+
+// Crash-during-grace matrix: the crash lands before expiry, inside the
+// grace window, or after the reclaim — the zombie's fate must be the same
+// deterministic answer in every column.
+TEST_F(WsLeaseTest, CrashMatrixPreservesFencingDecision) {
+  struct Column {
+    uint64_t advance_before_crash;
+    bool sweep_before_crash;
+    bool zombie_fenced;  ///< expected outcome of the late check-in
+  };
+  const Column columns[] = {
+      {500, false, false},   // crash while active: lease reissued, survives
+      {1200, false, false},  // crash in grace: reissued, survives
+      {1501, true, true},    // reclaimed before the crash: fenced forever
+  };
+  for (const Column& c : columns) {
+    SCOPED_TRACE("advance=" + std::to_string(c.advance_before_crash) +
+                 " sweep=" + std::to_string(c.sweep_before_crash));
+    Build();
+    Result<CheckOutTicket> t =
+        server_->CheckOut(1, CellQuery(fx_, "c1"), CheckOutMode::kExclusive);
+    ASSERT_TRUE(t.ok());
+
+    server_->clock().AdvanceMs(c.advance_before_crash);
+    if (c.sweep_before_crash) {
+      ASSERT_EQ(server_->SweepExpiredLeases(), 1u);
+    }
+    ASSERT_TRUE(server_->CrashAndRestart().ok());
+
+    Status late = server_->CheckIn(*t);
+    if (c.zombie_fenced) {
+      EXPECT_FALSE(late.ok());
+      EXPECT_TRUE(late.IsFenced() || late.IsNotFound()) << late.ToString();
+      // And the cell is free for somebody else.
+      Result<CheckOutTicket> next = server_->CheckOut(
+          2, CellQuery(fx_, "c1"), CheckOutMode::kExclusive);
+      ASSERT_TRUE(next.ok()) << next.status().ToString();
+      EXPECT_TRUE(server_->CheckIn(*next).ok());
+    } else {
+      EXPECT_TRUE(late.ok()) << late.ToString();
+    }
+  }
+}
+
+TEST_F(WsLeaseTest, EpochsPersistAcrossCrashWithBackingFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ws_lease_epochs.locks")
+          .string();
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".tmp");
+  Server::Options opts = ShortLeaseOptions();
+  opts.storage_path = path;
+  Build(std::move(opts));
+
+  Result<CheckOutTicket> t =
+      server_->CheckOut(1, CellQuery(fx_, "c1"), CheckOutMode::kExclusive);
+  ASSERT_TRUE(t.ok());
+  ExpireLeases();
+  ASSERT_EQ(server_->SweepExpiredLeases(), 1u);
+
+  std::vector<lock::FenceEpochRecord> before =
+      server_->stable_storage().FenceEpochs();
+  ASSERT_FALSE(before.empty());
+
+  ASSERT_TRUE(server_->CrashAndRestart().ok());
+
+  // The bumped epochs came back from the file: no regression, the zombie
+  // stays fenced in the next server incarnation too.
+  for (const lock::FenceEpochRecord& rec : before) {
+    EXPECT_GE(server_->stable_storage().FenceEpochOf(rec.root), rec.epoch)
+        << rec.root.ToString();
+  }
+  Status late = server_->CheckIn(*t);
+  EXPECT_FALSE(late.ok());
+  EXPECT_TRUE(late.IsFenced() || late.IsNotFound()) << late.ToString();
+  std::filesystem::remove(path);
+}
+
+TEST_F(WsLeaseTest, StatsCountersTellTheWholeStory) {
+  Build();
+  Result<CheckOutTicket> a =
+      server_->CheckOut(1, CellQuery(fx_, "c1"), CheckOutMode::kExclusive);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(server_->RenewLease(*a).ok());
+  ExpireLeases();
+  ASSERT_EQ(server_->SweepExpiredLeases(), 1u);
+  EXPECT_TRUE(server_->CheckIn(*a).IsFenced());
+
+  const LockStats& stats = server_->lock_manager().stats();
+  EXPECT_EQ(stats.leases_granted.value(), 1u);
+  EXPECT_EQ(stats.leases_renewed.value(), 1u);
+  EXPECT_EQ(stats.leases_expired.value(), 1u);
+  EXPECT_EQ(stats.fenced_checkins.value(), 1u);
+  EXPECT_GT(stats.reclaimed_long_locks.value(), 0u);
+  // A reclaim is not a deadlock casualty.
+  EXPECT_EQ(stats.aborts_deadlock.value(), 0u);
+}
+
+// --- Flaky-workstation soak ---------------------------------------------
+
+sim::CellsFixture SoakFixture(const sim::FlakyWsConfig& cfg) {
+  sim::CellsParams params;
+  params.num_cells = cfg.workstations + cfg.shared_cells;
+  params.c_objects_per_cell = 4;
+  params.robots_per_cell = 2;
+  params.num_effectors = 6;
+  return sim::BuildCellsEffectors(params);
+}
+
+TEST_F(WsLeaseTest, FlakyWorkstationSoakStaysSound) {
+  sim::FlakyWsConfig cfg;
+  cfg.seed = 7;
+  sim::CellsFixture fx = SoakFixture(cfg);
+  Server::Options opts = ShortLeaseOptions();
+  opts.lease.duration_ms = 3000;  // a few ticks per lease
+  opts.lease.grace_ms = 1500;
+  Server server(fx.catalog.get(), fx.store.get(), std::move(opts));
+
+  sim::FlakyWsReport report = sim::RunFlakyWorkstations(server, fx, cfg);
+  for (const std::string& v : report.violations) ADD_FAILURE() << v;
+  EXPECT_TRUE(report.clean()) << report.Summary();
+
+  // The seed must actually exercise the machinery, not tiptoe around it.
+  EXPECT_GT(report.checkouts, 0u);
+  EXPECT_GT(report.deaths, 0u);
+  EXPECT_GT(report.reclaimed_leases, 0u);
+  EXPECT_GT(report.zombie_rejected, 0u);
+  EXPECT_GT(report.server_crashes, 0u);
+}
+
+TEST_F(WsLeaseTest, FlakyWorkstationSoakUnderOrphanHold) {
+  sim::FlakyWsConfig cfg;
+  cfg.seed = 21;
+  cfg.ticks = 200;
+  sim::CellsFixture fx = SoakFixture(cfg);
+  Server::Options opts = ShortLeaseOptions();
+  opts.lease.duration_ms = 3000;
+  opts.lease.grace_ms = 1500;
+  opts.lease.exclusive_policy = ExpiredExclusivePolicy::kOrphanHold;
+  Server server(fx.catalog.get(), fx.store.get(), std::move(opts));
+
+  sim::FlakyWsReport report = sim::RunFlakyWorkstations(server, fx, cfg);
+  for (const std::string& v : report.violations) ADD_FAILURE() << v;
+  EXPECT_TRUE(report.clean()) << report.Summary();
+  EXPECT_GT(report.checkouts, 0u);
+}
+
+}  // namespace
+}  // namespace codlock::ws

@@ -9,7 +9,9 @@ Reads the two perf baselines the repo keeps at its root —
                            odd slow repetition on shared runners);
   BENCH_overhead.json      bench_overhead --json; every "throughput_tps"
                            value in the document is compared (higher is
-                           better).
+                           better);
+  BENCH_lease.json         bench_lease --json; compared like
+                           BENCH_overhead.json.
 
 and prints one line per metric with the relative delta.  A metric whose
 delta is worse than the threshold (default 15%) counts as a regression;
@@ -129,11 +131,13 @@ def main():
     else:
         print(f"{lm}: not present in both directories, skipped")
 
-    # --- BENCH_overhead.json: throughput_tps, higher is better. ------------
-    ov = "BENCH_overhead.json"
-    base_path = os.path.join(args.baseline_dir, ov)
-    fresh_path = os.path.join(args.fresh_dir, ov)
-    if os.path.exists(base_path) and os.path.exists(fresh_path):
+    # --- throughput baselines: throughput_tps, higher is better. -----------
+    for ov in ("BENCH_overhead.json", "BENCH_lease.json"):
+        base_path = os.path.join(args.baseline_dir, ov)
+        fresh_path = os.path.join(args.fresh_dir, ov)
+        if not (os.path.exists(base_path) and os.path.exists(fresh_path)):
+            print(f"{ov}: not present in both directories, skipped")
+            continue
         base = throughput_metrics(load_json(base_path))
         fresh = throughput_metrics(load_json(fresh_path))
         print(f"{ov} (throughput_tps, higher is better):")
@@ -148,8 +152,6 @@ def main():
             compared += 1
             regressions += worse
             failures += fatal
-    else:
-        print(f"{ov}: not present in both directories, skipped")
 
     print(f"compared {compared} metrics, {regressions} regression(s) beyond "
           f"{args.threshold:.0%}, {failures} beyond the "

@@ -22,6 +22,7 @@
 #include "sim/fixtures.h"
 #include "sim/harness.h"
 #include "util/metrics.h"
+#include "ws/server.h"
 
 using namespace codlock;
 
@@ -37,7 +38,12 @@ int Usage() {
          "  query <path> \"<hdbl>\"   analyze + execute a query\n"
          "  stats <path>            run a contended workload, print lock\n"
          "                          statistics (waits, abort causes, sheds,\n"
-         "                          retries) and the accounting invariant\n";
+         "                          retries) and the accounting invariant\n"
+         "  leases <path> [--json]  run a lease probe (check-outs in all\n"
+         "                          three modes, renewals, an expiry and a\n"
+         "                          reclamation sweep), then print the\n"
+         "                          lease table with deadlines, fencing\n"
+         "                          epochs and held long locks\n";
   return 2;
 }
 
@@ -188,6 +194,130 @@ int Stats(nf2::LoadedDatabase& db) {
   return r.Reconciles() ? 0 : 1;
 }
 
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+int Leases(nf2::LoadedDatabase& db, bool json) {
+  // The probe needs three distinct complex objects with a disjoint
+  // subtree; the demo database's cells qualify via their c_objects.
+  Result<nf2::RelationId> rel = db.catalog->FindRelation("cells");
+  if (!rel.ok()) {
+    std::cerr << "error: 'leases' expects a demo database (see 'demo'): "
+              << rel.status() << "\n";
+    return 1;
+  }
+  std::vector<nf2::ObjectId> ids = db.store->ObjectsOf(*rel);
+  if (ids.size() < 3) {
+    std::cerr << "error: need at least 3 cells, have " << ids.size() << "\n";
+    return 1;
+  }
+
+  ws::Server::Options opts;
+  opts.lease.duration_ms = 30'000;
+  opts.lease.grace_ms = 10'000;
+  ws::Server server(db.catalog.get(), db.store.get(), opts);
+
+  auto cell_query = [&](size_t idx,
+                        query::AccessKind kind) -> Result<query::Query> {
+    Result<const nf2::Object*> obj = db.store->Get(*rel, ids[idx]);
+    if (!obj.ok()) return obj.status();
+    query::Query q;
+    q.name = "lease-probe";
+    q.relation = *rel;
+    q.object_key = (*obj)->key;
+    q.path = {nf2::PathStep::Field("c_objects")};
+    q.kind = kind;
+    return q;
+  };
+
+  // Three check-outs, one per mode; then a renewal, an expiry and a sweep
+  // so the table shows every lease state the subsystem distinguishes.
+  const ws::CheckOutMode modes[] = {ws::CheckOutMode::kExclusive,
+                                    ws::CheckOutMode::kShared,
+                                    ws::CheckOutMode::kDerive};
+  std::vector<ws::CheckOutTicket> tickets;
+  for (size_t i = 0; i < 3; ++i) {
+    Result<query::Query> q =
+        cell_query(i, modes[i] == ws::CheckOutMode::kExclusive
+                          ? query::AccessKind::kUpdate
+                          : query::AccessKind::kRead);
+    if (!q.ok()) {
+      std::cerr << "error: " << q.status() << "\n";
+      return 1;
+    }
+    Result<ws::CheckOutTicket> t =
+        server.CheckOut(static_cast<authz::UserId>(i + 1), *q, modes[i]);
+    if (!t.ok()) {
+      std::cerr << "check-out " << i + 1 << " failed: " << t.status() << "\n";
+      return 1;
+    }
+    tickets.push_back(*t);
+  }
+  server.clock().AdvanceMs(25'000);
+  server.RenewLease(tickets[0]);  // exclusive stays active
+  server.RenewLease(tickets[1]);  // shared stays active
+  server.clock().AdvanceMs(20'000);  // derive: 45s > 30s + 10s grace
+  server.SweepExpiredLeases();       // reclaims the derive lease
+
+  const std::vector<ws::Server::LeaseView> table = server.LeaseTable();
+  if (json) {
+    std::cout << "{\"now_ms\":" << server.clock().NowMs() << ",\"leases\":[";
+    for (size_t i = 0; i < table.size(); ++i) {
+      const ws::Server::LeaseView& row = table[i];
+      std::cout << (i ? "," : "") << "{\"txn\":" << row.txn
+                << ",\"user\":" << row.user << ",\"mode\":\""
+                << ws::CheckOutModeName(row.mode) << "\",\"state\":\""
+                << ws::LeaseStateName(row.state)
+                << "\",\"deadline_ms\":" << row.deadline_ms
+                << ",\"renewals\":" << row.renewals << ",\"fence\":[";
+      for (size_t j = 0; j < row.fence.size(); ++j) {
+        std::cout << (j ? "," : "") << "{\"root\":\""
+                  << JsonEscape(row.fence[j].root.ToString())
+                  << "\",\"epoch\":" << row.fence[j].epoch << "}";
+      }
+      std::cout << "],\"held_long_locks\":" << row.held.size() << "}";
+    }
+    std::cout << "],\"fence_epochs\":[";
+    std::vector<lock::FenceEpochRecord> epochs =
+        server.stable_storage().FenceEpochs();
+    for (size_t i = 0; i < epochs.size(); ++i) {
+      std::cout << (i ? "," : "") << "{\"root\":\""
+                << JsonEscape(epochs[i].root.ToString())
+                << "\",\"epoch\":" << epochs[i].epoch << "}";
+    }
+    std::cout << "]}\n";
+    return 0;
+  }
+
+  std::cout << "lease table at t=" << server.clock().NowMs() << "ms ("
+            << table.size() << " active):\n"
+            << "  txn          user  mode       state     deadline  renewals"
+               "  locks\n";
+  for (const ws::Server::LeaseView& row : table) {
+    std::cout << "  " << row.txn << "  " << row.user << "  "
+              << ws::CheckOutModeName(row.mode) << "  "
+              << ws::LeaseStateName(row.state) << "  " << row.deadline_ms
+              << "ms  " << row.renewals << "  " << row.held.size() << "\n";
+    for (const ws::RootFence& f : row.fence) {
+      std::cout << "      fence: " << f.root.ToString() << " @ epoch "
+                << f.epoch << "\n";
+    }
+  }
+  std::cout << "\nfencing epochs in stable storage:\n";
+  for (const lock::FenceEpochRecord& e : server.stable_storage().FenceEpochs()) {
+    std::cout << "  " << e.root.ToString() << " -> " << e.epoch << "\n";
+  }
+  std::cout << "\nlock manager counters:\n"
+            << server.lock_manager().stats().ToString() << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -204,6 +334,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "info") return Info(*db);
   if (cmd == "stats") return Stats(*db);
+  if (cmd == "leases") {
+    return Leases(*db, argc >= 4 && std::string(argv[3]) == "--json");
+  }
   if (cmd == "dot" && argc >= 4) return Dot(*db, argv[3]);
   if ((cmd == "query" || cmd == "plan") && argc >= 4) {
     return Query(*db, argv[3], cmd == "query");

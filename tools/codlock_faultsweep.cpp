@@ -21,13 +21,24 @@
 // asserts that loading never fails and always recovers a complete
 // generation (the newest intact one, or the empty generation 0).
 //
+// The `leases` mode crash-injects the lease subsystem's own fault points
+// (`ws.lease.expire`, `ws.lease.reclaim`, `ws.checkin.fenced`): an
+// exclusive check-out is driven past its lease deadline + grace, the
+// reclamation sweep (or the fenced zombie check-in) crashes at the armed
+// point, the server restarts, and the post-restart state must converge —
+// the expired ticket holds no locks, fencing epochs never regress below
+// the pre-crash durable baseline, the zombie check-in is refused, and the
+// cell can be checked out again.
+//
 // Usage:
-//   codlock_faultsweep [--json] [--dir <scratch-dir>] [sweep|truncate|all]
+//   codlock_faultsweep [--json] [--dir <scratch-dir>]
+//                      [sweep|truncate|leases|all]
 
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -152,6 +163,135 @@ PointResult SweepOne(fault::FaultPoint* point, const std::string& dir) {
   return res;
 }
 
+/// The exclusive check-out the lease scenarios revolve around: cell c1's
+/// local objects (`c_objects`), disjoint from every other cell.
+query::Query LeaseCellQuery(const sim::CellsFixture& f) {
+  query::Query q;
+  q.name = "lease-sweep";
+  q.relation = f.cells;
+  q.object_key = "c1";
+  q.path = {nf2::PathStep::Field("c_objects")};
+  q.kind = query::AccessKind::kUpdate;
+  return q;
+}
+
+/// Crashes at one lease fault point mid-reclaim (or mid-fenced-check-in)
+/// and asserts the restart converges: no expired ticket keeps locks, no
+/// fencing epoch regresses, the zombie stays fenced, the cell is
+/// re-grantable.
+PointResult LeaseSweepOne(fault::FaultPoint* point, const std::string& dir) {
+  PointResult res;
+  res.point = point->name();
+  res.kind = std::string(fault::FaultKindName(point->sweep_kind()));
+  auto fail = [&res](const std::string& why) {
+    res.passed = false;
+    res.detail = why;
+    return res;
+  };
+
+  sim::CellsFixture f = sim::BuildFigure7Instance();
+  ws::Server::Options opts;
+  opts.protocol.timeout_ms = 100;
+  opts.lock_manager.default_timeout_ms = 200;
+  opts.lease.duration_ms = 1000;
+  opts.lease.grace_ms = 500;
+  opts.storage_path = dir + "/" + Sanitize(point->name()) + ".locks";
+  std::filesystem::remove(opts.storage_path);
+  std::filesystem::remove(opts.storage_path + ".tmp");
+  ws::Server server(f.catalog.get(), f.store.get(), opts);
+
+  Result<ws::CheckOutTicket> w1 = server.CheckOut(
+      1, LeaseCellQuery(f), ws::CheckOutMode::kExclusive);
+  if (!w1.ok()) {
+    return fail("lease check-out failed: " + w1.status().ToString());
+  }
+
+  // The durable fence-epoch baseline the restart may never fall below.
+  std::map<std::string, uint64_t> baseline;
+  for (const lock::FenceEpochRecord& rec :
+       server.stable_storage().FenceEpochs()) {
+    baseline[rec.root.ToString()] = rec.epoch;
+  }
+
+  // Let the lease run out completely.
+  server.clock().AdvanceMs(opts.lease.duration_ms + opts.lease.grace_ms + 1);
+
+  // `ws.checkin.fenced` only fires on an epoch mismatch, which needs the
+  // reclaim to have happened first — sweep cleanly, then present the
+  // zombie ticket into the armed point.  The two sweep points crash the
+  // reclamation itself.
+  const bool fenced_point = point->name() == "ws.checkin.fenced";
+  if (fenced_point) server.SweepExpiredLeases();
+
+  fault::FaultSpec spec;
+  spec.kind = point->sweep_kind();
+  spec.trigger = fault::Trigger::Once();
+  point->Arm(spec);
+  if (fenced_point) {
+    Status s = server.CheckIn(*w1);
+    if (s.ok()) {
+      point->Disarm();
+      return fail("zombie check-in succeeded into the armed fence point");
+    }
+  } else {
+    server.SweepExpiredLeases();
+  }
+  res.fired = !point->armed();  // Trigger::Once auto-disarms on fire
+  point->Disarm();
+
+  Status restarted = server.CrashAndRestart();
+  if (!restarted.ok()) {
+    return fail("CrashAndRestart failed: " + restarted.ToString());
+  }
+
+  // Post-restart convergence: surviving leases were reissued with fresh
+  // deadlines — run them out again and sweep with nothing armed.  The end
+  // state must be identical to a crash-free reclaim.
+  server.clock().AdvanceMs(opts.lease.duration_ms + opts.lease.grace_ms + 1);
+  server.SweepExpiredLeases();
+
+  if (!server.lock_manager().LocksOf(w1->txn).empty()) {
+    return fail("expired ticket still holds long locks after restart");
+  }
+  if (server.leases().Has(w1->txn)) {
+    return fail("expired lease survived restart + sweep");
+  }
+  for (const lock::FenceEpochRecord& rec :
+       server.stable_storage().FenceEpochs()) {
+    auto it = baseline.find(rec.root.ToString());
+    if (it != baseline.end() && rec.epoch < it->second) {
+      return fail("fence epoch of " + rec.root.ToString() +
+                  " regressed across the crash");
+    }
+  }
+
+  // The zombie must stay fenced out...
+  Status zombie = server.CheckIn(*w1);
+  if (zombie.ok()) {
+    return fail("zombie check-in succeeded after reclaim + restart");
+  }
+  // ...while the cell is re-grantable to someone else.
+  Result<ws::CheckOutTicket> w2 = server.CheckOut(
+      2, LeaseCellQuery(f), ws::CheckOutMode::kExclusive);
+  if (!w2.ok()) {
+    return fail("post-reclaim re-grant failed: " + w2.status().ToString());
+  }
+  Status in = server.CheckIn(*w2);
+  if (!in.ok()) {
+    return fail("re-granted check-in failed: " + in.ToString());
+  }
+
+  proto::ProtocolValidator validator(&server.graph(), f.store.get());
+  std::vector<proto::Violation> violations =
+      validator.Check(server.lock_manager());
+  if (!violations.empty()) {
+    return fail("validator: " + violations.front().ToString());
+  }
+
+  res.passed = true;
+  return res;
+}
+
 struct TruncateResult {
   size_t offsets = 0;       ///< truncation points exercised
   size_t failed_loads = 0;  ///< loads that returned an error (must be 0)
@@ -269,17 +409,19 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--dir" && i + 1 < argc) {
       dir = argv[++i];
-    } else if (arg == "sweep" || arg == "truncate" || arg == "all") {
+    } else if (arg == "sweep" || arg == "truncate" || arg == "leases" ||
+               arg == "all") {
       mode = arg;
     } else {
       std::cerr << "usage: codlock_faultsweep [--json] [--dir <d>] "
-                   "[sweep|truncate|all]\n";
+                   "[sweep|truncate|leases|all]\n";
       return 2;
     }
   }
   std::filesystem::create_directories(dir);
 
   std::vector<PointResult> points;
+  std::vector<PointResult> leases;
   TruncateResult trunc;
   bool ok = true;
 
@@ -289,6 +431,24 @@ int main(int argc, char** argv) {
       fault::DisarmAll();  // belt and braces between scenarios
       ok = ok && r.passed;
       points.push_back(std::move(r));
+    }
+  }
+  if (mode == "leases" || mode == "all") {
+    for (const char* name :
+         {"ws.lease.expire", "ws.lease.reclaim", "ws.checkin.fenced"}) {
+      fault::FaultPoint* p = fault::FindPoint(name);
+      if (p == nullptr) {
+        PointResult r;
+        r.point = name;
+        r.detail = "fault point not registered";
+        ok = false;
+        leases.push_back(std::move(r));
+        continue;
+      }
+      PointResult r = LeaseSweepOne(p, dir);
+      fault::DisarmAll();
+      ok = ok && r.passed;
+      leases.push_back(std::move(r));
     }
   }
   if (mode == "truncate" || mode == "all") {
@@ -307,8 +467,17 @@ int main(int argc, char** argv) {
          << ", \"detail\": \"" << JsonEscape(r.detail) << "\"}"
          << (i + 1 < points.size() ? "," : "") << "\n";
     }
+    os << "  ],\n  \"leases\": [\n";
+    for (size_t i = 0; i < leases.size(); ++i) {
+      const PointResult& r = leases[i];
+      os << "    {\"point\": \"" << JsonEscape(r.point) << "\", \"kind\": \""
+         << r.kind << "\", \"fired\": " << (r.fired ? "true" : "false")
+         << ", \"passed\": " << (r.passed ? "true" : "false")
+         << ", \"detail\": \"" << JsonEscape(r.detail) << "\"}"
+         << (i + 1 < leases.size() ? "," : "") << "\n";
+    }
     os << "  ]";
-    if (mode != "sweep") {
+    if (mode == "truncate" || mode == "all") {
       os << ",\n  \"truncate\": {\"offsets\": " << trunc.offsets
          << ", \"failed_loads\": " << trunc.failed_loads
          << ", \"recovered_g2\": " << trunc.recovered_g2
@@ -325,7 +494,13 @@ int main(int argc, char** argv) {
                 << r.kind << (r.fired ? ", fired" : ", not traversed")
                 << ")" << (r.detail.empty() ? "" : ": " + r.detail) << "\n";
     }
-    if (mode != "sweep") {
+    for (const PointResult& r : leases) {
+      std::cout << (r.passed ? "PASS " : "FAIL ") << "lease scenario "
+                << r.point << " (" << r.kind
+                << (r.fired ? ", fired" : ", not traversed") << ")"
+                << (r.detail.empty() ? "" : ": " + r.detail) << "\n";
+    }
+    if (mode == "truncate" || mode == "all") {
       std::cout << (trunc.passed ? "PASS " : "FAIL ")
                 << "truncate sweep: " << trunc.offsets << " offsets, "
                 << trunc.failed_loads << " failed loads, g2/g1/g0 = "

@@ -12,7 +12,13 @@
 //   codlock_mc [--workload=shared-effector|side-entry|cross-deadlock|all]
 //              [--policy=detect|wound-wait|wait-die|timeout-only|all]
 //              [--cache=on|off|both] [--no-por] [--max-schedules=N]
-//              [--mutant=<name>] [--kill-suite] [--json] [--quiet]
+//              [--mutant=<name>] [--kill-suite] [--lease-protocol]
+//              [--json] [--quiet]
+//
+// --lease-protocol switches to the lease/fencing explorer instead: every
+// interleaving of {expiry, crash, sweep} x {W2 check-out/check-in} x
+// {zombie check-in} is replayed against a fresh workstation server and
+// judged by the lost-update/fencing oracles (mc/lease_oracle.h).
 //
 // Default mode explores all selected configurations and exits non-zero if
 // any schedule violates an oracle.  With --mutant=<name> the named defect
@@ -26,6 +32,7 @@
 #include <vector>
 
 #include "mc/explorer.h"
+#include "mc/lease_oracle.h"
 #include "mc/workload.h"
 #include "util/mutation_points.h"
 
@@ -41,6 +48,7 @@ struct CliOptions {
   uint64_t max_schedules = 0;  // 0 = explorer default
   std::string mutant;
   bool kill_suite = false;
+  bool lease_protocol = false;
   bool json = false;
   bool quiet = false;
 };
@@ -53,8 +61,9 @@ int Usage() {
          "timeout-only|all]\n"
          "                  [--cache=on|off|both] [--no-por]"
          " [--max-schedules=N]\n"
-         "                  [--mutant=<name>] [--kill-suite] [--json]"
-         " [--quiet]\n"
+         "                  [--mutant=<name>] [--kill-suite]"
+         " [--lease-protocol]\n"
+         "                  [--json] [--quiet]\n"
          "mutants:";
   for (uint32_t m = 0;
        m < static_cast<uint32_t>(mutation::Mutant::kNumMutants); ++m) {
@@ -228,6 +237,45 @@ int RunKillSuite(const CliOptions& cli) {
   return ok ? 0 : 1;
 }
 
+int RunLeaseProtocol(const CliOptions& cli) {
+  int violating = 0;
+  for (bool with_crash : {false, true}) {
+    mc::LeaseExploreOptions lo;
+    lo.with_server_crash = with_crash;
+    mc::LeaseExploreStats s = mc::ExploreLeaseProtocol(lo);
+    if (cli.json) {
+      std::cout << "{\"workload\":\"lease-protocol\",\"crash\":"
+                << (with_crash ? "true" : "false")
+                << ",\"executions\":" << s.executions
+                << ",\"w1_checkin_ok\":" << s.w1_checkin_ok
+                << ",\"w1_fenced\":" << s.w1_fenced
+                << ",\"w2_checkout_ok\":" << s.w2_checkout_ok
+                << ",\"violating_executions\":" << s.violating_executions
+                << "}\n";
+    } else if (!cli.quiet || !s.clean()) {
+      std::cout << "lease-protocol / crash=" << (with_crash ? "on" : "off")
+                << ": explored " << s.executions << " schedules ("
+                << s.w1_checkin_ok << " graceful, " << s.w1_fenced
+                << " fenced, " << s.w2_checkout_ok << " re-grants)\n";
+      for (const std::string& v : s.violation_messages) {
+        std::cout << "  VIOLATION: " << v << "\n";
+      }
+    }
+    // Sanity: the space must contain both ends of the protocol — a
+    // schedule where W1 checks in gracefully and one where it is fenced
+    // after a re-grant.
+    if (s.w1_checkin_ok == 0 || s.w2_checkout_ok == 0) {
+      std::cout << "  VIOLATION: exploration never reached "
+                << (s.w1_checkin_ok == 0 ? "a graceful check-in"
+                                         : "a re-grant")
+                << " — scenario coverage hole\n";
+      ++violating;
+    }
+    if (!s.clean()) ++violating;
+  }
+  return violating == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -248,6 +296,8 @@ int main(int argc, char** argv) {
       cli.mutant = arg.substr(9);
     } else if (arg == "--kill-suite") {
       cli.kill_suite = true;
+    } else if (arg == "--lease-protocol") {
+      cli.lease_protocol = true;
     } else if (arg == "--json") {
       cli.json = true;
     } else if (arg == "--quiet") {
@@ -257,6 +307,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (cli.lease_protocol) return RunLeaseProtocol(cli);
   if (cli.kill_suite) return RunKillSuite(cli);
 
   bool ok1 = false, ok2 = false, ok3 = false;
