@@ -1,0 +1,279 @@
+/// \file prove.h
+/// \brief Symbolic protocol prover for the paper's lock technique.
+///
+/// The linter (`logra/lint`) checks the *shape* of derived lock graphs and
+/// the model checker (`mc/`) checks concrete *executions*; this pass
+/// statically proves, per schema, the theorems the protocol's correctness
+/// actually rests on — parameterized over the mode matrices and the
+/// authorization predicate, so any future matrix drop-in is machine
+/// checked before an execution ever runs:
+///
+///  (a) **Mode-algebra laws.**  The compatibility matrix must be symmetric
+///      and downward closed under the supremum order; the supremum must be
+///      a join-semilattice (commutative/associative/idempotent) with NL as
+///      identity and X as absorbing top, and every `sup` a *least* upper
+///      bound; `SIX == Sup(S, IX)`; `IntentionOf` must map every non-NL
+///      mode to a pure intention mode monotonically, stay below its
+///      argument, preserve write intent against implicit readers, and —
+///      the DAG-protocol linchpin — conflicting access modes must have
+///      *compatible* intention modes (the conflict is re-detected deeper).
+///
+///  (b) **Side-entry visibility (§3.2.2 / §4.4.2).**  Every inner unit is
+///      reachable both "from above" (through a referencing unit) and "from
+///      the side" (through its own relation's hierarchy).  The prover
+///      enumerates every route to every shared entry point, symbolically
+///      computes the lock set rules 1–5 + 4′ acquire along each route —
+///      including implicit upward and downward propagation — and proves
+///      that every pair of semantically conflicting accesses collides on
+///      some common node in incompatible modes.  A failure produces a
+///      concrete two-path counterexample witness (both access paths with
+///      their full symbolic lock sets).
+///
+///  (c) **Acquisition-order analysis.**  Root-to-leaf requests plus
+///      propagation-induced acquisitions induce a per-schema order over
+///      lock-graph nodes.  The union of all acquisition sequences must be
+///      acyclic: a cycle means two transactions can acquire the same two
+///      nodes in opposite orders — a potential deadlock site — and is
+///      reported with the cycle and a contributing sequence as witness.
+///      (Instance-level deadlocks *within* one node — two transactions
+///      locking two robots in opposite key order — are out of scope here;
+///      those are what the runtime deadlock policies and `codlock_mc`'s
+///      cross-deadlock workload handle.)
+///
+/// A structural precondition check (side entries must land on unit roots)
+/// guards (b): the propagation laws are only meaningful when every dashed
+/// edge enters an inner unit at its entry point.
+///
+/// The prover kill-suite (`RunProverKillSuite`) mirrors the model
+/// checker's runtime mutants statically: seeded broken matrices, dropped
+/// propagation rules, broken 4′ weakening tables and corrupted graphs must
+/// each be *refuted* — i.e. produce at least one finding with a
+/// machine-readable witness — on a schema with shared inner units.
+
+#ifndef CODLOCK_LOGRA_PROVE_H_
+#define CODLOCK_LOGRA_PROVE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lock/mode.h"
+#include "logra/lock_graph.h"
+#include "nf2/schema.h"
+
+namespace codlock::authz {
+class AuthorizationManager;
+}  // namespace codlock::authz
+
+namespace codlock::logra {
+
+/// \brief A mode algebra as explicit tables: the object the laws quantify
+/// over.
+///
+/// `Shipped()` samples the production functions in `lock/mode.h`, so the
+/// prover always judges the matrix the lock manager actually uses —
+/// including any runtime mutation (`mutation::kCompatSX`) currently
+/// enabled, which is what lets the static and runtime kill-suites
+/// cross-check each other.
+struct ModeAlgebra {
+  std::array<std::array<bool, lock::kNumModes>, lock::kNumModes> compat{};
+  std::array<std::array<lock::LockMode, lock::kNumModes>, lock::kNumModes>
+      sup{};
+  std::array<lock::LockMode, lock::kNumModes> intention{};
+
+  static ModeAlgebra Shipped();
+
+  bool Compatible(lock::LockMode a, lock::LockMode b) const {
+    return compat[static_cast<int>(a)][static_cast<int>(b)];
+  }
+  lock::LockMode Sup(lock::LockMode a, lock::LockMode b) const {
+    return sup[static_cast<int>(a)][static_cast<int>(b)];
+  }
+  lock::LockMode IntentionFor(lock::LockMode m) const {
+    return intention[static_cast<int>(m)];
+  }
+  /// Lattice order defined by the join: a <= b iff sup(a,b) == b.
+  bool Leq(lock::LockMode a, lock::LockMode b) const {
+    return Sup(a, b) == b;
+  }
+};
+
+/// \brief The protocol variant under proof: which of rules 1–5 + 4′ are in
+/// force, and the 4′ weakening table.
+///
+/// `Paper()` is the protocol of §4.4.2; the kill-suite proves the theorems
+/// *fail* when a rule is dropped or the 4′ table is corrupted.
+struct ProtocolModel {
+  /// Rules 1/2: entry-point locks implicitly lock the superunit chain.
+  bool upward_propagation = true;
+  /// Rules 3/4: S/X locks implicitly lock reachable entry points.
+  bool downward_propagation = true;
+  /// Mode landed on an entry point when X propagates onto a unit the
+  /// transaction may modify (rule 4: X).
+  lock::LockMode x_on_modifiable = lock::LockMode::kX;
+  /// Mode landed when the transaction has no modify right on the unit
+  /// (rule 4′: weakened to S so the data stays readable-stable).
+  lock::LockMode x_on_nonmodifiable = lock::LockMode::kS;
+
+  static ProtocolModel Paper() { return ProtocolModel{}; }
+};
+
+/// The theorem a finding refutes.
+enum class ProofCheck : uint8_t {
+  kModeAlgebra,       ///< one of the algebra laws fails
+  kSideEntry,         ///< a dashed edge enters a unit at a non-root node
+  kVisibility,        ///< two conflicting accesses never collide
+  kAcquisitionOrder,  ///< the acquisition order graph has a cycle
+};
+
+std::string_view ProofCheckName(ProofCheck check);
+
+/// One symbolically computed access path: the witness half of a
+/// visibility counterexample.
+struct AccessWitness {
+  /// Human-readable description, e.g.
+  /// "X on HeLU(\"robot\") via HoLU(cells) -> ref, writer of effectors".
+  std::string description;
+  /// Full symbolic lock set in acquisition order (node, landed mode).
+  std::vector<std::pair<NodeId, lock::LockMode>> locks;
+};
+
+/// \brief One refuted theorem with its machine-readable witness.
+struct ProverFinding {
+  ProofCheck check = ProofCheck::kModeAlgebra;
+  /// kModeAlgebra: the law identifier ("compat-symmetry", "sup-assoc",
+  /// "intention-conflict-compat", ...).  Empty otherwise.
+  std::string law;
+  /// Anchor node: the shared entry point (kVisibility), the offending ref
+  /// BLU (kSideEntry), a node on the cycle (kAcquisitionOrder).
+  NodeId node = kInvalidNode;
+  std::string message;
+  /// kVisibility: the two conflicting accesses and their lock sets.
+  AccessWitness left, right;
+  /// kAcquisitionOrder: the node cycle (first node repeated at the end).
+  std::vector<NodeId> cycle;
+};
+
+/// \brief Proof statistics + findings for one schema.
+struct ProverReport {
+  std::vector<ProverFinding> findings;
+  size_t laws_checked = 0;
+  size_t entry_points = 0;        ///< shared entry points analyzed
+  size_t routes_enumerated = 0;   ///< distinct routes to inner units
+  size_t accesses_enumerated = 0; ///< symbolic access specs
+  size_t pairs_checked = 0;       ///< conflicting pairs collision-checked
+  size_t order_nodes = 0;
+  size_t order_edges = 0;
+
+  bool ok() const { return findings.empty(); }
+
+  /// `{"ok":bool,...,"findings":[{"check":...,"witness":{...}},...]}`.
+  std::string ToJson() const;
+  std::string ToString() const;
+};
+
+struct ProverOptions {
+  /// Cap on distinct reference routes enumerated per inner unit (deep
+  /// diamond chains are exponential; a capped enumeration is reported in
+  /// the stats, never silently).
+  size_t max_routes_per_unit = 64;
+  /// Stop after this many findings (a broken matrix fails hundreds of
+  /// pairs; one witness per theorem is what the kill-suite needs).
+  size_t max_findings = 16;
+  bool check_mode_algebra = true;
+  bool check_side_entry = true;
+  bool check_visibility = true;
+  bool check_order = true;
+};
+
+/// Verifies the algebra laws of (a) alone — the standalone checker the
+/// `mode_algebra_test` ctest runs over the shipped §3 matrix.
+ProverReport CheckModeAlgebra(const ModeAlgebra& algebra);
+
+/// Proves (a)–(c) for \p graph built from \p catalog under \p algebra and
+/// \p model.  A graph fresh from `LockGraph::Build` with the shipped
+/// algebra and `ProtocolModel::Paper()` must always prove clean.
+ProverReport ProveProtocol(const LockGraph& graph, const nf2::Catalog& catalog,
+                           const ModeAlgebra& algebra,
+                           const ProtocolModel& model,
+                           const ProverOptions& options = ProverOptions());
+
+/// Convenience: shipped algebra, paper protocol.
+ProverReport ProveProtocol(const LockGraph& graph, const nf2::Catalog& catalog,
+                           const ProverOptions& options = ProverOptions());
+
+/// Concrete-authz variant: instead of the two symbolic authorization
+/// profiles, 4′ weakening is evaluated against \p authz for user \p user
+/// (the witness a DBA would ask for: "can *this* user's accesses race?").
+ProverReport ProveProtocolForUser(const LockGraph& graph,
+                                  const nf2::Catalog& catalog,
+                                  const authz::AuthorizationManager& authz,
+                                  uint64_t user,
+                                  const ProverOptions& options =
+                                      ProverOptions());
+
+// ---------------------------------------------------------------------------
+// Prover kill-suite: seeded static mutants, each of which must be refuted.
+// ---------------------------------------------------------------------------
+
+enum class ProverMutant : uint8_t {
+  /// One flipped compatibility cell: S ~ X (both directions) — the static
+  /// twin of `mutation::Mutant::kCompatSX`.
+  kCompatSX = 0,
+  /// Compat(X, S) flipped in one direction only: symmetry broken.
+  kCompatAsymmetric,
+  /// Sup(S, IX) = X instead of SIX: the join is no longer least.
+  kSupremumSIX,
+  /// IntentionOf(X) = IS: write descent announced as read intent.
+  kIntentionXToIS,
+  /// Rules 1/2 dropped (static twin of kSkipUpwardPropagation).
+  kSkipUpwardPropagation,
+  /// Rules 3/4 dropped (static twin of kSkipDownwardPropagation).
+  kSkipDownwardPropagation,
+  /// Broken 4′ row: X onto a non-modifiable unit lands NL (no lock).
+  kRule4PrimeNoLock,
+  /// Broken 4′ row: X onto a non-modifiable unit lands IS (no implicit
+  /// coverage of the unit the transaction still reads).
+  kRule4PrimeIntentOnly,
+  /// Broken 4′ row: X onto a *modifiable* unit over-weakened to S (lost
+  /// write exclusion).
+  kRule4PrimeOverWeaken,
+  /// Graph mutant: one dashed edge rewired into an interior node of its
+  /// target unit (a second entry point).
+  kDashedIntoInterior,
+  /// Graph mutant: an atomic BLU of a shared relation turned into a back
+  /// reference — a reference cycle the acquisition order must report.
+  kCyclicReference,
+  kNumProverMutants,
+};
+
+inline constexpr size_t kNumProverMutants =
+    static_cast<size_t>(ProverMutant::kNumProverMutants);
+
+std::string_view ProverMutantName(ProverMutant m);
+
+/// \brief Outcome of one kill-suite entry.
+struct ProverKillResult {
+  ProverMutant mutant = ProverMutant::kCompatSX;
+  bool killed = false;          ///< the prover refuted the mutant
+  size_t findings = 0;
+  /// The refuting theorem + law of the first finding, e.g.
+  /// "mode-algebra/compat-downward-closed" or "visibility".
+  std::string caught_by;
+  /// First finding's witness, JSON (empty if survived).
+  std::string witness_json;
+};
+
+/// Runs every seeded mutant against \p graph / \p catalog (which must
+/// contain at least one shared inner unit — e.g. the Figure 7 schema) and
+/// returns one result per mutant.  The unmutated baseline is proved first;
+/// if it is not clean, every result reports `killed == false` so a broken
+/// baseline can never masquerade as a passing suite.
+std::vector<ProverKillResult> RunProverKillSuite(
+    const LockGraph& graph, const nf2::Catalog& catalog,
+    const ProverOptions& options = ProverOptions());
+
+}  // namespace codlock::logra
+
+#endif  // CODLOCK_LOGRA_PROVE_H_

@@ -62,10 +62,33 @@ Status ComplexObjectProtocol::Lock(txn::Transaction& txn,
   return Status::OK();
 }
 
+namespace {
+
+/// Deterministic propagation order: every batch of references is entered
+/// sorted by (relation DESCENDING, object), so any two transactions
+/// acquire shared entry points in one global order — the invariant the
+/// static acquisition-order analysis (`logra/prove`) verifies
+/// schema-wide.  Descending relation id is a topological order of the
+/// reference DAG (a Ref can only name an already-created relation, so
+/// target id < source id): outer units are always entered before the
+/// units they reference, matching the order of explicit root-to-leaf
+/// traversals through reference chains.
+void SortRefs(std::vector<nf2::RefValue>& refs) {
+  std::sort(refs.begin(), refs.end(),
+            [](const nf2::RefValue& a, const nf2::RefValue& b) {
+              return a.relation != b.relation ? a.relation > b.relation
+                                              : a.object < b.object;
+            });
+}
+
+}  // namespace
+
 Status ComplexObjectProtocol::PropagateDown(txn::Transaction& txn,
                                             const nf2::Value& v,
                                             LockMode mode, Visited* visited) {
-  for (const nf2::RefValue& ref : nf2::InstanceStore::CollectRefs(v)) {
+  std::vector<nf2::RefValue> refs = nf2::InstanceStore::CollectRefs(v);
+  SortRefs(refs);
+  for (const nf2::RefValue& ref : refs) {
     CODLOCK_RETURN_IF_ERROR(LockEntryPointInternal(txn, ref, mode, visited));
   }
   return Status::OK();
@@ -79,22 +102,31 @@ Status ComplexObjectProtocol::PropagateDownFromSingleton(
     case logra::NodeLevel::kRelation: {
       // S/X on a relation covers every object: their referenced inner
       // units must become visible too.  The caller's singleton lock keeps
-      // each object's ref adjacency stable, so the memo applies.
+      // each object's ref adjacency stable, so the memo applies.  The
+      // whole batch is sorted before entry — per-object order would let
+      // two relation-level propagations interleave shared relations in
+      // opposite orders.
+      std::vector<nf2::RefValue> batch;
       for (nf2::ObjectId obj : store_->ObjectsOf(n.relation)) {
         Result<std::vector<nf2::RefValue>> refs =
             ObjectRefs(n.relation, obj);
         if (!refs.ok()) continue;  // concurrently erased
-        for (const nf2::RefValue& ref : *refs) {
-          CODLOCK_RETURN_IF_ERROR(
-              LockEntryPointInternal(txn, ref, mode, visited));
-        }
+        batch.insert(batch.end(), refs->begin(), refs->end());
+      }
+      SortRefs(batch);
+      for (const nf2::RefValue& ref : batch) {
+        CODLOCK_RETURN_IF_ERROR(
+            LockEntryPointInternal(txn, ref, mode, visited));
       }
       return Status::OK();
     }
     case logra::NodeLevel::kDatabase:
     case logra::NodeLevel::kSegment: {
-      // Cover every relation in scope.
+      // Cover every relation in scope.  One batch across the whole scope:
+      // per-relation batches would interleave with the iteration order and
+      // break the single global (relation desc, object) entry order.
       const nf2::Catalog& catalog = store_->catalog();
+      std::vector<nf2::RefValue> batch;
       for (nf2::RelationId rel = 0; rel < catalog.num_relations(); ++rel) {
         const nf2::RelationDef& rdef = catalog.relation(rel);
         if (n.level == logra::NodeLevel::kDatabase &&
@@ -105,8 +137,16 @@ Status ComplexObjectProtocol::PropagateDownFromSingleton(
             rdef.segment != n.segment) {
           continue;
         }
-        CODLOCK_RETURN_IF_ERROR(PropagateDownFromSingleton(
-            txn, graph_->RelationNode(rel), mode, visited));
+        for (nf2::ObjectId obj : store_->ObjectsOf(rel)) {
+          Result<std::vector<nf2::RefValue>> refs = ObjectRefs(rel, obj);
+          if (!refs.ok()) continue;  // concurrently erased
+          batch.insert(batch.end(), refs->begin(), refs->end());
+        }
+      }
+      SortRefs(batch);
+      for (const nf2::RefValue& ref : batch) {
+        CODLOCK_RETURN_IF_ERROR(
+            LockEntryPointInternal(txn, ref, mode, visited));
       }
       return Status::OK();
     }
@@ -207,6 +247,7 @@ Result<std::vector<nf2::RefValue>> ComplexObjectProtocol::ObjectRefs(
   if (!o.ok()) return o.status();
   std::vector<nf2::RefValue> refs =
       nf2::InstanceStore::CollectRefs((*o)->root);
+  SortRefs(refs);
   const uint64_t after = store_->mutation_epoch();
   MutexLock lk(memo_mu_);
   if (memo_epoch_ != after) {

@@ -1,0 +1,312 @@
+#include "sim/schema_fuzz.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace codlock::sim {
+
+using nf2::AttrKind;
+using nf2::AttrSpec;
+using nf2::Value;
+
+namespace {
+
+/// Random attribute subtree.  \p depth bounds nesting; refs are drawn
+/// from \p sink_names (may be empty).
+AttrSpec RandomAttr(Rng& rng, int depth,
+                    const std::vector<std::string>& sink_names, int* counter) {
+  std::string name = "a" + std::to_string((*counter)++);
+  if (depth <= 0) {
+    return rng.Bernoulli(0.5) ? AttrSpec::Str(name) : AttrSpec::Int(name);
+  }
+  switch (rng.Uniform(6)) {
+    case 0:
+      return AttrSpec::Str(name);
+    case 1:
+      return AttrSpec::Int(name);
+    case 2: {
+      std::vector<AttrSpec> fields;
+      int n = 1 + static_cast<int>(rng.Uniform(3));
+      for (int i = 0; i < n; ++i) {
+        fields.push_back(RandomAttr(rng, depth - 1, sink_names, counter));
+      }
+      return AttrSpec::Tuple(name, std::move(fields));
+    }
+    case 3:
+      return AttrSpec::Set(name,
+                           RandomAttr(rng, depth - 1, sink_names, counter));
+    case 4:
+      return AttrSpec::List(name,
+                            RandomAttr(rng, depth - 1, sink_names, counter));
+    default:
+      if (!sink_names.empty()) {
+        return AttrSpec::Ref(name,
+                             sink_names[rng.Uniform(sink_names.size())]);
+      }
+      return AttrSpec::Str(name);
+  }
+}
+
+/// Builds a value matching the schema subtree at \p attr.  References
+/// pick a uniformly random object of the target relation.
+Value RandomValue(Rng& rng, const nf2::Catalog& catalog, nf2::AttrId attr,
+                  std::unordered_map<nf2::RelationId,
+                                     std::vector<nf2::ObjectId>>& objects,
+                  int* key_counter) {
+  const nf2::AttrDef& def = catalog.attr(attr);
+  switch (def.kind) {
+    case AttrKind::kString:
+      if (def.is_key) {
+        return Value::OfString("k" + std::to_string((*key_counter)++));
+      }
+      return Value::OfString("s" + std::to_string(rng.Uniform(100)));
+    case AttrKind::kInt:
+      return Value::OfInt(static_cast<int64_t>(rng.Uniform(1000)));
+    case AttrKind::kReal:
+      return Value::OfReal(static_cast<double>(rng.Uniform(1000)) / 10.0);
+    case AttrKind::kBool:
+      return Value::OfBool(rng.Bernoulli(0.5));
+    case AttrKind::kTuple: {
+      std::vector<Value> fields;
+      fields.reserve(def.children.size());
+      for (nf2::AttrId c : def.children) {
+        fields.push_back(RandomValue(rng, catalog, c, objects, key_counter));
+      }
+      return Value::OfTuple(std::move(fields));
+    }
+    case AttrKind::kSet:
+    case AttrKind::kList: {
+      std::vector<Value> elems;
+      int n = 1 + static_cast<int>(rng.Uniform(3));
+      for (int i = 0; i < n; ++i) {
+        elems.push_back(
+            RandomValue(rng, catalog, def.children[0], objects, key_counter));
+      }
+      return def.kind == AttrKind::kSet ? Value::OfSet(std::move(elems))
+                                        : Value::OfList(std::move(elems));
+    }
+    case AttrKind::kRef: {
+      const std::vector<nf2::ObjectId>& pool = objects[def.ref_target];
+      // Sinks are always populated before referencing relations.
+      return Value::OfRef(def.ref_target, pool[rng.Uniform(pool.size())]);
+    }
+  }
+  return Value::OfString("?");
+}
+
+void Populate(Rng& rng, FuzzedSchema& f, nf2::RelationId rel, int count,
+              std::unordered_map<nf2::RelationId,
+                                 std::vector<nf2::ObjectId>>& objects,
+              int* key_counter) {
+  nf2::AttrId root = f.catalog->relation(rel).root;
+  for (int i = 0; i < count; ++i) {
+    Value v = RandomValue(rng, *f.catalog, root, objects, key_counter);
+    auto id = f.store->Insert(rel, std::move(v));
+    if (id.ok()) objects[rel].push_back(*id);
+  }
+}
+
+/// Sink relation: key + a small nested collection, no references.
+AttrSpec SinkSpec(const std::string& name, int i) {
+  return AttrSpec::Tuple(
+      name, {
+                AttrSpec::Key(name + "_id"),
+                AttrSpec::Str("payload"),
+                AttrSpec::Set("parts" + std::to_string(i),
+                              AttrSpec::Tuple("part" + std::to_string(i),
+                                              {
+                                                  AttrSpec::Str("pname"),
+                                                  AttrSpec::Int("pno"),
+                                              })),
+            });
+}
+
+}  // namespace
+
+FuzzedSchema BuildFuzzedSchema(uint64_t seed) {
+  Rng rng(seed);
+  FuzzedSchema f;
+  f.name = "fuzz-" + std::to_string(seed);
+  f.catalog = std::make_unique<nf2::Catalog>();
+  nf2::DatabaseId db = *f.catalog->CreateDatabase("db");
+  int num_segs = 1 + static_cast<int>(rng.Uniform(2));
+  std::vector<nf2::SegmentId> segs;
+  for (int s = 0; s < num_segs; ++s) {
+    segs.push_back(*f.catalog->CreateSegment(db, "seg" + std::to_string(s)));
+  }
+  // Sink segments are assigned monotonically in creation order: implicit
+  // propagation enters sinks newest-first (descending relation id), so a
+  // non-monotone assignment would interleave segment chains in orders
+  // that differ between accesses — a queueing-deadlock hazard the
+  // acquisition-order analysis refutes.
+  int num_sinks = 1 + static_cast<int>(rng.Uniform(3));
+  std::vector<size_t> sink_seg;
+  for (int i = 0; i < num_sinks; ++i) sink_seg.push_back(rng.Uniform(segs.size()));
+  std::sort(sink_seg.begin(), sink_seg.end());
+  std::vector<std::string> sink_names;
+  std::vector<nf2::RelationId> sinks;
+  for (int i = 0; i < num_sinks; ++i) {
+    std::string name = "shared" + std::to_string(i);
+    sinks.push_back(*f.catalog->CreateRelation(segs[sink_seg[i]], name,
+                                               SinkSpec(name, i)));
+    sink_names.push_back(std::move(name));
+  }
+
+  // Referencing relations all live in the first segment: segment-level
+  // S/X locks propagate into referenced segments, so schemas where two
+  // segments reference into each other acquire segment locks in opposite
+  // orders — a genuine deadlock hazard the prover refutes.  Generated
+  // schemas follow the segment-forward discipline instead.
+  int num_outer = 1 + static_cast<int>(rng.Uniform(3));
+  std::vector<nf2::RelationId> outers;
+  int counter = 0;
+  for (int i = 0; i < num_outer; ++i) {
+    std::string name = "outer" + std::to_string(i);
+    std::vector<AttrSpec> fields{AttrSpec::Key(name + "_id")};
+    int depth = 1 + static_cast<int>(rng.Uniform(3));
+    int extra = 1 + static_cast<int>(rng.Uniform(3));
+    for (int a = 0; a < extra; ++a) {
+      fields.push_back(RandomAttr(rng, depth, sink_names, &counter));
+    }
+    // Guarantee at least one reference attribute somewhere: schemas
+    // without sharing prove trivially and waste the fuzz budget.
+    fields.push_back(AttrSpec::Set(
+        "refs" + std::to_string(i),
+        AttrSpec::Ref("ref" + std::to_string(i),
+                      sink_names[rng.Uniform(sink_names.size())])));
+    outers.push_back(*f.catalog->CreateRelation(
+        segs[0], name, AttrSpec::Tuple(name, std::move(fields))));
+  }
+
+  f.store = std::make_unique<nf2::InstanceStore>(f.catalog.get());
+  std::unordered_map<nf2::RelationId, std::vector<nf2::ObjectId>> objects;
+  int key_counter = 0;
+  for (nf2::RelationId rel : sinks) {
+    Populate(rng, f, rel, 2 + static_cast<int>(rng.Uniform(3)), objects,
+             &key_counter);
+  }
+  for (nf2::RelationId rel : outers) {
+    Populate(rng, f, rel, 1 + static_cast<int>(rng.Uniform(3)), objects,
+             &key_counter);
+  }
+  return f;
+}
+
+FuzzedSchema BuildDeepRefChain(int depth) {
+  FuzzedSchema f;
+  f.name = "chain-" + std::to_string(depth);
+  f.catalog = std::make_unique<nf2::Catalog>();
+  nf2::DatabaseId db = *f.catalog->CreateDatabase("db");
+  nf2::SegmentId seg = *f.catalog->CreateSegment(db, "seg");
+
+  // Deepest link first so each reference targets an existing relation.
+  std::vector<nf2::RelationId> rels;
+  std::string prev;
+  for (int i = depth; i >= 0; --i) {
+    std::string name = i == 0 ? "outer" : "link" + std::to_string(i);
+    std::vector<AttrSpec> fields{AttrSpec::Key(name + "_id"),
+                                 AttrSpec::Str("payload")};
+    if (!prev.empty()) {
+      fields.push_back(AttrSpec::Ref("next", prev));
+    }
+    rels.push_back(*f.catalog->CreateRelation(
+        seg, name, AttrSpec::Tuple(name, std::move(fields))));
+    prev = name;
+  }
+
+  f.store = std::make_unique<nf2::InstanceStore>(f.catalog.get());
+  Rng rng(depth);
+  std::unordered_map<nf2::RelationId, std::vector<nf2::ObjectId>> objects;
+  int key_counter = 0;
+  for (nf2::RelationId rel : rels) {
+    Populate(rng, f, rel, 2, objects, &key_counter);
+  }
+  return f;
+}
+
+FuzzedSchema BuildDiamondSideEntry() {
+  FuzzedSchema f;
+  f.name = "diamond";
+  f.catalog = std::make_unique<nf2::Catalog>();
+  nf2::DatabaseId db = *f.catalog->CreateDatabase("db");
+  nf2::SegmentId seg1 = *f.catalog->CreateSegment(db, "seg1");
+  nf2::SegmentId seg2 = *f.catalog->CreateSegment(db, "seg2");
+  nf2::RelationId shared =
+      *f.catalog->CreateRelation(seg2, "shared", SinkSpec("shared", 0));
+  auto outer = [&](const std::string& name) {
+    return *f.catalog->CreateRelation(
+        seg1, name,
+        AttrSpec::Tuple(
+            name, {
+                      AttrSpec::Key(name + "_id"),
+                      AttrSpec::List(
+                          "items",
+                          AttrSpec::Tuple("item",
+                                          {
+                                              AttrSpec::Str("label"),
+                                              AttrSpec::Set(
+                                                  "refs",
+                                                  AttrSpec::Ref("ref",
+                                                                "shared")),
+                                          })),
+                  }));
+  };
+  nf2::RelationId left = outer("left");
+  nf2::RelationId right = outer("right");
+
+  f.store = std::make_unique<nf2::InstanceStore>(f.catalog.get());
+  Rng rng(11);
+  std::unordered_map<nf2::RelationId, std::vector<nf2::ObjectId>> objects;
+  int key_counter = 0;
+  Populate(rng, f, shared, 3, objects, &key_counter);
+  Populate(rng, f, left, 2, objects, &key_counter);
+  Populate(rng, f, right, 2, objects, &key_counter);
+  return f;
+}
+
+FuzzedSchema BuildMultiInnerFanIn() {
+  FuzzedSchema f;
+  f.name = "fan-in";
+  f.catalog = std::make_unique<nf2::Catalog>();
+  nf2::DatabaseId db = *f.catalog->CreateDatabase("db");
+  nf2::SegmentId seg = *f.catalog->CreateSegment(db, "seg");
+  const char* sink_names[] = {"tools", "fixtures", "manuals"};
+  std::vector<nf2::RelationId> sinks;
+  for (int i = 0; i < 3; ++i) {
+    sinks.push_back(*f.catalog->CreateRelation(seg, sink_names[i],
+                                               SinkSpec(sink_names[i], i)));
+  }
+  // Overlapping reference sets: {tools, fixtures}, {fixtures, manuals},
+  // {tools, manuals} — every pair of outer units shares a sink.
+  const int pairs[3][2] = {{0, 1}, {1, 2}, {0, 2}};
+  std::vector<nf2::RelationId> outers;
+  for (int i = 0; i < 3; ++i) {
+    std::string name = "station" + std::to_string(i);
+    outers.push_back(*f.catalog->CreateRelation(
+        seg, name,
+        AttrSpec::Tuple(
+            name,
+            {
+                AttrSpec::Key(name + "_id"),
+                AttrSpec::Set("r0", AttrSpec::Ref("ra",
+                                                  sink_names[pairs[i][0]])),
+                AttrSpec::Set("r1", AttrSpec::Ref("rb",
+                                                  sink_names[pairs[i][1]])),
+            })));
+  }
+
+  f.store = std::make_unique<nf2::InstanceStore>(f.catalog.get());
+  Rng rng(23);
+  std::unordered_map<nf2::RelationId, std::vector<nf2::ObjectId>> objects;
+  int key_counter = 0;
+  for (nf2::RelationId rel : sinks) Populate(rng, f, rel, 3, objects,
+                                             &key_counter);
+  for (nf2::RelationId rel : outers) Populate(rng, f, rel, 2, objects,
+                                              &key_counter);
+  return f;
+}
+
+}  // namespace codlock::sim

@@ -1,0 +1,70 @@
+/// \file schema_fuzz.h
+/// \brief Seeded random-schema generator for the static-analysis fuzz
+/// loop (derivation → lint → prove).
+///
+/// Every generated catalog is a valid DAG by construction (references
+/// can only name already-created relations) and follows three schema
+/// disciplines that make it provable deadlock-free:
+///
+///   * sharing stays *flat* — shared sink relations carry no outgoing
+///     references, so the topological propagation order of
+///     `proto/co_protocol.cc` is trivially globally consistent;
+///   * referencing is *segment-forward* — all outer relations live in
+///     the first segment, because two segments referencing into each
+///     other acquire segment-level locks in opposite orders (a genuine
+///     deadlock hazard the prover refutes);
+///   * sink segment placement is *monotone* in creation order, because
+///     propagation enters sinks newest-first and a non-monotone
+///     placement interleaves segment chains inconsistently between
+///     accesses (a queueing hazard, found at fuzz seed 505).
+///
+/// Nested sharing is exercised by the deterministic corpus builders
+/// instead (`BuildDeepRefChain` uses a single reference per level,
+/// which is order-consistent by construction).
+///
+/// The corpus builders produce the committed `tests/fixtures/*.db`
+/// seeds: deep reference chains, diamond side entries and
+/// multi-inner-unit fan-in — the shapes where the visibility and
+/// acquisition-order theorems have historically been subtle.
+
+#ifndef CODLOCK_SIM_SCHEMA_FUZZ_H_
+#define CODLOCK_SIM_SCHEMA_FUZZ_H_
+
+#include <memory>
+#include <string>
+
+#include "nf2/schema.h"
+#include "nf2/store.h"
+
+namespace codlock::sim {
+
+/// \brief One generated schema plus a small populated instance store.
+struct FuzzedSchema {
+  std::string name;
+  std::unique_ptr<nf2::Catalog> catalog;
+  std::unique_ptr<nf2::InstanceStore> store;
+};
+
+/// Generates a random schema from \p seed: 1–2 segments, 1–3 shared sink
+/// relations (no outgoing refs), 1–3 outer relations with random
+/// set/list/tuple nesting and 0–3 reference attributes into the sinks,
+/// plus a handful of instances so the result can also drive the runtime
+/// stack (mc cross-checks, serialization).
+FuzzedSchema BuildFuzzedSchema(uint64_t seed);
+
+/// Linear reference chain outer → c1 → … → c<depth> with exactly one
+/// reference per level (deepest relation created first).
+FuzzedSchema BuildDeepRefChain(int depth);
+
+/// Two outer relations both referencing one shared relation — the
+/// minimal diamond whose side entries rules 1/2 + 3/4 must make visible.
+FuzzedSchema BuildDiamondSideEntry();
+
+/// Three outer relations over three shared sinks with overlapping
+/// reference sets (fan-in), the shape that exercises the sorted global
+/// propagation order.
+FuzzedSchema BuildMultiInnerFanIn();
+
+}  // namespace codlock::sim
+
+#endif  // CODLOCK_SIM_SCHEMA_FUZZ_H_

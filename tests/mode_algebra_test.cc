@@ -1,0 +1,143 @@
+/// \file mode_algebra_test.cc
+/// \brief The §3 mode matrices satisfy the algebra laws — as plain ctest.
+///
+/// `logra::CheckModeAlgebra` quantifies the laws over an explicit
+/// `ModeAlgebra`; this test runs it over the *shipped* matrix (sampled
+/// from `lock/mode.h`) and then pins the edge cases a law-level check can
+/// gloss over: the full SIX row/column of the compatibility and supremum
+/// matrices, and `IntentionFor` on every mode including the pure
+/// intention modes themselves.
+
+#include <gtest/gtest.h>
+
+#include "lock/mode.h"
+#include "logra/prove.h"
+
+namespace codlock::logra {
+namespace {
+
+using lock::LockMode;
+
+constexpr LockMode kAll[] = {LockMode::kNL, LockMode::kIS, LockMode::kIX,
+                             LockMode::kS,  LockMode::kSIX, LockMode::kX};
+
+TEST(ModeAlgebraTest, ShippedMatrixSatisfiesAllLaws) {
+  ProverReport report = CheckModeAlgebra(ModeAlgebra::Shipped());
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  // The law count is part of the contract: a silently skipped law family
+  // would show up here before it shows up as a missed regression.
+  EXPECT_GE(report.laws_checked, 15u);
+}
+
+TEST(ModeAlgebraTest, SixRowOfCompatibilityMatrix) {
+  // §3: SIX = S + IX.  It is compatible with IS only — it already holds
+  // a read of the whole subtree (excludes IX, S, SIX) and announces
+  // writes below (excludes S, X).
+  EXPECT_TRUE(lock::Compatible(LockMode::kSIX, LockMode::kNL));
+  EXPECT_TRUE(lock::Compatible(LockMode::kSIX, LockMode::kIS));
+  EXPECT_FALSE(lock::Compatible(LockMode::kSIX, LockMode::kIX));
+  EXPECT_FALSE(lock::Compatible(LockMode::kSIX, LockMode::kS));
+  EXPECT_FALSE(lock::Compatible(LockMode::kSIX, LockMode::kSIX));
+  EXPECT_FALSE(lock::Compatible(LockMode::kSIX, LockMode::kX));
+  // Column equals row: symmetry on the SIX line specifically.
+  for (LockMode m : kAll) {
+    EXPECT_EQ(lock::Compatible(LockMode::kSIX, m),
+              lock::Compatible(m, LockMode::kSIX))
+        << LockModeName(m);
+  }
+}
+
+TEST(ModeAlgebraTest, SixIsTheSupremumOfSAndIX) {
+  EXPECT_EQ(lock::Supremum(LockMode::kS, LockMode::kIX), LockMode::kSIX);
+  EXPECT_EQ(lock::Supremum(LockMode::kIX, LockMode::kS), LockMode::kSIX);
+  // SIX absorbs both of its components and everything below them.
+  EXPECT_EQ(lock::Supremum(LockMode::kSIX, LockMode::kS), LockMode::kSIX);
+  EXPECT_EQ(lock::Supremum(LockMode::kSIX, LockMode::kIX), LockMode::kSIX);
+  EXPECT_EQ(lock::Supremum(LockMode::kSIX, LockMode::kIS), LockMode::kSIX);
+  EXPECT_EQ(lock::Supremum(LockMode::kSIX, LockMode::kNL), LockMode::kSIX);
+  // Only X tops it.
+  EXPECT_EQ(lock::Supremum(LockMode::kSIX, LockMode::kX), LockMode::kX);
+}
+
+TEST(ModeAlgebraTest, SupremumIsAJoinSemilattice) {
+  for (LockMode a : kAll) {
+    EXPECT_EQ(lock::Supremum(a, a), a) << LockModeName(a);
+    EXPECT_EQ(lock::Supremum(a, LockMode::kNL), a);  // NL identity
+    EXPECT_EQ(lock::Supremum(a, LockMode::kX), LockMode::kX);  // X top
+    for (LockMode b : kAll) {
+      EXPECT_EQ(lock::Supremum(a, b), lock::Supremum(b, a));
+      for (LockMode c : kAll) {
+        EXPECT_EQ(lock::Supremum(lock::Supremum(a, b), c),
+                  lock::Supremum(a, lock::Supremum(b, c)));
+      }
+    }
+  }
+}
+
+TEST(ModeAlgebraTest, CompatibilityIsDownwardClosed) {
+  // a ~ b and a' <= a  =>  a' ~ b: weakening a held mode can never
+  // manufacture a conflict.  This is the law the shielded-wait deadlock
+  // analysis in logra/prove leans on.
+  ModeAlgebra alg = ModeAlgebra::Shipped();
+  for (LockMode a : kAll) {
+    for (LockMode b : kAll) {
+      if (!alg.Compatible(a, b)) continue;
+      for (LockMode aw : kAll) {
+        if (alg.Leq(aw, a)) {
+          EXPECT_TRUE(alg.Compatible(aw, b))
+              << LockModeName(aw) << " <= " << LockModeName(a)
+              << " but conflicts with " << LockModeName(b);
+        }
+      }
+    }
+  }
+}
+
+TEST(ModeAlgebraTest, IntentionForEdgeCases) {
+  // Pure reads descend as IS, anything carrying write intent as IX.
+  EXPECT_EQ(lock::IntentionFor(LockMode::kS), LockMode::kIS);
+  EXPECT_EQ(lock::IntentionFor(LockMode::kX), LockMode::kIX);
+  EXPECT_EQ(lock::IntentionFor(LockMode::kSIX), LockMode::kIX);
+  // Intention modes are fixed points; NL needs no announcement.
+  EXPECT_EQ(lock::IntentionFor(LockMode::kIS), LockMode::kIS);
+  EXPECT_EQ(lock::IntentionFor(LockMode::kIX), LockMode::kIX);
+  EXPECT_EQ(lock::IntentionFor(LockMode::kNL), LockMode::kNL);
+  // Every non-NL intention is a pure intention mode below its argument.
+  ModeAlgebra alg = ModeAlgebra::Shipped();
+  for (LockMode m : kAll) {
+    if (m == LockMode::kNL) continue;
+    LockMode i = lock::IntentionFor(m);
+    EXPECT_TRUE(lock::IsIntention(i)) << LockModeName(m);
+    EXPECT_TRUE(alg.Leq(i, m)) << LockModeName(m);
+  }
+}
+
+TEST(ModeAlgebraTest, ConflictingModesHaveCompatibleIntentions) {
+  // The DAG-protocol linchpin: a conflict between access modes must be
+  // *re-detectable deeper down*, which requires the intention modes the
+  // two transactions place on shared ancestors to coexist.
+  for (LockMode a : kAll) {
+    for (LockMode b : kAll) {
+      if (a == LockMode::kNL || b == LockMode::kNL) continue;
+      if (!lock::Compatible(a, b)) {
+        EXPECT_TRUE(lock::Compatible(lock::IntentionFor(a),
+                                     lock::IntentionFor(b)))
+            << LockModeName(a) << " vs " << LockModeName(b);
+      }
+    }
+  }
+}
+
+TEST(ModeAlgebraTest, BrokenMatrixIsRefutedWithNamedLaw) {
+  // CheckModeAlgebra must not just fail but say *which* law died.
+  ModeAlgebra alg = ModeAlgebra::Shipped();
+  alg.compat[static_cast<int>(LockMode::kS)][static_cast<int>(LockMode::kX)] =
+      true;  // one-directional: breaks symmetry
+  ProverReport report = CheckModeAlgebra(alg);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.findings[0].check, ProofCheck::kModeAlgebra);
+  EXPECT_FALSE(report.findings[0].law.empty());
+}
+
+}  // namespace
+}  // namespace codlock::logra

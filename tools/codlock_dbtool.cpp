@@ -21,6 +21,7 @@
 #include "sim/engine.h"
 #include "sim/fixtures.h"
 #include "sim/harness.h"
+#include "tool_common.h"
 #include "util/metrics.h"
 #include "ws/server.h"
 
@@ -44,7 +45,7 @@ int Usage() {
          "                          reclamation sweep), then print the\n"
          "                          lease table with deadlines, fencing\n"
          "                          epochs and held long locks\n";
-  return 2;
+  return toolcli::kExitUsage;
 }
 
 int Demo(const std::string& path) {
@@ -194,15 +195,6 @@ int Stats(nf2::LoadedDatabase& db) {
   return r.Reconciles() ? 0 : 1;
 }
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  return out;
-}
-
 int Leases(nf2::LoadedDatabase& db, bool json) {
   // The probe needs three distinct complex objects with a disjoint
   // subtree; the demo database's cells qualify via their c_objects.
@@ -278,7 +270,7 @@ int Leases(nf2::LoadedDatabase& db, bool json) {
                 << ",\"renewals\":" << row.renewals << ",\"fence\":[";
       for (size_t j = 0; j < row.fence.size(); ++j) {
         std::cout << (j ? "," : "") << "{\"root\":\""
-                  << JsonEscape(row.fence[j].root.ToString())
+                  << toolcli::JsonEscape(row.fence[j].root.ToString())
                   << "\",\"epoch\":" << row.fence[j].epoch << "}";
       }
       std::cout << "],\"held_long_locks\":" << row.held.size() << "}";
@@ -288,7 +280,7 @@ int Leases(nf2::LoadedDatabase& db, bool json) {
         server.stable_storage().FenceEpochs();
     for (size_t i = 0; i < epochs.size(); ++i) {
       std::cout << (i ? "," : "") << "{\"root\":\""
-                << JsonEscape(epochs[i].root.ToString())
+                << toolcli::JsonEscape(epochs[i].root.ToString())
                 << "\",\"epoch\":" << epochs[i].epoch << "}";
     }
     std::cout << "]}\n";
@@ -310,7 +302,8 @@ int Leases(nf2::LoadedDatabase& db, bool json) {
     }
   }
   std::cout << "\nfencing epochs in stable storage:\n";
-  for (const lock::FenceEpochRecord& e : server.stable_storage().FenceEpochs()) {
+  for (const lock::FenceEpochRecord& e :
+       server.stable_storage().FenceEpochs()) {
     std::cout << "  " << e.root.ToString() << " -> " << e.epoch << "\n";
   }
   std::cout << "\nlock manager counters:\n"

@@ -48,6 +48,7 @@
 #include "lock/long_lock_store.h"
 #include "proto/validator.h"
 #include "sim/fixtures.h"
+#include "tool_common.h"
 #include "ws/server.h"
 
 using namespace codlock;
@@ -387,15 +388,6 @@ TruncateResult TruncateSweep(const std::string& dir) {
   return res;
 }
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -415,7 +407,7 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: codlock_faultsweep [--json] [--dir <d>] "
                    "[sweep|truncate|leases|all]\n";
-      return 2;
+      return toolcli::kExitUsage;
     }
   }
   std::filesystem::create_directories(dir);
@@ -461,19 +453,21 @@ int main(int argc, char** argv) {
     os << "{\n  \"points\": [\n";
     for (size_t i = 0; i < points.size(); ++i) {
       const PointResult& r = points[i];
-      os << "    {\"point\": \"" << JsonEscape(r.point) << "\", \"kind\": \""
+      os << "    {\"point\": \"" << toolcli::JsonEscape(r.point)
+         << "\", \"kind\": \""
          << r.kind << "\", \"fired\": " << (r.fired ? "true" : "false")
          << ", \"passed\": " << (r.passed ? "true" : "false")
-         << ", \"detail\": \"" << JsonEscape(r.detail) << "\"}"
+         << ", \"detail\": \"" << toolcli::JsonEscape(r.detail) << "\"}"
          << (i + 1 < points.size() ? "," : "") << "\n";
     }
     os << "  ],\n  \"leases\": [\n";
     for (size_t i = 0; i < leases.size(); ++i) {
       const PointResult& r = leases[i];
-      os << "    {\"point\": \"" << JsonEscape(r.point) << "\", \"kind\": \""
+      os << "    {\"point\": \"" << toolcli::JsonEscape(r.point)
+         << "\", \"kind\": \""
          << r.kind << "\", \"fired\": " << (r.fired ? "true" : "false")
          << ", \"passed\": " << (r.passed ? "true" : "false")
-         << ", \"detail\": \"" << JsonEscape(r.detail) << "\"}"
+         << ", \"detail\": \"" << toolcli::JsonEscape(r.detail) << "\"}"
          << (i + 1 < leases.size() ? "," : "") << "\n";
     }
     os << "  ]";
@@ -484,7 +478,7 @@ int main(int argc, char** argv) {
          << ", \"recovered_g1\": " << trunc.recovered_g1
          << ", \"recovered_g0\": " << trunc.recovered_g0
          << ", \"passed\": " << (trunc.passed ? "true" : "false")
-         << ", \"detail\": \"" << JsonEscape(trunc.detail) << "\"}";
+         << ", \"detail\": \"" << toolcli::JsonEscape(trunc.detail) << "\"}";
     }
     os << ",\n  \"passed\": " << (ok ? "true" : "false") << "\n}\n";
     std::cout << os.str();
@@ -511,5 +505,5 @@ int main(int argc, char** argv) {
     std::cout << (ok ? "crashpoint sweep passed" : "crashpoint sweep FAILED")
               << "\n";
   }
-  return ok ? 0 : 1;
+  return ok ? toolcli::kExitOk : toolcli::kExitFindings;
 }

@@ -20,7 +20,7 @@
 #include "logra/lint.h"
 #include "logra/lock_graph.h"
 #include "nf2/serialize.h"
-#include "sim/fixtures.h"
+#include "tool_common.h"
 
 using namespace codlock;
 
@@ -34,9 +34,9 @@ struct CliOptions {
 };
 
 int Usage() {
-  std::cerr << "usage: codlock_lint [--fixture=cells|figure7|synthetic|"
-               "synthetic-disjoint|all] [--db=<path>] [--json] [--quiet]\n";
-  return 2;
+  std::cerr << "usage: codlock_lint [--fixture=" << toolcli::kFixtureChoices
+            << "] [--db=<path>] [--json] [--quiet]\n";
+  return toolcli::kExitUsage;
 }
 
 /// Lints one catalog; returns true when clean.
@@ -45,43 +45,12 @@ bool LintOne(const std::string& name, const nf2::Catalog& catalog,
   logra::LockGraph graph = logra::LockGraph::Build(catalog);
   logra::LintReport report = logra::LintLockGraph(graph, catalog);
   if (opts.json) {
-    std::cout << "{\"schema\":\"" << name << "\",\"report\":"
-              << report.ToJson() << "}\n";
+    std::cout << "{\"schema\":\"" << toolcli::JsonEscape(name)
+              << "\",\"report\":" << report.ToJson() << "}\n";
   } else if (!opts.quiet || !report.ok()) {
     std::cout << name << ": " << report.ToString();
   }
   return report.ok();
-}
-
-bool LintFixture(const std::string& which, const CliOptions& opts,
-                 bool* matched) {
-  bool ok = true;
-  bool all = which == "all";
-  *matched = all;
-  if (all || which == "cells") {
-    *matched = true;
-    sim::CellsFixture f = sim::BuildCellsEffectors();
-    ok &= LintOne("cells", *f.catalog, opts);
-  }
-  if (all || which == "figure7") {
-    *matched = true;
-    sim::CellsFixture f = sim::BuildFigure7Instance();
-    ok &= LintOne("figure7", *f.catalog, opts);
-  }
-  if (all || which == "synthetic") {
-    *matched = true;
-    sim::SyntheticParams params;  // defaults: depth 3, shared refs
-    sim::SyntheticFixture f = sim::BuildSynthetic(params);
-    ok &= LintOne("synthetic", *f.catalog, opts);
-  }
-  if (all || which == "synthetic-disjoint") {
-    *matched = true;
-    sim::SyntheticParams params;
-    params.refs_per_leaf = 0;  // fully disjoint complex objects
-    sim::SyntheticFixture f = sim::BuildSynthetic(params);
-    ok &= LintOne("synthetic-disjoint", *f.catalog, opts);
-  }
-  return ok;
 }
 
 }  // namespace
@@ -109,13 +78,17 @@ int main(int argc, char** argv) {
     Result<nf2::LoadedDatabase> db = nf2::LoadDatabaseFromFile(opts.db_path);
     if (!db.ok()) {
       std::cerr << "error: " << db.status() << "\n";
-      return 2;
+      return toolcli::kExitUsage;
     }
     ok &= LintOne(opts.db_path, *db->catalog, opts);
   } else {
     bool matched = false;
-    ok &= LintFixture(opts.fixture, opts, &matched);
+    std::vector<toolcli::SchemaFixture> fixtures =
+        toolcli::ResolveSchemaFixtures(opts.fixture, &matched);
     if (!matched) return Usage();
+    for (const toolcli::SchemaFixture& f : fixtures) {
+      ok &= LintOne(f.name, *f.catalog, opts);
+    }
   }
-  return ok ? 0 : 1;
+  return ok ? toolcli::kExitOk : toolcli::kExitFindings;
 }

@@ -34,6 +34,7 @@
 #include "mc/explorer.h"
 #include "mc/lease_oracle.h"
 #include "mc/workload.h"
+#include "tool_common.h"
 #include "util/mutation_points.h"
 
 using namespace codlock;
@@ -71,7 +72,7 @@ int Usage() {
               << mutation::MutantName(static_cast<mutation::Mutant>(m));
   }
   std::cerr << "\n";
-  return 2;
+  return toolcli::kExitUsage;
 }
 
 std::vector<mc::WorkloadSpec> SelectWorkloads(const std::string& which,
@@ -234,7 +235,7 @@ int RunKillSuite(const CliOptions& cli) {
     ok &= killed;
   }
   std::cout << "kill-suite: " << (ok ? "PASS" : "FAIL") << "\n";
-  return ok ? 0 : 1;
+  return ok ? toolcli::kExitOk : toolcli::kExitFindings;
 }
 
 int RunLeaseProtocol(const CliOptions& cli) {
@@ -273,7 +274,7 @@ int RunLeaseProtocol(const CliOptions& cli) {
     }
     if (!s.clean()) ++violating;
   }
-  return violating == 0 ? 0 : 1;
+  return violating == 0 ? toolcli::kExitOk : toolcli::kExitFindings;
 }
 
 }  // namespace
@@ -326,9 +327,9 @@ int main(int argc, char** argv) {
     bool killed = violating > 0;
     std::cout << "mutant " << cli.mutant << ": "
               << (killed ? "KILLED" : "SURVIVED") << "\n";
-    return killed ? 0 : 1;
+    return killed ? toolcli::kExitOk : toolcli::kExitFindings;
   }
 
   int violating = ExploreAll(cli, workloads, policies, cache_modes);
-  return violating == 0 ? 0 : 1;
+  return violating == 0 ? toolcli::kExitOk : toolcli::kExitFindings;
 }

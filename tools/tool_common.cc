@@ -1,0 +1,68 @@
+#include "tool_common.h"
+
+#include <cstdio>
+
+#include "sim/fixtures.h"
+
+namespace codlock::toolcli {
+
+std::vector<SchemaFixture> ResolveSchemaFixtures(const std::string& which,
+                                                 bool* matched) {
+  std::vector<SchemaFixture> out;
+  bool all = which == "all";
+  *matched = all;
+  if (all || which == "cells") {
+    *matched = true;
+    sim::CellsFixture f = sim::BuildCellsEffectors();
+    out.push_back({"cells", std::move(f.catalog), std::move(f.store)});
+  }
+  if (all || which == "figure7") {
+    *matched = true;
+    sim::CellsFixture f = sim::BuildFigure7Instance();
+    out.push_back({"figure7", std::move(f.catalog), std::move(f.store)});
+  }
+  if (all || which == "synthetic") {
+    *matched = true;
+    sim::SyntheticParams params;  // defaults: depth 3, shared refs
+    sim::SyntheticFixture f = sim::BuildSynthetic(params);
+    out.push_back({"synthetic", std::move(f.catalog), std::move(f.store)});
+  }
+  if (all || which == "synthetic-disjoint") {
+    *matched = true;
+    sim::SyntheticParams params;
+    params.refs_per_leaf = 0;  // fully disjoint complex objects
+    sim::SyntheticFixture f = sim::BuildSynthetic(params);
+    out.push_back(
+        {"synthetic-disjoint", std::move(f.catalog), std::move(f.store)});
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace codlock::toolcli
