@@ -1,0 +1,45 @@
+// Shared "context" block for the custom-JSON benchmarks.
+//
+// Baselines are only comparable when captured on the same class of
+// machine and build: tools/bench_regression_check.py refuses (or loudly
+// warns) when the committed baseline and the fresh run disagree on
+// `library_build_type` or `num_cpus`.  Every custom-JSON bench embeds
+// this block so the guard has something to compare.
+
+#ifndef CODLOCK_BENCH_BENCH_CONTEXT_H_
+#define CODLOCK_BENCH_BENCH_CONTEXT_H_
+
+#include <ostream>
+#include <thread>
+
+#include <unistd.h>
+
+namespace codlock::bench {
+
+inline long NumCpusOnline() {
+#ifdef _SC_NPROCESSORS_ONLN
+  long n = sysconf(_SC_NPROCESSORS_ONLN);
+  if (n > 0) return n;
+#endif
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<long>(hc) : 1;
+}
+
+inline const char* LibraryBuildType() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+/// Emits `"context": {...}` (no trailing comma/newline) at \p indent.
+inline void EmitContextJson(std::ostream& os, const char* indent) {
+  os << indent << "\"context\": {\"num_cpus\": " << NumCpusOnline()
+     << ", \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+     << ", \"library_build_type\": \"" << LibraryBuildType() << "\"}";
+}
+
+}  // namespace codlock::bench
+
+#endif  // CODLOCK_BENCH_BENCH_CONTEXT_H_

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_context.h"
 #include "sim/fixtures.h"
 #include "ws/server.h"
 
@@ -147,7 +148,9 @@ int main(int argc, char** argv) {
   if (json) {
     std::cout.setf(std::ios::fixed);
     std::cout.precision(1);
-    std::cout << "{\n  \"benchmark\": \"lease\",\n  \"scenarios\": {\n"
+    std::cout << "{\n  \"benchmark\": \"lease\",\n";
+    bench::EmitContextJson(std::cout, "  ");
+    std::cout << ",\n  \"scenarios\": {\n"
               << "    \"checkout_checkin\": {\"ops\": " << cycle.ops
               << ", \"throughput_tps\": " << cycle.tps()
               << ", \"ns_per_op\": " << cycle.ns_per_op() << "},\n"

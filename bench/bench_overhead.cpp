@@ -17,6 +17,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "bench_context.h"
 #include "sim/fixtures.h"
 #include "sim/harness.h"
 
@@ -145,8 +146,9 @@ int main(int argc, char** argv) {
   sim::WorkloadReport b =
       RunDisjoint(sf, sim::ProtocolChoice::kSysRAllParents, "classical GLPT76");
   if (g_json) {
-    std::cout << "{\n  \"benchmark\": \"overhead\",\n"
-              << "  \"graph_build_us_per_catalog\": " << graph_build_us
+    std::cout << "{\n  \"benchmark\": \"overhead\",\n";
+    bench::EmitContextJson(std::cout, "  ");
+    std::cout << ",\n  \"graph_build_us_per_catalog\": " << graph_build_us
               << ",\n  \"planning_ns_per_query\": " << planning_ns
               << ",\n  \"disjoint_workload\": {\n";
     PrintReportJson(std::cout, "proposed", a);

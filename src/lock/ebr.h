@@ -1,0 +1,163 @@
+/// \file ebr.h
+/// \brief Epoch-based reclamation for lock-table entry nodes.
+///
+/// The optimistic fast path (`LockManager::TryFastpathAcquire`) traverses
+/// the per-shard bucket chains and dereferences `Entry` nodes without any
+/// mutex.  A retired node therefore cannot be reused (its key rewritten,
+/// its chain link repointed) while a concurrent reader may still hold a
+/// pointer into it.  This header provides the classic epoch scheme:
+///
+///  * every reader *pins* the global epoch for the duration of its
+///    traversal (a `Guard`),
+///  * retiring a node stamps it with `Stamp()` — one past every epoch a
+///    concurrently pinned reader can have observed before the unlink,
+///  * a stamped node is reusable once every registered thread is either
+///    idle or pinned at an epoch >= the stamp (`MinActive()`), because a
+///    reader pinned at or after the stamp provably observed the unlink
+///    (the pin validates against the global counter *after* publishing
+///    itself, so the stamp's fetch_add happens-before its traversal).
+///
+/// The pin protocol closes the publish/scan race with sequentially
+/// consistent operations: a reader stores its epoch and then re-reads the
+/// global counter; if a reclaimer's scan missed the store, the reader's
+/// re-read is ordered after the reclaimer's stamp and the reader re-pins
+/// at the newer epoch — at which point the unlink is visible to it and the
+/// node is unreachable.
+///
+/// Registration is process-wide (one slot array shared by every
+/// `LockManager`); a thread registers on first use and releases its record
+/// at thread exit.  When the fixed table is exhausted, `Guard::ok()`
+/// returns false and callers must fall back to their mutex-protected slow
+/// path — reclamation never blocks and never allocates.
+
+#ifndef CODLOCK_LOCK_EBR_H_
+#define CODLOCK_LOCK_EBR_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace codlock::lock::ebr {
+
+class Reclaimer {
+ public:
+  /// Epoch value meaning "not inside any read-side critical section".
+  static constexpr uint64_t kIdle = ~uint64_t{0};
+  /// Fixed registration table; threads beyond this run slow-path only.
+  static constexpr size_t kMaxThreads = 512;
+
+  Reclaimer() = default;
+  Reclaimer(const Reclaimer&) = delete;
+  Reclaimer& operator=(const Reclaimer&) = delete;
+
+ private:
+  struct Record {
+    std::atomic<uint64_t> epoch{kIdle};
+    std::atomic<bool> used{false};
+  };
+
+ public:
+  /// RAII pin of the global epoch for one read-side critical section.
+  /// Guards must not nest on one thread (each would clobber the record).
+  class Guard {
+   public:
+    explicit Guard(Reclaimer& r) : rec_(r.LocalRecord()) {
+      if (rec_ == nullptr) return;
+      uint64_t e = r.global_.load(std::memory_order_seq_cst);
+      rec_->epoch.store(e, std::memory_order_seq_cst);
+      // Validate: if the counter moved past our published pin, a
+      // reclaimer may have scanned before seeing it — re-pin at the newer
+      // epoch, from which every earlier unlink is visible.
+      uint64_t g;
+      while ((g = r.global_.load(std::memory_order_seq_cst)) != e) {
+        e = g;
+        rec_->epoch.store(e, std::memory_order_seq_cst);
+      }
+    }
+    ~Guard() {
+      if (rec_ != nullptr) {
+        rec_->epoch.store(kIdle, std::memory_order_release);
+      }
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+    /// False when the registration table is full: the caller holds no pin
+    /// and must not touch shared nodes outside its mutex.
+    bool ok() const { return rec_ != nullptr; }
+
+   private:
+    Record* rec_;
+  };
+
+  /// Advances the global epoch and returns the stamp for a node unlinked
+  /// *before* this call (program order).  Readers pinned below the stamp
+  /// may still reach the node; readers at or above it cannot.
+  uint64_t Stamp() {
+    return global_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+
+  /// Smallest epoch any thread is currently pinned at (kIdle when all
+  /// threads are idle).  A node stamped S is reusable iff MinActive() >= S.
+  uint64_t MinActive() const {
+    uint64_t min = kIdle;
+    const size_t n = high_water_.load(std::memory_order_acquire);
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t e = records_[i].epoch.load(std::memory_order_seq_cst);
+      if (e < min) min = e;
+    }
+    return min;
+  }
+
+  bool SafeToReclaim(uint64_t stamp) const { return MinActive() >= stamp; }
+
+ private:
+  friend class Guard;
+
+  /// Thread-exit hook: returns the record to the free pool.
+  struct Registration {
+    Record* rec = nullptr;
+    ~Registration() {
+      if (rec != nullptr) {
+        rec->epoch.store(kIdle, std::memory_order_release);
+        rec->used.store(false, std::memory_order_release);
+      }
+    }
+  };
+
+  Record* LocalRecord() {
+    thread_local Registration reg;
+    if (reg.rec != nullptr) return reg.rec;
+    for (size_t i = 0; i < kMaxThreads; ++i) {
+      bool expected = false;
+      if (records_[i].used.compare_exchange_strong(
+              expected, true, std::memory_order_acq_rel)) {
+        // Grow the scan bound monotonically to the highest slot ever used.
+        size_t hw = high_water_.load(std::memory_order_relaxed);
+        while (hw < i + 1 && !high_water_.compare_exchange_weak(
+                                 hw, i + 1, std::memory_order_acq_rel)) {
+        }
+        reg.rec = &records_[i];
+        return reg.rec;
+      }
+    }
+    return nullptr;
+  }
+
+  std::array<Record, kMaxThreads> records_{};
+  std::atomic<uint64_t> global_{1};
+  std::atomic<size_t> high_water_{0};
+};
+
+/// Process-wide reclaimer shared by every lock manager.  A single epoch
+/// domain is conservative (one manager's pinned reader delays another
+/// manager's reuse) but keeps thread registration trivial.
+inline Reclaimer& Global() {
+  static Reclaimer r;
+  return r;
+}
+
+}  // namespace codlock::lock::ebr
+
+#endif  // CODLOCK_LOCK_EBR_H_

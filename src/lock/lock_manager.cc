@@ -35,6 +35,14 @@ void NoteHoldersAdded(LockStats& stats, int64_t n) {
 
 void NoteHolderAdded(LockStats& stats) { NoteHoldersAdded(stats, 1); }
 
+/// Modes eligible for the optimistic fast path: the shared modes, which
+/// are mutually compatible in every combination — concurrent fast-path
+/// claims therefore need no ordering among themselves, only against the
+/// mutex side (the seqlock summary provides that).
+bool FastpathEligible(LockMode mode) {
+  return mode == LockMode::kS || mode == LockMode::kIS;
+}
+
 }  // namespace
 
 std::string_view DeadlockPolicyName(DeadlockPolicy policy) {
@@ -51,13 +59,42 @@ std::string_view DeadlockPolicyName(DeadlockPolicy policy) {
   return "?";
 }
 
+size_t LockManager::DerivedNumShards(unsigned hardware_concurrency) {
+  if (hardware_concurrency == 0) return 16;  // unknown: historical default
+  const size_t want =
+      std::bit_ceil(size_t{4} * static_cast<size_t>(hardware_concurrency));
+  return std::clamp(want, size_t{16}, size_t{1024});
+}
+
 LockManager::LockManager(Options options)
     : options_(options),
       policy_(options.detect_deadlocks ? options.deadlock_policy
                                        : DeadlockPolicy::kTimeoutOnly),
-      shards_(std::bit_ceil(
-          static_cast<size_t>(std::max(1, options.num_shards)))),
-      shard_mask_(shards_.size() - 1) {}
+      shards_(options.num_shards > 0
+                  ? std::bit_ceil(static_cast<size_t>(options.num_shards))
+                  : DerivedNumShards(std::thread::hardware_concurrency())),
+      shard_mask_(shards_.size() - 1),
+      shard_bits_(std::countr_zero(shards_.size())) {}
+
+LockManager::~LockManager() {
+  // Standard lifetime contract: no concurrent users at destruction.  Take
+  // each shard mutex anyway so the analysis is satisfied and any release
+  // store is flushed.
+  for (Shard& shard : shards_) {
+    MutexLock lk(shard.mu);
+    for (auto& head : shard.buckets) {
+      Entry* e = head.load(std::memory_order_relaxed);
+      head.store(nullptr, std::memory_order_relaxed);
+      while (e != nullptr) {
+        Entry* next = e->next.load(std::memory_order_relaxed);
+        delete e;
+        e = next;
+      }
+    }
+    for (Entry* e : shard.retired) delete e;
+    shard.retired.clear();
+  }
+}
 
 void LockManager::Wound(TxnId txn) {
   {
@@ -85,8 +122,6 @@ void LockManager::ClearWound(TxnId txn) {
   }
 }
 
-LockManager::~LockManager() = default;
-
 void LockManager::AttachCache(TxnId txn, TxnLockCache* cache) {
   MutexLock lk(caches_mu_);
   caches_[txn] = cache;
@@ -112,6 +147,110 @@ void LockManager::InvalidateAttachedCache(TxnId txn) {
   if (it != caches_.end()) it->second->Invalidate();
 }
 
+// ---- Entry index (lock-free bucket chains + epoch-pooled nodes) ----------
+
+LockManager::Entry* LockManager::FindEntry(const Shard& shard,
+                                           const ResourceId& res) const {
+  // Safe under the shard mutex *or* under an EBR guard: `res` and `next`
+  // of a linked node are immutable, and an unlinked node keeps its `next`
+  // pointing into the live tail so a reader mid-traversal continues.
+  Entry* e = shard.buckets[BucketIndexFor(res)].load(std::memory_order_seq_cst);
+  while (e != nullptr) {
+    if (e->res == res) return e;
+    e = e->next.load(std::memory_order_seq_cst);
+  }
+  return nullptr;
+}
+
+LockManager::Entry& LockManager::EntryFor(Shard& shard, const ResourceId& res) {
+  const size_t b = BucketIndexFor(res);
+  Entry* head = shard.buckets[b].load(std::memory_order_relaxed);
+  for (Entry* e = head; e != nullptr;
+       e = e->next.load(std::memory_order_relaxed)) {
+    if (e->res == res) return *e;
+  }
+  Entry* e;
+  if (!shard.retired.empty() &&
+      ebr::Global().SafeToReclaim(shard.retired.front()->retire_stamp)) {
+    // The oldest retired node is epoch-safe: no pinned reader can still
+    // hold a pointer into it, so its key may be rewritten and its chain
+    // link repointed.
+    e = shard.retired.front();
+    shard.retired.erase(shard.retired.begin());
+    e->res = res;
+    e->summary.store(0, std::memory_order_relaxed);
+    e->holders.clear();
+    e->waiters.clear();
+  } else {
+    e = new Entry();
+    e->res = res;
+  }
+  e->next.store(head, std::memory_order_relaxed);
+  // Publish: the seq_cst store orders the key/link writes above before the
+  // node becomes reachable to lock-free readers.
+  shard.buckets[b].store(e, std::memory_order_seq_cst);
+  ++shard.num_entries;
+  return *e;
+}
+
+void LockManager::RetireEntry(Shard& shard, Entry& entry) {
+  const size_t b = BucketIndexFor(entry.res);
+  Entry* cur = shard.buckets[b].load(std::memory_order_relaxed);
+  if (cur == &entry) {
+    shard.buckets[b].store(entry.next.load(std::memory_order_relaxed),
+                           std::memory_order_seq_cst);
+  } else {
+    while (cur != nullptr) {
+      Entry* next = cur->next.load(std::memory_order_relaxed);
+      if (next == &entry) break;
+      cur = next;
+    }
+    if (cur == nullptr) return;  // not linked — nothing to do (defensive)
+    cur->next.store(entry.next.load(std::memory_order_relaxed),
+                    std::memory_order_seq_cst);
+  }
+  // The node's own `next` stays intact: a pinned reader that reached it
+  // before the unlink continues through to the live tail of the chain.
+  entry.summary.fetch_or(kSummaryRetired, std::memory_order_seq_cst);
+  entry.holders.clear();
+  entry.waiters.clear();
+  // Stamp *after* the unlink: a reader pinned at or above the stamp
+  // provably validated its pin after the unlink became visible and cannot
+  // reach this node any more.
+  entry.retire_stamp = ebr::Global().Stamp();
+  --shard.num_entries;
+  shard.retired.push_back(&entry);
+  // Bound the idle pool; only an epoch-safe node may be freed outright.
+  if (shard.retired.size() > kEntryPoolSize &&
+      ebr::Global().SafeToReclaim(shard.retired.front()->retire_stamp)) {
+    delete shard.retired.front();
+    shard.retired.erase(shard.retired.begin());
+  }
+}
+
+void LockManager::MaybeRetireEntry(Shard& shard, Entry& entry) {
+  if ((entry.summary.load(std::memory_order_relaxed) & kSummaryRetired) != 0) {
+    return;  // already unlinked by an earlier repair
+  }
+  if (entry.holders.empty() && entry.waiters.empty() && FpSlotsEmpty(entry)) {
+    RetireEntry(shard, entry);
+  }
+}
+
+bool LockManager::FpSlotsEmpty(const Entry& entry) {
+  for (const FpSlot& slot : entry.fp) {
+    // A transient claim (txn set, word still 0) counts as occupied:
+    // retiring under it would strand the claimant's revalidation.
+    if (slot.txn.load(std::memory_order_seq_cst) != kInvalidTxn ||
+        slot.word.load(std::memory_order_seq_cst) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---- Grant machinery -----------------------------------------------------
+
 bool LockManager::CompatibleWithHolders(const Shard& shard, const Entry& entry,
                                         TxnId txn, LockMode target) {
   (void)shard;  // capability-only parameter
@@ -122,6 +261,23 @@ bool LockManager::CompatibleWithHolders(const Shard& shard, const Entry& entry,
     if (!Compatible(target, h.mode)) {
       compatible = false;
       break;
+    }
+  }
+  if (compatible) {
+    // Fast-path slots are holders too.  A transaction appearing both in
+    // the vector and in a slot is conflict-equivalent to holding the
+    // supremum of the two modes (the lattice distributes compatibility
+    // over suprema), so testing each part separately is exact.
+    for (const FpSlot& slot : entry.fp) {
+      const TxnId t = slot.txn.load(std::memory_order_seq_cst);
+      if (t == kInvalidTxn || t == txn) continue;
+      const uint64_t w = slot.word.load(std::memory_order_seq_cst);
+      if (w == 0) continue;  // transient claim: its revalidation sees us
+      stats_.compat_tests.Add();
+      if (!Compatible(target, FpMode(w))) {
+        compatible = false;
+        break;
+      }
     }
   }
   if (!compatible) stats_.conflicts.Add();
@@ -142,6 +298,12 @@ std::vector<TxnId> LockManager::BlockersOf(const Shard& shard,
   };
   for (const Holder& h : entry.holders) {
     if (h.txn != txn && !Compatible(target, h.mode)) add(h.txn);
+  }
+  for (const FpSlot& slot : entry.fp) {
+    const TxnId t = slot.txn.load(std::memory_order_seq_cst);
+    if (t == kInvalidTxn || t == txn) continue;
+    const uint64_t w = slot.word.load(std::memory_order_seq_cst);
+    if (w != 0 && !Compatible(target, FpMode(w))) add(t);
   }
   if (self == nullptr || !self->is_conversion) {
     // FIFO: a regular request is also gated by every earlier queued waiter.
@@ -235,6 +397,166 @@ void LockManager::ForgetHeld(TxnId txn, ResourceId resource) {
   if (v.empty()) txn_locks_.erase(it);
 }
 
+// ---- Optimistic compatible-mode fast path --------------------------------
+
+bool LockManager::TryFastpathAcquire(TxnId txn, ResourceId resource,
+                                     LockMode mode,
+                                     const AcquireOptions& options,
+                                     TxnLockCache* cache) {
+  (void)options;  // duration gated by the caller (fast-path holds are short)
+  if (draining_.load(std::memory_order_acquire)) return false;
+  ebr::Reclaimer::Guard guard(ebr::Global());
+  if (!guard.ok()) return false;  // registration table full: slow path only
+  Shard& shard = ShardFor(resource);
+  Entry* entry = FindEntry(shard, resource);
+  if (entry == nullptr) return false;  // first toucher pays the slow path
+
+  // Mutation point (kill-suite only): grant without the seqlock premise or
+  // revalidation.  A shared mode then lands over an exclusive holder and
+  // the compatibility oracle must see the impossible pair.
+  const bool validate =
+      !mutation::Enabled(mutation::Mutant::kFastpathSkipValidation);
+
+  const uint64_t s1 = entry->summary.load(std::memory_order_seq_cst);
+  if (validate) {
+    // Premise: settled summary (even sequence), no queued waiter to be
+    // fair to, not retired, and no vector holder whose mode conflicts
+    // with ours.  Other *fast-path* holders are always S/IS and therefore
+    // compatible by construction.
+    if ((s1 & 1) != 0 || (s1 & (kSummaryWaiters | kSummaryRetired)) != 0) {
+      return false;
+    }
+    const uint64_t mask = s1 >> kSummaryMaskShift;
+    for (int m = 0; m < kNumModes; ++m) {
+      if ((mask & (uint64_t{1} << m)) != 0 &&
+          !Compatible(mode, static_cast<LockMode>(m))) {
+        return false;
+      }
+    }
+  }
+
+  FpSlot* free_slot = nullptr;
+  for (FpSlot& slot : entry->fp) {
+    const TxnId owner = slot.txn.load(std::memory_order_seq_cst);
+    if (owner == txn) {
+      // Re-entrant covered acquisition: bump the count.  No revalidation —
+      // a covered re-acquisition never changes the entry's conflict set
+      // (the slow path bypasses the waiter queue for it too).
+      uint64_t w = slot.word.load(std::memory_order_seq_cst);
+      while (true) {
+        if (w == 0 || !Covers(FpMode(w), mode)) return false;  // slow path
+        if (slot.word.compare_exchange_weak(w, w + kFpCountOne,
+                                            std::memory_order_seq_cst)) {
+          stats_.fastpath_grants.Add();
+          if (cache != nullptr && cache->NoteFastpath(resource, FpMode(w))) {
+            RecordHeld(txn, resource);
+          }
+          return true;
+        }
+      }
+    }
+    if (free_slot == nullptr && owner == kInvalidTxn) free_slot = &slot;
+  }
+  if (free_slot == nullptr) return false;  // slots saturated: slow path
+
+  TxnId expected = kInvalidTxn;
+  if (!free_slot->txn.compare_exchange_strong(expected, txn,
+                                              std::memory_order_seq_cst)) {
+    return false;  // lost the slot race; slow path rather than re-scan
+  }
+  free_slot->word.store(FpWord(mode, 1), std::memory_order_seq_cst);
+  if (validate) {
+    // Revalidate: a shard-mutex mutation between the two reads bumped the
+    // sequence.  Mutators go odd *before* their compatibility scan, so in
+    // the seq_cst total order either they see our claim or we see their
+    // bump — never neither.
+    const uint64_t s2 = entry->summary.load(std::memory_order_seq_cst);
+    if (s2 != s1) {
+      UndoFastpathClaim(shard, *entry, *free_slot, /*fresh_claim=*/true);
+      stats_.fastpath_failures.Add();
+      return false;
+    }
+  }
+  fastpath_used_.store(true, std::memory_order_release);
+  stats_.fastpath_grants.Add();
+  NoteHolderAdded(stats_);
+  if (cache == nullptr || cache->NoteFastpath(resource, mode)) {
+    RecordHeld(txn, resource);
+  }
+  return true;
+}
+
+void LockManager::UndoFastpathClaim(Shard& shard, Entry& entry, FpSlot& slot,
+                                    bool fresh_claim) {
+  slot.word.store(0, std::memory_order_seq_cst);
+  if (fresh_claim) slot.txn.store(kInvalidTxn, std::memory_order_seq_cst);
+  // A mutex-side grant decision may have counted the transient claim as a
+  // holder (and parked a waiter against it), and the entry may now be
+  // empty.  Repair under the mutex so no wakeup is lost.
+  MutexLock lk(shard.mu);
+  if ((entry.summary.load(std::memory_order_relaxed) & kSummaryRetired) != 0) {
+    return;  // already unlinked; nothing to repair
+  }
+  EntryMutation em(entry);
+  GrantWaiters(shard, entry);
+  MaybeRetireEntry(shard, entry);
+}
+
+LockManager::FpRelease LockManager::FastpathRelease(TxnId txn,
+                                                    ResourceId resource) {
+  ebr::Reclaimer::Guard guard(ebr::Global());
+  if (!guard.ok()) return FpRelease::kNoSlot;
+  Shard& shard = ShardFor(resource);
+  Entry* entry = FindEntry(shard, resource);
+  if (entry == nullptr) return FpRelease::kNoSlot;
+  for (FpSlot& slot : entry->fp) {
+    if (slot.txn.load(std::memory_order_seq_cst) != txn) continue;
+    uint64_t w = slot.word.load(std::memory_order_seq_cst);
+    while (true) {
+      if (w == 0) return FpRelease::kNoSlot;  // purged concurrently
+      const uint64_t next = (w >> 8) > 1 ? w - kFpCountOne : 0;
+      if (!slot.word.compare_exchange_weak(w, next,
+                                           std::memory_order_seq_cst)) {
+        continue;
+      }
+      stats_.releases.Add();
+      if (next != 0) return FpRelease::kReleased;
+      slot.txn.store(kInvalidTxn, std::memory_order_seq_cst);
+      stats_.held_locks.fetch_sub(1, std::memory_order_relaxed);
+      // Freed the last count.  If a waiter parked against this hold — or a
+      // grant decision that could park one is in flight (odd sequence) —
+      // repair under the mutex; otherwise an X waiter blocked only by our
+      // S would sleep to its deadline.  Also repair when the entry is
+      // plausibly empty, so it gets retired rather than lingering.
+      const uint64_t s = entry->summary.load(std::memory_order_seq_cst);
+      bool occupied = false;
+      for (const FpSlot& other : entry->fp) {
+        if (&other == &slot) continue;
+        if (other.txn.load(std::memory_order_seq_cst) != kInvalidTxn ||
+            other.word.load(std::memory_order_seq_cst) != 0) {
+          occupied = true;
+          break;
+        }
+      }
+      const bool maybe_empty = (s >> kSummaryMaskShift) == 0 && !occupied;
+      if ((s & 1) != 0 || (s & kSummaryWaiters) != 0 ||
+          ((s & kSummaryRetired) == 0 && maybe_empty)) {
+        MutexLock lk(shard.mu);
+        if ((entry->summary.load(std::memory_order_relaxed) &
+             kSummaryRetired) == 0) {
+          EntryMutation em(*entry);
+          GrantWaiters(shard, *entry);
+          MaybeRetireEntry(shard, *entry);
+        }
+      }
+      return FpRelease::kReleasedLast;
+    }
+  }
+  return FpRelease::kNoSlot;
+}
+
+// ---- Acquire -------------------------------------------------------------
+
 Status LockManager::Acquire(TxnId txn, ResourceId resource, LockMode mode,
                             const AcquireOptions& options,
                             TxnLockCache* cache) {
@@ -252,8 +574,7 @@ Status LockManager::Acquire(TxnId txn, ResourceId resource, LockMode mode,
   // requests + cache_hits and total grants = grants + cache_hits (see
   // metrics.h).
   if (cache != nullptr &&
-      cache->TryHit(resource, mode,
-                    options.duration == LockDuration::kLong)) {
+      cache->TryHit(resource, mode, options.duration == LockDuration::kLong)) {
     stats_.cache_hits.Add();
     return Status::OK();
   }
@@ -262,6 +583,16 @@ Status LockManager::Acquire(TxnId txn, ResourceId resource, LockMode mode,
   if (policy_ == DeadlockPolicy::kWoundWait && IsWounded(txn)) {
     return Status::Aborted("transaction " + std::to_string(txn) +
                            " was wounded by an older transaction");
+  }
+  // Optimistic fast path: a short S/IS request against a settled entry is
+  // granted by claiming a fast-path slot, seqlock-validated — no shard
+  // mutex.  Gated on an attached cache so releases know to probe the slot.
+  if (options_.enable_fastpath && cache != nullptr &&
+      options.duration == LockDuration::kShort && FastpathEligible(mode) &&
+      TryFastpathAcquire(txn, resource, mode, options, cache)) {
+    stats_.grants.Add();
+    stats_.immediate_grants.Add();
+    return Status::OK();
   }
   return AcquireSlow(txn, resource, mode, options, cache);
 }
@@ -275,15 +606,15 @@ Status LockManager::AcquireSlow(TxnId txn, ResourceId resource, LockMode mode,
   Status status;
   {
     MutexLock lk(shard.mu);
-    status = AcquireLocked(shard, txn, resource, mode, options, record_held,
-                           granted);
+    status =
+        AcquireLocked(shard, txn, resource, mode, options, record_held,
+                      granted);
   }
   // Lock order: the registry mutex is only ever taken with no shard held.
   if (status.ok()) {
     if (record_held) RecordHeld(txn, resource);
     if (cache != nullptr) {
-      cache->Note(resource, granted,
-                  options.duration == LockDuration::kLong);
+      cache->Note(resource, granted, options.duration == LockDuration::kLong);
     }
   }
   return status;
@@ -317,11 +648,12 @@ Status LockManager::AcquirePath(TxnId txn, std::span<const ResourceId> path,
   constexpr size_t kMaxBatch = 64;
   if (n > kMaxBatch) {
     for (size_t i = 0; i < n; ++i) {
-      CODLOCK_RETURN_IF_ERROR(
-          Acquire(txn, path[i], mode_of(i), options, cache));
+      CODLOCK_RETURN_IF_ERROR(Acquire(txn, path[i], mode_of(i), options,
+                                      cache));
     }
     return Status::OK();
   }
+
   // Pass 1: answer covered re-acquisitions from the cache (no mutex).
   uint32_t shard_of[kMaxBatch];
   uint64_t todo_mask = 0;
@@ -341,7 +673,26 @@ Status LockManager::AcquirePath(TxnId txn, std::span<const ResourceId> path,
   if (n - hits != 0) stats_.requests.Add(n - hits);
   if (todo_mask == 0) return Status::OK();
 
-  // Pass 2: group by shard and visit each shard mutex once.  Immediate
+  // Pass 1.5: optimistic fast path for shared-mode positions (an S leaf
+  // makes the *whole* path eligible: IS prefix + S leaf).  Successes are
+  // fully accounted inside TryFastpathAcquire except for the batched
+  // grants counters below.
+  uint64_t fp_mask = 0;
+  if (options_.enable_fastpath && cache != nullptr && !want_long) {
+    for (uint64_t scan = todo_mask; scan != 0; scan &= scan - 1) {
+      const size_t i = static_cast<size_t>(std::countr_zero(scan));
+      if (!FastpathEligible(mode_of(i))) continue;
+      if (TryFastpathAcquire(txn, path[i], mode_of(i), options, cache)) {
+        fp_mask |= uint64_t{1} << i;
+        todo_mask &= ~(uint64_t{1} << i);
+      }
+    }
+  }
+
+  // Pass 2: group by shard and visit each shard mutex once — or, for
+  // combining-enabled requests (downward propagation), publish the group
+  // into the shard's flat-combining mailbox so one combiner applies many
+  // propagators' batches under a single mutex acquisition.  Immediate
   // grants may land out of path order; that is invisible to other
   // transactions (each grant only *adds* to this transaction's hold set)
   // and the root-to-leaf order is restored for anything that must wait.
@@ -354,16 +705,58 @@ Status LockManager::AcquirePath(TxnId txn, std::span<const ResourceId> path,
     const size_t first = static_cast<size_t>(std::countr_zero(rest));
     const uint32_t shard_idx = shard_of[first];
     Shard& shard = shards_[shard_idx];
-    MutexLock lk(shard.mu);
+    // Gather this shard's group.
+    ResourceId group_res[kMaxBatch];
+    LockMode group_mode[kMaxBatch];
+    size_t group_idx[kMaxBatch];
+    size_t g = 0;
     for (uint64_t scan = rest; scan != 0; scan &= scan - 1) {
       const size_t i = static_cast<size_t>(std::countr_zero(scan));
       if (shard_of[i] != shard_idx) continue;
       rest &= ~(uint64_t{1} << i);
+      group_res[g] = path[i];
+      group_mode[g] = mode_of(i);
+      group_idx[g] = i;
+      ++g;
+    }
+    uint32_t cgranted = 0;
+    uint32_t crecord = 0;
+    LockMode cmodes[kCombineItems];
+    bool combined = false;
+    if (options.combine && g <= kCombineItems) {
+      combined = CombineAcquireShard(
+          shard, txn, std::span<const ResourceId>(group_res, g),
+          std::span<const LockMode>(group_mode, g), options, &cgranted,
+          &crecord, cmodes);
+    }
+    if (combined) {
+      for (size_t k = 0; k < g; ++k) {
+        const size_t i = group_idx[k];
+        if ((cgranted & (uint32_t{1} << k)) != 0) {
+          granted_of[i] = cmodes[k];
+          granted_mask |= uint64_t{1} << i;
+          if ((crecord & (uint32_t{1} << k)) != 0) {
+            newly_held[num_newly_held++] = path[i];
+          }
+        } else {
+          deferred_mask |= uint64_t{1} << i;
+        }
+      }
+      continue;
+    }
+    MutexLock lk(shard.mu);
+    for (size_t k = 0; k < g; ++k) {
+      const size_t i = group_idx[k];
       Entry& entry = EntryFor(shard, path[i]);
       bool record_held = false;
       LockMode granted = LockMode::kNL;
-      if (TryGrantLocked(shard, entry, txn, mode_of(i), options, granted,
-                         record_held)) {
+      bool ok;
+      {
+        EntryMutation em(entry);
+        ok = TryGrantLocked(shard, entry, txn, group_mode[k], options, granted,
+                            record_held);
+      }
+      if (ok) {
         granted_of[i] = granted;
         granted_mask |= uint64_t{1} << i;
         if (record_held) newly_held[num_newly_held++] = path[i];
@@ -372,10 +765,11 @@ Status LockManager::AcquirePath(TxnId txn, std::span<const ResourceId> path,
       }
     }
   }
-  if (granted_mask != 0) {
-    const uint64_t g = static_cast<uint64_t>(std::popcount(granted_mask));
-    stats_.grants.Add(g);
-    stats_.immediate_grants.Add(g);
+  const uint64_t immediate = static_cast<uint64_t>(std::popcount(granted_mask) +
+                                                   std::popcount(fp_mask));
+  if (immediate != 0) {
+    stats_.grants.Add(immediate);
+    stats_.immediate_grants.Add(immediate);
   }
   if (num_newly_held != 0) {
     NoteHoldersAdded(stats_, static_cast<int64_t>(num_newly_held));
@@ -393,9 +787,10 @@ Status LockManager::AcquirePath(TxnId txn, std::span<const ResourceId> path,
   // Pass 3: whatever conflicted is acquired blocking, in path order
   // (rule 5 root-to-leaf waiting semantics; ascending bits = path order).
   // A mid-path failure (timeout, deadlock, shed, injected fault) rolls
-  // back every acquisition *this call* made — cache hits, immediate
-  // grants and blocking grants — leaf-to-root, so the failed path leaves
-  // no new intention locks behind for the retry loop to trip over.
+  // back every acquisition *this call* made — cache hits, fast-path and
+  // immediate grants and blocking grants — leaf-to-root, so the failed
+  // path leaves no new intention locks behind for the retry loop to trip
+  // over.
   Status status;
   uint64_t blocking_done = 0;
   for (uint64_t scan = deferred_mask; scan != 0; scan &= scan - 1) {
@@ -410,7 +805,7 @@ Status LockManager::AcquirePath(TxnId txn, std::span<const ResourceId> path,
   }
   if (status.ok()) return Status::OK();
 
-  const uint64_t undo = hit_mask | granted_mask | blocking_done;
+  const uint64_t undo = hit_mask | fp_mask | granted_mask | blocking_done;
   for (size_t i = n; i-- > 0;) {
     if ((undo & (uint64_t{1} << i)) == 0) continue;
     // Count-paired: a re-entrant acquisition merely drops back to its
@@ -421,28 +816,140 @@ Status LockManager::AcquirePath(TxnId txn, std::span<const ResourceId> path,
   return status;
 }
 
-LockManager::Entry& LockManager::EntryFor(Shard& shard, const ResourceId& res) {
-  auto it = shard.entries.find(res);
-  if (it != shard.entries.end()) return it->second;
-  if (!shard.free_nodes.empty()) {
-    EntryMap::node_type nh = std::move(shard.free_nodes.back());
-    shard.free_nodes.pop_back();
-    nh.key() = res;  // node handles expose a mutable key for exactly this
-    return shard.entries.insert(std::move(nh)).position->second;
+// ---- Flat combining ------------------------------------------------------
+
+bool LockManager::CombineAcquireShard(Shard& shard, TxnId txn,
+                                      std::span<const ResourceId> res,
+                                      std::span<const LockMode> modes,
+                                      const AcquireOptions& options,
+                                      uint32_t* granted, uint32_t* record,
+                                      LockMode* granted_modes) {
+  CombineRequest* own = nullptr;
+  for (CombineRequest& c : shard.combine) {
+    uint32_t expected = kCombineEmpty;
+    if (c.state.compare_exchange_strong(expected, kCombinePublishing,
+                                        std::memory_order_acq_rel)) {
+      own = &c;
+      break;
+    }
   }
-  return shard.entries[res];
+  if (own == nullptr) return false;  // mailboxes busy: use the direct path
+  own->txn = txn;
+  own->n = static_cast<uint32_t>(res.size());
+  own->duration = options.duration;
+  // Drain order: descending root node id — the global acquisition order
+  // the deadlock-order proof establishes for propagation chains.
+  own->order_key = res[0].node;
+  for (size_t i = 0; i < res.size(); ++i) {
+    own->res[i] = res[i];
+    own->mode[i] = modes[i];
+  }
+  stats_.combine_published.Add();
+  own->state.store(kCombinePublished, std::memory_order_seq_cst);
+
+  // Combine or be combined: give a running combiner a brief chance to pick
+  // the batch up, grabbing the mutex ourselves when it is free.  The
+  // blocking fallback is bounded — shard mutex holders never sleep (waits
+  // release it) — and self-drains, so a published request always
+  // completes regardless of scheduling.
+  bool done = false;
+  for (int spin = 0; spin < 64; ++spin) {
+    const uint32_t st = own->state.load(std::memory_order_acquire);
+    if (st == kCombineDone) {
+      done = true;
+      break;
+    }
+    if (st == kCombinePublished && shard.mu.TryLock()) {
+      CombinerDrain(shard, own);
+      shard.mu.Unlock();
+      done = true;
+      break;
+    }
+    std::this_thread::yield();
+  }
+  while (!done) {
+    shard.mu.Lock();
+    CombinerDrain(shard, own);
+    shard.mu.Unlock();
+    // A concurrent combiner may have claimed the batch before we got the
+    // mutex; wait for it to publish the results.
+    while (own->state.load(std::memory_order_acquire) == kCombineClaimed) {
+      std::this_thread::yield();
+    }
+    done = own->state.load(std::memory_order_acquire) == kCombineDone;
+  }
+  *granted = own->granted_mask;
+  *record = own->record_mask;
+  for (uint32_t i = 0; i < own->n; ++i) granted_modes[i] = own->granted[i];
+  own->state.store(kCombineEmpty, std::memory_order_release);
+  return true;
 }
 
-void LockManager::RetireEntry(Shard& shard, EntryMap::iterator it) {
-  if (shard.free_nodes.size() >= kEntryPoolSize) {
-    shard.entries.erase(it);
-    return;
+void LockManager::CombinerDrain(Shard& shard, const CombineRequest* own) {
+  CombineRequest* batch[kCombineSlots];
+  size_t nb = 0;
+  for (CombineRequest& c : shard.combine) {
+    uint32_t expected = kCombinePublished;
+    if (c.state.compare_exchange_strong(expected, kCombineClaimed,
+                                        std::memory_order_acq_rel)) {
+      batch[nb++] = &c;
+    }
   }
-  EntryMap::node_type nh = shard.entries.extract(it);
-  nh.mapped().holders.clear();  // keeps capacity for the next tenant
-  nh.mapped().waiters.clear();
-  shard.free_nodes.push_back(std::move(nh));
+  if (nb == 0) return;
+  // Insertion sort, descending order_key (at most kCombineSlots = 4
+  // elements; also sidesteps std::sort's 16-element insertion threshold
+  // tripping -Warray-bounds on the tiny stack array).
+  for (size_t i = 1; i < nb; ++i) {
+    CombineRequest* key = batch[i];
+    size_t j = i;
+    while (j > 0 && batch[j - 1]->order_key < key->order_key) {
+      batch[j] = batch[j - 1];
+      --j;
+    }
+    batch[j] = key;
+  }
+  for (size_t bi = 0; bi < nb; ++bi) {
+    CombineRequest& req = *batch[bi];
+    req.granted_mask = 0;
+    req.record_mask = 0;
+    // Mutation point (kill-suite only): report every item granted without
+    // applying any of them.  The publisher then caches modes the lock
+    // table never granted and the cache-coherence oracle must see the
+    // phantom claim.
+    if (mutation::Enabled(mutation::Mutant::kCombineDropRequest)) {
+      for (uint32_t i = 0; i < req.n; ++i) {
+        req.granted_mask |= uint32_t{1} << i;
+        req.granted[i] = req.mode[i];
+      }
+      req.state.store(kCombineDone, std::memory_order_seq_cst);
+      continue;
+    }
+    AcquireOptions opts;
+    opts.duration = req.duration;
+    for (uint32_t i = 0; i < req.n; ++i) {
+      Entry& entry = EntryFor(shard, req.res[i]);
+      bool record_held = false;
+      LockMode g = LockMode::kNL;
+      bool ok;
+      {
+        EntryMutation em(entry);
+        ok = TryGrantLocked(shard, entry, req.txn, req.mode[i], opts, g,
+                            record_held);
+      }
+      if (ok) {
+        req.granted_mask |= uint32_t{1} << i;
+        req.granted[i] = g;
+        if (record_held) req.record_mask |= uint32_t{1} << i;
+      }
+      // A failed item stays with its publisher (blocking pass 3); the
+      // entry is non-empty when a grant fails, so nothing to retire here.
+    }
+    if (&req != own) stats_.combine_drained.Add();
+    req.state.store(kCombineDone, std::memory_order_seq_cst);
+  }
 }
+
+// ---- Locked grant/wait machinery -----------------------------------------
 
 bool LockManager::TryGrantLocked(Shard& shard, Entry& entry, TxnId txn,
                                  LockMode mode, const AcquireOptions& options,
@@ -501,77 +1008,81 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
                                   LockMode mode, const AcquireOptions& options,
                                   bool& record_held, LockMode& granted) {
   Entry& entry = EntryFor(shard, resource);
-
-  if (TryGrantLocked(shard, entry, txn, mode, options, granted, record_held)) {
-    stats_.grants.Add();
-    stats_.immediate_grants.Add();
-    if (record_held) NoteHolderAdded(stats_);
-    return Status::OK();
-  }
-
-  Holder* mine = nullptr;
-  for (Holder& h : entry.holders) {
-    if (h.txn == txn) {
-      mine = &h;
-      break;
+  std::shared_ptr<WaiterState> waiter;
+  LockMode target = mode;
+  bool is_conversion = false;
+  {
+    // One seqlock window spans the grant decision *and* the enqueue: a
+    // fast-path release racing our compatibility scan then sees an odd
+    // sequence (or the published waiter flag) and repairs under the mutex,
+    // so its wakeup cannot fall between our scan and our park.
+    EntryMutation em(entry);
+    if (TryGrantLocked(shard, entry, txn, mode, options, granted,
+                       record_held)) {
+      stats_.grants.Add();
+      stats_.immediate_grants.Add();
+      if (record_held) NoteHolderAdded(stats_);
+      return Status::OK();
     }
-  }
-  const LockMode target = mine != nullptr ? Supremum(mine->mode, mode) : mode;
-  const bool is_conversion = mine != nullptr;
 
-  if (!options.wait) {
-    if (entry.holders.empty() && entry.waiters.empty()) {
-      RetireEntry(shard, shard.entries.find(resource));
+    Holder* mine = nullptr;
+    for (Holder& h : entry.holders) {
+      if (h.txn == txn) {
+        mine = &h;
+        break;
+      }
     }
-    return Status::Conflict("lock " + std::string(LockModeName(mode)) +
-                            " on " + resource.ToString() +
-                            " conflicts and wait=false");
-  }
+    target = mine != nullptr ? Supremum(mine->mode, mode) : mode;
+    is_conversion = mine != nullptr;
 
-  auto maybe_retire = [&] {
-    if (entry.holders.empty() && entry.waiters.empty()) {
-      RetireEntry(shard, shard.entries.find(resource));
+    if (!options.wait) {
+      MaybeRetireEntry(shard, entry);
+      return Status::Conflict("lock " + std::string(LockModeName(mode)) +
+                              " on " + resource.ToString() +
+                              " conflicts and wait=false");
     }
-  };
 
-  // Crash/restart drain: no new waiter may park once draining started.
-  if (draining_.load(std::memory_order_acquire)) {
-    maybe_retire();
-    return Status::Aborted("lock manager is draining for shutdown");
-  }
+    // Crash/restart drain: no new waiter may park once draining started.
+    if (draining_.load(std::memory_order_acquire)) {
+      MaybeRetireEntry(shard, entry);
+      return Status::Aborted("lock manager is draining for shutdown");
+    }
 
-  // Overload shedding: beyond the blocked-waiter cap, rejecting is kinder
-  // than queuing — the convoy would only deepen.  kShed tells the caller
-  // "retry with backoff", unlike kConflict/kTimeout.
-  if (options_.max_blocked_waiters != 0 &&
-      blocked_waiters_.load(std::memory_order_acquire) >=
-          options_.max_blocked_waiters) {
-    stats_.sheds.Add();
-    maybe_retire();
-    return Status::Shed("lock wait on " + resource.ToString() +
-                        " shed: " +
-                        std::to_string(options_.max_blocked_waiters) +
-                        " waiters already blocked");
-  }
+    // Overload shedding: beyond the blocked-waiter cap, rejecting is
+    // kinder than queuing — the convoy would only deepen.  kShed tells the
+    // caller "retry with backoff", unlike kConflict/kTimeout.
+    if (options_.max_blocked_waiters != 0 &&
+        blocked_waiters_.load(std::memory_order_acquire) >=
+            options_.max_blocked_waiters) {
+      stats_.sheds.Add();
+      MaybeRetireEntry(shard, entry);
+      return Status::Shed("lock wait on " + resource.ToString() + " shed: " +
+                          std::to_string(options_.max_blocked_waiters) +
+                          " waiters already blocked");
+    }
 
-  if (fault::FireResult f = g_fault_waiter_alloc.Fire()) {
-    maybe_retire();
-    return fault::StatusFor(f, g_fault_waiter_alloc.name());
-  }
+    if (fault::FireResult f = g_fault_waiter_alloc.Fire()) {
+      MaybeRetireEntry(shard, entry);
+      return fault::StatusFor(f, g_fault_waiter_alloc.name());
+    }
 
-  // Enqueue and wait.
-  auto waiter = std::make_shared<WaiterState>();
-  waiter->txn = txn;
-  waiter->wanted = target;
-  waiter->is_conversion = is_conversion;
-  waiter->duration = options.duration;
-  if (is_conversion) {
-    entry.waiters.insert(entry.waiters.begin(), waiter);
-  } else {
-    entry.waiters.push_back(waiter);
+    // Enqueue; the window's closing store publishes the has-waiters flag.
+    waiter = std::make_shared<WaiterState>();
+    waiter->txn = txn;
+    waiter->wanted = target;
+    waiter->is_conversion = is_conversion;
+    waiter->duration = options.duration;
+    if (is_conversion) {
+      // Conversions wait at the front: they only need current holders to
+      // drain, and granting them first avoids needless conversion
+      // deadlocks with queued fresh requests.
+      entry.waiters.insert(entry.waiters.begin(), waiter);
+    } else {
+      entry.waiters.push_back(waiter);
+    }
+    stats_.waits.Add();
+    blocked_waiters_.fetch_add(1, std::memory_order_acq_rel);
   }
-  stats_.waits.Add();
-  blocked_waiters_.fetch_add(1, std::memory_order_acq_rel);
 
   const uint64_t timeout_ms =
       options.timeout_ms != AcquireOptions::kTimeoutDefault
@@ -588,7 +1099,7 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
     // Forced timeout: the wait "expires" immediately, whatever the
     // deadline was.
     blocked_waiters_.fetch_sub(1, std::memory_order_acq_rel);
-    CleanupFailedWait(shard, resource, entry, txn, waiter.get(), waited);
+    CleanupFailedWait(shard, entry, txn, waiter.get(), waited);
     stats_.timeouts.Add();
     return fault::StatusFor(f, g_fault_wait.name());
   }
@@ -601,7 +1112,7 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
         TxnId victim = wfg_.UpdateAndCheck(txn, std::move(blockers), waiter);
         if (victim == txn) {
           blocked_waiters_.fetch_sub(1, std::memory_order_acq_rel);
-          CleanupFailedWait(shard, resource, entry, txn, waiter.get(), waited);
+          CleanupFailedWait(shard, entry, txn, waiter.get(), waited);
           stats_.deadlocks.Add();
           return Status::Deadlock("transaction " + std::to_string(txn) +
                                   " chosen as deadlock victim on " +
@@ -616,8 +1127,7 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
              BlockersOf(shard, entry, txn, target, waiter.get())) {
           if (blocker < txn) {
             blocked_waiters_.fetch_sub(1, std::memory_order_acq_rel);
-            CleanupFailedWait(shard, resource, entry, txn, waiter.get(),
-                              waited);
+            CleanupFailedWait(shard, entry, txn, waiter.get(), waited);
             stats_.deadlocks.Add();
             return Status::Deadlock(
                 "wait-die: transaction " + std::to_string(txn) +
@@ -642,9 +1152,9 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
     }
 
     auto wake_pred = [&] {
-      return waiter->granted || waiter->killed.load(
-                                    std::memory_order_relaxed) !=
-                                    KillReason::kNone;
+      return waiter->granted ||
+             waiter->killed.load(std::memory_order_relaxed) !=
+                 KillReason::kNone;
     };
     bool in_time = true;
     if (infinite) {
@@ -666,7 +1176,7 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
     KillReason reason = waiter->killed.load(std::memory_order_relaxed);
     if (reason != KillReason::kNone) {
       blocked_waiters_.fetch_sub(1, std::memory_order_acq_rel);
-      CleanupFailedWait(shard, resource, entry, txn, waiter.get(), waited);
+      CleanupFailedWait(shard, entry, txn, waiter.get(), waited);
       if (reason == KillReason::kShutdown) {
         return Status::Aborted("lock wait on " + resource.ToString() +
                                " aborted: lock manager draining for "
@@ -684,28 +1194,30 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
     }
     if (!in_time) {
       blocked_waiters_.fetch_sub(1, std::memory_order_acq_rel);
-      CleanupFailedWait(shard, resource, entry, txn, waiter.get(), waited);
+      CleanupFailedWait(shard, entry, txn, waiter.get(), waited);
       stats_.timeouts.Add();
       return Status::Timeout("lock wait on " + resource.ToString() +
-                             " exceeded " + std::to_string(timeout_ms) +
-                             "ms");
+                             " exceeded " + std::to_string(timeout_ms) + "ms");
     }
     // Spurious wake-up or waits-for refresh: loop.
   }
 }
 
-void LockManager::CleanupFailedWait(Shard& shard, ResourceId resource,
-                                    Entry& entry, TxnId txn,
+void LockManager::CleanupFailedWait(Shard& shard, Entry& entry, TxnId txn,
                                     const WaiterState* waiter,
                                     const Stopwatch& waited) {
-  EraseWaiter(entry, waiter);
-  wfg_.Remove(txn);
-  GrantWaiters(shard, entry);
-  if (entry.holders.empty() && entry.waiters.empty()) {
-    RetireEntry(shard, shard.entries.find(resource));
+  {
+    EntryMutation em(entry);
+    EraseWaiter(entry, waiter);
+    // Our queue slot may have been the only thing blocking those behind us.
+    GrantWaiters(shard, entry);
+    MaybeRetireEntry(shard, entry);
   }
+  wfg_.Remove(txn);
   stats_.wait_ns.Record(waited.ElapsedNanos());
 }
+
+// ---- Release -------------------------------------------------------------
 
 Status LockManager::Release(TxnId txn, ResourceId resource,
                             TxnLockCache* cache) {
@@ -714,15 +1226,36 @@ Status LockManager::Release(TxnId txn, ResourceId resource,
     stats_.releases.Add();
     return Status::OK();
   }
+  // Optimistic fast path: release a fast-path slot count without the
+  // mutex.  The cache remembers whether a slot may back this resource;
+  // without a cache (or after invalidation) the probe runs conservatively.
+  if (fastpath_used_.load(std::memory_order_acquire) &&
+      (cache == nullptr || cache->MaybeFastpathHeld(resource))) {
+    switch (FastpathRelease(txn, resource)) {
+      case FpRelease::kReleased:
+        return Status::OK();
+      case FpRelease::kReleasedLast:
+        // The slot is gone; a cached mode may have been backed by it
+        // alone, so drop it (under-claiming is always safe — the
+        // transaction may still hold a vector-side mode here, which the
+        // slow path re-notes on its next use).  The registry row stays
+        // until EOT; every reader tolerates rows without live holders.
+        if (cache != nullptr) cache->Erase(resource);
+        return Status::OK();
+      case FpRelease::kNoSlot:
+        break;
+    }
+  }
   Shard& shard = ShardFor(resource);
   bool forget = false;
   Status status = [&]() -> Status {
     MutexLock lk(shard.mu);
-    auto it = shard.entries.find(resource);
-    if (it == shard.entries.end()) {
+    Entry* e = FindEntry(shard, resource);
+    if (e == nullptr) {
       return Status::NotFound("no lock entry for " + resource.ToString());
     }
-    Entry& entry = it->second;
+    Entry& entry = *e;
+    EntryMutation em(entry);
     for (size_t i = 0; i < entry.holders.size(); ++i) {
       if (entry.holders[i].txn != txn) continue;
       stats_.releases.Add();
@@ -732,11 +1265,33 @@ Status LockManager::Release(TxnId txn, ResourceId resource,
       entry.holders.erase(entry.holders.begin() + static_cast<long>(i));
       stats_.held_locks.fetch_sub(1, std::memory_order_relaxed);
       GrantWaiters(shard, entry);
-      if (entry.holders.empty() && entry.waiters.empty()) {
-        RetireEntry(shard, it);
-      }
+      MaybeRetireEntry(shard, entry);
       forget = true;
       return Status::OK();
+    }
+    // Fast-path slot fallback: reached when the lock-free probe was
+    // skipped or failed (EBR registration exhausted, foreign-thread
+    // release).  Safe under the mutex: the owner's lock-free ops are
+    // CAS-based, so this decrement linearizes against them.
+    for (FpSlot& slot : entry.fp) {
+      if (slot.txn.load(std::memory_order_seq_cst) != txn) continue;
+      uint64_t w = slot.word.load(std::memory_order_seq_cst);
+      while (w != 0) {
+        const uint64_t next = (w >> 8) > 1 ? w - kFpCountOne : 0;
+        if (!slot.word.compare_exchange_weak(w, next,
+                                             std::memory_order_seq_cst)) {
+          continue;
+        }
+        stats_.releases.Add();
+        if (next == 0) {
+          slot.txn.store(kInvalidTxn, std::memory_order_seq_cst);
+          stats_.held_locks.fetch_sub(1, std::memory_order_relaxed);
+          GrantWaiters(shard, entry);
+          MaybeRetireEntry(shard, entry);
+          forget = true;  // no vector holder (scanned above): row is gone
+        }
+        return Status::OK();
+      }
     }
     return Status::NotFound("transaction " + std::to_string(txn) +
                             " holds no lock on " + resource.ToString());
@@ -783,18 +1338,32 @@ size_t LockManager::ReleaseAll(TxnId txn) {
     Shard& shard = shards_[shard_idx];
     MutexLock lk(shard.mu);
     for (; i < keyed.size() && keyed[i].first == shard_idx; ++i) {
-      auto it = shard.entries.find(keyed[i].second);
-      if (it == shard.entries.end()) continue;
-      Entry& entry = it->second;
+      Entry* e = FindEntry(shard, keyed[i].second);
+      if (e == nullptr) continue;
+      Entry& entry = *e;
+      EntryMutation em(entry);
+      bool changed = false;
       for (size_t h = 0; h < entry.holders.size(); ++h) {
         if (entry.holders[h].txn != txn) continue;
         entry.holders.erase(entry.holders.begin() + static_cast<long>(h));
         ++released;
-        GrantWaiters(shard, entry);
-        if (entry.holders.empty() && entry.waiters.empty()) {
-          RetireEntry(shard, it);
-        }
+        changed = true;
         break;
+      }
+      // Purge any fast-path slot of this transaction as well; the
+      // exchange linearizes against the owner's CAS-based count updates.
+      for (FpSlot& slot : entry.fp) {
+        if (slot.txn.load(std::memory_order_seq_cst) != txn) continue;
+        const uint64_t w = slot.word.exchange(0, std::memory_order_seq_cst);
+        slot.txn.store(kInvalidTxn, std::memory_order_seq_cst);
+        if (w != 0) {
+          ++released;
+          changed = true;
+        }
+      }
+      if (changed) {
+        GrantWaiters(shard, entry);
+        MaybeRetireEntry(shard, entry);
       }
     }
   }
@@ -809,20 +1378,24 @@ size_t LockManager::ReleaseAll(TxnId txn) {
 }
 
 size_t LockManager::DrainForShutdown() {
-  // From here on AcquireLocked refuses to park new waiters (they fail
-  // with kAborted before enqueuing).
+  // From here on AcquireLocked refuses to park new waiters (they fail with
+  // kAborted before enqueuing) and the optimistic fast path stands down.
   draining_.store(true, std::memory_order_release);
   size_t killed = 0;
   for (Shard& shard : shards_) {
     MutexLock lk(shard.mu);
-    for (auto& [res, entry] : shard.entries) {
-      for (auto& w : entry.waiters) {
-        if (w->granted) continue;
-        KillReason expected = KillReason::kNone;
-        if (w->killed.compare_exchange_strong(expected, KillReason::kShutdown,
-                                              std::memory_order_relaxed)) {
-          ++killed;
-          w->cv.NotifyAll();
+    for (auto& head : shard.buckets) {
+      for (Entry* e = head.load(std::memory_order_relaxed); e != nullptr;
+           e = e->next.load(std::memory_order_relaxed)) {
+        for (auto& w : e->waiters) {
+          if (w->granted) continue;
+          KillReason expected = KillReason::kNone;
+          if (w->killed.compare_exchange_strong(expected,
+                                                KillReason::kShutdown,
+                                                std::memory_order_relaxed)) {
+            ++killed;
+            w->cv.NotifyAll();
+          }
         }
       }
     }
@@ -842,11 +1415,13 @@ Status LockManager::Downgrade(TxnId txn, ResourceId resource, LockMode mode,
   Shard& shard = ShardFor(resource);
   Status status = [&]() -> Status {
     MutexLock lk(shard.mu);
-    auto it = shard.entries.find(resource);
-    if (it == shard.entries.end()) {
+    Entry* e = FindEntry(shard, resource);
+    if (e == nullptr) {
       return Status::NotFound("no lock entry for " + resource.ToString());
     }
-    for (Holder& h : it->second.holders) {
+    Entry& entry = *e;
+    EntryMutation em(entry);
+    for (Holder& h : entry.holders) {
       if (h.txn != txn) continue;
       if (!Covers(h.mode, mode)) {
         return Status::InvalidArgument(
@@ -854,8 +1429,26 @@ Status LockManager::Downgrade(TxnId txn, ResourceId resource, LockMode mode,
             std::string(LockModeName(mode)));
       }
       h.mode = mode;
-      GrantWaiters(shard, it->second);
+      // The narrower mode may unblock queued waiters.
+      GrantWaiters(shard, entry);
       return Status::OK();
+    }
+    // Fast-path-only hold: rewrite the slot's mode in place.
+    for (FpSlot& slot : entry.fp) {
+      if (slot.txn.load(std::memory_order_seq_cst) != txn) continue;
+      uint64_t w = slot.word.load(std::memory_order_seq_cst);
+      while (w != 0) {
+        if (!Covers(FpMode(w), mode)) {
+          return Status::InvalidArgument(
+              "cannot downgrade " + std::string(LockModeName(FpMode(w))) +
+              " to " + std::string(LockModeName(mode)));
+        }
+        if (slot.word.compare_exchange_weak(w, FpWord(mode, w >> 8),
+                                            std::memory_order_seq_cst)) {
+          GrantWaiters(shard, entry);
+          return Status::OK();
+        }
+      }
     }
     return Status::NotFound("transaction " + std::to_string(txn) +
                             " holds no lock on " + resource.ToString());
@@ -871,24 +1464,40 @@ Status LockManager::Downgrade(TxnId txn, ResourceId resource, LockMode mode,
   return status;
 }
 
+// ---- Inspection & snapshots ----------------------------------------------
+
 LockMode LockManager::HeldMode(TxnId txn, ResourceId resource) const {
   Shard& shard = ShardFor(resource);
   MutexLock lk(shard.mu);
-  auto it = shard.entries.find(resource);
-  if (it == shard.entries.end()) return LockMode::kNL;
-  for (const Holder& h : it->second.holders) {
-    if (h.txn == txn) return h.mode;
+  Entry* e = FindEntry(shard, resource);
+  if (e == nullptr) return LockMode::kNL;
+  LockMode m = LockMode::kNL;
+  for (const Holder& h : e->holders) {
+    if (h.txn == txn) {
+      m = h.mode;
+      break;
+    }
   }
-  return LockMode::kNL;
+  for (const FpSlot& slot : e->fp) {
+    if (slot.txn.load(std::memory_order_seq_cst) != txn) continue;
+    const uint64_t w = slot.word.load(std::memory_order_seq_cst);
+    if (w != 0) m = Supremum(m, FpMode(w));
+  }
+  return m;
 }
 
 LockMode LockManager::GroupMode(ResourceId resource) const {
   Shard& shard = ShardFor(resource);
   MutexLock lk(shard.mu);
-  auto it = shard.entries.find(resource);
-  if (it == shard.entries.end()) return LockMode::kNL;
+  Entry* e = FindEntry(shard, resource);
+  if (e == nullptr) return LockMode::kNL;
   LockMode m = LockMode::kNL;
-  for (const Holder& h : it->second.holders) m = Supremum(m, h.mode);
+  for (const Holder& h : e->holders) m = Supremum(m, h.mode);
+  for (const FpSlot& slot : e->fp) {
+    if (slot.txn.load(std::memory_order_seq_cst) == kInvalidTxn) continue;
+    const uint64_t w = slot.word.load(std::memory_order_seq_cst);
+    if (w != 0) m = Supremum(m, FpMode(w));
+  }
   return m;
 }
 
@@ -904,14 +1513,28 @@ std::vector<HeldLock> LockManager::LocksOf(TxnId txn) const {
   for (const ResourceId& resource : held) {
     Shard& shard = ShardFor(resource);
     MutexLock lk(shard.mu);
-    auto it = shard.entries.find(resource);
-    if (it == shard.entries.end()) continue;
-    for (const Holder& h : it->second.holders) {
+    Entry* e = FindEntry(shard, resource);
+    if (e == nullptr) continue;
+    LockMode m = LockMode::kNL;
+    LockDuration d = LockDuration::kShort;
+    bool found = false;
+    for (const Holder& h : e->holders) {
       if (h.txn == txn) {
-        out.push_back(HeldLock{resource, h.mode, h.duration});
+        m = h.mode;
+        d = h.duration;
+        found = true;
         break;
       }
     }
+    for (const FpSlot& slot : e->fp) {
+      if (slot.txn.load(std::memory_order_seq_cst) != txn) continue;
+      const uint64_t w = slot.word.load(std::memory_order_seq_cst);
+      if (w != 0) {
+        m = Supremum(m, FpMode(w));
+        found = true;
+      }
+    }
+    if (found) out.push_back(HeldLock{resource, m, d});
   }
   return out;
 }
@@ -920,7 +1543,14 @@ size_t LockManager::NumEntries() const {
   size_t n = 0;
   for (const Shard& shard : shards_) {
     MutexLock lk(shard.mu);
-    n += shard.entries.size();
+    for (const auto& head : shard.buckets) {
+      for (Entry* e = head.load(std::memory_order_relaxed); e != nullptr;
+           e = e->next.load(std::memory_order_relaxed)) {
+        if (!e->holders.empty() || !e->waiters.empty() || !FpSlotsEmpty(*e)) {
+          ++n;
+        }
+      }
+    }
   }
   return n;
 }
@@ -929,10 +1559,14 @@ std::vector<LongLockRecord> LockManager::SnapshotLongLocks() const {
   std::vector<LongLockRecord> out;
   for (const Shard& shard : shards_) {
     MutexLock lk(shard.mu);
-    for (const auto& [res, entry] : shard.entries) {
-      for (const Holder& h : entry.holders) {
-        if (h.duration == LockDuration::kLong) {
-          out.push_back(LongLockRecord{h.txn, res, h.mode});
+    for (const auto& head : shard.buckets) {
+      for (Entry* e = head.load(std::memory_order_relaxed); e != nullptr;
+           e = e->next.load(std::memory_order_relaxed)) {
+        // Fast-path slots never contribute: those grants are always short.
+        for (const Holder& h : e->holders) {
+          if (h.duration == LockDuration::kLong) {
+            out.push_back(LongLockRecord{h.txn, e->res, h.mode});
+          }
         }
       }
     }
@@ -944,9 +1578,30 @@ std::vector<LongLockRecord> LockManager::SnapshotAllLocks() const {
   std::vector<LongLockRecord> out;
   for (const Shard& shard : shards_) {
     MutexLock lk(shard.mu);
-    for (const auto& [res, entry] : shard.entries) {
-      for (const Holder& h : entry.holders) {
-        out.push_back(LongLockRecord{h.txn, res, h.mode});
+    for (const auto& head : shard.buckets) {
+      for (Entry* e = head.load(std::memory_order_relaxed); e != nullptr;
+           e = e->next.load(std::memory_order_relaxed)) {
+        const size_t first_row = out.size();
+        for (const Holder& h : e->holders) {
+          out.push_back(LongLockRecord{h.txn, e->res, h.mode});
+        }
+        // Merge fast-path slots: a transaction with both a vector row and
+        // a slot on one entry is reported once, at the supremum.
+        for (const FpSlot& slot : e->fp) {
+          const TxnId t = slot.txn.load(std::memory_order_seq_cst);
+          if (t == kInvalidTxn) continue;
+          const uint64_t w = slot.word.load(std::memory_order_seq_cst);
+          if (w == 0) continue;
+          bool merged = false;
+          for (size_t r = first_row; r < out.size(); ++r) {
+            if (out[r].txn == t) {
+              out[r].mode = Supremum(out[r].mode, FpMode(w));
+              merged = true;
+              break;
+            }
+          }
+          if (!merged) out.push_back(LongLockRecord{t, e->res, FpMode(w)});
+        }
       }
     }
   }
@@ -966,9 +1621,9 @@ Status LockManager::RestoreLongLocks(
     }
     Shard& shard = ShardFor(rec.resource);
     MutexLock lk(shard.mu);
-    auto it = shard.entries.find(rec.resource);
-    if (it == shard.entries.end()) continue;
-    if (!CompatibleWithHolders(shard, it->second, rec.txn, rec.mode)) {
+    Entry* e = FindEntry(shard, rec.resource);
+    if (e == nullptr) continue;
+    if (!CompatibleWithHolders(shard, *e, rec.txn, rec.mode)) {
       return Status::Internal("long-lock restore conflict on " +
                               rec.resource.ToString() + ": txn " +
                               std::to_string(rec.txn) + " wants " +
@@ -986,6 +1641,7 @@ Status LockManager::RestoreLongLocks(
     {
       MutexLock lk(shard.mu);
       Entry& entry = EntryFor(shard, rec.resource);
+      EntryMutation em(entry);
       Holder* mine = nullptr;
       for (Holder& h : entry.holders) {
         if (h.txn == rec.txn) {
@@ -997,9 +1653,9 @@ Status LockManager::RestoreLongLocks(
         mine->mode = Supremum(mine->mode, rec.mode);
         mine->duration = LockDuration::kLong;
       } else {
-        entry.holders.push_back(Holder{rec.txn, rec.mode, 1,
-                                       LockDuration::kLong});
-        stats_.held_locks.fetch_add(1, std::memory_order_relaxed);
+        entry.holders.push_back(
+            Holder{rec.txn, rec.mode, 1, LockDuration::kLong});
+        NoteHolderAdded(stats_);
         record_held = true;
       }
     }
@@ -1007,6 +1663,8 @@ Status LockManager::RestoreLongLocks(
   }
   return Status::OK();
 }
+
+// ---- Waits-for graph -----------------------------------------------------
 
 TxnId LockManager::WaitsForGraph::UpdateAndCheck(
     TxnId self, std::vector<TxnId> blockers,
@@ -1019,6 +1677,8 @@ TxnId LockManager::WaitsForGraph::UpdateAndCheck(
   std::vector<TxnId> cycle;
   if (!FindCycle(self, &cycle)) return kInvalidTxn;
 
+  // Victim selection: the youngest transaction in the cycle (largest id —
+  // ids are assigned monotonically), which has done the least work.
   TxnId victim = *std::max_element(cycle.begin(), cycle.end());
   if (victim != self) {
     auto it = waiting_.find(victim);

@@ -27,10 +27,36 @@
 ///    shard mutex once and updating the held-lock registry in one batch,
 ///  * waiters carry their own condition variable, so a grant wakes exactly
 ///    the transactions it unblocked instead of broadcasting to the shard.
+///
+/// ## Multi-core machinery (see DESIGN.md §11)
+///
+///  * **Optimistic compatible-mode fast path.**  Every `Entry` carries a
+///    seqlock-style *grant summary*: a packed word holding a sequence
+///    number (odd while a shard-mutex holder mutates the entry), a
+///    has-waiters flag, a retired flag and the mode mask of the vector
+///    holders.  `Acquire` of S/IS with a fresh attached cache validates
+///    the summary, claims one of the entry's atomic *fast-path slots*
+///    (txn + packed mode/count) and revalidates — granting without ever
+///    taking the shard mutex.  Any summary change between the two reads
+///    undoes the claim and falls back to the locked slow path.  Fast-path
+///    holders are first-class: every compatibility test, blocker set,
+///    snapshot and mode query merges them with the holder vector.
+///  * **Flat-combined propagation batches.**  `AcquirePath` with
+///    `AcquireOptions::combine` publishes each per-shard batch into one of
+///    the shard's combining slots; whoever holds (or first grabs) the
+///    shard mutex drains all published batches in descending-node order —
+///    the proved global acquisition order — so concurrent propagators pay
+///    one mutex acquisition between them instead of one each.
+///  * **Epoch-based reclamation.**  Entries live in per-shard lock-free
+///    bucket chains.  Retiring an entry unlinks it under the mutex and
+///    stamps it with the global epoch (`lock/ebr.h`); the node is reused
+///    only once no reader can still hold a pointer into it, so fast-path
+///    readers never race `RetireEntry` and never block on the allocator.
 
 #ifndef CODLOCK_LOCK_LOCK_MANAGER_H_
 #define CODLOCK_LOCK_LOCK_MANAGER_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -39,6 +65,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "lock/ebr.h"
 #include "lock/mode.h"
 #include "lock/resource.h"
 #include "lock/txn_lock_cache.h"
@@ -90,6 +117,10 @@ struct AcquireOptions {
   LockDuration duration = LockDuration::kShort;
   /// If false, a conflicting request fails immediately with kConflict.
   bool wait = true;
+  /// Opt into flat combining for `AcquirePath`'s per-shard batches (set by
+  /// the protocol layer for downward-propagation chains, where concurrent
+  /// propagators pile onto the same shards).
+  bool combine = false;
   /// Deadline for a waiting request, in milliseconds.  `kTimeoutDefault`
   /// (= 0) uses the manager default; `kTimeoutInfinite` waits without a
   /// deadline.
@@ -115,20 +146,34 @@ class LockManager {
  public:
   struct Options {
     /// Desired shard count; clamped to >= 1 and rounded up to the next
-    /// power of two so `ShardFor` can mask instead of divide.
-    int num_shards = 16;
+    /// power of two so `ShardFor` can mask instead of divide.  0 (the
+    /// default) derives the count from the machine's hardware concurrency
+    /// (see `DerivedNumShards`).
+    int num_shards = 0;
     /// Legacy switch: false maps to DeadlockPolicy::kTimeoutOnly.
     bool detect_deadlocks = true;
     DeadlockPolicy deadlock_policy = DeadlockPolicy::kDetect;
     /// Default deadline for waiting requests; may be
     /// `AcquireOptions::kTimeoutInfinite`.
     uint64_t default_timeout_ms = 10'000;
+    /// Master switch for the optimistic compatible-mode fast path.  Off,
+    /// every request takes the mutex-protected slow path — the benchmark
+    /// baseline the fast path is measured against.
+    bool enable_fastpath = true;
     /// Overload shedding: when more than this many requests are blocked
     /// manager-wide, further requests that would have to wait fail with
     /// `StatusCode::kShed` instead of queuing (0 = unlimited).  Bounds the
     /// waiter convoy under overload so admitted work keeps finishing.
     size_t max_blocked_waiters = 0;
   };
+
+  /// Default shard count for a machine with \p hardware_concurrency
+  /// logical CPUs: the next power of two >= 4x the CPU count, clamped to
+  /// [16, 1024].  4x over-provisioning keeps two random resources likely
+  /// on distinct shards even when every core runs a lock-hot thread;
+  /// 16 preserves the historical default on small hosts (and when the
+  /// runtime reports 0, i.e. "unknown").
+  static size_t DerivedNumShards(unsigned hardware_concurrency);
 
   explicit LockManager(Options options);
   LockManager() : LockManager(Options()) {}
@@ -150,7 +195,8 @@ class LockManager {
   /// \p cache, when given, must be the cache attached for \p txn (see
   /// `AttachCache`) and the call must come from the transaction's own
   /// thread.  Covered re-acquisitions are then answered from the cache
-  /// without touching the shard.
+  /// without touching the shard, and short S/IS requests may be granted
+  /// by the optimistic fast path without taking the shard mutex.
   Status Acquire(TxnId txn, ResourceId resource, LockMode mode,
                  const AcquireOptions& options = AcquireOptions(),
                  TxnLockCache* cache = nullptr)
@@ -177,7 +223,8 @@ class LockManager {
   /// disappears when the count reaches zero).  The held *mode* is not
   /// recomputed on partial release; use `Downgrade` for de-escalation.
   /// With \p cache, a release pairing a cache-granted acquisition is
-  /// absorbed locally.
+  /// absorbed locally; one pairing a fast-path grant is absorbed by the
+  /// entry's fast-path slot without the shard mutex.
   Status Release(TxnId txn, ResourceId resource, TxnLockCache* cache = nullptr)
       CODLOCK_EXCLUDES(registry_mu_, caches_mu_);
 
@@ -205,7 +252,8 @@ class LockManager {
   /// destroyed.
   void DetachCache(TxnId txn) CODLOCK_EXCLUDES(caches_mu_);
 
-  /// Mode currently held by \p txn on \p resource (kNL if none).
+  /// Mode currently held by \p txn on \p resource (kNL if none); merges
+  /// the holder vector with the entry's fast-path slots.
   LockMode HeldMode(TxnId txn, ResourceId resource) const;
 
   /// Effective *granted group* mode of \p resource: supremum over all
@@ -215,17 +263,21 @@ class LockManager {
   /// All locks currently held by \p txn.
   std::vector<HeldLock> LocksOf(TxnId txn) const;
 
-  /// Number of resources with at least one holder or waiter.
+  /// Number of resources with at least one holder (vector or fast-path)
+  /// or waiter.
   size_t NumEntries() const;
 
   /// Number of shards after clamping/rounding (inspection).
   size_t NumShards() const { return shards_.size(); }
 
-  /// All long locks currently held (for the `LongLockStore`).
+  /// All long locks currently held (for the `LongLockStore`).  Fast-path
+  /// grants are always short, so the fast-path slots never contribute.
   std::vector<LongLockRecord> SnapshotLongLocks() const;
 
   /// All locks currently held, regardless of duration (used by the
   /// protocol validator to audit global consistency of the grant set).
+  /// A transaction with both a vector holder and a fast-path slot on one
+  /// entry is reported once, at the supremum of the two modes.
   std::vector<LongLockRecord> SnapshotAllLocks() const;
 
   /// Re-installs long locks after a crash.  All-or-nothing: the records
@@ -283,28 +335,109 @@ class LockManager {
     LockDuration duration = LockDuration::kShort;
   };
 
-  /// Lock-table entry.  Both containers are vectors so that a freshly
-  /// created entry performs no allocation at all (a deque allocates its
-  /// chunk map eagerly, which dominated entry churn on the hot path);
-  /// waiter-queue edits are O(queue length), which stays tiny.
+  // ---- Grant summary (seqlock word) --------------------------------------
+  //
+  //   bits  0..31  sequence number; odd while a shard-mutex holder is
+  //                mutating the entry (bumped *before* any compat scan)
+  //   bit   32     has_waiters: the waiter queue is non-empty
+  //   bit   33     retired: the entry is unlinked, awaiting reuse
+  //   bits 40..45  mode mask of the holder *vector* (one bit per LockMode;
+  //                fast-path slots are not folded in — they are always
+  //                S/IS and therefore compatible with any fast-path
+  //                request by construction)
+  static constexpr uint64_t kSummarySeqMask = 0xffff'ffffull;
+  static constexpr uint64_t kSummaryWaiters = uint64_t{1} << 32;
+  static constexpr uint64_t kSummaryRetired = uint64_t{1} << 33;
+  static constexpr int kSummaryMaskShift = 40;
+
+  static constexpr uint64_t SummaryModeBit(LockMode m) {
+    return uint64_t{1} << (kSummaryMaskShift + static_cast<int>(m));
+  }
+
+  /// Fast-path holder slot: lock-free representation of one transaction's
+  /// S/IS hold.  `txn` is claimed by CAS; `word` packs the mode (low 8
+  /// bits) and the acquisition count (remaining bits).  A slot with
+  /// `word == 0` is empty or mid-claim/mid-undo and is ignored by scans.
+  struct FpSlot {
+    std::atomic<TxnId> txn{kInvalidTxn};
+    std::atomic<uint64_t> word{0};
+  };
+  static constexpr size_t kFpSlots = 8;
+  static constexpr uint64_t kFpCountOne = uint64_t{1} << 8;
+
+  static constexpr LockMode FpMode(uint64_t word) {
+    return static_cast<LockMode>(word & 0xff);
+  }
+  static constexpr uint64_t FpWord(LockMode mode, uint64_t count) {
+    return static_cast<uint64_t>(mode) | (count << 8);
+  }
+
+  /// Lock-table entry, embedded in a per-shard bucket chain.  `res` and
+  /// `next` are read lock-free by the fast path; everything below the
+  /// summary is guarded by the owning shard's mutex (expressed as
+  /// REQUIRES(shard.mu) on the accessors — the analysis cannot tie a
+  /// member to a mutex in a different object).
   struct Entry {
-    std::vector<Holder> holders;
-    std::vector<std::shared_ptr<WaiterState>> waiters;
+    ResourceId res;                  ///< immutable while linked
+    std::atomic<Entry*> next{nullptr};
+    std::atomic<uint64_t> summary{0};
+    std::array<FpSlot, kFpSlots> fp{};
+    std::vector<Holder> holders;     ///< guarded by the shard mutex
+    std::vector<std::shared_ptr<WaiterState>> waiters;  ///< shard mutex
+    uint64_t retire_stamp = 0;       ///< EBR epoch at unlink (shard mutex)
   };
 
-  using EntryMap = std::unordered_map<ResourceId, Entry, ResourceIdHash>;
+  // ---- Flat-combining slot ----------------------------------------------
+
+  enum CombineState : uint32_t {
+    kCombineEmpty = 0,
+    kCombinePublishing,
+    kCombinePublished,
+    kCombineClaimed,
+    kCombineDone,
+  };
+
+  /// Most resources of one path landing on one shard that can be combined
+  /// (protocol paths are 4–13 deep; larger groups fall back to the direct
+  /// mutex path).
+  static constexpr size_t kCombineItems = 16;
+  static constexpr size_t kCombineSlots = 4;
+
+  /// One published per-shard batch of immediate-grant attempts.  Fields
+  /// between `state` transitions are owned by exactly one side: the
+  /// publisher fills the request before kPublished, the combiner fills the
+  /// results before kDone, the publisher reads them before kEmpty.
+  struct CombineRequest {
+    std::atomic<uint32_t> state{kCombineEmpty};
+    TxnId txn = kInvalidTxn;
+    uint32_t n = 0;
+    uint64_t order_key = 0;   ///< descending drain order (root node id)
+    LockDuration duration = LockDuration::kShort;
+    std::array<ResourceId, kCombineItems> res{};
+    std::array<LockMode, kCombineItems> mode{};
+    // Results (combiner-written).
+    uint32_t granted_mask = 0;
+    uint32_t record_mask = 0;
+    std::array<LockMode, kCombineItems> granted{};
+  };
+
+  static constexpr size_t kBucketsPerShard = 256;
 
   struct Shard {
     mutable Mutex mu;
-    EntryMap entries CODLOCK_GUARDED_BY(mu);
-    /// Pool of retired map nodes.  Creating and destroying an entry per
-    /// acquire/release cycle costs a map-node allocation plus the holder
-    /// vector's buffer; recycling extracted node handles (key rewritten in
-    /// place) makes the steady-state lock/unlock cycle allocation-free.
-    std::vector<EntryMap::node_type> free_nodes CODLOCK_GUARDED_BY(mu);
+    /// Bucket heads of the intrusive entry chain; written under `mu`,
+    /// traversed lock-free under an EBR guard.
+    std::array<std::atomic<Entry*>, kBucketsPerShard> buckets{};
+    /// Linked entries (inspection; maintained under `mu`).
+    size_t num_entries CODLOCK_GUARDED_BY(mu) = 0;
+    /// Unlinked entries awaiting epoch-safe reuse, oldest first.
+    std::vector<Entry*> retired CODLOCK_GUARDED_BY(mu);
+    /// Flat-combining mailboxes.
+    std::array<CombineRequest, kCombineSlots> combine{};
   };
 
-  /// Per-shard cap on pooled entry nodes (bounds idle memory).
+  /// Per-shard cap on pooled (retired) entry nodes beyond which epoch-safe
+  /// nodes are freed outright (bounds idle memory).
   static constexpr size_t kEntryPoolSize = 32;
 
   /// Waits-for graph over currently blocked transactions.
@@ -341,27 +474,71 @@ class LockManager {
     std::unordered_map<TxnId, WaitRec> waiting_ CODLOCK_GUARDED_BY(mu_);
   };
 
+  /// RAII seqlock window for entry mutations under the shard mutex: the
+  /// constructor bumps the summary sequence to odd *before* the caller
+  /// scans holders or fast-path slots for a grant decision; the destructor
+  /// recomputes the flags/mask from the entry and publishes an even
+  /// sequence.  Must not span a condition-variable wait and must not nest.
+  class EntryMutation {
+   public:
+    explicit EntryMutation(Entry& e) : e_(e) {
+      uint64_t s = e_.summary.load(std::memory_order_relaxed);
+      e_.summary.store(s + 1, std::memory_order_seq_cst);
+    }
+    ~EntryMutation() {
+      uint64_t cur = e_.summary.load(std::memory_order_relaxed);
+      uint64_t flags = cur & kSummaryRetired;
+      if (!e_.waiters.empty()) flags |= kSummaryWaiters;
+      for (const Holder& h : e_.holders) flags |= SummaryModeBit(h.mode);
+      e_.summary.store(((cur + 1) & kSummarySeqMask) | flags,
+                       std::memory_order_seq_cst);
+    }
+    EntryMutation(const EntryMutation&) = delete;
+    EntryMutation& operator=(const EntryMutation&) = delete;
+
+   private:
+    Entry& e_;
+  };
+
   size_t ShardIndexFor(ResourceId r) const {
     return ResourceIdHash{}(r) & shard_mask_;
   }
 
+  size_t BucketIndexFor(ResourceId r) const {
+    return (ResourceIdHash{}(r) >> shard_bits_) & (kBucketsPerShard - 1);
+  }
+
   Shard& ShardFor(ResourceId r) const { return shards_[ShardIndexFor(r)]; }
 
-  /// Finds or creates the entry for \p res, reusing a pooled node when one
-  /// is available.
+  /// Lock-free chain lookup.  Callers without the shard mutex must hold an
+  /// EBR guard for the duration of any use of the returned pointer.
+  Entry* FindEntry(const Shard& shard, const ResourceId& res) const;
+
+  /// Finds or creates the entry for \p res, reusing an epoch-safe retired
+  /// node when one is available.
   Entry& EntryFor(Shard& shard, const ResourceId& res)
       CODLOCK_REQUIRES(shard.mu);
 
-  /// Drops an empty entry, returning its node to the shard pool (or freeing
-  /// it once the pool is full).
-  void RetireEntry(Shard& shard, EntryMap::iterator it)
+  /// Unlinks an empty entry (no holders, waiters or fast-path slots),
+  /// marks it retired and stamps it for epoch-safe reuse.  Must run inside
+  /// an EntryMutation window.
+  void RetireEntry(Shard& shard, Entry& entry) CODLOCK_REQUIRES(shard.mu);
+
+  /// RetireEntry iff the entry is fully empty.  Must run inside an
+  /// EntryMutation window.
+  void MaybeRetireEntry(Shard& shard, Entry& entry)
       CODLOCK_REQUIRES(shard.mu);
+
+  /// True when no fast-path slot of \p entry holds a count (transient
+  /// claims count as occupied — conservative).
+  static bool FpSlotsEmpty(const Entry& entry);
 
   /// Attempts an immediate grant of \p mode (no waiting): re-entrant
   /// covered acquisition, in-place conversion or fresh grant when the
   /// queue is clear and all holders are compatible.  On success sets
   /// \p granted to the mode now held and \p record_held when the caller
-  /// must register the new (txn, resource) pair.
+  /// must register the new (txn, resource) pair.  Must run inside an
+  /// EntryMutation window.
   bool TryGrantLocked(Shard& shard, Entry& entry, TxnId txn, LockMode mode,
                       const AcquireOptions& options, LockMode& granted,
                       bool& record_held) CODLOCK_REQUIRES(shard.mu);
@@ -381,19 +558,59 @@ class LockManager {
                      const AcquireOptions& options, TxnLockCache* cache)
       CODLOCK_EXCLUDES(registry_mu_);
 
+  /// Optimistic compatible-mode grant: validates the entry's grant
+  /// summary, claims a fast-path slot and revalidates — no shard mutex.
+  /// On success the grant is fully accounted (stats, cache note, held
+  /// registry).  Returns false on any miss or validation failure (the
+  /// caller proceeds to the slow path).
+  bool TryFastpathAcquire(TxnId txn, ResourceId resource, LockMode mode,
+                          const AcquireOptions& options, TxnLockCache* cache)
+      CODLOCK_EXCLUDES(registry_mu_);
+
+  /// Undoes a fast-path claim that failed revalidation, then repairs any
+  /// waiter that may have parked against the transient hold.
+  void UndoFastpathClaim(Shard& shard, Entry& entry, FpSlot& slot,
+                         bool fresh_claim);
+
+  enum class FpRelease { kNoSlot, kReleased, kReleasedLast };
+
+  /// Lock-free release of one fast-path acquisition.  kReleasedLast means
+  /// the slot was freed entirely (the caller should drop its cached mode).
+  FpRelease FastpathRelease(TxnId txn, ResourceId resource);
+
+  /// Flat-combining execution of one per-shard batch: publishes the
+  /// request, then either drains the shard's mailboxes itself (when it
+  /// gets the mutex) or waits for a concurrent combiner to apply it.
+  /// Returns false when no mailbox was free (caller uses the direct path).
+  bool CombineAcquireShard(Shard& shard, TxnId txn,
+                           std::span<const ResourceId> res,
+                           std::span<const LockMode> modes,
+                           const AcquireOptions& options, uint32_t* granted,
+                           uint32_t* record, LockMode* granted_modes)
+      CODLOCK_EXCLUDES(registry_mu_);
+
+  /// Applies every published mailbox of \p shard in descending order-key
+  /// order.  Caller holds the shard mutex; \p own (may be null) is the
+  /// caller's own mailbox, used only to count batches drained on behalf of
+  /// *other* publishers.
+  void CombinerDrain(Shard& shard, const CombineRequest* own)
+      CODLOCK_REQUIRES(shard.mu);
+
   /// Unwinds a failed wait: dequeues the waiter, deregisters it from the
   /// waits-for graph, promotes unblocked waiters and drops an empty entry.
-  void CleanupFailedWait(Shard& shard, ResourceId resource, Entry& entry,
-                         TxnId txn, const WaiterState* waiter,
-                         const Stopwatch& waited) CODLOCK_REQUIRES(shard.mu);
+  void CleanupFailedWait(Shard& shard, Entry& entry, TxnId txn,
+                         const WaiterState* waiter, const Stopwatch& waited)
+      CODLOCK_REQUIRES(shard.mu);
 
-  /// Grant test for (txn, target mode) against all *other* holders.
-  /// Counts compatibility tests in stats.
+  /// Grant test for (txn, target mode) against all *other* holders —
+  /// vector holders and fast-path slots.  Counts compatibility tests in
+  /// stats.  Grant decisions must run inside an EntryMutation window.
   bool CompatibleWithHolders(const Shard& shard, const Entry& entry, TxnId txn,
                              LockMode target) CODLOCK_REQUIRES(shard.mu);
 
-  /// Blockers of (txn, target mode): other holders with incompatible modes,
-  /// plus (for non-conversion requests) earlier queued waiters.
+  /// Blockers of (txn, target mode): other holders (vector or fast-path)
+  /// with incompatible modes, plus (for non-conversion requests) earlier
+  /// queued waiters.
   std::vector<TxnId> BlockersOf(const Shard& shard, const Entry& entry,
                                 TxnId txn, LockMode target,
                                 const WaiterState* self) const
@@ -401,7 +618,7 @@ class LockManager {
 
   /// Promotes grantable waiters at the front of the queue and wakes each
   /// one on its own condition variable.  Called with the shard mutex held
-  /// whenever holders change.
+  /// whenever holders change; must run inside an EntryMutation window.
   void GrantWaiters(Shard& shard, Entry& entry) CODLOCK_REQUIRES(shard.mu);
 
   void EraseWaiter(Entry& entry, const WaiterState* w);
@@ -425,9 +642,15 @@ class LockManager {
   Options options_;
   DeadlockPolicy policy_ = DeadlockPolicy::kDetect;
   mutable std::vector<Shard> shards_;
-  size_t shard_mask_ = 0;  ///< shards_.size() - 1 (power of two)
+  size_t shard_mask_ = 0;   ///< shards_.size() - 1 (power of two)
+  int shard_bits_ = 0;      ///< log2(shards_.size())
   WaitsForGraph wfg_;
   LockStats stats_;
+
+  /// Set once the first fast-path grant lands; lets Release skip the
+  /// lock-free probe entirely for managers that never see the fast path
+  /// (raw users without caches).
+  std::atomic<bool> fastpath_used_{false};
 
   /// Requests currently blocked in AcquireLocked (shedding + drain).
   std::atomic<size_t> blocked_waiters_{0};

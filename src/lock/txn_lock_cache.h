@@ -87,6 +87,10 @@ class TxnLockCache {
     ResourceId res;
     LockMode mode = LockMode::kNL;
     uint8_t duration = 0;   ///< 1 when the shard-side holder is long.
+    uint8_t fastpath = 0;   ///< 1 when an optimistic fast-path slot may
+                            ///< back this mode (release probes the entry).
+    uint8_t registered = 0; ///< 1 once the (txn, resource) pair is in the
+                            ///< lock manager's held-lock registry.
     uint32_t pending = 0;   ///< fast-path grants not yet released
   };
 
@@ -118,14 +122,39 @@ class TxnLockCache {
   void Note(const ResourceId& r, LockMode mode, bool is_long) {
     AssertOwner();
     Fresh();  // start a fresh array if an invalidation raced the grant
-    Slot* s = Find(r);
-    if (s == nullptr) {
-      if (slots_.size() >= kMaxEntries) return;  // full: stay uncached
-      slots_.push_back(Slot{r, LockMode::kNL, 0, 0});
-      s = &slots_.back();
-    }
+    Slot* s = FindOrCreate(r);
+    if (s == nullptr) return;  // full: stay uncached
     s->mode = Supremum(s->mode, mode);
+    s->registered = 1;  // the slow path records the pair itself
     if (is_long) s->duration = 1;
+  }
+
+  /// Records an optimistic fast-path grant of \p mode on \p r (always
+  /// short duration).  Returns true when the caller must still register
+  /// the (txn, resource) pair in the held-lock registry — i.e. on the
+  /// first fast-path grant for this resource.  Owner thread only.
+  bool NoteFastpath(const ResourceId& r, LockMode mode) {
+    AssertOwner();
+    Fresh();
+    Slot* s = FindOrCreate(r);
+    if (s == nullptr) return true;  // full: caller registers defensively
+    s->mode = Supremum(s->mode, mode);
+    s->fastpath = 1;
+    const bool need_record = s->registered == 0;
+    s->registered = 1;
+    return need_record;
+  }
+
+  /// True when a release of \p r should probe the entry's fast-path slots
+  /// before taking the shard mutex.  Conservative: an invalidated cache or
+  /// an uncached resource answers true (probe; a miss is cheap and the
+  /// slow path handles fast-path slots too).  Owner thread only.
+  bool MaybeFastpathHeld(const ResourceId& r) {
+    AssertOwner();
+    if (!Fresh()) return true;
+    const Slot* s = Find(r);
+    if (s == nullptr) return true;
+    return s->fastpath != 0;
   }
 
   /// Consumes one fast-path grant of \p r if any is pending; the caller
@@ -201,6 +230,15 @@ class TxnLockCache {
       if (s.res == r) return &s;
     }
     return nullptr;
+  }
+
+  /// Find, creating an empty slot when absent; nullptr when full.
+  Slot* FindOrCreate(const ResourceId& r) CODLOCK_REQUIRES(owner_) {
+    Slot* s = Find(r);
+    if (s != nullptr) return s;
+    if (slots_.size() >= kMaxEntries) return nullptr;
+    slots_.push_back(Slot{r, LockMode::kNL, 0, 0, 0, 0});
+    return &slots_.back();
   }
 
   OwnerThreadCap owner_;

@@ -77,6 +77,10 @@ void LockStats::Reset() {
   grants.Reset();
   immediate_grants.Reset();
   cache_hits.Reset();
+  fastpath_grants.Reset();
+  fastpath_failures.Reset();
+  combine_published.Reset();
+  combine_drained.Reset();
   waits.Reset();
   conflicts.Reset();
   compat_tests.Reset();
@@ -107,7 +111,12 @@ std::string LockStats::ToString() const {
   std::ostringstream os;
   os << "requests=" << requests.value() << " grants=" << grants.value()
      << " immediate=" << immediate_grants.value()
-     << " cache_hits=" << cache_hits.value() << " waits=" << waits.value()
+     << " cache_hits=" << cache_hits.value()
+     << " fastpath=" << fastpath_grants.value()
+     << " fastpath_fail=" << fastpath_failures.value()
+     << " combine_pub=" << combine_published.value()
+     << " combine_drained=" << combine_drained.value()
+     << " waits=" << waits.value()
      << " conflicts=" << conflicts.value()
      << " compat_tests=" << compat_tests.value()
      << " deadlocks=" << deadlocks.value() << " timeouts=" << timeouts.value()

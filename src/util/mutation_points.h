@@ -27,6 +27,14 @@
 ///  * `kSkipWaiterWakeup`    — a grant promotes the waiter but never
 ///    notifies it (lost wakeup).  The schedule wedges: caught by the
 ///    termination oracle.
+///  * `kFastpathSkipValidation` — the optimistic compatible-mode fast path
+///    grants without checking the entry's seqlock grant summary (neither
+///    the premise nor the post-claim revalidation).  An S/IS slips in over
+///    an exclusive holder: caught by the compatibility-soundness oracle.
+///  * `kCombineDropRequest`  — the flat combiner marks a published
+///    propagation request granted without applying it to the lock table.
+///    The publisher's cache then claims a mode the shard never granted:
+///    caught by the cache-coherence (and visibility) oracles.
 
 #ifndef CODLOCK_UTIL_MUTATION_POINTS_H_
 #define CODLOCK_UTIL_MUTATION_POINTS_H_
@@ -43,6 +51,8 @@ enum class Mutant : uint32_t {
   kSkipDownwardPropagation,
   kDropCacheInvalidation,
   kSkipWaiterWakeup,
+  kFastpathSkipValidation,
+  kCombineDropRequest,
   kNumMutants,
 };
 
@@ -97,6 +107,10 @@ inline std::string_view MutantName(Mutant m) {
       return "drop-cache-invalidation";
     case Mutant::kSkipWaiterWakeup:
       return "skip-waiter-wakeup";
+    case Mutant::kFastpathSkipValidation:
+      return "fastpath.skip-validation";
+    case Mutant::kCombineDropRequest:
+      return "combine.drop-request";
     case Mutant::kNumMutants:
       break;
   }

@@ -19,6 +19,10 @@
 ///    (stale fast-path slots survive commit)
 ///  * skip-waiter-wakeup        → side-entry      → (e) termination (a
 ///    granted-but-unnotified waiter wedges the schedule)
+///  * fastpath.skip-validation  → side-entry      → (a) compatibility (an
+///    unvalidated optimistic grant lands over an exclusive holder)
+///  * combine.drop-request      → side-entry      → (d) cache coherence
+///    (a dropped combining batch is reported granted but never applied)
 
 #include <gtest/gtest.h>
 
@@ -102,6 +106,23 @@ TEST(McMutationTest, KillsDropCacheInvalidation) {
 TEST(McMutationTest, KillsSkipWaiterWakeup) {
   ExpectKilled(mutation::Mutant::kSkipWaiterWakeup, SideEntryWorkload(),
                "termination:");
+}
+
+TEST(McMutationTest, KillsFastpathSkipValidation) {
+  // Without the seqlock premise/revalidation, the optimistic fast path
+  // grants a shared mode over a conflicting exclusive holder (e.g. T1's
+  // propagation IS over T3's relation-level X); SnapshotAllLocks includes
+  // fast-path slots, so the compatibility oracle sees the impossible pair.
+  ExpectKilled(mutation::Mutant::kFastpathSkipValidation, SideEntryWorkload(),
+               "compatibility:");
+}
+
+TEST(McMutationTest, KillsCombineDropRequest) {
+  // A combiner that marks a published batch granted without applying it
+  // leaves the publisher caching modes the lock table never granted; the
+  // cache-coherence oracle compares cache claims against HeldMode.
+  ExpectKilled(mutation::Mutant::kCombineDropRequest, SideEntryWorkload(),
+               "cache:");
 }
 
 }  // namespace

@@ -272,12 +272,41 @@ TEST(LockManagerShardingTest, ShardCountClampedToPowerOfTwo) {
     o.num_shards = n;
     return LockManager(o).NumShards();
   };
-  EXPECT_EQ(shards_with(0), 1u);
-  EXPECT_EQ(shards_with(-5), 1u);
   EXPECT_EQ(shards_with(1), 1u);
   EXPECT_EQ(shards_with(3), 4u);
   EXPECT_EQ(shards_with(16), 16u);
   EXPECT_EQ(shards_with(17), 32u);
+}
+
+TEST(LockManagerShardingTest, ZeroShardsDerivesFromHardwareConcurrency) {
+  // num_shards <= 0 derives the count from the machine (4x the logical
+  // CPU count, power of two, clamped to [16, 1024]).
+  const size_t derived =
+      LockManager::DerivedNumShards(std::thread::hardware_concurrency());
+  auto shards_with = [](int n) {
+    LockManager::Options o;
+    o.num_shards = n;
+    return LockManager(o).NumShards();
+  };
+  EXPECT_EQ(shards_with(0), derived);
+  EXPECT_EQ(shards_with(-5), derived);
+}
+
+TEST(LockManagerShardingTest, DerivedNumShardsScalesWithCores) {
+  // Unknown concurrency: the historical default.
+  EXPECT_EQ(LockManager::DerivedNumShards(0), 16u);
+  // Small hosts keep the floor of 16.
+  EXPECT_EQ(LockManager::DerivedNumShards(1), 16u);
+  EXPECT_EQ(LockManager::DerivedNumShards(4), 16u);
+  // 4x over-provisioning, rounded up to a power of two.
+  EXPECT_EQ(LockManager::DerivedNumShards(8), 32u);
+  EXPECT_EQ(LockManager::DerivedNumShards(12), 64u);
+  EXPECT_EQ(LockManager::DerivedNumShards(16), 64u);
+  EXPECT_EQ(LockManager::DerivedNumShards(24), 128u);
+  EXPECT_EQ(LockManager::DerivedNumShards(64), 256u);
+  // Huge hosts hit the 1024 ceiling.
+  EXPECT_EQ(LockManager::DerivedNumShards(1000), 1024u);
+  EXPECT_EQ(LockManager::DerivedNumShards(100000), 1024u);
 }
 
 TEST(LockManagerWakeupTest, DowngradePromotesEveryCompatibleQueuedWaiter) {

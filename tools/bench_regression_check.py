@@ -11,7 +11,21 @@ Reads the two perf baselines the repo keeps at its root —
                            value in the document is compared (higher is
                            better);
   BENCH_lease.json         bench_lease --json; compared like
-                           BENCH_overhead.json.
+                           BENCH_overhead.json;
+  BENCH_contention.json    bench_contention --json; every per-thread-count
+                           "throughput_ops_s" in every series is compared
+                           (higher is better), and the fresh run's
+                           fast-path speedup on the contended S/IS series
+                           must clear --fastpath-floor (default 2.0) — the
+                           multi-core scaling floor, enforced regardless
+                           of thresholds.
+
+Baselines are only comparable on the same class of machine and build:
+when both documents carry a "context" block, a library_build_type
+mismatch refuses the comparison (exit 1) and a num_cpus mismatch skips
+the cross-run series comparison with a loud warning — pass
+--allow-context-mismatch to downgrade the refusal to a warning.  The
+fast-path floor is a within-run ratio and is enforced either way.
 
 and prints one line per metric with the relative delta.  A metric whose
 delta is worse than the threshold (default 15%) counts as a regression;
@@ -68,6 +82,50 @@ def throughput_metrics(doc, prefix=""):
     return out
 
 
+def contention_metrics(doc):
+    """Map "series.threads" -> throughput_ops_s from bench_contention."""
+    out = {}
+    for series, points in doc.get("series", {}).items():
+        for threads, point in points.items():
+            tput = point.get("throughput_ops_s")
+            if isinstance(tput, (int, float)):
+                out[f"{series}.t{threads}"] = float(tput)
+    return out
+
+
+def check_context(name, base_doc, fresh_doc, allow_mismatch):
+    """Compares the "context" blocks of two baseline documents.
+
+    Returns (comparable, fatal).  A library_build_type mismatch makes the
+    cross-run comparison meaningless (debug vs release numbers differ by
+    integer factors): it is fatal unless --allow-context-mismatch.  A
+    num_cpus mismatch skips the cross-run comparison with a warning —
+    per-thread scaling curves from different machines do not line up.
+    Documents without a context block (pre-context captures) compare as
+    before.
+    """
+    base_ctx = base_doc.get("context")
+    fresh_ctx = fresh_doc.get("context")
+    if not isinstance(base_ctx, dict) or not isinstance(fresh_ctx, dict):
+        return True, False
+    b_build = base_ctx.get("library_build_type")
+    f_build = fresh_ctx.get("library_build_type")
+    if b_build != f_build:
+        print(f"  {name}: context mismatch — library_build_type "
+              f"baseline={b_build!r} fresh={f_build!r}"
+              + ("" if allow_mismatch else " (refusing comparison; pass "
+                 "--allow-context-mismatch to downgrade)"))
+        return False, not allow_mismatch
+    b_cpus = base_ctx.get("num_cpus")
+    f_cpus = fresh_ctx.get("num_cpus")
+    if b_cpus != f_cpus:
+        print(f"  {name}: WARNING context mismatch — num_cpus "
+              f"baseline={b_cpus!r} fresh={f_cpus!r}; cross-run comparison "
+              f"skipped (capture a baseline on this machine class)")
+        return False, False
+    return True, False
+
+
 def compare(name, baseline, fresh, threshold, fail_threshold,
             lower_is_better):
     """Returns (is_regression, is_failure, line)."""
@@ -97,6 +155,14 @@ def main():
     ap.add_argument("--strict", action="store_true",
                     help="exit non-zero when any regression is found "
                          "(default: only those beyond --fail-threshold)")
+    ap.add_argument("--fastpath-floor", type=float, default=2.0,
+                    help="minimum fast-path vs slow-path speedup the fresh "
+                         "BENCH_contention.json must show on the contended "
+                         "S/IS series (default 2.0; 0 disables)")
+    ap.add_argument("--allow-context-mismatch", action="store_true",
+                    help="downgrade a library_build_type mismatch between "
+                         "baseline and fresh context blocks from a refusal "
+                         "to a warning")
     args = ap.parse_args()
 
     regressions = 0
@@ -108,9 +174,15 @@ def main():
     base_path = os.path.join(args.baseline_dir, lm)
     fresh_path = os.path.join(args.fresh_dir, lm)
     if os.path.exists(base_path) and os.path.exists(fresh_path):
-        base = lock_manager_medians(load_json(base_path))
-        fresh = lock_manager_medians(load_json(fresh_path))
+        base_doc = load_json(base_path)
+        fresh_doc = load_json(fresh_path)
         print(f"{lm} (median real_time, lower is better):")
+        # google-benchmark's own context block carries the same keys.
+        comparable, ctx_fatal = check_context(lm, base_doc, fresh_doc,
+                                              args.allow_context_mismatch)
+        failures += ctx_fatal
+        base = lock_manager_medians(base_doc) if comparable else {}
+        fresh = lock_manager_medians(fresh_doc)
         for name in sorted(base):
             if name not in fresh:
                 print(f"  {name}: missing from fresh run")
@@ -138,9 +210,16 @@ def main():
         if not (os.path.exists(base_path) and os.path.exists(fresh_path)):
             print(f"{ov}: not present in both directories, skipped")
             continue
-        base = throughput_metrics(load_json(base_path))
-        fresh = throughput_metrics(load_json(fresh_path))
+        base_doc = load_json(base_path)
+        fresh_doc = load_json(fresh_path)
         print(f"{ov} (throughput_tps, higher is better):")
+        comparable, ctx_fatal = check_context(ov, base_doc, fresh_doc,
+                                              args.allow_context_mismatch)
+        failures += ctx_fatal
+        if not comparable:
+            continue
+        base = throughput_metrics(base_doc)
+        fresh = throughput_metrics(fresh_doc)
         for name in sorted(base):
             if name not in fresh:
                 print(f"  {name}: missing from fresh run")
@@ -152,6 +231,56 @@ def main():
             compared += 1
             regressions += worse
             failures += fatal
+
+    # --- BENCH_contention.json: per-thread series + the scaling floor. ------
+    ct = "BENCH_contention.json"
+    base_path = os.path.join(args.baseline_dir, ct)
+    fresh_path = os.path.join(args.fresh_dir, ct)
+    fresh_doc = load_json(fresh_path) if os.path.exists(fresh_path) else None
+    if os.path.exists(base_path) and fresh_doc is not None:
+        base_doc = load_json(base_path)
+        print(f"{ct} (throughput_ops_s per thread count, higher is better):")
+        comparable, ctx_fatal = check_context(ct, base_doc, fresh_doc,
+                                              args.allow_context_mismatch)
+        failures += ctx_fatal
+        if comparable:
+            base = contention_metrics(base_doc)
+            fresh = contention_metrics(fresh_doc)
+            for name in sorted(base):
+                if name not in fresh:
+                    print(f"  {name}: missing from fresh run")
+                    continue
+                worse, fatal, line = compare(name, base[name], fresh[name],
+                                             args.threshold,
+                                             args.fail_threshold,
+                                             lower_is_better=False)
+                print(line)
+                compared += 1
+                regressions += worse
+                failures += fatal
+            for name in sorted(set(fresh) - set(base)):
+                print(f"  {name}: new series point (no baseline)")
+    else:
+        print(f"{ct}: not present in both directories, "
+              f"cross-run comparison skipped")
+
+    # The S/IS scaling floor is a within-run ratio (fast path vs slow path
+    # in the *fresh* capture), so it holds regardless of machine class.
+    if fresh_doc is not None and args.fastpath_floor > 0:
+        derived = fresh_doc.get("derived", {})
+        speedup = derived.get("fastpath_speedup")
+        threads = derived.get("fastpath_speedup_threads")
+        if isinstance(speedup, (int, float)):
+            ok = speedup >= args.fastpath_floor
+            print(f"  fastpath speedup @{threads} threads: {speedup:.2f}x "
+                  f"(floor {args.fastpath_floor:.2f}x) "
+                  f"[{'ok' if ok else 'FAILURE'}]")
+            compared += 1
+            if not ok:
+                failures += 1
+        else:
+            print("  fastpath speedup: missing from fresh run [FAILURE]")
+            failures += 1
 
     print(f"compared {compared} metrics, {regressions} regression(s) beyond "
           f"{args.threshold:.0%}, {failures} beyond the "

@@ -196,6 +196,10 @@ constexpr MutantConfig kKillSuite[] = {
      lock::DeadlockPolicy::kDetect, true},
     {mutation::Mutant::kSkipWaiterWakeup, "side-entry",
      lock::DeadlockPolicy::kDetect, true},
+    {mutation::Mutant::kFastpathSkipValidation, "side-entry",
+     lock::DeadlockPolicy::kDetect, true},
+    {mutation::Mutant::kCombineDropRequest, "side-entry",
+     lock::DeadlockPolicy::kDetect, true},
 };
 
 int RunKillSuite(const CliOptions& cli) {
