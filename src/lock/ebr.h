@@ -34,9 +34,11 @@
 #define CODLOCK_LOCK_EBR_H_
 
 #include <array>
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
+
+#include "util/mutation_points.h"
+#include "util/wm_atomic.h"
 
 namespace codlock::lock::ebr {
 
@@ -48,13 +50,20 @@ class Reclaimer {
   static constexpr size_t kMaxThreads = 512;
 
   Reclaimer() = default;
+  /// Test-only seam: starts the epoch counter at `initial_epoch` so the
+  /// counter-width edge cases (values past 2^32, values adjacent to the
+  /// kIdle sentinel) are reachable without 2^64 stamps.  Production code
+  /// always uses the default counter start of 1; at one stamp per
+  /// nanosecond the 64-bit counter takes ~584 years to reach kIdle, so
+  /// sentinel collision is unreachable within a process lifetime.
+  explicit Reclaimer(uint64_t initial_epoch) : global_(initial_epoch) {}
   Reclaimer(const Reclaimer&) = delete;
   Reclaimer& operator=(const Reclaimer&) = delete;
 
  private:
   struct Record {
-    std::atomic<uint64_t> epoch{kIdle};
-    std::atomic<bool> used{false};
+    wm::Atomic<uint64_t> epoch{kIdle};
+    wm::Atomic<bool> used{false};
   };
 
  public:
@@ -64,20 +73,26 @@ class Reclaimer {
    public:
     explicit Guard(Reclaimer& r) : rec_(r.LocalRecord()) {
       if (rec_ == nullptr) return;
-      uint64_t e = r.global_.load(std::memory_order_seq_cst);
-      rec_->epoch.store(e, std::memory_order_seq_cst);
+      // Order-weakening mutation point (kill-suite only): pin and
+      // validate must be seq_cst — `codlock_wmc`'s ebr_pin_vs_stamp
+      // harness proves a relaxed pin lets a reclaimer's scan miss it and
+      // reuse a node the reader still dereferences.
+      const wm::MemoryOrder pin_mo = mutation::WeakenedOrder(
+          mutation::Mutant::kWmEbrEpochRelaxed, wm::seq_cst);
+      uint64_t e = r.global_.load(pin_mo);
+      rec_->epoch.store(e, pin_mo);
       // Validate: if the counter moved past our published pin, a
       // reclaimer may have scanned before seeing it — re-pin at the newer
       // epoch, from which every earlier unlink is visible.
       uint64_t g;
-      while ((g = r.global_.load(std::memory_order_seq_cst)) != e) {
+      while ((g = r.global_.load(pin_mo)) != e) {
         e = g;
-        rec_->epoch.store(e, std::memory_order_seq_cst);
+        rec_->epoch.store(e, pin_mo);
       }
     }
     ~Guard() {
       if (rec_ != nullptr) {
-        rec_->epoch.store(kIdle, std::memory_order_release);
+        rec_->epoch.store(kIdle, wm::release);
       }
     }
     Guard(const Guard&) = delete;
@@ -95,16 +110,16 @@ class Reclaimer {
   /// *before* this call (program order).  Readers pinned below the stamp
   /// may still reach the node; readers at or above it cannot.
   uint64_t Stamp() {
-    return global_.fetch_add(1, std::memory_order_seq_cst) + 1;
+    return global_.fetch_add(1, wm::seq_cst) + 1;
   }
 
   /// Smallest epoch any thread is currently pinned at (kIdle when all
   /// threads are idle).  A node stamped S is reusable iff MinActive() >= S.
   uint64_t MinActive() const {
     uint64_t min = kIdle;
-    const size_t n = high_water_.load(std::memory_order_acquire);
+    const size_t n = high_water_.load(wm::acquire);
     for (size_t i = 0; i < n; ++i) {
-      uint64_t e = records_[i].epoch.load(std::memory_order_seq_cst);
+      uint64_t e = records_[i].epoch.load(wm::seq_cst);
       if (e < min) min = e;
     }
     return min;
@@ -120,8 +135,8 @@ class Reclaimer {
     Record* rec = nullptr;
     ~Registration() {
       if (rec != nullptr) {
-        rec->epoch.store(kIdle, std::memory_order_release);
-        rec->used.store(false, std::memory_order_release);
+        rec->epoch.store(kIdle, wm::release);
+        rec->used.store(false, wm::release);
       }
     }
   };
@@ -132,11 +147,11 @@ class Reclaimer {
     for (size_t i = 0; i < kMaxThreads; ++i) {
       bool expected = false;
       if (records_[i].used.compare_exchange_strong(
-              expected, true, std::memory_order_acq_rel)) {
+              expected, true, wm::acq_rel)) {
         // Grow the scan bound monotonically to the highest slot ever used.
-        size_t hw = high_water_.load(std::memory_order_relaxed);
+        size_t hw = high_water_.load(wm::relaxed);
         while (hw < i + 1 && !high_water_.compare_exchange_weak(
-                                 hw, i + 1, std::memory_order_acq_rel)) {
+                                 hw, i + 1, wm::acq_rel)) {
         }
         reg.rec = &records_[i];
         return reg.rec;
@@ -146,8 +161,8 @@ class Reclaimer {
   }
 
   std::array<Record, kMaxThreads> records_{};
-  std::atomic<uint64_t> global_{1};
-  std::atomic<size_t> high_water_{0};
+  wm::Atomic<uint64_t> global_{1};
+  wm::Atomic<size_t> high_water_{0};
 };
 
 /// Process-wide reclaimer shared by every lock manager.  A single epoch

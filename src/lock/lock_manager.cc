@@ -26,10 +26,10 @@ fault::FaultPoint g_fault_acquire_path{"lock/acquire-path",
 /// Bumps the held-locks gauge by \p n and its high-water mark (atomics
 /// only).  Batched callers pay one RMW for a whole path.
 void NoteHoldersAdded(LockStats& stats, int64_t n) {
-  int64_t held = stats.held_locks.fetch_add(n, std::memory_order_relaxed) + n;
-  int64_t prev = stats.max_held_locks.load(std::memory_order_relaxed);
+  int64_t held = stats.held_locks.fetch_add(n, wm::relaxed) + n;
+  int64_t prev = stats.max_held_locks.load(wm::relaxed);
   while (prev < held && !stats.max_held_locks.compare_exchange_weak(
-                            prev, held, std::memory_order_relaxed)) {
+                            prev, held, wm::relaxed)) {
   }
 }
 
@@ -83,10 +83,10 @@ LockManager::~LockManager() {
   for (Shard& shard : shards_) {
     MutexLock lk(shard.mu);
     for (auto& head : shard.buckets) {
-      Entry* e = head.load(std::memory_order_relaxed);
-      head.store(nullptr, std::memory_order_relaxed);
+      Entry* e = head.load(wm::relaxed);
+      head.store(nullptr, wm::relaxed);
       while (e != nullptr) {
-        Entry* next = e->next.load(std::memory_order_relaxed);
+        Entry* next = e->next.load(wm::relaxed);
         delete e;
         e = next;
       }
@@ -100,7 +100,7 @@ void LockManager::Wound(TxnId txn) {
   {
     MutexLock lk(wounded_mu_);
     if (!wounded_.insert(txn).second) return;
-    wounded_count_.fetch_add(1, std::memory_order_relaxed);
+    wounded_count_.fetch_add(1, wm::relaxed);
   }
   // The wounded transaction must observe the wound on its *next* acquire:
   // drop its fast path before killing any pending wait.
@@ -109,29 +109,29 @@ void LockManager::Wound(TxnId txn) {
 }
 
 bool LockManager::IsWounded(TxnId txn) const {
-  if (wounded_count_.load(std::memory_order_acquire) == 0) return false;
+  if (wounded_count_.load(wm::acquire) == 0) return false;
   MutexLock lk(wounded_mu_);
   return wounded_.contains(txn);
 }
 
 void LockManager::ClearWound(TxnId txn) {
-  if (wounded_count_.load(std::memory_order_acquire) == 0) return;
+  if (wounded_count_.load(wm::acquire) == 0) return;
   MutexLock lk(wounded_mu_);
   if (wounded_.erase(txn) > 0) {
-    wounded_count_.fetch_sub(1, std::memory_order_relaxed);
+    wounded_count_.fetch_sub(1, wm::relaxed);
   }
 }
 
 void LockManager::AttachCache(TxnId txn, TxnLockCache* cache) {
   MutexLock lk(caches_mu_);
   caches_[txn] = cache;
-  cache_count_.store(caches_.size(), std::memory_order_release);
+  cache_count_.store(caches_.size(), wm::release);
 }
 
 void LockManager::DetachCache(TxnId txn) {
   MutexLock lk(caches_mu_);
   caches_.erase(txn);
-  cache_count_.store(caches_.size(), std::memory_order_release);
+  cache_count_.store(caches_.size(), wm::release);
 }
 
 void LockManager::InvalidateAttachedCache(TxnId txn) {
@@ -141,7 +141,7 @@ void LockManager::InvalidateAttachedCache(TxnId txn) {
   if (mutation::Enabled(mutation::Mutant::kDropCacheInvalidation)) return;
   // With no cache attached anywhere there is nothing to invalidate; skip
   // the registry mutex (standalone LockManager users never pay for it).
-  if (cache_count_.load(std::memory_order_acquire) == 0) return;
+  if (cache_count_.load(wm::acquire) == 0) return;
   MutexLock lk(caches_mu_);
   auto it = caches_.find(txn);
   if (it != caches_.end()) it->second->Invalidate();
@@ -154,19 +154,19 @@ LockManager::Entry* LockManager::FindEntry(const Shard& shard,
   // Safe under the shard mutex *or* under an EBR guard: `res` and `next`
   // of a linked node are immutable, and an unlinked node keeps its `next`
   // pointing into the live tail so a reader mid-traversal continues.
-  Entry* e = shard.buckets[BucketIndexFor(res)].load(std::memory_order_seq_cst);
+  Entry* e = shard.buckets[BucketIndexFor(res)].load(wm::seq_cst);
   while (e != nullptr) {
     if (e->res == res) return e;
-    e = e->next.load(std::memory_order_seq_cst);
+    e = e->next.load(wm::seq_cst);
   }
   return nullptr;
 }
 
 LockManager::Entry& LockManager::EntryFor(Shard& shard, const ResourceId& res) {
   const size_t b = BucketIndexFor(res);
-  Entry* head = shard.buckets[b].load(std::memory_order_relaxed);
+  Entry* head = shard.buckets[b].load(wm::relaxed);
   for (Entry* e = head; e != nullptr;
-       e = e->next.load(std::memory_order_relaxed)) {
+       e = e->next.load(wm::relaxed)) {
     if (e->res == res) return *e;
   }
   Entry* e;
@@ -178,40 +178,40 @@ LockManager::Entry& LockManager::EntryFor(Shard& shard, const ResourceId& res) {
     e = shard.retired.front();
     shard.retired.erase(shard.retired.begin());
     e->res = res;
-    e->summary.store(0, std::memory_order_relaxed);
+    e->summary.store(0, wm::relaxed);
     e->holders.clear();
     e->waiters.clear();
   } else {
     e = new Entry();
     e->res = res;
   }
-  e->next.store(head, std::memory_order_relaxed);
+  e->next.store(head, wm::relaxed);
   // Publish: the seq_cst store orders the key/link writes above before the
   // node becomes reachable to lock-free readers.
-  shard.buckets[b].store(e, std::memory_order_seq_cst);
+  shard.buckets[b].store(e, wm::seq_cst);
   ++shard.num_entries;
   return *e;
 }
 
 void LockManager::RetireEntry(Shard& shard, Entry& entry) {
   const size_t b = BucketIndexFor(entry.res);
-  Entry* cur = shard.buckets[b].load(std::memory_order_relaxed);
+  Entry* cur = shard.buckets[b].load(wm::relaxed);
   if (cur == &entry) {
-    shard.buckets[b].store(entry.next.load(std::memory_order_relaxed),
-                           std::memory_order_seq_cst);
+    shard.buckets[b].store(entry.next.load(wm::relaxed),
+                           wm::seq_cst);
   } else {
     while (cur != nullptr) {
-      Entry* next = cur->next.load(std::memory_order_relaxed);
+      Entry* next = cur->next.load(wm::relaxed);
       if (next == &entry) break;
       cur = next;
     }
     if (cur == nullptr) return;  // not linked — nothing to do (defensive)
-    cur->next.store(entry.next.load(std::memory_order_relaxed),
-                    std::memory_order_seq_cst);
+    cur->next.store(entry.next.load(wm::relaxed),
+                    wm::seq_cst);
   }
   // The node's own `next` stays intact: a pinned reader that reached it
   // before the unlink continues through to the live tail of the chain.
-  entry.summary.fetch_or(kSummaryRetired, std::memory_order_seq_cst);
+  entry.summary.fetch_or(kSummaryRetired, wm::seq_cst);
   entry.holders.clear();
   entry.waiters.clear();
   // Stamp *after* the unlink: a reader pinned at or above the stamp
@@ -229,7 +229,7 @@ void LockManager::RetireEntry(Shard& shard, Entry& entry) {
 }
 
 void LockManager::MaybeRetireEntry(Shard& shard, Entry& entry) {
-  if ((entry.summary.load(std::memory_order_relaxed) & kSummaryRetired) != 0) {
+  if ((entry.summary.load(wm::relaxed) & kSummaryRetired) != 0) {
     return;  // already unlinked by an earlier repair
   }
   if (entry.holders.empty() && entry.waiters.empty() && FpSlotsEmpty(entry)) {
@@ -241,8 +241,8 @@ bool LockManager::FpSlotsEmpty(const Entry& entry) {
   for (const FpSlot& slot : entry.fp) {
     // A transient claim (txn set, word still 0) counts as occupied:
     // retiring under it would strand the claimant's revalidation.
-    if (slot.txn.load(std::memory_order_seq_cst) != kInvalidTxn ||
-        slot.word.load(std::memory_order_seq_cst) != 0) {
+    if (slot.txn.load(wm::seq_cst) != kInvalidTxn ||
+        slot.word.load(wm::seq_cst) != 0) {
       return false;
     }
   }
@@ -269,9 +269,9 @@ bool LockManager::CompatibleWithHolders(const Shard& shard, const Entry& entry,
     // supremum of the two modes (the lattice distributes compatibility
     // over suprema), so testing each part separately is exact.
     for (const FpSlot& slot : entry.fp) {
-      const TxnId t = slot.txn.load(std::memory_order_seq_cst);
+      const TxnId t = slot.txn.load(wm::seq_cst);
       if (t == kInvalidTxn || t == txn) continue;
-      const uint64_t w = slot.word.load(std::memory_order_seq_cst);
+      const uint64_t w = slot.word.load(wm::seq_cst);
       if (w == 0) continue;  // transient claim: its revalidation sees us
       stats_.compat_tests.Add();
       if (!Compatible(target, FpMode(w))) {
@@ -300,9 +300,9 @@ std::vector<TxnId> LockManager::BlockersOf(const Shard& shard,
     if (h.txn != txn && !Compatible(target, h.mode)) add(h.txn);
   }
   for (const FpSlot& slot : entry.fp) {
-    const TxnId t = slot.txn.load(std::memory_order_seq_cst);
+    const TxnId t = slot.txn.load(wm::seq_cst);
     if (t == kInvalidTxn || t == txn) continue;
-    const uint64_t w = slot.word.load(std::memory_order_seq_cst);
+    const uint64_t w = slot.word.load(wm::seq_cst);
     if (w != 0 && !Compatible(target, FpMode(w))) add(t);
   }
   if (self == nullptr || !self->is_conversion) {
@@ -310,7 +310,7 @@ std::vector<TxnId> LockManager::BlockersOf(const Shard& shard,
     for (const auto& w : entry.waiters) {
       if (w.get() == self) break;
       if (!w->granted &&
-          w->killed.load(std::memory_order_relaxed) == KillReason::kNone) {
+          w->killed.load(wm::relaxed) == KillReason::kNone) {
         add(w->txn);
       }
     }
@@ -321,7 +321,7 @@ std::vector<TxnId> LockManager::BlockersOf(const Shard& shard,
 void LockManager::GrantWaiters(Shard& shard, Entry& entry) {
   for (auto it = entry.waiters.begin(); it != entry.waiters.end();) {
     const std::shared_ptr<WaiterState>& w = *it;
-    if (w->killed.load(std::memory_order_relaxed) != KillReason::kNone) {
+    if (w->killed.load(wm::relaxed) != KillReason::kNone) {
       // The victim cleans up its own queue entry; skip it here.
       ++it;
       continue;
@@ -359,7 +359,9 @@ void LockManager::GrantWaiters(Shard& shard, Entry& entry) {
   }
 }
 
-void LockManager::EraseWaiter(Entry& entry, const WaiterState* w) {
+void LockManager::EraseWaiter(Shard& shard, Entry& entry,
+                              const WaiterState* w) {
+  (void)shard;  // carries the REQUIRES(shard.mu) annotation
   for (auto it = entry.waiters.begin(); it != entry.waiters.end(); ++it) {
     if (it->get() == w) {
       entry.waiters.erase(it);
@@ -404,7 +406,7 @@ bool LockManager::TryFastpathAcquire(TxnId txn, ResourceId resource,
                                      const AcquireOptions& options,
                                      TxnLockCache* cache) {
   (void)options;  // duration gated by the caller (fast-path holds are short)
-  if (draining_.load(std::memory_order_acquire)) return false;
+  if (draining_.load(wm::acquire)) return false;
   ebr::Reclaimer::Guard guard(ebr::Global());
   if (!guard.ok()) return false;  // registration table full: slow path only
   Shard& shard = ShardFor(resource);
@@ -417,7 +419,13 @@ bool LockManager::TryFastpathAcquire(TxnId txn, ResourceId resource,
   const bool validate =
       !mutation::Enabled(mutation::Mutant::kFastpathSkipValidation);
 
-  const uint64_t s1 = entry->summary.load(std::memory_order_seq_cst);
+  // Order-weakening mutation point (kill-suite only): the premise and
+  // revalidation loads must be seq_cst — `codlock_wmc`'s
+  // summary_publish_validate harness proves relaxed loads can validate
+  // against a stale even summary and grant S over an X holder.
+  const wm::MemoryOrder summary_mo = mutation::WeakenedOrder(
+      mutation::Mutant::kWmSummaryLoadRelaxed, wm::seq_cst);
+  const uint64_t s1 = entry->summary.load(summary_mo);
   if (validate) {
     // Premise: settled summary (even sequence), no queued waiter to be
     // fair to, not retired, and no vector holder whose mode conflicts
@@ -437,16 +445,16 @@ bool LockManager::TryFastpathAcquire(TxnId txn, ResourceId resource,
 
   FpSlot* free_slot = nullptr;
   for (FpSlot& slot : entry->fp) {
-    const TxnId owner = slot.txn.load(std::memory_order_seq_cst);
+    const TxnId owner = slot.txn.load(wm::seq_cst);
     if (owner == txn) {
       // Re-entrant covered acquisition: bump the count.  No revalidation —
       // a covered re-acquisition never changes the entry's conflict set
       // (the slow path bypasses the waiter queue for it too).
-      uint64_t w = slot.word.load(std::memory_order_seq_cst);
+      uint64_t w = slot.word.load(wm::seq_cst);
       while (true) {
         if (w == 0 || !Covers(FpMode(w), mode)) return false;  // slow path
         if (slot.word.compare_exchange_weak(w, w + kFpCountOne,
-                                            std::memory_order_seq_cst)) {
+                                            wm::seq_cst)) {
           stats_.fastpath_grants.Add();
           if (cache != nullptr && cache->NoteFastpath(resource, FpMode(w))) {
             RecordHeld(txn, resource);
@@ -460,24 +468,30 @@ bool LockManager::TryFastpathAcquire(TxnId txn, ResourceId resource,
   if (free_slot == nullptr) return false;  // slots saturated: slow path
 
   TxnId expected = kInvalidTxn;
-  if (!free_slot->txn.compare_exchange_strong(expected, txn,
-                                              std::memory_order_seq_cst)) {
+  // Order-weakening mutation point: the claim must sit in the seq_cst
+  // total order for the Dekker-style argument below — relaxed, a
+  // mutex-side slot scan may legally read the stale empty slot
+  // (codlock_wmc: summary_publish_validate, wm.slot-cas-relaxed).
+  if (!free_slot->txn.compare_exchange_strong(
+          expected, txn,
+          mutation::WeakenedOrder(mutation::Mutant::kWmSlotCasRelaxed,
+                                  wm::seq_cst))) {
     return false;  // lost the slot race; slow path rather than re-scan
   }
-  free_slot->word.store(FpWord(mode, 1), std::memory_order_seq_cst);
+  free_slot->word.store(FpWord(mode, 1), wm::seq_cst);
   if (validate) {
     // Revalidate: a shard-mutex mutation between the two reads bumped the
     // sequence.  Mutators go odd *before* their compatibility scan, so in
     // the seq_cst total order either they see our claim or we see their
     // bump — never neither.
-    const uint64_t s2 = entry->summary.load(std::memory_order_seq_cst);
+    const uint64_t s2 = entry->summary.load(summary_mo);
     if (s2 != s1) {
       UndoFastpathClaim(shard, *entry, *free_slot, /*fresh_claim=*/true);
       stats_.fastpath_failures.Add();
       return false;
     }
   }
-  fastpath_used_.store(true, std::memory_order_release);
+  fastpath_used_.store(true, wm::release);
   stats_.fastpath_grants.Add();
   NoteHolderAdded(stats_);
   if (cache == nullptr || cache->NoteFastpath(resource, mode)) {
@@ -488,13 +502,13 @@ bool LockManager::TryFastpathAcquire(TxnId txn, ResourceId resource,
 
 void LockManager::UndoFastpathClaim(Shard& shard, Entry& entry, FpSlot& slot,
                                     bool fresh_claim) {
-  slot.word.store(0, std::memory_order_seq_cst);
-  if (fresh_claim) slot.txn.store(kInvalidTxn, std::memory_order_seq_cst);
+  slot.word.store(0, wm::seq_cst);
+  if (fresh_claim) slot.txn.store(kInvalidTxn, wm::seq_cst);
   // A mutex-side grant decision may have counted the transient claim as a
   // holder (and parked a waiter against it), and the entry may now be
   // empty.  Repair under the mutex so no wakeup is lost.
   MutexLock lk(shard.mu);
-  if ((entry.summary.load(std::memory_order_relaxed) & kSummaryRetired) != 0) {
+  if ((entry.summary.load(wm::relaxed) & kSummaryRetired) != 0) {
     return;  // already unlinked; nothing to repair
   }
   EntryMutation em(entry);
@@ -510,30 +524,30 @@ LockManager::FpRelease LockManager::FastpathRelease(TxnId txn,
   Entry* entry = FindEntry(shard, resource);
   if (entry == nullptr) return FpRelease::kNoSlot;
   for (FpSlot& slot : entry->fp) {
-    if (slot.txn.load(std::memory_order_seq_cst) != txn) continue;
-    uint64_t w = slot.word.load(std::memory_order_seq_cst);
+    if (slot.txn.load(wm::seq_cst) != txn) continue;
+    uint64_t w = slot.word.load(wm::seq_cst);
     while (true) {
       if (w == 0) return FpRelease::kNoSlot;  // purged concurrently
       const uint64_t next = (w >> 8) > 1 ? w - kFpCountOne : 0;
       if (!slot.word.compare_exchange_weak(w, next,
-                                           std::memory_order_seq_cst)) {
+                                           wm::seq_cst)) {
         continue;
       }
       stats_.releases.Add();
       if (next != 0) return FpRelease::kReleased;
-      slot.txn.store(kInvalidTxn, std::memory_order_seq_cst);
-      stats_.held_locks.fetch_sub(1, std::memory_order_relaxed);
+      slot.txn.store(kInvalidTxn, wm::seq_cst);
+      stats_.held_locks.fetch_sub(1, wm::relaxed);
       // Freed the last count.  If a waiter parked against this hold — or a
       // grant decision that could park one is in flight (odd sequence) —
       // repair under the mutex; otherwise an X waiter blocked only by our
       // S would sleep to its deadline.  Also repair when the entry is
       // plausibly empty, so it gets retired rather than lingering.
-      const uint64_t s = entry->summary.load(std::memory_order_seq_cst);
+      const uint64_t s = entry->summary.load(wm::seq_cst);
       bool occupied = false;
       for (const FpSlot& other : entry->fp) {
         if (&other == &slot) continue;
-        if (other.txn.load(std::memory_order_seq_cst) != kInvalidTxn ||
-            other.word.load(std::memory_order_seq_cst) != 0) {
+        if (other.txn.load(wm::seq_cst) != kInvalidTxn ||
+            other.word.load(wm::seq_cst) != 0) {
           occupied = true;
           break;
         }
@@ -542,7 +556,7 @@ LockManager::FpRelease LockManager::FastpathRelease(TxnId txn,
       if ((s & 1) != 0 || (s & kSummaryWaiters) != 0 ||
           ((s & kSummaryRetired) == 0 && maybe_empty)) {
         MutexLock lk(shard.mu);
-        if ((entry->summary.load(std::memory_order_relaxed) &
+        if ((entry->summary.load(wm::relaxed) &
              kSummaryRetired) == 0) {
           EntryMutation em(*entry);
           GrantWaiters(shard, *entry);
@@ -828,7 +842,7 @@ bool LockManager::CombineAcquireShard(Shard& shard, TxnId txn,
   for (CombineRequest& c : shard.combine) {
     uint32_t expected = kCombineEmpty;
     if (c.state.compare_exchange_strong(expected, kCombinePublishing,
-                                        std::memory_order_acq_rel)) {
+                                        wm::acq_rel)) {
       own = &c;
       break;
     }
@@ -845,7 +859,14 @@ bool LockManager::CombineAcquireShard(Shard& shard, TxnId txn,
     own->mode[i] = modes[i];
   }
   stats_.combine_published.Add();
-  own->state.store(kCombinePublished, std::memory_order_seq_cst);
+  // Order-weakening mutation point: the Published transition carries the
+  // plain request fields to the combiner's acquire-claim — relaxed, the
+  // batch read races the publisher's writes (codlock_wmc:
+  // mailbox_publish_drain, wm.mailbox-publish-relaxed).
+  own->state.store(kCombinePublished,
+                   mutation::WeakenedOrder(
+                       mutation::Mutant::kWmMailboxPublishRelaxed,
+                       wm::seq_cst));
 
   // Combine or be combined: give a running combiner a brief chance to pick
   // the batch up, grabbing the mutex ourselves when it is free.  The
@@ -854,7 +875,7 @@ bool LockManager::CombineAcquireShard(Shard& shard, TxnId txn,
   // completes regardless of scheduling.
   bool done = false;
   for (int spin = 0; spin < 64; ++spin) {
-    const uint32_t st = own->state.load(std::memory_order_acquire);
+    const uint32_t st = own->state.load(wm::acquire);
     if (st == kCombineDone) {
       done = true;
       break;
@@ -873,15 +894,15 @@ bool LockManager::CombineAcquireShard(Shard& shard, TxnId txn,
     shard.mu.Unlock();
     // A concurrent combiner may have claimed the batch before we got the
     // mutex; wait for it to publish the results.
-    while (own->state.load(std::memory_order_acquire) == kCombineClaimed) {
+    while (own->state.load(wm::acquire) == kCombineClaimed) {
       std::this_thread::yield();
     }
-    done = own->state.load(std::memory_order_acquire) == kCombineDone;
+    done = own->state.load(wm::acquire) == kCombineDone;
   }
   *granted = own->granted_mask;
   *record = own->record_mask;
   for (uint32_t i = 0; i < own->n; ++i) granted_modes[i] = own->granted[i];
-  own->state.store(kCombineEmpty, std::memory_order_release);
+  own->state.store(kCombineEmpty, wm::release);
   return true;
 }
 
@@ -891,7 +912,7 @@ void LockManager::CombinerDrain(Shard& shard, const CombineRequest* own) {
   for (CombineRequest& c : shard.combine) {
     uint32_t expected = kCombinePublished;
     if (c.state.compare_exchange_strong(expected, kCombineClaimed,
-                                        std::memory_order_acq_rel)) {
+                                        wm::acq_rel)) {
       batch[nb++] = &c;
     }
   }
@@ -921,7 +942,7 @@ void LockManager::CombinerDrain(Shard& shard, const CombineRequest* own) {
         req.granted_mask |= uint32_t{1} << i;
         req.granted[i] = req.mode[i];
       }
-      req.state.store(kCombineDone, std::memory_order_seq_cst);
+      req.state.store(kCombineDone, wm::seq_cst);
       continue;
     }
     AcquireOptions opts;
@@ -945,7 +966,7 @@ void LockManager::CombinerDrain(Shard& shard, const CombineRequest* own) {
       // entry is non-empty when a grant fails, so nothing to retire here.
     }
     if (&req != own) stats_.combine_drained.Add();
-    req.state.store(kCombineDone, std::memory_order_seq_cst);
+    req.state.store(kCombineDone, wm::seq_cst);
   }
 }
 
@@ -980,7 +1001,7 @@ bool LockManager::TryGrantLocked(Shard& shard, Entry& entry, TxnId txn,
     if (is_conversion) return true;  // conversions jump the queue
     for (const auto& w : entry.waiters) {
       if (!w->granted &&
-          w->killed.load(std::memory_order_relaxed) == KillReason::kNone) {
+          w->killed.load(wm::relaxed) == KillReason::kNone) {
         return false;
       }
     }
@@ -1043,7 +1064,7 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
     }
 
     // Crash/restart drain: no new waiter may park once draining started.
-    if (draining_.load(std::memory_order_acquire)) {
+    if (draining_.load(wm::acquire)) {
       MaybeRetireEntry(shard, entry);
       return Status::Aborted("lock manager is draining for shutdown");
     }
@@ -1052,7 +1073,7 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
     // kinder than queuing — the convoy would only deepen.  kShed tells the
     // caller "retry with backoff", unlike kConflict/kTimeout.
     if (options_.max_blocked_waiters != 0 &&
-        blocked_waiters_.load(std::memory_order_acquire) >=
+        blocked_waiters_.load(wm::acquire) >=
             options_.max_blocked_waiters) {
       stats_.sheds.Add();
       MaybeRetireEntry(shard, entry);
@@ -1081,7 +1102,7 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
       entry.waiters.push_back(waiter);
     }
     stats_.waits.Add();
-    blocked_waiters_.fetch_add(1, std::memory_order_acq_rel);
+    blocked_waiters_.fetch_add(1, wm::acq_rel);
   }
 
   const uint64_t timeout_ms =
@@ -1098,7 +1119,7 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
   if (fault::FireResult f = g_fault_wait.Fire()) {
     // Forced timeout: the wait "expires" immediately, whatever the
     // deadline was.
-    blocked_waiters_.fetch_sub(1, std::memory_order_acq_rel);
+    blocked_waiters_.fetch_sub(1, wm::acq_rel);
     CleanupFailedWait(shard, entry, txn, waiter.get(), waited);
     stats_.timeouts.Add();
     return fault::StatusFor(f, g_fault_wait.name());
@@ -1111,7 +1132,7 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
             BlockersOf(shard, entry, txn, target, waiter.get());
         TxnId victim = wfg_.UpdateAndCheck(txn, std::move(blockers), waiter);
         if (victim == txn) {
-          blocked_waiters_.fetch_sub(1, std::memory_order_acq_rel);
+          blocked_waiters_.fetch_sub(1, wm::acq_rel);
           CleanupFailedWait(shard, entry, txn, waiter.get(), waited);
           stats_.deadlocks.Add();
           return Status::Deadlock("transaction " + std::to_string(txn) +
@@ -1126,7 +1147,7 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
         for (TxnId blocker :
              BlockersOf(shard, entry, txn, target, waiter.get())) {
           if (blocker < txn) {
-            blocked_waiters_.fetch_sub(1, std::memory_order_acq_rel);
+            blocked_waiters_.fetch_sub(1, wm::acq_rel);
             CleanupFailedWait(shard, entry, txn, waiter.get(), waited);
             stats_.deadlocks.Add();
             return Status::Deadlock(
@@ -1153,7 +1174,7 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
 
     auto wake_pred = [&] {
       return waiter->granted ||
-             waiter->killed.load(std::memory_order_relaxed) !=
+             waiter->killed.load(wm::relaxed) !=
                  KillReason::kNone;
     };
     bool in_time = true;
@@ -1165,7 +1186,7 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
     }
 
     if (waiter->granted) {
-      blocked_waiters_.fetch_sub(1, std::memory_order_acq_rel);
+      blocked_waiters_.fetch_sub(1, wm::acq_rel);
       wfg_.Remove(txn);
       stats_.grants.Add();
       stats_.wait_ns.Record(waited.ElapsedNanos());
@@ -1173,9 +1194,9 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
       granted = target;
       return Status::OK();
     }
-    KillReason reason = waiter->killed.load(std::memory_order_relaxed);
+    KillReason reason = waiter->killed.load(wm::relaxed);
     if (reason != KillReason::kNone) {
-      blocked_waiters_.fetch_sub(1, std::memory_order_acq_rel);
+      blocked_waiters_.fetch_sub(1, wm::acq_rel);
       CleanupFailedWait(shard, entry, txn, waiter.get(), waited);
       if (reason == KillReason::kShutdown) {
         return Status::Aborted("lock wait on " + resource.ToString() +
@@ -1193,7 +1214,7 @@ Status LockManager::AcquireLocked(Shard& shard, TxnId txn, ResourceId resource,
                               resource.ToString());
     }
     if (!in_time) {
-      blocked_waiters_.fetch_sub(1, std::memory_order_acq_rel);
+      blocked_waiters_.fetch_sub(1, wm::acq_rel);
       CleanupFailedWait(shard, entry, txn, waiter.get(), waited);
       stats_.timeouts.Add();
       return Status::Timeout("lock wait on " + resource.ToString() +
@@ -1208,7 +1229,7 @@ void LockManager::CleanupFailedWait(Shard& shard, Entry& entry, TxnId txn,
                                     const Stopwatch& waited) {
   {
     EntryMutation em(entry);
-    EraseWaiter(entry, waiter);
+    EraseWaiter(shard, entry, waiter);
     // Our queue slot may have been the only thing blocking those behind us.
     GrantWaiters(shard, entry);
     MaybeRetireEntry(shard, entry);
@@ -1229,7 +1250,7 @@ Status LockManager::Release(TxnId txn, ResourceId resource,
   // Optimistic fast path: release a fast-path slot count without the
   // mutex.  The cache remembers whether a slot may back this resource;
   // without a cache (or after invalidation) the probe runs conservatively.
-  if (fastpath_used_.load(std::memory_order_acquire) &&
+  if (fastpath_used_.load(wm::acquire) &&
       (cache == nullptr || cache->MaybeFastpathHeld(resource))) {
     switch (FastpathRelease(txn, resource)) {
       case FpRelease::kReleased:
@@ -1263,7 +1284,7 @@ Status LockManager::Release(TxnId txn, ResourceId resource,
         return Status::OK();
       }
       entry.holders.erase(entry.holders.begin() + static_cast<long>(i));
-      stats_.held_locks.fetch_sub(1, std::memory_order_relaxed);
+      stats_.held_locks.fetch_sub(1, wm::relaxed);
       GrantWaiters(shard, entry);
       MaybeRetireEntry(shard, entry);
       forget = true;
@@ -1274,18 +1295,18 @@ Status LockManager::Release(TxnId txn, ResourceId resource,
     // release).  Safe under the mutex: the owner's lock-free ops are
     // CAS-based, so this decrement linearizes against them.
     for (FpSlot& slot : entry.fp) {
-      if (slot.txn.load(std::memory_order_seq_cst) != txn) continue;
-      uint64_t w = slot.word.load(std::memory_order_seq_cst);
+      if (slot.txn.load(wm::seq_cst) != txn) continue;
+      uint64_t w = slot.word.load(wm::seq_cst);
       while (w != 0) {
         const uint64_t next = (w >> 8) > 1 ? w - kFpCountOne : 0;
         if (!slot.word.compare_exchange_weak(w, next,
-                                             std::memory_order_seq_cst)) {
+                                             wm::seq_cst)) {
           continue;
         }
         stats_.releases.Add();
         if (next == 0) {
-          slot.txn.store(kInvalidTxn, std::memory_order_seq_cst);
-          stats_.held_locks.fetch_sub(1, std::memory_order_relaxed);
+          slot.txn.store(kInvalidTxn, wm::seq_cst);
+          stats_.held_locks.fetch_sub(1, wm::relaxed);
           GrantWaiters(shard, entry);
           MaybeRetireEntry(shard, entry);
           forget = true;  // no vector holder (scanned above): row is gone
@@ -1353,9 +1374,9 @@ size_t LockManager::ReleaseAll(TxnId txn) {
       // Purge any fast-path slot of this transaction as well; the
       // exchange linearizes against the owner's CAS-based count updates.
       for (FpSlot& slot : entry.fp) {
-        if (slot.txn.load(std::memory_order_seq_cst) != txn) continue;
-        const uint64_t w = slot.word.exchange(0, std::memory_order_seq_cst);
-        slot.txn.store(kInvalidTxn, std::memory_order_seq_cst);
+        if (slot.txn.load(wm::seq_cst) != txn) continue;
+        const uint64_t w = slot.word.exchange(0, wm::seq_cst);
+        slot.txn.store(kInvalidTxn, wm::seq_cst);
         if (w != 0) {
           ++released;
           changed = true;
@@ -1370,7 +1391,7 @@ size_t LockManager::ReleaseAll(TxnId txn) {
   // One RMW per counter for the whole transaction.
   if (released != 0) {
     stats_.held_locks.fetch_sub(static_cast<int64_t>(released),
-                                std::memory_order_relaxed);
+                                wm::relaxed);
     stats_.releases.Add(released);
   }
   ClearWound(txn);
@@ -1380,19 +1401,19 @@ size_t LockManager::ReleaseAll(TxnId txn) {
 size_t LockManager::DrainForShutdown() {
   // From here on AcquireLocked refuses to park new waiters (they fail with
   // kAborted before enqueuing) and the optimistic fast path stands down.
-  draining_.store(true, std::memory_order_release);
+  draining_.store(true, wm::release);
   size_t killed = 0;
   for (Shard& shard : shards_) {
     MutexLock lk(shard.mu);
     for (auto& head : shard.buckets) {
-      for (Entry* e = head.load(std::memory_order_relaxed); e != nullptr;
-           e = e->next.load(std::memory_order_relaxed)) {
+      for (Entry* e = head.load(wm::relaxed); e != nullptr;
+           e = e->next.load(wm::relaxed)) {
         for (auto& w : e->waiters) {
           if (w->granted) continue;
           KillReason expected = KillReason::kNone;
           if (w->killed.compare_exchange_strong(expected,
                                                 KillReason::kShutdown,
-                                                std::memory_order_relaxed)) {
+                                                wm::relaxed)) {
             ++killed;
             w->cv.NotifyAll();
           }
@@ -1404,7 +1425,7 @@ size_t LockManager::DrainForShutdown() {
   // removal) and decrements the gauge as it leaves; wait for the last one
   // so the manager can be destroyed without a thread sleeping on a member
   // condition variable.
-  while (blocked_waiters_.load(std::memory_order_acquire) != 0) {
+  while (blocked_waiters_.load(wm::acquire) != 0) {
     std::this_thread::yield();
   }
   return killed;
@@ -1435,8 +1456,8 @@ Status LockManager::Downgrade(TxnId txn, ResourceId resource, LockMode mode,
     }
     // Fast-path-only hold: rewrite the slot's mode in place.
     for (FpSlot& slot : entry.fp) {
-      if (slot.txn.load(std::memory_order_seq_cst) != txn) continue;
-      uint64_t w = slot.word.load(std::memory_order_seq_cst);
+      if (slot.txn.load(wm::seq_cst) != txn) continue;
+      uint64_t w = slot.word.load(wm::seq_cst);
       while (w != 0) {
         if (!Covers(FpMode(w), mode)) {
           return Status::InvalidArgument(
@@ -1444,7 +1465,7 @@ Status LockManager::Downgrade(TxnId txn, ResourceId resource, LockMode mode,
               " to " + std::string(LockModeName(mode)));
         }
         if (slot.word.compare_exchange_weak(w, FpWord(mode, w >> 8),
-                                            std::memory_order_seq_cst)) {
+                                            wm::seq_cst)) {
           GrantWaiters(shard, entry);
           return Status::OK();
         }
@@ -1479,8 +1500,8 @@ LockMode LockManager::HeldMode(TxnId txn, ResourceId resource) const {
     }
   }
   for (const FpSlot& slot : e->fp) {
-    if (slot.txn.load(std::memory_order_seq_cst) != txn) continue;
-    const uint64_t w = slot.word.load(std::memory_order_seq_cst);
+    if (slot.txn.load(wm::seq_cst) != txn) continue;
+    const uint64_t w = slot.word.load(wm::seq_cst);
     if (w != 0) m = Supremum(m, FpMode(w));
   }
   return m;
@@ -1494,8 +1515,8 @@ LockMode LockManager::GroupMode(ResourceId resource) const {
   LockMode m = LockMode::kNL;
   for (const Holder& h : e->holders) m = Supremum(m, h.mode);
   for (const FpSlot& slot : e->fp) {
-    if (slot.txn.load(std::memory_order_seq_cst) == kInvalidTxn) continue;
-    const uint64_t w = slot.word.load(std::memory_order_seq_cst);
+    if (slot.txn.load(wm::seq_cst) == kInvalidTxn) continue;
+    const uint64_t w = slot.word.load(wm::seq_cst);
     if (w != 0) m = Supremum(m, FpMode(w));
   }
   return m;
@@ -1527,8 +1548,8 @@ std::vector<HeldLock> LockManager::LocksOf(TxnId txn) const {
       }
     }
     for (const FpSlot& slot : e->fp) {
-      if (slot.txn.load(std::memory_order_seq_cst) != txn) continue;
-      const uint64_t w = slot.word.load(std::memory_order_seq_cst);
+      if (slot.txn.load(wm::seq_cst) != txn) continue;
+      const uint64_t w = slot.word.load(wm::seq_cst);
       if (w != 0) {
         m = Supremum(m, FpMode(w));
         found = true;
@@ -1544,8 +1565,8 @@ size_t LockManager::NumEntries() const {
   for (const Shard& shard : shards_) {
     MutexLock lk(shard.mu);
     for (const auto& head : shard.buckets) {
-      for (Entry* e = head.load(std::memory_order_relaxed); e != nullptr;
-           e = e->next.load(std::memory_order_relaxed)) {
+      for (Entry* e = head.load(wm::relaxed); e != nullptr;
+           e = e->next.load(wm::relaxed)) {
         if (!e->holders.empty() || !e->waiters.empty() || !FpSlotsEmpty(*e)) {
           ++n;
         }
@@ -1560,8 +1581,8 @@ std::vector<LongLockRecord> LockManager::SnapshotLongLocks() const {
   for (const Shard& shard : shards_) {
     MutexLock lk(shard.mu);
     for (const auto& head : shard.buckets) {
-      for (Entry* e = head.load(std::memory_order_relaxed); e != nullptr;
-           e = e->next.load(std::memory_order_relaxed)) {
+      for (Entry* e = head.load(wm::relaxed); e != nullptr;
+           e = e->next.load(wm::relaxed)) {
         // Fast-path slots never contribute: those grants are always short.
         for (const Holder& h : e->holders) {
           if (h.duration == LockDuration::kLong) {
@@ -1579,8 +1600,8 @@ std::vector<LongLockRecord> LockManager::SnapshotAllLocks() const {
   for (const Shard& shard : shards_) {
     MutexLock lk(shard.mu);
     for (const auto& head : shard.buckets) {
-      for (Entry* e = head.load(std::memory_order_relaxed); e != nullptr;
-           e = e->next.load(std::memory_order_relaxed)) {
+      for (Entry* e = head.load(wm::relaxed); e != nullptr;
+           e = e->next.load(wm::relaxed)) {
         const size_t first_row = out.size();
         for (const Holder& h : e->holders) {
           out.push_back(LongLockRecord{h.txn, e->res, h.mode});
@@ -1588,9 +1609,9 @@ std::vector<LongLockRecord> LockManager::SnapshotAllLocks() const {
         // Merge fast-path slots: a transaction with both a vector row and
         // a slot on one entry is reported once, at the supremum.
         for (const FpSlot& slot : e->fp) {
-          const TxnId t = slot.txn.load(std::memory_order_seq_cst);
+          const TxnId t = slot.txn.load(wm::seq_cst);
           if (t == kInvalidTxn) continue;
-          const uint64_t w = slot.word.load(std::memory_order_seq_cst);
+          const uint64_t w = slot.word.load(wm::seq_cst);
           if (w == 0) continue;
           bool merged = false;
           for (size_t r = first_row; r < out.size(); ++r) {
@@ -1687,7 +1708,7 @@ TxnId LockManager::WaitsForGraph::UpdateAndCheck(
       victim = self;
     } else {
       it->second.waiter->killed.store(KillReason::kDeadlockVictim,
-                                      std::memory_order_relaxed);
+                                      wm::relaxed);
       it->second.waiter->cv.NotifyAll();
     }
   }
@@ -1706,7 +1727,7 @@ void LockManager::WaitsForGraph::Kill(TxnId txn, KillReason reason) {
   MutexLock lk(mu_);
   auto it = waiting_.find(txn);
   if (it == waiting_.end()) return;
-  it->second.waiter->killed.store(reason, std::memory_order_relaxed);
+  it->second.waiter->killed.store(reason, wm::relaxed);
   it->second.waiter->cv.NotifyAll();
 }
 
@@ -1737,7 +1758,7 @@ bool LockManager::WaitsForGraph::FindCycle(TxnId self,
         it != waiting_.end() ? &it->second.blockers : nullptr;
     // Skip edges of already-killed victims; their requests are unwinding.
     if (edges != nullptr && it->second.waiter != nullptr &&
-        it->second.waiter->killed.load(std::memory_order_relaxed) !=
+        it->second.waiter->killed.load(wm::relaxed) !=
             KillReason::kNone) {
       edges = nullptr;
     }

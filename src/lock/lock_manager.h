@@ -57,7 +57,6 @@
 #define CODLOCK_LOCK_LOCK_MANAGER_H_
 
 #include <array>
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -73,6 +72,7 @@
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
+#include "util/wm_atomic.h"
 
 namespace codlock::lock {
 
@@ -290,7 +290,7 @@ class LockManager {
 
   /// Number of requests currently blocked waiting for a lock.
   size_t NumBlockedWaiters() const {
-    return blocked_waiters_.load(std::memory_order_acquire);
+    return blocked_waiters_.load(wm::acquire);
   }
 
   /// Crash/shutdown preparation: rejects requests that would have to wait
@@ -324,7 +324,7 @@ class LockManager {
     bool is_conversion = false;
     bool granted = false;
     LockDuration duration = LockDuration::kShort;
-    std::atomic<KillReason> killed{KillReason::kNone};
+    wm::Atomic<KillReason> killed{KillReason::kNone};
     CondVar cv;
   };
 
@@ -359,8 +359,8 @@ class LockManager {
   /// bits) and the acquisition count (remaining bits).  A slot with
   /// `word == 0` is empty or mid-claim/mid-undo and is ignored by scans.
   struct FpSlot {
-    std::atomic<TxnId> txn{kInvalidTxn};
-    std::atomic<uint64_t> word{0};
+    wm::Atomic<TxnId> txn{kInvalidTxn};
+    wm::Atomic<uint64_t> word{0};
   };
   static constexpr size_t kFpSlots = 8;
   static constexpr uint64_t kFpCountOne = uint64_t{1} << 8;
@@ -379,8 +379,8 @@ class LockManager {
   /// member to a mutex in a different object).
   struct Entry {
     ResourceId res;                  ///< immutable while linked
-    std::atomic<Entry*> next{nullptr};
-    std::atomic<uint64_t> summary{0};
+    wm::Atomic<Entry*> next{nullptr};
+    wm::Atomic<uint64_t> summary{0};
     std::array<FpSlot, kFpSlots> fp{};
     std::vector<Holder> holders;     ///< guarded by the shard mutex
     std::vector<std::shared_ptr<WaiterState>> waiters;  ///< shard mutex
@@ -408,7 +408,7 @@ class LockManager {
   /// publisher fills the request before kPublished, the combiner fills the
   /// results before kDone, the publisher reads them before kEmpty.
   struct CombineRequest {
-    std::atomic<uint32_t> state{kCombineEmpty};
+    wm::Atomic<uint32_t> state{kCombineEmpty};
     TxnId txn = kInvalidTxn;
     uint32_t n = 0;
     uint64_t order_key = 0;   ///< descending drain order (root node id)
@@ -427,7 +427,7 @@ class LockManager {
     mutable Mutex mu;
     /// Bucket heads of the intrusive entry chain; written under `mu`,
     /// traversed lock-free under an EBR guard.
-    std::array<std::atomic<Entry*>, kBucketsPerShard> buckets{};
+    std::array<wm::Atomic<Entry*>, kBucketsPerShard> buckets{};
     /// Linked entries (inspection; maintained under `mu`).
     size_t num_entries CODLOCK_GUARDED_BY(mu) = 0;
     /// Unlinked entries awaiting epoch-safe reuse, oldest first.
@@ -482,16 +482,16 @@ class LockManager {
   class EntryMutation {
    public:
     explicit EntryMutation(Entry& e) : e_(e) {
-      uint64_t s = e_.summary.load(std::memory_order_relaxed);
-      e_.summary.store(s + 1, std::memory_order_seq_cst);
+      uint64_t s = e_.summary.load(wm::relaxed);
+      e_.summary.store(s + 1, wm::seq_cst);
     }
     ~EntryMutation() {
-      uint64_t cur = e_.summary.load(std::memory_order_relaxed);
+      uint64_t cur = e_.summary.load(wm::relaxed);
       uint64_t flags = cur & kSummaryRetired;
       if (!e_.waiters.empty()) flags |= kSummaryWaiters;
       for (const Holder& h : e_.holders) flags |= SummaryModeBit(h.mode);
       e_.summary.store(((cur + 1) & kSummarySeqMask) | flags,
-                       std::memory_order_seq_cst);
+                       wm::seq_cst);
     }
     EntryMutation(const EntryMutation&) = delete;
     EntryMutation& operator=(const EntryMutation&) = delete;
@@ -568,9 +568,10 @@ class LockManager {
       CODLOCK_EXCLUDES(registry_mu_);
 
   /// Undoes a fast-path claim that failed revalidation, then repairs any
-  /// waiter that may have parked against the transient hold.
+  /// waiter that may have parked against the transient hold (takes the
+  /// shard mutex for the repair).
   void UndoFastpathClaim(Shard& shard, Entry& entry, FpSlot& slot,
-                         bool fresh_claim);
+                         bool fresh_claim) CODLOCK_EXCLUDES(shard.mu);
 
   enum class FpRelease { kNoSlot, kReleased, kReleasedLast };
 
@@ -587,7 +588,7 @@ class LockManager {
                            std::span<const LockMode> modes,
                            const AcquireOptions& options, uint32_t* granted,
                            uint32_t* record, LockMode* granted_modes)
-      CODLOCK_EXCLUDES(registry_mu_);
+      CODLOCK_EXCLUDES(shard.mu, registry_mu_);
 
   /// Applies every published mailbox of \p shard in descending order-key
   /// order.  Caller holds the shard mutex; \p own (may be null) is the
@@ -621,7 +622,8 @@ class LockManager {
   /// whenever holders change; must run inside an EntryMutation window.
   void GrantWaiters(Shard& shard, Entry& entry) CODLOCK_REQUIRES(shard.mu);
 
-  void EraseWaiter(Entry& entry, const WaiterState* w);
+  void EraseWaiter(Shard& shard, Entry& entry, const WaiterState* w)
+      CODLOCK_REQUIRES(shard.mu);
 
   void RecordHeld(TxnId txn, ResourceId resource)
       CODLOCK_EXCLUDES(registry_mu_);
@@ -650,18 +652,18 @@ class LockManager {
   /// Set once the first fast-path grant lands; lets Release skip the
   /// lock-free probe entirely for managers that never see the fast path
   /// (raw users without caches).
-  std::atomic<bool> fastpath_used_{false};
+  wm::Atomic<bool> fastpath_used_{false};
 
   /// Requests currently blocked in AcquireLocked (shedding + drain).
-  std::atomic<size_t> blocked_waiters_{0};
+  wm::Atomic<size_t> blocked_waiters_{0};
   /// Set by DrainForShutdown: requests that would wait fail instead.
-  std::atomic<bool> draining_{false};
+  wm::Atomic<bool> draining_{false};
 
   mutable Mutex wounded_mu_;
   std::unordered_set<TxnId> wounded_ CODLOCK_GUARDED_BY(wounded_mu_);
   /// Mirror of wounded_.size(): lets the hot path skip wounded_mu_ when no
   /// wound is outstanding (the overwhelmingly common case).
-  std::atomic<size_t> wounded_count_{0};
+  wm::Atomic<size_t> wounded_count_{0};
 
   mutable Mutex registry_mu_;
   std::unordered_map<TxnId, std::vector<ResourceId>> txn_locks_
@@ -672,7 +674,7 @@ class LockManager {
       CODLOCK_GUARDED_BY(caches_mu_);
   /// Mirror of caches_.size(): lets release paths skip caches_mu_ entirely
   /// when no cache is attached anywhere.
-  std::atomic<size_t> cache_count_{0};
+  wm::Atomic<size_t> cache_count_{0};
 };
 
 }  // namespace codlock::lock

@@ -50,13 +50,13 @@
 #ifndef CODLOCK_LOCK_TXN_LOCK_CACHE_H_
 #define CODLOCK_LOCK_TXN_LOCK_CACHE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "lock/mode.h"
 #include "lock/resource.h"
 #include "util/thread_annotations.h"
+#include "util/wm_atomic.h"
 
 namespace codlock::lock {
 
@@ -182,12 +182,12 @@ class TxnLockCache {
   void Clear() {
     AssertOwner();
     slots_.clear();
-    seen_epoch_ = epoch_.load(std::memory_order_acquire);
+    seen_epoch_ = epoch_.load(wm::acquire);
   }
 
   /// Cross-thread invalidation: the owner discards the array on its next
   /// access.  Safe from any thread.
-  void Invalidate() { epoch_.fetch_add(1, std::memory_order_release); }
+  void Invalidate() { epoch_.fetch_add(1, wm::release); }
 
   /// Number of live cached entries (test/inspection; owner thread only).
   size_t size() {
@@ -206,7 +206,7 @@ class TxnLockCache {
   /// or at an operation boundary), making this effectively an owner-thread
   /// read even when issued from the controller.
   std::vector<Slot> AuditSnapshot() const CODLOCK_NO_THREAD_SAFETY_ANALYSIS {
-    if (epoch_.load(std::memory_order_acquire) != seen_epoch_) return {};
+    if (epoch_.load(wm::acquire) != seen_epoch_) return {};
     return slots_;
   }
 
@@ -218,7 +218,7 @@ class TxnLockCache {
   /// Discards the array if an invalidation happened since the last access.
   /// Returns true when the contents are trustworthy.
   bool Fresh() CODLOCK_REQUIRES(owner_) {
-    uint64_t e = epoch_.load(std::memory_order_acquire);
+    uint64_t e = epoch_.load(wm::acquire);
     if (e == seen_epoch_) return true;
     slots_.clear();
     seen_epoch_ = e;
@@ -243,7 +243,7 @@ class TxnLockCache {
 
   OwnerThreadCap owner_;
   std::vector<Slot> slots_ CODLOCK_GUARDED_BY(owner_);
-  std::atomic<uint64_t> epoch_{0};
+  wm::Atomic<uint64_t> epoch_{0};
   uint64_t seen_epoch_ CODLOCK_GUARDED_BY(owner_) = 0;
 };
 

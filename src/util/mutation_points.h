@@ -35,6 +35,30 @@
 ///    propagation request granted without applying it to the lock table.
 ///    The publisher's cache then claims a mode the shard never granted:
 ///    caught by the cache-coherence (and visibility) oracles.
+///
+/// The `kWm*` mutants below are *order-weakening* mutants: instead of
+/// flipping a protocol decision they downgrade one specific atomic
+/// access's memory order to `relaxed` (through `WeakenedOrder`, used at
+/// the real call site in src/lock *and* in the distilled litmus kernel of
+/// src/wm/litmus.cc).  They are invisible to `codlock_mc` — its scheduler
+/// interleaves under sequential consistency — and must be killed by the
+/// weak-memory checker (`codlock_wmc --kill-suite`) instead:
+///
+///  * `kWmSummaryLoadRelaxed` — the fast path's seqlock summary loads
+///    (premise and revalidation in `TryFastpathAcquire`) go relaxed.  A
+///    reader may then validate against a stale even sequence and grant S
+///    over a concurrently installed X holder.
+///  * `kWmSlotCasRelaxed`     — the fast-path slot claim CAS goes relaxed.
+///    The Dekker-style "either they see our claim or we see their bump"
+///    argument needs the claim in the seq_cst total order; relaxed, a
+///    mutex-side scan may read a stale empty slot after the claim.
+///  * `kWmEbrEpochRelaxed`    — the EBR guard's pin/validate accesses go
+///    relaxed.  A reclaimer's scan may miss a published pin and reuse a
+///    node a pinned reader still dereferences.
+///  * `kWmMailboxPublishRelaxed` — the flat-combining mailbox's
+///    `kCombinePublished` transition goes relaxed.  The combiner's
+///    acquire-claim no longer synchronizes with the publisher's plain
+///    request fields: a torn batch (data race) becomes observable.
 
 #ifndef CODLOCK_UTIL_MUTATION_POINTS_H_
 #define CODLOCK_UTIL_MUTATION_POINTS_H_
@@ -42,6 +66,8 @@
 #include <atomic>
 #include <cstdint>
 #include <string_view>
+
+#include "util/wm_order.h"
 
 namespace codlock::mutation {
 
@@ -53,6 +79,10 @@ enum class Mutant : uint32_t {
   kSkipWaiterWakeup,
   kFastpathSkipValidation,
   kCombineDropRequest,
+  kWmSummaryLoadRelaxed,
+  kWmSlotCasRelaxed,
+  kWmEbrEpochRelaxed,
+  kWmMailboxPublishRelaxed,
   kNumMutants,
 };
 
@@ -95,6 +125,30 @@ class ScopedMutant {
   Mutant m_;
 };
 
+/// Memory order actually used at an order-weakening mutation site: the
+/// declared \p strong order normally, `relaxed` while mutant \p m is
+/// enabled.  Used at the real access in src/lock and at the same access in
+/// the distilled litmus kernel, so `codlock_wmc --kill-suite` exercises
+/// exactly the production toggle.  Cost with the mask at zero: one relaxed
+/// atomic load, same as every other mutation point.
+inline wm::MemoryOrder WeakenedOrder(Mutant m, wm::MemoryOrder strong) {
+  return Enabled(m) ? wm::relaxed : strong;
+}
+
+/// The order-weakening mutants, i.e. the slice of the kill-suite owned by
+/// the weak-memory checker rather than `codlock_mc`.
+inline bool IsOrderWeakening(Mutant m) {
+  switch (m) {
+    case Mutant::kWmSummaryLoadRelaxed:
+    case Mutant::kWmSlotCasRelaxed:
+    case Mutant::kWmEbrEpochRelaxed:
+    case Mutant::kWmMailboxPublishRelaxed:
+      return true;
+    default:
+      return false;
+  }
+}
+
 inline std::string_view MutantName(Mutant m) {
   switch (m) {
     case Mutant::kCompatSX:
@@ -111,6 +165,14 @@ inline std::string_view MutantName(Mutant m) {
       return "fastpath.skip-validation";
     case Mutant::kCombineDropRequest:
       return "combine.drop-request";
+    case Mutant::kWmSummaryLoadRelaxed:
+      return "wm.summary-load-relaxed";
+    case Mutant::kWmSlotCasRelaxed:
+      return "wm.slot-cas-relaxed";
+    case Mutant::kWmEbrEpochRelaxed:
+      return "wm.ebr-epoch-relaxed";
+    case Mutant::kWmMailboxPublishRelaxed:
+      return "wm.mailbox-publish-relaxed";
     case Mutant::kNumMutants:
       break;
   }

@@ -1,0 +1,792 @@
+#include "wm/checker.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "util/mutex.h"
+#include "wm/runtime.h"
+
+namespace codlock::wm {
+namespace {
+
+/// Unwinds a worker out of its body when the controller abandons an
+/// execution (wedge, early stop, shutdown).  Harness bodies must not
+/// perform model accesses from destructors, so plain stack unwinding is
+/// safe.
+struct AbortExecution {};
+
+struct VClock {
+  std::array<uint32_t, Checker::kMaxThreads> c{};
+
+  void Join(const VClock& o) {
+    for (size_t i = 0; i < c.size(); ++i) c[i] = std::max(c[i], o.c[i]);
+  }
+};
+
+/// One store in a location's modification order.
+struct StoreEv {
+  uint64_t value = 0;
+  int thread = -1;     // -1: the initial value written by Reset().
+  uint32_t stamp = 0;  // storing thread's event count at the store
+  MemoryOrder order = relaxed;
+  bool is_rmw = false;
+  bool is_sc = false;
+  VClock hb;    // storer's clock at the store (includes this event)
+  VClock sync;  // what an acquirer of this store's release sequence joins
+};
+
+struct AtomicLoc {
+  uint64_t* raw;
+  const char* name;
+  std::vector<StoreEv> mo;
+  /// Index of the mo-latest seq_cst store (-1 if none): an sc load may
+  /// not read anything mo-before it (S order == execution order).
+  int last_sc = -1;
+};
+
+struct PlainLoc {
+  uint64_t* raw;
+  const char* name;
+  int last_writer = -1;  // -1: initialized by Reset()
+  uint32_t write_stamp = 0;
+  std::array<uint32_t, Checker::kMaxThreads> read_stamp{};
+};
+
+struct PendingOp {
+  enum class Kind {
+    kNone,
+    kLoad,
+    kStore,
+    kRmw,
+    kCas,
+    kPlainLoad,
+    kPlainStore,
+    kAwait,
+  };
+  Kind kind = Kind::kNone;
+  uint64_t* raw = nullptr;
+  const char* name = "?";
+  MemoryOrder order = relaxed;
+  MemoryOrder order_fail = relaxed;
+  uint64_t value = 0;     // store value / RMW operand / CAS desired
+  uint64_t expected = 0;  // CAS
+  RmwOp rmw = RmwOp::kAdd;
+  bool weak = false;
+  std::function<bool(uint64_t)> pred;  // Await
+};
+
+/// Compact per-execution event log; stringified only when a violation
+/// needs a trace.
+struct TraceEv {
+  int thread;
+  PendingOp::Kind kind;
+  const char* name;
+  MemoryOrder order;
+  uint64_t a = 0;  // value read / stored / CAS-read
+  uint64_t b = 0;  // rf mo-index / CAS desired
+  bool ok = false;  // CAS verdict
+};
+
+enum class Phase { kIdle, kRunning, kAtOp, kFinished };
+
+struct ThreadState {
+  int id = -1;
+  std::string name;
+  std::function<void()> body;
+  Checker::Impl* owner = nullptr;
+  std::thread os;
+
+  // Handshake state, guarded by the owner's mutex.
+  Phase phase = Phase::kIdle;
+  uint64_t gen_seen = 0;
+  bool abort = false;
+  CondVar cv;
+  PendingOp op;
+  uint64_t result = 0;
+  bool cas_ok = false;
+
+  // Model state, touched only by the controller.
+  VClock clock;
+  std::vector<uint32_t> floor;  // per-AtomicLoc coherence floor (mo index)
+
+  uint64_t Call(PendingOp pending);
+};
+
+thread_local ThreadState* g_worker = nullptr;
+
+}  // namespace
+
+const char* ViolationKindName(Violation::Kind kind) {
+  switch (kind) {
+    case Violation::Kind::kDataRace:
+      return "data-race";
+    case Violation::Kind::kInvariant:
+      return "invariant";
+    case Violation::Kind::kWedge:
+      return "wedge";
+  }
+  return "?";
+}
+
+struct Checker::Impl {
+  explicit Impl(Options o) : opts(o) {}
+
+  Options opts;
+  std::function<void()> reset;
+  std::vector<std::unique_ptr<ThreadState>> threads;
+  struct Invariant {
+    std::string name;
+    std::function<bool()> pred;
+  };
+  std::vector<Invariant> invariants;
+  bool ran = false;
+
+  Mutex mu;
+  CondVar ctrl_cv;
+  uint64_t generation = 0;
+  bool shutdown = false;
+
+  // Per-execution model state.
+  std::vector<AtomicLoc> atomics;
+  std::unordered_map<uint64_t*, int> atomic_ids;
+  std::vector<PlainLoc> plains;
+  std::unordered_map<uint64_t*, int> plain_ids;
+  std::vector<TraceEv> trace;
+  bool current_violated = false;
+
+  // DFS replay stack.
+  struct Choice {
+    uint32_t chosen;
+    uint32_t limit;
+  };
+  std::vector<Choice> stack;
+  size_t choice_idx = 0;
+
+  Result result;
+
+  // ---- choice tree -----------------------------------------------------
+
+  uint32_t Choose(uint32_t limit) {
+    if (choice_idx < stack.size()) {
+      assert(stack[choice_idx].limit == limit && "nondeterministic replay");
+      return stack[choice_idx++].chosen;
+    }
+    stack.push_back({0, limit});
+    ++choice_idx;
+    return 0;
+  }
+
+  /// Advances the stack to the next unexplored branch; false = exhausted.
+  bool Advance() {
+    while (!stack.empty() && stack.back().chosen + 1 >= stack.back().limit) {
+      stack.pop_back();
+    }
+    if (stack.empty()) return false;
+    ++stack.back().chosen;
+    return true;
+  }
+
+  // ---- locations -------------------------------------------------------
+
+  AtomicLoc& Loc(uint64_t* raw, const char* name) {
+    auto [it, fresh] = atomic_ids.try_emplace(raw, atomics.size());
+    if (fresh) {
+      AtomicLoc loc;
+      loc.raw = raw;
+      loc.name = name;
+      StoreEv init;
+      init.value = *raw;  // whatever Reset() left there
+      loc.mo.push_back(init);
+      atomics.push_back(std::move(loc));
+    }
+    return atomics[it->second];
+  }
+
+  PlainLoc& Plain(uint64_t* raw, const char* name) {
+    auto [it, fresh] = plain_ids.try_emplace(raw, plains.size());
+    if (fresh) plains.push_back(PlainLoc{raw, name});
+    return plains[it->second];
+  }
+
+  uint32_t& Floor(ThreadState& t, const AtomicLoc& loc) {
+    size_t id = atomic_ids.at(loc.raw);
+    if (t.floor.size() <= id) t.floor.resize(id + 1, 0);
+    return t.floor[id];
+  }
+
+  // ---- memory model ----------------------------------------------------
+
+  static bool Known(const StoreEv& s, const ThreadState& t) {
+    return s.thread < 0 || t.clock.c[s.thread] >= s.stamp;
+  }
+
+  /// Stores a load by \p t with order \p mo may read: at or above the
+  /// thread's coherence floor and the mo-latest store it already knows
+  /// (anything below has a visible mo-successor → hb-hidden), and — for
+  /// sc loads — at or above the mo-latest sc store.
+  std::vector<uint32_t> Candidates(ThreadState& t, AtomicLoc& loc,
+                                   MemoryOrder mo) {
+    uint32_t low = Floor(t, loc);
+    for (uint32_t j = static_cast<uint32_t>(loc.mo.size()); j-- > 0;) {
+      if (Known(loc.mo[j], t)) {
+        low = std::max(low, j);
+        break;
+      }
+    }
+    if (IsSeqCst(mo) && loc.last_sc > 0) {
+      low = std::max(low, static_cast<uint32_t>(loc.last_sc));
+    }
+    std::vector<uint32_t> out;
+    for (uint32_t j = low; j < loc.mo.size(); ++j) out.push_back(j);
+    return out;
+  }
+
+  void ApplyRead(ThreadState& t, AtomicLoc& loc, uint32_t j,
+                 MemoryOrder mo) {
+    if (IsAcquire(mo)) t.clock.Join(loc.mo[j].sync);
+    uint32_t& fl = Floor(t, loc);
+    fl = std::max(fl, j);
+  }
+
+  /// Appends a store; \p continues_tail marks an RMW, which extends the
+  /// release sequence of the store it read (C++20: only RMWs do).
+  void AppendStore(ThreadState& t, AtomicLoc& loc, uint64_t v,
+                   MemoryOrder mo, bool continues_tail) {
+    StoreEv ev;
+    ev.value = v;
+    ev.thread = t.id;
+    ev.stamp = t.clock.c[t.id];
+    ev.order = mo;
+    ev.is_rmw = continues_tail;
+    ev.is_sc = IsSeqCst(mo);
+    ev.hb = t.clock;
+    if (IsRelease(mo)) ev.sync = t.clock;
+    if (continues_tail) ev.sync.Join(loc.mo.back().sync);
+    if (ev.is_sc) loc.last_sc = static_cast<int>(loc.mo.size());
+    loc.mo.push_back(std::move(ev));
+    Floor(t, loc) = static_cast<uint32_t>(loc.mo.size()) - 1;
+    *loc.raw = v;  // keep the backing word at the mo tail
+  }
+
+  static uint64_t ApplyRmw(RmwOp op, uint64_t old, uint64_t v) {
+    switch (op) {
+      case RmwOp::kAdd:
+        return old + v;
+      case RmwOp::kSub:
+        return old - v;
+      case RmwOp::kOr:
+        return old | v;
+      case RmwOp::kAnd:
+        return old & v;
+      case RmwOp::kExchange:
+        return v;
+    }
+    return old;
+  }
+
+  // ---- race detection --------------------------------------------------
+
+  void CheckReadRace(ThreadState& t, PlainLoc& loc) {
+    if (loc.last_writer >= 0 && loc.last_writer != t.id &&
+        t.clock.c[loc.last_writer] < loc.write_stamp) {
+      RecordViolation(Violation::Kind::kDataRace,
+                      std::string("read of '") + loc.name + "' by " +
+                          threads[t.id]->name + " races prior write by " +
+                          threads[loc.last_writer]->name);
+    }
+    loc.read_stamp[t.id] = t.clock.c[t.id];
+  }
+
+  void CheckWriteRace(ThreadState& t, PlainLoc& loc) {
+    if (loc.last_writer >= 0 && loc.last_writer != t.id &&
+        t.clock.c[loc.last_writer] < loc.write_stamp) {
+      RecordViolation(Violation::Kind::kDataRace,
+                      std::string("write of '") + loc.name + "' by " +
+                          threads[t.id]->name + " races prior write by " +
+                          threads[loc.last_writer]->name);
+    }
+    for (int r = 0; r < Checker::kMaxThreads; ++r) {
+      if (r == t.id || loc.read_stamp[r] == 0) continue;
+      if (t.clock.c[r] < loc.read_stamp[r]) {
+        RecordViolation(Violation::Kind::kDataRace,
+                        std::string("write of '") + loc.name + "' by " +
+                            threads[t.id]->name + " races prior read by " +
+                            threads[r]->name);
+      }
+    }
+    loc.last_writer = t.id;
+    loc.write_stamp = t.clock.c[t.id];
+    loc.read_stamp.fill(0);  // those reads are now ordered before us
+  }
+
+  // ---- violations ------------------------------------------------------
+
+  void RecordViolation(Violation::Kind kind, std::string message) {
+    current_violated = true;
+    if (result.violations.size() < opts.max_violations) {
+      result.violations.push_back({kind, std::move(message), FormatTrace()});
+    } else {
+      result.violations_capped = true;
+    }
+  }
+
+  std::vector<std::string> FormatTrace() const {
+    std::vector<std::string> out;
+    out.reserve(trace.size());
+    for (const TraceEv& e : trace) {
+      std::ostringstream os;
+      os << threads[e.thread]->name << ": ";
+      switch (e.kind) {
+        case PendingOp::Kind::kLoad:
+          os << "load " << e.name << "(" << MemoryOrderName(e.order)
+             << ") = " << e.a << "  [rf mo[" << e.b << "]]";
+          break;
+        case PendingOp::Kind::kStore:
+          os << "store " << e.name << "(" << MemoryOrderName(e.order)
+             << ") = " << e.a;
+          break;
+        case PendingOp::Kind::kRmw:
+          os << "rmw " << e.name << "(" << MemoryOrderName(e.order) << ") "
+             << e.a << " -> " << e.b;
+          break;
+        case PendingOp::Kind::kCas:
+          os << "cas " << e.name << "(" << MemoryOrderName(e.order) << ") "
+             << (e.ok ? "" : "read ") << e.a
+             << (e.ok ? " -> " : " want ") << e.b << " "
+             << (e.ok ? "OK" : "FAIL");
+          break;
+        case PendingOp::Kind::kPlainLoad:
+          os << "read " << e.name << " = " << e.a;
+          break;
+        case PendingOp::Kind::kPlainStore:
+          os << "write " << e.name << " = " << e.a;
+          break;
+        case PendingOp::Kind::kAwait:
+          os << "await " << e.name << " = " << e.a;
+          break;
+        case PendingOp::Kind::kNone:
+          os << "?";
+          break;
+      }
+      out.push_back(os.str());
+    }
+    return out;
+  }
+
+  // ---- worker handshake ------------------------------------------------
+
+  void WorkerMain(ThreadState* t) {
+    for (;;) {
+      {
+        MutexLock l(mu);
+        t->cv.Wait(mu,
+                   [&] { return shutdown || t->gen_seen != generation; });
+        if (shutdown) return;
+        t->gen_seen = generation;
+        t->phase = Phase::kRunning;
+      }
+      g_worker = t;
+      try {
+        t->body();
+      } catch (const AbortExecution&) {
+      }
+      g_worker = nullptr;
+      {
+        MutexLock l(mu);
+        t->phase = Phase::kFinished;
+        ctrl_cv.NotifyOne();
+      }
+    }
+  }
+
+  /// Kicks every worker into a fresh run of its body and waits until each
+  /// is parked at its first access (or already finished).
+  void StartExecution() {
+    MutexLock l(mu);
+    ++generation;
+    for (auto& t : threads) {
+      t->phase = Phase::kIdle;
+      t->cv.NotifyOne();
+    }
+    ctrl_cv.Wait(mu, [&] {
+      for (auto& t : threads) {
+        if (t->phase != Phase::kAtOp && t->phase != Phase::kFinished) {
+          return false;
+        }
+      }
+      return true;
+    });
+  }
+
+  /// Hands the answer to a parked worker and waits for it to reach its
+  /// next access or finish.
+  void ResumeAndWait(ThreadState& t) {
+    MutexLock l(mu);
+    t.op.pred = nullptr;
+    t.phase = Phase::kRunning;
+    t.cv.NotifyOne();
+    ctrl_cv.Wait(mu, [&] {
+      return t.phase == Phase::kAtOp || t.phase == Phase::kFinished;
+    });
+  }
+
+  /// Unwinds every still-parked worker (wedge / early stop).
+  void AbortParked() {
+    for (auto& t : threads) {
+      bool parked;
+      {
+        MutexLock l(mu);
+        parked = t->phase == Phase::kAtOp;
+        if (parked) t->abort = true;
+      }
+      if (parked) ResumeAndWait(*t);
+    }
+  }
+
+  // ---- executing one access --------------------------------------------
+
+  bool OpReady(ThreadState& t) {
+    if (t.op.kind != PendingOp::Kind::kAwait) return true;
+    AtomicLoc& loc = Loc(t.op.raw, t.op.name);
+    return t.op.pred(loc.mo.back().value);
+  }
+
+  void ExecOp(ThreadState& t) {
+    ++t.clock.c[t.id];
+    PendingOp& op = t.op;
+    TraceEv ev{t.id, op.kind, op.name, op.order, 0, 0, false};
+    switch (op.kind) {
+      case PendingOp::Kind::kLoad: {
+        AtomicLoc& loc = Loc(op.raw, op.name);
+        std::vector<uint32_t> cands = Candidates(t, loc, op.order);
+        uint32_t j = cands.size() > 1
+                         ? cands[Choose(static_cast<uint32_t>(cands.size()))]
+                         : cands.front();
+        ApplyRead(t, loc, j, op.order);
+        t.result = loc.mo[j].value;
+        ev.a = t.result;
+        ev.b = j;
+        break;
+      }
+      case PendingOp::Kind::kStore: {
+        AtomicLoc& loc = Loc(op.raw, op.name);
+        AppendStore(t, loc, op.value, op.order, /*continues_tail=*/false);
+        ev.a = op.value;
+        break;
+      }
+      case PendingOp::Kind::kRmw: {
+        AtomicLoc& loc = Loc(op.raw, op.name);
+        uint64_t old = loc.mo.back().value;
+        if (IsAcquire(op.order)) t.clock.Join(loc.mo.back().sync);
+        AppendStore(t, loc, ApplyRmw(op.rmw, old, op.value), op.order,
+                    /*continues_tail=*/true);
+        t.result = old;
+        ev.a = old;
+        ev.b = loc.mo.back().value;
+        break;
+      }
+      case PendingOp::Kind::kCas: {
+        AtomicLoc& loc = Loc(op.raw, op.name);
+        uint64_t tailv = loc.mo.back().value;
+        // Options: success against the tail, failure reading any visible
+        // store with a different value, and — weak only — a spurious
+        // failure against the matching tail.
+        struct Opt {
+          bool success;
+          uint32_t read_idx;
+        };
+        std::vector<Opt> options;
+        if (tailv == op.expected) {
+          options.push_back(
+              {true, static_cast<uint32_t>(loc.mo.size()) - 1});
+        }
+        for (uint32_t j : Candidates(t, loc, op.order_fail)) {
+          if (loc.mo[j].value != op.expected) options.push_back({false, j});
+        }
+        if (op.weak && tailv == op.expected) {
+          options.push_back(
+              {false, static_cast<uint32_t>(loc.mo.size()) - 1});
+        }
+        Opt pick =
+            options.size() > 1
+                ? options[Choose(static_cast<uint32_t>(options.size()))]
+                : options.front();
+        if (pick.success) {
+          if (IsAcquire(op.order)) t.clock.Join(loc.mo.back().sync);
+          AppendStore(t, loc, op.value, op.order, /*continues_tail=*/true);
+          t.cas_ok = true;
+          t.result = op.expected;
+          ev.a = op.expected;
+          ev.b = op.value;
+          ev.ok = true;
+        } else {
+          ApplyRead(t, loc, pick.read_idx, op.order_fail);
+          t.cas_ok = false;
+          t.result = loc.mo[pick.read_idx].value;
+          ev.a = t.result;
+          ev.b = op.expected;
+          ev.ok = false;
+        }
+        break;
+      }
+      case PendingOp::Kind::kPlainLoad: {
+        PlainLoc& loc = Plain(op.raw, op.name);
+        CheckReadRace(t, loc);
+        t.result = *loc.raw;
+        ev.a = t.result;
+        break;
+      }
+      case PendingOp::Kind::kPlainStore: {
+        PlainLoc& loc = Plain(op.raw, op.name);
+        CheckWriteRace(t, loc);
+        *loc.raw = op.value;
+        ev.a = op.value;
+        break;
+      }
+      case PendingOp::Kind::kAwait: {
+        AtomicLoc& loc = Loc(op.raw, op.name);
+        uint32_t j = static_cast<uint32_t>(loc.mo.size()) - 1;
+        t.clock.Join(loc.mo[j].sync);  // acquire-read of the tail
+        uint32_t& fl = Floor(t, loc);
+        fl = std::max(fl, j);
+        t.result = loc.mo[j].value;
+        ev.a = t.result;
+        break;
+      }
+      case PendingOp::Kind::kNone:
+        break;
+    }
+    trace.push_back(ev);
+    ResumeAndWait(t);
+  }
+
+  // ---- one execution ---------------------------------------------------
+
+  /// Returns false when exploration should stop (stop_on_violation).
+  bool RunOneExecution() {
+    atomics.clear();
+    atomic_ids.clear();
+    plains.clear();
+    plain_ids.clear();
+    trace.clear();
+    current_violated = false;
+    for (auto& t : threads) {
+      t->clock = VClock{};
+      t->floor.clear();
+    }
+    choice_idx = 0;
+
+    if (reset) reset();  // direct writes: the initial store of every loc
+    StartExecution();
+
+    bool wedged = false;
+    for (;;) {
+      std::vector<ThreadState*> ready;
+      bool any_parked = false;
+      for (auto& t : threads) {
+        if (t->phase != Phase::kAtOp) continue;
+        any_parked = true;
+        if (OpReady(*t)) ready.push_back(t.get());
+      }
+      if (ready.empty()) {
+        if (any_parked) {
+          std::string who;
+          for (auto& t : threads) {
+            if (t->phase == Phase::kAtOp) {
+              if (!who.empty()) who += ", ";
+              who += t->name + " awaiting '" + t->op.name + "'";
+            }
+          }
+          RecordViolation(Violation::Kind::kWedge,
+                          "no runnable thread: " + who);
+          AbortParked();
+          wedged = true;
+        }
+        break;
+      }
+      ThreadState* pick =
+          ready.size() > 1
+              ? ready[Choose(static_cast<uint32_t>(ready.size()))]
+              : ready.front();
+      ExecOp(*pick);
+    }
+
+    if (!wedged) {
+      // Invariants read mo tails through the backing words; a wedged
+      // execution was abandoned mid-flight, so its partial state proves
+      // nothing.
+      for (const Invariant& inv : invariants) {
+        if (!inv.pred()) {
+          RecordViolation(Violation::Kind::kInvariant,
+                          "invariant failed: " + inv.name);
+        }
+      }
+    }
+    ++result.executions;
+    return !(opts.stop_on_violation && current_violated);
+  }
+
+  Result Run() {
+    for (auto& t : threads) {
+      t->os = std::thread([this, ts = t.get()] { WorkerMain(ts); });
+    }
+    for (;;) {
+      if (result.executions >= opts.max_executions) break;
+      if (!RunOneExecution()) break;  // stop_on_violation
+      if (!Advance()) {
+        result.complete = true;
+        break;
+      }
+    }
+    {
+      MutexLock l(mu);
+      shutdown = true;
+      for (auto& t : threads) t->cv.NotifyOne();
+    }
+    for (auto& t : threads) {
+      if (t->os.joinable()) t->os.join();
+    }
+    return std::move(result);
+  }
+};
+
+namespace {
+
+uint64_t ThreadState::Call(PendingOp pending) {
+  Checker::Impl* o = owner;
+  MutexLock l(o->mu);
+  op = std::move(pending);
+  phase = Phase::kAtOp;
+  o->ctrl_cv.NotifyOne();
+  cv.Wait(o->mu, [&] { return phase == Phase::kRunning; });
+  if (abort) {
+    abort = false;
+    throw AbortExecution{};
+  }
+  return result;
+}
+
+}  // namespace
+
+Checker::Checker() : Checker(Options{}) {}
+
+Checker::Checker(Options opts) : impl_(new Impl(opts)) {}
+
+Checker::~Checker() {
+  // Run() joins its workers; a Checker destroyed without Run() has none.
+}
+
+void Checker::OnReset(std::function<void()> reset) {
+  impl_->reset = std::move(reset);
+}
+
+void Checker::AddThread(std::string name, std::function<void()> body) {
+  assert(!impl_->ran && impl_->threads.size() < kMaxThreads);
+  auto t = std::make_unique<ThreadState>();
+  t->id = static_cast<int>(impl_->threads.size());
+  t->name = std::move(name);
+  t->body = std::move(body);
+  t->owner = impl_.get();
+  impl_->threads.push_back(std::move(t));
+}
+
+void Checker::AddInvariant(std::string name, std::function<bool()> pred) {
+  impl_->invariants.push_back({std::move(name), std::move(pred)});
+}
+
+Result Checker::Run() {
+  assert(!impl_->ran && "Checker::Run may be called once");
+  impl_->ran = true;
+  return impl_->Run();
+}
+
+// ---- rt:: hooks ----------------------------------------------------------
+
+namespace rt {
+
+bool Active() { return g_worker != nullptr; }
+
+uint64_t AtomicLoad(uint64_t* raw, const char* name, MemoryOrder mo) {
+  PendingOp op;
+  op.kind = PendingOp::Kind::kLoad;
+  op.raw = raw;
+  op.name = name;
+  op.order = mo;
+  return g_worker->Call(std::move(op));
+}
+
+void AtomicStore(uint64_t* raw, const char* name, MemoryOrder mo,
+                 uint64_t value) {
+  PendingOp op;
+  op.kind = PendingOp::Kind::kStore;
+  op.raw = raw;
+  op.name = name;
+  op.order = mo;
+  op.value = value;
+  g_worker->Call(std::move(op));
+}
+
+uint64_t AtomicRmw(uint64_t* raw, const char* name, MemoryOrder mo,
+                   RmwOp rmw, uint64_t operand) {
+  PendingOp op;
+  op.kind = PendingOp::Kind::kRmw;
+  op.raw = raw;
+  op.name = name;
+  op.order = mo;
+  op.rmw = rmw;
+  op.value = operand;
+  return g_worker->Call(std::move(op));
+}
+
+bool AtomicCas(uint64_t* raw, const char* name, MemoryOrder success,
+               MemoryOrder failure, uint64_t* expected, uint64_t desired,
+               bool weak) {
+  PendingOp op;
+  op.kind = PendingOp::Kind::kCas;
+  op.raw = raw;
+  op.name = name;
+  op.order = success;
+  op.order_fail = failure;
+  op.expected = *expected;
+  op.value = desired;
+  op.weak = weak;
+  ThreadState* w = g_worker;
+  uint64_t read = w->Call(std::move(op));
+  if (!w->cas_ok) *expected = read;
+  return w->cas_ok;
+}
+
+uint64_t PlainLoad(uint64_t* raw, const char* name) {
+  PendingOp op;
+  op.kind = PendingOp::Kind::kPlainLoad;
+  op.raw = raw;
+  op.name = name;
+  return g_worker->Call(std::move(op));
+}
+
+void PlainStore(uint64_t* raw, const char* name, uint64_t value) {
+  PendingOp op;
+  op.kind = PendingOp::Kind::kPlainStore;
+  op.raw = raw;
+  op.name = name;
+  op.value = value;
+  g_worker->Call(std::move(op));
+}
+
+uint64_t Await(uint64_t* raw, const char* name,
+               std::function<bool(uint64_t)> pred) {
+  PendingOp op;
+  op.kind = PendingOp::Kind::kAwait;
+  op.raw = raw;
+  op.name = name;
+  op.pred = std::move(pred);
+  return g_worker->Call(std::move(op));
+}
+
+}  // namespace rt
+}  // namespace codlock::wm

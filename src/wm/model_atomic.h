@@ -1,0 +1,226 @@
+/// \file model_atomic.h
+/// \brief The `CODLOCK_WMC` face of `wm::Atomic` / `wm::Var`.
+///
+/// `ModelAtomic<T>` mirrors the passthrough API in src/util/wm_atomic.h
+/// exactly, so a litmus kernel distilled from production code reads the
+/// same.  Accesses from checker-managed workers are routed through the
+/// rt:: hooks (src/wm/runtime.h); accesses from anywhere else — harness
+/// `Reset()` on the controller, end-of-execution invariants, plain test
+/// assertions — operate directly on the backing word, which the
+/// controller keeps equal to the modification-order tail.
+///
+/// Deliberately *not* an `std::atomic` anywhere: values live in a plain
+/// `uint64_t` that only one thread touches at a time (workers are parked
+/// while the controller works, and vice versa), and the distinct class
+/// name — aliased to `wm::Atomic` only under `CODLOCK_WMC` — means
+/// accidentally linking a model-built object against a passthrough-built
+/// library is a link error, not a silent ODR mismatch.
+///
+/// Model-only extras a passthrough build does not have (so only litmus
+/// code may use them): `SetName()` for readable traces, and `Await*()`
+/// to express spin loops boundedly.
+
+#ifndef CODLOCK_WM_MODEL_ATOMIC_H_
+#define CODLOCK_WM_MODEL_ATOMIC_H_
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+#include "util/wm_order.h"
+#include "wm/runtime.h"
+
+namespace codlock::wm {
+
+namespace internal {
+
+/// Round-trip any supported T through the runtime's uint64_t currency.
+template <typename T>
+struct Codec {
+  static_assert(std::is_integral_v<T> || std::is_enum_v<T>,
+                "ModelAtomic supports integral and enum types only; model "
+                "pointers as indices in litmus kernels");
+  static_assert(sizeof(T) <= 8, "value wider than the model word");
+
+  static uint64_t Enc(T v) {
+    if constexpr (std::is_enum_v<T>) {
+      return static_cast<uint64_t>(
+          static_cast<std::underlying_type_t<T>>(v));
+    } else {
+      return static_cast<uint64_t>(v);
+    }
+  }
+  static T Dec(uint64_t v) { return static_cast<T>(v); }
+};
+
+}  // namespace internal
+
+template <typename T>
+class ModelAtomic {
+  using C = internal::Codec<T>;
+
+ public:
+  // Unlike the passthrough face, accessors are NOT noexcept: inside an
+  // exploration they may throw the checker's AbortExecution to unwind a
+  // worker whose execution was abandoned (wedge or stop_on_violation).
+  constexpr ModelAtomic() noexcept = default;
+  constexpr ModelAtomic(T v) noexcept  // NOLINT(runtime/explicit)
+      : raw_(C::Enc(v)) {}
+  ModelAtomic(const ModelAtomic&) = delete;
+  ModelAtomic& operator=(const ModelAtomic&) = delete;
+
+  /// Label used in traces and violation reports (litmus-only nicety).
+  void SetName(const char* name) { name_ = name; }
+
+  T load(MemoryOrder mo) const {
+    if (rt::Active()) return C::Dec(rt::AtomicLoad(&raw_, name_, mo));
+    return C::Dec(raw_);
+  }
+
+  void store(T v, MemoryOrder mo) {
+    if (rt::Active()) {
+      rt::AtomicStore(&raw_, name_, mo, C::Enc(v));
+      return;
+    }
+    raw_ = C::Enc(v);
+  }
+
+  T exchange(T v, MemoryOrder mo) {
+    if (rt::Active()) {
+      return C::Dec(
+          rt::AtomicRmw(&raw_, name_, mo, RmwOp::kExchange, C::Enc(v)));
+    }
+    T old = C::Dec(raw_);
+    raw_ = C::Enc(v);
+    return old;
+  }
+
+  bool compare_exchange_strong(T& expected, T desired,
+                               MemoryOrder mo) {
+    return Cas(expected, desired, mo, FailureOrder(mo), /*weak=*/false);
+  }
+  bool compare_exchange_strong(T& expected, T desired, MemoryOrder success,
+                               MemoryOrder failure) {
+    return Cas(expected, desired, success, failure, /*weak=*/false);
+  }
+  bool compare_exchange_weak(T& expected, T desired,
+                             MemoryOrder mo) {
+    return Cas(expected, desired, mo, FailureOrder(mo), /*weak=*/true);
+  }
+  bool compare_exchange_weak(T& expected, T desired, MemoryOrder success,
+                             MemoryOrder failure) {
+    return Cas(expected, desired, success, failure, /*weak=*/true);
+  }
+
+  // Take and return T, never a deduced type, mirroring the passthrough
+  // face: `fetch_add(1, ...)` on a 64-bit atomic must not deduce int and
+  // truncate the result.
+  T fetch_add(T v, MemoryOrder mo) { return Rmw(RmwOp::kAdd, v, mo); }
+  T fetch_sub(T v, MemoryOrder mo) { return Rmw(RmwOp::kSub, v, mo); }
+  T fetch_or(T v, MemoryOrder mo) { return Rmw(RmwOp::kOr, v, mo); }
+  T fetch_and(T v, MemoryOrder mo) { return Rmw(RmwOp::kAnd, v, mo); }
+
+  /// Spin-loop stand-in: block until the mo tail satisfies \p pred, then
+  /// acquire-read it (see rt::Await).  Direct mode asserts the predicate
+  /// already holds — there is nobody to wait for.
+  template <typename Pred>
+  T AwaitPred(Pred pred) {
+    if (rt::Active()) {
+      return C::Dec(rt::Await(&raw_, name_, [pred](uint64_t v) {
+        return pred(internal::Codec<T>::Dec(v));
+      }));
+    }
+    return C::Dec(raw_);
+  }
+  T AwaitEq(T v) {
+    return AwaitPred([v](T cur) { return cur == v; });
+  }
+
+ private:
+  static constexpr MemoryOrder FailureOrder(MemoryOrder success) {
+    // Mirrors the std rule: drop the release component.
+    if (success == acq_rel) return acquire;
+    if (success == release) return relaxed;
+    return success;
+  }
+
+  bool Cas(T& expected, T desired, MemoryOrder success, MemoryOrder failure,
+           bool weak) {
+    if (rt::Active()) {
+      uint64_t e = C::Enc(expected);
+      bool ok = rt::AtomicCas(&raw_, name_, success, failure, &e,
+                              C::Enc(desired), weak);
+      if (!ok) expected = C::Dec(e);
+      return ok;
+    }
+    if (raw_ == C::Enc(expected)) {
+      raw_ = C::Enc(desired);
+      return true;
+    }
+    expected = C::Dec(raw_);
+    return false;
+  }
+
+  T Rmw(RmwOp op, T operand, MemoryOrder mo) {
+    if (rt::Active()) {
+      return C::Dec(rt::AtomicRmw(&raw_, name_, mo, op, C::Enc(operand)));
+    }
+    uint64_t old = raw_;
+    uint64_t v = C::Enc(operand);
+    switch (op) {
+      case RmwOp::kAdd:
+        raw_ = old + v;
+        break;
+      case RmwOp::kSub:
+        raw_ = old - v;
+        break;
+      case RmwOp::kOr:
+        raw_ = old | v;
+        break;
+      case RmwOp::kAnd:
+        raw_ = old & v;
+        break;
+      case RmwOp::kExchange:
+        raw_ = v;
+        break;
+    }
+    return C::Dec(old);
+  }
+
+  mutable uint64_t raw_ = 0;
+  const char* name_ = "?";
+};
+
+/// Non-atomic location instrumented for data races (the model face of
+/// `wm::Var`).
+template <typename T>
+class ModelVar {
+  using C = internal::Codec<T>;
+
+ public:
+  constexpr ModelVar() noexcept = default;
+  constexpr ModelVar(T v) noexcept  // NOLINT(runtime/explicit)
+      : raw_(C::Enc(v)) {}
+
+  void SetName(const char* name) { name_ = name; }
+
+  T Get() const {
+    if (rt::Active()) return C::Dec(rt::PlainLoad(&raw_, name_));
+    return C::Dec(raw_);
+  }
+  void Set(T v) {
+    if (rt::Active()) {
+      rt::PlainStore(&raw_, name_, C::Enc(v));
+      return;
+    }
+    raw_ = C::Enc(v);
+  }
+
+ private:
+  mutable uint64_t raw_ = 0;
+  const char* name_ = "?";
+};
+
+}  // namespace codlock::wm
+
+#endif  // CODLOCK_WM_MODEL_ATOMIC_H_

@@ -1,0 +1,82 @@
+/// \file runtime.h
+/// \brief The seam between `ModelAtomic`/`ModelVar` and the exploration
+/// engine.
+///
+/// Under `CODLOCK_WMC` every access on a `wm::Atomic` / `wm::Var` funnels
+/// through these hooks.  On a checker-managed worker thread (`Active()`
+/// true) the hook parks the worker, publishes the operation to the
+/// controller, and returns the controller's answer — the value of the
+/// store the controller chose for the load to read, the success verdict
+/// of a CAS, and so on.  On any other thread (the controller running a
+/// harness `Reset()` or an end-of-execution invariant, or plain test
+/// code) the hooks are not consulted at all: `ModelAtomic` falls back to
+/// direct single-threaded reads/writes of its backing word.
+///
+/// The `uint64_t* raw` passed everywhere is both the location's identity
+/// (its address keys the checker's location table) and its backing store:
+/// the controller snapshots `*raw` as the initial value on first access
+/// in an execution and writes the modification-order tail back after
+/// every store, so invariants and direct-mode reads always see the
+/// current tail without a special API.
+
+#ifndef CODLOCK_WM_RUNTIME_H_
+#define CODLOCK_WM_RUNTIME_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/wm_order.h"
+
+namespace codlock::wm {
+
+/// Read-modify-write flavors `ModelAtomic` can request.
+enum class RmwOp : uint8_t { kAdd, kSub, kOr, kAnd, kExchange };
+
+namespace rt {
+
+/// True iff the calling thread is a worker managed by a running Checker;
+/// only then do the hooks below make sense to call.
+bool Active();
+
+/// Atomic load: the controller picks the reads-from store among the
+/// candidates the memory model allows and returns its value.
+uint64_t AtomicLoad(uint64_t* raw, const char* name, MemoryOrder mo);
+
+/// Atomic store: appended to the location's modification order.
+void AtomicStore(uint64_t* raw, const char* name, MemoryOrder mo,
+                 uint64_t value);
+
+/// Atomic RMW: reads the modification-order tail (C++ atomicity: the RMW
+/// is mo-adjacent to the store it reads), applies \p op, appends the
+/// result.  Returns the old value.
+uint64_t AtomicRmw(uint64_t* raw, const char* name, MemoryOrder mo,
+                   RmwOp op, uint64_t operand);
+
+/// Atomic compare-exchange.  Success iff the mo tail equals `*expected`
+/// (an RMW on the tail); failure is a load with order \p failure that may
+/// read any visible store with a different value — and, for \p weak, may
+/// also fail spuriously against the tail.  On failure `*expected` is
+/// updated with the value read.  Returns the success verdict.
+bool AtomicCas(uint64_t* raw, const char* name, MemoryOrder success,
+               MemoryOrder failure, uint64_t* expected, uint64_t desired,
+               bool weak);
+
+/// Non-atomic access, instrumented for happens-before data races.  Plain
+/// accesses have a single current value (`*raw`); racy executions are
+/// reported as violations rather than value-branched.
+uint64_t PlainLoad(uint64_t* raw, const char* name);
+void PlainStore(uint64_t* raw, const char* name, uint64_t value);
+
+/// Bounded stand-in for a spin loop: blocks the worker until \p pred
+/// holds of the location's mo tail, then acts as an acquire load of that
+/// tail.  Exploring every futile spin iteration would make the state
+/// space infinite; Await collapses them into one scheduling constraint.
+/// If no thread can run and some Await is still unsatisfied, the checker
+/// reports a wedge.
+uint64_t Await(uint64_t* raw, const char* name,
+               std::function<bool(uint64_t)> pred);
+
+}  // namespace rt
+}  // namespace codlock::wm
+
+#endif  // CODLOCK_WM_RUNTIME_H_
