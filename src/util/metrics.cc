@@ -102,6 +102,11 @@ void LockStats::Reset() {
   leases_expired.Reset();
   fenced_checkins.Reset();
   reclaimed_long_locks.Reset();
+  ring_published.Reset();
+  ring_consumed.Reset();
+  ring_salvaged_frames.Reset();
+  handles_fenced.Reset();
+  jobs_shed_per_handle.Reset();
   wait_ns.Reset();
   held_locks.store(0, std::memory_order_relaxed);
   max_held_locks.store(0, std::memory_order_relaxed);
@@ -135,8 +140,66 @@ std::string LockStats::ToString() const {
      << " leases_expired=" << leases_expired.value()
      << " fenced_checkins=" << fenced_checkins.value()
      << " reclaimed_long_locks=" << reclaimed_long_locks.value()
+     << " ring_published=" << ring_published.value()
+     << " ring_consumed=" << ring_consumed.value()
+     << " ring_salvaged_frames=" << ring_salvaged_frames.value()
+     << " handles_fenced=" << handles_fenced.value()
+     << " jobs_shed_per_handle=" << jobs_shed_per_handle.value()
      << " max_held=" << max_held_locks.load(std::memory_order_relaxed)
      << " wait_mean_us=" << wait_ns.mean() / 1000.0;
+  return os.str();
+}
+
+std::string LockStats::ToJson() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  auto field = [&](const char* name, uint64_t value) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << name << "\": " << value;
+  };
+  field("requests", requests.value());
+  field("grants", grants.value());
+  field("immediate_grants", immediate_grants.value());
+  field("cache_hits", cache_hits.value());
+  field("fastpath_grants", fastpath_grants.value());
+  field("fastpath_failures", fastpath_failures.value());
+  field("combine_published", combine_published.value());
+  field("combine_drained", combine_drained.value());
+  field("waits", waits.value());
+  field("conflicts", conflicts.value());
+  field("compat_tests", compat_tests.value());
+  field("deadlocks", deadlocks.value());
+  field("timeouts", timeouts.value());
+  field("sheds", sheds.value());
+  field("releases", releases.value());
+  field("escalations", escalations.value());
+  field("deescalations", deescalations.value());
+  field("upward_propagations", upward_propagations.value());
+  field("downward_propagations", downward_propagations.value());
+  field("parent_searches", parent_searches.value());
+  field("aborts_timeout", aborts_timeout.value());
+  field("aborts_deadlock", aborts_deadlock.value());
+  field("aborts_shed", aborts_shed.value());
+  field("retries", retries.value());
+  field("leases_granted", leases_granted.value());
+  field("leases_renewed", leases_renewed.value());
+  field("leases_expired", leases_expired.value());
+  field("fenced_checkins", fenced_checkins.value());
+  field("reclaimed_long_locks", reclaimed_long_locks.value());
+  field("ring_published", ring_published.value());
+  field("ring_consumed", ring_consumed.value());
+  field("ring_salvaged_frames", ring_salvaged_frames.value());
+  field("handles_fenced", handles_fenced.value());
+  field("jobs_shed_per_handle", jobs_shed_per_handle.value());
+  field("held_locks",
+        static_cast<uint64_t>(held_locks.load(std::memory_order_relaxed)));
+  field("max_held_locks",
+        static_cast<uint64_t>(max_held_locks.load(std::memory_order_relaxed)));
+  if (!first) os << ", ";
+  os << "\"wait_mean_us\": " << wait_ns.mean() / 1000.0;
+  os << "}";
   return os.str();
 }
 

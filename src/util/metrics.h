@@ -114,6 +114,21 @@ struct LockStats {
                                  ///< reclamation sweep (stranded capacity
                                  ///< recovered from dead workstations).
 
+  // Out-of-process serving (shared-memory job ring; maintained by
+  // ws::ShmRing / ws::Host).
+  Counter ring_published;        ///< Job frames published into the ring.
+  Counter ring_consumed;         ///< Frames claimed by a worker with a
+                                 ///< valid CRC (executed or executing).
+  Counter ring_salvaged_frames;  ///< Torn frames (CRC mismatch — the
+                                 ///< writer died mid-write) detected by a
+                                 ///< consumer and their slots salvaged.
+  Counter handles_fenced;        ///< Client handles fenced by the
+                                 ///< dead-handle sweep or a host restart.
+  Counter jobs_shed_per_handle;  ///< Jobs rejected by ring admission
+                                 ///< control (per-handle or global
+                                 ///< in-flight cap; also counted in
+                                 ///< `sheds`).
+
   LatencyHistogram wait_ns;   ///< Time spent blocked per waiting request.
 
   /// Number of distinct lock-table entries currently held (gauge).
@@ -125,6 +140,10 @@ struct LockStats {
 
   /// Multi-line human-readable dump.
   std::string ToString() const;
+
+  /// Flat JSON object with every counter (`codlock_dbtool stats --json`,
+  /// bench harnesses).
+  std::string ToJson() const;
 };
 
 /// \brief Simple stopwatch returning elapsed nanoseconds.

@@ -1,0 +1,417 @@
+#include "ws/handle.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "fault/fault_injector.h"
+#include "ws/host.h"
+
+namespace codlock::ws {
+
+namespace {
+// The client process dies between deciding to call and publishing: from
+// the host's perspective it simply falls silent and the dead-handle
+// sweep fences it.
+fault::FaultPoint g_fault_handle_die{"ws.handle.die",
+                                     fault::FaultKind::kCrash};
+// The client publishes a job and then wedges: it never drains the
+// response, so the kDone slot sits occupied until the sweep reclaims it.
+fault::FaultPoint g_fault_handle_wedge{"ws.handle.wedge",
+                                       fault::FaultKind::kError};
+}  // namespace
+
+namespace wire {
+
+std::string_view JobOpName(JobOp op) {
+  switch (op) {
+    case JobOp::kPing:
+      return "ping";
+    case JobOp::kCheckOut:
+      return "check-out";
+    case JobOp::kCheckIn:
+      return "check-in";
+    case JobOp::kCancel:
+      return "cancel";
+    case JobOp::kRenew:
+      return "renew";
+    case JobOp::kResume:
+      return "resume";
+  }
+  return "?";
+}
+
+void Writer::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void Writer::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void Writer::F64(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void Writer::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  out_.append(s.data(), s.size());
+}
+
+const uint8_t* Reader::Need(size_t n) {
+  if (!ok_ || in_.size() - pos_ < n) {
+    ok_ = false;
+    return nullptr;
+  }
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(in_.data()) + pos_;
+  pos_ += n;
+  return p;
+}
+
+uint8_t Reader::U8() {
+  const uint8_t* p = Need(1);
+  return p ? *p : 0;
+}
+
+uint32_t Reader::U32() {
+  const uint8_t* p = Need(4);
+  if (!p) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t Reader::U64() {
+  const uint8_t* p = Need(8);
+  if (!p) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+double Reader::F64() {
+  const uint64_t bits = U64();
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string Reader::Str() {
+  const uint32_t n = U32();
+  // A hostile/torn length must not allocate past the frame.
+  if (!ok_ || in_.size() - pos_ < n) {
+    ok_ = false;
+    return {};
+  }
+  std::string s(in_.substr(pos_, n));
+  pos_ += n;
+  return s;
+}
+
+void EncodeQuery(Writer& w, const query::Query& q) {
+  w.Str(q.name);
+  w.U32(q.relation);
+  w.Str(q.object_key);
+  w.U32(static_cast<uint32_t>(q.path.size()));
+  for (const nf2::PathStep& step : q.path) {
+    w.Str(step.attr_name);
+    w.Str(step.elem_key);
+    w.U64(static_cast<uint64_t>(step.index));
+  }
+  w.U8(static_cast<uint8_t>(q.kind));
+  w.F64(q.selectivity);
+  w.U8(q.access_implies_refs ? 1 : 0);
+}
+
+bool DecodeQuery(Reader& r, query::Query* q) {
+  q->name = r.Str();
+  q->relation = r.U32();
+  q->object_key = r.Str();
+  const uint32_t steps = r.U32();
+  q->path.clear();
+  for (uint32_t i = 0; i < steps && r.ok(); ++i) {
+    nf2::PathStep step;
+    step.attr_name = r.Str();
+    step.elem_key = r.Str();
+    step.index = static_cast<int64_t>(r.U64());
+    q->path.push_back(std::move(step));
+  }
+  q->kind = static_cast<query::AccessKind>(r.U8());
+  q->selectivity = r.F64();
+  q->access_implies_refs = r.U8() != 0;
+  return r.ok();
+}
+
+void EncodeTicket(Writer& w, const CheckOutTicket& t) {
+  w.U64(t.txn);
+  w.U64(t.user);
+  w.U8(static_cast<uint8_t>(t.mode));
+  EncodeQuery(w, t.query);
+  w.U64(t.lease_deadline_ms);
+  w.U64(t.lease_grace_ms);
+  w.U32(static_cast<uint32_t>(t.fence.size()));
+  for (const RootFence& f : t.fence) {
+    w.U32(f.root.node);
+    w.U64(f.root.instance);
+    w.U64(f.epoch);
+  }
+}
+
+bool DecodeTicket(Reader& r, CheckOutTicket* t) {
+  t->txn = r.U64();
+  t->user = r.U64();
+  t->mode = static_cast<CheckOutMode>(r.U8());
+  if (!DecodeQuery(r, &t->query)) return false;
+  t->lease_deadline_ms = r.U64();
+  t->lease_grace_ms = r.U64();
+  const uint32_t fences = r.U32();
+  t->fence.clear();
+  for (uint32_t i = 0; i < fences && r.ok(); ++i) {
+    RootFence f;
+    f.root.node = r.U32();
+    f.root.instance = r.U64();
+    f.epoch = r.U64();
+    t->fence.push_back(f);
+  }
+  // The bulk data never travels in the frame (see file header): a
+  // decoded ticket carries control fields + fencing epochs only.
+  t->data = {};
+  return r.ok();
+}
+
+std::string EncodeCheckOutRequest(authz::UserId user, CheckOutMode mode,
+                                  const query::Query& q) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(JobOp::kCheckOut));
+  w.U64(user);
+  w.U8(static_cast<uint8_t>(mode));
+  EncodeQuery(w, q);
+  return w.Take();
+}
+
+std::string EncodeTicketRequest(JobOp op, const CheckOutTicket& t) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(op));
+  EncodeTicket(w, t);
+  return w.Take();
+}
+
+std::string EncodePingRequest() {
+  Writer w;
+  w.U8(static_cast<uint8_t>(JobOp::kPing));
+  return w.Take();
+}
+
+bool DecodeRequest(std::string_view frame, Request* req) {
+  Reader r(frame);
+  const uint8_t op = r.U8();
+  if (!r.ok() || op > static_cast<uint8_t>(JobOp::kResume)) return false;
+  req->op = static_cast<JobOp>(op);
+  switch (req->op) {
+    case JobOp::kPing:
+      break;
+    case JobOp::kCheckOut:
+      req->user = r.U64();
+      req->mode = static_cast<CheckOutMode>(r.U8());
+      if (!DecodeQuery(r, &req->query)) return false;
+      break;
+    case JobOp::kCheckIn:
+    case JobOp::kCancel:
+    case JobOp::kRenew:
+    case JobOp::kResume:
+      if (!DecodeTicket(r, &req->ticket)) return false;
+      break;
+  }
+  return r.ok() && r.AtEnd();
+}
+
+std::string EncodeResponse(const Status& status, const CheckOutTicket* ticket) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(status.code()));
+  w.Str(status.message());
+  w.U8(ticket != nullptr ? 1 : 0);
+  if (ticket != nullptr) EncodeTicket(w, *ticket);
+  return w.Take();
+}
+
+Status DecodeResponse(std::string_view frame, CheckOutTicket* ticket) {
+  Reader r(frame);
+  const uint8_t code = r.U8();
+  std::string message = r.Str();
+  const bool has_ticket = r.U8() != 0;
+  if (has_ticket) {
+    CheckOutTicket t;
+    if (!DecodeTicket(r, &t)) {
+      return Status::Internal("malformed response frame (ticket)");
+    }
+    if (ticket != nullptr) *ticket = std::move(t);
+  }
+  if (!r.ok() || code > static_cast<uint8_t>(StatusCode::kFenced)) {
+    return Status::Internal("malformed response frame");
+  }
+  if (static_cast<StatusCode>(code) == StatusCode::kOk) return Status::OK();
+  return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
+}  // namespace wire
+
+Handle::Handle(Host* host, HandleOptions options)
+    : host_(host),
+      options_(std::move(options)),
+      rng_(options_.seed ^ 0xA5A5A5A5DEADBEEFULL) {}
+
+Status Handle::Attach() {
+  if (dead_) return Status::FailedPrecondition("handle is dead");
+  if (info_.handle_id == 0) {
+    info_ = host_->Attach();
+    return Status::OK();
+  }
+  Result<HandleInfo> fresh = host_->Reattach(info_.handle_id);
+  if (!fresh.ok()) {
+    if (fresh.status().IsFenced()) ++stats_.fenced;
+    return fresh.status();
+  }
+  info_ = *fresh;
+  return Status::OK();
+}
+
+Status Handle::Detach() {
+  if (info_.handle_id == 0) {
+    return Status::FailedPrecondition("handle not attached");
+  }
+  Status s = host_->Detach(info_.handle_id);
+  info_ = {};
+  return s;
+}
+
+Status Handle::Call(std::string request, CheckOutTicket* ticket_out) {
+  if (dead_) return Status::FailedPrecondition("handle is dead");
+  if (info_.handle_id == 0) {
+    return Status::FailedPrecondition("handle not attached");
+  }
+  ++stats_.calls;
+  int attempts_made = 0;
+  for (;;) {
+    ++attempts_made;
+    if (fault::FireResult fr = g_fault_handle_die.Fire()) {
+      Die();
+      return fault::StatusFor(fr, "ws.handle.die");
+    }
+    const uint64_t job = next_job_++;
+    Result<size_t> slot = host_->Submit(info_, job, request);
+    Status s = slot.ok() ? Status::OK() : slot.status();
+    if (s.ok()) {
+      if (fault::FireResult fr = g_fault_handle_wedge.Fire()) {
+        // Published but never drained: the wedged-client model.  The
+        // host still executes the job; the sweep reclaims the response.
+        return fault::StatusFor(fr, "ws.handle.wedge");
+      }
+      if (host_->workers_running()) {
+        if (!host_->ring().WaitDone(*slot, job, options_.response_timeout_us)) {
+          return Status::Timeout("no response for job " + std::to_string(job) +
+                                 " within " +
+                                 std::to_string(options_.response_timeout_us) +
+                                 "us");
+        }
+      } else {
+        // Steppable mode: the caller's thread pumps the host itself.  An
+        // injected host crash surfaces here and is not retriable.
+        Result<size_t> drained = host_->Drain();
+        if (!drained.ok()) return drained.status();
+      }
+      Result<std::string> response = host_->Take(info_, *slot, job);
+      if (!response.ok()) {
+        s = response.status();
+      } else {
+        s = wire::DecodeResponse(*response, ticket_out);
+        if (s.ok()) return s;
+      }
+    }
+    if (s.IsFenced()) {
+      ++stats_.fenced;
+      return s;
+    }
+    if (!s.IsShed()) return s;
+    // Admission control (or the server's own shedding) pushed back:
+    // retry with the seeded-jitter policy.
+    ++stats_.sheds_seen;
+    if (!options_.retry.ShouldRetry(s, attempts_made)) return s;
+    ++stats_.retries;
+    const uint64_t backoff_us = options_.retry.BackoffUs(attempts_made, rng_);
+    stats_.backoff_us_total += backoff_us;
+    if (options_.on_backoff) options_.on_backoff(backoff_us);
+    if (options_.real_backoff && backoff_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    }
+  }
+}
+
+Result<CheckOutTicket> Handle::CheckOut(authz::UserId user,
+                                        const query::Query& q,
+                                        CheckOutMode mode) {
+  CheckOutTicket ticket;
+  Status s = Call(wire::EncodeCheckOutRequest(user, mode, q), &ticket);
+  if (!s.ok()) return s;
+  return ticket;
+}
+
+Status Handle::CheckIn(const CheckOutTicket& ticket) {
+  return Call(wire::EncodeTicketRequest(wire::JobOp::kCheckIn, ticket),
+              nullptr);
+}
+
+Status Handle::Cancel(const CheckOutTicket& ticket) {
+  return Call(wire::EncodeTicketRequest(wire::JobOp::kCancel, ticket),
+              nullptr);
+}
+
+Status Handle::Renew(const CheckOutTicket& ticket) {
+  return Call(wire::EncodeTicketRequest(wire::JobOp::kRenew, ticket), nullptr);
+}
+
+Result<CheckOutTicket> Handle::Resume(const CheckOutTicket& ticket) {
+  CheckOutTicket fresh;
+  Status s =
+      Call(wire::EncodeTicketRequest(wire::JobOp::kResume, ticket), &fresh);
+  if (!s.ok()) return s;
+  return fresh;
+}
+
+Status Handle::Ping() { return Call(wire::EncodePingRequest(), nullptr); }
+
+Status Handle::SubmitNoWait(wire::JobOp op, const CheckOutTicket* ticket,
+                            PublishFault fault) {
+  if (dead_) return Status::FailedPrecondition("handle is dead");
+  if (info_.handle_id == 0) {
+    return Status::FailedPrecondition("handle not attached");
+  }
+  std::string request;
+  if (op == wire::JobOp::kPing) {
+    request = wire::EncodePingRequest();
+  } else if (ticket != nullptr) {
+    request = wire::EncodeTicketRequest(op, *ticket);
+  } else {
+    return Status::InvalidArgument(
+        std::string("SubmitNoWait needs a ticket for ") +
+        std::string(wire::JobOpName(op)));
+  }
+  ++stats_.calls;
+  Result<size_t> slot = host_->Submit(info_, next_job_++, request, fault);
+  if (!slot.ok()) {
+    if (slot.status().IsShed()) ++stats_.sheds_seen;
+    if (slot.status().IsFenced()) ++stats_.fenced;
+    return slot.status();
+  }
+  return Status::OK();
+}
+
+void Handle::Die() { dead_ = true; }
+
+}  // namespace codlock::ws

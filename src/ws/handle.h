@@ -1,0 +1,216 @@
+/// \file handle.h
+/// \brief Per-client-process handle onto the host's job ring, plus the
+/// wire format of the job frames.
+///
+/// The oidadb `edbl` split (SNIPPETS.md snippets 1–2): the *host* owns
+/// the lock tables; each client process holds a *handle* that serializes
+/// its check-out operations into shared-memory job frames and waits for
+/// the host's response.  The handle is where the client-side robustness
+/// policy lives:
+///
+///  * `Status::Shed` from admission control is retried with the PR 4
+///    `RetryPolicy` (seeded jitter; in deterministic mode the backoff is
+///    *recorded*, never slept — the sweep and the tests stay clock-free);
+///  * a fenced response (`Status::Fenced`) is terminal for the handle's
+///    epoch: the client must re-`Attach` before the host accepts it
+///    again;
+///  * the chaos entry points (`Die`, `SubmitNoWait`, `PublishFault`)
+///    let the fleet driver and the fault points model clients that die
+///    mid-publish, wedge without draining responses, or act as zombies.
+///
+/// Everything the host needs to execute a job travels *in the frame*
+/// (the full query, the full ticket with its fencing epochs), so a host
+/// that crashed between jobs can serve the next frame from durable state
+/// alone.  The bulk `QueryResult` payload is NOT serialized — per the
+/// paper's check-out model the data lands in the workstation's private
+/// database out of band; the frames carry control traffic only.
+#ifndef CODLOCK_WS_HANDLE_H_
+#define CODLOCK_WS_HANDLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/retry.h"
+#include "util/rng.h"
+#include "ws/server.h"
+#include "ws/shm_ring.h"
+
+namespace codlock::ws {
+
+class Host;
+
+/// \brief What a client process holds after attaching to the host.
+///
+/// `epoch` is the handle's fencing epoch: the dead-handle sweep bumps it
+/// when it fences the handle, after which every submit carrying the old
+/// epoch fails with kFenced.  `incarnation` names the host instance the
+/// handle attached to (seeded from the durable `LongLockStore`
+/// generation); a host restart invalidates it, so pre-crash handles are
+/// zombies until they re-attach.
+struct HandleInfo {
+  uint64_t handle_id = 0;
+  uint64_t epoch = 0;
+  uint64_t incarnation = 0;
+};
+
+namespace wire {
+
+/// Operations a handle can ask the host to run.
+enum class JobOp : uint8_t {
+  kPing = 0,   ///< heartbeat only (bumps the handle's liveness)
+  kCheckOut,   ///< user + mode + query → ticket
+  kCheckIn,    ///< ticket → status
+  kCancel,     ///< ticket → status
+  kRenew,      ///< ticket → status
+  kResume,     ///< ticket → fresh ticket
+};
+
+std::string_view JobOpName(JobOp op);
+
+/// Bounded little-endian byte writer (no allocation surprises: strings
+/// carry a u32 length, numbers are fixed-width).
+class Writer {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void F64(double v);
+  void Str(std::string_view s);
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Matching reader; any overrun flips `ok()` sticky-false and zero-fills
+/// (a torn or hostile frame must never read out of bounds).
+class Reader {
+ public:
+  explicit Reader(std::string_view in) : in_(in) {}
+  uint8_t U8();
+  uint32_t U32();
+  uint64_t U64();
+  double F64();
+  std::string Str();
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == in_.size(); }
+
+ private:
+  const uint8_t* Need(size_t n);
+  std::string_view in_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+void EncodeQuery(Writer& w, const query::Query& q);
+bool DecodeQuery(Reader& r, query::Query* q);
+/// Ticket without its bulk data (control fields + fencing epochs only).
+void EncodeTicket(Writer& w, const CheckOutTicket& t);
+bool DecodeTicket(Reader& r, CheckOutTicket* t);
+
+/// Request frame: op tag + op-specific body.
+std::string EncodeCheckOutRequest(authz::UserId user, CheckOutMode mode,
+                                  const query::Query& q);
+std::string EncodeTicketRequest(JobOp op, const CheckOutTicket& t);
+std::string EncodePingRequest();
+
+struct Request {
+  JobOp op = JobOp::kPing;
+  authz::UserId user = authz::kInvalidUser;
+  CheckOutMode mode = CheckOutMode::kShared;
+  query::Query query;
+  CheckOutTicket ticket;
+};
+bool DecodeRequest(std::string_view frame, Request* req);
+
+/// Response frame: status (code + message) + optional ticket.
+std::string EncodeResponse(const Status& status, const CheckOutTicket* ticket);
+Status DecodeResponse(std::string_view frame, CheckOutTicket* ticket);
+
+}  // namespace wire
+
+/// \brief Client-side options.
+struct HandleOptions {
+  /// Backoff/retry for Status::Shed (admission control) — PR 4's policy.
+  RetryPolicy retry;
+  uint64_t seed = 1;
+  /// When true, shed backoff really sleeps (threaded operation); when
+  /// false the backoff is recorded in stats only (deterministic sims).
+  bool real_backoff = false;
+  /// How long a call waits for its response when host workers are
+  /// running (threaded operation).  In steppable mode the handle pumps
+  /// the host instead and this does not apply.
+  uint64_t response_timeout_us = 2'000'000;
+  /// Called with the jittered backoff (µs) before each shed retry.
+  /// Deterministic tests hook this to advance the virtual clock and run
+  /// the host sweeps — the retriable condition clears without sleeping.
+  std::function<void(uint64_t)> on_backoff;
+};
+
+/// \brief A per-client-process handle checked out against the host.
+class Handle {
+ public:
+  explicit Handle(Host* host, HandleOptions options = {});
+
+  /// Registers with the host (or re-registers after a host restart — a
+  /// handle that skips this after a restart is a zombie and every submit
+  /// fails with kFenced).
+  Status Attach();
+  Status Detach();
+
+  // --- the check-out API, proxied through the ring -----------------
+  Result<CheckOutTicket> CheckOut(authz::UserId user, const query::Query& q,
+                                  CheckOutMode mode);
+  Status CheckIn(const CheckOutTicket& ticket);
+  Status Cancel(const CheckOutTicket& ticket);
+  Status Renew(const CheckOutTicket& ticket);
+  Result<CheckOutTicket> Resume(const CheckOutTicket& ticket);
+  Status Ping();
+
+  // --- chaos entry points (fleet driver, fault sweeps) -------------
+
+  /// Publishes a job and abandons it: no wait, no response pickup — the
+  /// wedged-client model.  The slot stays in flight until the host
+  /// executes it and the dead-handle sweep reclaims the response.
+  /// \p fault additionally injects a torn or stranded publish.
+  Status SubmitNoWait(wire::JobOp op, const CheckOutTicket* ticket,
+                      PublishFault fault = PublishFault::kNone);
+
+  /// Simulated process death: forgets all in-flight jobs and stops
+  /// operating.  Ring slots and leases are reclaimed by the host sweeps.
+  void Die();
+  bool dead() const { return dead_; }
+
+  uint64_t id() const { return info_.handle_id; }
+  uint64_t epoch() const { return info_.epoch; }
+  const HandleInfo& info() const { return info_; }
+
+  struct Stats {
+    uint64_t calls = 0;
+    uint64_t sheds_seen = 0;       ///< kShed responses/rejections observed
+    uint64_t retries = 0;          ///< re-submissions after a shed
+    uint64_t backoff_us_total = 0; ///< jittered backoff budget accumulated
+    uint64_t fenced = 0;           ///< kFenced rejections observed
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// Publish → (pump | wait) → take → decode; sheds retried per policy.
+  /// \p ticket_out receives the response ticket when the op returns one.
+  Status Call(std::string request, CheckOutTicket* ticket_out);
+
+  Host* host_;
+  HandleOptions options_;
+  Rng rng_;
+  HandleInfo info_;
+  uint64_t next_job_ = 1;
+  bool dead_ = false;
+  Stats stats_;
+};
+
+}  // namespace codlock::ws
+
+#endif  // CODLOCK_WS_HANDLE_H_

@@ -197,6 +197,9 @@ Result<CheckOutTicket> Server::ResumeSession(const CheckOutTicket& ticket) {
 }
 
 size_t Server::SweepExpiredLeases() {
+  // Lifecycle exclusion: a sweep must never interleave with
+  // CrashAndRestart's engine teardown (see lifecycle_mu_ in server.h).
+  MutexLock lifecycle(lifecycle_mu_);
   size_t reaped = 0;
   for (const LeaseRecord& rec : leases_.ExpiredBeyondGrace()) {
     if (fault::FireResult fr = g_fault_lease_expire.Fire()) {
@@ -362,6 +365,11 @@ Status Server::PersistLongLocks() {
 }
 
 Status Server::CrashAndRestart() {
+  // Lifecycle exclusion: an in-flight lease sweep finishes (or a pending
+  // one waits for the rebuilt engine) before the teardown starts — a
+  // sweep spanning the rebuild would release a dead engine's locks into
+  // the new one (double release).
+  MutexLock lifecycle(lifecycle_mu_);
   // Nobody may stay parked inside the dying lock manager: kill every
   // blocked waiter (their Acquire calls fail with kAborted) and wait for
   // them to unwind before tearing the engine down.

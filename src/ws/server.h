@@ -238,6 +238,15 @@ class Server {
   std::unique_ptr<query::LockPlanner> planner_;
   std::unique_ptr<query::QueryExecutor> executor_;
 
+  /// Serializes whole-engine lifecycle transitions against the
+  /// reclamation sweep: `SweepExpiredLeases` walks `lm_`/`txns_` and
+  /// releases locks step by step, while `CrashAndRestart` (via
+  /// `RebuildEngine`) destroys and re-creates those very objects.  A
+  /// sweep running concurrently with a restart could otherwise abort a
+  /// transaction in the dying engine and then release its locks again in
+  /// the rebuilt one (a double release against a fresh grant).  Acquired
+  /// before `tickets_mu_`; never taken by per-ticket operations.
+  mutable Mutex lifecycle_mu_;
   mutable Mutex tickets_mu_;
   /// Users of live long (check-out) transactions, re-adopted after a crash.
   std::unordered_map<lock::TxnId, authz::UserId> long_txn_users_

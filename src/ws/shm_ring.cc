@@ -1,0 +1,380 @@
+#include "ws/shm_ring.h"
+
+#include <chrono>
+
+#include "fault/fault_injector.h"
+#include "util/crc32.h"
+
+namespace codlock::ws {
+
+namespace {
+
+// The client process dies while its frame is still kWriting: the slot
+// strands until the dead-handle sweep reclaims it.
+fault::FaultPoint g_fault_ring_publish{"ws.ring.publish",
+                                       fault::FaultKind::kCrash};
+// The client process dies mid-copy *after* the CRC stamp: the frame
+// publishes torn and the consumer must salvage it.
+fault::FaultPoint g_fault_ring_torn{"ws.ring.torn_frame",
+                                    fault::FaultKind::kTornWrite};
+// A host worker dies right after claiming a frame: the job strands in
+// kExecuting and only a host restart (ring reset) recovers the slot.
+fault::FaultPoint g_fault_ring_consume{"ws.ring.consume",
+                                       fault::FaultKind::kCrash};
+
+uint32_t AsWord(SlotState s) { return static_cast<uint32_t>(s); }
+
+}  // namespace
+
+std::string_view SlotStateName(SlotState state) {
+  switch (state) {
+    case SlotState::kFree:
+      return "free";
+    case SlotState::kWriting:
+      return "writing";
+    case SlotState::kPublished:
+      return "published";
+    case SlotState::kExecuting:
+      return "executing";
+    case SlotState::kDone:
+      return "done";
+    case SlotState::kTaking:
+      return "taking";
+  }
+  return "?";
+}
+
+ShmRing::ShmRing(RingOptions options)
+    : options_(options), slots_(new Slot[options.slots]) {
+  for (size_t i = 0; i < options_.slots; ++i) {
+    slots_[i].payload.reserve(options_.payload_capacity);
+    slots_[i].response.reserve(options_.payload_capacity);
+  }
+}
+
+bool ShmRing::CasState(Slot& s, SlotState from, SlotState to) {
+  uint32_t expected = AsWord(from);
+  return s.state.compare_exchange_strong(expected, AsWord(to),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+}
+
+void ShmRing::FreeSlot(Slot& s) {
+  s.state.store(AsWord(SlotState::kFree), std::memory_order_release);
+}
+
+Result<size_t> ShmRing::Publish(const FrameHeader& header,
+                                std::string_view payload, PublishFault fault) {
+  if (payload.size() > options_.payload_capacity) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(payload.size()) +
+        " bytes exceeds ring capacity of " +
+        std::to_string(options_.payload_capacity));
+  }
+  // The deterministic fault points and the fleet's probabilistic chaos
+  // inject through the same switch.
+  fault::FireResult injected_crash;
+  if (fault == PublishFault::kNone) {
+    if (fault::FireResult fr = g_fault_ring_publish.Fire()) {
+      injected_crash = fr;
+      fault = PublishFault::kDieMidWrite;
+    } else if (g_fault_ring_torn.Fire()) {
+      fault = PublishFault::kTornFrame;
+    }
+  }
+
+  // Claim: rotating scan for a free slot.
+  const size_t n = options_.slots;
+  const size_t start = publish_cursor_.fetch_add(1, std::memory_order_relaxed);
+  Slot* slot = nullptr;
+  size_t index = 0;
+  for (size_t i = 0; i < n; ++i) {
+    index = (start + i) % n;
+    if (CasState(slots_[index], SlotState::kFree, SlotState::kWriting)) {
+      slot = &slots_[index];
+      break;
+    }
+  }
+  if (slot == nullptr) {
+    return Status::Shed("job ring full (" + std::to_string(n) +
+                        " slots in flight)");
+  }
+
+  slot->owner.store(header.handle_id, std::memory_order_release);
+  slot->job_stamp.store(header.job_id, std::memory_order_release);
+  slot->header = header;
+  slot->header.payload_size = static_cast<uint32_t>(payload.size());
+  slot->header.crc = Crc32(payload);
+  if (fault == PublishFault::kDieMidWrite) {
+    // Death before the payload lands: the slot strands in kWriting with
+    // its owner recorded, so the dead-handle sweep can find it.
+    {
+      MutexLock lk(counters_mu_);
+      ++counters_.crashed_writes;
+    }
+    if (injected_crash) {
+      return fault::StatusFor(injected_crash, "ws.ring.publish");
+    }
+    return Status::Aborted("simulated client death mid-publish of job " +
+                           std::to_string(header.job_id));
+  }
+  if (fault == PublishFault::kTornFrame) {
+    // CRC stamped over the full payload, but only half of it lands.
+    slot->payload.assign(payload.substr(0, payload.size() / 2));
+    MutexLock lk(counters_mu_);
+    ++counters_.torn_writes;
+  } else {
+    slot->payload.assign(payload);
+  }
+  slot->response.clear();
+
+  if (!CasState(*slot, SlotState::kWriting, SlotState::kPublished)) {
+    // The slot was reclaimed under us (the handle was fenced while this
+    // publish was in flight).  Nothing was made visible.
+    return Status::Fenced("slot reclaimed during publish of job " +
+                          std::to_string(header.job_id));
+  }
+  {
+    MutexLock lk(counters_mu_);
+    ++counters_.published;
+  }
+  if (LockStats* st = stats()) st->ring_published.Add();
+  // Futex-style wake: the state word changed; nudge parked consumers.
+  // Acquiring the wait mutex orders this wake after any in-progress
+  // predicate check, closing the lost-wakeup window.
+  { MutexLock lk(wait_mu_); }
+  published_cv_.NotifyAll();
+  return index;
+}
+
+bool ShmRing::Done(size_t slot, uint64_t job_id) const {
+  const Slot& s = slots_[slot];
+  if (s.job_stamp.load(std::memory_order_acquire) != job_id) return false;
+  return s.state.load(std::memory_order_acquire) == AsWord(SlotState::kDone);
+}
+
+Result<std::string> ShmRing::TakeResponse(size_t slot, uint64_t job_id) {
+  Slot& s = slots_[slot];
+  if (s.job_stamp.load(std::memory_order_acquire) != job_id) {
+    return Status::NotFound("job " + std::to_string(job_id) +
+                            " is gone (slot reclaimed or reused)");
+  }
+  if (!CasState(s, SlotState::kDone, SlotState::kTaking)) {
+    const uint32_t state = s.state.load(std::memory_order_acquire);
+    if (state == AsWord(SlotState::kFree)) {
+      return Status::NotFound("job " + std::to_string(job_id) +
+                              " is gone (slot reclaimed)");
+    }
+    return Status::FailedPrecondition(
+        "job " + std::to_string(job_id) + " is not done (slot is " +
+        std::string(SlotStateName(static_cast<SlotState>(state))) + ")");
+  }
+  // We own the slot now; re-verify the stamp (the slot may have cycled
+  // to another producer's done job between the load and the claim).
+  if (s.job_stamp.load(std::memory_order_acquire) != job_id) {
+    CasState(s, SlotState::kTaking, SlotState::kDone);
+    return Status::NotFound("job " + std::to_string(job_id) +
+                            " is gone (slot reused)");
+  }
+  std::string response = s.response;
+  FreeSlot(s);
+  {
+    MutexLock lk(counters_mu_);
+    ++counters_.taken;
+  }
+  return response;
+}
+
+bool ShmRing::WaitDone(size_t slot, uint64_t job_id, uint64_t timeout_us) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(timeout_us);
+  const Slot& s = slots_[slot];
+  bool ready = false;
+  MutexLock lk(wait_mu_);
+  done_cv_.WaitUntil(wait_mu_, deadline, [&] {
+    if (s.job_stamp.load(std::memory_order_acquire) != job_id) return true;
+    const uint32_t state = s.state.load(std::memory_order_acquire);
+    if (state == AsWord(SlotState::kDone)) {
+      ready = true;
+      return true;
+    }
+    return state == AsWord(SlotState::kFree);  // reclaimed — give up
+  });
+  return ready;
+}
+
+Result<ShmRing::Job> ShmRing::Consume(std::vector<SalvagedFrame>* salvaged) {
+  const size_t n = options_.slots;
+  for (size_t scanned = 0; scanned < n;) {
+    const size_t index =
+        consume_cursor_.fetch_add(1, std::memory_order_relaxed) % n;
+    ++scanned;
+    Slot& s = slots_[index];
+    if (!CasState(s, SlotState::kPublished, SlotState::kExecuting)) continue;
+    if (fault::FireResult fr = g_fault_ring_consume.Fire()) {
+      // The worker dies holding the claim: the job strands in
+      // kExecuting until the host restart resets the ring.  The claim
+      // itself is ledgered — the stranded frame must show up under
+      // consumed == completed + reclaimed_executing, not vanish.
+      {
+        MutexLock lk(counters_mu_);
+        ++counters_.consumed;
+      }
+      if (LockStats* st = stats()) st->ring_consumed.Add();
+      return fault::StatusFor(fr, "ws.ring.consume");
+    }
+    const FrameHeader header = s.header;
+    if (s.payload.size() != header.payload_size ||
+        Crc32(s.payload) != header.crc) {
+      // Torn frame: the writer died mid-copy.  Salvage the slot.
+      if (salvaged != nullptr) {
+        salvaged->push_back({index, header.handle_id, header.job_id});
+      }
+      FreeSlot(s);
+      {
+        MutexLock lk(counters_mu_);
+        ++counters_.salvaged;
+      }
+      if (LockStats* st = stats()) st->ring_salvaged_frames.Add();
+      continue;  // the freed slot does not count as scanned work
+    }
+    Job job;
+    job.slot = index;
+    job.header = header;
+    job.payload = s.payload;
+    {
+      MutexLock lk(counters_mu_);
+      ++counters_.consumed;
+    }
+    if (LockStats* st = stats()) st->ring_consumed.Add();
+    return job;
+  }
+  return Status::NotFound("no published frame");
+}
+
+void ShmRing::Complete(size_t slot, std::string_view response) {
+  Slot& s = slots_[slot];
+  s.response.assign(response);
+  s.state.store(AsWord(SlotState::kDone), std::memory_order_release);
+  {
+    MutexLock lk(counters_mu_);
+    ++counters_.completed;
+  }
+  { MutexLock lk(wait_mu_); }
+  done_cv_.NotifyAll();
+}
+
+bool ShmRing::WaitForPublished(uint64_t timeout_us,
+                               const std::atomic<bool>* stop) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(timeout_us);
+  bool found = false;
+  MutexLock lk(wait_mu_);
+  published_cv_.WaitUntil(wait_mu_, deadline, [&] {
+    if (stop != nullptr && stop->load(std::memory_order_acquire)) return true;
+    for (size_t i = 0; i < options_.slots; ++i) {
+      if (slots_[i].state.load(std::memory_order_acquire) ==
+          AsWord(SlotState::kPublished)) {
+        found = true;
+        return true;
+      }
+    }
+    return false;
+  });
+  return found;
+}
+
+void ShmRing::WakeAll() {
+  { MutexLock lk(wait_mu_); }
+  published_cv_.NotifyAll();
+  done_cv_.NotifyAll();
+}
+
+size_t ShmRing::ReclaimHandleSlots(uint64_t handle_id) {
+  // Precondition (enforced by ws::Host): the handle is fenced, so no
+  // live writer of this handle can pass admission anymore; any slot
+  // still kWriting was stranded by a death inside Publish, which has
+  // returned — the slot memory is quiet.
+  size_t freed = 0;
+  for (size_t i = 0; i < options_.slots; ++i) {
+    Slot& s = slots_[i];
+    if (s.owner.load(std::memory_order_acquire) != handle_id) continue;
+    if (CasState(s, SlotState::kWriting, SlotState::kFree)) {
+      MutexLock lk(counters_mu_);
+      ++counters_.reclaimed_writing;
+      ++freed;
+    } else if (CasState(s, SlotState::kPublished, SlotState::kFree)) {
+      MutexLock lk(counters_mu_);
+      ++counters_.reclaimed_published;
+      ++freed;
+    } else if (CasState(s, SlotState::kDone, SlotState::kFree)) {
+      MutexLock lk(counters_mu_);
+      ++counters_.reclaimed_done;
+      ++freed;
+    }
+    // kExecuting slots belong to a live worker: Complete() moves them to
+    // kDone and the next sweep pass frees them here.
+  }
+  if (freed != 0) {
+    { MutexLock lk(wait_mu_); }
+    done_cv_.NotifyAll();  // parked producers of freed slots must give up
+  }
+  return freed;
+}
+
+void ShmRing::Reset() {
+  // Host crash: shared memory reinitialized.  Account every in-flight
+  // frame as lost before freeing it — the sweep's conservation checks
+  // rely on the ledger, not the memory.
+  for (size_t i = 0; i < options_.slots; ++i) {
+    Slot& s = slots_[i];
+    const uint32_t state = s.state.load(std::memory_order_acquire);
+    {
+      MutexLock lk(counters_mu_);
+      switch (static_cast<SlotState>(state)) {
+        case SlotState::kFree:
+          break;
+        case SlotState::kWriting:
+          ++counters_.reclaimed_writing;
+          break;
+        case SlotState::kPublished:
+          ++counters_.reclaimed_published;
+          break;
+        case SlotState::kExecuting:
+          ++counters_.reclaimed_executing;
+          break;
+        case SlotState::kDone:
+        case SlotState::kTaking:
+          ++counters_.reclaimed_done;
+          break;
+      }
+    }
+    s.owner.store(0, std::memory_order_release);
+    s.job_stamp.store(0, std::memory_order_release);
+    FreeSlot(s);
+  }
+  WakeAll();
+}
+
+SlotState ShmRing::StateOf(size_t slot) const {
+  return static_cast<SlotState>(
+      slots_[slot].state.load(std::memory_order_acquire));
+}
+
+size_t ShmRing::InFlight() const {
+  size_t busy = 0;
+  for (size_t i = 0; i < options_.slots; ++i) {
+    if (slots_[i].state.load(std::memory_order_acquire) !=
+        AsWord(SlotState::kFree)) {
+      ++busy;
+    }
+  }
+  return busy;
+}
+
+ShmRing::Counters ShmRing::counters() const {
+  MutexLock lk(counters_mu_);
+  return counters_;
+}
+
+}  // namespace codlock::ws

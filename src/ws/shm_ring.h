@@ -1,0 +1,249 @@
+/// \file shm_ring.h
+/// \brief Fixed-slot SPMC job ring: the shared-memory transport between
+/// client handles and the host's worker threads.
+///
+/// ROADMAP open item 2 (the oidadb `edbl` host/handle split): client
+/// *processes* publish job frames into a fixed array of slots that host
+/// workers drain.  This in-process model keeps the exact shared-memory
+/// discipline a real mmap'd ring would need, because none of the parties
+/// can be trusted to finish what they started:
+///
+///  * every frame is **CRC-stamped** over its payload, so a client that
+///    dies mid-write leaves a *torn frame* the consumer detects and
+///    salvages (slot freed, `ring_salvaged_frames` counted) instead of a
+///    garbage job it executes;
+///  * slot ownership moves through a small state machine of atomic words
+///    (`kFree → kWriting → kPublished → kExecuting → kDone → kTaking →
+///    kFree`), every transition a CAS — a crashed party simply leaves its
+///    slot parked in whatever state it reached, and reclamation
+///    (`ReclaimHandleSlots`, `Reset`) moves it back to `kFree` with the
+///    loss accounted;
+///  * wait/wake is **futex-style**: the slot state words are the futex
+///    words; publishers wake parked consumers, completers wake parked
+///    producers.  (An annotated `Mutex`/`CondVar` stands in for the futex
+///    syscall so the blocking is visible to thread-safety analysis and
+///    the deterministic scheduler.)
+///
+/// The ring is transport only: admission control (who may publish) and
+/// job execution live in `ws::Host`; serialization of requests/responses
+/// lives in `ws::wire` (handle.h).
+#ifndef CODLOCK_WS_SHM_RING_H_
+#define CODLOCK_WS_SHM_RING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/mutex.h"
+#include "util/result.h"
+
+namespace codlock::ws {
+
+/// Lifecycle of one ring slot.  Stored in an atomic word per slot; every
+/// transition is a CAS, so a party that dies mid-protocol strands the
+/// slot in a recoverable state instead of corrupting a neighbour's.
+enum class SlotState : uint32_t {
+  kFree = 0,   ///< claimable by a producer
+  kWriting,    ///< producer owns it (a crash here strands the slot)
+  kPublished,  ///< frame complete (or torn!), waiting for a consumer
+  kExecuting,  ///< worker owns it (a host crash here loses the job)
+  kDone,       ///< response written, waiting for the producer to take it
+  kTaking,     ///< producer copying the response out
+};
+
+std::string_view SlotStateName(SlotState state);
+
+struct RingOptions {
+  size_t slots = 64;
+  /// Maximum frame payload (request or response) in bytes; oversized
+  /// publishes fail with kInvalidArgument, they never truncate.
+  size_t payload_capacity = 4096;
+};
+
+/// Injected producer-side failure for one Publish call.  Both the fault
+/// points (`ws.ring.publish`, `ws.ring.torn_frame`) and the fleet chaos
+/// driver route through this, so deterministic sweeps and probabilistic
+/// chaos exercise the same code path.
+enum class PublishFault : uint8_t {
+  kNone = 0,
+  /// The client dies after the CRC stamp but before the payload is fully
+  /// copied: the frame publishes with a payload that does not match its
+  /// CRC (the classic torn shared-memory write).
+  kTornFrame,
+  /// The client dies while the slot is still kWriting: the slot stays
+  /// stranded until the dead-handle sweep reclaims it.
+  kDieMidWrite,
+};
+
+/// Frame metadata stored alongside the payload.  `handle_epoch` lets the
+/// executing host re-check the publishing handle's fencing epoch at
+/// consume time (the handle may have been fenced between publish and
+/// execute).
+struct FrameHeader {
+  uint64_t handle_id = 0;
+  uint64_t handle_epoch = 0;
+  uint64_t job_id = 0;
+  uint32_t payload_size = 0;
+  uint32_t crc = 0;
+};
+
+/// \brief The fixed-slot SPMC job ring.
+class ShmRing {
+ public:
+  explicit ShmRing(RingOptions options);
+
+  ShmRing(const ShmRing&) = delete;
+  ShmRing& operator=(const ShmRing&) = delete;
+
+  // --- producer (client handle) side -------------------------------
+
+  /// Claims a free slot, writes the frame (CRC-stamped over \p payload)
+  /// and publishes it.  Returns the slot index.  Fails with kShed when
+  /// no slot is free (transport backpressure — admission control in the
+  /// host normally sheds first) and kInvalidArgument on oversized
+  /// payloads.  \p fault injects a producer death (see PublishFault);
+  /// kDieMidWrite returns an injected-crash status with the slot left
+  /// stranded in kWriting.
+  Result<size_t> Publish(const FrameHeader& header, std::string_view payload,
+                         PublishFault fault = PublishFault::kNone);
+
+  /// True while `slot` holds an undone job of `job_id` (kWriting..kDone).
+  bool Done(size_t slot, uint64_t job_id) const;
+
+  /// Copies the response out and frees the slot.  Fails with kNotFound
+  /// when the slot no longer carries `job_id` (it was reclaimed and
+  /// possibly reused) and kFailedPrecondition when the job is not done
+  /// yet.
+  Result<std::string> TakeResponse(size_t slot, uint64_t job_id);
+
+  /// Parks until `slot`/`job_id` reaches kDone, is reclaimed, or
+  /// \p timeout_us elapses.  Returns true when the response is ready.
+  bool WaitDone(size_t slot, uint64_t job_id, uint64_t timeout_us);
+
+  // --- consumer (host worker) side ---------------------------------
+
+  struct Job {
+    size_t slot = 0;
+    FrameHeader header;
+    std::string payload;
+  };
+  /// A frame whose CRC did not match its payload: the writer died
+  /// mid-write.  The slot has been salvaged (freed); the host uses the
+  /// handle id to fix up its in-flight accounting.
+  struct SalvagedFrame {
+    size_t slot = 0;
+    uint64_t handle_id = 0;
+    uint64_t job_id = 0;
+  };
+
+  /// Claims the next published frame (rotating scan for fairness) and
+  /// validates its CRC.  Torn frames are salvaged, appended to
+  /// \p salvaged (when non-null) and skipped.  Returns kNotFound when no
+  /// published frame remains.
+  Result<Job> Consume(std::vector<SalvagedFrame>* salvaged = nullptr);
+
+  /// Writes the response and moves the slot to kDone, waking producers.
+  void Complete(size_t slot, std::string_view response);
+
+  /// Parks until a published frame exists, \p stop becomes true, or
+  /// \p timeout_us elapses.  Returns true when a frame may be available.
+  bool WaitForPublished(uint64_t timeout_us, const std::atomic<bool>* stop);
+  /// Wakes every parked consumer (worker shutdown).
+  void WakeAll();
+
+  // --- reclamation / recovery --------------------------------------
+
+  /// Frees every slot owned by \p handle_id that is not currently
+  /// executing (kWriting strands, unconsumed publishes, untaken
+  /// responses).  kExecuting slots finish via Complete and are picked up
+  /// by the next sweep pass.  Returns the number of slots freed.
+  size_t ReclaimHandleSlots(uint64_t handle_id);
+
+  /// Host crash: the shared memory is reinitialized.  Every slot is
+  /// freed whatever its state; in-flight work is gone (accounted as
+  /// reclaimed/aborted in the counters, which survive — they model the
+  /// sim's observability, not ring memory).
+  void Reset();
+
+  // --- observability -----------------------------------------------
+
+  size_t slots() const { return options_.slots; }
+  size_t payload_capacity() const { return options_.payload_capacity; }
+  SlotState StateOf(size_t slot) const;
+  /// Number of slots not currently kFree.
+  size_t InFlight() const;
+
+  /// Cumulative event counters (survive Reset — they are the sweep's
+  /// accounting ledger).  Conservation at quiescence (ring empty):
+  ///   published == consumed + salvaged + reclaimed_published
+  ///   consumed  == completed + reclaimed_executing
+  ///   completed == taken + reclaimed_done
+  struct Counters {
+    uint64_t published = 0;
+    uint64_t consumed = 0;
+    uint64_t completed = 0;
+    uint64_t taken = 0;
+    uint64_t salvaged = 0;
+    uint64_t torn_writes = 0;          ///< injected torn publishes
+    uint64_t crashed_writes = 0;       ///< injected die-mid-write strands
+    uint64_t reclaimed_writing = 0;    ///< kWriting strands freed
+    uint64_t reclaimed_published = 0;  ///< unconsumed frames freed
+    uint64_t reclaimed_executing = 0;  ///< jobs lost to a host crash
+    uint64_t reclaimed_done = 0;       ///< untaken responses freed
+    uint64_t Reclaimed() const {
+      return reclaimed_writing + reclaimed_published + reclaimed_executing +
+             reclaimed_done;
+    }
+  };
+  Counters counters() const;
+
+  /// Mirrors ring events (published/consumed/salvaged) into \p stats.
+  /// The host re-points this at the rebuilt lock manager's stats after
+  /// every restart; nullptr detaches.
+  void SetStats(LockStats* stats) {
+    stats_.store(stats, std::memory_order_release);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<uint32_t> state{static_cast<uint32_t>(SlotState::kFree)};
+    /// Owning handle, stored right after the kFree→kWriting claim so
+    /// reclamation can attribute the slot without touching the (plain)
+    /// header while a writer may still own it.
+    std::atomic<uint64_t> owner{0};
+    /// Job id of the current occupant; producers verify it before taking
+    /// a response (the slot may have been reclaimed and reused).
+    std::atomic<uint64_t> job_stamp{0};
+    FrameHeader header;
+    std::string payload;
+    std::string response;
+  };
+
+  bool CasState(Slot& s, SlotState from, SlotState to);
+  void FreeSlot(Slot& s);
+  LockStats* stats() const { return stats_.load(std::memory_order_acquire); }
+
+  const RingOptions options_;
+  std::unique_ptr<Slot[]> slots_;
+  /// Rotating scan cursors (fairness, not correctness).
+  std::atomic<size_t> publish_cursor_{0};
+  std::atomic<size_t> consume_cursor_{0};
+
+  std::atomic<LockStats*> stats_{nullptr};
+
+  /// Futex stand-in: parked waiters for kPublished / kDone transitions.
+  mutable Mutex wait_mu_;
+  CondVar published_cv_;
+  CondVar done_cv_;
+
+  mutable Mutex counters_mu_;
+  Counters counters_ CODLOCK_GUARDED_BY(counters_mu_);
+};
+
+}  // namespace codlock::ws
+
+#endif  // CODLOCK_WS_SHM_RING_H_

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""CI-facing behavior of tools/bench_regression_check.py.
+
+The checker is the gate between `codlock_bench_json` captures and a red
+build, so its failure modes must be operational, not Pythonic: a missing
+or corrupt BENCH_*.json prints what to run next and exits 2 — never a
+traceback.  Exercised here via subprocess, exactly as CI invokes it.
+
+Only the Python standard library is used (registered in CTest via
+`python3 tests/bench_regression_check_test.py`).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CHECKER = os.path.join(REPO, "tools", "bench_regression_check.py")
+
+CONTEXT = {"library_build_type": "release", "num_cpus": 8}
+
+
+def ring_doc(tps):
+    return {
+        "benchmark": "ring",
+        "context": dict(CONTEXT),
+        "scenarios": {
+            "ring_ping": {"ops": 1000, "throughput_tps": tps,
+                          "ns_per_op": 1e9 / tps},
+        },
+        "ring_counters": {"published": 1000, "consumed": 1000},
+    }
+
+
+class CheckerTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.base = os.path.join(self._tmp.name, "baseline")
+        self.fresh = os.path.join(self._tmp.name, "fresh")
+        os.mkdir(self.base)
+        os.mkdir(self.fresh)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, dirname, name, doc):
+        with open(os.path.join(dirname, name), "w", encoding="utf-8") as f:
+            if isinstance(doc, str):
+                f.write(doc)
+            else:
+                json.dump(doc, f)
+
+    def run_checker(self, *extra):
+        return subprocess.run(
+            [sys.executable, CHECKER, "--baseline-dir", self.base,
+             "--fresh-dir", self.fresh, *extra],
+            capture_output=True, text=True)
+
+    def test_clean_comparison_passes(self):
+        self.write(self.base, "BENCH_ring.json", ring_doc(100000))
+        self.write(self.fresh, "BENCH_ring.json", ring_doc(101000))
+        r = self.run_checker()
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("BENCH_ring.json", r.stdout)
+        self.assertIn("[ok]", r.stdout)
+
+    def test_regression_beyond_fail_threshold_exits_nonzero(self):
+        self.write(self.base, "BENCH_ring.json", ring_doc(100000))
+        self.write(self.fresh, "BENCH_ring.json", ring_doc(50000))
+        r = self.run_checker()
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("FAILURE", r.stdout)
+
+    def test_moderate_regression_warns_but_passes_without_strict(self):
+        self.write(self.base, "BENCH_ring.json", ring_doc(100000))
+        self.write(self.fresh, "BENCH_ring.json", ring_doc(80000))
+        r = self.run_checker()
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("REGRESSION", r.stdout)
+        self.assertEqual(self.run_checker("--strict").returncode, 1)
+
+    def test_missing_file_is_a_skip_by_default(self):
+        r = self.run_checker()
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("skipped", r.stdout)
+
+    def test_expected_missing_file_is_an_actionable_error(self):
+        r = self.run_checker("--expect", "BENCH_ring.json")
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+        self.assertIn("BENCH_ring.json is missing", r.stderr)
+        self.assertIn("hint:", r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+
+    def test_corrupt_json_is_an_actionable_error(self):
+        self.write(self.base, "BENCH_ring.json", ring_doc(100000))
+        self.write(self.fresh, "BENCH_ring.json", '{"benchmark": "ring",')
+        r = self.run_checker()
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+        self.assertIn("not valid JSON", r.stderr)
+        self.assertIn("hint:", r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+
+    def test_expected_contextless_doc_is_an_actionable_error(self):
+        doc = ring_doc(100000)
+        del doc["context"]
+        self.write(self.base, "BENCH_ring.json", doc)
+        self.write(self.fresh, "BENCH_ring.json", ring_doc(100000))
+        r = self.run_checker("--expect", "BENCH_ring.json")
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+        self.assertIn('no "context" block', r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+
+    def test_contextless_doc_without_expect_still_compares(self):
+        doc = ring_doc(100000)
+        del doc["context"]
+        self.write(self.base, "BENCH_ring.json", doc)
+        self.write(self.fresh, "BENCH_ring.json", ring_doc(100000))
+        r = self.run_checker()
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("[ok]", r.stdout)
+
+    def test_build_type_mismatch_refuses_comparison(self):
+        base = ring_doc(100000)
+        base["context"]["library_build_type"] = "debug"
+        self.write(self.base, "BENCH_ring.json", base)
+        self.write(self.fresh, "BENCH_ring.json", ring_doc(100000))
+        r = self.run_checker()
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("context mismatch", r.stdout)
+        ok = self.run_checker("--allow-context-mismatch")
+        self.assertEqual(ok.returncode, 0, ok.stdout + ok.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

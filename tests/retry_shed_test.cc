@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -276,6 +277,58 @@ TEST(RetryPolicyTest, BackoffGrowsJitteredAndBounded) {
       EXPECT_LE(b, full) << "retry " << retry;
     }
   }
+}
+
+TEST(RetryPolicyTest, BackoffShiftIsCappedAgainstOverflow) {
+  // Past retry 21 the exponent freezes at 2^20: a pathological retry
+  // count must not shift the base off the end of the word (UB) or wrap
+  // to a tiny backoff.
+  RetryPolicy p;
+  p.base_backoff_us = 1;
+  p.max_backoff_us = std::numeric_limits<uint64_t>::max();
+  Rng rng(7);
+  const uint64_t full = uint64_t{1} << 20;
+  for (int retry : {21, 22, 40, 1000}) {
+    for (int i = 0; i < 20; ++i) {
+      const uint64_t b = p.BackoffUs(retry, rng);
+      EXPECT_GE(b, full / 2) << "retry " << retry;
+      EXPECT_LE(b, full) << "retry " << retry;
+    }
+  }
+}
+
+TEST(RetryPolicyTest, BackoffDegenerateInputs) {
+  RetryPolicy p;
+  p.base_backoff_us = 0;  // disabled backoff: always 0, no div-by-zero
+  Rng rng(3);
+  EXPECT_EQ(p.BackoffUs(1, rng), 0u);
+  EXPECT_EQ(p.BackoffUs(5, rng), 0u);
+
+  // Out-of-range retry numbers clamp to the first retry's window.
+  RetryPolicy q;
+  q.base_backoff_us = 100;
+  for (int retry : {0, -1}) {
+    const uint64_t b = q.BackoffUs(retry, rng);
+    EXPECT_GE(b, 50u);
+    EXPECT_LE(b, 100u);
+  }
+}
+
+TEST(RetryPolicyTest, BackoffIsDeterministicPerSeed) {
+  // All jitter flows through the caller's seeded Rng: two equal seeds
+  // replay the identical backoff sequence (the fleet driver's
+  // SameSeedReplaysExactly depends on this).
+  RetryPolicy p;
+  std::vector<uint64_t> a, b;
+  Rng ra(99), rb(99), rc(100);
+  bool differs = false;
+  for (int retry = 1; retry <= 8; ++retry) {
+    a.push_back(p.BackoffUs(retry, ra));
+    b.push_back(p.BackoffUs(retry, rb));
+    differs |= p.BackoffUs(retry, rc) != a.back();
+  }
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(differs) << "a different seed never changed the jitter";
 }
 
 // --- Harness accounting under contention -------------------------------

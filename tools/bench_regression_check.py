@@ -18,7 +18,10 @@ Reads the two perf baselines the repo keeps at its root —
                            fast-path speedup on the contended S/IS series
                            must clear --fastpath-floor (default 2.0) — the
                            multi-core scaling floor, enforced regardless
-                           of thresholds.
+                           of thresholds;
+  BENCH_ring.json          bench_ring --json; compared like
+                           BENCH_overhead.json (out-of-process serving
+                           transport overhead, DESIGN.md §13).
 
 Baselines are only comparable on the same class of machine and build:
 when both documents carry a "context" block, a library_build_type
@@ -36,10 +39,15 @@ threshold (default 30%) is beyond shared-runner noise and always exits
 non-zero.  Pass --strict to make *every* regression fatal on controlled
 machines.
 
+A file absent from either directory is skipped with a message — unless it
+is named in --expect, in which case its absence (or an unreadable /
+corrupt / context-less document) is a hard error (exit 2) with a hint on
+how to regenerate it.  Operational mistakes never print a traceback.
+
 Usage:
   tools/bench_regression_check.py --baseline-dir DIR --fresh-dir DIR
                                   [--threshold 0.15] [--fail-threshold 0.30]
-                                  [--strict]
+                                  [--strict] [--expect BENCH_a.json,...]
 
 Only the Python standard library is used.
 """
@@ -49,10 +57,38 @@ import json
 import os
 import sys
 
+REGEN_HINT = ("hint: regenerate baselines with tools/codlock_bench_json "
+              "<build-dir> (requires CODLOCK_BUILD_BENCHMARKS=ON; writes "
+              "every BENCH_*.json at the repo root)")
+
+
+class BenchCheckError(Exception):
+    """An operational error (missing/corrupt input) with a remedy attached.
+
+    Raised instead of letting OSError/JSONDecodeError escape: the CI log
+    should show what to do, not a traceback."""
+
 
 def load_json(path):
-    with open(path, "r", encoding="utf-8") as f:
-        return json.load(f)
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as e:
+        raise BenchCheckError(
+            f"cannot read {path}: {e.strerror or e}\n{REGEN_HINT}")
+    except json.JSONDecodeError as e:
+        raise BenchCheckError(
+            f"{path} is not valid JSON (line {e.lineno}: {e.msg}) — the "
+            f"capture was probably interrupted\n{REGEN_HINT}")
+
+
+def require_context(name, doc, which, expected):
+    """An expected document without a "context" block cannot gate CI: the
+    machine/build class it was captured on is unknown."""
+    if name in expected and not isinstance(doc.get("context"), dict):
+        raise BenchCheckError(
+            f"{which} {name} has no \"context\" block — pre-context "
+            f"captures cannot serve as gating baselines\n{REGEN_HINT}")
 
 
 def lock_manager_medians(doc):
@@ -163,7 +199,22 @@ def main():
                     help="downgrade a library_build_type mismatch between "
                          "baseline and fresh context blocks from a refusal "
                          "to a warning")
+    ap.add_argument("--expect", default="",
+                    help="comma-separated BENCH_*.json names that MUST be "
+                         "present, readable and context-carrying in both "
+                         "directories; their absence is a hard error "
+                         "(exit 2) instead of a skip")
     args = ap.parse_args()
+
+    expected = {s.strip() for s in args.expect.split(",") if s.strip()}
+    for name in sorted(expected):
+        for which, d in (("baseline", args.baseline_dir),
+                         ("fresh", args.fresh_dir)):
+            path = os.path.join(d, name)
+            if not os.path.exists(path):
+                raise BenchCheckError(
+                    f"expected {which} {name} is missing from {d}\n"
+                    f"{REGEN_HINT}")
 
     regressions = 0
     failures = 0
@@ -176,6 +227,8 @@ def main():
     if os.path.exists(base_path) and os.path.exists(fresh_path):
         base_doc = load_json(base_path)
         fresh_doc = load_json(fresh_path)
+        require_context(lm, base_doc, "baseline", expected)
+        require_context(lm, fresh_doc, "fresh", expected)
         print(f"{lm} (median real_time, lower is better):")
         # google-benchmark's own context block carries the same keys.
         comparable, ctx_fatal = check_context(lm, base_doc, fresh_doc,
@@ -204,7 +257,7 @@ def main():
         print(f"{lm}: not present in both directories, skipped")
 
     # --- throughput baselines: throughput_tps, higher is better. -----------
-    for ov in ("BENCH_overhead.json", "BENCH_lease.json"):
+    for ov in ("BENCH_overhead.json", "BENCH_lease.json", "BENCH_ring.json"):
         base_path = os.path.join(args.baseline_dir, ov)
         fresh_path = os.path.join(args.fresh_dir, ov)
         if not (os.path.exists(base_path) and os.path.exists(fresh_path)):
@@ -212,6 +265,8 @@ def main():
             continue
         base_doc = load_json(base_path)
         fresh_doc = load_json(fresh_path)
+        require_context(ov, base_doc, "baseline", expected)
+        require_context(ov, fresh_doc, "fresh", expected)
         print(f"{ov} (throughput_tps, higher is better):")
         comparable, ctx_fatal = check_context(ov, base_doc, fresh_doc,
                                               args.allow_context_mismatch)
@@ -237,8 +292,11 @@ def main():
     base_path = os.path.join(args.baseline_dir, ct)
     fresh_path = os.path.join(args.fresh_dir, ct)
     fresh_doc = load_json(fresh_path) if os.path.exists(fresh_path) else None
+    if fresh_doc is not None:
+        require_context(ct, fresh_doc, "fresh", expected)
     if os.path.exists(base_path) and fresh_doc is not None:
         base_doc = load_json(base_path)
+        require_context(ct, base_doc, "baseline", expected)
         print(f"{ct} (throughput_ops_s per thread count, higher is better):")
         comparable, ctx_fatal = check_context(ct, base_doc, fresh_doc,
                                               args.allow_context_mismatch)
@@ -297,4 +355,8 @@ def main():
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BenchCheckError as err:
+        print(f"error: {err}", file=sys.stderr)
+        sys.exit(2)

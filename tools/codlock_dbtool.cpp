@@ -14,9 +14,11 @@
 //   r IN c.robots WHERE c.cell_id = 'c1' AND r.robot_id = 'r1' FOR UPDATE"
 
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "nf2/serialize.h"
+#include "ws/host.h"
 #include "query/parser.h"
 #include "sim/engine.h"
 #include "sim/fixtures.h"
@@ -37,9 +39,10 @@ int Usage() {
          "  dot <path> <relation>   object-specific lock graph as DOT\n"
          "  plan <path> \"<hdbl>\"    analyze a query (lock graph only)\n"
          "  query <path> \"<hdbl>\"   analyze + execute a query\n"
-         "  stats <path>            run a contended workload, print lock\n"
-         "                          statistics (waits, abort causes, sheds,\n"
-         "                          retries) and the accounting invariant\n"
+         "  stats <path> [--json]   run a contended workload plus a ring\n"
+         "                          probe, print lock statistics (waits,\n"
+         "                          abort causes, sheds, retries, ring\n"
+         "                          counters) and the accounting invariant\n"
          "  leases <path> [--json]  run a lease probe (check-outs in all\n"
          "                          three modes, renewals, an expiry and a\n"
          "                          reclamation sweep), then print the\n"
@@ -142,7 +145,59 @@ int Query(nf2::LoadedDatabase& db, const std::string& text, bool execute) {
   return 0;
 }
 
-int Stats(nf2::LoadedDatabase& db) {
+// A short burst of ring traffic over the same database, so `stats`
+// reports the out-of-process counters (ring_published, ring_consumed,
+// ring_salvaged_frames, handles_fenced, jobs_shed_per_handle) with live
+// values: pings and a shared check-out round-trip, an over-cap submit
+// that sheds, a torn publish that salvages, and a wedged handle that
+// the dead-handle sweep fences.
+std::unique_ptr<ws::Host> RingProbe(nf2::LoadedDatabase& db) {
+  ws::HostOptions ho;
+  ho.ring.slots = 8;
+  ho.max_inflight_per_handle = 2;
+  ho.handle_lease_ms = 5'000;
+  auto out = std::make_unique<ws::Host>(db.catalog.get(), db.store.get(), ho);
+  ws::Host& host = *out;
+
+  ws::Handle alive(&host);
+  (void)alive.Attach();
+  for (int i = 0; i < 8; ++i) (void)alive.Ping();
+
+  nf2::RelationId rel = 0;
+  std::vector<nf2::ObjectId> ids = db.store->ObjectsOf(rel);
+  if (!ids.empty()) {
+    Result<const nf2::Object*> obj = db.store->Get(rel, ids[0]);
+    if (obj.ok()) {
+      query::Query q;
+      q.name = "stats-ring-probe";
+      q.relation = rel;
+      q.object_key = (*obj)->key;
+      q.kind = query::AccessKind::kRead;
+      Result<ws::CheckOutTicket> t =
+          alive.CheckOut(1, q, ws::CheckOutMode::kShared);
+      if (t.ok()) (void)alive.CheckIn(*t);
+    }
+  }
+
+  // A wedged client: two abandoned submits fill its in-flight cap, the
+  // third sheds, and a torn publish exercises the salvage path.
+  ws::Handle wedged(&host);
+  (void)wedged.Attach();
+  (void)wedged.SubmitNoWait(ws::wire::JobOp::kPing, nullptr);
+  (void)wedged.SubmitNoWait(ws::wire::JobOp::kPing, nullptr);
+  (void)wedged.SubmitNoWait(ws::wire::JobOp::kPing, nullptr);  // sheds
+  (void)alive.SubmitNoWait(ws::wire::JobOp::kPing, nullptr,
+                           ws::PublishFault::kTornFrame);
+  (void)host.Drain();
+
+  // Silence fences the wedged handle; the pinging one stays live.
+  host.server().clock().AdvanceMs(ho.handle_lease_ms + 1);
+  (void)alive.Ping();
+  (void)host.SweepDeadHandles();
+  return out;
+}
+
+int Stats(nf2::LoadedDatabase& db, bool json) {
   // Hammer the first relation with short exclusive transactions under a
   // tight timeout and a small waiter cap, so every abort cause the lock
   // manager distinguishes (timeout, deadlock/wound, shed) can actually
@@ -183,6 +238,23 @@ int Stats(nf2::LoadedDatabase& db) {
         return s;
       });
 
+  std::unique_ptr<ws::Host> ring = RingProbe(db);
+
+  if (json) {
+    std::cout << "{\"workload\":{\"submitted\":" << r.submitted
+              << ",\"committed\":" << r.committed
+              << ",\"unresolved\":" << r.unresolved
+              << ",\"errors\":" << r.other_errors
+              << ",\"retries\":" << r.retries
+              << ",\"shed\":" << r.shed_aborts << ",\"reconciles\":"
+              << (r.Reconciles() ? "true" : "false")
+              << "},\n\"lock_stats\":"
+              << eng.lock_manager().stats().ToJson()
+              << ",\n\"ring_probe\":"
+              << ring->server().lock_manager().stats().ToJson() << "}\n";
+    return r.Reconciles() ? 0 : 1;
+  }
+
   std::cout << sim::WorkloadReport::Header() << "\n"
             << r.Row("contended stats probe") << "\n\n"
             << "submitted=" << r.submitted << " committed=" << r.committed
@@ -191,7 +263,9 @@ int Stats(nf2::LoadedDatabase& db) {
             << "  accounting "
             << (r.Reconciles() ? "reconciles" : "DOES NOT RECONCILE") << "\n\n"
             << "lock manager counters:\n"
-            << eng.lock_manager().stats().ToString() << "\n";
+            << eng.lock_manager().stats().ToString() << "\n"
+            << "ring probe counters (out-of-process serving):\n"
+            << ring->server().lock_manager().stats().ToString() << "\n";
   return r.Reconciles() ? 0 : 1;
 }
 
@@ -326,7 +400,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (cmd == "info") return Info(*db);
-  if (cmd == "stats") return Stats(*db);
+  if (cmd == "stats") {
+    return Stats(*db, argc >= 4 && std::string(argv[3]) == "--json");
+  }
   if (cmd == "leases") {
     return Leases(*db, argc >= 4 && std::string(argv[3]) == "--json");
   }

@@ -30,10 +30,26 @@
 // the pre-crash durable baseline, the zombie check-in is refused, and the
 // cell can be checked out again.
 //
+// The `ring` mode (also reachable as `--ring`) crash-injects the
+// out-of-process serving surface (`ws.ring.publish`, `ws.ring.torn_frame`,
+// `ws.ring.consume`, `ws.host.crash`, `ws.handle.die`, `ws.handle.wedge`):
+// a baseline check-out is established *through* a client handle and the
+// shared-memory job ring, victim traffic is driven into the armed point,
+// then the host crashes and restarts.  Every point must converge — the
+// baseline's long locks survive and its ticket still checks in, zombie
+// handles are rejected with kFenced until they re-attach, no orphan lock
+// and no blocked waiter remains after the sweeps, the ring drains to
+// empty with its frame-conservation identities intact (every published
+// frame consumed, salvaged or reclaimed), and fencing epochs never
+// regress.  The mode finishes with a fleet chaos run (default 1000
+// handles) whose self-checks must come back clean.
+//
 // Usage:
-//   codlock_faultsweep [--json] [--dir <scratch-dir>]
-//                      [sweep|truncate|leases|all]
+//   codlock_faultsweep [--json] [--dir <scratch-dir>] [--ring]
+//                      [--fleet-handles <n>] [--fleet-ticks <n>]
+//                      [sweep|truncate|leases|ring|all]
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -48,7 +64,9 @@
 #include "lock/long_lock_store.h"
 #include "proto/validator.h"
 #include "sim/fixtures.h"
+#include "sim/fleet.h"
 #include "tool_common.h"
+#include "ws/host.h"
 #include "ws/server.h"
 
 using namespace codlock;
@@ -293,6 +311,207 @@ PointResult LeaseSweepOne(fault::FaultPoint* point, const std::string& dir) {
   return res;
 }
 
+/// The exclusive check-out the ring scenarios revolve around: one cell's
+/// local objects, disjoint from every other cell.
+query::Query RingCellQuery(const sim::CellsFixture& f, int cell_index) {
+  query::Query q;
+  q.name = "ring-sweep";
+  q.relation = f.cells;
+  q.object_key = "c" + std::to_string(cell_index + 1);
+  q.path = {nf2::PathStep::Field("c_objects")};
+  q.kind = query::AccessKind::kUpdate;
+  return q;
+}
+
+/// Crashes at one ring/host/handle fault point mid-traffic, then crashes
+/// and restarts the host and asserts the system converges: the baseline
+/// ticket survives and checks in, zombies stay fenced until re-attach, no
+/// orphan lock remains, the ring drains to empty with its conservation
+/// identities intact, and fencing epochs never regress.
+PointResult RingSweepOne(fault::FaultPoint* point, const std::string& dir) {
+  PointResult res;
+  res.point = point->name();
+  res.kind = std::string(fault::FaultKindName(point->sweep_kind()));
+  auto fail = [&res](const std::string& why) {
+    res.passed = false;
+    res.detail = why;
+    return res;
+  };
+
+  sim::CellsFixture f =
+      sim::BuildCellsEffectors(sim::CellsParams{4, 4, 2, 8, 2, 42});
+  ws::HostOptions opts;
+  opts.ring.slots = 8;
+  opts.handle_lease_ms = 2'000;
+  opts.server.protocol.timeout_ms = 100;
+  opts.server.lock_manager.default_timeout_ms = 200;
+  opts.server.lease.duration_ms = 1'000;
+  opts.server.lease.grace_ms = 500;
+  opts.server.storage_path = dir + "/" + Sanitize(point->name()) + ".locks";
+  std::filesystem::remove(opts.server.storage_path);
+  std::filesystem::remove(opts.server.storage_path + ".tmp");
+  ws::Host host(f.catalog.get(), f.store.get(), opts);
+
+  // Baseline: user 1 checks cell c1 out through the ring before any fault.
+  ws::Handle baseline(&host);
+  if (!baseline.Attach().ok()) return fail("baseline attach failed");
+  Result<ws::CheckOutTicket> t =
+      baseline.CheckOut(1, RingCellQuery(f, 0), ws::CheckOutMode::kExclusive);
+  if (!t.ok()) {
+    return fail("baseline check-out failed: " + t.status().ToString());
+  }
+
+  // The durable fence-epoch baseline the restart may never fall below.
+  std::map<std::string, uint64_t> epoch_floor;
+  for (const lock::FenceEpochRecord& rec :
+       host.server().stable_storage().FenceEpochs()) {
+    epoch_floor[rec.root.ToString()] = rec.epoch;
+  }
+
+  fault::FaultSpec spec;
+  spec.kind = point->sweep_kind();
+  spec.trigger = fault::Trigger::Once();
+  point->Arm(spec);
+
+  // Victim traffic through a second handle: a ping (publish + consume +
+  // execute), a disjoint check-out/check-in, an undrained publish, and a
+  // final drain.  Failures here *are* the injected faults.
+  ws::Handle victim(&host);
+  (void)victim.Attach();
+  (void)victim.Ping();
+  Result<ws::CheckOutTicket> vt =
+      victim.CheckOut(2, RingCellQuery(f, 1), ws::CheckOutMode::kExclusive);
+  if (vt.ok()) (void)victim.CheckIn(*vt);
+  (void)victim.SubmitNoWait(ws::wire::JobOp::kPing, nullptr);
+  (void)host.Drain();
+
+  res.fired = !point->armed();  // Trigger::Once auto-disarms on fire
+  point->Disarm();
+
+  // The host dies and restarts: a new incarnation over durable state.
+  Status restarted = host.CrashAndRestart();
+  if (!restarted.ok()) {
+    return fail("host CrashAndRestart failed: " + restarted.ToString());
+  }
+
+  // Un-reattached handles are zombies: no pre-crash handle may act.
+  Status zombie = victim.dead() ? Status::OK() : victim.Ping();
+  if (!victim.dead() && zombie.ok()) {
+    return fail("zombie submit succeeded after the host restart");
+  }
+
+  // The baseline re-attaches; its lease survived the crash (reissued),
+  // its long locks were recovered, and its ticket still checks in.
+  if (!baseline.Attach().ok()) return fail("baseline re-attach failed");
+  if (host.server().lock_manager().LocksOf(t->txn).empty()) {
+    return fail("baseline long locks lost in recovery");
+  }
+  Status checked_in = baseline.CheckIn(*t);
+  if (!checked_in.ok()) {
+    return fail("post-recovery check-in failed: " + checked_in.ToString());
+  }
+
+  // Run every remaining lease out and sweep twice (the second pass mops
+  // slots that completed after the first pass fenced their handle).
+  host.server().clock().AdvanceMs(opts.handle_lease_ms +
+                                  opts.server.lease.duration_ms +
+                                  opts.server.lease.grace_ms + 1);
+  host.SweepDeadHandles();
+  (void)host.Drain();
+  host.SweepDeadHandles();
+
+  // Convergence: nothing blocked, no orphan lock, the ring is empty and
+  // every frame is accounted.
+  if (host.server().lock_manager().NumBlockedWaiters() != 0) {
+    return fail("blocked waiters survived recovery");
+  }
+  for (const lock::LongLockRecord& rec :
+       host.server().lock_manager().SnapshotAllLocks()) {
+    if (!host.server().txn_manager().Get(rec.txn).ok()) {
+      return fail("orphan lock owned by dead txn " + std::to_string(rec.txn) +
+                  " on " + rec.resource.ToString());
+    }
+  }
+  if (host.ring().InFlight() != 0) {
+    return fail("ring slots still in flight after restart + sweeps");
+  }
+  const ws::ShmRing::Counters rc = host.ring().counters();
+  if (rc.published != rc.consumed + rc.salvaged + rc.reclaimed_published) {
+    return fail("frame conservation broken: published=" +
+                std::to_string(rc.published) + " consumed=" +
+                std::to_string(rc.consumed) + " salvaged=" +
+                std::to_string(rc.salvaged) + " reclaimed_published=" +
+                std::to_string(rc.reclaimed_published));
+  }
+  if (rc.consumed != rc.completed + rc.reclaimed_executing ||
+      rc.completed != rc.taken + rc.reclaimed_done) {
+    return fail("execution/response conservation broken");
+  }
+  for (const lock::FenceEpochRecord& rec :
+       host.server().stable_storage().FenceEpochs()) {
+    auto it = epoch_floor.find(rec.root.ToString());
+    if (it != epoch_floor.end() && rec.epoch < it->second) {
+      return fail("fence epoch of " + rec.root.ToString() +
+                  " regressed across the crash");
+    }
+  }
+
+  // The ring still serves: a fresh handle checks the cell out and in.
+  ws::Handle fresh(&host);
+  if (!fresh.Attach().ok()) return fail("fresh attach failed");
+  Result<ws::CheckOutTicket> again =
+      fresh.CheckOut(9, RingCellQuery(f, 0), ws::CheckOutMode::kExclusive);
+  if (!again.ok()) {
+    return fail("post-recovery check-out failed: " +
+                again.status().ToString());
+  }
+  Status in = fresh.CheckIn(*again);
+  if (!in.ok()) {
+    return fail("post-recovery re-grant check-in failed: " + in.ToString());
+  }
+
+  proto::ProtocolValidator validator(&host.server().graph(), f.store.get());
+  std::vector<proto::Violation> violations =
+      validator.Check(host.server().lock_manager());
+  if (!violations.empty()) {
+    return fail("validator: " + violations.front().ToString());
+  }
+
+  res.passed = true;
+  return res;
+}
+
+struct FleetRunResult {
+  int clients = 0;
+  int ticks = 0;
+  std::string summary;
+  std::vector<std::string> violations;
+  bool passed = false;
+};
+
+/// The 1000-handle (by default) fleet chaos run: kills, wedges, zombies,
+/// torn publishes and host crashes, with the driver's self-checking
+/// invariants as the pass criterion.
+FleetRunResult FleetRun(int clients, int ticks) {
+  FleetRunResult res;
+  res.clients = clients;
+  res.ticks = ticks;
+  sim::FleetConfig cfg;
+  cfg.clients = clients;
+  cfg.ticks = ticks;
+  cfg.owned_cells = std::min(32, clients);
+  cfg.shared_cells = 8;
+  cfg.seed = 20260808;
+  sim::CellsFixture f = sim::BuildCellsEffectors(sim::CellsParams{
+      cfg.owned_cells + cfg.shared_cells, 4, 2, 16, 2, 42});
+  ws::Host host(f.catalog.get(), f.store.get(), cfg.host);
+  sim::FleetReport report = sim::RunFleet(host, f, cfg);
+  res.summary = report.Summary();
+  res.violations = report.violations;
+  res.passed = report.clean();
+  return res;
+}
+
 struct TruncateResult {
   size_t offsets = 0;       ///< truncation points exercised
   size_t failed_loads = 0;  ///< loads that returned an error (must be 0)
@@ -395,18 +614,27 @@ int main(int argc, char** argv) {
   std::string dir = std::filesystem::temp_directory_path().string() +
                     "/codlock_faultsweep";
   std::string mode = "all";
+  int fleet_handles = 1000;
+  int fleet_ticks = 120;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
     } else if (arg == "--dir" && i + 1 < argc) {
       dir = argv[++i];
+    } else if (arg == "--ring") {
+      mode = "ring";
+    } else if (arg == "--fleet-handles" && i + 1 < argc) {
+      fleet_handles = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--fleet-ticks" && i + 1 < argc) {
+      fleet_ticks = std::max(1, std::atoi(argv[++i]));
     } else if (arg == "sweep" || arg == "truncate" || arg == "leases" ||
-               arg == "all") {
+               arg == "ring" || arg == "all") {
       mode = arg;
     } else {
-      std::cerr << "usage: codlock_faultsweep [--json] [--dir <d>] "
-                   "[sweep|truncate|leases|all]\n";
+      std::cerr << "usage: codlock_faultsweep [--json] [--dir <d>] [--ring] "
+                   "[--fleet-handles <n>] [--fleet-ticks <n>] "
+                   "[sweep|truncate|leases|ring|all]\n";
       return toolcli::kExitUsage;
     }
   }
@@ -414,8 +642,11 @@ int main(int argc, char** argv) {
 
   std::vector<PointResult> points;
   std::vector<PointResult> leases;
+  std::vector<PointResult> ring;
+  FleetRunResult fleet;
   TruncateResult trunc;
   bool ok = true;
+  const bool ring_mode = mode == "ring" || mode == "all";
 
   if (mode == "sweep" || mode == "all") {
     for (fault::FaultPoint* p : fault::AllPoints()) {
@@ -442,6 +673,27 @@ int main(int argc, char** argv) {
       ok = ok && r.passed;
       leases.push_back(std::move(r));
     }
+  }
+  if (ring_mode) {
+    for (const char* name :
+         {"ws.ring.publish", "ws.ring.torn_frame", "ws.ring.consume",
+          "ws.host.crash", "ws.handle.die", "ws.handle.wedge"}) {
+      fault::FaultPoint* p = fault::FindPoint(name);
+      if (p == nullptr) {
+        PointResult r;
+        r.point = name;
+        r.detail = "fault point not registered";
+        ok = false;
+        ring.push_back(std::move(r));
+        continue;
+      }
+      PointResult r = RingSweepOne(p, dir);
+      fault::DisarmAll();
+      ok = ok && r.passed;
+      ring.push_back(std::move(r));
+    }
+    fleet = FleetRun(fleet_handles, fleet_ticks);
+    ok = ok && fleet.passed;
   }
   if (mode == "truncate" || mode == "all") {
     trunc = TruncateSweep(dir);
@@ -470,7 +722,27 @@ int main(int argc, char** argv) {
          << ", \"detail\": \"" << toolcli::JsonEscape(r.detail) << "\"}"
          << (i + 1 < leases.size() ? "," : "") << "\n";
     }
+    os << "  ],\n  \"ring\": [\n";
+    for (size_t i = 0; i < ring.size(); ++i) {
+      const PointResult& r = ring[i];
+      os << "    {\"point\": \"" << toolcli::JsonEscape(r.point)
+         << "\", \"kind\": \""
+         << r.kind << "\", \"fired\": " << (r.fired ? "true" : "false")
+         << ", \"passed\": " << (r.passed ? "true" : "false")
+         << ", \"detail\": \"" << toolcli::JsonEscape(r.detail) << "\"}"
+         << (i + 1 < ring.size() ? "," : "") << "\n";
+    }
     os << "  ]";
+    if (ring_mode) {
+      os << ",\n  \"fleet\": {\"handles\": " << fleet.clients
+         << ", \"ticks\": " << fleet.ticks << ", \"violations\": [";
+      for (size_t i = 0; i < fleet.violations.size(); ++i) {
+        os << (i ? ", " : "") << "\""
+           << toolcli::JsonEscape(fleet.violations[i]) << "\"";
+      }
+      os << "], \"passed\": " << (fleet.passed ? "true" : "false")
+         << ", \"summary\": \"" << toolcli::JsonEscape(fleet.summary) << "\"}";
+    }
     if (mode == "truncate" || mode == "all") {
       os << ",\n  \"truncate\": {\"offsets\": " << trunc.offsets
          << ", \"failed_loads\": " << trunc.failed_loads
@@ -493,6 +765,21 @@ int main(int argc, char** argv) {
                 << r.point << " (" << r.kind
                 << (r.fired ? ", fired" : ", not traversed") << ")"
                 << (r.detail.empty() ? "" : ": " + r.detail) << "\n";
+    }
+    for (const PointResult& r : ring) {
+      std::cout << (r.passed ? "PASS " : "FAIL ") << "ring scenario "
+                << r.point << " (" << r.kind
+                << (r.fired ? ", fired" : ", not traversed") << ")"
+                << (r.detail.empty() ? "" : ": " + r.detail) << "\n";
+    }
+    if (ring_mode) {
+      std::cout << (fleet.passed ? "PASS " : "FAIL ") << "fleet chaos: "
+                << fleet.clients << " handles, " << fleet.ticks << " ticks, "
+                << fleet.violations.size() << " violations; " << fleet.summary
+                << "\n";
+      for (const std::string& v : fleet.violations) {
+        std::cout << "  violation: " << v << "\n";
+      }
     }
     if (mode == "truncate" || mode == "all") {
       std::cout << (trunc.passed ? "PASS " : "FAIL ")
