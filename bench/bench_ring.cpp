@@ -14,12 +14,22 @@
 //      compared against,
 //  (d) workers_ping           — ping round-trips against host worker
 //      threads parked on the ring's futex-style wait (the real
-//      wake/sleep path rather than the steppable pump).
+//      wake/sleep path rather than the steppable pump),
+//  (e) shm_workers_ping       — the same awaited ping, but over a real
+//      shm_open segment (kShmCreate backend): the process-shared futex
+//      discipline and the mmap'd slot array, still one address space,
+//  (f) crossproc_ping         — a forked child attaches to the segment
+//      from its own address space (ShmRing::AttachTo) and drives the
+//      ping loop: the true cross-process round trip, futex wakes
+//      crossing a process boundary included.
 //
 // `--json` emits machine-readable "throughput_tps" metrics plus the
 // host's ring counters (published/consumed/salvaged — the conservation
 // ledger), compared by tools/bench_regression_check.py against the
 // committed BENCH_ring.json.
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstring>
@@ -31,6 +41,7 @@
 #include "util/metrics.h"
 #include "ws/handle.h"
 #include "ws/host.h"
+#include "ws/shm_ring.h"
 
 using namespace codlock;
 
@@ -59,6 +70,28 @@ query::Query CellQuery(const sim::CellsFixture& f, const std::string& key) {
   q.path = {nf2::PathStep::Field("c_objects")};
   q.kind = query::AccessKind::kUpdate;
   return q;
+}
+
+// The forked child's ping loop: publish → futex wait → take, entirely
+// through the shared segment.  _exit only — no destructors run here.
+[[noreturn]] void CrossProcChild(const std::string& shm_name,
+                                 uint64_t incarnation,
+                                 const ws::HandleInfo& info, uint64_t ops) {
+  ws::ShmRing ring(ws::RingOptions::AttachTo(shm_name, incarnation));
+  if (!ring.init_status().ok()) _exit(3);
+  if (ring.WaitRunStateAtLeast(1, 60'000'000) < 1) _exit(4);
+  const std::string payload = ws::wire::EncodePingRequest();
+  for (uint64_t j = 0; j < ops; ++j) {
+    ws::FrameHeader header;
+    header.handle_id = info.handle_id;
+    header.handle_epoch = info.epoch;
+    header.job_id = j + 1;
+    Result<size_t> slot = ring.Publish(header, payload);
+    if (!slot.ok()) _exit(5);
+    if (!ring.WaitDone(*slot, header.job_id, 5'000'000)) _exit(6);
+    if (!ring.TakeResponse(*slot, header.job_id).ok()) _exit(7);
+  }
+  _exit(0);
 }
 
 }  // namespace
@@ -124,6 +157,62 @@ int main(int argc, char** argv) {
   });
   host.StopWorkers();
 
+  // (e)+(f) the real segment: a second host on the kShmCreate backend.
+  // The child is forked while the host is still single-threaded (it
+  // inherits no locked mutexes); workers start after.
+  const uint64_t cross_ops = 10'000 * scale;
+  Measurement shm_ping;
+  Measurement crossproc;
+  {
+    ws::HostOptions so = ho;
+    so.ring.backend = ws::RingBackend::kShmCreate;
+    so.ring.shm_name =
+        "/codlock-bench-ring-" + std::to_string(static_cast<long>(getpid()));
+    ws::Host shm_host(f.catalog.get(), f.store.get(), so);
+    if (!shm_host.ring_status().ok()) {
+      std::cerr << "shm ring init failed: "
+                << shm_host.ring_status().ToString() << "\n";
+      return 1;
+    }
+    const ws::HandleInfo child_info = shm_host.Attach();
+    fflush(nullptr);
+    const pid_t pid = fork();
+    if (pid == 0) {
+      CrossProcChild(so.ring.shm_name, shm_host.incarnation(), child_info,
+                     cross_ops);
+    }
+    if (pid < 0) {
+      std::cerr << "fork failed\n";
+      return 1;
+    }
+    shm_host.StartWorkers(2);
+
+    ws::Handle shm_handle(&shm_host);
+    if (!shm_handle.Attach().ok()) {
+      std::cerr << "shm attach failed\n";
+      return 1;
+    }
+    shm_ping = Measure(20'000 * scale, [&] {
+      if (!shm_handle.Ping().ok()) std::abort();
+    });
+
+    // Open the cross-process run gate and time the child's whole batch;
+    // the gate wake itself is amortized over the ops.
+    const auto start = std::chrono::steady_clock::now();
+    shm_host.ring().SetRunState(1);
+    int status = 0;
+    if (waitpid(pid, &status, 0) != pid || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      std::cerr << "cross-process child failed (exit "
+                << (WIFEXITED(status) ? WEXITSTATUS(status) : -1) << ")\n";
+      return 1;
+    }
+    const auto end = std::chrono::steady_clock::now();
+    crossproc = {cross_ops,
+                 std::chrono::duration<double>(end - start).count()};
+    shm_host.StopWorkers();
+  }
+
   const LockStats& stats = host.server().lock_manager().stats();
   const ws::ShmRing::Counters rc = host.ring().counters();
 
@@ -145,7 +234,13 @@ int main(int argc, char** argv) {
               << ", \"ns_per_op\": " << inproc_cycle.ns_per_op() << "},\n"
               << "    \"workers_ping\": {\"ops\": " << workers_ping.ops
               << ", \"throughput_tps\": " << workers_ping.tps()
-              << ", \"ns_per_op\": " << workers_ping.ns_per_op() << "}\n"
+              << ", \"ns_per_op\": " << workers_ping.ns_per_op() << "},\n"
+              << "    \"shm_workers_ping\": {\"ops\": " << shm_ping.ops
+              << ", \"throughput_tps\": " << shm_ping.tps()
+              << ", \"ns_per_op\": " << shm_ping.ns_per_op() << "},\n"
+              << "    \"crossproc_ping\": {\"ops\": " << crossproc.ops
+              << ", \"throughput_tps\": " << crossproc.tps()
+              << ", \"ns_per_op\": " << crossproc.ns_per_op() << "}\n"
               << "  },\n  \"ring_counters\": {"
               << "\"published\": " << rc.published
               << ", \"consumed\": " << rc.consumed
@@ -166,6 +261,8 @@ int main(int argc, char** argv) {
     row("ring checkout cycle", ring_cycle);
     row("inproc checkout    ", inproc_cycle);
     row("workers ping       ", workers_ping);
+    row("shm workers ping   ", shm_ping);
+    row("crossproc ping     ", crossproc);
     std::cout << "ring counters: published=" << rc.published
               << " consumed=" << rc.consumed << " completed=" << rc.completed
               << " taken=" << rc.taken << " salvaged=" << rc.salvaged

@@ -35,6 +35,10 @@
 ///    propagation request granted without applying it to the lock table.
 ///    The publisher's cache then claims a mode the shard never granted:
 ///    caught by the cache-coherence (and visibility) oracles.
+///  * `kRingSkipReclaim`     — the dead-handle reclaim skips unconsumed
+///    published frames (`kPublished` strands stay in the ring forever).
+///    Caught by the ring frame-conservation oracle: at quiescence the
+///    ledger no longer balances and `InFlight()` never reaches zero.
 ///
 /// The `kWm*` mutants below are *order-weakening* mutants: instead of
 /// flipping a protocol decision they downgrade one specific atomic
@@ -79,6 +83,7 @@ enum class Mutant : uint32_t {
   kSkipWaiterWakeup,
   kFastpathSkipValidation,
   kCombineDropRequest,
+  kRingSkipReclaim,
   kWmSummaryLoadRelaxed,
   kWmSlotCasRelaxed,
   kWmEbrEpochRelaxed,
@@ -165,6 +170,8 @@ inline std::string_view MutantName(Mutant m) {
       return "fastpath.skip-validation";
     case Mutant::kCombineDropRequest:
       return "combine.drop-request";
+    case Mutant::kRingSkipReclaim:
+      return "ring.skip-reclaim";
     case Mutant::kWmSummaryLoadRelaxed:
       return "wm.summary-load-relaxed";
     case Mutant::kWmSlotCasRelaxed:

@@ -1,5 +1,7 @@
 #include "util/status.h"
 
+#include <cstring>
+
 namespace codlock {
 
 std::string_view StatusCodeName(StatusCode code) {
@@ -30,8 +32,20 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Shed";
     case StatusCode::kFenced:
       return "Fenced";
+    case StatusCode::kCorrupt:
+      return "Corrupt";
   }
   return "Unknown";
+}
+
+Status ErrnoStatus(std::string_view op, int err) {
+  std::string msg(op);
+  msg += " failed: ";
+  msg += std::strerror(err);
+  msg += " (errno ";
+  msg += std::to_string(err);
+  msg += ")";
+  return Status::Internal(std::move(msg));
 }
 
 std::string Status::ToString() const {

@@ -55,6 +55,13 @@ enum class StatusCode : uint8_t {
   /// the data out again.  Distinct from kAborted so zombie clients can be
   /// told apart from ordinary victims.
   kFenced,
+  /// Persistent or shared state failed its integrity check (bad magic, CRC
+  /// mismatch, truncated segment) and no salvageable generation remains.
+  /// The operation fails closed: the caller must rebuild the state from
+  /// scratch rather than trust any part of it.  Distinct from kInternal —
+  /// corruption is an expected consequence of crashes and torn writes, not
+  /// a codlock bug.
+  kCorrupt,
 };
 
 /// \brief Human-readable name of a status code ("Ok", "Deadlock", ...).
@@ -110,6 +117,9 @@ class Status {
   static Status Fenced(std::string msg) {
     return Status(StatusCode::kFenced, std::move(msg));
   }
+  static Status Corrupt(std::string msg) {
+    return Status(StatusCode::kCorrupt, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -128,6 +138,7 @@ class Status {
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsShed() const { return code_ == StatusCode::kShed; }
   bool IsFenced() const { return code_ == StatusCode::kFenced; }
+  bool IsCorrupt() const { return code_ == StatusCode::kCorrupt; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
@@ -147,6 +158,12 @@ class Status {
 inline std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
 }
+
+/// Builds the canonical errno-context status for a failed system call:
+/// `Internal: <op> failed: <strerror(err)> (errno <err>)`.  Every syscall
+/// site in the library routes its failure through this so no errno is
+/// ever dropped on the floor.
+Status ErrnoStatus(std::string_view op, int err);
 
 /// Propagates a non-OK status to the caller.
 #define CODLOCK_RETURN_IF_ERROR(expr)                 \

@@ -1,6 +1,9 @@
 #include "ws/host.h"
 
+#include <signal.h>
+
 #include <algorithm>
+#include <cerrno>
 
 #include "fault/fault_injector.h"
 
@@ -11,6 +14,17 @@ namespace {
 // job strands in kExecuting and the ring must be rebuilt by the restart.
 fault::FaultPoint g_fault_host_crash{"ws.host.crash",
                                      fault::FaultKind::kCrash};
+
+// True when the PID verifiably names no live process.  kill(pid, 0)
+// costs nothing and needs no pidfd plumbing; EPERM means "alive but not
+// ours", which is NOT dead.  A reaped-but-unwaited child is still a
+// zombie process entry, so the parent must waitpid before relying on
+// this — the procchaos harness does.
+bool ProcessDead(int64_t pid) {
+  if (pid <= 0) return false;
+  if (kill(static_cast<pid_t>(pid), 0) == 0) return false;
+  return errno == ESRCH;
+}
 }  // namespace
 
 Host::Host(const nf2::Catalog* catalog, nf2::InstanceStore* store,
@@ -19,10 +33,17 @@ Host::Host(const nf2::Catalog* catalog, nf2::InstanceStore* store,
       server_(catalog, store, options_.server),
       ring_(options_.ring) {
   ring_.SetStats(&server_.lock_manager().stats());
-  MutexLock lk(mu_);
-  // Seed the incarnation from durable state so a Host rebuilt over an
-  // existing store file also invalidates handles of its predecessor.
-  incarnation_ = server_.stable_storage().generation() + 1;
+  uint64_t incarnation = 0;
+  {
+    MutexLock lk(mu_);
+    // Seed the incarnation from durable state so a Host rebuilt over an
+    // existing store file also invalidates handles of its predecessor.
+    incarnation_ = server_.stable_storage().generation() + 1;
+    incarnation = incarnation_;
+  }
+  // Publish the incarnation in the segment superblock so out-of-process
+  // attachers are fenced against stale expectations without asking us.
+  ring_.StampIncarnation(incarnation);
 }
 
 Host::~Host() { StopWorkers(); }
@@ -34,6 +55,17 @@ HandleInfo Host::Attach() {
   entry.last_seen_ms = server_.clock().NowMs();
   handles_[id] = entry;
   return {id, entry.epoch, incarnation_};
+}
+
+Status Host::BindPid(uint64_t handle_id, int64_t pid) {
+  MutexLock lk(mu_);
+  auto it = handles_.find(handle_id);
+  if (it == handles_.end()) {
+    return Status::NotFound("unknown handle " + std::to_string(handle_id));
+  }
+  it->second.pid = pid;
+  it->second.pid_dead = false;
+  return Status::OK();
 }
 
 Result<HandleInfo> Host::Reattach(uint64_t handle_id) {
@@ -293,24 +325,35 @@ size_t Host::SweepDeadHandles() {
   {
     MutexLock lk(mu_);
     for (auto& [id, e] : handles_) {
+      // The PID probe rides every pass: once the bound process is gone
+      // the reclaim may safely widen to kTaking strands (no live thread
+      // of the owner can be inside TakeResponse).
+      if (e.pid != 0 && !e.pid_dead && ProcessDead(e.pid)) {
+        e.pid_dead = true;
+      }
+      const ReclaimScope scope{/*taking=*/e.pid_dead, /*executing=*/false};
       if (e.fenced) {
         // Later passes mop up slots that were kExecuting during the
         // fencing pass and have since completed.
-        const size_t freed = ring_.ReclaimHandleSlots(id);
+        const size_t freed = ring_.ReclaimHandleSlots(id, scope);
         const size_t dec = std::min(e.inflight, freed);
         e.inflight -= dec;
         total_inflight_ -= std::min(total_inflight_, static_cast<size_t>(dec));
         continue;
       }
       if (e.stale) continue;  // awaiting reattach; its ring died already
-      if (now < e.last_seen_ms + options_.handle_lease_ms) continue;
+      // A verifiably dead process is fenced immediately — the lease
+      // timeout exists for *silent* clients, not corpses.
+      if (!e.pid_dead && now < e.last_seen_ms + options_.handle_lease_ms) {
+        continue;
+      }
       // Fence: bump the epoch first so no further submit or in-flight
       // execution can pass the epoch check, then reclaim the slots.
       e.fenced = true;
       ++e.epoch;
       ++newly_fenced;
       server_.lock_manager().stats().handles_fenced.Add();
-      const size_t freed = ring_.ReclaimHandleSlots(id);
+      const size_t freed = ring_.ReclaimHandleSlots(id, scope);
       const size_t dec = std::min(e.inflight, freed);
       e.inflight -= dec;
       total_inflight_ -= std::min(total_inflight_, static_cast<size_t>(dec));
@@ -331,15 +374,22 @@ Status Host::CrashAndRestart() {
   // rebuilt lock manager.
   ring_.Reset();
   ring_.SetStats(&server_.lock_manager().stats());
-  MutexLock lk(mu_);
-  incarnation_ =
-      std::max(incarnation_ + 1, server_.stable_storage().generation() + 1);
-  total_inflight_ = 0;
-  for (auto& [id, e] : handles_) {
-    (void)id;
-    e.stale = true;
-    e.inflight = 0;
+  uint64_t incarnation = 0;
+  {
+    MutexLock lk(mu_);
+    incarnation_ =
+        std::max(incarnation_ + 1, server_.stable_storage().generation() + 1);
+    incarnation = incarnation_;
+    total_inflight_ = 0;
+    for (auto& [id, e] : handles_) {
+      (void)id;
+      e.stale = true;
+      e.inflight = 0;
+    }
   }
+  // New incarnation goes into the superblock: attachers still expecting
+  // the dead incarnation are fenced at the segment boundary.
+  ring_.StampIncarnation(incarnation);
   return restored;
 }
 
@@ -361,6 +411,7 @@ std::vector<Host::HandleView> Host::HandleTable() const {
     row.inflight = e.inflight;
     row.sheds = e.sheds;
     row.last_seen_ms = e.last_seen_ms;
+    row.pid = e.pid;
     table.push_back(row);
   }
   return table;

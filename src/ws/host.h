@@ -67,6 +67,12 @@ class Host {
 
   /// Registers a new handle under the current incarnation.
   HandleInfo Attach();
+  /// Associates an OS process with a handle: the dead-handle sweep then
+  /// probes the PID (`kill(pid, 0)` → ESRCH) and fences the handle the
+  /// moment the process is gone — no lease timeout needed, and the
+  /// reclaim may safely cover kTaking strands (the owner provably has no
+  /// live thread inside TakeResponse).  0 unbinds.
+  Status BindPid(uint64_t handle_id, int64_t pid);
   /// Post-restart re-registration: a known, un-fenced handle gets a
   /// fresh epoch under the new incarnation; a fenced one stays rejected
   /// with kFenced (it must Attach anew and re-check its data out).
@@ -101,11 +107,12 @@ class Host {
 
   // --- robustness --------------------------------------------------
 
-  /// Fences every handle silent past `handle_lease_ms` and reclaims its
-  /// ring slots, then runs the server's lease sweep (the dead client's
-  /// check-outs have stopped renewing — the existing reclamation path
-  /// releases their locks and bumps the root epochs).  Returns the
-  /// number of handles fenced by this pass.
+  /// Fences every handle silent past `handle_lease_ms` — or whose bound
+  /// PID is verifiably dead (see BindPid), with no lease wait — and
+  /// reclaims its ring slots, then runs the server's lease sweep (the
+  /// dead client's check-outs have stopped renewing — the existing
+  /// reclamation path releases their locks and bumps the root epochs).
+  /// Returns the number of handles fenced by this pass.
   size_t SweepDeadHandles();
 
   /// Host process death + restart: workers are assumed stopped (or are
@@ -119,6 +126,10 @@ class Host {
   Server& server() { return server_; }
   const Server& server() const { return server_; }
   ShmRing& ring() { return ring_; }
+  /// Non-OK when the ring transport failed to initialize (shm backends:
+  /// segment creation failed).  A host with a dead ring still serves
+  /// nothing — callers must check after construction.
+  const Status& ring_status() const { return ring_.init_status(); }
   uint64_t incarnation() const;
   const HostOptions& options() const { return options_; }
 
@@ -130,6 +141,7 @@ class Host {
     size_t inflight = 0;
     uint64_t sheds = 0;  ///< jobs shed at this handle's in-flight cap
     uint64_t last_seen_ms = 0;
+    int64_t pid = 0;  ///< bound OS process (0 = none)
   };
   std::vector<HandleView> HandleTable() const;
   size_t LiveHandles() const;
@@ -143,6 +155,10 @@ class Host {
     size_t inflight = 0;
     uint64_t sheds = 0;
     uint64_t last_seen_ms = 0;
+    int64_t pid = 0;
+    /// Set when the fencing decision saw the bound PID dead: the reclaim
+    /// may then cover kTaking strands too.
+    bool pid_dead = false;
   };
 
   /// Executes one consumed job against the server and completes the

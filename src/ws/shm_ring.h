@@ -4,8 +4,13 @@
 ///
 /// ROADMAP open item 2 (the oidadb `edbl` host/handle split): client
 /// *processes* publish job frames into a fixed array of slots that host
-/// workers drain.  This in-process model keeps the exact shared-memory
-/// discipline a real mmap'd ring would need, because none of the parties
+/// workers drain.  The ring state is a flat POD image — control block,
+/// then `slots × (head | payload | response)` at fixed 64-byte-aligned
+/// strides — living either on the heap (`RingBackend::kInProcess`, the
+/// default for unit tests and the deterministic scheduler) or inside a
+/// real `shm_open` segment (`kShmCreate`/`kShmAttach`, see
+/// shm_segment.h).  Both backends run the *same* protocol code; only the
+/// memory's origin and the wait primitive differ.  None of the parties
 /// can be trusted to finish what they started:
 ///
 ///  * every frame is **CRC-stamped** over its payload, so a client that
@@ -18,11 +23,15 @@
 ///    slot parked in whatever state it reached, and reclamation
 ///    (`ReclaimHandleSlots`, `Reset`) moves it back to `kFree` with the
 ///    loss accounted;
-///  * wait/wake is **futex-style**: the slot state words are the futex
-///    words; publishers wake parked consumers, completers wake parked
-///    producers.  (An annotated `Mutex`/`CondVar` stands in for the futex
-///    syscall so the blocking is visible to thread-safety analysis and
-///    the deterministic scheduler.)
+///  * wait/wake is **futex-style** through `util/futex.h`: the slot state
+///    words are the futex words for `WaitDone`, and a doorbell sequence
+///    word in the control block is the futex word for `WaitForPublished`
+///    (read the sequence, re-check the predicate, wait on the old value —
+///    no lost wakeups).  In-process rings park on annotated
+///    `Mutex`/`CondVar` buckets so thread-safety analysis and the model
+///    checker still see the blocking; shm rings use `futex(2)` (or the
+///    `PTHREAD_PROCESS_SHARED` fallback) so waits cross process
+///    boundaries.
 ///
 /// The ring is transport only: admission control (who may publish) and
 /// job execution live in `ws::Host`; serialization of requests/responses
@@ -32,14 +41,16 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/futex.h"
 #include "util/metrics.h"
-#include "util/mutex.h"
 #include "util/result.h"
+#include "ws/shm_segment.h"
 
 namespace codlock::ws {
 
@@ -57,11 +68,43 @@ enum class SlotState : uint32_t {
 
 std::string_view SlotStateName(SlotState state);
 
+/// Where the ring memory lives.
+enum class RingBackend : uint8_t {
+  kInProcess = 0,  ///< heap buffer, single address space (default)
+  kShmCreate,      ///< create a fresh shm segment and own its name
+  kShmAttach,      ///< attach to an existing segment (client process)
+};
+
+/// Which wait primitive parks blocked parties (see util/futex.h).
+enum class RingWait : uint8_t {
+  kAuto = 0,    ///< in-process → CondVar buckets; shm → futex(2)
+  kInProcess,   ///< force the Mutex/CondVar buckets (TSA/mc visible)
+  kFutex,       ///< force futex(2)
+  kSharedCond,  ///< force the PTHREAD_PROCESS_SHARED fallback
+};
+
 struct RingOptions {
   size_t slots = 64;
   /// Maximum frame payload (request or response) in bytes; oversized
   /// publishes fail with kInvalidArgument, they never truncate.
   size_t payload_capacity = 4096;
+  RingBackend backend = RingBackend::kInProcess;
+  RingWait wait = RingWait::kAuto;
+  /// Segment name for the shm backends ("/codlock-...").
+  std::string shm_name;
+  /// kShmCreate: incarnation stamped into the superblock.
+  /// kShmAttach: expected incarnation (0 = accept any) — a mismatch
+  /// fails the attach with kFenced (zombie process, host restarted).
+  uint64_t incarnation = 0;
+
+  /// Convenience for client processes attaching to a host's segment.
+  static RingOptions AttachTo(std::string name, uint64_t expected_incarnation) {
+    RingOptions o;
+    o.backend = RingBackend::kShmAttach;
+    o.shm_name = std::move(name);
+    o.incarnation = expected_incarnation;
+    return o;
+  }
 };
 
 /// Injected producer-side failure for one Publish call.  Both the fault
@@ -91,13 +134,31 @@ struct FrameHeader {
   uint32_t crc = 0;
 };
 
+/// Which stranded states a dead-handle reclaim may free (beyond the
+/// always-safe kWriting/kPublished/kDone).  `taking` is safe only when
+/// the owner is *known dead* (SIGKILLed process, verified by the PID
+/// reaper) — a merely-fenced in-process handle could still be inside
+/// TakeResponse.  `executing` is safe only when no worker can still be
+/// running the job (workers stopped, or post-mortem analysis).
+struct ReclaimScope {
+  bool taking = false;
+  bool executing = false;
+};
+
 /// \brief The fixed-slot SPMC job ring.
 class ShmRing {
  public:
   explicit ShmRing(RingOptions options);
+  ~ShmRing();
 
   ShmRing(const ShmRing&) = delete;
   ShmRing& operator=(const ShmRing&) = delete;
+
+  /// OK when the ring memory is usable.  The shm backends can fail to
+  /// create/attach (errno context, kFenced on a stale incarnation,
+  /// kCorrupt on a mangled superblock); every public operation on a
+  /// failed ring returns this status (or its boolean equivalent).
+  const Status& init_status() const { return init_status_; }
 
   // --- producer (client handle) side -------------------------------
 
@@ -111,7 +172,7 @@ class ShmRing {
   Result<size_t> Publish(const FrameHeader& header, std::string_view payload,
                          PublishFault fault = PublishFault::kNone);
 
-  /// True while `slot` holds an undone job of `job_id` (kWriting..kDone).
+  /// True while `slot` holds a done job of `job_id`.
   bool Done(size_t slot, uint64_t job_id) const;
 
   /// Copies the response out and frees the slot.  Fails with kNotFound
@@ -122,6 +183,7 @@ class ShmRing {
 
   /// Parks until `slot`/`job_id` reaches kDone, is reclaimed, or
   /// \p timeout_us elapses.  Returns true when the response is ready.
+  /// Futex-waits on the slot's state word itself.
   bool WaitDone(size_t slot, uint64_t job_id, uint64_t timeout_us);
 
   // --- consumer (host worker) side ---------------------------------
@@ -146,39 +208,83 @@ class ShmRing {
   /// published frame remains.
   Result<Job> Consume(std::vector<SalvagedFrame>* salvaged = nullptr);
 
-  /// Writes the response and moves the slot to kDone, waking producers.
-  void Complete(size_t slot, std::string_view response);
+  /// Writes the response and moves the slot to kDone, waking the
+  /// producer parked on the state word.  Returns false when the slot was
+  /// reclaimed out from under the worker (dead handle) or the response
+  /// exceeds the payload capacity — the job is then accounted as
+  /// reclaimed-while-executing and the response dropped.
+  bool Complete(size_t slot, std::string_view response);
 
   /// Parks until a published frame exists, \p stop becomes true, or
   /// \p timeout_us elapses.  Returns true when a frame may be available.
+  /// Futex-waits on the published-doorbell sequence word.
   bool WaitForPublished(uint64_t timeout_us, const std::atomic<bool>* stop);
-  /// Wakes every parked consumer (worker shutdown).
+  /// Wakes every parked waiter (worker shutdown, reclaim).
   void WakeAll();
 
   // --- reclamation / recovery --------------------------------------
 
-  /// Frees every slot owned by \p handle_id that is not currently
-  /// executing (kWriting strands, unconsumed publishes, untaken
-  /// responses).  kExecuting slots finish via Complete and are picked up
-  /// by the next sweep pass.  Returns the number of slots freed.
-  size_t ReclaimHandleSlots(uint64_t handle_id);
+  /// Frees every slot owned by \p handle_id reachable under \p scope:
+  /// kWriting strands, unconsumed publishes and untaken responses
+  /// always; kTaking/kExecuting only when the scope says the owner (or
+  /// the executing worker) is provably gone.  Returns the number of
+  /// slots freed.
+  size_t ReclaimHandleSlots(uint64_t handle_id, ReclaimScope scope = {});
 
-  /// Host crash: the shared memory is reinitialized.  Every slot is
-  /// freed whatever its state; in-flight work is gone (accounted as
+  /// Host crash: the ring memory is reinitialized in place.  Every slot
+  /// is freed whatever its state; in-flight work is gone (accounted as
   /// reclaimed/aborted in the counters, which survive — they model the
   /// sim's observability, not ring memory).
   void Reset();
+
+  /// Stamps a new host incarnation into the segment superblock (shm
+  /// create backend; no-op OK in-process).  Attaches carrying the old
+  /// incarnation are fenced from then on.
+  Status StampIncarnation(uint64_t incarnation);
+
+  // --- cross-process run gate --------------------------------------
+
+  /// A go/stop word in the shared control block: forked children park on
+  /// it until the parent opens the gate (and the parent can flip it back
+  /// to stop publishing storms).  0 = hold, anything else = run.
+  uint32_t run_state() const;
+  void SetRunState(uint32_t value);
+  /// Parks until `run_state() >= value` or \p timeout_us elapses;
+  /// returns the gate value seen last.
+  uint32_t WaitRunStateAtLeast(uint32_t value, uint64_t timeout_us);
+
+  // --- crash hooks (chaos harness) ---------------------------------
+
+  /// Invoked at named protocol points ("publish.claimed",
+  /// "publish.stamped", "publish.copied", "publish.published",
+  /// "consume.claimed", "take.taking").  The procchaos children install
+  /// `kill(getpid(), SIGKILL)` here to die at an exact protocol state;
+  /// nullptr disables (default).  Not thread-safe against concurrent
+  /// ring use — install before starting traffic.
+  void SetCrashHook(std::function<void(std::string_view)> hook) {
+    crash_hook_ = std::move(hook);
+  }
 
   // --- observability -----------------------------------------------
 
   size_t slots() const { return options_.slots; }
   size_t payload_capacity() const { return options_.payload_capacity; }
+  RingBackend backend() const { return options_.backend; }
+  const std::string& shm_name() const { return options_.shm_name; }
+  /// Incarnation carried by the segment superblock (0 in-process).
+  uint64_t incarnation() const;
   SlotState StateOf(size_t slot) const;
+  /// Handle last recorded as owning \p slot (stale once the slot is
+  /// kFree again — read the state first).  Post-mortem checkers use this
+  /// to attribute strands to dead handles.
+  uint64_t OwnerOf(size_t slot) const;
   /// Number of slots not currently kFree.
   size_t InFlight() const;
 
   /// Cumulative event counters (survive Reset — they are the sweep's
-  /// accounting ledger).  Conservation at quiescence (ring empty):
+  /// accounting ledger).  Shared across processes in the shm backends:
+  /// a child's publishes and takes land in the same ledger the host
+  /// asserts against.  Conservation at quiescence (ring empty):
   ///   published == consumed + salvaged + reclaimed_published
   ///   consumed  == completed + reclaimed_executing
   ///   completed == taken + reclaimed_done
@@ -203,14 +309,19 @@ class ShmRing {
 
   /// Mirrors ring events (published/consumed/salvaged) into \p stats.
   /// The host re-points this at the rebuilt lock manager's stats after
-  /// every restart; nullptr detaches.
+  /// every restart; nullptr detaches.  Host-local, never shared.
   void SetStats(LockStats* stats) {
     stats_.store(stats, std::memory_order_release);
   }
 
  private:
-  struct Slot {
-    std::atomic<uint32_t> state{static_cast<uint32_t>(SlotState::kFree)};
+  /// Per-slot fixed head; lives at the start of each slot stride in the
+  /// shared image.  Plain fields (`header`, `response_size`) are
+  /// published by the release CAS/store on `state` and read after an
+  /// acquire load of it.
+  struct SlotHead {
+    std::atomic<uint32_t> state{0};
+    uint32_t response_size = 0;
     /// Owning handle, stored right after the kFree→kWriting claim so
     /// reclamation can attribute the slot without touching the (plain)
     /// header while a writer may still own it.
@@ -219,29 +330,65 @@ class ShmRing {
     /// a response (the slot may have been reclaimed and reused).
     std::atomic<uint64_t> job_stamp{0};
     FrameHeader header;
-    std::string payload;
-    std::string response;
   };
 
-  bool CasState(Slot& s, SlotState from, SlotState to);
-  void FreeSlot(Slot& s);
+  /// Shared control block at the start of the ring image.
+  struct RingCtrl;
+
+  enum CounterIdx : size_t {
+    kCtrPublished = 0,
+    kCtrConsumed,
+    kCtrCompleted,
+    kCtrTaken,
+    kCtrSalvaged,
+    kCtrTornWrites,
+    kCtrCrashedWrites,
+    kCtrReclaimedWriting,
+    kCtrReclaimedPublished,
+    kCtrReclaimedExecuting,
+    kCtrReclaimedDone,
+    kNumCounters,
+  };
+
+  void InitInProcess();
+  Status InitShmCreate();
+  Status InitShmAttach();
+  void InitImage();  ///< placement-construct ctrl + slots in base_
+
+  RingCtrl* ctrl() const;
+  SlotHead& HeadOf(size_t slot) const;
+  uint8_t* PayloadOf(size_t slot) const;
+  uint8_t* ResponseOf(size_t slot) const;
+
+  bool CasState(SlotHead& s, SlotState from, SlotState to);
+  void FreeSlot(SlotHead& s);
+  /// Futex wake on a slot's state word (producer parked in WaitDone).
+  void WakeSlot(SlotHead& s);
+  /// Bump + wake the published doorbell.
+  void RingDoorbell();
+  void Bump(CounterIdx idx);
+  void CrashPoint(std::string_view point) {
+    if (crash_hook_) crash_hook_(point);
+  }
   LockStats* stats() const { return stats_.load(std::memory_order_acquire); }
 
-  const RingOptions options_;
-  std::unique_ptr<Slot[]> slots_;
-  /// Rotating scan cursors (fairness, not correctness).
+  RingOptions options_;
+  Status init_status_;
+  futex::Backend wait_backend_ = futex::Backend::kInProcess;
+
+  /// Ring image: ctrl block + slot array.  Either heap_ or segment_.
+  uint8_t* base_ = nullptr;
+  std::unique_ptr<uint8_t[]> heap_;
+  ShmSegment segment_;
+  size_t slot_stride_ = 0;
+  size_t payload_stride_ = 0;
+
+  /// Rotating scan cursors (fairness, not correctness; process-local).
   std::atomic<size_t> publish_cursor_{0};
   std::atomic<size_t> consume_cursor_{0};
 
   std::atomic<LockStats*> stats_{nullptr};
-
-  /// Futex stand-in: parked waiters for kPublished / kDone transitions.
-  mutable Mutex wait_mu_;
-  CondVar published_cv_;
-  CondVar done_cv_;
-
-  mutable Mutex counters_mu_;
-  Counters counters_ CODLOCK_GUARDED_BY(counters_mu_);
+  std::function<void(std::string_view)> crash_hook_;
 };
 
 }  // namespace codlock::ws

@@ -1,0 +1,261 @@
+#include "ws/shm_segment.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+
+#include "fault/fault_injector.h"
+#include "util/crc32.h"
+
+namespace codlock::ws {
+
+namespace {
+
+// shm_open refuses the segment name (permissions, exhausted namespace).
+fault::FaultPoint g_fault_shm_open{"ws.shm.open", fault::FaultKind::kError};
+// ftruncate cannot reserve the segment's size (tmpfs full).
+fault::FaultPoint g_fault_shm_truncate{"ws.shm.truncate",
+                                       fault::FaultKind::kError};
+// The host dies between reserving the segment and publishing a valid
+// superblock: a name exists whose contents are garbage.  Create() of the
+// next incarnation must unlink and start fresh.
+fault::FaultPoint g_fault_shm_map{"ws.shm.map", fault::FaultKind::kCrash};
+
+constexpr char kMagic[8] = {'C', 'O', 'D', 'S', 'H', 'M', '1', '\0'};
+constexpr uint32_t kVersion = 1;
+
+// One 128-byte superblock copy as it lies in the segment.  The CRC is the
+// last word and covers everything before it, so any torn or flipped byte
+// in the copy invalidates it as a whole.
+struct SuperblockImage {
+  char magic[8];
+  uint32_t version;
+  uint32_t header_bytes;
+  uint64_t payload_bytes;
+  uint64_t generation;
+  uint64_t incarnation;
+  uint32_t user32[8];
+  uint8_t reserved[52];
+  uint32_t crc;
+};
+static_assert(sizeof(SuperblockImage) == ShmSegment::kSuperblockBytes,
+              "superblock image must be exactly one copy slot");
+static_assert(std::is_trivially_copyable_v<SuperblockImage>,
+              "superblock image lives in raw shared memory");
+
+uint32_t ImageCrc(const SuperblockImage& sb) {
+  return Crc32(std::string_view(reinterpret_cast<const char*>(&sb),
+                                offsetof(SuperblockImage, crc)));
+}
+
+bool ValidImage(const SuperblockImage& sb) {
+  if (std::memcmp(sb.magic, kMagic, sizeof(kMagic)) != 0) return false;
+  if (sb.version != kVersion) return false;
+  if (sb.header_bytes != ShmSegment::kHeaderBytes) return false;
+  if (sb.payload_bytes == 0) return false;
+  return sb.crc == ImageCrc(sb);
+}
+
+SuperblockImage* CopyAt(uint8_t* base, size_t index) {
+  return reinterpret_cast<SuperblockImage*>(
+      base + index * ShmSegment::kSuperblockBytes);
+}
+
+void WriteImage(SuperblockImage* dst, const SegmentConfig& cfg,
+                uint64_t generation) {
+  SuperblockImage sb;
+  std::memset(&sb, 0, sizeof(sb));
+  std::memcpy(sb.magic, kMagic, sizeof(kMagic));
+  sb.version = kVersion;
+  sb.header_bytes = ShmSegment::kHeaderBytes;
+  sb.payload_bytes = cfg.payload_bytes;
+  sb.generation = generation;
+  sb.incarnation = cfg.incarnation;
+  std::memcpy(sb.user32, cfg.user32, sizeof(sb.user32));
+  sb.crc = ImageCrc(sb);
+  std::memcpy(dst, &sb, sizeof(sb));
+}
+
+}  // namespace
+
+ShmSegment::~ShmSegment() { Close(); }
+
+Status ShmSegment::MapByName(const std::string& name, bool create,
+                             size_t total_bytes) {
+  if (name.empty() || name[0] != '/') {
+    return Status::InvalidArgument("shm segment name must start with '/': \"" +
+                                   name + "\"");
+  }
+  if (fault::FireResult fr = g_fault_shm_open.Fire()) {
+    return fault::StatusFor(fr, "ws.shm.open");
+  }
+  int fd = -1;
+  if (create) {
+    // Fresh means fresh: a leftover name from a crashed incarnation is
+    // unlinked, never adopted (its contents are untrusted by definition).
+    if (shm_unlink(name.c_str()) != 0 && errno != ENOENT) {
+      return ErrnoStatus("shm_unlink(\"" + name + "\")", errno);
+    }
+    fd = shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  } else {
+    fd = shm_open(name.c_str(), O_RDWR, 0);
+  }
+  if (fd < 0) {
+    const int err = errno;
+    if (!create && err == ENOENT) {
+      return Status::NotFound("shm segment \"" + name + "\" does not exist");
+    }
+    return ErrnoStatus("shm_open(\"" + name + "\")", err);
+  }
+  if (create) {
+    if (fault::FireResult fr = g_fault_shm_truncate.Fire()) {
+      close(fd);
+      shm_unlink(name.c_str());
+      return fault::StatusFor(fr, "ws.shm.truncate");
+    }
+    if (ftruncate(fd, static_cast<off_t>(total_bytes)) != 0) {
+      const int err = errno;
+      close(fd);
+      shm_unlink(name.c_str());
+      return ErrnoStatus("ftruncate(\"" + name + "\", " +
+                             std::to_string(total_bytes) + ")",
+                         err);
+    }
+  } else {
+    struct stat st;
+    if (fstat(fd, &st) != 0) {
+      const int err = errno;
+      close(fd);
+      return ErrnoStatus("fstat(\"" + name + "\")", err);
+    }
+    total_bytes = static_cast<size_t>(st.st_size);
+    if (total_bytes < kHeaderBytes) {
+      close(fd);
+      return Status::Corrupt("shm segment \"" + name + "\" is " +
+                             std::to_string(total_bytes) +
+                             " bytes, shorter than its 256-byte header");
+    }
+  }
+  if (fault::FireResult fr = g_fault_shm_map.Fire()) {
+    // Crash between reserve and map: the name survives with unpublished
+    // contents.  Close the fd and report the injected death.
+    close(fd);
+    return fault::StatusFor(fr, "ws.shm.map");
+  }
+  void* mem = mmap(nullptr, total_bytes, PROT_READ | PROT_WRITE, MAP_SHARED,
+                   fd, 0);
+  const int map_err = errno;
+  close(fd);  // the mapping keeps the segment alive
+  if (mem == MAP_FAILED) {
+    if (create) shm_unlink(name.c_str());
+    return ErrnoStatus("mmap(\"" + name + "\", " +
+                           std::to_string(total_bytes) + ")",
+                       map_err);
+  }
+  base_ = static_cast<uint8_t*>(mem);
+  mapped_bytes_ = total_bytes;
+  return Status::OK();
+}
+
+Status ShmSegment::Create(const SegmentConfig& cfg) {
+  if (mapped()) return Status::FailedPrecondition("segment already mapped");
+  if (cfg.payload_bytes == 0) {
+    return Status::InvalidArgument("segment payload_bytes must be > 0");
+  }
+  CODLOCK_RETURN_IF_ERROR(
+      MapByName(cfg.name, /*create=*/true, kHeaderBytes + cfg.payload_bytes));
+  cfg_ = cfg;
+  generation_ = 1;
+  // Copy A carries generation 1; copy B stays zeroed (invalid) until the
+  // first StampIncarnation ping-pongs onto it.
+  WriteImage(CopyAt(base_, 0), cfg_, generation_);
+  return Status::OK();
+}
+
+Status ShmSegment::Attach(const std::string& name,
+                          uint64_t expected_incarnation) {
+  if (mapped()) return Status::FailedPrecondition("segment already mapped");
+  CODLOCK_RETURN_IF_ERROR(MapByName(name, /*create=*/false, 0));
+  // Salvage: newest valid copy wins; a torn superblock update corrupts at
+  // most one copy, so a single valid copy is still a healthy segment.
+  const SuperblockImage* best = nullptr;
+  for (size_t i = 0; i < 2; ++i) {
+    const SuperblockImage* sb = CopyAt(base_, i);
+    if (!ValidImage(*sb)) continue;
+    if (best == nullptr || sb->generation > best->generation) best = sb;
+  }
+  if (best == nullptr) {
+    Close();
+    return Status::Corrupt("shm segment \"" + name +
+                           "\" has no valid superblock copy");
+  }
+  if (mapped_bytes_ < kHeaderBytes + best->payload_bytes) {
+    // Copy out of the mapping before Close() unmaps it from under `best`
+    // (and zeroes mapped_bytes_).
+    const size_t mapped = mapped_bytes_;
+    const uint64_t promised = kHeaderBytes + best->payload_bytes;
+    Close();
+    return Status::Corrupt("shm segment \"" + name + "\" is truncated: " +
+                           std::to_string(mapped) +
+                           " bytes mapped, superblock promises " +
+                           std::to_string(promised));
+  }
+  if (expected_incarnation != 0 && best->incarnation != expected_incarnation) {
+    const uint64_t found = best->incarnation;
+    Close();
+    return Status::Fenced("shm segment \"" + name + "\" is incarnation " +
+                          std::to_string(found) + ", caller expected " +
+                          std::to_string(expected_incarnation));
+  }
+  cfg_.name = name;
+  cfg_.payload_bytes = best->payload_bytes;
+  cfg_.incarnation = best->incarnation;
+  std::memcpy(cfg_.user32, best->user32, sizeof(cfg_.user32));
+  generation_ = best->generation;
+  return Status::OK();
+}
+
+Status ShmSegment::StampIncarnation(uint64_t incarnation) {
+  if (!mapped()) return Status::FailedPrecondition("segment not mapped");
+  cfg_.incarnation = incarnation;
+  // Ping-pong: overwrite the copy that does NOT hold the newest valid
+  // generation, so a torn write strands the update, never the segment.
+  size_t newest = 0;
+  uint64_t newest_gen = 0;
+  for (size_t i = 0; i < 2; ++i) {
+    const SuperblockImage* sb = CopyAt(base_, i);
+    if (ValidImage(*sb) && sb->generation >= newest_gen) {
+      newest = i;
+      newest_gen = sb->generation;
+    }
+  }
+  ++generation_;
+  if (generation_ <= newest_gen) generation_ = newest_gen + 1;
+  WriteImage(CopyAt(base_, 1 - newest), cfg_, generation_);
+  return Status::OK();
+}
+
+void ShmSegment::Close() {
+  if (base_ != nullptr) {
+    munmap(base_, mapped_bytes_);
+    base_ = nullptr;
+    mapped_bytes_ = 0;
+  }
+}
+
+Status ShmSegment::Unlink() { return UnlinkName(cfg_.name); }
+
+Status ShmSegment::UnlinkName(const std::string& name) {
+  if (shm_unlink(name.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoStatus("shm_unlink(\"" + name + "\")", errno);
+  }
+  return Status::OK();
+}
+
+}  // namespace codlock::ws

@@ -1,0 +1,118 @@
+/// \file shm_segment.h
+/// \brief A real POSIX shared-memory segment with a crash-robust,
+/// double-buffered superblock.
+///
+/// This is the memory the job ring (shm_ring.h) lives in when serving
+/// crosses process boundaries: `shm_open` + `ftruncate` + `mmap`, visible
+/// to every process that attaches by name.  Because any party can be
+/// SIGKILLed mid-write, the segment header follows the same discipline as
+/// the PR 4 `LongLockStore`:
+///
+///  * two 128-byte **superblock copies** (A at offset 0, B at offset 128),
+///    each CRC32-framed with a monotonically increasing generation.  An
+///    update always rewrites the *older* copy with `generation+1`, so a
+///    torn header write corrupts at most one copy and attach salvages the
+///    newest valid one;
+///  * a **version + geometry** block (payload size, eight caller-defined
+///    geometry words) validated against the actual file size at attach —
+///    a truncated segment fails closed with `Status::Corrupt` instead of
+///    faulting on a short mapping;
+///  * a host **incarnation stamp**: attachers that pass their expected
+///    incarnation are fenced (`Status::Fenced`) when the host has
+///    restarted since — the cross-process analogue of the PR 5 fencing
+///    epochs, and the reason a zombie handle can never re-enter a rebuilt
+///    ring.
+///
+/// Every syscall failure surfaces as a `Status` with errno context
+/// (`ErrnoStatus`); nothing aborts, nothing falls through silently.
+
+#ifndef CODLOCK_WS_SHM_SEGMENT_H_
+#define CODLOCK_WS_SHM_SEGMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace codlock::ws {
+
+/// Geometry + identity of a segment, as carried by the superblock.
+struct SegmentConfig {
+  /// shm name ("/codlock-<something>"); must start with '/'.
+  std::string name;
+  /// Usable payload bytes after the 256-byte header.
+  uint64_t payload_bytes = 0;
+  /// Host incarnation stamped into the superblock.
+  uint64_t incarnation = 0;
+  /// Caller-defined geometry words (the ring stores slot count, payload
+  /// capacity, ... here so attachers need no out-of-band configuration).
+  uint32_t user32[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+};
+
+/// \brief One mapped segment.  Value type owned by its ring; default
+/// constructed empty, populated by Create() or Attach(), unmapped on
+/// destruction.  The underlying shm name persists until Unlink().
+class ShmSegment {
+ public:
+  /// Total bytes reserved for the two superblock copies.
+  static constexpr size_t kHeaderBytes = 256;
+  /// Size of one superblock copy.
+  static constexpr size_t kSuperblockBytes = 128;
+
+  ShmSegment() = default;
+  ~ShmSegment();
+
+  ShmSegment(const ShmSegment&) = delete;
+  ShmSegment& operator=(const ShmSegment&) = delete;
+
+  /// Creates a fresh segment of `kHeaderBytes + cfg.payload_bytes` bytes
+  /// (any existing segment of the same name is unlinked first: create
+  /// means *fresh*, never adopt a dead host's memory), writes superblock
+  /// copy A at generation 1 and maps the whole thing.  The payload starts
+  /// zeroed.  Fault points: `ws.shm.open`, `ws.shm.truncate`,
+  /// `ws.shm.map`.
+  Status Create(const SegmentConfig& cfg);
+
+  /// Maps an existing segment by name and validates it: both superblock
+  /// copies are CRC-checked and the newest valid one wins; no valid copy
+  /// (or a file shorter than the geometry it promises) fails closed with
+  /// `Status::Corrupt`.  When \p expected_incarnation is non-zero and the
+  /// superblock carries a different incarnation, fails with
+  /// `Status::Fenced` — the host restarted since the caller last knew it.
+  Status Attach(const std::string& name, uint64_t expected_incarnation);
+
+  /// Rewrites the older superblock copy with `generation+1` and the new
+  /// incarnation (geometry unchanged).  Crash-robust: a torn write here
+  /// leaves the previous copy intact for salvage.
+  Status StampIncarnation(uint64_t incarnation);
+
+  /// Unmaps (idempotent; does not unlink the name).
+  void Close();
+
+  /// Removes the shm name from the namespace (mapping stays valid for
+  /// already-attached processes until they Close()).
+  Status Unlink();
+  static Status UnlinkName(const std::string& name);
+
+  bool mapped() const { return base_ != nullptr; }
+  const std::string& name() const { return cfg_.name; }
+  uint64_t payload_bytes() const { return cfg_.payload_bytes; }
+  uint64_t incarnation() const { return cfg_.incarnation; }
+  uint32_t user32(size_t i) const { return cfg_.user32[i]; }
+  /// First payload byte (header excluded).  Valid while mapped().
+  uint8_t* payload() const { return base_ + kHeaderBytes; }
+
+ private:
+  Status MapByName(const std::string& name, bool create, size_t total_bytes);
+
+  SegmentConfig cfg_;
+  uint8_t* base_ = nullptr;
+  size_t mapped_bytes_ = 0;
+  /// Generation of the newest valid superblock (for ping-pong updates).
+  uint64_t generation_ = 0;
+};
+
+}  // namespace codlock::ws
+
+#endif  // CODLOCK_WS_SHM_SEGMENT_H_

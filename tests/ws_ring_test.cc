@@ -12,6 +12,7 @@
 
 #include "fault/fault_injector.h"
 #include "proto/validator.h"
+#include "util/futex.h"
 #include "sim/fixtures.h"
 #include "sim/fleet.h"
 #include "ws/handle.h"
@@ -112,8 +113,15 @@ TEST(WireTest, MalformedFramesNeverDecode) {
 
 // --- ring state machine -------------------------------------------------
 
+RingOptions Opts(size_t slots, size_t payload_capacity) {
+  RingOptions o;
+  o.slots = slots;
+  o.payload_capacity = payload_capacity;
+  return o;
+}
+
 TEST(ShmRingTest, PublishConsumeCompleteTake) {
-  ShmRing ring(RingOptions{4, 256});
+  ShmRing ring(Opts(4, 256));
   FrameHeader h;
   h.handle_id = 1;
   h.handle_epoch = 1;
@@ -145,7 +153,7 @@ TEST(ShmRingTest, PublishConsumeCompleteTake) {
 }
 
 TEST(ShmRingTest, FullRingShedsAndOversizeRejected) {
-  ShmRing ring(RingOptions{2, 64});
+  ShmRing ring(Opts(2, 64));
   FrameHeader h;
   h.handle_id = 1;
   ASSERT_TRUE(ring.Publish(h, "a").ok());
@@ -156,7 +164,7 @@ TEST(ShmRingTest, FullRingShedsAndOversizeRejected) {
 }
 
 TEST(ShmRingTest, TornFrameIsSalvagedNotExecuted) {
-  ShmRing ring(RingOptions{4, 256});
+  ShmRing ring(Opts(4, 256));
   FrameHeader torn;
   torn.handle_id = 5;
   torn.job_id = 1;
@@ -183,7 +191,7 @@ TEST(ShmRingTest, TornFrameIsSalvagedNotExecuted) {
 }
 
 TEST(ShmRingTest, DieMidWriteStrandsUntilReclaimed) {
-  ShmRing ring(RingOptions{2, 64});
+  ShmRing ring(Opts(2, 64));
   FrameHeader h;
   h.handle_id = 3;
   h.job_id = 1;
@@ -200,7 +208,7 @@ TEST(ShmRingTest, DieMidWriteStrandsUntilReclaimed) {
 }
 
 TEST(ShmRingTest, TakeVerifiesJobStampAcrossReuse) {
-  ShmRing ring(RingOptions{1, 64});
+  ShmRing ring(Opts(1, 64));
   FrameHeader h;
   h.handle_id = 1;
   h.job_id = 1;
@@ -220,7 +228,7 @@ TEST(ShmRingTest, TakeVerifiesJobStampAcrossReuse) {
 }
 
 TEST(ShmRingTest, ResetAccountsEveryLostFrame) {
-  ShmRing ring(RingOptions{4, 64});
+  ShmRing ring(Opts(4, 64));
   FrameHeader h;
   h.handle_id = 1;
   ASSERT_TRUE(ring.Publish(h, "published-not-consumed").ok());
@@ -235,6 +243,202 @@ TEST(ShmRingTest, ResetAccountsEveryLostFrame) {
   EXPECT_EQ(c.published, 2u);
   EXPECT_EQ(c.consumed + c.reclaimed_published, 2u);
   EXPECT_EQ(c.consumed, c.completed + c.reclaimed_executing);
+}
+
+// --- shm backend + futex wait + reclaim scopes --------------------------
+
+RingOptions ShmOpts(const char* name, size_t slots, size_t cap,
+                    uint64_t incarnation) {
+  RingOptions o = Opts(slots, cap);
+  o.backend = RingBackend::kShmCreate;
+  o.shm_name = name;
+  o.incarnation = incarnation;
+  return o;
+}
+
+TEST(ShmRingTest, ShmBackendCrossAttachRoundTrip) {
+  ShmRing host(ShmOpts("/codlock-test-roundtrip", 4, 256, 7));
+  ASSERT_TRUE(host.init_status().ok()) << host.init_status().ToString();
+  EXPECT_EQ(host.incarnation(), 7u);
+
+  // A second ring attaches to the same segment — the stand-in for a
+  // client process; geometry and counters come from the superblock.
+  ShmRing client(RingOptions::AttachTo("/codlock-test-roundtrip", 7));
+  ASSERT_TRUE(client.init_status().ok()) << client.init_status().ToString();
+  EXPECT_EQ(client.slots(), 4u);
+  EXPECT_EQ(client.payload_capacity(), 256u);
+
+  FrameHeader h;
+  h.handle_id = 1;
+  h.job_id = 5;
+  Result<size_t> slot = client.Publish(h, "cross-process ping");
+  ASSERT_TRUE(slot.ok());
+  // The host sees the client's frame through the shared image.
+  Result<ShmRing::Job> job = host.Consume();
+  ASSERT_TRUE(job.ok());
+  EXPECT_EQ(job->payload, "cross-process ping");
+  EXPECT_TRUE(host.Complete(job->slot, "pong"));
+  EXPECT_TRUE(client.WaitDone(*slot, 5, 1'000'000));
+  Result<std::string> resp = client.TakeResponse(*slot, 5);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(*resp, "pong");
+
+  // One shared ledger: the client's publish/take and the host's
+  // consume/complete all landed in the same counters.
+  const ShmRing::Counters c = host.counters();
+  EXPECT_EQ(c.published, 1u);
+  EXPECT_EQ(c.consumed, 1u);
+  EXPECT_EQ(c.completed, 1u);
+  EXPECT_EQ(c.taken, 1u);
+  EXPECT_EQ(client.counters().published, 1u);
+}
+
+TEST(ShmRingTest, ShmAttachStaleIncarnationIsFenced) {
+  ShmRing host(ShmOpts("/codlock-test-fence", 2, 64, 3));
+  ASSERT_TRUE(host.init_status().ok()) << host.init_status().ToString();
+
+  // A zombie expecting the old incarnation is fenced at attach.
+  ShmRing zombie(RingOptions::AttachTo("/codlock-test-fence", 2));
+  EXPECT_TRUE(zombie.init_status().IsFenced())
+      << zombie.init_status().ToString();
+  // Its operations fail closed with the init status.
+  FrameHeader h;
+  EXPECT_TRUE(zombie.Publish(h, "x").status().IsFenced());
+
+  // The current incarnation (and "accept any" = 0) attach fine.
+  EXPECT_TRUE(
+      ShmRing(RingOptions::AttachTo("/codlock-test-fence", 3)).init_status().ok());
+  EXPECT_TRUE(
+      ShmRing(RingOptions::AttachTo("/codlock-test-fence", 0)).init_status().ok());
+
+  // A restart stamps a new incarnation: yesterday's expectation fences.
+  ASSERT_TRUE(host.StampIncarnation(4).ok());
+  EXPECT_TRUE(ShmRing(RingOptions::AttachTo("/codlock-test-fence", 3))
+                  .init_status()
+                  .IsFenced());
+}
+
+TEST(ShmRingTest, ShmAttachMissingSegmentIsNotFound) {
+  ShmRing ring(RingOptions::AttachTo("/codlock-test-nonexistent", 0));
+  EXPECT_TRUE(ring.init_status().IsNotFound()) << ring.init_status().ToString();
+}
+
+TEST(ShmRingTest, SharedCondWaitBackendServesWaits) {
+  // Force the PTHREAD_PROCESS_SHARED fallback (the non-Linux path) and
+  // run a real blocking round trip through it.
+  RingOptions o = Opts(2, 64);
+  o.wait = RingWait::kSharedCond;
+  ShmRing ring(o);
+  FrameHeader h;
+  h.handle_id = 1;
+  h.job_id = 1;
+  std::atomic<bool> stop{false};
+  std::thread worker([&] {
+    while (!stop.load()) {
+      if (!ring.WaitForPublished(50'000, &stop)) continue;
+      Result<ShmRing::Job> job = ring.Consume();
+      if (job.ok()) ring.Complete(job->slot, "ok");
+    }
+  });
+  Result<size_t> slot = ring.Publish(h, "ping");
+  ASSERT_TRUE(slot.ok());
+  EXPECT_TRUE(ring.WaitDone(*slot, 1, 2'000'000));
+  stop.store(true);
+  ring.WakeAll();
+  worker.join();
+  EXPECT_TRUE(ring.TakeResponse(*slot, 1).ok());
+}
+
+TEST(ShmRingTest, ExecutingReclaimNeedsScopeAndCompleteLosesCleanly) {
+  ShmRing ring(Opts(2, 64));
+  FrameHeader h;
+  h.handle_id = 9;
+  h.job_id = 1;
+  Result<size_t> slot = ring.Publish(h, "job");
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(ring.Consume().ok());
+  EXPECT_EQ(ring.StateOf(*slot), SlotState::kExecuting);
+
+  // Default scope must not touch a slot a worker may still be running.
+  EXPECT_EQ(ring.ReclaimHandleSlots(9), 0u);
+  ReclaimScope post_mortem;
+  post_mortem.executing = true;
+  EXPECT_EQ(ring.ReclaimHandleSlots(9, post_mortem), 1u);
+  EXPECT_EQ(ring.counters().reclaimed_executing, 1u);
+
+  // The worker finishing late loses the CAS race and must not ledger a
+  // completion for a frame the reclaimer already accounted.
+  EXPECT_FALSE(ring.Complete(*slot, "too late"));
+  EXPECT_EQ(ring.counters().completed, 0u);
+}
+
+TEST(ShmRingTest, TakingReclaimRacesExactlyOnceAccounting) {
+  // A PID-verified-dead owner's kTaking strand is reclaimed mid-take;
+  // the (hypothetically still-running) take must lose the free race and
+  // not double-count `taken`.
+  ShmRing ring(Opts(2, 64));
+  FrameHeader h;
+  h.handle_id = 4;
+  h.job_id = 2;
+  Result<size_t> slot = ring.Publish(h, "job");
+  ASSERT_TRUE(slot.ok());
+  Result<ShmRing::Job> job = ring.Consume();
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE(ring.Complete(job->slot, "resp"));
+
+  ring.SetCrashHook([&](std::string_view point) {
+    if (point != "take.taking") return;
+    ReclaimScope dead_owner;
+    dead_owner.taking = true;
+    EXPECT_EQ(ring.ReclaimHandleSlots(4, dead_owner), 1u);
+  });
+  EXPECT_TRUE(ring.TakeResponse(*slot, 2).status().IsNotFound());
+  ring.SetCrashHook(nullptr);
+  const ShmRing::Counters c = ring.counters();
+  EXPECT_EQ(c.taken, 0u);
+  EXPECT_EQ(c.completed, 1u);
+  EXPECT_EQ(c.reclaimed_done, 1u);  // the reclaimer owns the frame
+  EXPECT_EQ(ring.InFlight(), 0u);
+}
+
+TEST(ShmRingTest, OversizedResponseIsDroppedNotTruncated) {
+  ShmRing ring(Opts(2, 16));
+  FrameHeader h;
+  h.handle_id = 1;
+  h.job_id = 1;
+  Result<size_t> slot = ring.Publish(h, "q");
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(ring.Consume().ok());
+  EXPECT_FALSE(ring.Complete(*slot, std::string(64, 'r')));
+  EXPECT_EQ(ring.StateOf(*slot), SlotState::kFree);
+  EXPECT_EQ(ring.counters().completed, 0u);
+  EXPECT_EQ(ring.counters().reclaimed_executing, 1u);
+}
+
+TEST(ShmRingTest, RunStateGateWakesParkedWaiters) {
+  ShmRing ring(Opts(2, 64));
+  EXPECT_EQ(ring.run_state(), 0u);
+  uint32_t seen = 0;
+  std::thread child([&] { seen = ring.WaitRunStateAtLeast(1, 2'000'000); });
+  ring.SetRunState(1);
+  child.join();
+  EXPECT_GE(seen, 1u);
+  // Timeout path: the gate never reaches 2, the waiter reports what it saw.
+  EXPECT_EQ(ring.WaitRunStateAtLeast(2, 10'000), 1u);
+}
+
+TEST(ShmRingTest, FutexWaitRetriesInjectedEintr) {
+  // An injected EINTR mid-wait must be retried against the original
+  // deadline, never surfaced: the wait still times out (word unchanged)
+  // or succeeds (word changed) — callers never see kInternal.
+  std::atomic<uint32_t> word{5};
+  fault::ScopedFault eintr("util.futex.wait",
+                           {fault::FaultKind::kError, fault::Trigger::Once()});
+  ASSERT_TRUE(eintr.valid());
+  Status s = futex::Wait(futex::Backend::kInProcess, word, 5, 20'000);
+  EXPECT_TRUE(s.IsTimeout()) << s.ToString();
+  // Word already changed: immediate OK, no wait at all.
+  EXPECT_TRUE(futex::Wait(futex::Backend::kInProcess, word, 4, 20'000).ok());
 }
 
 // --- host + handle round trips -----------------------------------------

@@ -44,10 +44,25 @@
 // regress.  The mode finishes with a fleet chaos run (default 1000
 // handles) whose self-checks must come back clean.
 //
+// The `shm` mode (also reachable as `--shm`) sweeps the real segment
+// layer (ws/shm_segment.h).  Syscall leg: each of `ws.shm.open`,
+// `ws.shm.truncate`, `ws.shm.map` is armed while a host builds its ring
+// over a fresh `shm_open` segment — the failure must surface as the
+// ring's init Status (never an abort), and a rebuild with nothing armed
+// must serve a full cross-process publish/drain/take round trip over the
+// same name.  Corruption leg: every single-byte flip of the 256-byte
+// superblock header must salvage the surviving copy (newest valid wins,
+// and an attacher pinned to the newer incarnation is fenced when only
+// the older copy survives); flipping the same byte in both copies must
+// fail closed with kCorrupt; every truncation of the segment file must
+// fail closed; a stale expected incarnation must fence.
+//
 // Usage:
-//   codlock_faultsweep [--json] [--dir <scratch-dir>] [--ring]
+//   codlock_faultsweep [--json] [--dir <scratch-dir>] [--ring] [--shm]
 //                      [--fleet-handles <n>] [--fleet-ticks <n>]
-//                      [sweep|truncate|leases|ring|all]
+//                      [sweep|truncate|leases|ring|shm|all]
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -481,6 +496,196 @@ PointResult RingSweepOne(fault::FaultPoint* point, const std::string& dir) {
   return res;
 }
 
+/// Arms one shm syscall fault point under a host building its ring over
+/// a real segment: the failure must surface as the ring's init Status,
+/// and a rebuild (nothing armed) must serve a cross-process round trip.
+PointResult ShmSyscallSweepOne(fault::FaultPoint* point) {
+  PointResult res;
+  res.point = point->name();
+  res.kind = std::string(fault::FaultKindName(point->sweep_kind()));
+  auto fail = [&res](const std::string& why) {
+    res.passed = false;
+    res.detail = why;
+    return res;
+  };
+  const std::string shm_name =
+      "/codlock-faultsweep-" + Sanitize(point->name()) + "-" +
+      std::to_string(static_cast<long>(getpid()));
+
+  sim::CellsFixture f = sim::BuildFigure7Instance();
+  ws::HostOptions opts;
+  opts.ring.backend = ws::RingBackend::kShmCreate;
+  opts.ring.shm_name = shm_name;
+  opts.ring.slots = 8;
+
+  fault::FaultSpec spec;
+  spec.kind = point->sweep_kind();
+  spec.trigger = fault::Trigger::Once();
+  point->Arm(spec);
+  {
+    ws::Host broken(f.catalog.get(), f.store.get(), opts);
+    res.fired = !point->armed();  // Trigger::Once auto-disarms on fire
+    point->Disarm();
+    if (broken.ring_status().ok()) {
+      return fail("ring init succeeded into the armed point");
+    }
+  }
+
+  // Recovery: the same name must come up fresh and serve end to end.
+  ws::Host host(f.catalog.get(), f.store.get(), opts);
+  if (!host.ring_status().ok()) {
+    return fail("rebuild failed: " + host.ring_status().ToString());
+  }
+  ws::ShmRing client(
+      ws::RingOptions::AttachTo(shm_name, host.incarnation()));
+  if (!client.init_status().ok()) {
+    return fail("client attach failed: " + client.init_status().ToString());
+  }
+  ws::HandleInfo info = host.Attach();
+  ws::FrameHeader header;
+  header.handle_id = info.handle_id;
+  header.handle_epoch = info.epoch;
+  header.job_id = 1;
+  Result<size_t> slot = client.Publish(header, ws::wire::EncodePingRequest());
+  if (!slot.ok()) {
+    return fail("publish failed: " + slot.status().ToString());
+  }
+  if (!host.Drain().ok()) return fail("drain failed");
+  Result<std::string> resp = client.TakeResponse(*slot, 1);
+  if (!resp.ok()) {
+    return fail("take failed: " + resp.status().ToString());
+  }
+  (void)ws::ShmSegment::UnlinkName(shm_name);
+  res.passed = true;
+  return res;
+}
+
+struct ShmCorruptionResult {
+  size_t flips = 0;             ///< single-byte flips attached through
+  size_t salvaged_newest = 0;   ///< attach salvaged the newer generation
+  size_t salvaged_older = 0;    ///< attach fell back to the older copy
+  size_t double_corrupt = 0;    ///< both-copy corruptions (must fail closed)
+  size_t truncations = 0;       ///< truncated lengths (must fail closed)
+  bool fenced_on_stale = false;
+  bool fenced_on_salvage = false;
+  bool passed = false;
+  std::string detail;
+};
+
+/// The byte-level segment sweep: single flips salvage, double flips and
+/// truncations fail closed, stale incarnations fence.
+ShmCorruptionResult ShmCorruptionSweep() {
+  ShmCorruptionResult res;
+  auto fail = [&res](const std::string& why) {
+    if (res.detail.empty()) res.detail = why;
+    return res;
+  };
+  const std::string name =
+      "/codlock-faultsweep-corrupt-" +
+      std::to_string(static_cast<long>(getpid()));
+  const std::string path = "/dev/shm" + name;  // Linux shm_open backing
+  constexpr uint64_t kPayload = 64;
+  const size_t full = ws::ShmSegment::kHeaderBytes + kPayload;
+  {
+    ws::ShmSegment created;
+    ws::SegmentConfig cfg;
+    cfg.name = name;
+    cfg.payload_bytes = kPayload;
+    cfg.incarnation = 7;
+    Status s = created.Create(cfg);
+    if (!s.ok()) return fail("seed create failed: " + s.ToString());
+    s = created.StampIncarnation(8);  // generation 2 onto copy B
+    if (!s.ok()) return fail("seed stamp failed: " + s.ToString());
+  }
+  std::string image;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    image = buf.str();
+  }
+  if (image.size() != full) return fail("segment file has unexpected size");
+
+  auto restore = [&] {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(image.data(), static_cast<std::streamsize>(image.size()));
+  };
+  auto flip = [&](size_t offset) {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.put(static_cast<char>(image[offset] ^ 0xFF));
+  };
+
+  // Single flips: the other copy must salvage, newest valid copy wins.
+  for (size_t off = 0; off < ws::ShmSegment::kHeaderBytes; ++off) {
+    restore();
+    flip(off);
+    ws::ShmSegment seg;
+    Status s = seg.Attach(name, 0);
+    ++res.flips;
+    if (!s.ok()) {
+      fail("flip at " + std::to_string(off) + " did not salvage: " +
+           s.ToString());
+      continue;
+    }
+    if (seg.incarnation() == 8) {
+      ++res.salvaged_newest;
+    } else if (seg.incarnation() == 7) {
+      ++res.salvaged_older;
+    } else {
+      fail("flip at " + std::to_string(off) + " salvaged incarnation " +
+           std::to_string(seg.incarnation()));
+    }
+  }
+  // An attacher pinned to the newer incarnation must be fenced when only
+  // the older copy survived — never silently served stale geometry.
+  restore();
+  flip(ws::ShmSegment::kSuperblockBytes + 16);
+  {
+    ws::ShmSegment pinned;
+    res.fenced_on_salvage = pinned.Attach(name, 8).IsFenced();
+    if (!res.fenced_on_salvage) fail("salvage to older copy did not fence");
+  }
+  // Both copies corrupted at the same offset: fail closed.
+  for (size_t off = 0; off < ws::ShmSegment::kSuperblockBytes; ++off) {
+    restore();
+    flip(off);
+    flip(ws::ShmSegment::kSuperblockBytes + off);
+    ws::ShmSegment seg;
+    if (!seg.Attach(name, 0).IsCorrupt()) {
+      fail("double corruption at " + std::to_string(off) +
+           " did not fail closed");
+    }
+    ++res.double_corrupt;
+  }
+  // Every truncation: fail closed, never a fault.
+  for (size_t len = 0; len < full; ++len) {
+    restore();
+    if (truncate(path.c_str(), static_cast<off_t>(len)) != 0) {
+      fail("truncate syscall failed");
+      break;
+    }
+    ws::ShmSegment seg;
+    if (!seg.Attach(name, 0).IsCorrupt()) {
+      fail("truncation to " + std::to_string(len) + " did not fail closed");
+    }
+    ++res.truncations;
+  }
+  restore();
+  {
+    ws::ShmSegment stale;
+    res.fenced_on_stale = stale.Attach(name, 99).IsFenced();
+    if (!res.fenced_on_stale) fail("stale incarnation did not fence");
+  }
+  (void)ws::ShmSegment::UnlinkName(name);
+  res.passed = res.detail.empty() && res.salvaged_newest > 0 &&
+               res.salvaged_older > 0;
+  if (!res.passed && res.detail.empty()) {
+    res.detail = "expected both salvage directions to occur";
+  }
+  return res;
+}
+
 struct FleetRunResult {
   int clients = 0;
   int ticks = 0;
@@ -624,17 +829,19 @@ int main(int argc, char** argv) {
       dir = argv[++i];
     } else if (arg == "--ring") {
       mode = "ring";
+    } else if (arg == "--shm") {
+      mode = "shm";
     } else if (arg == "--fleet-handles" && i + 1 < argc) {
       fleet_handles = std::max(1, std::atoi(argv[++i]));
     } else if (arg == "--fleet-ticks" && i + 1 < argc) {
       fleet_ticks = std::max(1, std::atoi(argv[++i]));
     } else if (arg == "sweep" || arg == "truncate" || arg == "leases" ||
-               arg == "ring" || arg == "all") {
+               arg == "ring" || arg == "shm" || arg == "all") {
       mode = arg;
     } else {
       std::cerr << "usage: codlock_faultsweep [--json] [--dir <d>] [--ring] "
-                   "[--fleet-handles <n>] [--fleet-ticks <n>] "
-                   "[sweep|truncate|leases|ring|all]\n";
+                   "[--shm] [--fleet-handles <n>] [--fleet-ticks <n>] "
+                   "[sweep|truncate|leases|ring|shm|all]\n";
       return toolcli::kExitUsage;
     }
   }
@@ -643,10 +850,13 @@ int main(int argc, char** argv) {
   std::vector<PointResult> points;
   std::vector<PointResult> leases;
   std::vector<PointResult> ring;
+  std::vector<PointResult> shm;
   FleetRunResult fleet;
   TruncateResult trunc;
+  ShmCorruptionResult corrupt;
   bool ok = true;
   const bool ring_mode = mode == "ring" || mode == "all";
+  const bool shm_mode = mode == "shm" || mode == "all";
 
   if (mode == "sweep" || mode == "all") {
     for (fault::FaultPoint* p : fault::AllPoints()) {
@@ -695,6 +905,25 @@ int main(int argc, char** argv) {
     fleet = FleetRun(fleet_handles, fleet_ticks);
     ok = ok && fleet.passed;
   }
+  if (shm_mode) {
+    for (const char* name : {"ws.shm.open", "ws.shm.truncate", "ws.shm.map"}) {
+      fault::FaultPoint* p = fault::FindPoint(name);
+      if (p == nullptr) {
+        PointResult r;
+        r.point = name;
+        r.detail = "fault point not registered";
+        ok = false;
+        shm.push_back(std::move(r));
+        continue;
+      }
+      PointResult r = ShmSyscallSweepOne(p);
+      fault::DisarmAll();
+      ok = ok && r.passed;
+      shm.push_back(std::move(r));
+    }
+    corrupt = ShmCorruptionSweep();
+    ok = ok && corrupt.passed;
+  }
   if (mode == "truncate" || mode == "all") {
     trunc = TruncateSweep(dir);
     ok = ok && trunc.passed;
@@ -732,7 +961,30 @@ int main(int argc, char** argv) {
          << ", \"detail\": \"" << toolcli::JsonEscape(r.detail) << "\"}"
          << (i + 1 < ring.size() ? "," : "") << "\n";
     }
+    os << "  ],\n  \"shm\": [\n";
+    for (size_t i = 0; i < shm.size(); ++i) {
+      const PointResult& r = shm[i];
+      os << "    {\"point\": \"" << toolcli::JsonEscape(r.point)
+         << "\", \"kind\": \""
+         << r.kind << "\", \"fired\": " << (r.fired ? "true" : "false")
+         << ", \"passed\": " << (r.passed ? "true" : "false")
+         << ", \"detail\": \"" << toolcli::JsonEscape(r.detail) << "\"}"
+         << (i + 1 < shm.size() ? "," : "") << "\n";
+    }
     os << "  ]";
+    if (shm_mode) {
+      os << ",\n  \"shm_corruption\": {\"flips\": " << corrupt.flips
+         << ", \"salvaged_newest\": " << corrupt.salvaged_newest
+         << ", \"salvaged_older\": " << corrupt.salvaged_older
+         << ", \"double_corrupt\": " << corrupt.double_corrupt
+         << ", \"truncations\": " << corrupt.truncations
+         << ", \"fenced_on_stale\": "
+         << (corrupt.fenced_on_stale ? "true" : "false")
+         << ", \"fenced_on_salvage\": "
+         << (corrupt.fenced_on_salvage ? "true" : "false")
+         << ", \"passed\": " << (corrupt.passed ? "true" : "false")
+         << ", \"detail\": \"" << toolcli::JsonEscape(corrupt.detail) << "\"}";
+    }
     if (ring_mode) {
       os << ",\n  \"fleet\": {\"handles\": " << fleet.clients
          << ", \"ticks\": " << fleet.ticks << ", \"violations\": [";
@@ -771,6 +1023,24 @@ int main(int argc, char** argv) {
                 << r.point << " (" << r.kind
                 << (r.fired ? ", fired" : ", not traversed") << ")"
                 << (r.detail.empty() ? "" : ": " + r.detail) << "\n";
+    }
+    for (const PointResult& r : shm) {
+      std::cout << (r.passed ? "PASS " : "FAIL ") << "shm scenario "
+                << r.point << " (" << r.kind
+                << (r.fired ? ", fired" : ", not traversed") << ")"
+                << (r.detail.empty() ? "" : ": " + r.detail) << "\n";
+    }
+    if (shm_mode) {
+      std::cout << (corrupt.passed ? "PASS " : "FAIL ")
+                << "shm corruption sweep: " << corrupt.flips << " flips ("
+                << corrupt.salvaged_newest << " newest / "
+                << corrupt.salvaged_older << " older salvages), "
+                << corrupt.double_corrupt << " double corruptions, "
+                << corrupt.truncations << " truncations, fenced stale="
+                << (corrupt.fenced_on_stale ? "yes" : "no") << " salvage="
+                << (corrupt.fenced_on_salvage ? "yes" : "no")
+                << (corrupt.detail.empty() ? "" : ": " + corrupt.detail)
+                << "\n";
     }
     if (ring_mode) {
       std::cout << (fleet.passed ? "PASS " : "FAIL ") << "fleet chaos: "

@@ -13,19 +13,27 @@
 //              [--policy=detect|wound-wait|wait-die|timeout-only|all]
 //              [--cache=on|off|both] [--no-por] [--max-schedules=N]
 //              [--mutant=<name>] [--kill-suite] [--lease-protocol]
-//              [--json] [--quiet]
+//              [--ring-protocol] [--json] [--quiet]
 //
 // --lease-protocol switches to the lease/fencing explorer instead: every
 // interleaving of {expiry, crash, sweep} x {W2 check-out/check-in} x
 // {zombie check-in} is replayed against a fresh workstation server and
 // judged by the lost-update/fencing oracles (mc/lease_oracle.h).
 //
+// --ring-protocol explores the job ring's slot state machine instead:
+// every interleaving of two producers x one consumer x the PID reaper,
+// crossed with every crash flavor for producer 1 (die at publish.claimed
+// / mid-write / torn-write / publish.copied / publish.published /
+// take.taking), judged by the reclaim-completeness / frame-conservation
+// / quiescence / survivor-liveness oracles (mc/ring_oracle.h).
+//
 // Default mode explores all selected configurations and exits non-zero if
 // any schedule violates an oracle.  With --mutant=<name> the named defect
 // is switched on and the exit code inverts: 0 when at least one oracle
 // *catches* the mutant, 1 when it survives.  --kill-suite runs the clean
-// baseline plus all five seeded mutants and requires: baseline clean,
-// every mutant killed.
+// baseline plus all seeded protocol mutants (the lock workloads *and* the
+// ring explorer's ring.skip-reclaim) and requires: baseline clean, every
+// mutant killed.
 
 #include <iostream>
 #include <string>
@@ -33,6 +41,7 @@
 
 #include "mc/explorer.h"
 #include "mc/lease_oracle.h"
+#include "mc/ring_oracle.h"
 #include "mc/workload.h"
 #include "tool_common.h"
 #include "util/mutation_points.h"
@@ -50,6 +59,7 @@ struct CliOptions {
   std::string mutant;
   bool kill_suite = false;
   bool lease_protocol = false;
+  bool ring_protocol = false;
   bool json = false;
   bool quiet = false;
 };
@@ -64,7 +74,7 @@ int Usage() {
          " [--max-schedules=N]\n"
          "                  [--mutant=<name>] [--kill-suite]"
          " [--lease-protocol]\n"
-         "                  [--json] [--quiet]\n"
+         "                  [--ring-protocol] [--json] [--quiet]\n"
          "mutants:";
   for (uint32_t m = 0;
        m < static_cast<uint32_t>(mutation::Mutant::kNumMutants); ++m) {
@@ -202,6 +212,46 @@ constexpr MutantConfig kKillSuite[] = {
      lock::DeadlockPolicy::kDetect, true},
 };
 
+/// Runs the ring-protocol exploration once; returns violating count (the
+/// caller may be the standalone mode or the kill-suite's mutant leg).
+int RunRingProtocolOnce(const CliOptions& cli, mc::RingExploreStats* out) {
+  mc::RingExploreOptions ro;
+  mc::RingExploreStats s = mc::ExploreRingProtocol(ro);
+  if (cli.json) {
+    std::cout << "{\"workload\":\"ring-protocol\",\"executions\":"
+              << s.executions << ",\"p1_take_ok\":" << s.p1_take_ok
+              << ",\"p1_reclaimed\":" << s.p1_reclaimed
+              << ",\"frames_salvaged\":" << s.frames_salvaged
+              << ",\"violating_executions\":" << s.violating_executions
+              << "}\n";
+  } else if (!cli.quiet || !s.clean()) {
+    std::cout << "ring-protocol: explored " << s.executions << " schedules ("
+              << s.p1_take_ok << " graceful takes, " << s.p1_reclaimed
+              << " reclaims, " << s.frames_salvaged << " salvages)\n";
+    for (const std::string& v : s.violation_messages) {
+      std::cout << "  VIOLATION: " << v << "\n";
+    }
+  }
+  int violating = s.clean() ? 0 : 1;
+  // Sanity: the space must reach both the graceful round trip and the
+  // post-mortem reclaim (and exercise the torn-frame salvage).
+  if (s.p1_take_ok == 0 || s.p1_reclaimed == 0 || s.frames_salvaged == 0) {
+    std::cout << "  VIOLATION: ring exploration never reached "
+              << (s.p1_take_ok == 0     ? "a graceful take"
+                  : s.p1_reclaimed == 0 ? "a reclaim"
+                                        : "a salvage")
+              << " — scenario coverage hole\n";
+    ++violating;
+  }
+  if (out != nullptr) *out = s;
+  return violating;
+}
+
+int RunRingProtocol(const CliOptions& cli) {
+  return RunRingProtocolOnce(cli, nullptr) == 0 ? toolcli::kExitOk
+                                                : toolcli::kExitFindings;
+}
+
 int RunKillSuite(const CliOptions& cli) {
   // Baseline: the two smallest configs must be clean without any mutant.
   bool ok = true;
@@ -235,6 +285,27 @@ int RunKillSuite(const CliOptions& cli) {
         std::cout << "  caught by: " << v << "\n";
         break;  // one witness per mutant is enough
       }
+    }
+    ok &= killed;
+  }
+  // The ring slot-protocol mutant lives in its own explorer: baseline
+  // clean, then the defect must trip the reclaim-completeness oracle.
+  {
+    mc::RingExploreStats baseline;
+    if (RunRingProtocolOnce(cli, &baseline) != 0) {
+      std::cout << "kill-suite: BASELINE VIOLATION in ring-protocol\n";
+      ok = false;
+    }
+    mutation::ScopedMutant guard(mutation::Mutant::kRingSkipReclaim);
+    mc::RingExploreStats s = mc::ExploreRingProtocol(mc::RingExploreOptions{});
+    const bool killed = !s.clean();
+    std::cout << "mutant "
+              << mutation::MutantName(mutation::Mutant::kRingSkipReclaim)
+              << ": " << (killed ? "KILLED" : "SURVIVED") << " ("
+              << s.executions << " schedules, " << s.violating_executions
+              << " violating)\n";
+    if (killed && !cli.quiet && !s.violation_messages.empty()) {
+      std::cout << "  caught by: " << s.violation_messages.front() << "\n";
     }
     ok &= killed;
   }
@@ -303,6 +374,8 @@ int main(int argc, char** argv) {
       cli.kill_suite = true;
     } else if (arg == "--lease-protocol") {
       cli.lease_protocol = true;
+    } else if (arg == "--ring-protocol") {
+      cli.ring_protocol = true;
     } else if (arg == "--json") {
       cli.json = true;
     } else if (arg == "--quiet") {
@@ -313,6 +386,7 @@ int main(int argc, char** argv) {
   }
 
   if (cli.lease_protocol) return RunLeaseProtocol(cli);
+  if (cli.ring_protocol) return RunRingProtocol(cli);
   if (cli.kill_suite) return RunKillSuite(cli);
 
   bool ok1 = false, ok2 = false, ok3 = false;
